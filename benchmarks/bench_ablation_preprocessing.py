@@ -1,0 +1,73 @@
+"""Sec. V ablation: preprocessing (grouping + templates) on vs off.
+
+The paper reports that disabling preprocessing affects exactly the eight
+DIAG/DATA cases: accuracy drops (slightly for six, catastrophically for
+two) while circuit size and runtime inflate (28x / 227x on average); the
+ECO/NEQ cases are untouched.  This bench reproduces the on/off comparison
+on DIAG and DATA cases and checks those directions.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import RegressorConfig
+from repro.core.regressor import LogicRegressor
+from repro.eval.harness import run_case
+from repro.oracle.suite import build_case
+
+
+def _learner(preprocessing, time_limit):
+    def learn(oracle):
+        cfg = RegressorConfig(time_limit=time_limit, r_support=384,
+                              enable_preprocessing=preprocessing)
+        return LogicRegressor(cfg).learn(oracle).netlist
+    return learn
+
+
+@pytest.mark.parametrize("case_id", ["case_16", "case_8", "case_12"])
+def test_preprocessing_ablation(benchmark, case_id):
+    case = build_case(case_id)
+
+    def run_both():
+        with_prep = run_case(case, _learner(True, 30), "prep-on",
+                             test_patterns=6000)
+        without = run_case(case, _learner(False, 30), "prep-off",
+                           test_patterns=6000)
+        return with_prep, without
+
+    with_prep, without = one_shot(benchmark, run_both)
+    size_ratio = without.size / max(1, with_prep.size)
+    time_ratio = without.time / max(1e-9, with_prep.time)
+    benchmark.extra_info.update(
+        on_size=with_prep.size, off_size=without.size,
+        on_acc=round(with_prep.accuracy * 100, 3),
+        off_acc=round(without.accuracy * 100, 3),
+        size_ratio=round(size_ratio, 1),
+        time_ratio=round(time_ratio, 1))
+    print(f"\n{case_id}: prep-on size={with_prep.size} "
+          f"acc={with_prep.accuracy * 100:.3f}% | prep-off "
+          f"size={without.size} acc={without.accuracy * 100:.3f}% "
+          f"(size x{size_ratio:.1f}, time x{time_ratio:.1f})")
+    # Directions from the paper: templates win on size and accuracy.
+    assert with_prep.accuracy == 1.0
+    assert with_prep.accuracy >= without.accuracy
+    assert without.size >= with_prep.size
+
+
+def test_eco_unaffected_by_preprocessing(benchmark):
+    """The control arm: an ECO case learns identically either way."""
+    case = build_case("case_13")
+
+    def run_both():
+        on = run_case(case, _learner(True, 20), "prep-on",
+                      test_patterns=6000)
+        off = run_case(case, _learner(False, 20), "prep-off",
+                       test_patterns=6000)
+        return on, off
+
+    on, off = one_shot(benchmark, run_both)
+    benchmark.extra_info.update(on_acc=on.accuracy, off_acc=off.accuracy,
+                                on_size=on.size, off_size=off.size)
+    assert on.accuracy >= 0.9999
+    assert off.accuracy >= 0.9999

@@ -1,0 +1,83 @@
+"""Budget sweeps: accuracy/size as functions of the learner's resources.
+
+The paper's Table II is one point per case (2700 s); these benches trace
+the budget axis at prototype scale — how accuracy climbs with wall-clock
+on a hard NEQ case, and how support recall climbs with the sampling
+volume r (the knob the paper fixes at 7200).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import RegressorConfig
+from repro.core.regressor import LogicRegressor
+from repro.core.support import identify_supports
+from repro.eval.accuracy import accuracy
+from repro.eval.patterns import contest_test_patterns
+from repro.oracle.suite import build_case
+
+
+@pytest.mark.parametrize("budget", [5, 15, 40])
+def test_accuracy_vs_budget_hard_neq(benchmark, budget):
+    """case_5 (NEQ, 87 PI): the accuracy-vs-time series."""
+    case = build_case("case_5")
+
+    def run():
+        cfg = RegressorConfig(time_limit=budget, r_support=384)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        pats = contest_test_patterns(case.num_pis, total=9000,
+                                     rng=np.random.default_rng(1))
+        return result, accuracy(result.netlist, case.golden, pats)
+
+    result, acc = one_shot(benchmark, run)
+    benchmark.extra_info.update(budget=budget, size=result.gate_count,
+                                accuracy=round(acc * 100, 3))
+    # Even the tightest budget must beat coin-flipping the 16 outputs.
+    assert acc > 0.3
+
+
+def test_accuracy_improves_with_budget(benchmark):
+    """Monotone(ish) shape check on the series above."""
+    case = build_case("case_5")
+
+    def acc_at(budget):
+        cfg = RegressorConfig(time_limit=budget, r_support=384)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        pats = contest_test_patterns(case.num_pis, total=9000,
+                                     rng=np.random.default_rng(2))
+        return accuracy(result.netlist, case.golden, pats)
+
+    def run():
+        return acc_at(4), acc_at(30)
+
+    low, high = one_shot(benchmark, run)
+    benchmark.extra_info.update(low_budget_acc=round(low * 100, 3),
+                                high_budget_acc=round(high * 100, 3))
+    assert high >= low - 0.01
+
+
+@pytest.mark.parametrize("r", [32, 128, 512])
+def test_support_recall_vs_r(benchmark, r):
+    """S' recall on a hard ECO case as the paper's r grows."""
+    case = build_case("case_19")
+    golden = case.golden
+
+    def run():
+        info = identify_supports(case.oracle(), r=r,
+                                 rng=np.random.default_rng(3))
+        found = 0
+        total = 0
+        for j in range(golden.num_pos):
+            structural = set(golden.structural_support(j))
+            got = {golden.pi_names[i] for i in info.support_of(j)}
+            found += len(got & structural)
+            total += len(structural)
+        return found / max(1, total)
+
+    recall = one_shot(benchmark, run)
+    benchmark.extra_info.update(r=r, recall=round(recall, 3))
+    # S' is an under-approximation by design (Prop. 1 is one-sided);
+    # deep-AND dependencies keep recall below 1 even at large r.
+    if r >= 512:
+        assert recall > 0.6

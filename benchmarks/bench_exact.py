@@ -1,0 +1,52 @@
+"""Exact-synthesis benches: minimum-chain search cost and rewrite payoff."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.aig.aig import Aig
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import netlist_from_sops
+from repro.sat import are_equivalent
+from repro.synth.exact import exact_synthesis
+from repro.synth.rewrite import rewrite
+
+
+@pytest.mark.parametrize("name,fn,optimum", [
+    ("and2", lambda b: b[0] and b[1], 1),
+    ("xor2", lambda b: b[0] != b[1], 3),
+    ("mux", lambda b: b[1] if b[0] else b[2], 3),
+    ("maj3", lambda b: sum(b) >= 2, 4),
+    ("and4", lambda b: all(b), 3),
+])
+def test_exact_chain_search(benchmark, name, fn, optimum):
+    k = 2 if name in ("and2", "xor2") else (4 if name == "and4" else 3)
+    table = 0
+    for m in range(1 << k):
+        bits = [(m >> v) & 1 for v in range(k)]
+        if fn(bits):
+            table |= 1 << m
+
+    chain = one_shot(benchmark, exact_synthesis, table, k)
+    assert chain is not None and chain.size == optimum
+    benchmark.extra_info.update(function=name, gates=chain.size)
+
+
+def test_exact_rewrite_payoff(benchmark):
+    """Second exact-rewrite call is nearly free (NPN cache warm)."""
+    rng = np.random.default_rng(8)
+    cubes = []
+    for _ in range(30):
+        vars_ = rng.choice(7, size=int(rng.integers(2, 5)), replace=False)
+        cubes.append(Cube({int(v): int(rng.integers(0, 2))
+                           for v in vars_}))
+    net = netlist_from_sops([f"x{i}" for i in range(7)],
+                            [("f", Sop(cubes, 7), False)])
+    aig = Aig.from_netlist(net)
+    rewrite(aig, exact=True)  # warm the cache outside the timer
+
+    out = benchmark(rewrite, aig, exact=True)
+    assert are_equivalent(aig, out) is True
+    assert out.size() <= aig.size()
+    benchmark.extra_info.update(before=aig.size(), after=out.size())

@@ -1,0 +1,90 @@
+"""Sec. IV-C: sampling-strategy benches.
+
+The paper observes that mixing uneven 0/1 ratios into the random
+assignments finds a larger (better) approximate support S'.  These benches
+measure S' recall under uniform-only vs mixed biases, and the cost of
+PatternSampling as r grows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.sampling import pattern_sampling
+from repro.core.support import identify_supports
+from repro.logic.cube import Cube
+from repro.network.netlist import Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def wide_and_oracle(width=18, total=24):
+    """f = AND of `width` inputs — invisible to uniform sampling."""
+    net = Netlist("wide")
+    pis = [net.add_pi(f"i{k}") for k in range(total)]
+    acc = pis[0]
+    for p in pis[1:width]:
+        acc = net.add_and(acc, p)
+    net.add_po("f", acc)
+    return NetlistOracle(net), width
+
+
+@pytest.mark.parametrize("biases,label", [
+    ((0.5,), "uniform-only"),
+    ((0.5, 0.15, 0.85), "mixed-ratio"),
+])
+def test_support_recall_by_bias(benchmark, biases, label):
+    oracle, width = wide_and_oracle()
+
+    def run():
+        info = identify_supports(oracle, r=300,
+                                 rng=np.random.default_rng(7),
+                                 biases=biases)
+        return len(info.support_of(0))
+
+    found = one_shot(benchmark, run)
+    recall = found / width
+    benchmark.extra_info.update(strategy=label, found=found,
+                                true_support=width,
+                                recall=round(recall, 3))
+    if label == "mixed-ratio":
+        assert recall == 1.0  # the paper's "larger (better) S'"
+    else:
+        assert recall < 1.0  # uniform sampling provably starves here
+
+
+@pytest.mark.parametrize("r", [60, 240, 960])
+def test_pattern_sampling_cost(benchmark, r):
+    """Query cost and wall time of Algorithm 1 as r grows (r=60 is the
+    per-node setting; 7200 is the paper's support-identification scale)."""
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(64)]
+    net.add_po("f", net.add_xor(pis[3], net.add_and(pis[10], pis[40])))
+    oracle = NetlistOracle(net)
+    rng = np.random.default_rng(8)
+
+    def run():
+        oracle.reset_query_count()
+        stats = pattern_sampling(oracle, Cube.empty(), r, rng,
+                                 biases=(0.5, 0.15, 0.85))
+        return stats
+
+    stats = benchmark(run)
+    assert stats.support(0) == [3, 10, 40]
+    benchmark.extra_info.update(r=r, queries=oracle.query_count)
+
+
+def test_paper_scale_support_identification(benchmark):
+    """One full-scale call: r=7200 paired flips on a 48-input oracle —
+    the exact volume the paper uses — must stay tractable in Python."""
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(48)]
+    net.add_po("f", net.add_or(net.add_and(pis[0], pis[13]), pis[37]))
+    oracle = NetlistOracle(net)
+
+    def run():
+        return identify_supports(oracle, r=7200,
+                                 rng=np.random.default_rng(9))
+
+    info = one_shot(benchmark, run)
+    assert info.support_of(0) == [0, 13, 37]
+    benchmark.extra_info.update(r=7200, queries=oracle.query_count)

@@ -1,0 +1,129 @@
+"""Substrate throughput benches: simulation, SAT, BDD, minimization.
+
+These quantify the engineering that makes the paper's sampling volumes
+feasible in Python — bit-parallel simulation is the load-bearing wall —
+and track the SAT/BDD/minimizer costs the synthesis passes lean on.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.logic.bdd import Bdd
+from repro.logic.minimize import quine_mccluskey
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+from repro.network.builder import ripple_add
+from repro.network.netlist import Netlist
+from repro.network.simulate import simulate
+from repro.oracle.eco import build_eco_netlist
+from repro.sat import are_equivalent
+from repro.sat.solver import Solver, SolveResult
+
+
+def test_simulation_throughput(benchmark):
+    """Patterns/second through a 500-gate netlist (the oracle hot path)."""
+    net = build_eco_netlist(64, 8, seed=1, support_low=6,
+                            support_high=12, gates_per_output=30)
+    rng = np.random.default_rng(0)
+    pats = rng.integers(0, 2, (100000, 64)).astype(np.uint8)
+
+    out = benchmark(simulate, net, pats)
+    assert out.shape == (100000, 8)
+    benchmark.extra_info.update(
+        gates=net.gate_count(),
+        patterns_per_call=100000)
+
+
+def test_sat_pigeonhole(benchmark):
+    """PHP(7,6): a classic hard-UNSAT instance for CDCL."""
+    def build_and_solve():
+        def var(i, j):
+            return i * 6 + j + 1
+
+        s = Solver()
+        for i in range(7):
+            s.add_clause([var(i, j) for j in range(6)])
+        for j in range(6):
+            for i1 in range(7):
+                for i2 in range(i1 + 1, 7):
+                    s.add_clause([-var(i1, j), -var(i2, j)])
+        return s.solve(), s.num_conflicts
+
+    result, conflicts = one_shot(benchmark, build_and_solve)
+    assert result is SolveResult.UNSAT
+    benchmark.extra_info["conflicts"] = conflicts
+
+
+def test_sat_adder_equivalence(benchmark):
+    """Miter UNSAT proof for two 12-bit adders (the fraig workload)."""
+    def build(order):
+        net = Netlist(f"add{order}")
+        a = [net.add_pi(f"a{i}") for i in range(12)]
+        b = [net.add_pi(f"b{i}") for i in range(12)]
+        args = (a, b) if order else (b, a)
+        for i, s in enumerate(ripple_add(net, *args, 12)):
+            net.add_po(f"s{i}", s)
+        return net
+
+    left, right = build(True), build(False)
+    verdict = one_shot(benchmark, are_equivalent, left, right)
+    assert verdict is True
+
+
+def test_bdd_adder_msb(benchmark):
+    """BDD build of a 10-bit adder MSB (quadratic-size function)."""
+    def run():
+        bdd = Bdd(20)
+        # Interleaved order keeps the adder polynomial.
+        a = [bdd.variable(2 * i) for i in range(10)]
+        b = [bdd.variable(2 * i + 1) for i in range(10)]
+        carry = bdd.ZERO
+        s = bdd.ZERO
+        for i in range(10):
+            axb = bdd.apply_xor(a[i], b[i])
+            s = bdd.apply_xor(axb, carry)
+            carry = bdd.apply_or(bdd.apply_and(a[i], b[i]),
+                                 bdd.apply_and(axb, carry))
+        return bdd, s
+
+    bdd, s = one_shot(benchmark, run)
+    benchmark.extra_info["nodes"] = bdd.node_count(s)
+    assert bdd.node_count(s) > 10
+
+
+def test_qm_8var(benchmark):
+    """Quine-McCluskey on a random dense 8-variable onset."""
+    rng = np.random.default_rng(5)
+    onset = sorted(int(m) for m in
+                   rng.choice(256, size=100, replace=False))
+
+    cover = benchmark(quine_mccluskey, onset, 8)
+    got = set(TruthTable.from_sop(cover).minterms())
+    assert got == set(onset)
+    benchmark.extra_info["cubes"] = len(cover)
+
+
+def test_lut_mapping(benchmark):
+    """4-LUT mapping of a learned-scale circuit."""
+    from repro.aig.aig import Aig
+    from repro.synth.lutmap import map_luts
+
+    net = build_eco_netlist(32, 6, seed=2, support_low=5,
+                            support_high=10, gates_per_output=20)
+    aig = Aig.from_netlist(net)
+
+    mapping = benchmark(map_luts, aig, 4)
+    assert 0 < mapping.num_luts < aig.size()
+    benchmark.extra_info.update(ands=aig.size(), luts=mapping.num_luts,
+                                depth=mapping.depth)
+
+
+def test_isop_12var(benchmark):
+    """ISOP extraction on a structured 12-variable function."""
+    tt = TruthTable.from_function(
+        lambda b: (sum(b[:6]) > 3) or (b[6] and b[11]), 12)
+
+    cover = benchmark(lambda: tt.isop())
+    assert TruthTable.from_sop(cover) == tt
+    benchmark.extra_info["cubes"] = len(cover)

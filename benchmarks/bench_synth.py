@@ -1,0 +1,88 @@
+"""Sec. IV-E: circuit-optimization benches (the ABC-substitute).
+
+Measures what the postprocessing stage buys on exactly the artifacts the
+learner produces — flat learned SOPs and template blocks — plus the cost
+of the individual passes, mirroring the paper's use of dc2 / rewrite /
+resyn3 (favoured) and compress2rs (occasional) under a time cap.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.aig.aig import Aig
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import build_sop, netlist_from_sops
+from repro.network.netlist import Netlist
+from repro.sat import are_equivalent
+from repro.synth import (balance, collapse, fraig, optimize_netlist,
+                         refactor, rewrite)
+
+
+def learned_like_sop_net(seed=11, num_vars=10, num_cubes=48):
+    """A flat OR-of-cubes circuit, as FBDT leaves produce."""
+    rng = np.random.default_rng(seed)
+    cubes = []
+    for _ in range(num_cubes):
+        size = int(rng.integers(3, 7))
+        vars_ = rng.choice(num_vars, size=size, replace=False)
+        cubes.append(Cube({int(v): int(rng.integers(0, 2))
+                           for v in vars_}))
+    sop = Sop(cubes, num_vars)
+    net = Netlist("flat")
+    nodes = [net.add_pi(f"x{i}") for i in range(num_vars)]
+    net.add_po("f", build_sop(net, sop, nodes))
+    return net
+
+
+@pytest.mark.parametrize("pass_name", ["balance", "rewrite", "refactor",
+                                       "fraig", "collapse"])
+def test_single_pass_cost(benchmark, pass_name):
+    net = learned_like_sop_net()
+    aig = Aig.from_netlist(net)
+    passes = {"balance": balance, "rewrite": rewrite,
+              "refactor": refactor,
+              "fraig": lambda a: fraig(a, rng=np.random.default_rng(0)),
+              "collapse": lambda a: collapse(a, max_support=12)}
+    fn = passes[pass_name]
+
+    out = benchmark(fn, aig)
+    benchmark.extra_info.update(before=aig.size(), after=out.size())
+    assert out.size() <= aig.size() * 2  # passes never explode
+
+
+def test_full_optimization_on_learned_sop(benchmark):
+    net = learned_like_sop_net()
+
+    def run():
+        return optimize_netlist(net, time_limit=20,
+                                rng=np.random.default_rng(1),
+                                max_iterations=4)
+
+    optimized, report = one_shot(benchmark, run)
+    benchmark.extra_info.update(before=net.gate_count(),
+                                after=optimized.gate_count(),
+                                reduction=round(report.reduction, 3),
+                                scripts="/".join(report.scripts_run))
+    assert optimized.gate_count() < net.gate_count()
+    assert are_equivalent(net, optimized) is True
+
+
+def test_optimization_is_equivalence_preserving_under_fuzzing(benchmark):
+    """Randomized netlists through the full script pipeline + SAT check."""
+    def run():
+        rng = np.random.default_rng(2)
+        worst_ratio = 1.0
+        for seed in range(4):
+            net = learned_like_sop_net(seed=seed + 50, num_vars=8,
+                                       num_cubes=20)
+            optimized, _ = optimize_netlist(net, time_limit=6, rng=rng,
+                                            max_iterations=2)
+            assert are_equivalent(net, optimized) is True
+            worst_ratio = min(worst_ratio, optimized.gate_count()
+                              / max(1, net.gate_count()))
+        return worst_ratio
+
+    ratio = one_shot(benchmark, run)
+    benchmark.extra_info["best_reduction_ratio"] = round(ratio, 3)

@@ -1,0 +1,93 @@
+"""Table I: the two template families, matched end-to-end.
+
+The paper's Table I lists the comparator family (six predicates, var/var
+and var/const) and the linear-arithmetic family.  This bench times a full
+match of every family member against a black-box oracle and asserts the
+match is found — regenerating the table as executable rows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.grouping import group_names
+from repro.core.templates.comparator import match_comparator
+from repro.core.templates.linear import match_linear
+from repro.network.builder import comparator, comparator_const
+from repro.network.netlist import Netlist
+from repro.oracle.data import build_data_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+PREDICATES = ["==", "!=", "<", "<=", ">", ">="]
+
+
+def _pair_oracle(predicate, width=8):
+    net = Netlist("t")
+    a = [net.add_pi(f"a[{i}]") for i in range(width)]
+    b = [net.add_pi(f"b[{i}]") for i in range(width)]
+    net.add_po("z", comparator(net, predicate, a, b))
+    return NetlistOracle(net)
+
+
+def _const_oracle(predicate, constant, width=8):
+    net = Netlist("t")
+    a = [net.add_pi(f"a[{i}]") for i in range(width)]
+    net.add_po("z", comparator_const(net, predicate, a, constant))
+    return NetlistOracle(net)
+
+
+@pytest.mark.parametrize("predicate", PREDICATES)
+def test_comparator_var_var(benchmark, predicate):
+    oracle = _pair_oracle(predicate)
+    grouping = group_names(oracle.pi_names)
+
+    def run():
+        return match_comparator(oracle, grouping, 0,
+                                np.random.default_rng(1),
+                                num_samples=192)
+
+    match = one_shot(benchmark, run)
+    assert match is not None and match.right is not None
+    benchmark.extra_info["template"] = f"z = N_v1 {predicate} N_v2"
+    benchmark.extra_info["queries"] = oracle.query_count
+
+
+@pytest.mark.parametrize("predicate,constant", [
+    ("<", 97), ("<=", 200), (">", 31), (">=", 128), ("==", 45), ("!=", 77),
+])
+def test_comparator_var_const(benchmark, predicate, constant):
+    oracle = _const_oracle(predicate, constant)
+    grouping = group_names(oracle.pi_names)
+
+    def run():
+        return match_comparator(oracle, grouping, 0,
+                                np.random.default_rng(2),
+                                num_samples=320)
+
+    match = one_shot(benchmark, run)
+    assert match is not None and match.right is None
+    benchmark.extra_info["template"] = f"z = N_v1 {predicate} {constant}"
+    benchmark.extra_info["recovered_constant"] = match.constant
+    benchmark.extra_info["queries"] = oracle.query_count
+
+
+def test_linear_arithmetic(benchmark):
+    net, specs = build_data_netlist(seed=3, num_in_buses=3, in_width=8,
+                                    out_width=12)
+    oracle = NetlistOracle(net)
+    pi_grouping = group_names(oracle.pi_names)
+    out_bus = group_names(oracle.po_names).buses[0]
+
+    def run():
+        return match_linear(oracle, pi_grouping, out_bus,
+                            np.random.default_rng(3), num_samples=192)
+
+    match = one_shot(benchmark, run)
+    assert match is not None
+    spec = specs[0]
+    got = {bus.stem: c for bus, c in zip(match.in_buses,
+                                         match.coefficients)}
+    for name, coeff in zip(spec.in_buses, spec.coefficients):
+        assert got[name] == coeff
+    benchmark.extra_info["template"] = match.describe()
+    benchmark.extra_info["queries"] = oracle.query_count

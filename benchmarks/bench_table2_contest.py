@@ -1,0 +1,96 @@
+"""Table II: the 20-case contest comparison (prototype-scale).
+
+Runs our learner and the two baseline archetypes on the contest suite and
+prints Table II-style rows (size / accuracy / time per learner, with the
+paper's "Ours" column for reference).  Budgets are scaled for CI; the full
+run lives in ``examples/contest_evaluation.py``.
+
+Shape checks asserted per category, mirroring the paper's findings:
+  - DIAG and DATA are solved by templates at 100% accuracy;
+  - easy ECO/NEQ cases reach the contest bar with small circuits;
+  - our circuits are (much) smaller than the memorizing baseline's.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.baselines import CartLearner, MemorizingLearner
+from repro.core.config import RegressorConfig
+from repro.core.regressor import LogicRegressor
+from repro.eval.harness import run_case
+from repro.eval.reporting import format_table
+from repro.oracle.suite import build_case
+
+# Scaled budgets: (case_id, learner seconds).  The four hard NEQ/ECO cases
+# get more; template categories need almost nothing.
+FAST_CASES = [
+    ("case_2", 20), ("case_3", 20), ("case_7", 10), ("case_8", 20),
+    ("case_10", 10), ("case_12", 20), ("case_13", 10), ("case_16", 10),
+    ("case_20", 15),
+]
+HARD_CASES = [("case_4", 30), ("case_5", 45), ("case_11", 45)]
+
+_RESULTS = []
+
+
+def _ours(time_limit):
+    def learner(oracle):
+        cfg = RegressorConfig(time_limit=time_limit, r_support=384)
+        return LogicRegressor(cfg).learn(oracle).netlist
+    return learner
+
+
+@pytest.mark.parametrize("case_id,budget", FAST_CASES + HARD_CASES)
+def test_ours_on_case(benchmark, case_id, budget):
+    case = build_case(case_id)
+    result = one_shot(benchmark, run_case, case, _ours(budget), "ours",
+                      test_patterns=9000)
+    _RESULTS.append(result)
+    benchmark.extra_info.update(
+        size=result.size, accuracy=round(result.accuracy * 100, 3),
+        paper_size=result.paper_size,
+        paper_accuracy=result.paper_accuracy)
+    if case.category in ("DIAG", "DATA"):
+        # Paper: template categories are solved exactly.
+        assert result.accuracy == 1.0
+    elif case_id in ("case_7", "case_10", "case_13"):
+        # Easy ECO/NEQ rows that every contestant solved exactly.
+        assert result.accuracy >= 0.9999
+    else:
+        # Hard rows: stay within a sane band of the paper's shape.
+        assert result.accuracy >= 0.95
+
+
+@pytest.mark.parametrize("case_id", ["case_8", "case_13"])
+def test_baselines_on_case(benchmark, case_id):
+    """Baseline columns for two representative rows: the tree baseline is
+    workable on small ECO but inflates on DIAG; the memorizer inflates
+    everywhere (the 2nd-place shape)."""
+    case = build_case(case_id)
+
+    def run_all():
+        cart = run_case(case, CartLearner(num_samples=8000, seed=1),
+                        "cart", test_patterns=6000)
+        memo = run_case(case, MemorizingLearner(num_samples=1500, seed=1),
+                        "memorize", test_patterns=6000)
+        ours = run_case(case, _ours(20), "ours", test_patterns=6000)
+        return cart, memo, ours
+
+    cart, memo, ours = one_shot(benchmark, run_all)
+    _RESULTS.extend([cart, memo, ours])
+    benchmark.extra_info.update(
+        ours_size=ours.size, cart_size=cart.size, memo_size=memo.size,
+        ours_acc=round(ours.accuracy * 100, 3),
+        cart_acc=round(cart.accuracy * 100, 3),
+        memo_acc=round(memo.accuracy * 100, 3))
+    # The paper's headline: our circuits are smaller at >= accuracy.
+    assert ours.accuracy >= cart.accuracy - 1e-9
+    assert ours.size < memo.size
+
+
+def test_zz_print_table2():
+    """Render the collected rows as a Table II-style report (runs last)."""
+    if _RESULTS:
+        print()
+        print(format_table(_RESULTS))

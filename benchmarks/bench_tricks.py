@@ -1,0 +1,136 @@
+"""Sec. IV-D tricks 1-3 as ablation benches.
+
+Trick 1 — conquering small functions: exhaustive enumeration vs forcing
+the tree on a small-support output (accuracy and node count).
+Trick 2 — onset/offset selection: a dense function realized with vs
+without the complement option (circuit size).
+Trick 3 — early stopping: leaf-epsilon sweep on a near-constant-noise
+function (nodes expanded vs accuracy).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import fast_config
+from repro.core.fbdt import build_decision_tree, learn_output
+from repro.network.builder import build_factored_sop
+from repro.network.netlist import Netlist
+from repro.oracle.function_oracle import FunctionOracle
+
+
+def _oracle(fn, num_pis):
+    return FunctionOracle(
+        lambda p: fn(p).astype(np.uint8).reshape(-1, 1),
+        [f"x{i}" for i in range(num_pis)], ["f"])
+
+
+def _accuracy(cover, fn, num_pis, n=4000):
+    rng = np.random.default_rng(0)
+    pats = rng.integers(0, 2, (n, num_pis)).astype(np.uint8)
+    return float((cover.evaluate(pats) == fn(pats).astype(np.uint8))
+                 .mean())
+
+
+@pytest.mark.parametrize("mode", ["exhaustive", "tree"])
+def test_trick1_small_function_conquest(benchmark, mode):
+    """|S'| = 10 function: the exhaustive path is exact and cheap."""
+    fn = lambda p: ((p[:, :10].sum(axis=1) % 3) == 1).astype(np.uint8)
+    oracle = _oracle(fn, 12)
+    threshold = 12 if mode == "exhaustive" else 0
+    cfg = fast_config(exhaustive_threshold=threshold, r_node=32,
+                      leaf_samples=48)
+    rng = np.random.default_rng(1)
+
+    def run():
+        return learn_output(oracle, 0, list(range(10)), cfg, rng)
+
+    cover = one_shot(benchmark, run)
+    acc = _accuracy(cover, fn, 12)
+    benchmark.extra_info.update(mode=mode, accuracy=round(acc * 100, 3),
+                                queries=oracle.query_count,
+                                exhausted=cover.stats.exhausted)
+    if mode == "exhaustive":
+        assert cover.stats.exhausted
+        assert acc == 1.0
+
+
+@pytest.mark.parametrize("selection", ["onset-only", "onset-offset"])
+def test_trick2_onset_offset_choice(benchmark, selection):
+    """A ~94%-dense function: the offset realization is far smaller."""
+    fn = lambda p: (~(p[:, 0] & p[:, 1] & p[:, 2] & p[:, 3]) & 1) \
+        .astype(np.uint8)
+    oracle = _oracle(fn, 6)
+    cfg = fast_config(exhaustive_threshold=0,
+                      onset_offset_selection=(selection == "onset-offset"),
+                      r_node=64, leaf_samples=96)
+    rng = np.random.default_rng(2)
+
+    def run():
+        return build_decision_tree(oracle, 0, [0, 1, 2, 3], cfg, rng)
+
+    cover = one_shot(benchmark, run)
+    sop, complemented = cover.chosen_cover()
+    net = Netlist("t")
+    nodes = [net.add_pi(f"x{i}") for i in range(6)]
+    net.add_po("f", build_factored_sop(net, sop, nodes,
+                                       complement=complemented))
+    acc = _accuracy(cover, fn, 6)
+    benchmark.extra_info.update(selection=selection,
+                                gates=net.gate_count(),
+                                cubes=len(sop),
+                                accuracy=round(acc * 100, 3))
+    assert acc == 1.0
+    if selection == "onset-offset":
+        assert complemented  # dense function -> offset realization
+        assert len(sop) == 1
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.02, 0.1])
+def test_trick3_early_stopping(benchmark, epsilon):
+    """f = wide-OR plus a tiny 'noise' minterm: epsilon > 0 prunes the
+    deep chase of the noise at a small accuracy cost."""
+    def fn(p):
+        main = p[:, :4].any(axis=1)
+        noise = (p[:, 4:12] == 1).all(axis=1)
+        return (main ^ noise).astype(np.uint8)
+
+    oracle = _oracle(fn, 12)
+    cfg = fast_config(exhaustive_threshold=0, leaf_epsilon=epsilon,
+                      r_node=32, leaf_samples=64, max_tree_nodes=2048)
+    rng = np.random.default_rng(3)
+
+    def run():
+        return build_decision_tree(oracle, 0, list(range(12)), cfg, rng)
+
+    cover = one_shot(benchmark, run)
+    acc = _accuracy(cover, fn, 12, n=8000)
+    benchmark.extra_info.update(epsilon=epsilon,
+                                nodes=cover.stats.nodes_expanded,
+                                accuracy=round(acc * 100, 3))
+    assert acc >= 0.99  # the noise term is ~0.4% of the space
+
+
+def test_trick3_epsilon_reduces_nodes(benchmark):
+    """Direct comparison: eps=0.1 must expand no more nodes than eps=0."""
+    def fn(p):
+        main = p[:, :4].any(axis=1)
+        noise = (p[:, 4:12] == 1).all(axis=1)
+        return (main ^ noise).astype(np.uint8)
+
+    def nodes_for(eps):
+        oracle = _oracle(fn, 12)
+        cfg = fast_config(exhaustive_threshold=0, leaf_epsilon=eps,
+                          r_node=32, leaf_samples=64,
+                          max_tree_nodes=2048)
+        cover = build_decision_tree(oracle, 0, list(range(12)), cfg,
+                                    np.random.default_rng(4))
+        return cover.stats.nodes_expanded
+
+    def run():
+        return nodes_for(0.0), nodes_for(0.1)
+
+    exact_nodes, eager_nodes = one_shot(benchmark, run)
+    benchmark.extra_info.update(exact_nodes=exact_nodes,
+                                eager_nodes=eager_nodes)
+    assert eager_nodes <= exact_nodes

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks regenerate the paper's tables/figures at prototype scale: each
+bench prints the same row structure the paper reports and stores the
+measured values in ``benchmark.extra_info`` so the JSON export carries them.
+
+Budgets here are intentionally small (seconds per case, not the contest's
+2700 s); ``examples/contest_evaluation.py`` runs the full-scale version.
+"""
+
+import numpy as np
+import pytest
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run an expensive end-to-end flow exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20191107)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Ablation study: what each design choice of the paper buys.
+
+Runs the learner on a fixed mini-suite (one case per category) with one
+knob disabled at a time and prints a size/accuracy/time delta table:
+
+- preprocessing off        (the paper's own Sec. V ablation)
+- uniform-only sampling    (Sec. IV-C's uneven-ratio observation)
+- onset-only covers        (trick 2)
+- exhaustion disabled      (trick 1)
+- depth-first exploration  (the "explore evenly" guidance)
+- optimization off         (Sec. IV-E)
+- extension templates off  (our Sec. VI future-work families)
+
+Run:  python examples/ablation_study.py [--budget 30]
+"""
+
+import argparse
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core.config import RegressorConfig
+from repro.core.regressor import LogicRegressor
+from repro.eval import accuracy, contest_test_patterns
+from repro.oracle.suite import build_case
+
+MINI_SUITE = ["case_16", "case_12", "case_13", "case_10"]
+
+ABLATIONS = [
+    ("baseline", {}),
+    ("no-preprocessing", {"enable_preprocessing": False}),
+    ("uniform-sampling", {"sampling_biases": (0.5,)}),
+    ("onset-only", {"onset_offset_selection": False}),
+    ("no-exhaustion", {"exhaustive_threshold": 0,
+                       "subtree_exhaustive_threshold": 0}),
+    ("depth-first", {"levelized": False}),
+    ("no-optimization", {"enable_optimization": False}),
+    ("no-extensions", {"enable_extended_templates": False,
+                       "try_reversed_buses": False}),
+]
+
+
+def run_variant(label, overrides, budget):
+    total_size = 0
+    total_time = 0.0
+    accs = []
+    for case_id in MINI_SUITE:
+        case = build_case(case_id)
+        config = RegressorConfig(time_limit=budget, r_support=384,
+                                 **overrides)
+        t0 = time.monotonic()
+        result = LogicRegressor(config).learn(case.oracle())
+        total_time += time.monotonic() - t0
+        total_size += result.gate_count
+        patterns = contest_test_patterns(
+            case.num_pis, total=9000, rng=np.random.default_rng(7))
+        accs.append(accuracy(result.netlist, case.golden, patterns))
+    mean_acc = sum(accs) / len(accs)
+    return total_size, mean_acc, total_time
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=30.0)
+    args = parser.parse_args()
+
+    print(f"mini-suite: {', '.join(MINI_SUITE)} "
+          f"(budget {args.budget:.0f}s per case)\n")
+    header = (f"{'variant':18s} {'total size':>11s} {'mean acc%':>10s} "
+              f"{'total time':>11s}")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for label, overrides in ABLATIONS:
+        size, acc, elapsed = run_variant(label, overrides, args.budget)
+        marker = ""
+        if label == "baseline":
+            baseline = (size, acc)
+        elif baseline:
+            ds = size / max(1, baseline[0])
+            da = (acc - baseline[1]) * 100
+            marker = f"   (size x{ds:.1f}, acc {da:+.3f}pp)"
+        print(f"{label:18s} {size:11d} {acc * 100:10.3f} "
+              f"{elapsed:10.1f}s{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Full Table II reproduction: all 20 contest cases, ours vs baselines.
+
+Prints the complete Table II analogue (size / accuracy / time per learner,
+paper's "Ours" reference columns appended) plus the per-category summary
+the paper narrates.  Runtime scales with ``--budget`` (seconds per case
+for our learner); the default finishes in roughly 15-25 minutes.
+
+Run:  python examples/contest_evaluation.py [--budget 60] [--cases case_1,case_4]
+      python examples/contest_evaluation.py --quick   # template cases only
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.baselines import CartLearner, MemorizingLearner
+from repro.core.config import RegressorConfig
+from repro.core.regressor import LogicRegressor
+from repro.eval.harness import run_suite
+from repro.eval.reporting import format_table, summarize_by_category
+from repro.oracle.suite import contest_suite
+
+QUICK_CASES = ["case_2", "case_3", "case_7", "case_8", "case_10",
+               "case_12", "case_13", "case_16", "case_20"]
+
+
+def make_ours(budget: float):
+    def learner(oracle):
+        config = RegressorConfig(time_limit=budget, r_support=512)
+        return LogicRegressor(config).learn(oracle).netlist
+    return learner
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="seconds per case for our learner")
+    parser.add_argument("--cases", type=str, default=None,
+                        help="comma-separated case ids (default: all 20)")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the fast template-friendly cases")
+    parser.add_argument("--no-baselines", action="store_true",
+                        help="skip the CART / memorizer columns")
+    parser.add_argument("--patterns", type=int, default=30000,
+                        help="test patterns per case (contest: 1.5M)")
+    args = parser.parse_args()
+
+    if args.cases:
+        case_ids = args.cases.split(",")
+    elif args.quick:
+        case_ids = QUICK_CASES
+    else:
+        case_ids = None
+    cases = contest_suite(case_ids)
+
+    learners = {"ours": make_ours(args.budget)}
+    if not args.no_baselines:
+        learners["cart"] = CartLearner(num_samples=20000, seed=1,
+                                       time_limit=args.budget)
+        learners["memorize"] = MemorizingLearner(num_samples=800, max_cubes=400, seed=1)
+
+    results = run_suite(cases, learners, test_patterns=args.patterns,
+                        rng=np.random.default_rng(20191107), verbose=True)
+
+    print("\n" + format_table(results))
+    print("\n" + summarize_by_category(results))
+
+    ours = [r for r in results if r.learner == "ours"]
+    passed = sum(1 for r in ours if r.meets_contest_bar)
+    print(f"\nours: {passed}/{len(ours)} cases meet the contest bar "
+          f"(accuracy >= 99.99%)")
+
+
+if __name__ == "__main__":
+    main()

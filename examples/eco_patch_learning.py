@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""ECO scenario: learning patch logic and exporting it for integration.
+
+Engineering-change-order flows need the *logic difference* between a
+spec and an implementation as a small patch circuit.  Here the black box
+plays that patch: many outputs, each depending on a small input subset.
+The learner identifies each output's support, conquers the small functions
+exhaustively (Sec. IV-D trick 1), optimizes, and writes BLIF + Verilog
+for downstream tools.
+
+Run:  python examples/eco_patch_learning.py
+"""
+
+import io
+
+import numpy as np
+
+from repro import LogicRegressor, RegressorConfig
+from repro.eval import accuracy, contest_test_patterns
+from repro.network.blif import read_blif, write_blif
+from repro.network.verilog import write_verilog
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.sat import are_equivalent
+
+
+def main() -> None:
+    golden = build_eco_netlist(num_pis=48, num_pos=10, seed=7,
+                               support_low=3, support_high=9,
+                               gates_per_output=12)
+    oracle = NetlistOracle(golden)
+    print(f"patch under learning: {golden.num_pis} inputs, "
+          f"{golden.num_pos} outputs, hidden size "
+          f"{golden.gate_count()} gates")
+
+    config = RegressorConfig(time_limit=60.0, r_support=512)
+    result = LogicRegressor(config).learn(oracle)
+
+    patterns = contest_test_patterns(golden.num_pis, total=30000)
+    acc = accuracy(result.netlist, golden, patterns)
+    print(f"\nlearned: {result.gate_count} gates, "
+          f"accuracy {acc * 100:.4f}%, {result.elapsed:.1f}s")
+    print("per-output supports found:")
+    for report in result.reports:
+        print(f"  {report.po_name:8s} |S'|={report.support_size:2d} "
+              f"via {report.method}")
+
+    # Export for integration and check the exports are faithful.
+    blif_buf = io.StringIO()
+    write_blif(result.netlist, blif_buf)
+    blif_text = blif_buf.getvalue()
+    reread = read_blif(io.StringIO(blif_text))
+    assert are_equivalent(result.netlist, reread) is True
+    print(f"\nBLIF export: {len(blif_text.splitlines())} lines "
+          "(round-trip verified equivalent by SAT)")
+
+    verilog_buf = io.StringIO()
+    write_verilog(result.netlist, verilog_buf)
+    print(f"Verilog export: "
+          f"{len(verilog_buf.getvalue().splitlines())} lines")
+    print("\nfirst Verilog lines:")
+    for line in verilog_buf.getvalue().splitlines()[:8]:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

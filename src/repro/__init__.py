@@ -1,0 +1,30 @@
+"""repro — circuit learning for logic regression on high-dimensional
+Boolean space.
+
+A from-scratch Python reproduction of Chen, Huang, Lee, Jiang (DAC 2020):
+the winning entry of the 2019 ICCAD CAD Contest Problem A.  The package
+bundles the learner (:class:`LogicRegressor`), the Boolean/circuit/SAT/
+synthesis substrates it stands on, synthetic contest-style benchmark
+oracles, and a contest-faithful evaluation harness.
+
+Quickstart::
+
+    from repro import LogicRegressor, RegressorConfig
+    from repro.oracle import contest_suite
+    from repro.eval import contest_test_patterns, accuracy
+
+    case = contest_suite(["case_16"])[0]
+    result = LogicRegressor(RegressorConfig(time_limit=30)).learn(case.oracle())
+    pats = contest_test_patterns(case.num_pis, total=10000)
+    print(result.gate_count, accuracy(result.netlist, case.golden, pats))
+"""
+
+from repro.core import LearnResult, LogicRegressor, RegressorConfig
+from repro.network import Netlist
+from repro.oracle import FunctionOracle, NetlistOracle, Oracle, contest_suite
+
+__version__ = "1.0.0"
+
+__all__ = ["LogicRegressor", "RegressorConfig", "LearnResult", "Netlist",
+           "Oracle", "NetlistOracle", "FunctionOracle", "contest_suite",
+           "__version__"]

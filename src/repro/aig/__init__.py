@@ -1,0 +1,5 @@
+"""And-Inverter Graph substrate: structural hashing, cuts, conversion."""
+
+from repro.aig.aig import Aig
+
+__all__ = ["Aig"]

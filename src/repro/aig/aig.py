@@ -1,0 +1,345 @@
+"""Structurally hashed And-Inverter Graphs with complemented edges.
+
+The optimization stage of the paper delegates to ABC (Sec. IV-E); our
+mini-ABC operates on this AIG.  Literal encoding follows the AIGER
+convention: literal = 2*node + complement-bit, node 0 is constant false,
+nodes ``1..num_pis`` are the primary inputs, higher nodes are 2-input ANDs.
+
+Structural hashing plus the constant/idempotence rewrite rules run on every
+``and_()`` call, so simply rebuilding a network through an :class:`Aig` is
+already a cleanup pass (ABC's ``strash``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.network.netlist import GateOp, Netlist
+
+FALSE = 0
+TRUE = 1
+
+
+def lit(node: int, complemented: bool = False) -> int:
+    return 2 * node + int(complemented)
+
+
+def lit_node(literal: int) -> int:
+    return literal >> 1
+
+
+def lit_compl(literal: int) -> int:
+    return literal & 1
+
+
+def lit_not(literal: int) -> int:
+    return literal ^ 1
+
+
+class Aig:
+    """A combinational AIG."""
+
+    def __init__(self, num_pis: int = 0,
+                 pi_names: Optional[Sequence[str]] = None):
+        if pi_names is not None:
+            if num_pis and num_pis != len(pi_names):
+                raise ValueError("num_pis disagrees with pi_names")
+            self.pi_names = list(pi_names)
+        else:
+            self.pi_names = [f"i{k}" for k in range(num_pis)]
+        self.num_pis = len(self.pi_names)
+        # fanin literals per AND node; index 0 unused for const, PIs empty.
+        self._fanin0: List[int] = [0] * (self.num_pis + 1)
+        self._fanin1: List[int] = [0] * (self.num_pis + 1)
+        self._strash: Dict[Tuple[int, int], int] = {}
+        self.po_lits: List[int] = []
+        self.po_names: List[str] = []
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes including constant and PIs."""
+        return len(self._fanin0)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._fanin0) - 1 - self.num_pis
+
+    def is_pi(self, node: int) -> bool:
+        return 1 <= node <= self.num_pis
+
+    def is_and(self, node: int) -> bool:
+        return node > self.num_pis
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """Fanin literals of an AND node."""
+        if not self.is_and(node):
+            raise ValueError(f"node {node} is not an AND")
+        return self._fanin0[node], self._fanin1[node]
+
+    def pi_lit(self, index: int) -> int:
+        if not 0 <= index < self.num_pis:
+            raise ValueError(f"no PI with index {index}")
+        return lit(index + 1)
+
+    # -- construction --------------------------------------------------------------
+
+    def and_(self, a: int, b: int) -> int:
+        """Hashed AND of two literals with local simplification."""
+        if a > b:
+            a, b = b, a
+        if a == FALSE or a == lit_not(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if a == b:
+            return a
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._fanin0)
+            self._fanin0.append(a)
+            self._fanin1.append(b)
+            self._strash[key] = node
+        return lit(node)
+
+    def or_(self, a: int, b: int) -> int:
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, lit_not(b)),
+                        self.and_(lit_not(a), b))
+
+    def mux_(self, sel: int, when1: int, when0: int) -> int:
+        return self.or_(self.and_(sel, when1),
+                        self.and_(lit_not(sel), when0))
+
+    def and_many(self, literals: Iterable[int]) -> int:
+        """Balanced conjunction of arbitrarily many literals."""
+        lits = list(literals)
+        if not lits:
+            return TRUE
+        while len(lits) > 1:
+            nxt = [self.and_(lits[i], lits[i + 1])
+                   for i in range(0, len(lits) - 1, 2)]
+            if len(lits) % 2:
+                nxt.append(lits[-1])
+            lits = nxt
+        return lits[0]
+
+    def or_many(self, literals: Iterable[int]) -> int:
+        return lit_not(self.and_many(lit_not(l) for l in literals))
+
+    def add_po(self, literal: int, name: Optional[str] = None) -> None:
+        self.po_lits.append(literal)
+        self.po_names.append(name if name is not None
+                             else f"o{len(self.po_names)}")
+
+    # -- traversal -------------------------------------------------------------------
+
+    def reachable(self) -> Set[int]:
+        """AND nodes in the transitive fanin of the POs."""
+        seen: Set[int] = set()
+        stack = [lit_node(l) for l in self.po_lits]
+        while stack:
+            n = stack.pop()
+            if n in seen or not self.is_and(n):
+                continue
+            seen.add(n)
+            stack.append(lit_node(self._fanin0[n]))
+            stack.append(lit_node(self._fanin1[n]))
+        return seen
+
+    def size(self) -> int:
+        """Number of PO-reachable AND nodes (the AIG size metric)."""
+        return len(self.reachable())
+
+    def levels(self) -> List[int]:
+        out = [0] * self.num_nodes
+        for n in range(self.num_pis + 1, self.num_nodes):
+            out[n] = 1 + max(out[lit_node(self._fanin0[n])],
+                             out[lit_node(self._fanin1[n])])
+        return out
+
+    def depth(self) -> int:
+        if not self.po_lits:
+            return 0
+        levels = self.levels()
+        return max(levels[lit_node(l)] for l in self.po_lits)
+
+    def ref_counts(self) -> List[int]:
+        refs = [0] * self.num_nodes
+        for n in self.reachable():
+            refs[lit_node(self._fanin0[n])] += 1
+            refs[lit_node(self._fanin1[n])] += 1
+        for l in self.po_lits:
+            refs[lit_node(l)] += 1
+        return refs
+
+    # -- simulation -----------------------------------------------------------------
+
+    def simulate_words(self, pi_words: np.ndarray) -> List[np.ndarray]:
+        """Word-parallel values for all nodes; ``pi_words`` is (num_pis, W)."""
+        num_words = pi_words.shape[1] if self.num_pis else 1
+        values: List[np.ndarray] = [None] * self.num_nodes  # type: ignore
+        values[0] = np.zeros(num_words, dtype=np.uint64)
+        for k in range(self.num_pis):
+            values[k + 1] = pi_words[k]
+        for n in range(self.num_pis + 1, self.num_nodes):
+            a = self._lit_words(values, self._fanin0[n])
+            b = self._lit_words(values, self._fanin1[n])
+            values[n] = a & b
+        return values
+
+    def _lit_words(self, values: List[np.ndarray], literal: int) -> np.ndarray:
+        v = values[lit_node(literal)]
+        return ~v if lit_compl(literal) else v
+
+    def simulate(self, patterns: np.ndarray) -> np.ndarray:
+        """Evaluate on a ``(N, num_pis)`` 0/1 array -> ``(N, num_pos)``."""
+        from repro.network.simulate import pack_patterns, unpack_values
+
+        patterns = np.asarray(patterns)
+        pi_words = pack_patterns(patterns)
+        values = self.simulate_words(pi_words)
+        po_words = np.stack(
+            [self._lit_words(values, l) for l in self.po_lits]) \
+            if self.po_lits else np.zeros((0, 1), dtype=np.uint64)
+        return unpack_values(po_words, patterns.shape[0]).astype(np.uint8)
+
+    # -- conversion ---------------------------------------------------------------------
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "Aig":
+        """Strash a gate-level netlist into an AIG."""
+        aig = cls(pi_names=list(netlist.pi_names))
+        lits: List[int] = [0] * len(netlist.gates)
+        pi_idx = 0
+        for n, gate in enumerate(netlist.gates):
+            op = gate.op
+            if op is GateOp.PI:
+                lits[n] = aig.pi_lit(pi_idx)
+                pi_idx += 1
+            elif op is GateOp.CONST0:
+                lits[n] = FALSE
+            elif op is GateOp.BUF:
+                lits[n] = lits[gate.fanins[0]]
+            elif op is GateOp.NOT:
+                lits[n] = lit_not(lits[gate.fanins[0]])
+            else:
+                a, b = (lits[f] for f in gate.fanins)
+                if op is GateOp.AND:
+                    lits[n] = aig.and_(a, b)
+                elif op is GateOp.NAND:
+                    lits[n] = lit_not(aig.and_(a, b))
+                elif op is GateOp.OR:
+                    lits[n] = aig.or_(a, b)
+                elif op is GateOp.NOR:
+                    lits[n] = lit_not(aig.or_(a, b))
+                elif op is GateOp.XOR:
+                    lits[n] = aig.xor_(a, b)
+                elif op is GateOp.XNOR:
+                    lits[n] = lit_not(aig.xor_(a, b))
+                else:  # pragma: no cover
+                    raise AssertionError(f"unhandled op {op}")
+        for name, node in zip(netlist.po_names, netlist.po_nodes):
+            aig.add_po(lits[node], name)
+        return aig
+
+    def to_netlist(self, name: str = "aig",
+                   extract_xors: bool = True) -> Netlist:
+        """Convert back to a gate netlist, re-extracting XOR/XNOR pairs.
+
+        XOR extraction matters for the contest size metric: the three ANDs
+        of ``a ^ b`` collapse back into one 2-input XOR gate.
+        """
+        xor_roots = self._find_xor_roots() if extract_xors else {}
+        net = Netlist(name)
+        node_of: Dict[int, int] = {0: net.add_const0()}
+        for pi_name in self.pi_names:
+            node_of[len(node_of)] = net.add_pi(pi_name)
+        inverted: Dict[int, int] = {}
+
+        def literal_node(literal: int) -> int:
+            n = lit_node(literal)
+            base = node_of[n]
+            if not lit_compl(literal):
+                return base
+            if base not in inverted:
+                inverted[base] = net.add_not(base)
+            return inverted[base]
+
+        reachable = self.reachable()
+        skippable = self._xor_internal_nodes(xor_roots, reachable)
+        for n in range(self.num_pis + 1, self.num_nodes):
+            if n not in reachable or n in skippable:
+                continue
+            if n in xor_roots:
+                a, b, is_xnor = xor_roots[n]
+                g = net.add_gate(GateOp.XNOR if is_xnor else GateOp.XOR,
+                                 literal_node(a), literal_node(b))
+                node_of[n] = g
+            else:
+                node_of[n] = net.add_and(literal_node(self._fanin0[n]),
+                                         literal_node(self._fanin1[n]))
+        for po_name, po_lit in zip(self.po_names, self.po_lits):
+            net.add_po(po_name, literal_node(po_lit))
+        return net
+
+    def _find_xor_roots(self) -> Dict[int, Tuple[int, int, bool]]:
+        """Detect ``n = AND(!(a&b), !(!a&!b))`` style XOR/XNOR structures.
+
+        Returns root node -> (lit_a, lit_b, is_xnor), where the root AND
+        computes ``XNOR`` when its two fanins are the complemented products
+        of (a,b) and (!a,!b).
+        """
+        out: Dict[int, Tuple[int, int, bool]] = {}
+        for n in range(self.num_pis + 1, self.num_nodes):
+            f0, f1 = self._fanin0[n], self._fanin1[n]
+            if not (lit_compl(f0) and lit_compl(f1)):
+                continue
+            c0, c1 = lit_node(f0), lit_node(f1)
+            if not (self.is_and(c0) and self.is_and(c1)):
+                continue
+            a0, b0 = self._fanin0[c0], self._fanin1[c0]
+            a1, b1 = self._fanin0[c1], self._fanin1[c1]
+            pair0 = {a0, b0}
+            pair1 = {lit_not(a1), lit_not(b1)}
+            if pair0 == pair1 and len(pair0) == 2:
+                # n = !(a&b) & !(!a&!b) = a XNOR b ... check phases:
+                # with pair0 = {a, b}: c0 = a&b, c1 = !a&!b,
+                # n = !c0 & !c1 = !(a&b) & (a|b) = a XOR b.
+                a, b = sorted(pair0)
+                out[n] = (a, b, False)
+        return out
+
+    def _xor_internal_nodes(self, xor_roots: Dict[int, Tuple[int, int, bool]],
+                            reachable: Set[int]) -> Set[int]:
+        """Product nodes absorbed into XOR gates (only if not used elsewhere).
+
+        A root must itself be reachable: ``ref_counts`` only counts
+        references from reachable nodes, so an unreachable root's product
+        could look singly-referenced while actually feeding live logic.
+        """
+        refs = self.ref_counts()
+        skippable: Set[int] = set()
+        confirmed: Dict[int, Tuple[int, int, bool]] = {}
+        for n, (a, b, is_xnor) in xor_roots.items():
+            if n not in reachable:
+                continue
+            c0 = lit_node(self._fanin0[n])
+            c1 = lit_node(self._fanin1[n])
+            if refs[c0] == 1 and refs[c1] == 1:
+                skippable.add(c0)
+                skippable.add(c1)
+                confirmed[n] = (a, b, is_xnor)
+        xor_roots.clear()
+        xor_roots.update(confirmed)
+        return skippable
+
+    def __repr__(self) -> str:
+        return (f"Aig({self.num_pis} PIs, {len(self.po_lits)} POs, "
+                f"{self.num_ands} ANDs)")

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``learn``     treat a circuit file (BLIF / AAG) as a black box, learn a
+                new circuit for it and write the result.
+- ``optimize``  run the mini-ABC scripts on a circuit file.
+- ``check``     SAT equivalence check between two circuit files.
+- ``evaluate``  run the contest suite (Table II) at a chosen budget.
+- ``stats``     print size / depth / interface facts about a circuit file.
+
+File formats are chosen by extension: ``.blif``, ``.aag`` for input and
+output, plus ``.v`` (write-only structural Verilog).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.aig.aig import Aig
+from repro.aig.aiger import read_aag, write_aag
+from repro.network.blif import read_blif, write_blif
+from repro.network.netlist import Netlist
+from repro.network.verilog import write_verilog
+
+
+def load_circuit(path: str) -> Netlist:
+    """Read a netlist by extension."""
+    if path.endswith(".blif"):
+        with open(path) as handle:
+            return read_blif(handle)
+    if path.endswith(".aag"):
+        with open(path) as handle:
+            return read_aag(handle).to_netlist()
+    raise SystemExit(f"unsupported input format: {path!r} "
+                     "(expected .blif or .aag)")
+
+
+def save_circuit(net: Netlist, path: str) -> None:
+    """Write a netlist by extension."""
+    if path.endswith(".blif"):
+        with open(path, "w") as handle:
+            write_blif(net, handle)
+    elif path.endswith(".aag"):
+        with open(path, "w") as handle:
+            write_aag(Aig.from_netlist(net), handle)
+    elif path.endswith(".v"):
+        with open(path, "w") as handle:
+            write_verilog(net, handle)
+    else:
+        raise SystemExit(f"unsupported output format: {path!r} "
+                         "(expected .blif, .aag or .v)")
+
+
+def cmd_learn(args: argparse.Namespace) -> int:
+    from repro.core.config import RegressorConfig
+    from repro.core.regressor import LogicRegressor
+    from repro.eval.accuracy import accuracy
+    from repro.eval.patterns import contest_test_patterns
+    from repro.oracle.netlist_oracle import NetlistOracle
+
+    golden = load_circuit(args.circuit)
+    oracle = NetlistOracle(golden)
+    config = RegressorConfig(
+        time_limit=args.time_limit,
+        enable_preprocessing=not args.no_preprocessing,
+        enable_optimization=not args.no_optimize,
+        seed=args.seed)
+    result = LogicRegressor(config).learn(oracle)
+    for line in result.step_trace:
+        print("  " + line)
+    patterns = contest_test_patterns(golden.num_pis, total=args.patterns)
+    acc = accuracy(result.netlist, golden, patterns)
+    print(f"learned {result.gate_count} gates "
+          f"(hidden: {golden.gate_count()}), accuracy {acc * 100:.4f}%, "
+          f"{result.queries} queries, {result.elapsed:.1f}s")
+    if args.out:
+        save_circuit(result.netlist, args.out)
+        print(f"written to {args.out}")
+    return 0 if acc >= 0.9999 or args.no_accuracy_gate else 1
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.synth.scripts import optimize_netlist
+
+    net = load_circuit(args.circuit)
+    optimized, report = optimize_netlist(
+        net, time_limit=args.time_limit,
+        rng=np.random.default_rng(args.seed))
+    print(f"{net.gate_count()} -> {optimized.gate_count()} gates via "
+          f"{'/'.join(report.scripts_run)} ({report.elapsed:.1f}s)")
+    if args.out:
+        save_circuit(optimized, args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.sat.equivalence import find_counterexample
+    from repro.sat.solver import SolveResult
+
+    left = load_circuit(args.left)
+    right = load_circuit(args.right)
+    result, cex = find_counterexample(
+        left, right,
+        max_conflicts=args.max_conflicts if args.max_conflicts else None)
+    if result is SolveResult.UNSAT:
+        print("EQUIVALENT")
+        return 0
+    if result is SolveResult.SAT:
+        print("NOT EQUIVALENT; counterexample: "
+              + "".join(str(b) for b in cex))
+        return 1
+    print("UNDECIDED (conflict budget exhausted)")
+    return 2
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.config import RegressorConfig
+    from repro.core.regressor import LogicRegressor
+    from repro.eval.harness import run_suite
+    from repro.eval.reporting import format_table, summarize_by_category
+    from repro.oracle.suite import contest_suite
+
+    def ours(oracle):
+        config = RegressorConfig(time_limit=args.budget, r_support=512)
+        return LogicRegressor(config).learn(oracle).netlist
+
+    case_ids = args.cases.split(",") if args.cases else None
+    results = run_suite(contest_suite(case_ids), {"ours": ours},
+                        test_patterns=args.patterns, verbose=True)
+    print()
+    print(format_table(results))
+    print()
+    print(summarize_by_category(results))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.synth.lutmap import map_luts
+
+    net = load_circuit(args.circuit)
+    aig = Aig.from_netlist(net)
+    mapping = map_luts(aig, k=4)
+    print(f"name    : {net.name}")
+    print(f"inputs  : {net.num_pis}")
+    print(f"outputs : {net.num_pos}")
+    print(f"gates   : {net.gate_count()} (2-input primitive)")
+    print(f"aig     : {aig.size()} ANDs, depth {aig.depth()}")
+    print(f"4-luts  : {mapping.num_luts}, depth {mapping.depth}")
+    for j in range(min(net.num_pos, 20)):
+        support = net.structural_support(j)
+        print(f"  {net.po_names[j]}: |support| = {len(support)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="learn a circuit for a black box")
+    learn.add_argument("circuit", help="golden circuit file (.blif/.aag)")
+    learn.add_argument("--out", help="write the learned circuit here")
+    learn.add_argument("--time-limit", type=float, default=120.0)
+    learn.add_argument("--patterns", type=int, default=30000)
+    learn.add_argument("--seed", type=int, default=2019)
+    learn.add_argument("--no-preprocessing", action="store_true")
+    learn.add_argument("--no-optimize", action="store_true")
+    learn.add_argument("--no-accuracy-gate", action="store_true",
+                       help="exit 0 even below the 99.99%% bar")
+    learn.set_defaults(fn=cmd_learn)
+
+    opt = sub.add_parser("optimize", help="optimize a circuit file")
+    opt.add_argument("circuit")
+    opt.add_argument("--out")
+    opt.add_argument("--time-limit", type=float, default=60.0)
+    opt.add_argument("--seed", type=int, default=2019)
+    opt.set_defaults(fn=cmd_optimize)
+
+    check = sub.add_parser("check", help="equivalence-check two circuits")
+    check.add_argument("left")
+    check.add_argument("right")
+    check.add_argument("--max-conflicts", type=int, default=0)
+    check.set_defaults(fn=cmd_check)
+
+    ev = sub.add_parser("evaluate", help="run the contest suite")
+    ev.add_argument("--budget", type=float, default=60.0)
+    ev.add_argument("--cases", type=str, default=None)
+    ev.add_argument("--patterns", type=int, default=30000)
+    ev.set_defaults(fn=cmd_evaluate)
+
+    stats = sub.add_parser("stats", help="print circuit statistics")
+    stats.add_argument("circuit")
+    stats.set_defaults(fn=cmd_stats)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""The paper's contribution: template-assisted decision-tree circuit learning.
+
+Public entry point: :class:`~repro.core.regressor.LogicRegressor` with
+:class:`~repro.core.config.RegressorConfig`.
+"""
+
+from repro.core.config import RegressorConfig
+from repro.core.regressor import LearnResult, LogicRegressor
+
+__all__ = ["RegressorConfig", "LogicRegressor", "LearnResult"]

@@ -1,0 +1,6 @@
+"""Baseline learners (stand-ins for the other contestants of Table II)."""
+
+from repro.core.baselines.cart import CartLearner
+from repro.core.baselines.memorize import MemorizingLearner
+
+__all__ = ["CartLearner", "MemorizingLearner"]

@@ -1,0 +1,127 @@
+"""Sample-and-fit decision-tree baseline (the canonical contestant approach).
+
+Draws a fixed corpus of random IO samples up front, then fits a classic
+impurity-driven binary decision tree (CART with Gini splitting) per output
+*on the samples alone* — no adaptive querying, no templates, no support
+reasoning.  Leaves become cubes; cubes become a circuit.
+
+This is the archetype of the 2nd-place entries in Table II: fine on easy
+cases, but on DIAG/DATA (no datapath exploitation) and wide-support ECO/NEQ
+it overfits the corpus, inflating circuit size by orders of magnitude while
+losing accuracy — the exact failure shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.sampling import random_patterns
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import build_factored_sop
+from repro.network.netlist import Netlist
+from repro.oracle.base import Oracle
+
+
+@dataclass
+class _TreeNode:
+    variable: int = -1
+    low: Optional["_TreeNode"] = None
+    high: Optional["_TreeNode"] = None
+    value: int = -1  # leaf prediction when variable < 0
+
+
+class CartLearner:
+    """Per-output CART on a static random sample corpus."""
+
+    def __init__(self, num_samples: int = 20000, max_depth: int = 24,
+                 min_samples_leaf: int = 2, seed: int = 7,
+                 biases: Tuple[float, ...] = (0.5, 0.25, 0.75),
+                 time_limit: float = 300.0):
+        self.num_samples = num_samples
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.biases = biases
+        self.time_limit = time_limit
+
+    def learn(self, oracle: Oracle) -> Netlist:
+        rng = np.random.default_rng(self.seed)
+        deadline = time.monotonic() + self.time_limit
+        x = random_patterns(self.num_samples, oracle.num_pis, rng,
+                            self.biases)
+        y = oracle.query(x)
+        net = Netlist("cart")
+        pi_nodes = [net.add_pi(name) for name in oracle.pi_names]
+        for j, name in enumerate(oracle.po_names):
+            tree = self._fit(x, y[:, j], depth=0, deadline=deadline)
+            cover = Sop(self._leaf_cubes(tree, {}), oracle.num_pis)
+            cover = cover.absorb()
+            node = build_factored_sop(net, cover, pi_nodes)
+            net.add_po(name, node)
+        return net.cleaned()
+
+    def __call__(self, oracle: Oracle) -> Netlist:
+        return self.learn(oracle)
+
+    # -- CART fitting -----------------------------------------------------------
+
+    def _fit(self, x: np.ndarray, y: np.ndarray, depth: int,
+             deadline: float) -> _TreeNode:
+        n = y.shape[0]
+        ones = int(y.sum())
+        if ones == 0 or ones == n:
+            return _TreeNode(value=1 if ones else 0)
+        if (depth >= self.max_depth or n < 2 * self.min_samples_leaf
+                or time.monotonic() >= deadline):
+            return _TreeNode(value=1 if 2 * ones >= n else 0)
+        var = self._best_split(x, y)
+        if var < 0:
+            return _TreeNode(value=1 if 2 * ones >= n else 0)
+        mask = x[:, var] == 1
+        node = _TreeNode(variable=var)
+        node.high = self._fit(x[mask], y[mask], depth + 1, deadline)
+        node.low = self._fit(x[~mask], y[~mask], depth + 1, deadline)
+        if (node.high.variable < 0 and node.low.variable < 0
+                and node.high.value == node.low.value):
+            return _TreeNode(value=node.high.value)  # useless split
+        return node
+
+    @staticmethod
+    def _best_split(x: np.ndarray, y: np.ndarray) -> int:
+        """Gini-gain argmax, vectorized over all variables."""
+        n = y.shape[0]
+        ones_total = y.sum()
+        n1 = x.sum(axis=0).astype(np.float64)  # samples with bit = 1
+        n0 = n - n1
+        ones1 = (x * y[:, None]).sum(axis=0).astype(np.float64)
+        ones0 = ones_total - ones1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p1 = np.where(n1 > 0, ones1 / n1, 0.0)
+            p0 = np.where(n0 > 0, ones0 / n0, 0.0)
+            gini = (n1 * p1 * (1 - p1) + n0 * p0 * (1 - p0)) / n
+        valid = (n1 > 0) & (n0 > 0)
+        if not valid.any():
+            return -1
+        gini = np.where(valid, gini, np.inf)
+        best = int(np.argmin(gini))
+        parent = ones_total / n
+        parent_gini = parent * (1 - parent)
+        if gini[best] >= parent_gini - 1e-12:
+            return -1
+        return best
+
+    def _leaf_cubes(self, node: _TreeNode, lits: dict) -> List[Cube]:
+        if node.variable < 0:
+            return [Cube(dict(lits))] if node.value == 1 else []
+        out: List[Cube] = []
+        lits[node.variable] = 0
+        out.extend(self._leaf_cubes(node.low, lits))
+        lits[node.variable] = 1
+        out.extend(self._leaf_cubes(node.high, lits))
+        del lits[node.variable]
+        return out

@@ -1,0 +1,55 @@
+"""Pattern-memorizing baseline — the floor of the comparison.
+
+Memorizes the onset (or offset, whichever is sparser) of each output over a
+random sample corpus as literal minterm cubes.  Generalizes not at all;
+circuit size grows linearly with the corpus.  This is the degenerate
+behaviour Table II shows for contestants whose circuits hit hundreds of
+thousands of gates with sub-99% accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.sampling import random_patterns
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import build_factored_sop
+from repro.network.netlist import Netlist
+from repro.oracle.base import Oracle
+
+
+class MemorizingLearner:
+    """OR-of-sampled-minterms per output (with onset/offset choice)."""
+
+    def __init__(self, num_samples: int = 4000, seed: int = 11,
+                 biases: Tuple[float, ...] = (0.5, 0.25, 0.75),
+                 max_cubes: int = 20000):
+        self.num_samples = num_samples
+        self.seed = seed
+        self.biases = biases
+        self.max_cubes = max_cubes
+
+    def learn(self, oracle: Oracle) -> Netlist:
+        rng = np.random.default_rng(self.seed)
+        x = random_patterns(self.num_samples, oracle.num_pis, rng,
+                            self.biases)
+        y = oracle.query(x)
+        net = Netlist("memorize")
+        pi_nodes = [net.add_pi(name) for name in oracle.pi_names]
+        for j, name in enumerate(oracle.po_names):
+            ones = y[:, j] == 1
+            complement = bool(ones.mean() > 0.5)
+            rows = x[~ones] if complement else x[ones]
+            rows = np.unique(rows, axis=0)[: self.max_cubes]
+            cubes = [Cube.from_assignment(row) for row in rows]
+            cover = Sop(cubes, oracle.num_pis).merge_siblings()
+            node = build_factored_sop(net, cover, pi_nodes,
+                                      complement=complement)
+            net.add_po(name, node)
+        return net.cleaned()
+
+    def __call__(self, oracle: Oracle) -> Netlist:
+        return self.learn(oracle)

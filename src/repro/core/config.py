@@ -1,0 +1,138 @@
+"""Configuration of the circuit-learning pipeline.
+
+Defaults follow the paper's reported constants where given (``r = 7200``
+for support identification, ``r = 60`` per tree node, exhaustive-enumeration
+threshold 18) with the sampling volume scaled down by default because the
+reference implementation is C++ on a contest machine and ours is a Python
+prototype; every constant is a knob so the benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class RegressorConfig:
+    """All knobs of the five-step pipeline (Fig. 1)."""
+
+    # -- step 1+2: preprocessing -------------------------------------------
+    enable_preprocessing: bool = True
+    """Master switch for name grouping + template matching (the paper's
+    own ablation turns this off)."""
+
+    template_samples: int = 192
+    """Random samples used to accept/reject a template hypothesis."""
+
+    propagation_tries: int = 24
+    """Random context assignments tried when searching the propagation
+    cube of a buried comparator (Sec. IV-B1)."""
+
+    min_bus_width: int = 2
+    """Name groups narrower than this are treated as scalars."""
+
+    enable_extended_templates: bool = True
+    """Also try the extension families (MUX / bitwise / wiring) of
+    Sec. VI's future-work direction when the Table I families fail."""
+
+    try_reversed_buses: bool = True
+    """Retry word-level templates with MSB-first bus orientation."""
+
+    enable_output_sharing: bool = True
+    """Detect identical / complemented outputs by sampled signature and
+    learn each function only once (free size; extension to the paper's
+    strictly independent per-output treatment)."""
+
+    # -- step 3: support identification --------------------------------------
+    r_support: int = 512
+    """Paired random assignments per input for support identification
+    (paper: 7200)."""
+
+    sampling_biases: Tuple[float, ...] = (0.5, 0.15, 0.85)
+    """Mix of P(bit=1) biases for random assignments; the uneven ratios
+    implement the Sec. IV-C observation that skewed patterns reveal more
+    of the support."""
+
+    # -- step 4: FBDT construction ---------------------------------------------
+    r_node: int = 60
+    """Samples per tree node for picking the most significant input
+    (paper: 60)."""
+
+    leaf_samples: int = 96
+    """Samples used for the constant-leaf test at each node."""
+
+    exhaustive_threshold: int = 12
+    """Supports up to this size are conquered by exhaustive enumeration
+    (paper: 18; scaled for the Python prototype)."""
+
+    subtree_exhaustive_threshold: int = 7
+    """Trick 1 applied *inside* the tree: once a node's remaining
+    support fits this budget, its whole subspace is tabulated exactly
+    instead of splitting on (0 disables; an extension beyond the paper,
+    which only applies exhaustion before tree construction)."""
+
+    leaf_epsilon: float = 0.0
+    """Early-stopping tolerance (trick 3): a node whose TruthRatio is
+    within epsilon of 0 or 1 becomes a constant leaf."""
+
+    onset_offset_selection: bool = True
+    """Trick 2: realize whichever of the onset/offset cover is smaller."""
+
+    levelized: bool = True
+    """Explore the FBDT in levelized (BFS) order, per the paper; False
+    gives depth-first order for the ablation."""
+
+    max_tree_nodes: int = 4096
+    """Hard cap on expanded FBDT nodes per output."""
+
+    max_depth: Optional[int] = None
+    """Optional depth cap per output (None = bounded by support size)."""
+
+    # -- budgets -----------------------------------------------------------------
+    time_limit: float = 120.0
+    """Wall-clock budget for the whole pipeline, seconds (contest: 2700)."""
+
+    preprocessing_fraction: float = 0.15
+    """Share of the budget reserved for steps 1-3."""
+
+    optimize_fraction: float = 0.2
+    """Share of the budget reserved for circuit optimization (step 5)."""
+
+    query_budget: Optional[int] = None
+    """Optional cap on total oracle queries."""
+
+    # -- step 5: optimization -------------------------------------------------------
+    enable_optimization: bool = True
+    optimize_iterations: int = 4
+    collapse_support: int = 14
+
+    # -- misc ---------------------------------------------------------------------
+    seed: int = 2019
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.r_support <= 0 or self.r_node <= 0:
+            raise ValueError("sampling volumes must be positive")
+        if not 0.0 <= self.leaf_epsilon < 0.5:
+            raise ValueError("leaf_epsilon must be in [0, 0.5)")
+        if not self.sampling_biases:
+            raise ValueError("need at least one sampling bias")
+        for b in self.sampling_biases:
+            if not 0.0 < b < 1.0:
+                raise ValueError("biases must be strictly inside (0, 1)")
+        if self.exhaustive_threshold > 20:
+            raise ValueError(
+                "exhaustive threshold above 20 is intractable here")
+        if self.preprocessing_fraction + self.optimize_fraction >= 1.0:
+            raise ValueError("budget fractions leave nothing for the tree")
+
+
+def fast_config(**overrides) -> RegressorConfig:
+    """A small-budget configuration for tests and quick demos."""
+    base = dict(r_support=96, r_node=24, leaf_samples=48,
+                template_samples=64, exhaustive_threshold=10,
+                time_limit=20.0, optimize_iterations=2,
+                max_tree_nodes=512)
+    base.update(overrides)
+    return RegressorConfig(**base)

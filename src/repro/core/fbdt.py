@@ -1,0 +1,367 @@
+"""Free-binary-decision-tree circuit construction (Sec. IV-D, Algorithm 2).
+
+Shannon-expands the unknown single-output function by always cofactoring on
+the most significant input (argmax of the dependency count at the node),
+exploring the tree in levelized (BFS) order, until sampled constancy
+declares a leaf.  Leaf cubes are collected into *both* the onset and the
+offset cover, enabling trick 2 (realize whichever is smaller); timeout
+flushes every undecided node as a majority-value leaf, exactly the paper's
+graceful early termination.
+
+Trick 1 (conquering small functions) lives here too: supports up to the
+exhaustive threshold skip the tree entirely and are tabulated minterm by
+minterm.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import RegressorConfig
+from repro.core.sampling import pattern_sampling, random_patterns
+from repro.logic.cube import Cube
+from repro.logic.minimize import quine_mccluskey
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+from repro.oracle.base import Oracle
+
+
+@dataclass
+class FbdtStats:
+    """Diagnostics of one tree construction."""
+
+    nodes_expanded: int = 0
+    onset_leaves: int = 0
+    offset_leaves: int = 0
+    forced_leaves: int = 0  # timeout / cap / unsplittable majority leaves
+    max_depth: int = 0
+    exhausted: bool = False  # trick-1 path taken
+    timed_out: bool = False
+
+
+@dataclass
+class LearnedCover:
+    """A learned single-output function as an (onset, offset) cover pair.
+
+    ``use_offset`` selects the realization: False builds the onset SOP,
+    True builds the complement of the offset SOP (trick 2).
+    """
+
+    onset: Sop
+    offset: Sop
+    use_offset: bool
+    stats: FbdtStats = field(default_factory=FbdtStats)
+
+    def chosen_cover(self) -> Tuple[Sop, bool]:
+        """(cover to instantiate, complement flag)."""
+        if self.use_offset:
+            return self.offset, True
+        return self.onset, False
+
+    def evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        cover, complemented = self.chosen_cover()
+        values = cover.evaluate(patterns)
+        return (~values if complemented else values).astype(np.uint8)
+
+
+def learn_output(oracle: Oracle, output: int, support: Sequence[int],
+                 config: RegressorConfig, rng: np.random.Generator,
+                 deadline: Optional[float] = None) -> LearnedCover:
+    """Learn one output: exhaustive path for small supports, else FBDT.
+
+    The exhaustive path validates its result on random probes; failures
+    mean ``S'`` missed a dependency (Proposition 1 is one-sided), so the
+    offending inputs are hunted down with an extra PatternSampling pass
+    and the support widened before retrying.
+    """
+    support = sorted(support)
+    for _ in range(3):  # widen at most twice
+        if len(support) > config.exhaustive_threshold:
+            break
+        cover = enumerate_small_function(oracle, output, support, config)
+        extra = _missing_support(oracle, output, support, cover, config,
+                                 rng)
+        if not extra:
+            return cover
+        support = sorted(set(support) | set(extra))
+    else:
+        return cover
+    return build_decision_tree(oracle, output, support, config, rng,
+                               deadline=deadline)
+
+
+def _missing_support(oracle: Oracle, output: int, support: Sequence[int],
+                     cover: LearnedCover, config: RegressorConfig,
+                     rng: np.random.Generator,
+                     num_probes: int = 768) -> List[int]:
+    """Inputs outside ``support`` that the probes prove matter.
+
+    Random probes first find *witnesses* — assignments where the cover
+    disagrees with the oracle; candidate inputs are then flip-tested at
+    the witnesses themselves (the sensitized region), which finds the
+    missing dependency far more reliably than fresh random sampling.
+    """
+    probes = random_patterns(num_probes, oracle.num_pis, rng,
+                             config.sampling_biases)
+    got = cover.evaluate(probes)
+    want = oracle.query(probes)[:, output]
+    mismatched = probes[got != want]
+    if mismatched.shape[0] == 0:
+        return []
+    candidates = [i for i in range(oracle.num_pis) if i not in support]
+    if not candidates:
+        return []
+    witnesses = mismatched[:64]
+    base_out = oracle.query(witnesses)[:, output]
+    extra = []
+    for i in candidates:
+        flipped = witnesses.copy()
+        flipped[:, i] ^= 1
+        flip_out = oracle.query(flipped)[:, output]
+        if (flip_out != base_out).any():
+            extra.append(i)
+    return extra
+
+
+def enumerate_small_function(oracle: Oracle, output: int,
+                             support: Sequence[int],
+                             config: RegressorConfig) -> LearnedCover:
+    """Trick 1: tabulate all ``2^|S'|`` minterms and minimize exactly.
+
+    Inputs outside the (approximate) support are pinned to 0; if the
+    approximation missed a dependency the error shows up as test
+    inaccuracy, matching the paper's semantics of ``S' subseteq S``.
+    """
+    support = sorted(support)
+    k = len(support)
+    num_pis = oracle.num_pis
+    stats = FbdtStats(exhausted=True)
+    if k == 0:
+        value = int(oracle.query(
+            np.zeros((1, num_pis), dtype=np.uint8))[0, output])
+        onset = Sop.one(num_pis) if value else Sop.zero(num_pis)
+        offset = Sop.zero(num_pis) if value else Sop.one(num_pis)
+        return LearnedCover(onset, offset, use_offset=False, stats=stats)
+    patterns = np.zeros((1 << k, num_pis), dtype=np.uint8)
+    minterm_bits = ((np.arange(1 << k)[:, None]
+                     >> np.arange(k)[None, :]) & 1).astype(np.uint8)
+    patterns[:, support] = minterm_bits
+    values = oracle.query(patterns)[:, output]
+    table = TruthTable(k, _pack_bits(values))
+    onset_local = _minimize_table(table, k)
+    offset_local = _minimize_table(~table, k)
+    onset = _lift_cover(onset_local, support, num_pis)
+    offset = _lift_cover(offset_local, support, num_pis)
+    use_offset = (config.onset_offset_selection
+                  and (len(offset), offset.literal_count())
+                  < (len(onset), onset.literal_count()))
+    return LearnedCover(onset, offset, use_offset=use_offset, stats=stats)
+
+
+def _pack_bits(values: np.ndarray) -> np.ndarray:
+    bits = np.packbits(values.astype(np.uint8), bitorder="little")
+    pad = (-bits.shape[0]) % 8
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    return bits.view(np.uint64)
+
+
+def _minimize_table(table: TruthTable, k: int) -> Sop:
+    if k <= 8:
+        return quine_mccluskey(table.minterms(), k)
+    return table.isop()
+
+
+def _lift_cover(cover: Sop, support: Sequence[int], num_pis: int) -> Sop:
+    """Re-index a support-local cover into the full PI universe."""
+    cubes = []
+    for cube in cover.cubes:
+        cubes.append(Cube({support[v]: phase
+                           for v, phase in cube.literals()}))
+    return Sop(cubes, num_pis)
+
+
+def build_decision_tree(oracle: Oracle, output: int,
+                        support: Sequence[int], config: RegressorConfig,
+                        rng: np.random.Generator,
+                        deadline: Optional[float] = None) -> LearnedCover:
+    """Algorithm 2 with the paper's three tricks."""
+    num_pis = oracle.num_pis
+    support_set = set(support)
+    stats = FbdtStats()
+    onset: List[Cube] = []
+    offset: List[Cube] = []
+    eps = config.leaf_epsilon
+    queue = deque([Cube.empty()])
+    root_ratio: Optional[float] = None
+
+    def out_of_budget() -> bool:
+        if deadline is not None and time.monotonic() >= deadline:
+            return True
+        return stats.nodes_expanded >= config.max_tree_nodes
+
+    while queue:
+        if out_of_budget():
+            stats.timed_out = True
+            _flush_pending(oracle, output, queue, onset, offset, rng,
+                           config, stats)
+            break
+        cube = queue.popleft() if config.levelized else queue.pop()
+        stats.nodes_expanded += 1
+        stats.max_depth = max(stats.max_depth, len(cube))
+        candidates = [i for i in support_set if i not in cube]
+        # Constant-leaf probe (cheap, no flip blocks).
+        probes = random_patterns(config.leaf_samples, num_pis, rng,
+                                 config.sampling_biases, cube)
+        values = oracle.query(probes)[:, output]
+        ratio = float(values.mean())
+        if root_ratio is None:
+            root_ratio = ratio
+        if ratio >= 1.0 - eps:
+            onset.append(cube)
+            stats.onset_leaves += 1
+            continue
+        if ratio <= eps:
+            offset.append(cube)
+            stats.offset_leaves += 1
+            continue
+        if config.max_depth is not None and len(cube) >= config.max_depth:
+            _majority_leaf(cube, ratio, onset, offset, stats)
+            continue
+        # Subtree conquest (trick 1 inside the tree): the remaining
+        # support fits the exhaustive budget, so tabulate this subspace
+        # exactly instead of splitting on.
+        if (candidates and 0 < config.subtree_exhaustive_threshold
+                and len(candidates) <= config.subtree_exhaustive_threshold
+                and _exhaust_subtree(oracle, output, cube,
+                                     sorted(candidates), onset, offset,
+                                     stats, rng, config)):
+            continue
+        # Most significant input via constrained PatternSampling (r_node).
+        best = None
+        if candidates:
+            sample = pattern_sampling(oracle, cube, config.r_node, rng,
+                                      biases=config.sampling_biases,
+                                      candidates=candidates)
+            best = sample.most_significant(output, candidates)
+        if best is None:
+            # Either S' is exhausted along this path or its dependency
+            # counts vanished while the values stay mixed: the support was
+            # an under-approximation — widen with inputs outside S'.
+            extra = [i for i in range(num_pis)
+                     if i not in cube and i not in support_set]
+            if extra:
+                sample = pattern_sampling(oracle, cube, config.r_node, rng,
+                                          biases=config.sampling_biases,
+                                          candidates=extra)
+                best = sample.most_significant(output, extra)
+                if best is not None:
+                    support_set.add(best)
+        if best is None:
+            _majority_leaf(cube, ratio, onset, offset, stats)
+            continue
+        queue.append(cube.with_literal(best, 0))
+        queue.append(cube.with_literal(best, 1))
+
+    onset_sop = Sop(onset, num_pis).merge_siblings()
+    offset_sop = Sop(offset, num_pis).merge_siblings()
+    use_offset = False
+    if config.onset_offset_selection:
+        # Trick 2: specify the smaller half of the space.  The root truth
+        # ratio decides the tendency; cover sizes break near-ties.
+        if root_ratio is not None and root_ratio > 0.5:
+            use_offset = True
+        if onset_sop.literal_count() != offset_sop.literal_count():
+            use_offset = (offset_sop.literal_count()
+                          < onset_sop.literal_count())
+    cover = LearnedCover(onset_sop, offset_sop, use_offset=use_offset,
+                         stats=stats)
+    return cover
+
+
+def _exhaust_subtree(oracle: Oracle, output: int, cube: Cube,
+                     candidates: List[int], onset: List[Cube],
+                     offset: List[Cube], stats: FbdtStats,
+                     rng: np.random.Generator,
+                     config: RegressorConfig) -> bool:
+    """Tabulate ``f|cube`` over ``candidates`` and emit minimized leaves.
+
+    Inputs outside cube+candidates are pinned to 0 while tabulating;
+    random validation probes (free values everywhere) then check that the
+    support approximation holds in this subspace.  Returns False — emit
+    nothing — when validation fails, so the caller falls back to
+    splitting (which includes support widening).
+    """
+    k = len(candidates)
+    patterns = np.zeros((1 << k, oracle.num_pis), dtype=np.uint8)
+    cube.apply_to(patterns)
+    minterm_bits = ((np.arange(1 << k)[:, None]
+                     >> np.arange(k)[None, :]) & 1).astype(np.uint8)
+    patterns[:, candidates] = minterm_bits
+    values = oracle.query(patterns)[:, output]
+    table = TruthTable(k, _pack_bits(values))
+    # Validate on random probes: if a non-candidate free input matters
+    # here, predictions will disagree with the oracle.
+    probes = random_patterns(32, oracle.num_pis, rng,
+                             config.sampling_biases, cube)
+    probe_out = oracle.query(probes)[:, output]
+    probe_minterms = np.zeros(probes.shape[0], dtype=np.int64)
+    for i, var in enumerate(candidates):
+        probe_minterms += probes[:, var].astype(np.int64) << i
+    predicted = np.array([table.get(int(m)) for m in probe_minterms],
+                         dtype=np.uint8)
+    if not np.array_equal(predicted, probe_out):
+        return False
+    local_on = _minimize_table(table, k)
+    local_off = _minimize_table(~table, k)
+    for local, collection, counter in ((local_on, onset, "on"),
+                                       (local_off, offset, "off")):
+        for local_cube in local.cubes:
+            lifted = Cube({candidates[v]: phase
+                           for v, phase in local_cube.literals()})
+            merged = cube.conjoin(lifted)
+            assert merged is not None  # disjoint variable sets
+            collection.append(merged)
+    stats.onset_leaves += len(local_on)
+    stats.offset_leaves += len(local_off)
+    stats.max_depth = max(stats.max_depth, len(cube) + k)
+    return True
+
+
+def _majority_leaf(cube: Cube, ratio: float, onset: List[Cube],
+                   offset: List[Cube], stats: FbdtStats) -> None:
+    if ratio > 0.5:
+        onset.append(cube)
+    else:
+        offset.append(cube)
+    stats.forced_leaves += 1
+
+
+def _flush_pending(oracle: Oracle, output: int, queue,
+                   onset: List[Cube], offset: List[Cube],
+                   rng: np.random.Generator, config: RegressorConfig,
+                   stats: FbdtStats, probes_per_cube: int = 8) -> None:
+    """Timeout path: every undecided node becomes a majority-value leaf.
+
+    All pending cubes are probed in one batched oracle call.
+    """
+    pending = list(queue)
+    queue.clear()
+    if not pending:
+        return
+    num_pis = oracle.num_pis
+    block = random_patterns(probes_per_cube * len(pending), num_pis, rng,
+                            config.sampling_biases)
+    for idx, cube in enumerate(pending):
+        rows = block[idx * probes_per_cube:(idx + 1) * probes_per_cube]
+        cube.apply_to(rows)
+    out = oracle.query(block)[:, output]
+    for idx, cube in enumerate(pending):
+        ratio = float(
+            out[idx * probes_per_cube:(idx + 1) * probes_per_cube].mean())
+        _majority_leaf(cube, ratio, onset, offset, stats)

@@ -1,0 +1,448 @@
+"""The five-step circuit-learning pipeline (Fig. 1).
+
+Steps: 1) name based grouping, 2) template matching, 3) support
+identification, 4) decision-tree based circuit construction, 5) circuit
+optimization.  Each output is handled independently (the problem decomposes
+per output, Sec. IV), with the wall-clock budget shared across outputs and
+the timeout path degrading gracefully to partial-but-accurate circuits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compression import DELEGATE_NAME, CompressedOracle
+from repro.core.config import RegressorConfig
+from repro.core.fbdt import FbdtStats, LearnedCover, learn_output
+from repro.core.grouping import BusGroup, Grouping, group_names
+from repro.core.support import identify_supports
+from repro.core.templates.comparator import ComparatorMatch, match_comparator
+from repro.core.templates.linear import LinearMatch, match_linear
+from repro.network.builder import (build_factored_sop, comparator,
+                                   comparator_const, linear_combination)
+from repro.network.netlist import Netlist
+from repro.oracle.base import Oracle
+from repro.synth.scripts import optimize_netlist
+
+
+@dataclass
+class OutputReport:
+    """How one primary output was learned."""
+
+    po_index: int
+    po_name: str
+    method: str  # linear-template | comparator-template |
+    #              comparator-compressed | exhaustive | fbdt | constant
+    detail: str = ""
+    support_size: int = 0
+    stats: Optional[FbdtStats] = None
+
+
+@dataclass
+class LearnResult:
+    """The learned circuit plus full diagnostics."""
+
+    netlist: Netlist
+    reports: List[OutputReport]
+    elapsed: float
+    queries: int
+    step_trace: List[str] = field(default_factory=list)
+
+    @property
+    def gate_count(self) -> int:
+        return self.netlist.gate_count()
+
+    def methods_used(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.reports:
+            out[r.method] = out.get(r.method, 0) + 1
+        return out
+
+
+class LogicRegressor:
+    """Learn a compact circuit for a black-box IO-generator."""
+
+    def __init__(self, config: Optional[RegressorConfig] = None):
+        self.config = config or RegressorConfig()
+        self.config.validate()
+
+    # -- public API -------------------------------------------------------------
+
+    def learn(self, oracle: Oracle) -> LearnResult:
+        """Run the full pipeline against ``oracle``."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        t0 = time.monotonic()
+        deadline_all = t0 + cfg.time_limit
+        deadline_tree = t0 + cfg.time_limit * (1.0 - cfg.optimize_fraction)
+        trace: List[str] = []
+        start_queries = oracle.query_count
+
+        # -- step 1: name based grouping ------------------------------------
+        pi_grouping = Grouping(buses=[], scalars=list(range(oracle.num_pis)))
+        po_grouping = Grouping(buses=[], scalars=list(range(oracle.num_pos)))
+        if cfg.enable_preprocessing:
+            pi_grouping = group_names(oracle.pi_names,
+                                      min_width=cfg.min_bus_width)
+            po_grouping = group_names(oracle.po_names,
+                                      min_width=cfg.min_bus_width)
+            trace.append(
+                f"grouping: {len(pi_grouping.buses)} PI buses, "
+                f"{len(po_grouping.buses)} PO buses")
+
+        # -- step 2: template matching -----------------------------------------
+        linear_matches: List[LinearMatch] = []
+        extended_matches: List = []
+        comparator_matches: Dict[int, ComparatorMatch] = {}
+        done: set = set()
+        if cfg.enable_preprocessing:
+            linear_matches = self._match_linear_buses(
+                oracle, pi_grouping, po_grouping, rng, trace, done)
+            if cfg.enable_extended_templates:
+                extended_matches = self._match_extended(
+                    oracle, pi_grouping, po_grouping, rng, trace, done)
+            self._match_comparators(oracle, pi_grouping, rng, trace, done,
+                                    comparator_matches, deadline_all)
+
+        # -- output dedup: identical / complemented outputs learn once ------
+        remaining = [j for j in range(oracle.num_pos) if j not in done]
+        aliases: Dict[int, Tuple[int, bool]] = {}
+        if cfg.enable_output_sharing and len(remaining) > 1:
+            aliases = self._find_output_aliases(oracle, remaining, rng)
+            if aliases:
+                remaining = [j for j in remaining if j not in aliases]
+                trace.append(
+                    "sharing: "
+                    + ", ".join(
+                        f"{oracle.po_names[j]}"
+                        f"={'!' if c else ''}{oracle.po_names[r]}"
+                        for j, (r, c) in sorted(aliases.items())))
+
+        # -- step 3: support identification -------------------------------------
+        supports: Dict[int, List[int]] = {}
+        if remaining:
+            info = identify_supports(oracle, cfg.r_support, rng,
+                                     biases=cfg.sampling_biases,
+                                     outputs=remaining)
+            for j in remaining:
+                supports[j] = info.support_of(j)
+            trace.append(
+                "support: "
+                + ", ".join(f"{oracle.po_names[j]}:{len(supports[j])}"
+                            for j in remaining[:8])
+                + ("..." if len(remaining) > 8 else ""))
+
+        # -- step 4: FBDT / exhaustive learning -----------------------------------
+        covers: Dict[int, Tuple[LearnedCover, Optional[ComparatorMatch],
+                                Optional[CompressedOracle]]] = {}
+        # Easiest (smallest support) outputs first: cheap wins land before
+        # the budget runs out, mirroring the paper's per-output time caps.
+        order = sorted(remaining, key=lambda j: len(supports[j]))
+        for idx, j in enumerate(order):
+            now = time.monotonic()
+            if now >= deadline_tree:
+                slice_deadline = now  # flush-only learning below
+            else:
+                share = (deadline_tree - now) / (len(order) - idx)
+                slice_deadline = now + share
+            match = comparator_matches.get(j)
+            if match is not None and match.buried:
+                compressed = CompressedOracle(oracle, match)
+                sub_rng = np.random.default_rng(cfg.seed + 17 * (j + 1))
+                sub_info = identify_supports(
+                    compressed, max(32, cfg.r_support // 4), sub_rng,
+                    biases=cfg.sampling_biases, outputs=[j])
+                cover = learn_output(compressed, j, sub_info.support_of(j),
+                                     cfg, sub_rng, deadline=slice_deadline)
+                covers[j] = (cover, match, compressed)
+            else:
+                cover = learn_output(oracle, j, supports[j], cfg, rng,
+                                     deadline=slice_deadline)
+                covers[j] = (cover, None, None)
+
+        # -- assembly ------------------------------------------------------------------
+        net = self._assemble(oracle, linear_matches, extended_matches,
+                             comparator_matches, covers, supports, trace,
+                             aliases)
+        reports = self._reports(oracle, linear_matches, extended_matches,
+                                comparator_matches, covers, supports,
+                                aliases)
+
+        # -- step 5: circuit optimization -----------------------------------------------
+        if cfg.enable_optimization:
+            budget = max(1.0, deadline_all - time.monotonic())
+            net, opt_report = optimize_netlist(
+                net, time_limit=budget, rng=rng,
+                max_iterations=cfg.optimize_iterations)
+            trace.append(
+                f"optimize: {opt_report.initial_size} -> "
+                f"{opt_report.final_size} AIG nodes via "
+                f"{'/'.join(opt_report.scripts_run)}")
+
+        elapsed = time.monotonic() - t0
+        return LearnResult(netlist=net, reports=reports, elapsed=elapsed,
+                           queries=oracle.query_count - start_queries,
+                           step_trace=trace)
+
+    # -- step 2 helpers ------------------------------------------------------------
+
+    def _match_linear_buses(self, oracle: Oracle, pi_grouping: Grouping,
+                            po_grouping: Grouping,
+                            rng: np.random.Generator, trace: List[str],
+                            done: set) -> List[LinearMatch]:
+        matches: List[LinearMatch] = []
+        if not pi_grouping.buses:
+            return matches
+        orientations = [pi_grouping]
+        if self.config.try_reversed_buses:
+            orientations.append(Grouping(
+                buses=[b.reversed_() for b in pi_grouping.buses],
+                scalars=pi_grouping.scalars))
+        for out_bus in po_grouping.buses:
+            out_variants = [out_bus]
+            if self.config.try_reversed_buses:
+                out_variants.append(out_bus.reversed_())
+            match = None
+            for grouping in orientations:
+                for variant in out_variants:
+                    match = match_linear(
+                        oracle, grouping, variant, rng,
+                        num_samples=self.config.template_samples)
+                    if match is not None:
+                        break
+                if match is not None:
+                    break
+            if match is not None:
+                matches.append(match)
+                done.update(out_bus.positions)
+                trace.append(f"template: {match.describe()}")
+        return matches
+
+    def _match_extended(self, oracle: Oracle, pi_grouping: Grouping,
+                        po_grouping: Grouping, rng: np.random.Generator,
+                        trace: List[str], done: set) -> List:
+        """Sec. VI extension families for output buses linear missed."""
+        from repro.core.templates.extended import (match_bitwise,
+                                                   match_mux, match_wiring)
+
+        matches = []
+        for out_bus in po_grouping.buses:
+            if set(out_bus.positions) <= done:
+                continue
+            match = None
+            if pi_grouping.buses:
+                match = match_mux(oracle, pi_grouping, out_bus, rng,
+                                  num_samples=self.config.template_samples)
+                if match is None:
+                    match = match_bitwise(
+                        oracle, pi_grouping, out_bus, rng,
+                        num_samples=self.config.template_samples)
+            if match is None:
+                match = match_wiring(
+                    oracle, out_bus, rng,
+                    num_samples=max(160, self.config.template_samples))
+            if match is not None:
+                matches.append(match)
+                done.update(out_bus.positions)
+                trace.append(f"template: {match.describe()}")
+        return matches
+
+    def _match_comparators(self, oracle: Oracle, pi_grouping: Grouping,
+                           rng: np.random.Generator, trace: List[str],
+                           done: set,
+                           out: Dict[int, ComparatorMatch],
+                           deadline: float) -> None:
+        if not pi_grouping.buses:
+            return
+        for j in range(oracle.num_pos):
+            if j in done or time.monotonic() >= deadline:
+                continue
+            match = match_comparator(
+                oracle, pi_grouping, j, rng,
+                num_samples=self.config.template_samples,
+                propagation_tries=self.config.propagation_tries)
+            if match is None:
+                continue
+            out[j] = match
+            if not match.buried:
+                done.add(j)
+                trace.append(
+                    f"template: {oracle.po_names[j]} = {match.describe()}")
+            else:
+                trace.append(
+                    f"template: delegate for {oracle.po_names[j]}: "
+                    f"{match.describe()}")
+
+    # -- output dedup helpers ---------------------------------------------------
+
+    def _find_output_aliases(self, oracle: Oracle, outputs: List[int],
+                             rng: np.random.Generator
+                             ) -> Dict[int, Tuple[int, bool]]:
+        """Map duplicate outputs to (representative, complemented).
+
+        Each output is learned independently per the paper; sharing
+        identical or complemented outputs is free circuit size.  With 512
+        probe patterns a spurious alias has probability 2^-512, so a
+        sampled signature match is accepted directly.
+        """
+        from repro.core.sampling import random_patterns
+
+        probes = random_patterns(512, oracle.num_pis, rng,
+                                 self.config.sampling_biases)
+        values = oracle.query(probes)
+        by_signature: Dict[bytes, Tuple[int, bool]] = {}
+        aliases: Dict[int, Tuple[int, bool]] = {}
+        for j in outputs:
+            column = np.packbits(values[:, j]).tobytes()
+            inverse = np.packbits(values[:, j] ^ 1).tobytes()
+            if column in by_signature:
+                rep, rep_c = by_signature[column]
+                aliases[j] = (rep, rep_c)
+            elif inverse in by_signature:
+                rep, rep_c = by_signature[inverse]
+                aliases[j] = (rep, not rep_c)
+            else:
+                by_signature[column] = (j, False)
+        return aliases
+
+    # -- assembly ----------------------------------------------------------------------
+
+    def _assemble(self, oracle: Oracle,
+                  linear_matches: List[LinearMatch],
+                  extended_matches: List,
+                  comparator_matches: Dict[int, ComparatorMatch],
+                  covers: Dict, supports: Dict[int, List[int]],
+                  trace: List[str],
+                  aliases: Optional[Dict[int, Tuple[int, bool]]] = None
+                  ) -> Netlist:
+        net = Netlist("learned")
+        pi_nodes = [net.add_pi(name) for name in oracle.pi_names]
+        po_nodes: Dict[int, int] = {}
+        for match in extended_matches:
+            po_nodes.update(match.build(net, pi_nodes))
+        for match in linear_matches:
+            words = [[pi_nodes[p] for p in bus.positions]
+                     for bus in match.in_buses]
+            word = linear_combination(net, words, list(match.coefficients),
+                                      match.constant, match.width)
+            for k, po_pos in enumerate(match.out_bus.positions):
+                po_nodes[po_pos] = word[k]
+        for j, match in comparator_matches.items():
+            if match.buried:
+                continue  # handled through covers below
+            po_nodes[j] = self._build_comparator(net, pi_nodes, match)
+        for j, (cover, match, compressed) in covers.items():
+            sop, complemented = cover.chosen_cover()
+            sop = self._two_level_cleanup(sop, cover, complemented)
+            if match is not None and compressed is not None:
+                delegate = self._build_comparator(net, pi_nodes, match)
+                var_nodes = [pi_nodes[p] for p in
+                             compressed.kept_positions] + [delegate]
+            else:
+                var_nodes = pi_nodes
+            po_nodes[j] = build_factored_sop(net, sop, var_nodes,
+                                             complement=complemented)
+        for j, (rep, complemented) in (aliases or {}).items():
+            if rep in po_nodes:
+                node = po_nodes[rep]
+                po_nodes[j] = net.add_not(node) if complemented else node
+        for j, name in enumerate(oracle.po_names):
+            if j not in po_nodes:
+                # Should not happen; fail safe to constant 0.
+                po_nodes[j] = net.add_const0()
+            net.add_po(name, po_nodes[j])
+        return net.cleaned()
+
+    @staticmethod
+    def _two_level_cleanup(sop, cover, complemented):
+        """Espresso-lite on the chosen cover before gate construction.
+
+        The FBDT hands us both the onset and the offset leaves, which is
+        exactly the cover pair the espresso EXPAND step wants; anything
+        in neither cover (timeout gaps) is a don't-care.  Bounded to
+        modest covers — large ones go straight to factoring + synthesis.
+        """
+        from repro.logic.minimize import espresso_lite
+
+        other = cover.onset if complemented else cover.offset
+        if not sop.cubes or len(sop) > 160 or len(other) > 160:
+            return sop
+        try:
+            minimized = espresso_lite(sop, other, max_iterations=2)
+        except RecursionError:  # pathological covers; keep the original
+            return sop
+        if minimized.literal_count() < sop.literal_count():
+            return minimized
+        return sop
+
+    @staticmethod
+    def _build_comparator(net: Netlist, pi_nodes: List[int],
+                          match: ComparatorMatch) -> int:
+        left = [pi_nodes[p] for p in match.left.positions]
+        if match.right is not None:
+            right = [pi_nodes[p] for p in match.right.positions]
+            return comparator(net, match.predicate, left, right)
+        assert match.constant is not None
+        return comparator_const(net, match.predicate, left, match.constant)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def _reports(self, oracle: Oracle,
+                 linear_matches: List[LinearMatch],
+                 extended_matches: List,
+                 comparator_matches: Dict[int, ComparatorMatch],
+                 covers: Dict, supports: Dict[int, List[int]],
+                 aliases: Optional[Dict[int, Tuple[int, bool]]] = None
+                 ) -> List[OutputReport]:
+        aliases = aliases or {}
+        reports: List[OutputReport] = []
+        linear_by_pos: Dict[int, LinearMatch] = {}
+        for match in linear_matches:
+            for pos in match.out_bus.positions:
+                linear_by_pos[pos] = match
+        extended_by_pos: Dict[int, object] = {}
+        for match in extended_matches:
+            for pos in match.out_bus.positions:
+                extended_by_pos[pos] = match
+        for j, name in enumerate(oracle.po_names):
+            if j in aliases:
+                rep, complemented = aliases[j]
+                prefix = "!" if complemented else ""
+                reports.append(OutputReport(
+                    j, name, "shared",
+                    detail=f"= {prefix}{oracle.po_names[rep]}"))
+            elif j in linear_by_pos:
+                reports.append(OutputReport(
+                    j, name, "linear-template",
+                    detail=linear_by_pos[j].describe()))
+            elif j in extended_by_pos:
+                reports.append(OutputReport(
+                    j, name, "extended-template",
+                    detail=extended_by_pos[j].describe()))
+            elif j in comparator_matches and not comparator_matches[j].buried:
+                reports.append(OutputReport(
+                    j, name, "comparator-template",
+                    detail=comparator_matches[j].describe()))
+            elif j in covers:
+                cover, match, _ = covers[j]
+                if match is not None:
+                    method = "comparator-compressed"
+                    detail = match.describe()
+                elif cover.stats.exhausted:
+                    method = "exhaustive"
+                    detail = f"|S'|={len(supports.get(j, []))}"
+                else:
+                    method = "fbdt"
+                    detail = (f"nodes={cover.stats.nodes_expanded} "
+                              f"forced={cover.stats.forced_leaves}")
+                reports.append(OutputReport(
+                    j, name, method, detail=detail,
+                    support_size=len(supports.get(j, [])),
+                    stats=cover.stats))
+            else:
+                reports.append(OutputReport(j, name, "constant"))
+        return reports

@@ -1,0 +1,123 @@
+"""PatternSampling (Algorithm 1): dependency counts and TruthRatio.
+
+For a constraining cube ``c`` the procedure draws ``r`` random full
+assignments satisfying ``c``, pairs each with its input-``i``-flipped twin,
+and counts the disagreements ``D_i = sum_k F[alpha^k_i] xor F[alpha^k_!i]``.
+Assignments mix even and uneven 0/1 ratios (the paper's observation that
+skewed patterns expose more dependencies).
+
+Everything is batched: one oracle call evaluates the base block, and one
+call per input evaluates the flipped block, so the numpy bit-parallel
+oracle keeps the paper's sampling volumes tractable in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logic.cube import Cube
+from repro.oracle.base import Oracle
+
+
+@dataclass
+class SampleStats:
+    """Result of one PatternSampling call.
+
+    ``dependency`` has shape ``(num_pis, num_pos)``; rows of variables
+    constrained by the cube are zero.  ``truth_ratio`` has shape
+    ``(num_pos,)`` and is the fraction of 1s among all sampled values of
+    each output (Algorithm 1's TruthRatio, vectorized over outputs).
+    """
+
+    dependency: np.ndarray
+    truth_ratio: np.ndarray
+    num_samples: int
+
+    def most_significant(self, output: int,
+                         candidates: Optional[Sequence[int]] = None) -> Optional[int]:
+        """The input the output is most sensitive to (argmax D_i), or None
+        if every candidate has a zero dependency count."""
+        column = self.dependency[:, output]
+        if candidates is None:
+            candidates = range(column.shape[0])
+        best, best_count = None, 0
+        for i in candidates:
+            if column[i] > best_count:
+                best, best_count = int(i), int(column[i])
+        return best
+
+    def support(self, output: int) -> list:
+        """S' = {i : D_i != 0} for one output."""
+        return np.nonzero(self.dependency[:, output])[0].tolist()
+
+
+def random_patterns(num: int, num_pis: int, rng: np.random.Generator,
+                    biases: Sequence[float],
+                    cube: Optional[Cube] = None) -> np.ndarray:
+    """Draw ``num`` random full assignments satisfying ``cube``.
+
+    Rows cycle through the bias mix: row ``k`` uses
+    ``biases[k % len(biases)]`` as its P(bit = 1).
+    """
+    patterns = np.empty((num, num_pis), dtype=np.uint8)
+    for b_idx, bias in enumerate(biases):
+        rows = slice(b_idx, num, len(biases))
+        count = len(range(*rows.indices(num)))
+        patterns[rows] = (rng.random((count, num_pis)) < bias).astype(
+            np.uint8)
+    if cube is not None:
+        cube.apply_to(patterns)
+    return patterns
+
+
+def pattern_sampling(oracle: Oracle, cube: Cube, r: int,
+                     rng: np.random.Generator,
+                     biases: Sequence[float] = (0.5,),
+                     outputs: Optional[Sequence[int]] = None,
+                     candidates: Optional[Sequence[int]] = None
+                     ) -> SampleStats:
+    """Algorithm 1, batched over all outputs at once.
+
+    ``candidates`` restricts which inputs get a flip block (defaults to
+    every input not constrained by ``cube``); other rows of the dependency
+    matrix stay zero.  ``outputs`` restricts which output columns are
+    meaningful (others are still computed — the oracle returns full output
+    assignments anyway — but callers may ignore them).
+    """
+    num_pis = oracle.num_pis
+    num_pos = oracle.num_pos
+    constrained = set(cube.variables)
+    if candidates is None:
+        candidates = [i for i in range(num_pis) if i not in constrained]
+    else:
+        candidates = [i for i in candidates if i not in constrained]
+    base = random_patterns(r, num_pis, rng, biases, cube)
+    base_out = oracle.query(base).astype(np.int16)
+    dependency = np.zeros((num_pis, num_pos), dtype=np.int64)
+    ones = base_out.sum(axis=0, dtype=np.int64)
+    total = r
+    for i in candidates:
+        flipped = base.copy()
+        flipped[:, i] ^= 1
+        flip_out = oracle.query(flipped).astype(np.int16)
+        dependency[i] = np.count_nonzero(base_out != flip_out, axis=0)
+        ones += flip_out.sum(axis=0, dtype=np.int64)
+        total += r
+    truth_ratio = ones / max(1, total)
+    return SampleStats(dependency=dependency, truth_ratio=truth_ratio,
+                       num_samples=total)
+
+
+def truth_ratio_only(oracle: Oracle, cube: Cube, num: int,
+                     rng: np.random.Generator,
+                     biases: Sequence[float] = (0.5,)) -> Tuple[np.ndarray, np.ndarray]:
+    """Cheap constant-leaf probe: sample values without any flip blocks.
+
+    Returns ``(truth_ratio per output, raw output block)``.
+    """
+    patterns = random_patterns(num, oracle.num_pis, rng, biases, cube)
+    out = oracle.query(patterns)
+    return out.mean(axis=0), out

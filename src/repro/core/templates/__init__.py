@@ -1,0 +1,7 @@
+"""Template matching (Sec. IV-B): comparator and linear-arithmetic families."""
+
+from repro.core.templates.comparator import ComparatorMatch, match_comparator
+from repro.core.templates.linear import LinearMatch, match_linear
+
+__all__ = ["ComparatorMatch", "match_comparator", "LinearMatch",
+           "match_linear"]

@@ -1,0 +1,243 @@
+"""Extended template families (the paper's stated future work).
+
+Sec. VI: "we would like to enhance the robustness of our tool by
+generalizing the variable grouping and template matching methods."  These
+matchers generalize Table I with three more word-level families:
+
+- **MUX**: ``N_z = sel ? N_a : N_b`` for a scalar select input;
+- **bitwise**: ``z_i = a_i op b_i`` for a 2-input gate op applied lanewise;
+- **wiring**: every output bit is an input bit, its negation, or a
+  constant (subsumes shifts, rotations, bit-reversals and re-bundling).
+
+All hypotheses are formed from controlled probes and accepted only after
+randomized verification over the full input space, exactly like the
+original families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grouping import BusGroup, Grouping
+from repro.core.sampling import random_patterns
+from repro.network.netlist import GateOp, Netlist
+from repro.oracle.base import Oracle
+
+_BITWISE_OPS: Dict[str, GateOp] = {
+    "and": GateOp.AND,
+    "or": GateOp.OR,
+    "xor": GateOp.XOR,
+    "nand": GateOp.NAND,
+    "nor": GateOp.NOR,
+    "xnor": GateOp.XNOR,
+}
+
+_BITWISE_FN = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nand": lambda a, b: 1 - (a & b),
+    "nor": lambda a, b: 1 - (a | b),
+    "xnor": lambda a, b: 1 - (a ^ b),
+}
+
+
+@dataclass(frozen=True)
+class MuxMatch:
+    """``N_z = sel ? N_when1 : N_when0`` (lanewise, widths must agree)."""
+
+    out_bus: BusGroup
+    select_pos: int  # PI position of the select scalar
+    when1: BusGroup
+    when0: BusGroup
+
+    def describe(self) -> str:
+        return (f"N_{self.out_bus.stem} = sel ? N_{self.when1.stem} "
+                f": N_{self.when0.stem}")
+
+    def build(self, net: Netlist, pi_nodes: Sequence[int]) -> Dict[int, int]:
+        from repro.network.builder import mux
+
+        out: Dict[int, int] = {}
+        sel = pi_nodes[self.select_pos]
+        for k, po_pos in enumerate(self.out_bus.positions):
+            a = pi_nodes[self.when1.positions[k]]
+            b = pi_nodes[self.when0.positions[k]]
+            out[po_pos] = mux(net, sel, when0=b, when1=a)
+        return out
+
+
+@dataclass(frozen=True)
+class BitwiseMatch:
+    """``z_i = left_i op right_i`` for every lane i."""
+
+    out_bus: BusGroup
+    op: str
+    left: BusGroup
+    right: BusGroup
+
+    def describe(self) -> str:
+        return (f"{self.out_bus.stem}[i] = {self.left.stem}[i] "
+                f"{self.op} {self.right.stem}[i]")
+
+    def build(self, net: Netlist, pi_nodes: Sequence[int]) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        gate_op = _BITWISE_OPS[self.op]
+        for k, po_pos in enumerate(self.out_bus.positions):
+            a = pi_nodes[self.left.positions[k]]
+            b = pi_nodes[self.right.positions[k]]
+            out[po_pos] = net.add_gate(gate_op, a, b)
+        return out
+
+
+@dataclass(frozen=True)
+class WiringMatch:
+    """Each output bit is an input bit (either phase) or a constant.
+
+    ``sources[k]`` describes output lane k: ``("pi", position, phase)``
+    or ``("const", value)``.
+    """
+
+    out_bus: BusGroup
+    sources: Tuple[Tuple, ...]
+
+    def describe(self) -> str:
+        parts = []
+        for k, src in enumerate(self.sources[:4]):
+            if src[0] == "const":
+                parts.append(f"z[{k}]={src[1]}")
+            else:
+                parts.append(f"z[{k}]={'!' if not src[2] else ''}pi{src[1]}")
+        suffix = "..." if len(self.sources) > 4 else ""
+        return f"wiring {self.out_bus.stem}: " + ",".join(parts) + suffix
+
+    def build(self, net: Netlist, pi_nodes: Sequence[int]) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        const0 = None
+        const1 = None
+        for k, po_pos in enumerate(self.out_bus.positions):
+            src = self.sources[k]
+            if src[0] == "const":
+                if src[1]:
+                    if const1 is None:
+                        const1 = net.add_const1()
+                    out[po_pos] = const1
+                else:
+                    if const0 is None:
+                        const0 = net.add_const0()
+                    out[po_pos] = const0
+            else:
+                _, position, phase = src
+                node = pi_nodes[position]
+                out[po_pos] = node if phase else net.add_not(node)
+        return out
+
+
+def match_mux(oracle: Oracle, pi_grouping: Grouping, out_bus: BusGroup,
+              rng: np.random.Generator,
+              num_samples: int = 128) -> Optional[MuxMatch]:
+    """Hypothesize and verify the word-level MUX family."""
+    buses = [b for b in pi_grouping.buses if b.width == out_bus.width]
+    if len(buses) < 2 or not pi_grouping.scalars:
+        return None
+    samples = random_patterns(num_samples, oracle.num_pis, rng, (0.5,))
+    for sel_pos in pi_grouping.scalars:
+        forced1 = samples.copy()
+        forced1[:, sel_pos] = 1
+        forced0 = samples.copy()
+        forced0[:, sel_pos] = 0
+        out1 = oracle.query(forced1)
+        out0 = oracle.query(forced0)
+        z1 = out_bus.decode_batch(out1)
+        z0 = out_bus.decode_batch(out0)
+        when1 = _bus_equal_to(buses, forced1, z1)
+        when0 = _bus_equal_to(buses, forced0, z0)
+        if when1 is None or when0 is None or when1 is when0:
+            continue
+        match = MuxMatch(out_bus, sel_pos, when1, when0)
+        if _verify_mux(oracle, match, rng, num_samples):
+            return match
+    return None
+
+
+def _bus_equal_to(buses: List[BusGroup], patterns: np.ndarray,
+                  values: np.ndarray) -> Optional[BusGroup]:
+    for bus in buses:
+        if np.array_equal(bus.decode_batch(patterns), values):
+            return bus
+    return None
+
+
+def _verify_mux(oracle: Oracle, match: MuxMatch, rng: np.random.Generator,
+                num_samples: int) -> bool:
+    samples = random_patterns(num_samples, oracle.num_pis, rng,
+                              (0.5, 0.2, 0.8))
+    out = oracle.query(samples)
+    z = match.out_bus.decode_batch(out)
+    a = match.when1.decode_batch(samples)
+    b = match.when0.decode_batch(samples)
+    sel = samples[:, match.select_pos].astype(bool)
+    return bool(np.array_equal(z, np.where(sel, a, b)))
+
+
+def match_bitwise(oracle: Oracle, pi_grouping: Grouping,
+                  out_bus: BusGroup, rng: np.random.Generator,
+                  num_samples: int = 128) -> Optional[BitwiseMatch]:
+    """Hypothesize and verify the lanewise 2-input gate family."""
+    buses = [b for b in pi_grouping.buses if b.width >= out_bus.width]
+    if len(buses) < 2:
+        return None
+    samples = random_patterns(num_samples, oracle.num_pis, rng,
+                              (0.5, 0.25, 0.75))
+    out = oracle.query(samples)
+    for i, left in enumerate(buses):
+        for right in buses[i + 1:]:
+            for op, fn in _BITWISE_FN.items():
+                ok = True
+                for k, po_pos in enumerate(out_bus.positions):
+                    a = samples[:, left.positions[k]].astype(np.int16)
+                    b = samples[:, right.positions[k]].astype(np.int16)
+                    if not np.array_equal(fn(a, b).astype(np.uint8),
+                                          out[:, po_pos]):
+                        ok = False
+                        break
+                if ok:
+                    return BitwiseMatch(out_bus, op, left, right)
+    return None
+
+
+def match_wiring(oracle: Oracle, out_bus: BusGroup,
+                 rng: np.random.Generator,
+                 num_samples: int = 160) -> Optional[WiringMatch]:
+    """Hypothesize and verify pure-wiring outputs (shift/rotate/rewire).
+
+    With 160 random samples the chance of a spurious bit-correspondence
+    is ~2^-160 per pair, so sampling equality is effectively proof.
+    """
+    samples = random_patterns(num_samples, oracle.num_pis, rng,
+                              (0.5, 0.3, 0.7))
+    out = oracle.query(samples)
+    sources: List[Tuple] = []
+    for k, po_pos in enumerate(out_bus.positions):
+        column = out[:, po_pos]
+        if not column.any():
+            sources.append(("const", 0))
+            continue
+        if column.all():
+            sources.append(("const", 1))
+            continue
+        found = None
+        for pi in range(oracle.num_pis):
+            if np.array_equal(samples[:, pi], column):
+                found = ("pi", pi, 1)
+                break
+            if np.array_equal(samples[:, pi] ^ 1, column):
+                found = ("pi", pi, 0)
+                break
+        if found is None:
+            return None
+        sources.append(found)
+    return WiringMatch(out_bus, tuple(sources))

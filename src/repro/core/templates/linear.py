@@ -1,0 +1,97 @@
+"""Linear-arithmetic template matching (Sec. IV-B2).
+
+Hypothesis: an output bus computes ``N_z = sum a_i * N_vi + b (mod 2^w)``.
+The constants fall out of controlled queries exactly as the paper
+describes: ``b`` from the all-zero input, each ``a_i`` from setting
+``N_vi = 1`` with every other bus zero.  A randomized verification pass
+(which also exercises the non-bus inputs) accepts or rejects the
+hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.grouping import BusGroup, Grouping
+from repro.core.sampling import random_patterns
+from repro.oracle.base import Oracle
+
+
+@dataclass(frozen=True)
+class LinearMatch:
+    """A confirmed linear-arithmetic hypothesis for one output bus."""
+
+    out_bus: BusGroup  # positions index the PO name list
+    in_buses: Tuple[BusGroup, ...]  # positions index the PI name list
+    coefficients: Tuple[int, ...]  # residues mod 2^width
+    constant: int
+
+    @property
+    def width(self) -> int:
+        return self.out_bus.width
+
+    def evaluate_ints(self, operands: List[np.ndarray]) -> np.ndarray:
+        acc = np.full(operands[0].shape, self.constant, dtype=np.int64)
+        for coeff, n in zip(self.coefficients, operands):
+            acc += coeff * n
+        return acc % (1 << self.width)
+
+    def describe(self) -> str:
+        terms = [f"{a}*N_{v.stem}"
+                 for a, v in zip(self.coefficients, self.in_buses)]
+        return f"N_{self.out_bus.stem} = " + " + ".join(terms) \
+            + f" + {self.constant} (mod 2^{self.width})"
+
+
+def match_linear(oracle: Oracle, pi_grouping: Grouping, out_bus: BusGroup,
+                 rng: np.random.Generator, num_samples: int = 192
+                 ) -> Optional[LinearMatch]:
+    """Try to explain an output bus as a linear combination of input buses."""
+    in_buses = pi_grouping.buses
+    if not in_buses:
+        return None
+    width = out_bus.width
+    modulus = 1 << width
+    # Controlled probes: all-zero, then one-hot per bus.  Non-bus inputs
+    # stay 0 for the probes; the verification pass randomizes them.
+    probes = np.zeros((1 + len(in_buses), oracle.num_pis), dtype=np.uint8)
+    for row, bus in enumerate(in_buses, start=1):
+        for pos, bit in bus.encode(1).items():
+            probes[row, pos] = bit
+    out = oracle.query(probes)
+    constant = int(out_bus.decode_batch(out[:1])[0])
+    coefficients = []
+    for row in range(1, probes.shape[0]):
+        value = int(out_bus.decode_batch(out[row:row + 1])[0])
+        coefficients.append((value - constant) % modulus)
+    match = LinearMatch(out_bus=out_bus, in_buses=tuple(in_buses),
+                        coefficients=tuple(coefficients), constant=constant)
+    if _verify(oracle, match, rng, num_samples):
+        return _simplified(match)
+    return None
+
+
+def _verify(oracle: Oracle, match: LinearMatch, rng: np.random.Generator,
+            num_samples: int) -> bool:
+    samples = random_patterns(num_samples, oracle.num_pis, rng,
+                              biases=(0.5, 0.2, 0.8))
+    out = oracle.query(samples)
+    got = match.out_bus.decode_batch(out)
+    operands = [bus.decode_batch(samples) for bus in match.in_buses]
+    expect = match.evaluate_ints(operands)
+    return bool(np.array_equal(got, expect))
+
+
+def _simplified(match: LinearMatch) -> LinearMatch:
+    """Drop zero-coefficient operands from a confirmed match."""
+    keep = [(bus, coeff) for bus, coeff
+            in zip(match.in_buses, match.coefficients) if coeff != 0]
+    if len(keep) == len(match.in_buses):
+        return match
+    buses = tuple(b for b, _ in keep)
+    coeffs = tuple(c for _, c in keep)
+    return LinearMatch(out_bus=match.out_bus, in_buses=buses,
+                       coefficients=coeffs, constant=match.constant)

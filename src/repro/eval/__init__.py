@@ -1,0 +1,9 @@
+"""Contest-style evaluation: test patterns, hit-rate accuracy, harness."""
+
+from repro.eval.patterns import contest_test_patterns
+from repro.eval.accuracy import accuracy, per_output_accuracy
+from repro.eval.harness import CaseResult, run_case, run_suite
+from repro.eval.reporting import format_table
+
+__all__ = ["contest_test_patterns", "accuracy", "per_output_accuracy",
+           "CaseResult", "run_case", "run_suite", "format_table"]

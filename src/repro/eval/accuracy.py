@@ -1,0 +1,69 @@
+"""Hit-rate accuracy (Sec. V).
+
+``Accuracy = |Correct Result| / |Testing Assignment|`` where a result is
+correct only if *all* output values match the golden values under the input
+assignment — one wrong bit fails the whole pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.network.netlist import Netlist
+from repro.network.simulate import simulate
+from repro.oracle.base import Oracle
+
+
+def _outputs_of(circuit: Union[Netlist, Oracle],
+                patterns: np.ndarray) -> np.ndarray:
+    if isinstance(circuit, Netlist):
+        return simulate(circuit, patterns)
+    return circuit.query(patterns)
+
+
+def accuracy(learned: Union[Netlist, Oracle],
+             golden: Union[Netlist, Oracle],
+             patterns: np.ndarray,
+             po_order: bool = True) -> float:
+    """Contest hit rate of ``learned`` against ``golden``.
+
+    Outputs are matched by name when both sides carry names in different
+    orders; otherwise positionally.
+    """
+    got = _outputs_of(learned, patterns)
+    want = _outputs_of(golden, patterns)
+    got = _align(learned, golden, got)
+    if got.shape != want.shape:
+        raise ValueError(f"output shapes differ: {got.shape} vs "
+                         f"{want.shape}")
+    hits = (got == want).all(axis=1)
+    return float(hits.mean()) if hits.size else 1.0
+
+
+def per_output_accuracy(learned: Union[Netlist, Oracle],
+                        golden: Union[Netlist, Oracle],
+                        patterns: np.ndarray) -> np.ndarray:
+    """Per-output match rates (diagnostic; the contest metric is the
+    all-outputs hit rate)."""
+    got = _outputs_of(learned, patterns)
+    want = _outputs_of(golden, patterns)
+    got = _align(learned, golden, got)
+    return (got == want).mean(axis=0)
+
+
+def _align(learned, golden, got: np.ndarray) -> np.ndarray:
+    """Reorder learned outputs to the golden name order when needed."""
+    learned_names = getattr(learned, "po_names", None)
+    golden_names = getattr(golden, "po_names", None)
+    if not learned_names or not golden_names:
+        return got
+    if list(learned_names) == list(golden_names):
+        return got
+    index = {name: k for k, name in enumerate(learned_names)}
+    try:
+        perm = [index[name] for name in golden_names]
+    except KeyError as missing:
+        raise ValueError(f"learned circuit lacks output {missing}")
+    return got[:, perm]

@@ -1,0 +1,82 @@
+"""Experiment harness: run learners over contest cases, collect Table II rows."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.accuracy import accuracy
+from repro.eval.patterns import contest_test_patterns
+from repro.network.netlist import Netlist
+from repro.oracle.base import Oracle
+from repro.oracle.suite import ContestCase
+
+# A learner maps a black-box oracle to a netlist.
+Learner = Callable[[Oracle], Netlist]
+
+
+@dataclass
+class CaseResult:
+    """One (case, learner) outcome — one cell group of Table II."""
+
+    case_id: str
+    category: str
+    learner: str
+    size: int
+    accuracy: float
+    time: float
+    queries: int
+    num_pis: int = 0
+    num_pos: int = 0
+    paper_size: Optional[int] = None
+    paper_accuracy: Optional[float] = None
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def meets_contest_bar(self) -> bool:
+        """The contest's hard constraint: accuracy >= 99.99%."""
+        return self.accuracy >= 0.9999
+
+
+def run_case(case: ContestCase, learner: Learner, learner_name: str,
+             test_patterns: int = 30000,
+             rng: Optional[np.random.Generator] = None) -> CaseResult:
+    """Learn one case and score it with the contest's 3-way test mix."""
+    if rng is None:
+        rng = np.random.default_rng(987654321)
+    oracle = case.oracle()
+    t0 = time.monotonic()
+    learned = learner(oracle)
+    elapsed = time.monotonic() - t0
+    queries = oracle.query_count
+    patterns = contest_test_patterns(case.num_pis, total=test_patterns,
+                                     rng=rng)
+    acc = accuracy(learned, case.golden, patterns)
+    return CaseResult(case_id=case.case_id, category=case.category,
+                      learner=learner_name, size=learned.gate_count(),
+                      accuracy=acc, time=elapsed, queries=queries,
+                      num_pis=case.num_pis, num_pos=case.num_pos,
+                      paper_size=case.paper_size,
+                      paper_accuracy=case.paper_accuracy)
+
+
+def run_suite(cases: Sequence[ContestCase],
+              learners: Dict[str, Learner],
+              test_patterns: int = 30000,
+              rng: Optional[np.random.Generator] = None,
+              verbose: bool = False) -> List[CaseResult]:
+    """Run every learner on every case (the full Table II experiment)."""
+    results: List[CaseResult] = []
+    for case in cases:
+        for name, learner in learners.items():
+            result = run_case(case, learner, name,
+                              test_patterns=test_patterns, rng=rng)
+            results.append(result)
+            if verbose:
+                print(f"{case.case_id:9s} {name:16s} size={result.size:7d} "
+                      f"acc={result.accuracy * 100:8.3f}% "
+                      f"time={result.time:7.1f}s")
+    return results

@@ -1,0 +1,30 @@
+"""Contest test-pattern generation (Sec. V).
+
+The contest measures accuracy on 1500k assignments: 500k with a higher
+ratio of 1s, 500k with a higher ratio of 0s, and 500k uniformly random.
+:func:`contest_test_patterns` reproduces that three-way mix at any scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def contest_test_patterns(num_pis: int, total: int = 30000,
+                          rng=None, one_bias: float = 0.75,
+                          zero_bias: float = 0.25) -> np.ndarray:
+    """The contest's 3-way test mix, scaled to ``total`` patterns.
+
+    One third biased toward 1s, one third biased toward 0s, one third
+    uniform (the paper's 500k/500k/500k at 1/100 scale by default).
+    """
+    if rng is None:
+        rng = np.random.default_rng(20191107)
+    third = total // 3
+    sizes = [third, third, total - 2 * third]
+    biases = [one_bias, zero_bias, 0.5]
+    blocks = []
+    for size, bias in zip(sizes, biases):
+        blocks.append(
+            (rng.random((size, num_pis)) < bias).astype(np.uint8))
+    return np.vstack(blocks)

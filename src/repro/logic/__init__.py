@@ -1,0 +1,13 @@
+"""Boolean-function substrate: cubes, SOP covers, truth tables, minimizers, BDDs.
+
+This layer is deliberately independent of circuits and of the learning
+algorithm; it provides the two-level algebra the FBDT learner and the
+synthesis passes are built on.
+"""
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+from repro.logic.bdd import Bdd
+
+__all__ = ["Cube", "Sop", "TruthTable", "Bdd"]

@@ -1,0 +1,204 @@
+"""A small reduced ordered binary decision diagram (ROBDD) package.
+
+Used by the synthesis passes (collapse / refactor) as the "diagram" sibling
+of the paper's free binary decision *tree*, and by the test-suite as an
+exact functional oracle.  Complemented edges are not used; reduction relies
+on a unique table and an ITE computed table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+
+
+class Bdd:
+    """A BDD manager over a fixed variable order ``0 < 1 < ... < n-1``.
+
+    Nodes are integers: 0 and 1 are the terminals; internal nodes index into
+    the manager's node arrays ``(var, low, high)``.
+    """
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, num_vars: int):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self._var: List[int] = [num_vars, num_vars]  # terminals sort last
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # -- node primitives -----------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var_of(self, node: int) -> int:
+        return self._var[node]
+
+    def cofactors(self, node: int, var: int) -> Tuple[int, int]:
+        """(low, high) cofactors of ``node`` w.r.t. ``var`` (top or absent)."""
+        if self._var[node] == var:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # -- function construction -------------------------------------------------
+
+    def variable(self, var: int) -> int:
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable {var} outside universe")
+        return self._mk(var, self.ZERO, self.ONE)
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f&g | !f&h`` — the universal BDD operator."""
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self.cofactors(f, top)
+        g0, g1 = self.cofactors(g, top)
+        h0, h1 = self.cofactors(h, top)
+        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def from_cube(self, cube: Cube) -> int:
+        node = self.ONE
+        for var, phase in reversed(list(cube.literals())):
+            lit = self.variable(var)
+            if not phase:
+                lit = self.apply_not(lit)
+            node = self.apply_and(lit, node)
+        return node
+
+    def from_sop(self, sop: Sop) -> int:
+        node = self.ZERO
+        for cube in sop.cubes:
+            node = self.apply_or(node, self.from_cube(cube))
+        return node
+
+    # -- analysis ---------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Sequence[int]) -> int:
+        while node > self.ONE:
+            if assignment[self._var[node]]:
+                node = self._high[node]
+            else:
+                node = self._low[node]
+        return node
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying full assignments over all num_vars vars."""
+        cache: Dict[int, int] = {}
+
+        def count(n: int) -> int:
+            if n == self.ZERO:
+                return 0
+            if n == self.ONE:
+                return 1 << self.num_vars
+            if n in cache:
+                return cache[n]
+            var = self._var[n]
+            lo = count(self._low[n]) >> 1
+            hi = count(self._high[n]) >> 1
+            cache[n] = lo + hi
+            return cache[n]
+
+        return count(node)
+
+    def support(self, node: int) -> List[int]:
+        seen = set()
+        out = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n <= self.ONE or n in seen:
+                continue
+            seen.add(n)
+            out.add(self._var[n])
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return sorted(out)
+
+    def node_count(self, node: int) -> int:
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n <= self.ONE or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return len(seen)
+
+    def to_sop(self, node: int) -> Sop:
+        """Enumerate the onset as path cubes (irredundant per path)."""
+        cubes: List[Cube] = []
+
+        def walk(n: int, lits: Dict[int, int]) -> None:
+            if n == self.ZERO:
+                return
+            if n == self.ONE:
+                cubes.append(Cube(dict(lits)))
+                return
+            var = self._var[n]
+            lits[var] = 0
+            walk(self._low[n], lits)
+            lits[var] = 1
+            walk(self._high[n], lits)
+            del lits[var]
+
+        walk(node, {})
+        return Sop(cubes, self.num_vars).absorb()
+
+    def one_sat(self, node: int) -> Optional[Cube]:
+        """A single satisfying partial assignment, or None if unsat."""
+        if node == self.ZERO:
+            return None
+        lits: Dict[int, int] = {}
+        while node > self.ONE:
+            if self._high[node] != self.ZERO:
+                lits[self._var[node]] = 1
+                node = self._high[node]
+            else:
+                lits[self._var[node]] = 0
+                node = self._low[node]
+        return Cube(lits)

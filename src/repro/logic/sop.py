@@ -1,0 +1,274 @@
+"""Sum-of-products covers built from :class:`~repro.logic.cube.Cube`.
+
+The FBDT learner of the paper produces its result as "the disjunction of the
+cubes of the leaves" (Sec. IV-D); this module is that representation plus the
+cover algebra the minimizer and the circuit builder need: evaluation,
+containment/tautology checks via unate recursion, cofactors, absorption and
+distance-1 merging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.logic.cube import Cube
+
+
+class Sop:
+    """A disjunction of cubes over ``num_vars`` variables."""
+
+    __slots__ = ("cubes", "num_vars")
+
+    def __init__(self, cubes: Iterable[Cube], num_vars: int):
+        self.cubes: List[Cube] = list(cubes)
+        self.num_vars = int(num_vars)
+        for cube in self.cubes:
+            if cube.variables and cube.variables[-1] >= self.num_vars:
+                raise ValueError(
+                    f"cube {cube!r} references variable outside universe "
+                    f"of size {self.num_vars}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def zero(cls, num_vars: int) -> "Sop":
+        """The constant-0 cover."""
+        return cls([], num_vars)
+
+    @classmethod
+    def one(cls, num_vars: int) -> "Sop":
+        """The constant-1 cover (a single empty cube)."""
+        return cls([Cube.empty()], num_vars)
+
+    @classmethod
+    def from_minterms(cls, minterms: Iterable[int], num_vars: int) -> "Sop":
+        """Cover with one full cube per integer minterm (LSB = variable 0)."""
+        cubes = []
+        for m in minterms:
+            lits = {v: (m >> v) & 1 for v in range(num_vars)}
+            cubes.append(Cube(lits))
+        return cls(cubes, num_vars)
+
+    @classmethod
+    def from_strings(cls, rows: Sequence[str]) -> "Sop":
+        """Build from PLA-style positional cube strings."""
+        if not rows:
+            raise ValueError("need at least one row to infer num_vars")
+        num_vars = len(rows[0])
+        return cls([Cube.from_string(r) for r in rows], num_vars)
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def is_zero(self) -> bool:
+        return not self.cubes
+
+    def is_one(self) -> bool:
+        """Tautology check (exact, via unate recursion)."""
+        return _tautology(self.cubes, self.num_vars)
+
+    def literal_count(self) -> int:
+        return sum(len(c) for c in self.cubes)
+
+    def support(self) -> Set[int]:
+        """Variables syntactically appearing in the cover."""
+        out: Set[int] = set()
+        for cube in self.cubes:
+            out.update(cube.variables)
+        return out
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over a ``(N, num_vars)`` 0/1 array."""
+        patterns = np.asarray(patterns)
+        result = np.zeros(patterns.shape[0], dtype=bool)
+        for cube in self.cubes:
+            result |= cube.evaluate(patterns)
+        return result
+
+    def evaluate_one(self, assignment: Sequence[int]) -> int:
+        """Evaluate a single full assignment (sequence indexed by variable)."""
+        arr = np.asarray(assignment, dtype=np.uint8).reshape(1, -1)
+        return int(self.evaluate(arr)[0])
+
+    # -- algebra ----------------------------------------------------------------
+
+    def cofactor(self, var: int, phase: int) -> "Sop":
+        """Shannon cofactor of the cover."""
+        cubes = []
+        for cube in self.cubes:
+            cf = cube.cofactor(var, phase)
+            if cf is not None:
+                cubes.append(cf)
+        return Sop(cubes, self.num_vars)
+
+    def disjoin(self, other: "Sop") -> "Sop":
+        if self.num_vars != other.num_vars:
+            raise ValueError("covers over different universes")
+        return Sop(self.cubes + other.cubes, self.num_vars)
+
+    def conjoin(self, other: "Sop") -> "Sop":
+        if self.num_vars != other.num_vars:
+            raise ValueError("covers over different universes")
+        cubes = []
+        for a in self.cubes:
+            for b in other.cubes:
+                c = a.conjoin(b)
+                if c is not None:
+                    cubes.append(c)
+        return Sop(cubes, self.num_vars).absorb()
+
+    def complement(self) -> "Sop":
+        """Exact complement via Shannon recursion (use on small supports)."""
+        return Sop(_complement(self.cubes, sorted(self.support())),
+                   self.num_vars)
+
+    def covers_cube(self, cube: Cube) -> bool:
+        """Exact test: does this cover contain every minterm of ``cube``?"""
+        cofactored = self.cubes
+        for var, phase in cube.literals():
+            nxt = []
+            for c in cofactored:
+                cf = c.cofactor(var, phase)
+                if cf is not None:
+                    nxt.append(cf)
+            cofactored = nxt
+        return _tautology(cofactored, self.num_vars)
+
+    def intersects_cube(self, cube: Cube) -> bool:
+        """True iff some cube of the cover shares a minterm with ``cube``."""
+        return any(c.intersects(cube) for c in self.cubes)
+
+    # -- light-weight minimization -------------------------------------------
+
+    def absorb(self) -> "Sop":
+        """Drop duplicate cubes and cubes contained in another single cube."""
+        kept: List[Cube] = []
+        # Larger cubes (fewer literals) first so they absorb smaller ones.
+        for cube in sorted(set(self.cubes), key=len):
+            if not any(k.contains(cube) for k in kept):
+                kept.append(cube)
+        return Sop(kept, self.num_vars)
+
+    def merge_siblings(self) -> "Sop":
+        """Iteratively merge distance-1 same-support cube pairs.
+
+        FBDT leaves are disjoint minterm-like cubes; sibling merging is the
+        cheap first-pass reduction before espresso-lite / synthesis.
+        """
+        cubes = list(self.absorb().cubes)
+        changed = True
+        while changed:
+            changed = False
+            by_support = {}
+            for cube in cubes:
+                by_support.setdefault(cube.variables, []).append(cube)
+            merged: List[Cube] = []
+            used: Set[int] = set()
+            for group in by_support.values():
+                for i, a in enumerate(group):
+                    if id(a) in used:
+                        continue
+                    partner = None
+                    for b in group[i + 1:]:
+                        if id(b) in used:
+                            continue
+                        m = a.merge(b)
+                        if m is not None:
+                            partner = (b, m)
+                            break
+                    if partner is not None:
+                        used.add(id(a))
+                        used.add(id(partner[0]))
+                        merged.append(partner[1])
+                        changed = True
+                    else:
+                        merged.append(a)
+            cubes = Sop(merged, self.num_vars).absorb().cubes
+        return Sop(cubes, self.num_vars)
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sop):
+            return NotImplemented
+        return (self.num_vars == other.num_vars
+                and sorted(map(hash, self.cubes))
+                == sorted(map(hash, other.cubes)))
+
+    def __repr__(self) -> str:
+        return f"Sop({len(self.cubes)} cubes, {self.num_vars} vars)"
+
+
+# -- cover recursion helpers --------------------------------------------------
+
+
+def _tautology(cubes: List[Cube], num_vars: int) -> bool:
+    """Unate-recursion tautology check on a cube list."""
+    if any(c.is_empty() for c in cubes):
+        return True
+    if not cubes:
+        return False
+    # Pick the most frequently constrained variable as the split variable.
+    counts = {}
+    for cube in cubes:
+        for var in cube.variables:
+            counts[var] = counts.get(var, 0) + 1
+    # Unate shortcut: if some variable appears in a single phase only, the
+    # cover is a tautology iff the cover without cubes using it is.
+    phases = {}
+    for cube in cubes:
+        for var, phase in cube.literals():
+            phases.setdefault(var, set()).add(phase)
+    for var, seen in phases.items():
+        if len(seen) == 1:
+            reduced = [c for c in cubes if var not in c]
+            return _tautology(reduced, num_vars)
+    split = max(counts, key=lambda v: counts[v])
+    for phase in (0, 1):
+        branch = []
+        for cube in cubes:
+            cf = cube.cofactor(split, phase)
+            if cf is not None:
+                branch.append(cf)
+        if not _tautology(branch, num_vars):
+            return False
+    return True
+
+
+def _complement(cubes: List[Cube], variables: List[int]) -> List[Cube]:
+    """Shannon-recursion complement of a cube list over ``variables``."""
+    if any(c.is_empty() for c in cubes):
+        return []
+    if not cubes:
+        return [Cube.empty()]
+    if len(cubes) == 1:
+        # De Morgan on a single cube.
+        return [Cube({var: 1 - phase}) for var, phase in cubes[0].literals()]
+    split = None
+    for var in variables:
+        if any(var in c for c in cubes):
+            split = var
+            break
+    if split is None:
+        # Non-empty cover with no literals left is a tautology.
+        return []
+    rest = [v for v in variables if v != split]
+    out: List[Cube] = []
+    for phase in (0, 1):
+        branch = []
+        for cube in cubes:
+            cf = cube.cofactor(split, phase)
+            if cf is not None:
+                branch.append(cf)
+        for cube in _complement(branch, rest):
+            out.append(cube.with_literal(split, phase))
+    return out

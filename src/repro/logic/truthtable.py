@@ -1,0 +1,333 @@
+"""Packed truth tables for small-support Boolean functions.
+
+Bit ``m`` of the table is ``f`` at the minterm whose binary encoding is ``m``
+with variable 0 as the least-significant bit.  Tables are stored as numpy
+``uint64`` words, so all Boolean operations, cofactors and support checks are
+word-parallel.  Intended for supports up to ~22 variables — exactly the
+regime of the paper's "conquering small functions" trick (threshold 18) and
+of cut/cone resynthesis in the optimization passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+
+# Intra-word cofactor masks: _VAR_MASKS[i] has bit m set iff bit i of m is 1.
+_VAR_MASKS = [
+    np.uint64(0xAAAAAAAAAAAAAAAA),
+    np.uint64(0xCCCCCCCCCCCCCCCC),
+    np.uint64(0xF0F0F0F0F0F0F0F0),
+    np.uint64(0xFF00FF00FF00FF00),
+    np.uint64(0xFFFF0000FFFF0000),
+    np.uint64(0xFFFFFFFF00000000),
+]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _num_words(num_vars: int) -> int:
+    return 1 if num_vars <= 6 else 1 << (num_vars - 6)
+
+
+class TruthTable:
+    """A completely specified function of ``num_vars`` variables."""
+
+    __slots__ = ("num_vars", "words")
+
+    def __init__(self, num_vars: int, words: np.ndarray):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = int(num_vars)
+        expected = _num_words(self.num_vars)
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} words for {num_vars} vars, "
+                f"got shape {words.shape}")
+        self.words = self._masked(words)
+
+    def _masked(self, words: np.ndarray) -> np.ndarray:
+        """Zero the padding bits above 2^num_vars in a sub-word table."""
+        if self.num_vars >= 6:
+            return words
+        keep = np.uint64((1 << (1 << self.num_vars)) - 1)
+        out = words.copy()
+        out[0] &= keep
+        return out
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, num_vars: int) -> "TruthTable":
+        return cls(num_vars, np.zeros(_num_words(num_vars), dtype=np.uint64))
+
+    @classmethod
+    def ones(cls, num_vars: int) -> "TruthTable":
+        return cls(num_vars,
+                   np.full(_num_words(num_vars), _ALL_ONES, dtype=np.uint64))
+
+    @classmethod
+    def variable(cls, var: int, num_vars: int) -> "TruthTable":
+        """The projection function ``x_var``."""
+        if not 0 <= var < num_vars:
+            raise ValueError(f"variable {var} outside universe {num_vars}")
+        words = np.zeros(_num_words(num_vars), dtype=np.uint64)
+        if var < 6:
+            words[:] = _VAR_MASKS[var]
+        else:
+            stride = 1 << (var - 6)
+            idx = np.arange(words.shape[0])
+            words[(idx // stride) % 2 == 1] = _ALL_ONES
+        return cls(num_vars, words)
+
+    @classmethod
+    def from_minterms(cls, minterms: Iterable[int],
+                      num_vars: int) -> "TruthTable":
+        tt = cls.zeros(num_vars)
+        words = tt.words.copy()
+        for m in minterms:
+            if not 0 <= m < (1 << num_vars):
+                raise ValueError(f"minterm {m} out of range")
+            words[m >> 6] |= np.uint64(1) << np.uint64(m & 63)
+        return cls(num_vars, words)
+
+    @classmethod
+    def from_function(cls, fn: Callable[[Sequence[int]], int],
+                      num_vars: int) -> "TruthTable":
+        """Tabulate ``fn`` over all assignments (LSB = variable 0)."""
+        minterms = []
+        for m in range(1 << num_vars):
+            bits = [(m >> v) & 1 for v in range(num_vars)]
+            if fn(bits):
+                minterms.append(m)
+        return cls.from_minterms(minterms, num_vars)
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "TruthTable":
+        """Tabulate from a length-2^n 0/1 sequence indexed by minterm."""
+        n = (len(values) - 1).bit_length()
+        if len(values) != 1 << n:
+            raise ValueError("length must be a power of two")
+        return cls.from_minterms(
+            (m for m, v in enumerate(values) if v), n)
+
+    @classmethod
+    def from_sop(cls, sop: Sop) -> "TruthTable":
+        out = cls.zeros(sop.num_vars)
+        for cube in sop.cubes:
+            term = cls.ones(sop.num_vars)
+            for var, phase in cube.literals():
+                lit = cls.variable(var, sop.num_vars)
+                term &= lit if phase else ~lit
+            out |= term
+        return out
+
+    @classmethod
+    def random(cls, num_vars: int, rng: np.random.Generator) -> "TruthTable":
+        words = rng.integers(0, 2 ** 64, size=_num_words(num_vars),
+                             dtype=np.uint64)
+        return cls(num_vars, words)
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, minterm: int) -> int:
+        if not 0 <= minterm < (1 << self.num_vars):
+            raise ValueError(f"minterm {minterm} out of range")
+        return int((self.words[minterm >> 6]
+                    >> np.uint64(minterm & 63)) & np.uint64(1))
+
+    def count_ones(self) -> int:
+        # numpy has no popcount on uint64 before 2.x; go through bytes.
+        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+
+    def is_zero(self) -> bool:
+        return not self.words.any()
+
+    def is_one(self) -> bool:
+        return self == TruthTable.ones(self.num_vars)
+
+    def minterms(self) -> List[int]:
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return np.nonzero(bits[: 1 << self.num_vars])[0].tolist()
+
+    def depends_on(self, var: int) -> bool:
+        return self.cofactor(var, 1) != self.cofactor(var, 0)
+
+    def support(self) -> List[int]:
+        return [v for v in range(self.num_vars) if self.depends_on(v)]
+
+    def evaluate_one(self, assignment: Sequence[int]) -> int:
+        m = 0
+        for var in range(self.num_vars):
+            if assignment[var]:
+                m |= 1 << var
+        return self.get(m)
+
+    # -- operations ------------------------------------------------------------
+
+    def cofactor(self, var: int, phase: int) -> "TruthTable":
+        """Cofactor, returned over the same variable universe."""
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable {var} outside universe")
+        words = self.words
+        if var < 6:
+            mask = _VAR_MASKS[var]
+            shift = np.uint64(1 << var)
+            if phase:
+                kept = words & mask
+                out = kept | (kept >> shift)
+            else:
+                kept = words & ~mask
+                out = kept | (kept << shift)
+            return TruthTable(self.num_vars, out)
+        stride = 1 << (var - 6)
+        out = words.copy()
+        idx = np.arange(words.shape[0])
+        hi = (idx // stride) % 2 == 1
+        if phase:
+            out[~hi] = words[idx[~hi] + stride]
+        else:
+            out[hi] = words[idx[hi] - stride]
+        return TruthTable(self.num_vars, out)
+
+    def compose_permutation(self, perm: Sequence[int],
+                            new_num_vars: int) -> "TruthTable":
+        """Re-express over a new universe: old var ``v`` -> ``perm[v]``.
+
+        Used to lift a cut-local truth table back into a cone universe and
+        vice versa.  Every variable in the support must have a valid image
+        (``perm[v] >= 0``); non-support variables may map to -1.
+        """
+        support = sorted(self.support())
+        for v in support:
+            if perm[v] < 0 or perm[v] >= new_num_vars:
+                raise ValueError(f"support variable {v} has no valid image")
+        # Each onset point, projected onto the support, becomes a cube over
+        # the image variables (don't-care on all other new variables).
+        seen = set()
+        cubes = []
+        for m in self.minterms():
+            key = tuple((m >> v) & 1 for v in support)
+            if key in seen:
+                continue
+            seen.add(key)
+            cubes.append(Cube({perm[v]: bit for v, bit in zip(support, key)}))
+        return TruthTable.from_sop(Sop(cubes, new_num_vars))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.num_vars, self.words & other.words)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.num_vars, self.words | other.words)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.num_vars, self.words ^ other.words)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.num_vars, ~self.words)
+
+    def _check(self, other: "TruthTable") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError("truth tables over different universes")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return (self.num_vars == other.num_vars
+                and bool(np.array_equal(self.words, other.words)))
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, self.words.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.num_vars <= 6:
+            return f"TruthTable({self.num_vars} vars, 0x{int(self.words[0]):x})"
+        return f"TruthTable({self.num_vars} vars, {self.count_ones()} ones)"
+
+    # -- two-level extraction ----------------------------------------------------
+
+    def isop(self, max_cubes=None) -> Sop:
+        """Irredundant SOP via the Minato-Morreale procedure.
+
+        ``max_cubes`` aborts with :class:`IsopOverflow` once the cover
+        exceeds the budget — callers that only want *small* covers (the
+        refactor pass) use this to bail out of exponential functions.
+        """
+        worker = _IsopWorker(max_cubes)
+        cubes = worker.run(self, self, list(range(self.num_vars)))
+        return Sop(cubes, self.num_vars)
+
+
+class IsopOverflow(RuntimeError):
+    """The ISOP cover exceeded the requested cube budget."""
+
+
+class _IsopWorker:
+    """Memoized Minato-Morreale recursion with an optional cube budget."""
+
+    def __init__(self, max_cubes: Optional[int]):
+        self.max_cubes = max_cubes
+        self.produced = 0
+        self._cache: dict = {}
+
+    def run(self, lower: "TruthTable", upper: "TruthTable",
+            variables: List[int]) -> List[Cube]:
+        key = (lower.words.tobytes(), upper.words.tobytes())
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute(lower, upper, variables)
+        self._cache[key] = result
+        return result
+
+    def _compute(self, lower: "TruthTable", upper: "TruthTable",
+                 variables: List[int]) -> List[Cube]:
+        if lower.is_zero():
+            return []
+        if upper.is_one():
+            self._account(1)
+            return [Cube.empty()]
+        split = None
+        for var in variables:
+            if lower.depends_on(var) or upper.depends_on(var):
+                split = var
+                break
+        if split is None:
+            # Constant interval: both bounds are constant here.
+            self._account(1)
+            return [Cube.empty()]
+        rest = [v for v in variables if v != split]
+        l0, l1 = lower.cofactor(split, 0), lower.cofactor(split, 1)
+        u0, u1 = upper.cofactor(split, 0), upper.cofactor(split, 1)
+        # Cubes that must carry the negative / positive literal.
+        c0 = self.run(l0 & ~u1, u0, rest)
+        c1 = self.run(l1 & ~u0, u1, rest)
+        tt0 = _cover_table(c0, lower.num_vars)
+        tt1 = _cover_table(c1, lower.num_vars)
+        # Remaining onset coverable without the split literal.
+        l_star = (l0 & ~tt0) | (l1 & ~tt1)
+        c_star = self.run(l_star, u0 & u1, rest)
+        out = [c.with_literal(split, 0) for c in c0]
+        out += [c.with_literal(split, 1) for c in c1]
+        out += c_star
+        self._account(len(out))
+        return out
+
+    def _account(self, n: int) -> None:
+        self.produced += n
+        if self.max_cubes is not None and self.produced > self.max_cubes:
+            raise IsopOverflow(f"ISOP exceeded {self.max_cubes} cubes")
+
+
+def _cover_table(cubes: List[Cube], num_vars: int) -> TruthTable:
+    if not cubes:
+        return TruthTable.zeros(num_vars)
+    return TruthTable.from_sop(Sop(cubes, num_vars))

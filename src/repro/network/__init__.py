@@ -1,0 +1,7 @@
+"""Circuit substrate: named gate-level netlists, bit-parallel simulation,
+structural construction helpers and BLIF/Verilog interchange."""
+
+from repro.network.netlist import Gate, GateOp, Netlist
+from repro.network.simulate import simulate
+
+__all__ = ["Gate", "GateOp", "Netlist", "simulate"]

@@ -1,0 +1,159 @@
+"""BLIF interchange for netlists.
+
+The writer emits one ``.names`` block per gate; the reader accepts the
+single-output-cover subset of BLIF (which is what ABC and most academic
+tools emit for combinational logic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO, Tuple
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import build_sop
+from repro.network.netlist import GateOp, Netlist
+
+_GATE_COVERS = {
+    GateOp.BUF: ["1 1"],
+    GateOp.NOT: ["0 1"],
+    GateOp.AND: ["11 1"],
+    GateOp.OR: ["1- 1", "-1 1"],
+    GateOp.XOR: ["10 1", "01 1"],
+    GateOp.NAND: ["0- 1", "-0 1"],
+    GateOp.NOR: ["00 1"],
+    GateOp.XNOR: ["11 1", "00 1"],
+}
+
+
+def write_blif(netlist: Netlist, stream: TextIO) -> None:
+    """Serialize as BLIF (gates named ``n<id>``, PIs/POs by their names)."""
+    names: Dict[int, str] = {}
+    for name, node in zip(netlist.pi_names, netlist.pi_nodes):
+        names[node] = name
+    stream.write(f".model {netlist.name}\n")
+    stream.write(".inputs " + " ".join(netlist.pi_names) + "\n")
+    stream.write(".outputs " + " ".join(netlist.po_names) + "\n")
+    for n, gate in enumerate(netlist.gates):
+        if gate.op is GateOp.PI:
+            continue
+        names.setdefault(n, f"n{n}")
+        if gate.op is GateOp.CONST0:
+            stream.write(f".names {names[n]}\n")
+            continue
+        fanin_names = " ".join(names[f] for f in gate.fanins)
+        stream.write(f".names {fanin_names} {names[n]}\n")
+        for row in _GATE_COVERS[gate.op]:
+            stream.write(row + "\n")
+    for po_name, node in zip(netlist.po_names, netlist.po_nodes):
+        driver = names.get(node, f"n{node}")
+        if driver != po_name:
+            stream.write(f".names {driver} {po_name}\n1 1\n")
+    stream.write(".end\n")
+
+
+def read_blif(stream: TextIO) -> Netlist:
+    """Parse the combinational ``.names`` subset of BLIF."""
+    model_name = "top"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    covers: List[Tuple[List[str], str, List[str]]] = []
+
+    tokens_buffer: List[str] = []
+    current: Tuple[List[str], str, List[str]] = None  # type: ignore
+
+    def flush_current() -> None:
+        nonlocal current
+        if current is not None:
+            covers.append(current)
+            current = None
+
+    lines: List[str] = []
+    pending = ""
+    for raw in stream:
+        line = raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        lines.append(pending + line)
+        pending = ""
+    for line in lines:
+        tokens = line.split()
+        if tokens[0] == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else "top"
+        elif tokens[0] == ".inputs":
+            flush_current()
+            inputs.extend(tokens[1:])
+        elif tokens[0] == ".outputs":
+            flush_current()
+            outputs.extend(tokens[1:])
+        elif tokens[0] == ".names":
+            flush_current()
+            current = (tokens[1:-1], tokens[-1], [])
+        elif tokens[0] == ".end":
+            flush_current()
+        elif tokens[0].startswith("."):
+            raise ValueError(f"unsupported BLIF construct {tokens[0]!r}")
+        else:
+            if current is None:
+                raise ValueError(f"cover row outside .names: {line!r}")
+            current[2].append(line)
+    flush_current()
+
+    net = Netlist(model_name)
+    node_of: Dict[str, int] = {}
+    for name in inputs:
+        node_of[name] = net.add_pi(name)
+
+    # .names blocks may be out of topological order; resolve by iteration.
+    remaining = list(covers)
+    while remaining:
+        progressed = False
+        next_round = []
+        for fanins, target, rows in remaining:
+            if all(f in node_of for f in fanins):
+                node_of[target] = _build_cover(net, fanins, rows, node_of)
+                progressed = True
+            else:
+                next_round.append((fanins, target, rows))
+        if not progressed:
+            missing = {f for fanins, _, _ in next_round for f in fanins
+                       if f not in node_of}
+            raise ValueError(f"unresolvable BLIF signals: {sorted(missing)}")
+        remaining = next_round
+
+    for name in outputs:
+        if name not in node_of:
+            raise ValueError(f"undriven output {name!r}")
+        net.add_po(name, node_of[name])
+    return net
+
+
+def _build_cover(net: Netlist, fanins: List[str], rows: List[str],
+                 node_of: Dict[str, int]) -> int:
+    if not fanins:
+        # Constant: rows == ["1"] means const1, empty/absent means const0.
+        if any(r.strip() == "1" for r in rows):
+            return net.add_const1()
+        return net.add_const0()
+    on_rows = []
+    off_rows = []
+    for row in rows:
+        parts = row.split()
+        if len(parts) != 2:
+            raise ValueError(f"bad cover row {row!r}")
+        pattern, value = parts
+        if len(pattern) != len(fanins):
+            raise ValueError(f"cover row width mismatch: {row!r}")
+        (on_rows if value == "1" else off_rows).append(pattern)
+    if off_rows and on_rows:
+        raise ValueError("mixed-phase covers are not supported")
+    rows_used = on_rows or off_rows
+    sop = Sop([Cube.from_string(r) for r in rows_used], len(fanins))
+    fanin_nodes = [node_of[f] for f in fanins]
+    node = build_sop(net, sop, fanin_nodes)
+    if off_rows:
+        node = net.add_not(node)
+    return node

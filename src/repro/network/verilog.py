@@ -1,0 +1,72 @@
+"""Structural Verilog writer (the contest's submission format).
+
+Emits one continuous-assign per gate using the 2-input primitive operators,
+so the output is synthesizable and human-auditable.  Only writing is
+supported — the learner never needs to read Verilog.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, TextIO
+
+from repro.network.netlist import GateOp, Netlist
+
+_OPS = {
+    GateOp.AND: "&",
+    GateOp.OR: "|",
+    GateOp.XOR: "^",
+}
+_INV_OPS = {
+    GateOp.NAND: "&",
+    GateOp.NOR: "|",
+    GateOp.XNOR: "^",
+}
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    return name if _IDENT.match(name) else f"\\{name} "
+
+
+def write_verilog(netlist: Netlist, stream: TextIO) -> None:
+    """Serialize the netlist as a flat structural Verilog module."""
+    names: Dict[int, str] = {}
+    for name, node in zip(netlist.pi_names, netlist.pi_nodes):
+        names[node] = _escape(name)
+    ports = [_escape(n) for n in netlist.pi_names + netlist.po_names]
+    stream.write(f"module {_escape(netlist.name)} (\n")
+    stream.write("  " + ", ".join(ports) + "\n);\n")
+    for name in netlist.pi_names:
+        stream.write(f"  input {_escape(name)};\n")
+    for name in netlist.po_names:
+        stream.write(f"  output {_escape(name)};\n")
+    keep = netlist.reachable_from_pos()
+    for n in sorted(keep):
+        if netlist.gates[n].op is not GateOp.PI and n not in names:
+            names[n] = f"w{n}"
+            stream.write(f"  wire w{n};\n")
+    for n in sorted(keep):
+        gate = netlist.gates[n]
+        op = gate.op
+        if op is GateOp.PI:
+            continue
+        target = names[n]
+        if op is GateOp.CONST0:
+            stream.write(f"  assign {target} = 1'b0;\n")
+        elif op is GateOp.BUF:
+            stream.write(f"  assign {target} = {names[gate.fanins[0]]};\n")
+        elif op is GateOp.NOT:
+            stream.write(f"  assign {target} = ~{names[gate.fanins[0]]};\n")
+        elif op in _OPS:
+            a, b = (names[f] for f in gate.fanins)
+            stream.write(f"  assign {target} = {a} {_OPS[op]} {b};\n")
+        else:
+            a, b = (names[f] for f in gate.fanins)
+            stream.write(
+                f"  assign {target} = ~({a} {_INV_OPS[op]} {b});\n")
+    for po_name, node in zip(netlist.po_names, netlist.po_nodes):
+        if names[node] != _escape(po_name):
+            stream.write(f"  assign {_escape(po_name)} = {names[node]};\n")
+    stream.write("endmodule\n")

@@ -1,0 +1,15 @@
+"""Black-box IO-generator substrate.
+
+The contest provides opaque binaries; we provide seeded synthetic
+generators for the same four application categories (Sec. V) behind the
+identical interface: full input assignments in, full output assignments
+out, nothing else observable.
+"""
+
+from repro.oracle.base import Oracle, QueryBudgetExceeded
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.oracle.function_oracle import FunctionOracle
+from repro.oracle.suite import ContestCase, contest_suite
+
+__all__ = ["Oracle", "QueryBudgetExceeded", "NetlistOracle",
+           "FunctionOracle", "ContestCase", "contest_suite"]

@@ -1,0 +1,98 @@
+"""The black-box oracle interface (the contest's IO-generator contract).
+
+Per the problem statement (Sec. III) the generator 1) hides a completely
+specified Boolean function and 2) maps full input assignments to full
+output assignments — no partial queries, no structure, only names.  The
+:class:`Oracle` base class enforces exactly that contract and meters the
+number of queries so experiments can report sampling effort.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when an oracle's query budget is exhausted."""
+
+
+class Oracle(abc.ABC):
+    """A black-box input-output relation generator.
+
+    Subclasses implement :meth:`_evaluate`; users call :meth:`query`, which
+    validates shapes (full assignments only), counts queries and enforces
+    an optional budget.
+    """
+
+    def __init__(self, pi_names: Sequence[str], po_names: Sequence[str],
+                 query_budget: Optional[int] = None):
+        self._pi_names = list(pi_names)
+        self._po_names = list(po_names)
+        self._query_count = 0
+        self._budget = query_budget
+
+    # -- public contract -----------------------------------------------------
+
+    @property
+    def pi_names(self) -> List[str]:
+        """Names of the primary inputs (the only structural hint given)."""
+        return list(self._pi_names)
+
+    @property
+    def po_names(self) -> List[str]:
+        return list(self._po_names)
+
+    @property
+    def num_pis(self) -> int:
+        return len(self._pi_names)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self._po_names)
+
+    @property
+    def query_count(self) -> int:
+        """Total full-assignment queries served so far."""
+        return self._query_count
+
+    def reset_query_count(self) -> None:
+        self._query_count = 0
+
+    def query(self, patterns: np.ndarray) -> np.ndarray:
+        """Evaluate a batch of full assignments.
+
+        ``patterns`` is an ``(N, num_pis)`` 0/1 array; the result is the
+        ``(N, num_pos)`` array of output assignments.
+        """
+        patterns = np.asarray(patterns, dtype=np.uint8)
+        if patterns.ndim != 2 or patterns.shape[1] != self.num_pis:
+            raise ValueError(
+                f"full assignments required: expected (N, {self.num_pis}), "
+                f"got {patterns.shape}")
+        if patterns.size and patterns.max() > 1:
+            raise ValueError("patterns must be 0/1 valued")
+        if self._budget is not None \
+                and self._query_count + patterns.shape[0] > self._budget:
+            raise QueryBudgetExceeded(
+                f"budget of {self._budget} queries exhausted")
+        self._query_count += patterns.shape[0]
+        out = self._evaluate(patterns)
+        out = np.asarray(out, dtype=np.uint8)
+        if out.shape != (patterns.shape[0], self.num_pos):
+            raise AssertionError(
+                "oracle implementation returned a malformed response")
+        return out
+
+    def query_one(self, assignment: Sequence[int]) -> List[int]:
+        """Evaluate a single full assignment."""
+        arr = np.asarray(assignment, dtype=np.uint8).reshape(1, -1)
+        return self.query(arr)[0].tolist()
+
+    # -- implementation hook --------------------------------------------------
+
+    @abc.abstractmethod
+    def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        """Compute the hidden function on validated patterns."""

@@ -1,0 +1,44 @@
+"""Wrap arbitrary Python callables as black-box oracles.
+
+Handy for tests and for users bringing their own system under learning —
+anything that maps input bit-vectors to output bit-vectors qualifies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.oracle.base import Oracle
+
+
+class FunctionOracle(Oracle):
+    """Oracle backed by a vectorized callable.
+
+    ``fn`` receives the validated ``(N, num_pis)`` array and must return an
+    ``(N, num_pos)`` array.  Use :meth:`from_scalar` for per-assignment
+    Python functions.
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray],
+                 pi_names: Sequence[str], po_names: Sequence[str],
+                 query_budget: Optional[int] = None):
+        super().__init__(pi_names, po_names, query_budget=query_budget)
+        self._fn = fn
+
+    def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        return np.asarray(self._fn(patterns), dtype=np.uint8)
+
+    @classmethod
+    def from_scalar(cls, fn: Callable[[Sequence[int]], Sequence[int]],
+                    pi_names: Sequence[str], po_names: Sequence[str],
+                    query_budget: Optional[int] = None) -> "FunctionOracle":
+        """Lift a one-assignment-at-a-time function to the batch interface."""
+
+        def batched(patterns: np.ndarray) -> np.ndarray:
+            rows = [fn(row.tolist()) for row in patterns]
+            return np.asarray(rows, dtype=np.uint8).reshape(
+                patterns.shape[0], len(po_names))
+
+        return cls(batched, pi_names, po_names, query_budget=query_budget)

@@ -1,0 +1,33 @@
+"""Wrap a gate netlist as a black-box oracle (the hidden golden circuit)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network.netlist import Netlist
+from repro.network.simulate import simulate
+from repro.oracle.base import Oracle
+
+
+class NetlistOracle(Oracle):
+    """Black-box view of a netlist: only names and IO behaviour escape.
+
+    The underlying netlist is intentionally held in a private attribute;
+    experiment harnesses may access it as the *golden* reference for
+    accuracy measurement, but the learner must not.
+    """
+
+    def __init__(self, netlist: Netlist,
+                 query_budget: Optional[int] = None):
+        super().__init__(netlist.pi_names, netlist.po_names,
+                         query_budget=query_budget)
+        self._netlist = netlist
+
+    def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        return simulate(self._netlist, patterns)
+
+    def golden_netlist(self) -> Netlist:
+        """The hidden circuit — for evaluation harnesses only."""
+        return self._netlist

@@ -1,0 +1,12 @@
+"""SAT substrate: a CDCL solver, CNF/Tseitin encoding, equivalence checking.
+
+Used by the fraig pass (SAT sweeping) and by the test-suite to verify that
+optimized circuits stay equivalent to what was learned.
+"""
+
+from repro.sat.solver import Solver, SolveResult
+from repro.sat.cnf import Cnf
+from repro.sat.equivalence import are_equivalent, find_counterexample
+
+__all__ = ["Solver", "SolveResult", "Cnf", "are_equivalent",
+           "find_counterexample"]

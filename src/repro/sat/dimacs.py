@@ -1,0 +1,57 @@
+"""DIMACS CNF reading and writing.
+
+Lets the CDCL solver exchange problems with standard SAT tooling and lets
+tests replay canonical instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO
+
+from repro.sat.cnf import Cnf
+
+
+def write_dimacs(cnf: Cnf, stream: TextIO,
+                 comment: str = "written by repro") -> None:
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(l) for l in clause) + " 0\n")
+
+
+def read_dimacs(stream: TextIO) -> Cnf:
+    cnf = Cnf()
+    declared_vars = None
+    declared_clauses = None
+    current: List[int] = []
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad problem line: {line!r}")
+            declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+                cnf.num_vars = max(cnf.num_vars, abs(lit))
+    if current:
+        cnf.clauses.append(current)  # tolerate a missing trailing 0
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    if declared_clauses is not None \
+            and len(cnf.clauses) != declared_clauses:
+        raise ValueError(
+            f"clause count mismatch: header says {declared_clauses}, "
+            f"found {len(cnf.clauses)}")
+    return cnf

@@ -1,0 +1,73 @@
+"""Miter-based combinational equivalence checking.
+
+Builds the standard miter — shared inputs, pairwise XOR of outputs, OR of
+the XORs — and asks the CDCL solver for a distinguishing input.  This is
+the exactness backstop behind fraig and behind the test-suite's
+"optimization preserved the function" checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.aig.aig import Aig
+from repro.network.netlist import Netlist
+from repro.sat.cnf import Cnf, tseitin_aig
+from repro.sat.solver import Solver, SolveResult
+
+Circuit = Union[Aig, Netlist]
+
+
+def _as_aig(circuit: Circuit) -> Aig:
+    if isinstance(circuit, Aig):
+        return circuit
+    return Aig.from_netlist(circuit)
+
+
+def find_counterexample(left: Circuit, right: Circuit,
+                        max_conflicts: Optional[int] = None
+                        ) -> Tuple[SolveResult, Optional[List[int]]]:
+    """Search for an input on which the circuits disagree.
+
+    Returns ``(UNSAT, None)`` when provably equivalent, ``(SAT, pattern)``
+    with a distinguishing 0/1 input vector, or ``(UNKNOWN, None)`` if the
+    conflict budget ran out.
+    """
+    a, b = _as_aig(left), _as_aig(right)
+    if a.num_pis != b.num_pis:
+        raise ValueError("circuits have different input counts")
+    if len(a.po_lits) != len(b.po_lits):
+        raise ValueError("circuits have different output counts")
+    cnf = Cnf()
+    cnf, pi_vars, pos_a = tseitin_aig(a, cnf)
+    cnf, _, pos_b = tseitin_aig(b, cnf, pi_vars=pi_vars)
+    diff_vars = []
+    for la, lb in zip(pos_a, pos_b):
+        d = cnf.new_var()
+        # d <-> (la xor lb)
+        cnf.add(-d, la, lb)
+        cnf.add(-d, -la, -lb)
+        cnf.add(d, -la, lb)
+        cnf.add(d, la, -lb)
+        diff_vars.append(d)
+    cnf.add(*diff_vars)  # some output differs
+
+    solver = Solver()
+    if not solver.add_clauses(cnf.clauses):
+        return SolveResult.UNSAT, None
+    result = solver.solve(max_conflicts=max_conflicts)
+    if result is not SolveResult.SAT:
+        return result, None
+    pattern = [1 if solver.model_value(v) else 0 for v in pi_vars]
+    return result, pattern
+
+
+def are_equivalent(left: Circuit, right: Circuit,
+                   max_conflicts: Optional[int] = None) -> Optional[bool]:
+    """True/False when decided; None if the conflict budget ran out."""
+    result, _ = find_counterexample(left, right, max_conflicts=max_conflicts)
+    if result is SolveResult.UNSAT:
+        return True
+    if result is SolveResult.SAT:
+        return False
+    return None

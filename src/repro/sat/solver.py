@@ -1,0 +1,370 @@
+"""A CDCL SAT solver: two-watched literals, VSIDS, 1UIP learning, restarts.
+
+DIMACS-style literal convention: variables are positive integers, a negative
+integer is the negated literal.  Internally literals are encoded as
+``2*var + sign`` for dense array indexing.
+
+This is a compact but complete implementation — conflict-driven clause
+learning with first-UIP resolution, exponential-decay activity (VSIDS),
+phase saving and Luby restarts — sized for the miter instances the fraig
+pass and the equivalence checker produce.  "Assumptions" are handled the
+simple, sound way: :meth:`solve_with_assumptions` clones the clause database
+into a fresh solver and adds the assumptions as unit clauses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SolveResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+def _enc(literal: int) -> int:
+    var = abs(literal)
+    return 2 * var + (1 if literal < 0 else 0)
+
+
+def _neg(code: int) -> int:
+    return code ^ 1
+
+
+def _luby(x: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 0-indexed."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """A CDCL solver; clauses may be added between :meth:`solve` calls."""
+
+    def __init__(self):
+        self._clauses: List[List[int]] = []  # original clauses (encoded)
+        self._learned: List[List[int]] = []
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._assign: List[int] = [0, 0]  # -1 false, 0 unassigned, 1 true
+        self._level: List[int] = [0, 0]
+        self._reason: List[Optional[List[int]]] = [None, None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0, 0.0]
+        self._phase: List[int] = [0, 0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._num_vars = 0
+        self._ok = True
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+
+    # -- problem construction ---------------------------------------------------
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        return self._num_vars
+
+    def _ensure_vars(self, literals: Iterable[int]) -> None:
+        top = max((abs(l) for l in literals), default=0)
+        while self._num_vars < top:
+            self.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a clause of DIMACS literals; returns False if the formula
+        became trivially unsatisfiable."""
+        if not self._ok:
+            return False
+        self._ensure_vars(literals)
+        self._backtrack(0)
+        seen = set()
+        clause: List[int] = []
+        for l in literals:
+            code = _enc(l)
+            if _neg(code) in seen:
+                return True  # tautological clause
+            if code in seen:
+                continue
+            seen.add(code)
+            clause.append(code)
+        # At root level, drop falsified literals, skip satisfied clauses.
+        filtered = []
+        for code in clause:
+            v = self._value(code)
+            if v == 1:
+                return True
+            if v == 0:
+                filtered.append(code)
+        clause = filtered
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None) \
+                    or self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        self._clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for c in clauses:
+            ok = self.add_clause(c) and ok
+        return ok
+
+    def _watch(self, clause: List[int]) -> None:
+        self._watches.setdefault(_neg(clause[0]), []).append(clause)
+        self._watches.setdefault(_neg(clause[1]), []).append(clause)
+
+    # -- assignment helpers --------------------------------------------------------
+
+    def _value(self, code: int) -> int:
+        """1 true, -1 false, 0 unassigned — for an encoded literal."""
+        v = self._assign[code >> 1]
+        if v == 0:
+            return 0
+        return v if not (code & 1) else -v
+
+    def _enqueue(self, code: int, reason: Optional[List[int]]) -> bool:
+        val = self._value(code)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        var = code >> 1
+        self._assign[var] = -1 if code & 1 else 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(code)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            code = self._trail[self._qhead]
+            self._qhead += 1
+            watchers = self._watches.get(code)
+            if not watchers:
+                continue
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                if clause[0] == _neg(code):
+                    clause[0], clause[1] = clause[1], clause[0]
+                if clause[1] != _neg(code):
+                    # Stale watcher entry (clause was moved); drop it.
+                    watchers[i] = watchers[-1]
+                    watchers.pop()
+                    continue
+                first = clause[0]
+                if self._value(first) == 1:
+                    i += 1
+                    continue
+                found = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != -1:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watches.setdefault(
+                            _neg(clause[1]), []).append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                self.num_propagations += 1
+                if not self._enqueue(first, clause):
+                    self._qhead = len(self._trail)
+                    return clause
+                i += 1
+        return None
+
+    # -- conflict analysis ------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: List[int]):
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        code: Optional[int] = None
+        clause = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        while True:
+            start = 0 if code is None else 1
+            for c in clause[start:]:
+                var = c >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(c)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            code = self._trail[index]
+            index -= 1
+            var = code >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = _neg(code)
+                break
+            reason = self._reason[var]
+            assert reason is not None, "decision reached before UIP"
+            # Put the implied literal first so the skip below is correct.
+            if reason[0] != code:
+                reason = [code] + [c for c in reason if c != code]
+            clause = reason
+        if len(learned) == 1:
+            bt = 0
+        else:
+            bt = max(self._level[c >> 1] for c in learned[1:])
+            for j in range(1, len(learned)):
+                if self._level[learned[j] >> 1] == bt:
+                    learned[1], learned[j] = learned[j], learned[1]
+                    break
+        return learned, bt
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for code in self._trail[limit:]:
+            var = code >> 1
+            self._phase[var] = self._assign[var]
+            self._assign[var] = 0
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    def _decide(self) -> Optional[int]:
+        best = None
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == 0 and self._activity[var] > best_act:
+                best = var
+                best_act = self._activity[var]
+        if best is None:
+            return None
+        sign = 1 if self._phase[best] == -1 else 0
+        return 2 * best + sign
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def solve(self, max_conflicts: Optional[int] = None) -> SolveResult:
+        """Solve the current formula; UNKNOWN when the budget runs out."""
+        if not self._ok:
+            return SolveResult.UNSAT
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return SolveResult.UNSAT
+        restart_num = 0
+        restart_budget = 100 * _luby(restart_num)
+        conflicts_here = 0
+        budget_start = self.num_conflicts
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.num_conflicts += 1
+                conflicts_here += 1
+                if max_conflicts is not None and \
+                        self.num_conflicts - budget_start >= max_conflicts:
+                    self._backtrack(0)
+                    return SolveResult.UNKNOWN
+                if not self._trail_lim:
+                    self._ok = False
+                    return SolveResult.UNSAT
+                learned, bt = self._analyze(conflict)
+                self._backtrack(bt)
+                if len(learned) > 1:
+                    self._learned.append(learned)
+                    self._watch(learned)
+                if not self._enqueue(learned[0], learned):
+                    self._ok = False
+                    return SolveResult.UNSAT
+                self._var_inc /= self._var_decay
+                if conflicts_here > restart_budget:
+                    restart_num += 1
+                    restart_budget = 100 * _luby(restart_num)
+                    conflicts_here = 0
+                    self._backtrack(0)
+                continue
+            decision = self._decide()
+            if decision is None:
+                return SolveResult.SAT
+            self.num_decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def solve_with_assumptions(self, assumptions: Sequence[int],
+                               max_conflicts: Optional[int] = None
+                               ) -> "tuple[SolveResult, Optional[Solver]]":
+        """Solve under unit assumptions via a fresh clone.
+
+        Returns ``(result, clone)``; on SAT, read the model from the clone.
+        """
+        clone = Solver()
+        while clone._num_vars < self._num_vars:
+            clone.new_var()
+        ok = True
+        for clause in self._clauses:
+            decoded = [(c >> 1) * (-1 if c & 1 else 1) for c in clause]
+            ok = clone.add_clause(decoded) and ok
+        # Root-level units from the trail.
+        for code in self._trail[: self._trail_lim[0]
+                                if self._trail_lim else len(self._trail)]:
+            ok = clone.add_clause(
+                [(code >> 1) * (-1 if code & 1 else 1)]) and ok
+        for a in assumptions:
+            ok = clone.add_clause([a]) and ok
+        if not ok:
+            return SolveResult.UNSAT, None
+        result = clone.solve(max_conflicts=max_conflicts)
+        return result, clone if result is SolveResult.SAT else None
+
+    # -- model access ---------------------------------------------------------------------
+
+    def model_value(self, var: int) -> Optional[bool]:
+        """Value of a variable in the last SAT model."""
+        v = self._assign[var]
+        if v == 0:
+            return None
+        return v == 1
+
+    def model(self) -> Dict[int, bool]:
+        return {v: self._assign[v] == 1
+                for v in range(1, self._num_vars + 1)
+                if self._assign[v] != 0}
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars

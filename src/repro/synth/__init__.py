@@ -1,0 +1,19 @@
+"""Mini logic-synthesis kit (the paper's ABC substitute, Sec. IV-E).
+
+Passes operate on AIGs and are composed by :mod:`repro.synth.scripts` into
+``dc2`` / ``resyn3`` / ``compress2rs``-style sequences with a time limit,
+mirroring how the paper drives ABC.
+"""
+
+from repro.synth.balance import balance
+from repro.synth.rewrite import rewrite
+from repro.synth.refactor import refactor
+from repro.synth.fraig import fraig
+from repro.synth.collapse import collapse
+from repro.synth.redundancy import remove_redundancies
+from repro.synth.exact import ExactChain, exact_synthesis
+from repro.synth.scripts import optimize_aig, optimize_netlist, OptimizeReport
+
+__all__ = ["balance", "rewrite", "refactor", "fraig", "collapse",
+           "remove_redundancies", "exact_synthesis", "ExactChain",
+           "optimize_aig", "optimize_netlist", "OptimizeReport"]

@@ -1,0 +1,248 @@
+"""SAT-based exact synthesis of minimal AIGs for tiny functions.
+
+Finds the minimum number of AND nodes (with complemented edges) realizing
+a given truth table, by encoding "does an r-gate AIG exist?" as CNF and
+sweeping r upward — the classic exact-synthesis formulation used by ABC's
+``twoexact`` and Knuth's boolean-chain search, here sized for the
+``k <= 4`` cut functions the rewrite pass cares about.
+
+Encoding, per candidate gate ``i`` (topologically after all inputs and
+previous gates):
+
+- one selector variable per unordered pair of *literals* drawn from
+  {constant-free inputs and earlier gates, either phase};
+- value variables ``v[i][t]`` for every minterm ``t``;
+- selector -> (value == AND of the two chosen literal values) clauses,
+  with input values folded in as constants;
+- an output-phase variable so the chain may realize the complement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.aig import Aig, lit_not
+from repro.sat.solver import Solver, SolveResult
+
+CONST0 = -1
+CONST1 = -2
+
+
+@dataclass
+class ExactChain:
+    """A synthesized boolean chain.
+
+    ``steps[i]`` is ``(lit_a, lit_b)`` with literals encoded as
+    ``2*source + phase_bit`` where source 0..n-1 are the inputs and
+    source ``n + j`` is step j; ``output_lit`` follows the same scheme,
+    or is one of the constant sentinels :data:`CONST0` / :data:`CONST1`
+    (negative values, so they cannot collide with literal 0 = ``x0``).
+    """
+
+    num_vars: int
+    steps: List[Tuple[int, int]]
+    output_lit: int
+
+    @property
+    def size(self) -> int:
+        return len(self.steps)
+
+    def evaluate(self, minterm: int) -> int:
+        values: List[int] = []
+
+        def lit_value(lit: int) -> int:
+            source, phase = lit >> 1, lit & 1
+            if source < self.num_vars:
+                bit = (minterm >> source) & 1
+            else:
+                bit = values[source - self.num_vars]
+            return bit ^ phase
+
+        if self.output_lit == CONST0:
+            return 0
+        if self.output_lit == CONST1:
+            return 1
+        if not self.steps:
+            return lit_value(self.output_lit)
+        for a, b in self.steps:
+            values.append(lit_value(a) & lit_value(b))
+        return lit_value(self.output_lit)
+
+    def table(self) -> int:
+        out = 0
+        for t in range(1 << self.num_vars):
+            out |= self.evaluate(t) << t
+        return out
+
+    def build_into(self, aig: Aig, input_lits: Sequence[int]) -> int:
+        """Instantiate the chain in an AIG; returns the output literal."""
+        values: List[int] = []
+
+        def resolve(lit: int) -> int:
+            source, phase = lit >> 1, lit & 1
+            base = input_lits[source] if source < self.num_vars \
+                else values[source - self.num_vars]
+            return lit_not(base) if phase else base
+
+        if self.output_lit == CONST0:
+            return 0
+        if self.output_lit == CONST1:
+            return 1
+        for a, b in self.steps:
+            values.append(aig.and_(resolve(a), resolve(b)))
+        return resolve(self.output_lit)
+
+
+def exact_synthesis(table: int, num_vars: int, max_gates: int = 7,
+                    max_conflicts_per_size: int = 60000
+                    ) -> Optional[ExactChain]:
+    """Minimal-size chain for ``table``, or None if the search gave up.
+
+    Trivial functions (constants and single literals) return a 0-step
+    chain immediately.
+    """
+    if num_vars > 4:
+        raise ValueError("exact synthesis limited to 4 inputs")
+    mask = (1 << (1 << num_vars)) - 1
+    table &= mask
+    trivial = _trivial_chain(table, num_vars, mask)
+    if trivial is not None:
+        return trivial
+    for r in range(1, max_gates + 1):
+        chain = _try_size(table, num_vars, r, max_conflicts_per_size)
+        if chain == "unknown":
+            return None
+        if chain is not None:
+            return chain
+    return None
+
+
+def _trivial_chain(table: int, num_vars: int,
+                   mask: int) -> Optional[ExactChain]:
+    if table == 0:
+        return ExactChain(num_vars, [], CONST0)
+    if table == mask:
+        return ExactChain(num_vars, [], CONST1)
+    from repro.aig.cuts import projection
+    for v in range(num_vars):
+        proj = projection(v, num_vars)
+        if table == proj:
+            return ExactChain(num_vars, [], 2 * v)
+        if table == (~proj & mask):
+            return ExactChain(num_vars, [], 2 * v + 1)
+    return None
+
+
+def _try_size(table: int, num_vars: int, r: int, max_conflicts: int):
+    """SAT query: does an r-AND chain realize ``table``?
+
+    Returns an ExactChain, None (UNSAT), or the string "unknown".
+    """
+    solver = Solver()
+    num_minterms = 1 << num_vars
+
+    # Literal universe per gate i: inputs 0..n-1 and steps 0..i-1,
+    # both phases.  Encoded exactly like ExactChain literals.
+    def sources_for(i: int) -> List[int]:
+        return list(range(num_vars + i))
+
+    # value_var[i][t]
+    value_var = [[solver.new_var() for _ in range(num_minterms)]
+                 for _ in range(r)]
+    out_phase = solver.new_var()
+
+    selector_var: Dict[Tuple[int, int, int], int] = {}
+    for i in range(r):
+        pair_vars = []
+        for a, b in _literal_pairs(sources_for(i)):
+            s = solver.new_var()
+            selector_var[(i, a, b)] = s
+            pair_vars.append(s)
+        # At least one pair per gate; at-most-one pairwise.
+        solver.add_clause(pair_vars)
+        for x, y in itertools.combinations(pair_vars, 2):
+            solver.add_clause([-x, -y])
+
+    def lit_value_expr(lit: int, t: int):
+        """Returns (constant_bit, None) or (None, signed CNF literal)."""
+        source, phase = lit >> 1, lit & 1
+        if source < num_vars:
+            return ((t >> source) & 1) ^ phase, None
+        v = value_var[source - num_vars][t]
+        return None, (-v if phase else v)
+
+    for (i, a, b), s in selector_var.items():
+        for t in range(num_minterms):
+            v = value_var[i][t]
+            ca, la = lit_value_expr(a, t)
+            cb, lb = lit_value_expr(b, t)
+            # v <-> xa & xb under s.
+            operands = []
+            forced_zero = False
+            for c, l in ((ca, la), (cb, lb)):
+                if c is not None:
+                    if c == 0:
+                        forced_zero = True
+                else:
+                    operands.append(l)
+            if forced_zero:
+                solver.add_clause([-s, -v])
+                continue
+            # v -> each operand; operands -> v.
+            for l in operands:
+                solver.add_clause([-s, -v, l])
+            solver.add_clause([-s, v] + [-l for l in operands])
+
+    # Output: value of the last gate, possibly complemented.
+    for t in range(num_minterms):
+        target = (table >> t) & 1
+        v = value_var[r - 1][t]
+        # out_phase=0: v == target ; out_phase=1: v == !target.
+        if target:
+            solver.add_clause([out_phase, v])
+            solver.add_clause([-out_phase, -v])
+        else:
+            solver.add_clause([out_phase, -v])
+            solver.add_clause([-out_phase, v])
+
+    # Symmetry breaking: gate i must use step i-1 or appear later... keep
+    # it light: require each gate except the last to feed some later gate.
+    for i in range(r - 1):
+        feeders = []
+        for (j, a, b), s in selector_var.items():
+            if j <= i:
+                continue
+            if (a >> 1) == num_vars + i or (b >> 1) == num_vars + i:
+                feeders.append(s)
+        if feeders:
+            solver.add_clause(feeders)
+
+    result = solver.solve(max_conflicts=max_conflicts)
+    if result is SolveResult.UNKNOWN:
+        return "unknown"
+    if result is SolveResult.UNSAT:
+        return None
+    steps: List[Tuple[int, int]] = [None] * r  # type: ignore
+    for (i, a, b), s in selector_var.items():
+        if solver.model_value(s):
+            steps[i] = (a, b)
+    assert all(step is not None for step in steps)
+    output_lit = 2 * (num_vars + r - 1) \
+        + (1 if solver.model_value(out_phase) else 0)
+    chain = ExactChain(num_vars, steps, output_lit)
+    assert chain.table() == table, "encoding bug: model mismatch"
+    return chain
+
+
+def _literal_pairs(sources: Sequence[int]):
+    """All unordered pairs of distinct-source literals."""
+    lits = []
+    for s in sources:
+        lits.append(2 * s)
+        lits.append(2 * s + 1)
+    for a, b in itertools.combinations(lits, 2):
+        if (a >> 1) == (b >> 1):
+            continue  # same source, both phases -> constant or copy
+        yield a, b

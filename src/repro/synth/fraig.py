@@ -1,0 +1,159 @@
+"""Functional reduction of AIGs — fraig (Mishchenko et al., cited Sec. IV-D).
+
+Random simulation partitions nodes into candidate-equivalence classes
+(complement-normalized signatures); a CDCL SAT check on the shared cone
+confirms or refutes each candidate merge, and counterexamples are fed back
+into the simulation vectors so one refinement round kills many fakes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.aig.aig import Aig, lit_compl, lit_node, lit_not
+from repro.sat.cnf import Cnf
+from repro.sat.solver import Solver, SolveResult
+from repro.synth.rebuild import copy_pos, identity_map, map_lit
+
+
+def fraig(aig: Aig, rng: Optional[np.random.Generator] = None,
+          sim_words: int = 16, max_conflicts: int = 2000,
+          max_rounds: int = 3) -> Aig:
+    """Return a functionally reduced, strashed copy."""
+    if rng is None:
+        rng = np.random.default_rng(2019)
+    if aig.num_pis == 0:
+        return aig
+    pi_words = rng.integers(0, 2 ** 64, size=(aig.num_pis, sim_words),
+                            dtype=np.uint64)
+    extra_patterns: List[List[int]] = []
+    for _ in range(max_rounds):
+        reduced, counterexamples = _fraig_round(
+            aig, pi_words, max_conflicts)
+        if not counterexamples:
+            return reduced
+        # Fold counterexamples into fresh simulation words and retry.
+        extra_patterns.extend(counterexamples)
+        cex = np.array(extra_patterns, dtype=np.uint8)
+        from repro.network.simulate import pack_patterns
+        cex_words = pack_patterns(cex)
+        pi_words = np.concatenate([pi_words, cex_words], axis=1)
+    reduced, _ = _fraig_round(aig, pi_words, max_conflicts)
+    return reduced
+
+
+def _fraig_round(aig: Aig, pi_words: np.ndarray,
+                 max_conflicts: int) -> Tuple[Aig, List[List[int]]]:
+    values = aig.simulate_words(pi_words)
+    signatures = []
+    for n in range(aig.num_nodes):
+        sig = values[n].tobytes()
+        inv = (~values[n]).tobytes()
+        # Complement-normalize: smaller of the two byte strings.
+        if inv < sig:
+            signatures.append((inv, True))
+        else:
+            signatures.append((sig, False))
+    new = Aig(pi_names=list(aig.pi_names))
+    lit_map = identity_map(aig, new)
+    # Representative old node per signature (among processed nodes).
+    repr_of: Dict[bytes, Tuple[int, bool]] = {}
+    zero_sig = np.zeros_like(values[0]).tobytes()
+    repr_of[zero_sig] = (0, False)
+    for p in range(1, aig.num_pis + 1):
+        sig, flipped = signatures[p]
+        repr_of.setdefault(sig, (p, flipped))
+    counterexamples: List[List[int]] = []
+    checks_failed = set()
+    for n in sorted(aig.reachable()):
+        f0, f1 = aig.fanins(n)
+        translated = new.and_(map_lit(lit_map, f0), map_lit(lit_map, f1))
+        sig, flipped = signatures[n]
+        entry = repr_of.get(sig)
+        if entry is None:
+            repr_of[sig] = (n, flipped)
+            lit_map[n] = translated
+            continue
+        rep_node, rep_flipped = entry
+        if rep_node == n:
+            lit_map[n] = translated
+            continue
+        # Candidate: n == rep (or complement); confirm by SAT.
+        complemented = flipped != rep_flipped
+        verdict, cex = _check_equivalence(aig, n, rep_node, complemented,
+                                          max_conflicts)
+        if verdict is True:
+            rep_lit = map_lit(lit_map, 2 * rep_node)
+            lit_map[n] = lit_not(rep_lit) if complemented else rep_lit
+        else:
+            lit_map[n] = translated
+            if cex is not None:
+                counterexamples.append(cex)
+            checks_failed.add(n)
+    copy_pos(aig, new, lit_map)
+    return new, counterexamples
+
+
+def _check_equivalence(aig: Aig, a: int, b: int, complemented: bool,
+                       max_conflicts: int
+                       ) -> Tuple[Optional[bool], Optional[List[int]]]:
+    """SAT check ``a == b`` (or complement) on the shared fanin cone.
+
+    Returns (True, None) if proved, (False, cex-pattern) if refuted,
+    (None, None) if the conflict budget ran out.
+    """
+    cone = _tfi(aig, (a, b))
+    cnf = Cnf()
+    var_of: Dict[int, int] = {}
+    pi_var: Dict[int, int] = {}
+    for n in sorted(cone):
+        v = cnf.new_var()
+        var_of[n] = v
+        if n == 0:
+            cnf.add(-v)
+        elif aig.is_pi(n):
+            pi_var[n] = v
+        else:
+            f0, f1 = aig.fanins(n)
+            la = var_of[lit_node(f0)] * (-1 if lit_compl(f0) else 1)
+            lb = var_of[lit_node(f1)] * (-1 if lit_compl(f1) else 1)
+            cnf.add(-v, la)
+            cnf.add(-v, lb)
+            cnf.add(v, -la, -lb)
+    va, vb = var_of[a], var_of[b]
+    if complemented:
+        vb = -vb
+    # Force a != b.
+    d = cnf.new_var()
+    cnf.add(-d, va, vb)
+    cnf.add(-d, -va, -vb)
+    cnf.add(d)
+    solver = Solver()
+    if not solver.add_clauses(cnf.clauses):
+        return True, None
+    result = solver.solve(max_conflicts=max_conflicts)
+    if result is SolveResult.UNSAT:
+        return True, None
+    if result is SolveResult.UNKNOWN:
+        return None, None
+    pattern = [0] * aig.num_pis
+    for n, v in pi_var.items():
+        pattern[n - 1] = 1 if solver.model_value(v) else 0
+    return False, pattern
+
+
+def _tfi(aig: Aig, roots) -> Set[int]:
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        if aig.is_and(n):
+            f0, f1 = aig.fanins(n)
+            stack.append(lit_node(f0))
+            stack.append(lit_node(f1))
+    return seen

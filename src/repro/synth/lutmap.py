@@ -1,0 +1,142 @@
+"""Cut-based k-LUT technology mapping (ABC's ``if -K k``).
+
+Maps an AIG into a network of k-input lookup tables using the classic
+two-phase scheme: a forward pass chooses each node's best cut by
+(depth, area-flow), then a backward pass from the POs materializes the
+chosen cuts into the final LUT cover.
+
+The contest itself counts 2-input gates, so the learner does not use
+this; it exists because any self-respecting AIG kit ends in a mapper,
+and because LUT counts are a useful second size metric for the learned
+circuits (``repro stats`` could report it; benches do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aig.aig import Aig, lit_compl, lit_node
+from repro.aig.cuts import Cut, enumerate_cuts
+from repro.logic.truthtable import TruthTable
+from repro.network.builder import build_factored_sop
+from repro.network.netlist import Netlist
+
+
+@dataclass
+class Lut:
+    """One mapped LUT: leaves (AIG nodes), local truth table, root node."""
+
+    root: int
+    leaves: Tuple[int, ...]
+    table: int  # over 2^len(leaves) bits in leaf order
+
+
+@dataclass
+class LutMapping:
+    """A complete LUT cover of an AIG."""
+
+    aig: Aig
+    luts: List[Lut]
+    po_lits: List[int]  # original PO literals (node + phase)
+    depth_of: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_luts(self) -> int:
+        return len(self.luts)
+
+    @property
+    def depth(self) -> int:
+        if not self.po_lits:
+            return 0
+        return max(self.depth_of.get(lit_node(po), 0)
+                   for po in self.po_lits)
+
+    def to_netlist(self, name: str = "lutmap") -> Netlist:
+        """Expand each LUT into 2-input gates (for verification only)."""
+        net = Netlist(name)
+        node_of: Dict[int, int] = {0: net.add_const0()}
+        for pi_name in self.aig.pi_names:
+            node_of[len(node_of)] = net.add_pi(pi_name)
+        for lut in self.luts:
+            k = len(lut.leaves)
+            tt = TruthTable(k, np.array([lut.table], dtype=np.uint64))
+            sop = tt.isop()
+            leaf_nodes = [node_of[leaf] for leaf in lut.leaves]
+            node_of[lut.root] = build_factored_sop(net, sop, leaf_nodes)
+        inverted: Dict[int, int] = {}
+        for po_lit, po_name in zip(self.po_lits, self.aig.po_names):
+            base = node_of[lit_node(po_lit)]
+            if lit_compl(po_lit):
+                if base not in inverted:
+                    inverted[base] = net.add_not(base)
+                base = inverted[base]
+            net.add_po(po_name, base)
+        return net
+
+
+def map_luts(aig: Aig, k: int = 4, max_cuts: int = 8) -> LutMapping:
+    """Map ``aig`` into k-LUTs by depth-then-area-flow cut selection."""
+    if k < 2 or k > 6:
+        raise ValueError("LUT size must be between 2 and 6")
+    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
+    refs = aig.ref_counts()
+    reachable = sorted(aig.reachable())
+
+    depth: Dict[int, int] = {0: 0}
+    area_flow: Dict[int, float] = {0: 0.0}
+    best_cut: Dict[int, Cut] = {}
+    for p in range(1, aig.num_pis + 1):
+        depth[p] = 0
+        area_flow[p] = 0.0
+
+    for n in reachable:
+        best: Optional[Tuple[int, float, Cut]] = None
+        for cut in cuts[n]:
+            if len(cut.leaves) < 1 or cut.leaves == (n,):
+                continue
+            if any(leaf not in depth for leaf in cut.leaves):
+                continue
+            cut_depth = 1 + max(depth[leaf] for leaf in cut.leaves)
+            flow = 1.0 + sum(area_flow[leaf] / max(1, refs[leaf])
+                             for leaf in cut.leaves)
+            key = (cut_depth, flow, cut)
+            if best is None or key[:2] < best[:2]:
+                best = key
+        if best is None:  # only the trivial cut: treat fanins as leaves
+            f0, f1 = aig.fanins(n)
+            leaves = tuple(sorted({lit_node(f0), lit_node(f1)} - {0}))
+            table = _fanin_table(aig, n, leaves)
+            best = (1 + max((depth[l] for l in leaves), default=0),
+                    1.0, Cut(leaves, table))
+        depth[n] = best[0]
+        area_flow[n] = best[1]
+        best_cut[n] = best[2]
+
+    # Backward cover extraction.
+    luts: List[Lut] = []
+    visited = set()
+    stack = [lit_node(po) for po in aig.po_lits if aig.is_and(lit_node(po))]
+    while stack:
+        n = stack.pop()
+        if n in visited or not aig.is_and(n):
+            continue
+        visited.add(n)
+        cut = best_cut[n]
+        luts.append(Lut(root=n, leaves=cut.leaves, table=cut.table))
+        for leaf in cut.leaves:
+            if aig.is_and(leaf):
+                stack.append(leaf)
+    luts.sort(key=lambda l: l.root)  # topological by node id
+    return LutMapping(aig=aig, luts=luts, po_lits=list(aig.po_lits),
+                      depth_of=depth)
+
+
+def _fanin_table(aig: Aig, node: int, leaves: Tuple[int, ...]) -> int:
+    """Local table of an AND node over its (<= 2) fanin leaves."""
+    from repro.synth.rebuild import cut_truthtable
+
+    tt = cut_truthtable(aig, 2 * node, list(leaves))
+    return int(tt.words[0]) & ((1 << (1 << len(leaves))) - 1)

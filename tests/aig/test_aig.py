@@ -1,0 +1,190 @@
+"""Unit tests for the AIG package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import FALSE, TRUE, Aig, lit, lit_compl, lit_node, lit_not
+from repro.network.builder import comparator, ripple_add
+from repro.network.netlist import GateOp, Netlist
+from repro.network.simulate import simulate
+from repro.sat import are_equivalent
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert lit(3) == 6
+        assert lit(3, True) == 7
+        assert lit_node(7) == 3
+        assert lit_compl(7) == 1
+        assert lit_not(6) == 7
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        aig = Aig(2)
+        a = aig.pi_lit(0)
+        assert aig.and_(a, FALSE) == FALSE
+        assert aig.and_(a, TRUE) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, lit_not(a)) == FALSE
+
+    def test_structural_hashing(self):
+        aig = Aig(2)
+        a, b = aig.pi_lit(0), aig.pi_lit(1)
+        x = aig.and_(a, b)
+        y = aig.and_(b, a)
+        assert x == y
+        assert aig.num_ands == 1
+
+    def test_or_xor_mux(self):
+        aig = Aig(3)
+        a, b, s = aig.pi_lit(0), aig.pi_lit(1), aig.pi_lit(2)
+        aig.add_po(aig.or_(a, b), "or")
+        aig.add_po(aig.xor_(a, b), "xor")
+        aig.add_po(aig.mux_(s, a, b), "mux")
+        pats = np.array([[p >> 0 & 1, p >> 1 & 1, p >> 2 & 1]
+                         for p in range(8)], dtype=np.uint8)
+        out = aig.simulate(pats)
+        for row, (o, x, m) in zip(pats, out):
+            assert o == (row[0] | row[1])
+            assert x == (row[0] ^ row[1])
+            assert m == (row[0] if row[2] else row[1])
+
+    def test_and_or_many(self):
+        aig = Aig(5)
+        lits = [aig.pi_lit(k) for k in range(5)]
+        aig.add_po(aig.and_many(lits), "all")
+        aig.add_po(aig.or_many(lits), "any")
+        aig.add_po(aig.and_many([]), "true")
+        pats = np.random.default_rng(0).integers(
+            0, 2, (64, 5)).astype(np.uint8)
+        out = aig.simulate(pats)
+        assert (out[:, 0] == pats.all(axis=1)).all()
+        assert (out[:, 1] == pats.any(axis=1)).all()
+        assert (out[:, 2] == 1).all()
+
+    def test_pi_lit_range_checked(self):
+        with pytest.raises(ValueError):
+            Aig(2).pi_lit(2)
+
+    def test_fanins_of_pi_rejected(self):
+        with pytest.raises(ValueError):
+            Aig(2).fanins(1)
+
+
+class TestMetrics:
+    def test_size_counts_reachable_only(self):
+        aig = Aig(3)
+        a, b, c = (aig.pi_lit(k) for k in range(3))
+        x = aig.and_(a, b)
+        aig.and_(b, c)  # dangling
+        aig.add_po(x, "o")
+        assert aig.num_ands == 2
+        assert aig.size() == 1
+
+    def test_depth(self):
+        aig = Aig(4)
+        lits = [aig.pi_lit(k) for k in range(4)]
+        aig.add_po(aig.and_many(lits), "o")
+        assert aig.depth() == 2
+
+    def test_ref_counts(self):
+        aig = Aig(2)
+        a, b = aig.pi_lit(0), aig.pi_lit(1)
+        x = aig.and_(a, b)
+        aig.add_po(x, "o1")
+        aig.add_po(x, "o2")
+        refs = aig.ref_counts()
+        assert refs[lit_node(x)] == 2
+
+
+class TestConversion:
+    def _round_trip(self, net):
+        aig = Aig.from_netlist(net)
+        back = aig.to_netlist()
+        assert are_equivalent(net, back) is True
+        return aig, back
+
+    def test_all_gate_ops(self):
+        net = Netlist("ops")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        for op in (GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND,
+                   GateOp.NOR, GateOp.XNOR):
+            net.add_po(op.value, net.add_gate(op, a, b))
+        net.add_po("n", net.add_not(a))
+        net.add_po("buf", net.add_gate(GateOp.BUF, b))
+        net.add_po("z", net.add_const0())
+        self._round_trip(net)
+
+    def test_xor_re_extraction_restores_gate_count(self):
+        net = Netlist("x")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po("x", net.add_xor(a, b))
+        aig, back = self._round_trip(net)
+        assert aig.size() == 3  # xor costs 3 ANDs
+        assert back.gate_count() == 1  # but maps back to one 2-input gate
+
+    def test_shared_xor_product_not_absorbed(self):
+        # If an XOR's internal product also feeds other logic, the
+        # extraction must keep it as an AND.
+        aig = Aig(3, pi_names=["a", "b", "c"])
+        a, b, c = (aig.pi_lit(k) for k in range(3))
+        x = aig.xor_(a, b)
+        # Reuse one product node of the xor structure:
+        prod = aig.and_(a, lit_not(b))
+        aig.add_po(x, "x")
+        aig.add_po(aig.and_(prod, c), "y")
+        net = aig.to_netlist()
+        back = Aig.from_netlist(net)
+        assert are_equivalent(aig.to_netlist(extract_xors=False),
+                              net) is True
+
+    def test_adder_round_trip(self):
+        net = Netlist("add")
+        a = [net.add_pi(f"a{i}") for i in range(5)]
+        b = [net.add_pi(f"b{i}") for i in range(5)]
+        for i, s in enumerate(ripple_add(net, a, b, 5)):
+            net.add_po(f"s{i}", s)
+        self._round_trip(net)
+
+    def test_comparator_round_trip(self):
+        net = Netlist("cmp")
+        a = [net.add_pi(f"a{i}") for i in range(4)]
+        b = [net.add_pi(f"b{i}") for i in range(4)]
+        net.add_po("lt", comparator(net, "<=", a, b))
+        self._round_trip(net)
+
+    def test_simulation_matches_netlist(self):
+        net = Netlist("mix")
+        a = [net.add_pi(f"a{i}") for i in range(6)]
+        x = net.add_xor(a[0], a[3])
+        y = net.add_gate(GateOp.NOR, x, a[5])
+        net.add_po("o", y)
+        aig = Aig.from_netlist(net)
+        pats = np.random.default_rng(1).integers(
+            0, 2, (300, 6)).astype(np.uint8)
+        assert (aig.simulate(pats) == simulate(net, pats)).all()
+
+
+@given(seed=st.integers(0, 2000))
+@settings(max_examples=30, deadline=None)
+def test_random_netlist_round_trip(seed):
+    rng = np.random.default_rng(seed)
+    net = Netlist("r")
+    nodes = [net.add_pi(f"i{k}") for k in range(5)]
+    ops = [GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND, GateOp.NOR,
+           GateOp.XNOR]
+    for _ in range(12):
+        a, b = rng.integers(0, len(nodes), 2)
+        nodes.append(net.add_gate(ops[rng.integers(len(ops))],
+                                  nodes[a], nodes[b]))
+    net.add_po("o", nodes[-1])
+    aig = Aig.from_netlist(net)
+    back = aig.to_netlist()
+    pats = rng.integers(0, 2, (200, 5)).astype(np.uint8)
+    assert (simulate(net, pats) == simulate(back, pats)).all()
+    assert (aig.simulate(pats) == simulate(net, pats)).all()

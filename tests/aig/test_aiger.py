@@ -1,0 +1,86 @@
+"""Tests for AIGER (aag) interchange."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.aiger import read_aag, write_aag
+from repro.network.builder import comparator, ripple_add
+from repro.network.netlist import Netlist
+from repro.sat import are_equivalent
+
+
+def sample_aig():
+    net = Netlist("s")
+    a = [net.add_pi(f"a[{i}]") for i in range(3)]
+    b = [net.add_pi(f"b[{i}]") for i in range(3)]
+    net.add_po("lt", comparator(net, "<", a, b))
+    for i, s in enumerate(ripple_add(net, a, b, 4)):
+        net.add_po(f"s[{i}]", s)
+    return Aig.from_netlist(net)
+
+
+class TestRoundTrip:
+    def test_equivalence_preserved(self):
+        aig = sample_aig()
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        assert back.pi_names == aig.pi_names
+        assert back.po_names == aig.po_names
+        assert are_equivalent(aig.to_netlist(), back.to_netlist()) is True
+
+    def test_dead_nodes_compacted(self):
+        aig = Aig(2)
+        a, b = aig.pi_lit(0), aig.pi_lit(1)
+        x = aig.and_(a, b)
+        aig.and_(a, b ^ 1)  # dead
+        aig.add_po(x, "o")
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        header = buf.getvalue().splitlines()[0].split()
+        assert header[5] == "1"  # only the live AND is written
+
+    def test_constant_po(self):
+        aig = Aig(1)
+        aig.add_po(0, "zero")
+        aig.add_po(1, "one")
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        pats = np.array([[0], [1]], dtype=np.uint8)
+        out = back.simulate(pats)
+        assert out[:, 0].tolist() == [0, 0]
+        assert out[:, 1].tolist() == [1, 1]
+
+
+class TestReader:
+    def test_minimal_file(self):
+        text = "aag 3 2 0 1 1\n2\n4\n6\n6 4 2\ni0 x\ni1 y\no0 f\n"
+        aig = read_aag(io.StringIO(text))
+        assert aig.pi_names == ["x", "y"]
+        assert aig.po_names == ["f"]
+        pats = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        assert aig.simulate(pats)[:, 0].tolist() == [1, 0]
+
+    def test_inverted_output(self):
+        text = "aag 3 2 0 1 1\n2\n4\n7\n6 4 2\n"
+        aig = read_aag(io.StringIO(text))
+        pats = np.array([[1, 1], [0, 0]], dtype=np.uint8)
+        assert aig.simulate(pats)[:, 0].tolist() == [0, 1]
+
+    def test_latches_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aag 1 0 1 0 0\n2 3\n"))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aig 0 0 0 0 0\n"))
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aag 3 1 0 1 1\n2\n6\n6 4 2\n"))

@@ -1,0 +1,83 @@
+"""Unit tests for k-feasible cut enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import Aig, lit_node
+from repro.aig.cuts import Cut, enumerate_cuts, projection
+from repro.synth.rebuild import cut_truthtable
+from repro.logic.truthtable import TruthTable
+
+
+def build_random_aig(seed, num_pis=5, num_ands=12):
+    rng = np.random.default_rng(seed)
+    aig = Aig(num_pis)
+    lits = [aig.pi_lit(k) for k in range(num_pis)]
+    for _ in range(num_ands):
+        a, b = rng.integers(0, len(lits), 2)
+        la = lits[a] ^ int(rng.integers(0, 2))
+        lb = lits[b] ^ int(rng.integers(0, 2))
+        lits.append(aig.and_(la, lb))
+    aig.add_po(lits[-1], "o")
+    return aig
+
+
+class TestProjection:
+    def test_projection_tables(self):
+        assert projection(0, 1) == 0b10
+        assert projection(0, 2) == 0b1010
+        assert projection(1, 2) == 0b1100
+
+
+class TestEnumeration:
+    def test_every_node_has_trivial_cut(self):
+        aig = build_random_aig(1)
+        cuts = enumerate_cuts(aig, k=4)
+        for n in aig.reachable():
+            assert any(c.leaves == (n,) for c in cuts[n])
+
+    def test_cut_width_bounded(self):
+        aig = build_random_aig(2)
+        for k in (2, 3, 4):
+            cuts = enumerate_cuts(aig, k=k)
+            for n, cut_list in cuts.items():
+                for cut in cut_list:
+                    assert len(cut.leaves) <= k
+
+    def test_max_cuts_respected(self):
+        aig = build_random_aig(3, num_pis=6, num_ands=25)
+        cuts = enumerate_cuts(aig, k=4, max_cuts=5)
+        for cut_list in cuts.values():
+            assert len(cut_list) <= 5
+
+    def test_k_above_6_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_cuts(Aig(2), k=7)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_tables_are_correct(self, seed):
+        """Every cut's table must equal exhaustive cone simulation."""
+        aig = build_random_aig(seed)
+        cuts = enumerate_cuts(aig, k=4)
+        for n in sorted(aig.reachable()):
+            for cut in cuts[n]:
+                if len(cut.leaves) < 1 or cut.leaves == (n,):
+                    continue
+                want = cut_truthtable(aig, 2 * n, list(cut.leaves))
+                k = len(cut.leaves)
+                got = TruthTable(
+                    k, np.array([cut.table], dtype=np.uint64))
+                assert got == want, (n, cut)
+
+    def test_no_dominated_cuts(self):
+        aig = build_random_aig(7)
+        cuts = enumerate_cuts(aig, k=4)
+        for cut_list in cuts.values():
+            proper = [c for c in cut_list]
+            for i, a in enumerate(proper):
+                for b in proper[i + 1:]:
+                    sa, sb = set(a.leaves), set(b.leaves)
+                    assert not (sa < sb) and not (sb < sa)

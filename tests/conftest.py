@@ -1,0 +1,15 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests must not depend on global state."""
+    return np.random.default_rng(20190101)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end tests")

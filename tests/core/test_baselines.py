@@ -1,0 +1,102 @@
+"""Tests for the baseline learners (the Table II comparison columns)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import CartLearner, MemorizingLearner
+from repro.eval import accuracy, contest_test_patterns
+from repro.network.netlist import Netlist
+from repro.oracle.data import build_data_netlist
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def simple_net():
+    net = Netlist("s")
+    pis = [net.add_pi(f"i{k}") for k in range(8)]
+    net.add_po("f", net.add_or(net.add_and(pis[0], pis[3]), pis[6]))
+    return net
+
+
+class TestCart:
+    def test_learns_simple_function_exactly(self):
+        net = simple_net()
+        learned = CartLearner(num_samples=4000, seed=1).learn(
+            NetlistOracle(net))
+        pats = contest_test_patterns(8, total=4000,
+                                     rng=np.random.default_rng(1))
+        assert accuracy(learned, net, pats) == 1.0
+
+    def test_interface_preserved(self):
+        net = simple_net()
+        learned = CartLearner(num_samples=500).learn(NetlistOracle(net))
+        assert learned.pi_names == net.pi_names
+        assert learned.po_names == net.po_names
+
+    def test_callable_protocol(self):
+        net = simple_net()
+        learner = CartLearner(num_samples=500)
+        assert learner(NetlistOracle(net)).num_pos == 1
+
+    def test_small_eco_good_accuracy(self):
+        net = build_eco_netlist(20, 3, seed=2, support_low=3,
+                                support_high=6)
+        learned = CartLearner(num_samples=8000, seed=2).learn(
+            NetlistOracle(net))
+        pats = contest_test_patterns(20, total=6000,
+                                     rng=np.random.default_rng(2))
+        assert accuracy(learned, net, pats) >= 0.95
+
+    def test_depth_cap_respected(self):
+        net = build_eco_netlist(16, 2, seed=3)
+        learned = CartLearner(num_samples=2000, max_depth=3).learn(
+            NetlistOracle(net))
+        # Each cover cube can constrain at most max_depth variables.
+        assert learned.gate_count() < 2000
+
+
+class TestMemorize:
+    def test_learns_tiny_function(self):
+        net = Netlist("t")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po("f", net.add_and(a, b))
+        learned = MemorizingLearner(num_samples=400).learn(
+            NetlistOracle(net))
+        pats = contest_test_patterns(2, total=100,
+                                     rng=np.random.default_rng(3))
+        assert accuracy(learned, net, pats) == 1.0
+
+    def test_blows_up_on_wide_functions(self):
+        """The memorizer's signature failure: huge circuits, poor
+        generalization — the 2nd-place shape in Table II."""
+        net = build_eco_netlist(24, 2, seed=4, support_low=10,
+                                support_high=14, gates_per_output=25)
+        oracle = NetlistOracle(net)
+        learned = MemorizingLearner(num_samples=1500, seed=4).learn(oracle)
+        pats = contest_test_patterns(24, total=4000,
+                                     rng=np.random.default_rng(4))
+        acc = accuracy(learned, net, pats)
+        assert acc < 0.9999  # misses the contest bar
+
+
+class TestComparisonShape:
+    def test_ours_beats_cart_on_data_category(self):
+        """The paper's central claim at category level: on DATA, template
+        matching wins on both size and accuracy."""
+        from repro.core.config import fast_config
+        from repro.core.regressor import LogicRegressor
+
+        net, _ = build_data_netlist(seed=5, num_in_buses=2, in_width=5,
+                                    out_width=6)
+        oracle_ours = NetlistOracle(net)
+        ours = LogicRegressor(fast_config(time_limit=20)).learn(oracle_ours)
+        cart = CartLearner(num_samples=6000, seed=5).learn(
+            NetlistOracle(net))
+        pats = contest_test_patterns(net.num_pis, total=6000,
+                                     rng=np.random.default_rng(5))
+        acc_ours = accuracy(ours.netlist, net, pats)
+        acc_cart = accuracy(cart, net, pats)
+        assert acc_ours == 1.0
+        assert acc_ours >= acc_cart
+        assert ours.gate_count < cart.gate_count()

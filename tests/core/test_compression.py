@@ -1,0 +1,128 @@
+"""Tests for comparator-delegate input compression (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import CompressedOracle, representative_assignments
+from repro.core.grouping import group_names
+from repro.core.templates.comparator import ComparatorMatch, match_comparator
+from repro.network.builder import comparator, mux
+from repro.network.netlist import Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def buried_oracle(width=4):
+    """PO = ctl ? (N_a < N_b) : noise — the Fig. 3 structure."""
+    net = Netlist("t")
+    a = [net.add_pi(f"a[{i}]") for i in range(width)]
+    b = [net.add_pi(f"b[{i}]") for i in range(width)]
+    sel = net.add_pi("ctl")
+    noise = net.add_pi("noise")
+    cmp_node = comparator(net, "<", a, b)
+    net.add_po("z", mux(net, sel, when0=noise, when1=cmp_node))
+    return NetlistOracle(net)
+
+
+def find_match(oracle, rng):
+    grouping = group_names(oracle.pi_names)
+    match = match_comparator(oracle, grouping, 0, rng, num_samples=128,
+                             propagation_tries=40)
+    assert match is not None and match.buried
+    return match
+
+
+class TestRepresentatives:
+    def test_witnesses_realize_both_phases(self, rng):
+        oracle = buried_oracle()
+        match = find_match(oracle, rng)
+        rep0, rep1 = representative_assignments(match)
+        import operator
+        ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        for rep, want in ((rep0, False), (rep1, True)):
+            left_w = match.left.width
+            a_val = sum(int(rep[k]) << k for k in range(left_w))
+            if match.right is not None:
+                b_val = sum(int(rep[left_w + k]) << k
+                            for k in range(match.right.width))
+            else:
+                b_val = match.constant
+            assert bool(ops[match.predicate](a_val, b_val)) == want
+
+
+class TestConstComparatorCompression:
+    def test_const_delegate_witnesses(self, rng):
+        """Buried N_a >= b comparator: delegate representatives must
+        realize both phases of the constant predicate."""
+        from repro.network.builder import comparator_const
+
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(5)]
+        sel = net.add_pi("ctl")
+        noise = net.add_pi("noise")
+        cmp_node = comparator_const(net, ">=", a, 11)
+        net.add_po("z", mux(net, sel, when0=noise, when1=cmp_node))
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        match = match_comparator(oracle, grouping, 0, rng,
+                                 num_samples=128, propagation_tries=40)
+        assert match is not None and match.buried
+        assert match.right is None
+        comp = CompressedOracle(oracle, match)
+        # Delegate = 1 rows must answer like predicate-true rows.
+        pats = rng.integers(0, 2, (64, comp.num_pis)).astype(np.uint8)
+        ctl = comp.pi_names.index("ctl")
+        pats[:, ctl] = 1
+        out = comp.query(pats)[:, 0]
+        assert (out == pats[:, -1]).all()
+
+
+class TestCompressedOracle:
+    def test_interface(self, rng):
+        oracle = buried_oracle()
+        match = find_match(oracle, rng)
+        comp = CompressedOracle(oracle, match)
+        assert comp.num_pis == oracle.num_pis - 8 + 1
+        assert comp.pi_names[-1] == "__delegate__"
+        assert comp.po_names == oracle.po_names
+
+    def test_delegate_drives_predicate(self, rng):
+        """Under ctl=1 the compressed output equals the delegate bit."""
+        oracle = buried_oracle()
+        match = find_match(oracle, rng)
+        comp = CompressedOracle(oracle, match)
+        n = 64
+        pats = rng.integers(0, 2, (n, comp.num_pis)).astype(np.uint8)
+        ctl_col = comp.pi_names.index("ctl")
+        pats[:, ctl_col] = 1
+        out = comp.query(pats)[:, 0]
+        assert (out == pats[:, -1]).all()
+
+    def test_expand_reconstructs_full_space(self, rng):
+        oracle = buried_oracle()
+        match = find_match(oracle, rng)
+        comp = CompressedOracle(oracle, match)
+        pats = rng.integers(0, 2, (16, comp.num_pis)).astype(np.uint8)
+        full = comp.expand(pats)
+        assert full.shape == (16, oracle.num_pis)
+        # Kept columns must carry through unchanged.
+        for k, pos in enumerate(comp.kept_positions):
+            assert (full[:, pos] == pats[:, k]).all()
+
+    def test_learning_through_compression(self, rng):
+        """End-to-end Fig. 3: FBDT over the compressed space learns the
+        MUX exactly, with the delegate as one input."""
+        from repro.core.config import fast_config
+        from repro.core.fbdt import learn_output
+        from repro.core.support import identify_supports
+
+        oracle = buried_oracle()
+        match = find_match(oracle, rng)
+        comp = CompressedOracle(oracle, match)
+        info = identify_supports(comp, r=128, rng=rng)
+        cover = learn_output(comp, 0, info.support_of(0), fast_config(),
+                             rng)
+        pats = rng.integers(0, 2, (2000, comp.num_pis)).astype(np.uint8)
+        got = cover.evaluate(pats)
+        want = comp.query(pats)[:, 0]
+        assert (got == want).all()

@@ -1,0 +1,175 @@
+"""Tests for the extension template families (Sec. VI future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import group_names
+from repro.core.templates.extended import (match_bitwise, match_mux,
+                                           match_wiring)
+from repro.network.builder import mux, ripple_add
+from repro.network.netlist import GateOp, Netlist
+from repro.network.simulate import simulate
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def mux_oracle(width=5):
+    net = Netlist("m")
+    a = [net.add_pi(f"a[{i}]") for i in range(width)]
+    b = [net.add_pi(f"b[{i}]") for i in range(width)]
+    sel = net.add_pi("sel")
+    net.add_pi("noise")
+    for i in range(width):
+        net.add_po(f"z[{i}]", mux(net, sel, when0=b[i], when1=a[i]))
+    return NetlistOracle(net)
+
+
+class TestMux:
+    def test_mux_matched(self, rng):
+        oracle = mux_oracle()
+        grouping = group_names(oracle.pi_names)
+        out_bus = group_names(oracle.po_names).buses[0]
+        match = match_mux(oracle, grouping, out_bus, rng)
+        assert match is not None
+        assert match.when1.stem == "a"
+        assert match.when0.stem == "b"
+        assert oracle.pi_names[match.select_pos] == "sel"
+
+    def test_built_circuit_is_exact(self, rng):
+        oracle = mux_oracle()
+        grouping = group_names(oracle.pi_names)
+        out_bus = group_names(oracle.po_names).buses[0]
+        match = match_mux(oracle, grouping, out_bus, rng)
+        net = Netlist("built")
+        pi_nodes = [net.add_pi(n) for n in oracle.pi_names]
+        built = match.build(net, pi_nodes)
+        for po_pos in sorted(built):
+            net.add_po(oracle.po_names[po_pos], built[po_pos])
+        pats = rng.integers(0, 2, (500, oracle.num_pis)).astype(np.uint8)
+        assert (simulate(net, pats) == oracle.query(pats)).all()
+
+    def test_adder_not_matched_as_mux(self, rng):
+        net = Netlist("add")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        b = [net.add_pi(f"b[{i}]") for i in range(4)]
+        net.add_pi("sel")
+        for i, s in enumerate(ripple_add(net, a, b, 4)):
+            net.add_po(f"z[{i}]", s)
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        out_bus = group_names(oracle.po_names).buses[0]
+        assert match_mux(oracle, grouping, out_bus, rng) is None
+
+
+class TestBitwise:
+    @pytest.mark.parametrize("op", [GateOp.AND, GateOp.OR, GateOp.XOR,
+                                    GateOp.NOR])
+    def test_lanewise_ops_matched(self, op, rng):
+        net = Netlist("bw")
+        a = [net.add_pi(f"a[{i}]") for i in range(6)]
+        b = [net.add_pi(f"b[{i}]") for i in range(6)]
+        for i in range(6):
+            net.add_po(f"z[{i}]", net.add_gate(op, a[i], b[i]))
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        out_bus = group_names(oracle.po_names).buses[0]
+        match = match_bitwise(oracle, grouping, out_bus, rng)
+        assert match is not None
+        assert match.op == op.value
+
+    def test_adder_rejected(self, rng):
+        net = Netlist("add")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        b = [net.add_pi(f"b[{i}]") for i in range(4)]
+        for i, s in enumerate(ripple_add(net, a, b, 4)):
+            net.add_po(f"z[{i}]", s)
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        out_bus = group_names(oracle.po_names).buses[0]
+        assert match_bitwise(oracle, grouping, out_bus, rng) is None
+
+
+class TestWiring:
+    def test_shift_matched(self, rng):
+        net = Netlist("sh")
+        a = [net.add_pi(f"a[{i}]") for i in range(6)]
+        for i in range(6):  # z = a >> 2 with inverted MSB lane
+            if i >= 4:
+                net.add_po(f"z[{i}]", net.add_const0())
+            elif i == 3:
+                net.add_po(f"z[{i}]", net.add_not(a[i + 2]))
+            else:
+                net.add_po(f"z[{i}]", a[i + 2])
+        oracle = NetlistOracle(net)
+        out_bus = group_names(oracle.po_names).buses[0]
+        match = match_wiring(oracle, out_bus, rng)
+        assert match is not None
+        assert match.sources[0] == ("pi", 2, 1)
+        assert match.sources[3] == ("pi", 5, 0)
+        assert match.sources[4] == ("const", 0)
+
+    def test_logic_rejected(self, rng):
+        net = Netlist("l")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        net.add_po("z[0]", net.add_and(a[0], a[1]))
+        net.add_po("z[1]", a[2])
+        oracle = NetlistOracle(net)
+        out_bus = group_names(oracle.po_names).buses[0]
+        assert match_wiring(oracle, out_bus, rng) is None
+
+    def test_built_wiring_is_exact(self, rng):
+        net = Netlist("rot")
+        a = [net.add_pi(f"a[{i}]") for i in range(5)]
+        for i in range(5):  # rotate left by 1
+            net.add_po(f"z[{i}]", a[(i - 1) % 5])
+        oracle = NetlistOracle(net)
+        out_bus = group_names(oracle.po_names).buses[0]
+        match = match_wiring(oracle, out_bus, rng)
+        assert match is not None
+        built = Netlist("b")
+        pi_nodes = [built.add_pi(n) for n in oracle.pi_names]
+        node_map = match.build(built, pi_nodes)
+        for po_pos in sorted(node_map):
+            built.add_po(oracle.po_names[po_pos], node_map[po_pos])
+        pats = rng.integers(0, 2, (300, 5)).astype(np.uint8)
+        assert (simulate(built, pats) == oracle.query(pats)).all()
+
+
+class TestRegressorIntegration:
+    def test_mux_via_pipeline(self, rng):
+        from repro.core.config import fast_config
+        from repro.core.regressor import LogicRegressor
+        from repro.eval import accuracy, contest_test_patterns
+
+        oracle = mux_oracle()
+        result = LogicRegressor(fast_config(time_limit=20)).learn(oracle)
+        assert result.methods_used() == {"extended-template": 5}
+        pats = contest_test_patterns(oracle.num_pis, total=4000)
+        golden = oracle.golden_netlist()
+        assert accuracy(result.netlist, golden, pats) == 1.0
+
+    def test_extension_can_be_disabled(self, rng):
+        from repro.core.config import fast_config
+        from repro.core.regressor import LogicRegressor
+
+        oracle = mux_oracle(width=3)
+        cfg = fast_config(time_limit=20, enable_extended_templates=False)
+        result = LogicRegressor(cfg).learn(oracle)
+        assert "extended-template" not in result.methods_used()
+
+    def test_reversed_bus_linear(self, rng):
+        """MSB-first buses: the orientation retry recovers the datapath."""
+        from repro.core.config import fast_config
+        from repro.core.regressor import LogicRegressor
+        from repro.eval import accuracy, contest_test_patterns
+        from repro.network.builder import linear_combination
+
+        net = Netlist("rev")
+        a = [net.add_pi(f"a[{i}]") for i in range(5)]
+        word = linear_combination(net, [list(reversed(a))], [3], 1, 7)
+        for i, bit in enumerate(word):
+            net.add_po(f"z[{6 - i}]", bit)
+        oracle = NetlistOracle(net)
+        result = LogicRegressor(fast_config(time_limit=20)).learn(oracle)
+        assert result.methods_used() == {"linear-template": 7}
+        pats = contest_test_patterns(5, total=4000)
+        assert accuracy(result.netlist, net, pats) == 1.0

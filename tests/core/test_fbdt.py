@@ -1,0 +1,209 @@
+"""Tests for FBDT construction (Sec. IV-D, Algorithm 2, Fig. 4)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import RegressorConfig, fast_config
+from repro.core.fbdt import (build_decision_tree, enumerate_small_function,
+                             learn_output)
+from repro.logic.sop import Sop
+from repro.network.netlist import Netlist
+from repro.network.simulate import simulate
+from repro.oracle.function_oracle import FunctionOracle
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def oracle_from_fn(fn, num_pis, name="f"):
+    def batched(p):
+        return fn(p).astype(np.uint8).reshape(-1, 1)
+    return FunctionOracle(batched, [f"x{i}" for i in range(num_pis)],
+                          [name])
+
+
+def check_cover_exact(cover, fn, num_pis, samples=2000, rng=None):
+    rng = rng or np.random.default_rng(0)
+    pats = rng.integers(0, 2, (samples, num_pis)).astype(np.uint8)
+    got = cover.evaluate(pats)
+    want = fn(pats).astype(np.uint8)
+    return float((got == want).mean())
+
+
+class TestExhaustiveSmallFunction:
+    def test_exact_on_full_enumeration(self, rng):
+        fn = lambda p: (p[:, 0] & p[:, 2]) | p[:, 4]
+        oracle = oracle_from_fn(fn, 6)
+        cfg = fast_config()
+        cover = enumerate_small_function(oracle, 0, [0, 2, 4], cfg)
+        assert cover.stats.exhausted
+        assert check_cover_exact(cover, fn, 6) == 1.0
+
+    def test_constant_zero(self, rng):
+        oracle = oracle_from_fn(lambda p: np.zeros(p.shape[0]), 4)
+        cover = enumerate_small_function(oracle, 0, [], fast_config())
+        assert cover.onset.is_zero()
+
+    def test_constant_one(self, rng):
+        oracle = oracle_from_fn(lambda p: np.ones(p.shape[0]), 4)
+        cover = enumerate_small_function(oracle, 0, [], fast_config())
+        assert cover.onset.is_one()
+
+    def test_offset_chosen_for_dense_function(self, rng):
+        """A function that is almost always 1 should be realized as the
+        complement of a small offset cover (trick 2)."""
+        fn = lambda p: ~(p[:, 0] & p[:, 1] & p[:, 2]) & 1
+        oracle = oracle_from_fn(lambda p: fn(p), 3)
+        cover = enumerate_small_function(oracle, 0, [0, 1, 2],
+                                         fast_config())
+        assert cover.use_offset
+        assert check_cover_exact(cover, fn, 3) == 1.0
+
+    def test_parity_learned_exactly(self, rng):
+        fn = lambda p: p[:, :5].sum(axis=1) % 2
+        oracle = oracle_from_fn(fn, 8)
+        cover = enumerate_small_function(oracle, 0, [0, 1, 2, 3, 4],
+                                         fast_config())
+        assert check_cover_exact(cover, fn, 8) == 1.0
+
+
+class TestFbdt:
+    def test_learns_conjunction_exactly(self, rng):
+        fn = lambda p: p[:, 1] & p[:, 5] & p[:, 9]
+        oracle = oracle_from_fn(fn, 12)
+        cfg = fast_config(exhaustive_threshold=0)  # force the tree path
+        cover = build_decision_tree(oracle, 0, [1, 5, 9], cfg, rng)
+        assert check_cover_exact(cover, fn, 12) == 1.0
+        assert not cover.stats.exhausted
+
+    def test_learns_disjunction_exactly(self, rng):
+        fn = lambda p: (p[:, 0] | p[:, 3]).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 6)
+        cfg = fast_config(exhaustive_threshold=0)
+        cover = build_decision_tree(oracle, 0, [0, 3], cfg, rng)
+        assert check_cover_exact(cover, fn, 6) == 1.0
+
+    def test_xor_tree_is_exact(self, rng):
+        fn = lambda p: (p[:, 0] ^ p[:, 1] ^ p[:, 2]).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 4)
+        cfg = fast_config(exhaustive_threshold=0)
+        cover = build_decision_tree(oracle, 0, [0, 1, 2], cfg, rng)
+        assert check_cover_exact(cover, fn, 4) == 1.0
+        # Parity has no mergeable leaves: 4 onset + 4 offset paths.
+        assert len(cover.onset) == 4
+        assert len(cover.offset) == 4
+
+    def test_most_significant_input_split_first(self, rng):
+        """For f = a | (b & c), input a flips the output most often, so
+        the root split must be on a — giving a onset leaf at depth 1."""
+        fn = lambda p: (p[:, 0] | (p[:, 1] & p[:, 2])).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 3)
+        cfg = fast_config(exhaustive_threshold=0, r_node=128,
+                          leaf_samples=128)
+        cover = build_decision_tree(oracle, 0, [0, 1, 2], cfg, rng)
+        assert check_cover_exact(cover, fn, 3) == 1.0
+        # One of the covers contains the bare cube {a=1}.
+        cubes = list(cover.onset.cubes) + list(cover.offset.cubes)
+        assert any(len(c) == 1 and c.phase(0) == 1 for c in cubes)
+
+    def test_timeout_produces_partial_but_sane_cover(self, rng):
+        fn = lambda p: p[:, :14].sum(axis=1) % 2  # worst case: parity
+        oracle = oracle_from_fn(fn, 14)
+        cfg = fast_config(exhaustive_threshold=0)
+        cover = build_decision_tree(oracle, 0, list(range(14)), cfg, rng,
+                                    deadline=time.monotonic() + 0.2)
+        assert cover.stats.timed_out or cover.stats.nodes_expanded > 0
+        acc = check_cover_exact(cover, fn, 14)
+        assert 0.3 <= acc <= 1.0  # sane, defined everywhere
+
+    def test_node_cap_respected(self, rng):
+        fn = lambda p: p[:, :10].sum(axis=1) % 2
+        oracle = oracle_from_fn(fn, 10)
+        cfg = fast_config(exhaustive_threshold=0, max_tree_nodes=16)
+        cover = build_decision_tree(oracle, 0, list(range(10)), cfg, rng)
+        assert cover.stats.nodes_expanded <= 16
+
+    def test_support_widening_on_underapproximation(self, rng):
+        """If S' misses a variable, the tree discovers it on demand."""
+        fn = lambda p: (p[:, 0] & p[:, 1]).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 4)
+        cfg = fast_config(exhaustive_threshold=0, r_node=64,
+                          leaf_samples=64)
+        cover = build_decision_tree(oracle, 0, [0], cfg, rng)  # missing 1
+        assert check_cover_exact(cover, fn, 4) == 1.0
+
+    def test_onset_offset_covers_partition_space(self, rng):
+        fn = lambda p: (p[:, 0] & ~p[:, 2] & 1).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 4)
+        cfg = fast_config(exhaustive_threshold=0)
+        cover = build_decision_tree(oracle, 0, [0, 2], cfg, rng)
+        union = cover.onset.disjoin(cover.offset)
+        assert union.is_one()
+
+
+class TestSubtreeConquest:
+    """Trick 1 extended into the tree (our extension beyond the paper)."""
+
+    def test_exact_with_fewer_nodes(self, rng):
+        fn = lambda p: ((p[:, 0] & p[:, 1]) ^ (p[:, 2] | p[:, 3])) \
+            .astype(np.uint8)
+        oracle = oracle_from_fn(fn, 6)
+        base_cfg = fast_config(exhaustive_threshold=0,
+                               subtree_exhaustive_threshold=0,
+                               r_node=64, leaf_samples=96)
+        sub_cfg = fast_config(exhaustive_threshold=0,
+                              subtree_exhaustive_threshold=3,
+                              r_node=64, leaf_samples=96)
+        plain = build_decision_tree(oracle, 0, [0, 1, 2, 3], base_cfg,
+                                    np.random.default_rng(1))
+        conquered = build_decision_tree(oracle, 0, [0, 1, 2, 3], sub_cfg,
+                                        np.random.default_rng(1))
+        assert check_cover_exact(plain, fn, 6) == 1.0
+        assert check_cover_exact(conquered, fn, 6) == 1.0
+        assert (conquered.stats.nodes_expanded
+                <= plain.stats.nodes_expanded)
+
+    def test_validation_falls_back_on_missing_support(self, rng):
+        """With S' = {0} but f = x0 & x1, the subtree probe must reject
+        the tabulation and the widening path must still learn exactly."""
+        fn = lambda p: (p[:, 0] & p[:, 1]).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 4)
+        cfg = fast_config(exhaustive_threshold=0,
+                          subtree_exhaustive_threshold=4,
+                          r_node=64, leaf_samples=64)
+        cover = build_decision_tree(oracle, 0, [0], cfg, rng)
+        assert check_cover_exact(cover, fn, 4) == 1.0
+
+
+class TestFig4Example:
+    def test_fig4_example(self):
+        """Example 3 / Fig. 4: F = !v!c!e | v!e!d | ve!c  (reading the
+        resulting SOP of the worked example).  The FBDT must learn it
+        exactly over the 5 variables v,c,d,e plus a spare."""
+        # Variable order: v=0, c=1, d=2, e=3.
+        def fn(p):
+            v, c, d, e = (p[:, k].astype(bool) for k in range(4))
+            return ((~v & ~c & ~e) | (v & ~e & ~d) | (v & e & ~c)) \
+                .astype(np.uint8)
+        oracle = oracle_from_fn(fn, 4)
+        rng = np.random.default_rng(4)
+        cfg = fast_config(exhaustive_threshold=0, r_node=64,
+                          leaf_samples=96)
+        cover = build_decision_tree(oracle, 0, [0, 1, 2, 3], cfg, rng)
+        assert check_cover_exact(cover, fn, 4) == 1.0
+
+
+class TestLearnOutput:
+    def test_small_support_routes_to_exhaustive(self, rng):
+        fn = lambda p: (p[:, 0] | p[:, 1]).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 5)
+        cfg = fast_config(exhaustive_threshold=4)
+        cover = learn_output(oracle, 0, [0, 1], cfg, rng)
+        assert cover.stats.exhausted
+
+    def test_large_support_routes_to_tree(self, rng):
+        fn = lambda p: (p[:, :6].sum(axis=1) > 3).astype(np.uint8)
+        oracle = oracle_from_fn(fn, 8)
+        cfg = fast_config(exhaustive_threshold=2)
+        cover = learn_output(oracle, 0, list(range(6)), cfg, rng)
+        assert not cover.stats.exhausted

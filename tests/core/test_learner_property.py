@@ -1,0 +1,58 @@
+"""Property-based end-to-end test: the learner is exact on random small
+oracles (complete pipeline, randomized structures)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import fast_config
+from repro.core.regressor import LogicRegressor
+from repro.eval import accuracy, contest_test_patterns
+from repro.network.netlist import GateOp, Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def random_netlist(seed: int, num_pis: int, num_gates: int,
+                   num_pos: int) -> Netlist:
+    rng = np.random.default_rng(seed)
+    net = Netlist(f"r{seed}")
+    nodes = [net.add_pi(f"i{k}") for k in range(num_pis)]
+    ops = [GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND, GateOp.NOR]
+    for _ in range(num_gates):
+        a, b = rng.integers(0, len(nodes), 2)
+        nodes.append(net.add_gate(ops[int(rng.integers(len(ops)))],
+                                  nodes[a], nodes[b]))
+    for j in range(num_pos):
+        net.add_po(f"o{j}", nodes[int(rng.integers(num_pis, len(nodes)))]
+                   if len(nodes) > num_pis else nodes[0])
+    return net
+
+
+@given(seed=st.integers(0, 10000))
+@settings(max_examples=10, deadline=None)
+def test_learner_exact_on_small_random_circuits(seed):
+    """Any random circuit over <= 8 inputs is within the exhaustive
+    threshold, so the pipeline must reproduce it exactly."""
+    golden = random_netlist(seed, num_pis=8, num_gates=12, num_pos=3)
+    oracle = NetlistOracle(golden)
+    cfg = fast_config(time_limit=15, exhaustive_threshold=8)
+    result = LogicRegressor(cfg).learn(oracle)
+    pats = contest_test_patterns(8, total=2000,
+                                 rng=np.random.default_rng(seed + 1))
+    assert accuracy(result.netlist, golden, pats) == 1.0
+
+
+@given(seed=st.integers(0, 10000))
+@settings(max_examples=6, deadline=None)
+def test_learner_matches_every_minterm_exhaustively(seed):
+    """Stronger than sampling: enumerate the whole 2^7 input space."""
+    golden = random_netlist(seed, num_pis=7, num_gates=10, num_pos=2)
+    oracle = NetlistOracle(golden)
+    cfg = fast_config(time_limit=15, exhaustive_threshold=7)
+    result = LogicRegressor(cfg).learn(oracle)
+    from repro.network.simulate import simulate
+    pats = np.array([[(m >> v) & 1 for v in range(7)]
+                     for m in range(128)], dtype=np.uint8)
+    assert (simulate(result.netlist, pats)
+            == simulate(golden, pats)).all()

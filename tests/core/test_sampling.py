@@ -1,0 +1,111 @@
+"""Tests for PatternSampling (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (pattern_sampling, random_patterns,
+                                 truth_ratio_only)
+from repro.logic.cube import Cube
+from repro.network.netlist import Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def make_oracle():
+    """f0 = a & b, f1 = c ^ d, over PIs a b c d e (e unused)."""
+    net = Netlist("t")
+    a, b, c, d, e = (net.add_pi(x) for x in "abcde")
+    net.add_po("f0", net.add_and(a, b))
+    net.add_po("f1", net.add_xor(c, d))
+    return NetlistOracle(net)
+
+
+class TestRandomPatterns:
+    def test_shape_and_range(self, rng):
+        pats = random_patterns(100, 7, rng, biases=(0.5,))
+        assert pats.shape == (100, 7)
+        assert set(np.unique(pats)) <= {0, 1}
+
+    def test_bias_mix_applied(self, rng):
+        pats = random_patterns(3000, 50, rng, biases=(0.1, 0.9))
+        dens_low = pats[0::2].mean()
+        dens_high = pats[1::2].mean()
+        assert dens_low < 0.2
+        assert dens_high > 0.8
+
+    def test_cube_constraint_respected(self, rng):
+        cube = Cube({0: 1, 3: 0})
+        pats = random_patterns(50, 5, rng, biases=(0.5,), cube=cube)
+        assert (pats[:, 0] == 1).all()
+        assert (pats[:, 3] == 0).all()
+
+
+class TestPatternSampling:
+    def test_dependency_counts_identify_support(self, rng):
+        oracle = make_oracle()
+        stats = pattern_sampling(oracle, Cube.empty(), r=128, rng=rng)
+        # f0 depends on a,b (columns 0); f1 on c,d.
+        assert stats.dependency[0, 0] > 0
+        assert stats.dependency[1, 0] > 0
+        assert stats.dependency[2, 0] == 0
+        assert stats.dependency[2, 1] > 0
+        assert stats.dependency[3, 1] > 0
+        assert stats.dependency[4, 0] == 0
+        assert stats.dependency[4, 1] == 0
+
+    def test_xor_dependency_is_total(self, rng):
+        """Flipping an XOR input always flips the output: D_i == r."""
+        oracle = make_oracle()
+        r = 64
+        stats = pattern_sampling(oracle, Cube.empty(), r=r, rng=rng)
+        assert stats.dependency[2, 1] == r
+        assert stats.dependency[3, 1] == r
+
+    def test_constrained_sampling(self, rng):
+        oracle = make_oracle()
+        cube = Cube({0: 0})  # a=0 -> f0 constant 0, b irrelevant
+        stats = pattern_sampling(oracle, cube, r=128, rng=rng)
+        assert stats.dependency[1, 0] == 0
+        assert stats.truth_ratio[0] == 0.0
+        # Constrained variable gets no flip block at all.
+        assert stats.dependency[0, 0] == 0
+
+    def test_candidates_restriction(self, rng):
+        oracle = make_oracle()
+        stats = pattern_sampling(oracle, Cube.empty(), r=32, rng=rng,
+                                 candidates=[2, 3])
+        assert stats.dependency[0].sum() == 0  # not probed
+        assert stats.dependency[2, 1] > 0
+
+    def test_most_significant(self, rng):
+        oracle = make_oracle()
+        stats = pattern_sampling(oracle, Cube.empty(), r=128, rng=rng)
+        assert stats.most_significant(1) in (2, 3)
+        assert stats.most_significant(0, candidates=[2, 4]) is None
+
+    def test_support_extraction(self, rng):
+        oracle = make_oracle()
+        stats = pattern_sampling(oracle, Cube.empty(), r=128, rng=rng)
+        assert stats.support(0) == [0, 1]
+        assert stats.support(1) == [2, 3]
+
+    def test_truth_ratio_of_and(self, rng):
+        oracle = make_oracle()
+        stats = pattern_sampling(oracle, Cube.empty(), r=512, rng=rng,
+                                 biases=(0.5,))
+        # P(a&b) = 0.25 under uniform sampling.
+        assert 0.15 < stats.truth_ratio[0] < 0.35
+
+
+class TestTruthRatioOnly:
+    def test_constant_detection(self, rng):
+        oracle = make_oracle()
+        cube = Cube({0: 1, 1: 1})
+        ratio, block = truth_ratio_only(oracle, cube, 64, rng)
+        assert ratio[0] == 1.0
+        assert block.shape == (64, 2)
+
+    def test_unconstrained(self, rng):
+        oracle = make_oracle()
+        ratio, _ = truth_ratio_only(oracle, Cube.empty(), 512, rng,
+                                    biases=(0.5,))
+        assert 0.4 < ratio[1] < 0.6  # xor is balanced

@@ -1,0 +1,98 @@
+"""Tests for support identification (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.support import identify_supports
+from repro.network.builder import comparator_const
+from repro.network.netlist import Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def test_exact_supports_found(rng):
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(10)]
+    net.add_po("f0", net.add_and(pis[0], pis[9]))
+    net.add_po("f1", net.add_xor(pis[3], pis[4]))
+    info = identify_supports(NetlistOracle(net), r=256, rng=rng)
+    assert info.support_of(0) == [0, 9]
+    assert info.support_of(1) == [3, 4]
+
+
+def test_supports_are_subset_of_structural(rng):
+    """S' must never contain a variable the function ignores."""
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(12)]
+    cone = net.add_or(net.add_and(pis[1], pis[2]), pis[7])
+    net.add_po("f", cone)
+    info = identify_supports(NetlistOracle(net), r=128, rng=rng)
+    assert set(info.support_of(0)) <= {1, 2, 7}
+
+
+def test_biased_sampling_finds_deep_dependencies(rng):
+    """A wide AND hides its inputs from uniform sampling; the biased mix
+    (Sec. IV-C's observation) must still find them."""
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(16)]
+    acc = pis[0]
+    for p in pis[1:12]:
+        acc = net.add_and(acc, p)
+    net.add_po("f", acc)
+    oracle = NetlistOracle(net)
+    info = identify_supports(oracle, r=600, rng=rng,
+                             biases=(0.5, 0.15, 0.9))
+    # With the 0.9-biased third of the samples, each flip has
+    # ~0.9^11 ~ 31% chance of mattering -> all 12 inputs found w.h.p.
+    assert len(info.support_of(0)) == 12
+
+
+def test_uniform_only_sampling_misses_deep_dependencies(rng):
+    """The ablation side of the same observation: uniform-only sampling
+    finds a smaller S' on the wide-AND oracle."""
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(24)]
+    acc = pis[0]
+    for p in pis[1:20]:
+        acc = net.add_and(acc, p)
+    net.add_po("f", acc)
+    oracle = NetlistOracle(net)
+    uniform = identify_supports(oracle, r=200,
+                                rng=np.random.default_rng(1),
+                                biases=(0.5,))
+    mixed = identify_supports(oracle, r=200,
+                              rng=np.random.default_rng(1),
+                              biases=(0.5, 0.1, 0.9))
+    # P(flip matters | uniform) = 0.5^19 ~ 2e-6: essentially invisible.
+    assert len(uniform.support_of(0)) < len(mixed.support_of(0))
+    assert len(mixed.support_of(0)) == 20
+
+
+def test_outputs_filter(rng):
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(4)]
+    net.add_po("f0", net.add_and(pis[0], pis[1]))
+    net.add_po("f1", net.add_or(pis[2], pis[3]))
+    info = identify_supports(NetlistOracle(net), r=64, rng=rng,
+                             outputs=[1])
+    assert info.supports[0] == []  # not requested
+    assert info.support_of(1) == [2, 3]
+
+
+def test_truth_ratio_exposed(rng):
+    net = Netlist("t")
+    a = net.add_pi("a")
+    net.add_po("f", net.add_not(net.add_and(a, net.add_not(a))))  # const 1
+    info = identify_supports(NetlistOracle(net), r=64, rng=rng)
+    assert info.truth_ratio_of(0) == 1.0
+    assert info.support_of(0) == []
+
+
+def test_comparator_support(rng):
+    net = Netlist("t")
+    bus = [net.add_pi(f"v[{i}]") for i in range(6)]
+    net.add_pi("junk")
+    net.add_po("z", comparator_const(net, ">=", bus, 23))
+    info = identify_supports(NetlistOracle(net), r=400, rng=rng)
+    got = set(info.support_of(0))
+    assert 6 not in got  # junk is independent
+    assert got  # finds at least part of the bus

@@ -1,0 +1,224 @@
+"""Tests for template matching (Sec. IV-B, Table I, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import group_names
+from repro.core.templates.comparator import match_comparator
+from repro.core.templates.linear import match_linear
+from repro.network.builder import comparator, comparator_const, mux
+from repro.network.netlist import Netlist
+from repro.oracle.data import build_data_netlist
+from repro.oracle.diag import build_diag_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def bus_oracle(predicate, width=6, constant=None, extra=2):
+    net = Netlist("t")
+    a = [net.add_pi(f"a[{i}]") for i in range(width)]
+    b = [net.add_pi(f"b[{i}]") for i in range(width)]
+    for j in range(extra):
+        net.add_pi(f"x_{j}")
+    if constant is None:
+        net.add_po("z", comparator(net, predicate, a, b))
+    else:
+        net.add_po("z", comparator_const(net, predicate, a, constant))
+    return NetlistOracle(net)
+
+
+class TestComparatorVarVar:
+    @pytest.mark.parametrize("predicate", ["==", "!=", "<", "<=", ">", ">="])
+    def test_all_predicates_matched(self, predicate, rng):
+        oracle = bus_oracle(predicate)
+        grouping = group_names(oracle.pi_names)
+        match = match_comparator(oracle, grouping, 0, rng,
+                                 num_samples=160)
+        assert match is not None
+        assert match.right is not None
+        assert not match.buried
+        # The matched predicate must be behaviourally identical.
+        import operator
+        ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        vals = rng.integers(0, 64, size=(200, 2))
+        want = ops[predicate](vals[:, 0], vals[:, 1])
+        lhs, rhs = ((vals[:, 0], vals[:, 1])
+                    if match.left.stem == "a" else
+                    (vals[:, 1], vals[:, 0]))
+        got = ops[match.predicate](lhs, rhs)
+        assert (got == want).all()
+
+
+class TestComparatorVarConst:
+    @pytest.mark.parametrize("predicate,constant", [
+        ("<", 23), ("<=", 40), (">", 11), (">=", 32),
+    ])
+    def test_threshold_constants_recovered(self, predicate, constant, rng):
+        oracle = bus_oracle(predicate, constant=constant)
+        grouping = group_names(oracle.pi_names)
+        match = match_comparator(oracle, grouping, 0, rng,
+                                 num_samples=160)
+        assert match is not None
+        assert match.right is None
+        # Canonical forms: N<t == N<=t-1 and N>=t == N>t-1.
+        import operator
+        ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+               ">=": operator.ge}
+        vals = np.arange(64)
+        want = ops[predicate](vals, constant)
+        got = ops[match.predicate](vals, match.constant)
+        assert (got == want).all()
+
+    def test_equality_constant_recovered(self, rng):
+        oracle = bus_oracle("==", width=5, constant=19)
+        grouping = group_names(oracle.pi_names)
+        match = match_comparator(oracle, grouping, 0, rng,
+                                 num_samples=400)
+        assert match is not None
+        assert match.predicate == "==" and match.constant == 19
+
+    def test_inequality_constant_recovered(self, rng):
+        oracle = bus_oracle("!=", width=5, constant=7)
+        grouping = group_names(oracle.pi_names)
+        match = match_comparator(oracle, grouping, 0, rng,
+                                 num_samples=400)
+        assert match is not None
+        assert match.predicate == "!=" and match.constant == 7
+
+
+class TestComparatorNegative:
+    def test_non_comparator_rejected(self, rng):
+        """An adder bit output must not match any comparator."""
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        b = [net.add_pi(f"b[{i}]") for i in range(4)]
+        from repro.network.builder import ripple_add
+        s = ripple_add(net, a, b, 5)
+        net.add_po("z", s[2])
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        assert match_comparator(oracle, grouping, 0, rng,
+                                num_samples=160) is None
+
+    def test_no_buses_no_match(self, rng):
+        net = Netlist("t")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po("z", net.add_and(a, b))
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        assert match_comparator(oracle, grouping, 0, rng) is None
+
+    def test_constant_output_rejected(self, rng):
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        net.add_po("z", net.add_const0())
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        assert match_comparator(oracle, grouping, 0, rng) is None
+
+
+class TestFig3InputCompression:
+    def test_fig3_buried_comparator_found(self, rng):
+        """Fig. 3: the comparator feeds a MUX; only under ctl=1 is it
+        observable.  The propagation-cube search must find it."""
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(5)]
+        b = [net.add_pi(f"b[{i}]") for i in range(5)]
+        sel = net.add_pi("ctl")
+        other = net.add_pi("noise")
+        cmp_node = comparator(net, "<", a, b)
+        net.add_po("z", mux(net, sel, when0=other, when1=cmp_node))
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        match = match_comparator(oracle, grouping, 0, rng,
+                                 num_samples=128, propagation_tries=40)
+        assert match is not None
+        assert match.buried
+        assert match.propagation_cube is not None
+        # The cube must constrain only non-bus inputs.
+        bus_positions = set(match.left.positions)
+        if match.right is not None:
+            bus_positions |= set(match.right.positions)
+        assert not (set(match.propagation_cube.variables) & bus_positions)
+
+
+class TestLinearTemplate:
+    def test_known_datapath_recovered(self, rng):
+        net, specs = build_data_netlist(seed=42, num_in_buses=2,
+                                        in_width=6, out_width=8,
+                                        extra_pis=3)
+        oracle = NetlistOracle(net)
+        pi_grouping = group_names(oracle.pi_names)
+        po_grouping = group_names(oracle.po_names)
+        out_bus = po_grouping.buses[0]
+        match = match_linear(oracle, pi_grouping, out_bus, rng,
+                             num_samples=128)
+        assert match is not None
+        spec = specs[0]
+        got = {bus.stem: coeff for bus, coeff
+               in zip(match.in_buses, match.coefficients)}
+        for bus_name, coeff in zip(spec.in_buses, spec.coefficients):
+            assert got[bus_name] == coeff
+        assert match.constant == spec.constant
+
+    def test_zero_coefficients_dropped(self, rng):
+        from repro.network.builder import linear_combination
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        b = [net.add_pi(f"b[{i}]") for i in range(4)]
+        z = linear_combination(net, [a], [3], 1, 6)  # b unused
+        for i, bit in enumerate(z):
+            net.add_po(f"z[{i}]", bit)
+        oracle = NetlistOracle(net)
+        match = match_linear(oracle, group_names(oracle.pi_names),
+                             group_names(oracle.po_names).buses[0], rng)
+        assert match is not None
+        assert [bus.stem for bus in match.in_buses] == ["a"]
+
+    def test_nonlinear_rejected(self, rng):
+        """A multiplier output bus must fail linear verification."""
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        b = [net.add_pi(f"b[{i}]") for i in range(4)]
+        # z = a * b via repeated shift-add of partial products.
+        from repro.network.builder import ripple_add, scale_word
+        zero = net.add_const0()
+        acc = [zero] * 8
+        for i in range(4):
+            partial = [zero] * i + [net.add_and(a[j], b[i])
+                                    for j in range(4)] + [zero] * (4 - i)
+            acc = ripple_add(net, acc, partial[:8], 8)
+        for i, bit in enumerate(acc):
+            net.add_po(f"z[{i}]", bit)
+        oracle = NetlistOracle(net)
+        match = match_linear(oracle, group_names(oracle.pi_names),
+                             group_names(oracle.po_names).buses[0], rng)
+        assert match is None
+
+    def test_scalar_dependence_rejected(self, rng):
+        """If a non-bus input affects the output bus, no linear match."""
+        from repro.network.builder import linear_combination
+        net = Netlist("t")
+        a = [net.add_pi(f"a[{i}]") for i in range(4)]
+        mode = net.add_pi("mode")
+        z = linear_combination(net, [a], [2], 3, 6)
+        z[0] = net.add_xor(z[0], mode)
+        for i, bit in enumerate(z):
+            net.add_po(f"z[{i}]", bit)
+        oracle = NetlistOracle(net)
+        match = match_linear(oracle, group_names(oracle.pi_names),
+                             group_names(oracle.po_names).buses[0], rng)
+        assert match is None
+
+
+class TestDiagIntegration:
+    def test_diag_suite_outputs_all_match(self, rng):
+        net, specs = build_diag_netlist(5, seed=77, bus_width=7,
+                                        num_buses=2, extra_pis=3)
+        oracle = NetlistOracle(net)
+        grouping = group_names(oracle.pi_names)
+        for j, spec in enumerate(specs):
+            match = match_comparator(oracle, grouping, j, rng,
+                                     num_samples=192)
+            assert match is not None, spec

@@ -1,0 +1,136 @@
+"""Tests for the evaluation harness (patterns, accuracy, Table II rows)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.accuracy import accuracy, per_output_accuracy
+from repro.eval.harness import CaseResult, run_case, run_suite
+from repro.eval.patterns import contest_test_patterns
+from repro.eval.reporting import format_table, summarize_by_category
+from repro.network.netlist import Netlist
+from repro.oracle.suite import build_case
+
+
+class TestPatterns:
+    def test_three_way_mix(self):
+        pats = contest_test_patterns(40, total=9000,
+                                     rng=np.random.default_rng(0))
+        assert pats.shape == (9000, 40)
+        ones = pats[:3000].mean()
+        zeros = pats[3000:6000].mean()
+        uniform = pats[6000:].mean()
+        assert ones > 0.7
+        assert zeros < 0.3
+        assert 0.45 < uniform < 0.55
+
+    def test_total_not_divisible_by_three(self):
+        pats = contest_test_patterns(5, total=1000,
+                                     rng=np.random.default_rng(1))
+        assert pats.shape == (1000, 5)
+
+
+class TestAccuracy:
+    def _nets(self):
+        golden = Netlist("g")
+        a = golden.add_pi("a")
+        b = golden.add_pi("b")
+        golden.add_po("p", golden.add_and(a, b))
+        golden.add_po("q", golden.add_or(a, b))
+        wrong = Netlist("w")
+        a = wrong.add_pi("a")
+        b = wrong.add_pi("b")
+        wrong.add_po("p", wrong.add_and(a, b))
+        wrong.add_po("q", wrong.add_xor(a, b))  # wrong on (1,1) only
+        return golden, wrong
+
+    def test_all_outputs_must_match(self):
+        golden, wrong = self._nets()
+        pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        assert accuracy(wrong, golden, pats) == 0.75
+        assert accuracy(golden, golden, pats) == 1.0
+
+    def test_per_output_diagnostic(self):
+        golden, wrong = self._nets()
+        pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        per = per_output_accuracy(wrong, golden, pats)
+        assert per[0] == 1.0
+        assert per[1] == 0.75
+
+    def test_name_based_alignment(self):
+        golden, _ = self._nets()
+        permuted = Netlist("perm")
+        a = permuted.add_pi("a")
+        b = permuted.add_pi("b")
+        # Same functions, declared in the opposite order.
+        permuted.add_po("q", permuted.add_or(a, b))
+        permuted.add_po("p", permuted.add_and(a, b))
+        pats = np.array([[0, 1], [1, 1]], dtype=np.uint8)
+        assert accuracy(permuted, golden, pats) == 1.0
+
+    def test_missing_output_rejected(self):
+        golden, _ = self._nets()
+        partial = Netlist("part")
+        a = partial.add_pi("a")
+        b = partial.add_pi("b")
+        partial.add_po("p", partial.add_and(a, b))
+        partial.add_po("x", partial.add_or(a, b))
+        with pytest.raises(ValueError):
+            accuracy(partial, golden,
+                     np.zeros((1, 2), dtype=np.uint8))
+
+
+class TestHarness:
+    def test_run_case_perfect_learner(self):
+        case = build_case("case_16")
+        result = run_case(case, lambda oracle: case.golden, "golden",
+                          test_patterns=3000)
+        assert result.accuracy == 1.0
+        assert result.meets_contest_bar
+        assert result.size == case.golden.gate_count()
+        assert result.case_id == "case_16"
+
+    def test_run_suite_shapes(self):
+        cases = [build_case("case_16"), build_case("case_13")]
+        results = run_suite(
+            cases,
+            {"golden": lambda oracle, cases=cases: _golden_for(oracle,
+                                                               cases)},
+            test_patterns=1500)
+        assert len(results) == 2
+        assert {r.case_id for r in results} == {"case_16", "case_13"}
+
+    def test_contest_bar(self):
+        r = CaseResult("c", "ECO", "x", 10, 0.99989, 1.0, 0)
+        assert not r.meets_contest_bar
+        r2 = CaseResult("c", "ECO", "x", 10, 0.99995, 1.0, 0)
+        assert r2.meets_contest_bar
+
+
+def _golden_for(oracle, cases):
+    for case in cases:
+        if case.golden.pi_names == oracle.pi_names:
+            return case.golden
+    raise AssertionError("unknown oracle")
+
+
+class TestReporting:
+    def _results(self):
+        return [
+            CaseResult("case_1", "ECO", "ours", 100, 1.0, 1.5, 10,
+                       num_pis=10, num_pos=2, paper_size=165,
+                       paper_accuracy=100.0),
+            CaseResult("case_1", "ECO", "cart", 900, 0.97, 2.0, 10,
+                       num_pis=10, num_pos=2, paper_size=165,
+                       paper_accuracy=100.0),
+        ]
+
+    def test_format_table_contains_learners_and_paper(self):
+        text = format_table(self._results())
+        assert "ours" in text and "cart" in text
+        assert "case_1" in text
+        assert "165" in text
+
+    def test_summarize_by_category(self):
+        text = summarize_by_category(self._results())
+        assert "ECO" in text
+        assert "ours" in text

@@ -1,0 +1,122 @@
+"""Unit tests for the ROBDD package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.bdd import Bdd
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = Bdd(3)
+        assert bdd.evaluate(bdd.ZERO, [0, 0, 0]) == 0
+        assert bdd.evaluate(bdd.ONE, [1, 1, 1]) == 1
+
+    def test_variable(self):
+        bdd = Bdd(3)
+        v = bdd.variable(1)
+        assert bdd.evaluate(v, [0, 1, 0]) == 1
+        assert bdd.evaluate(v, [0, 0, 0]) == 0
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            Bdd(2).variable(2)
+
+    def test_reduction_unique_table(self):
+        bdd = Bdd(3)
+        a = bdd.apply_and(bdd.variable(0), bdd.variable(1))
+        b = bdd.apply_and(bdd.variable(0), bdd.variable(1))
+        assert a == b  # structurally identical -> same node
+
+    def test_ite_shortcuts(self):
+        bdd = Bdd(2)
+        x = bdd.variable(0)
+        assert bdd.ite(bdd.ONE, x, bdd.ZERO) == x
+        assert bdd.ite(bdd.ZERO, x, bdd.ONE) == bdd.ONE
+        assert bdd.ite(x, bdd.ONE, bdd.ZERO) == x
+
+
+class TestOperations:
+    def test_xor_sat_count(self):
+        bdd = Bdd(4)
+        f = bdd.apply_xor(bdd.variable(0), bdd.variable(3))
+        assert bdd.sat_count(f) == 8
+
+    def test_not_involution(self):
+        bdd = Bdd(3)
+        f = bdd.apply_or(bdd.variable(0), bdd.variable(2))
+        assert bdd.apply_not(bdd.apply_not(f)) == f
+
+    def test_and_or_de_morgan(self):
+        bdd = Bdd(3)
+        a, b = bdd.variable(0), bdd.variable(1)
+        left = bdd.apply_not(bdd.apply_and(a, b))
+        right = bdd.apply_or(bdd.apply_not(a), bdd.apply_not(b))
+        assert left == right
+
+    def test_support(self):
+        bdd = Bdd(5)
+        f = bdd.apply_and(bdd.variable(1), bdd.variable(4))
+        assert bdd.support(f) == [1, 4]
+
+    def test_node_count(self):
+        bdd = Bdd(3)
+        f = bdd.apply_xor(bdd.apply_xor(bdd.variable(0), bdd.variable(1)),
+                          bdd.variable(2))
+        # Parity over 3 ordered variables: 3 internal levels, <= 2/level.
+        assert 3 <= bdd.node_count(f) <= 5
+
+
+class TestSopInterop:
+    def test_from_sop_evaluate(self):
+        bdd = Bdd(3)
+        s = Sop.from_strings(["11-", "0-1"])
+        f = bdd.from_sop(s)
+        for m in range(8):
+            bits = [(m >> v) & 1 for v in range(3)]
+            assert bdd.evaluate(f, bits) == int(s.evaluate_one(bits))
+
+    def test_to_sop_round_trip(self):
+        bdd = Bdd(4)
+        s = Sop.from_strings(["1--1", "01--", "--00"])
+        f = bdd.from_sop(s)
+        back = bdd.to_sop(f)
+        for m in range(16):
+            bits = [(m >> v) & 1 for v in range(4)]
+            assert back.evaluate_one(bits) == s.evaluate_one(bits)
+
+    def test_from_cube(self):
+        bdd = Bdd(3)
+        f = bdd.from_cube(Cube({0: 1, 2: 0}))
+        assert bdd.evaluate(f, [1, 0, 0]) == 1
+        assert bdd.evaluate(f, [1, 0, 1]) == 0
+
+    def test_one_sat(self):
+        bdd = Bdd(3)
+        assert bdd.one_sat(bdd.ZERO) is None
+        f = bdd.apply_and(bdd.variable(0), bdd.apply_not(bdd.variable(2)))
+        cube = bdd.one_sat(f)
+        assert cube is not None
+        assert cube.phase(0) == 1 and cube.phase(2) == 0
+
+
+@given(minterms=st.sets(st.integers(0, 15), max_size=16))
+@settings(max_examples=120, deadline=None)
+def test_sat_count_exact(minterms):
+    bdd = Bdd(4)
+    f = bdd.from_sop(Sop.from_minterms(sorted(minterms), 4))
+    assert bdd.sat_count(f) == len(minterms)
+
+
+@given(m1=st.sets(st.integers(0, 15), max_size=10),
+       m2=st.sets(st.integers(0, 15), max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_canonical_equality(m1, m2):
+    """Same function -> same node id; different -> different."""
+    bdd = Bdd(4)
+    f1 = bdd.from_sop(Sop.from_minterms(sorted(m1), 4))
+    f2 = bdd.from_sop(Sop.from_minterms(sorted(m2), 4))
+    assert (f1 == f2) == (m1 == m2)

@@ -1,0 +1,99 @@
+"""Differential tests: three independent function representations
+(SOP cover, packed truth table, ROBDD) must always agree, and both
+minimizers must preserve functions exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.bdd import Bdd
+from repro.logic.cube import Cube
+from repro.logic.factor import factor
+from repro.logic.minimize import espresso_lite, quine_mccluskey
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+
+NUM_VARS = 5
+
+
+def sops():
+    cube = st.dictionaries(st.integers(0, NUM_VARS - 1),
+                           st.integers(0, 1), max_size=NUM_VARS) \
+        .map(lambda d: Cube(d))
+    return st.lists(cube, max_size=7).map(
+        lambda cs: Sop(cs, NUM_VARS))
+
+
+def all_patterns():
+    return np.array([[(m >> v) & 1 for v in range(NUM_VARS)]
+                     for m in range(1 << NUM_VARS)], dtype=np.uint8)
+
+
+@given(s=sops())
+@settings(max_examples=150, deadline=None)
+def test_three_representations_agree(s):
+    pats = all_patterns()
+    via_sop = s.evaluate(pats)
+    tt = TruthTable.from_sop(s)
+    via_tt = np.array([bool(tt.get(m)) for m in range(32)])
+    bdd = Bdd(NUM_VARS)
+    node = bdd.from_sop(s)
+    via_bdd = np.array([bool(bdd.evaluate(node, row.tolist()))
+                        for row in pats])
+    assert (via_sop == via_tt).all()
+    assert (via_sop == via_bdd).all()
+
+
+@given(s=sops())
+@settings(max_examples=100, deadline=None)
+def test_minimizers_agree_on_function(s):
+    tt = TruthTable.from_sop(s)
+    qm = quine_mccluskey(tt.minterms(), NUM_VARS)
+    esp = espresso_lite(s, s.complement())
+    assert TruthTable.from_sop(qm) == tt
+    assert TruthTable.from_sop(esp) == tt
+
+
+@given(s=sops())
+@settings(max_examples=100, deadline=None)
+def test_sat_count_matches_everywhere(s):
+    tt = TruthTable.from_sop(s)
+    bdd = Bdd(NUM_VARS)
+    node = bdd.from_sop(s)
+    assert bdd.sat_count(node) == tt.count_ones()
+
+
+@given(s=sops())
+@settings(max_examples=100, deadline=None)
+def test_isop_and_bdd_to_sop_round_trips(s):
+    tt = TruthTable.from_sop(s)
+    assert TruthTable.from_sop(tt.isop()) == tt
+    bdd = Bdd(NUM_VARS)
+    node = bdd.from_sop(s)
+    assert TruthTable.from_sop(bdd.to_sop(node)) == tt
+
+
+@given(s=sops())
+@settings(max_examples=100, deadline=None)
+def test_factoring_agrees_with_cover_via_netlist(s):
+    """Build the factored form as gates and simulate against the cover."""
+    from repro.network.builder import build_factored_sop
+    from repro.network.netlist import Netlist
+    from repro.network.simulate import simulate
+
+    net = Netlist("f")
+    nodes = [net.add_pi(f"x{i}") for i in range(NUM_VARS)]
+    net.add_po("f", build_factored_sop(net, s, nodes))
+    pats = all_patterns()
+    assert (simulate(net, pats)[:, 0].astype(bool)
+            == s.evaluate(pats)).all()
+
+
+@given(s=sops(), minterm=st.integers(0, 31))
+@settings(max_examples=100, deadline=None)
+def test_complement_partition(s, minterm):
+    """Every minterm is in exactly one of (cover, complement)."""
+    comp = s.complement()
+    bits = [(minterm >> v) & 1 for v in range(NUM_VARS)]
+    assert s.evaluate_one(bits) != comp.evaluate_one(bits)

@@ -1,0 +1,198 @@
+"""Unit tests for cube algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+
+
+def cubes(max_vars=6):
+    """Hypothesis strategy for random cubes over max_vars variables."""
+    return st.dictionaries(st.integers(0, max_vars - 1),
+                           st.integers(0, 1), max_size=max_vars) \
+        .map(lambda d: Cube(d))
+
+
+class TestConstruction:
+    def test_empty_cube_is_constant_one(self):
+        c = Cube.empty()
+        assert c.is_empty()
+        assert len(c) == 0
+        assert c.num_minterms(5) == 32
+
+    def test_from_literals(self):
+        c = Cube.from_literals([(0, 1), (2, 0)])
+        assert c.phase(0) == 1
+        assert c.phase(2) == 0
+        assert c.phase(1) is None
+
+    def test_conflicting_literals_raise(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals([(0, 1), (0, 0)])
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Cube({0: 2})
+
+    def test_negative_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Cube({-1: 0})
+
+    def test_from_assignment(self):
+        c = Cube.from_assignment([1, 0, 1])
+        assert c.phase(0) == 1 and c.phase(1) == 0 and c.phase(2) == 1
+
+    def test_from_assignment_selected_variables(self):
+        c = Cube.from_assignment([1, 0], variables=[3, 7])
+        assert c.phase(3) == 1 and c.phase(7) == 0
+        assert 0 not in c
+
+    def test_string_round_trip(self):
+        c = Cube.from_string("1-0-")
+        assert c.to_string(4) == "1-0-"
+        assert c.phase(0) == 1 and c.phase(2) == 0
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+
+class TestAlgebra:
+    def test_with_literal_extends(self):
+        c = Cube({0: 1}).with_literal(3, 0)
+        assert c.phase(3) == 0 and c.phase(0) == 1
+
+    def test_with_literal_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Cube({0: 1}).with_literal(0, 0)
+
+    def test_with_literal_same_phase_is_noop(self):
+        c = Cube({0: 1})
+        assert c.with_literal(0, 1) == c
+
+    def test_conjoin(self):
+        a = Cube({0: 1})
+        b = Cube({1: 0})
+        assert a.conjoin(b) == Cube({0: 1, 1: 0})
+
+    def test_conjoin_conflict_is_none(self):
+        assert Cube({0: 1}).conjoin(Cube({0: 0})) is None
+
+    def test_cofactor_frees_variable(self):
+        c = Cube({0: 1, 1: 0})
+        assert c.cofactor(0, 1) == Cube({1: 0})
+
+    def test_cofactor_contradiction_is_none(self):
+        assert Cube({0: 1}).cofactor(0, 0) is None
+
+    def test_cofactor_free_variable_is_identity(self):
+        c = Cube({0: 1})
+        assert c.cofactor(5, 0) is c
+
+    def test_containment(self):
+        big = Cube({0: 1})
+        small = Cube({0: 1, 1: 0})
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert Cube.empty().contains(big)
+
+    def test_distance_counts_conflicts(self):
+        a = Cube({0: 1, 1: 0, 2: 1})
+        b = Cube({0: 0, 1: 1, 3: 0})
+        assert a.distance(b) == 2
+
+    def test_intersects(self):
+        assert Cube({0: 1}).intersects(Cube({1: 0}))
+        assert not Cube({0: 1}).intersects(Cube({0: 0}))
+
+    def test_consensus(self):
+        a = Cube({0: 1, 1: 1})
+        b = Cube({0: 0, 2: 1})
+        assert a.consensus(b) == Cube({1: 1, 2: 1})
+
+    def test_consensus_distance_two_is_none(self):
+        a = Cube({0: 1, 1: 1})
+        b = Cube({0: 0, 1: 0})
+        assert a.consensus(b) is None
+
+    def test_merge_adjacent(self):
+        a = Cube({0: 1, 1: 1})
+        b = Cube({0: 1, 1: 0})
+        assert a.merge(b) == Cube({0: 1})
+
+    def test_merge_different_support_is_none(self):
+        assert Cube({0: 1}).merge(Cube({1: 1})) is None
+
+
+class TestEvaluation:
+    def test_evaluate_batch(self):
+        c = Cube({0: 1, 2: 0})
+        pats = np.array([[1, 0, 0], [1, 1, 1], [0, 0, 0]], dtype=np.uint8)
+        assert c.evaluate(pats).tolist() == [True, False, False]
+
+    def test_empty_cube_satisfied_everywhere(self):
+        pats = np.zeros((4, 3), dtype=np.uint8)
+        assert Cube.empty().evaluate(pats).all()
+
+    def test_apply_to_forces_literals(self):
+        c = Cube({1: 1})
+        pats = np.zeros((3, 3), dtype=np.uint8)
+        c.apply_to(pats)
+        assert (pats[:, 1] == 1).all()
+        assert c.evaluate(pats).all()
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert Cube({0: 1, 1: 0}) == Cube({1: 0, 0: 1})
+        assert hash(Cube({0: 1})) == hash(Cube({0: 1}))
+
+    def test_repr_mentions_phases(self):
+        r = repr(Cube({0: 1, 2: 0}))
+        assert "x0" in r and "!x2" in r
+
+    def test_contains_var(self):
+        c = Cube({3: 0})
+        assert 3 in c and 0 not in c
+
+
+@given(a=cubes(), b=cubes())
+@settings(max_examples=200, deadline=None)
+def test_conjoin_is_intersection_of_minterm_sets(a, b):
+    """x |= a&b  iff  x |= a and x |= b, on every minterm of B^6."""
+    pats = np.array([[(m >> v) & 1 for v in range(6)]
+                     for m in range(64)], dtype=np.uint8)
+    both = a.evaluate(pats) & b.evaluate(pats)
+    c = a.conjoin(b)
+    if c is None:
+        assert not both.any()
+    else:
+        assert (c.evaluate(pats) == both).all()
+
+
+@given(a=cubes(), b=cubes())
+@settings(max_examples=200, deadline=None)
+def test_distance_zero_iff_intersecting(a, b):
+    assert (a.distance(b) == 0) == a.intersects(b)
+
+
+@given(c=cubes())
+@settings(max_examples=100, deadline=None)
+def test_minterm_count_matches_evaluation(c):
+    pats = np.array([[(m >> v) & 1 for v in range(6)]
+                     for m in range(64)], dtype=np.uint8)
+    assert int(c.evaluate(pats).sum()) == c.num_minterms(6)
+
+
+@given(a=cubes(), b=cubes())
+@settings(max_examples=150, deadline=None)
+def test_merge_preserves_union(a, b):
+    m = a.merge(b)
+    if m is None:
+        return
+    pats = np.array([[(x >> v) & 1 for v in range(6)]
+                     for x in range(64)], dtype=np.uint8)
+    union = a.evaluate(pats) | b.evaluate(pats)
+    assert (m.evaluate(pats) == union).all()

@@ -1,0 +1,78 @@
+"""Unit tests for quick factoring."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.factor import (FactoredNode, factor,
+                                factored_literal_count)
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+
+
+def _eval_node(node: FactoredNode, bits) -> bool:
+    if node.kind == "const0":
+        return False
+    if node.kind == "const1":
+        return True
+    if node.kind == "lit":
+        return bool(bits[node.var]) == bool(node.phase)
+    if node.kind == "and":
+        return all(_eval_node(c, bits) for c in node.children)
+    return any(_eval_node(c, bits) for c in node.children)
+
+
+class TestFactor:
+    def test_constants(self):
+        assert factor(Sop.zero(3)).kind == "const0"
+        assert factor(Sop.one(3)).kind == "const1"
+
+    def test_single_cube_is_and(self):
+        node = factor(Sop.from_strings(["110"]))
+        assert node.kind == "and"
+        assert node.literal_count() == 3  # x0 & x1 & !x2
+
+    def test_common_literal_extracted(self):
+        # ab | ac | ad -> a(b|c|d): 4 literals instead of 6.
+        s = Sop([Cube({0: 1, 1: 1}), Cube({0: 1, 2: 1}),
+                 Cube({0: 1, 3: 1})], 4)
+        node = factor(s)
+        assert node.literal_count() == 4
+
+    def test_no_sharing_stays_flat(self):
+        s = Sop([Cube({0: 1}), Cube({1: 1})], 2)
+        node = factor(s)
+        assert node.kind == "or"
+        assert node.literal_count() == 2
+
+    def test_str_rendering(self):
+        node = factor(Sop.from_strings(["10"]))
+        assert "x0" in str(node) and "!x1" in str(node)
+
+    def test_literal_count_helper(self):
+        s = Sop([Cube({0: 1, 1: 1}), Cube({0: 1, 2: 1})], 3)
+        assert factored_literal_count(s) == 3  # a(b|c)
+
+
+def sops(num_vars=5, max_cubes=8):
+    cube = st.dictionaries(st.integers(0, num_vars - 1),
+                           st.integers(0, 1), max_size=num_vars) \
+        .map(lambda d: Cube(d))
+    return st.lists(cube, max_size=max_cubes) \
+        .map(lambda cs: Sop(cs, num_vars))
+
+
+@given(s=sops())
+@settings(max_examples=200, deadline=None)
+def test_factoring_preserves_function(s):
+    node = factor(s)
+    for m in range(32):
+        bits = [(m >> v) & 1 for v in range(5)]
+        assert _eval_node(node, bits) == bool(s.evaluate_one(bits))
+
+
+@given(s=sops())
+@settings(max_examples=150, deadline=None)
+def test_factoring_never_increases_literals(s):
+    assert factor(s).literal_count() <= s.literal_count()

@@ -1,0 +1,173 @@
+"""Unit tests for Quine-McCluskey and espresso-lite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.minimize import (espresso_lite, exact_from_truthtable,
+                                  minimize_from_leaves, petrick_cover,
+                                  prime_implicants, quine_mccluskey)
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+
+
+class TestQuineMcCluskey:
+    def test_empty_onset(self):
+        assert quine_mccluskey([], 3).is_zero()
+
+    def test_full_onset_is_tautology(self):
+        s = quine_mccluskey(list(range(8)), 3)
+        assert s.is_one()
+        assert len(s) == 1
+
+    def test_classic_example(self):
+        # f = sum m(0,1,2,5,6,7): minimal covers have 3 cubes.
+        s = quine_mccluskey([0, 1, 2, 5, 6, 7], 3)
+        assert set(TruthTable.from_sop(s).minterms()) == {0, 1, 2, 5, 6, 7}
+        assert len(s) == 3
+
+    def test_xor_needs_all_minterm_cubes(self):
+        s = quine_mccluskey([1, 2], 2)  # a xor b
+        assert len(s) == 2
+        assert s.literal_count() == 4
+
+    def test_dont_cares_enlarge_cubes(self):
+        # onset {1}, dc {3}: x0 alone covers (x1 is dc'd away).
+        s = quine_mccluskey([1], 2, dcset=[3])
+        assert len(s) == 1
+        assert len(s.cubes[0]) == 1
+
+    def test_single_minterm(self):
+        s = quine_mccluskey([5], 3)
+        assert len(s) == 1
+        assert len(s.cubes[0]) == 3
+
+    @given(onset=st.sets(st.integers(0, 15), max_size=16))
+    @settings(max_examples=150, deadline=None)
+    def test_exactness(self, onset):
+        s = quine_mccluskey(sorted(onset), 4)
+        assert set(TruthTable.from_sop(s).minterms()) == onset
+
+    @given(onset=st.sets(st.integers(0, 15), max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_all_cubes_are_primes(self, onset):
+        s = quine_mccluskey(sorted(onset), 4)
+        primes = set(prime_implicants(sorted(onset), [], 4))
+        for cube in s.cubes:
+            assert cube in primes
+
+
+class TestPetrick:
+    def test_simple_exact_cover(self):
+        # minterm -> primes covering it; minimum cover is {1} alone.
+        table = {0: [0, 1], 1: [1], 2: [1, 2]}
+        assert petrick_cover(table, 3) == [1]
+
+    def test_forced_two_primes(self):
+        table = {0: [0], 1: [1], 2: [0, 1]}
+        assert sorted(petrick_cover(table, 2)) == [0, 1]
+
+    def test_budget_gives_none(self):
+        # A dense 12x12 table with a 1-node budget must bail out.
+        table = {m: list(range(12)) for m in range(12)}
+        assert petrick_cover(table, 12, max_nodes=0) is None
+
+    @given(onset=st.sets(st.integers(0, 15), min_size=1, max_size=16))
+    @settings(max_examples=120, deadline=None)
+    def test_exact_never_worse_than_greedy(self, onset):
+        greedy = quine_mccluskey(sorted(onset), 4)
+        exact = quine_mccluskey(sorted(onset), 4, exact_cover=True)
+        assert set(TruthTable.from_sop(exact).minterms()) == onset
+        assert len(exact) <= len(greedy)
+
+    def test_exact_beats_greedy_sometimes(self):
+        """A known cyclic covering problem where greedy can be fooled:
+        verify the exact cover is minimal by brute force."""
+        import itertools
+        onset = [0, 1, 5, 7, 8, 10, 14, 15]
+        exact = quine_mccluskey(onset, 4, exact_cover=True)
+        primes = prime_implicants(onset, [], 4)
+        # Brute-force the true minimum cover size.
+        minimum = None
+        for r in range(1, len(primes) + 1):
+            for combo in itertools.combinations(range(len(primes)), r):
+                covered = set()
+                for idx in combo:
+                    cover_tt = TruthTable.from_sop(
+                        Sop([primes[idx]], 4))
+                    covered.update(cover_tt.minterms())
+                if set(onset) <= covered:
+                    minimum = r
+                    break
+            if minimum is not None:
+                break
+        assert len(exact) == minimum
+
+
+class TestPrimeImplicants:
+    def test_tautology_prime(self):
+        primes = prime_implicants(list(range(4)), [], 2)
+        assert primes == [Cube.empty()]
+
+    def test_primes_cover_onset(self):
+        onset = [0, 2, 5, 7, 8, 13]
+        primes = prime_implicants(onset, [], 4)
+        cover = Sop(primes, 4)
+        got = set(TruthTable.from_sop(cover).minterms())
+        assert set(onset) <= got
+
+
+class TestEspressoLite:
+    def test_preserves_function(self):
+        on = Sop.from_strings(["1100", "1101", "1110", "1111", "0011"])
+        off = on.complement()
+        m = espresso_lite(on, off)
+        assert TruthTable.from_sop(m) == TruthTable.from_sop(on)
+
+    def test_reduces_cover(self):
+        # 4 minterm cubes of x0 should shrink to far fewer cubes.
+        on = Sop.from_strings(["100", "101", "110", "111"])
+        m = espresso_lite(on, on.complement())
+        assert len(m) < 4
+
+    def test_dont_care_gap_exploited(self):
+        # onset {11-}, offset {00-}; the 01/10 rows are don't-care, so a
+        # single-literal cube becomes legal.
+        on = Sop.from_strings(["11-"])
+        off = Sop.from_strings(["00-"])
+        m = espresso_lite(on, off)
+        assert m.literal_count() <= on.literal_count()
+        pats = np.array([[1, 1, 0], [1, 1, 1]], dtype=np.uint8)
+        assert m.evaluate(pats).all()
+        pats0 = np.array([[0, 0, 0], [0, 0, 1]], dtype=np.uint8)
+        assert not m.evaluate(pats0).any()
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            espresso_lite(Sop.zero(3), Sop.zero(4))
+
+    @given(onset=st.sets(st.integers(0, 31), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_complete_spec_preserved(self, onset):
+        on = Sop.from_minterms(sorted(onset), 5)
+        off = on.complement()
+        m = espresso_lite(on, off)
+        tt_on = TruthTable.from_sop(on)
+        assert TruthTable.from_sop(m) == tt_on
+
+
+class TestHelpers:
+    def test_minimize_from_leaves(self):
+        on = Sop.from_strings(["110", "111"])
+        off = Sop.from_strings(["000", "001", "010", "011", "100", "101"])
+        m = minimize_from_leaves(on, off)
+        assert TruthTable.from_sop(m) == TruthTable.from_sop(on)
+        assert len(m) == 1
+
+    def test_exact_from_truthtable(self):
+        tt = TruthTable.from_function(lambda b: b[0] or b[1], 2)
+        s = exact_from_truthtable(tt)
+        assert TruthTable.from_sop(s) == tt
+        assert len(s) == 2

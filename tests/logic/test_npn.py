@@ -1,0 +1,93 @@
+"""Tests for NPN classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.npn import (NpnTransform, invert, npn_canon, npn_classes,
+                             semi_canon)
+
+
+class TestKnownCounts:
+    def test_npn_classes_k1(self):
+        # Functions of one variable: 0, 1, x, !x -> classes {0, x} = 2.
+        assert npn_classes(1) == 2
+
+    def test_npn_classes_k2(self):
+        assert npn_classes(2) == 4
+
+    def test_npn_classes_k3(self):
+        assert npn_classes(3) == 14
+
+
+class TestCanon:
+    def test_constants_share_a_class(self):
+        k = 3
+        rep0, _ = npn_canon(0, k)
+        rep1, _ = npn_canon((1 << (1 << k)) - 1, k)
+        assert rep0 == rep1 == 0
+
+    def test_and_or_same_class(self):
+        # AND(a,b) = 0b1000 and OR(a,b) = 0b1110 are NPN-equivalent
+        # (De Morgan = input+output negation).
+        rep_and, _ = npn_canon(0b1000, 2)
+        rep_or, _ = npn_canon(0b1110, 2)
+        assert rep_and == rep_or
+
+    def test_xor_own_class(self):
+        rep_xor, _ = npn_canon(0b0110, 2)
+        rep_and, _ = npn_canon(0b1000, 2)
+        assert rep_xor != rep_and
+
+    def test_k_limit(self):
+        with pytest.raises(ValueError):
+            npn_canon(0, 6)
+
+    @given(table=st.integers(0, 255), phases=st.integers(0, 7),
+           out_phase=st.integers(0, 1))
+    @settings(max_examples=80, deadline=None)
+    def test_class_invariance(self, table, phases, out_phase):
+        """Any NPN transform of a function lands in the same class."""
+        k = 3
+        t = NpnTransform((0, 1, 2), phases, out_phase)
+        rep1, _ = npn_canon(table, k)
+        rep2, _ = npn_canon(t.apply(table, k), k)
+        assert rep1 == rep2
+
+    @given(table=st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_permutation_invariance(self, table):
+        k = 3
+        t = NpnTransform((2, 0, 1), 0, 0)
+        rep1, _ = npn_canon(table, k)
+        rep2, _ = npn_canon(t.apply(table, k), k)
+        assert rep1 == rep2
+
+    @given(table=st.integers(0, 65535))
+    @settings(max_examples=60, deadline=None)
+    def test_transform_maps_to_representative(self, table):
+        k = 4
+        rep, t = npn_canon(table, k)
+        assert t.apply(table, k) == rep
+
+    @given(table=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_invert_round_trip(self, table):
+        k = 3
+        rep, t = npn_canon(table, k)
+        assert invert(t, k).apply(rep, k) == table
+
+
+class TestSemiCanon:
+    @given(table=st.integers(0, 65535))
+    @settings(max_examples=80, deadline=None)
+    def test_output_negation_invariant(self, table):
+        k = 4
+        mask = (1 << (1 << k)) - 1
+        assert semi_canon(table, k) == semi_canon((~table) & mask, k)
+
+    def test_works_for_wide_k(self):
+        # No exactness promise, just stability.
+        a = semi_canon(0x123456789ABCDEF0, 6)
+        b = semi_canon(0x123456789ABCDEF0, 6)
+        assert a == b

@@ -1,0 +1,158 @@
+"""Unit tests for SOP covers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+
+
+def sops(num_vars=5, max_cubes=6):
+    cube = st.dictionaries(st.integers(0, num_vars - 1),
+                           st.integers(0, 1), max_size=num_vars) \
+        .map(lambda d: Cube(d))
+    return st.lists(cube, max_size=max_cubes) \
+        .map(lambda cs: Sop(cs, num_vars))
+
+
+def all_patterns(num_vars):
+    return np.array([[(m >> v) & 1 for v in range(num_vars)]
+                     for m in range(1 << num_vars)], dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_zero_and_one(self):
+        assert Sop.zero(4).is_zero()
+        assert Sop.one(4).is_one()
+        assert not Sop.zero(4).is_one()
+
+    def test_from_minterms(self):
+        s = Sop.from_minterms([0, 5], 3)
+        pats = all_patterns(3)
+        assert s.evaluate(pats).tolist() == [
+            True, False, False, False, False, True, False, False]
+
+    def test_from_strings(self):
+        s = Sop.from_strings(["1-0", "01-"])
+        assert len(s) == 2
+        assert s.num_vars == 3
+
+    def test_out_of_universe_cube_rejected(self):
+        with pytest.raises(ValueError):
+            Sop([Cube({5: 1})], 3)
+
+    def test_empty_from_strings_rejected(self):
+        with pytest.raises(ValueError):
+            Sop.from_strings([])
+
+
+class TestEvaluation:
+    def test_evaluate_one(self):
+        s = Sop.from_strings(["11-"])
+        assert s.evaluate_one([1, 1, 0]) == 1
+        assert s.evaluate_one([1, 0, 0]) == 0
+
+    def test_support(self):
+        s = Sop.from_strings(["1--", "--0"])
+        assert s.support() == {0, 2}
+
+    def test_literal_count(self):
+        s = Sop.from_strings(["11-", "--0"])
+        assert s.literal_count() == 3
+
+
+class TestAlgebra:
+    def test_cofactor(self):
+        s = Sop.from_strings(["11-", "0-1"])
+        c1 = s.cofactor(0, 1)
+        pats = all_patterns(3)
+        expect = s.evaluate(np.where(
+            np.arange(3)[None, :] == 0, 1, pats).astype(np.uint8))
+        assert (c1.evaluate(pats) == expect).all()
+
+    def test_conjoin_disjoin(self):
+        a = Sop.from_strings(["1--"])
+        b = Sop.from_strings(["-1-"])
+        pats = all_patterns(3)
+        both = a.conjoin(b)
+        either = a.disjoin(b)
+        assert (both.evaluate(pats)
+                == (a.evaluate(pats) & b.evaluate(pats))).all()
+        assert (either.evaluate(pats)
+                == (a.evaluate(pats) | b.evaluate(pats))).all()
+
+    def test_mixed_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Sop.zero(3).disjoin(Sop.zero(4))
+
+    def test_covers_cube_exact(self):
+        s = Sop.from_strings(["1--", "0-1"])
+        assert s.covers_cube(Cube({0: 1, 1: 0}))
+        assert not s.covers_cube(Cube({0: 0}))
+
+    def test_tautology_split_phases(self):
+        s = Sop.from_strings(["1--", "0--"])
+        assert s.is_one()
+
+    def test_absorb_drops_contained(self):
+        s = Sop.from_strings(["1--", "11-", "1-0"])
+        assert len(s.absorb()) == 1
+
+    def test_merge_siblings_collapses_pairs(self):
+        s = Sop.from_strings(["110", "111", "101", "100"])
+        merged = s.merge_siblings()
+        pats = all_patterns(3)
+        assert (merged.evaluate(pats) == s.evaluate(pats)).all()
+        assert len(merged) == 1  # all four collapse to x0
+
+
+@given(s=sops())
+@settings(max_examples=120, deadline=None)
+def test_complement_is_exact(s):
+    pats = all_patterns(5)
+    comp = s.complement()
+    assert (comp.evaluate(pats) == ~s.evaluate(pats)).all()
+
+
+@given(s=sops())
+@settings(max_examples=120, deadline=None)
+def test_absorb_preserves_function(s):
+    pats = all_patterns(5)
+    assert (s.absorb().evaluate(pats) == s.evaluate(pats)).all()
+
+
+@given(s=sops())
+@settings(max_examples=120, deadline=None)
+def test_merge_siblings_preserves_function(s):
+    pats = all_patterns(5)
+    assert (s.merge_siblings().evaluate(pats) == s.evaluate(pats)).all()
+
+
+@given(s=sops())
+@settings(max_examples=100, deadline=None)
+def test_tautology_agrees_with_evaluation(s):
+    pats = all_patterns(5)
+    assert s.is_one() == bool(s.evaluate(pats).all())
+
+
+@given(s=sops(), var=st.integers(0, 4), phase=st.integers(0, 1))
+@settings(max_examples=120, deadline=None)
+def test_shannon_expansion(s, var, phase):
+    """f = x f|x | !x f|!x — on every minterm."""
+    pats = all_patterns(5)
+    pos = s.cofactor(var, 1).evaluate(pats)
+    neg = s.cofactor(var, 0).evaluate(pats)
+    x = pats[:, var].astype(bool)
+    assert ((x & pos) | (~x & neg) == s.evaluate(pats)).all()
+
+
+@given(s=sops())
+@settings(max_examples=80, deadline=None)
+def test_truthtable_round_trip(s):
+    tt = TruthTable.from_sop(s)
+    pats = all_patterns(5)
+    got = np.array([tt.get(int(m)) for m in range(32)], dtype=bool)
+    assert (got == s.evaluate(pats)).all()

@@ -1,0 +1,164 @@
+"""Unit tests for packed truth tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.logic.truthtable import IsopOverflow, TruthTable
+
+
+def tables(num_vars):
+    return st.integers(0, (1 << (1 << num_vars)) - 1).map(
+        lambda bits: TruthTable.from_minterms(
+            [m for m in range(1 << num_vars) if (bits >> m) & 1], num_vars))
+
+
+class TestConstruction:
+    def test_constants(self):
+        assert TruthTable.zeros(4).is_zero()
+        assert TruthTable.ones(4).is_one()
+        assert TruthTable.zeros(4).count_ones() == 0
+        assert TruthTable.ones(4).count_ones() == 16
+
+    def test_variable_projection(self):
+        for v in range(8):
+            tt = TruthTable.variable(v, 8)
+            assert tt.count_ones() == 128
+            assert tt.get(1 << v) == 1
+            assert tt.get(0) == 0
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(3, 3)
+
+    def test_from_minterms_round_trip(self):
+        tt = TruthTable.from_minterms([1, 4, 9], 4)
+        assert tt.minterms() == [1, 4, 9]
+
+    def test_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms([16], 4)
+
+    def test_from_function(self):
+        tt = TruthTable.from_function(lambda b: b[0] and not b[1], 2)
+        assert tt.minterms() == [1]
+
+    def test_from_values(self):
+        tt = TruthTable.from_values([0, 1, 1, 0])
+        assert tt.minterms() == [1, 2]
+
+    def test_from_values_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([0, 1, 1])
+
+    def test_sub_word_padding_masked(self):
+        tt = TruthTable(2, np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64))
+        assert tt.count_ones() == 4  # only the 4 real bits survive
+
+    def test_wide_tables(self):
+        tt = TruthTable.variable(9, 10)
+        assert tt.count_ones() == 512
+        assert tt.support() == [9]
+
+
+class TestOperations:
+    def test_boolean_ops_agree_with_python(self):
+        a = TruthTable.from_function(lambda b: b[0] ^ b[1], 3)
+        b = TruthTable.from_function(lambda b: b[1] and b[2], 3)
+        for m in range(8):
+            bits = [(m >> v) & 1 for v in range(3)]
+            assert (a & b).get(m) == ((bits[0] ^ bits[1])
+                                      and (bits[1] and bits[2]))
+            assert (a | b).get(m) == ((bits[0] ^ bits[1])
+                                      or (bits[1] and bits[2]))
+            assert (a ^ b).get(m) == ((bits[0] ^ bits[1])
+                                      != (bits[1] and bits[2]))
+            assert (~a).get(m) == (1 - (bits[0] ^ bits[1]))
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.zeros(3) & TruthTable.zeros(4)
+
+    def test_cofactor_small_variable(self):
+        tt = TruthTable.from_function(lambda b: b[0] and b[2], 3)
+        assert (tt.cofactor(0, 1)
+                == TruthTable.from_function(lambda b: b[2], 3))
+        assert tt.cofactor(0, 0).is_zero()
+
+    def test_cofactor_wide_variable(self):
+        tt = TruthTable.from_function(lambda b: b[7] ^ b[0], 8)
+        pos = tt.cofactor(7, 1)
+        assert pos == TruthTable.from_function(lambda b: not b[0], 8)
+
+    def test_support_and_depends(self):
+        tt = TruthTable.from_function(lambda b: b[1] or b[3], 5)
+        assert tt.support() == [1, 3]
+        assert tt.depends_on(1) and not tt.depends_on(0)
+
+    def test_evaluate_one(self):
+        tt = TruthTable.from_function(lambda b: b[0] and b[1], 2)
+        assert tt.evaluate_one([1, 1]) == 1
+        assert tt.evaluate_one([1, 0]) == 0
+
+    def test_compose_permutation(self):
+        tt = TruthTable.from_function(lambda b: b[0] and not b[1], 2)
+        lifted = tt.compose_permutation([4, 2], 5)
+        expect = TruthTable.from_function(lambda b: b[4] and not b[2], 5)
+        assert lifted == expect
+
+    def test_compose_permutation_missing_image(self):
+        tt = TruthTable.variable(0, 2)
+        with pytest.raises(ValueError):
+            tt.compose_permutation([-1, 0], 3)
+
+
+class TestIsop:
+    def test_isop_constant(self):
+        assert TruthTable.zeros(3).isop().is_zero()
+        assert TruthTable.ones(3).isop().is_one()
+
+    def test_isop_overflow(self):
+        tt = TruthTable.random(8, np.random.default_rng(5))
+        with pytest.raises(IsopOverflow):
+            tt.isop(max_cubes=2)
+
+    @given(tt=tables(4))
+    @settings(max_examples=150, deadline=None)
+    def test_isop_exact(self, tt):
+        assert TruthTable.from_sop(tt.isop()) == tt
+
+    @given(tt=tables(4))
+    @settings(max_examples=100, deadline=None)
+    def test_isop_cubes_are_implicants(self, tt):
+        for cube in tt.isop().cubes:
+            term = TruthTable.from_sop(Sop([cube], 4))
+            assert (term & ~tt).is_zero()
+
+
+@given(tt=tables(4), var=st.integers(0, 3))
+@settings(max_examples=150, deadline=None)
+def test_shannon_identity(tt, var):
+    x = TruthTable.variable(var, 4)
+    rebuilt = (x & tt.cofactor(var, 1)) | (~x & tt.cofactor(var, 0))
+    assert rebuilt == tt
+
+
+@given(tt=tables(4))
+@settings(max_examples=100, deadline=None)
+def test_double_complement(tt):
+    assert ~~tt == tt
+
+
+@given(tt=tables(4))
+@settings(max_examples=100, deadline=None)
+def test_count_ones_matches_minterms(tt):
+    assert tt.count_ones() == len(tt.minterms())
+
+
+def test_random_is_seeded():
+    a = TruthTable.random(7, np.random.default_rng(1))
+    b = TruthTable.random(7, np.random.default_rng(1))
+    assert a == b

@@ -1,0 +1,135 @@
+"""Round-trip tests for BLIF and Verilog interchange."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.network.blif import read_blif, write_blif
+from repro.network.builder import comparator, ripple_add
+from repro.network.netlist import GateOp, Netlist
+from repro.network.simulate import simulate
+from repro.network.verilog import write_verilog
+from repro.sat import are_equivalent
+
+
+def sample_net():
+    net = Netlist("sample")
+    a = [net.add_pi(f"a[{i}]") for i in range(3)]
+    b = [net.add_pi(f"b[{i}]") for i in range(3)]
+    net.add_po("lt", comparator(net, "<", a, b))
+    s = ripple_add(net, a, b, 4)
+    for i, bit in enumerate(s):
+        net.add_po(f"s[{i}]", bit)
+    return net
+
+
+class TestBlif:
+    def test_round_trip_equivalence(self):
+        net = sample_net()
+        buf = io.StringIO()
+        write_blif(net, buf)
+        buf.seek(0)
+        back = read_blif(buf)
+        assert back.pi_names == net.pi_names
+        assert back.po_names == net.po_names
+        assert are_equivalent(net, back) is True
+
+    def test_all_gate_covers(self):
+        net = Netlist("ops")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        for op in (GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND,
+                   GateOp.NOR, GateOp.XNOR):
+            net.add_po(op.value, net.add_gate(op, a, b))
+        net.add_po("inv", net.add_not(a))
+        net.add_po("buf", net.add_gate(GateOp.BUF, b))
+        net.add_po("zero", net.add_const0())
+        buf = io.StringIO()
+        write_blif(net, buf)
+        buf.seek(0)
+        back = read_blif(buf)
+        pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        assert (simulate(net, pats) == simulate(back, pats)).all()
+
+    def test_reader_handles_out_of_order_names(self):
+        text = """.model t
+.inputs a b
+.outputs f
+.names mid b f
+11 1
+.names a mid
+0 1
+.end
+"""
+        net = read_blif(io.StringIO(text))
+        pats = np.array([[0, 1], [1, 1], [0, 0]], dtype=np.uint8)
+        assert simulate(net, pats)[:, 0].tolist() == [1, 0, 0]
+
+    def test_reader_rejects_unknown_construct(self):
+        with pytest.raises(ValueError):
+            read_blif(io.StringIO(".model t\n.latch a b\n.end\n"))
+
+    def test_reader_rejects_undriven_output(self):
+        with pytest.raises(ValueError):
+            read_blif(io.StringIO(
+                ".model t\n.inputs a\n.outputs f\n.end\n"))
+
+    def test_reader_constant_names(self):
+        text = """.model t
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+        net = read_blif(io.StringIO(text))
+        pats = np.array([[0], [1]], dtype=np.uint8)
+        out = simulate(net, pats)
+        assert out[:, 0].tolist() == [1, 1]
+        assert out[:, 1].tolist() == [0, 0]
+
+    def test_reader_off_cover(self):
+        text = """.model t
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+"""
+        net = read_blif(io.StringIO(text))
+        pats = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        assert simulate(net, pats)[:, 0].tolist() == [0, 1]
+
+
+class TestVerilog:
+    def test_writer_emits_module(self):
+        net = sample_net()
+        buf = io.StringIO()
+        write_verilog(net, buf)
+        text = buf.getvalue()
+        assert text.startswith("module sample")
+        assert text.rstrip().endswith("endmodule")
+        assert "assign" in text
+
+    def test_writer_escapes_bus_names(self):
+        net = Netlist("esc")
+        a = net.add_pi("data[0]")
+        net.add_po("q[0]", net.add_not(a))
+        buf = io.StringIO()
+        write_verilog(net, buf)
+        assert "\\data[0] " in buf.getvalue()
+
+    def test_writer_covers_all_ops(self):
+        net = Netlist("ops")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        for op in (GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND,
+                   GateOp.NOR, GateOp.XNOR):
+            net.add_po(op.value, net.add_gate(op, a, b))
+        net.add_po("c0", net.add_const0())
+        buf = io.StringIO()
+        write_verilog(net, buf)
+        text = buf.getvalue()
+        assert "1'b0" in text and "~(" in text and "^" in text

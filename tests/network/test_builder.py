@@ -1,0 +1,194 @@
+"""Unit tests for the structural builders (word-level blocks, SOP gates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import (build_factored_sop, build_sop,
+                                   comparator, comparator_const, const_word,
+                                   equals, less_than, linear_combination,
+                                   mux, netlist_from_sops, reduce_tree,
+                                   ripple_add, scale_word)
+from repro.network.netlist import GateOp, Netlist
+from repro.network.simulate import simulate
+
+
+def _word_value(out, lo, width):
+    return sum(out[:, lo + i].astype(np.int64) << i for i in range(width))
+
+
+def _fresh(width, names=("a", "b")):
+    net = Netlist("t")
+    words = {}
+    for name in names:
+        words[name] = [net.add_pi(f"{name}[{i}]") for i in range(width)]
+    return net, words
+
+
+def _decode(pats, offset, width):
+    return sum(pats[:, offset + i].astype(np.int64) << i
+               for i in range(width))
+
+
+class TestReduceTree:
+    def test_empty_needs_identity(self):
+        net = Netlist()
+        with pytest.raises(ValueError):
+            reduce_tree(net, GateOp.AND, [])
+
+    def test_balanced_depth(self):
+        net = Netlist()
+        pis = [net.add_pi(f"i{k}") for k in range(8)]
+        root = reduce_tree(net, GateOp.AND, pis)
+        net.add_po("o", root)
+        assert net.level() == 3  # log2(8)
+
+
+class TestArithmetic:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_ripple_add(self, a, b):
+        net, words = _fresh(8)
+        s = ripple_add(net, words["a"], words["b"], 9)
+        for i, bit in enumerate(s):
+            net.add_po(f"s[{i}]", bit)
+        pat = np.array([[(a >> i) & 1 for i in range(8)]
+                        + [(b >> i) & 1 for i in range(8)]], dtype=np.uint8)
+        out = simulate(net, pat)
+        assert int(_word_value(out, 0, 9)[0]) == a + b
+
+    @given(a=st.integers(0, 63), f=st.integers(0, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_word(self, a, f):
+        net, words = _fresh(6, names=("a",))
+        s = scale_word(net, words["a"], f, 10)
+        for i, bit in enumerate(s):
+            net.add_po(f"s[{i}]", bit)
+        pat = np.array([[(a >> i) & 1 for i in range(6)]], dtype=np.uint8)
+        out = simulate(net, pat)
+        assert int(_word_value(out, 0, 10)[0]) == (a * f) % 1024
+
+    def test_scale_negative_rejected(self):
+        net, words = _fresh(4, names=("a",))
+        with pytest.raises(ValueError):
+            scale_word(net, words["a"], -2, 8)
+
+    def test_linear_combination(self):
+        net, words = _fresh(4)
+        z = linear_combination(net, [words["a"], words["b"]], [3, 5], 7, 8)
+        for i, bit in enumerate(z):
+            net.add_po(f"z[{i}]", bit)
+        rng = np.random.default_rng(3)
+        pats = rng.integers(0, 2, (200, 8)).astype(np.uint8)
+        out = simulate(net, pats)
+        na, nb = _decode(pats, 0, 4), _decode(pats, 4, 4)
+        assert (_word_value(out, 0, 8) == (3 * na + 5 * nb + 7) % 256).all()
+
+    def test_linear_coefficient_count_checked(self):
+        net, words = _fresh(4)
+        with pytest.raises(ValueError):
+            linear_combination(net, [words["a"]], [1, 2], 0, 8)
+
+    def test_const_word(self):
+        net = Netlist()
+        net.add_pi("dummy")
+        w = const_word(net, 0b1011, 6)
+        for i, bit in enumerate(w):
+            net.add_po(f"c[{i}]", bit)
+        out = simulate(net, np.zeros((1, 1), dtype=np.uint8))
+        assert int(_word_value(out, 0, 6)[0]) == 0b1011
+
+
+class TestComparators:
+    @pytest.mark.parametrize("predicate", ["==", "!=", "<", "<=", ">", ">="])
+    def test_predicates_bus_bus(self, predicate):
+        import operator
+        ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        net, words = _fresh(5)
+        net.add_po("z", comparator(net, predicate, words["a"], words["b"]))
+        rng = np.random.default_rng(9)
+        pats = rng.integers(0, 2, (400, 10)).astype(np.uint8)
+        out = simulate(net, pats)[:, 0]
+        na, nb = _decode(pats, 0, 5), _decode(pats, 5, 5)
+        assert (out == ops[predicate](na, nb)).all()
+
+    def test_unknown_predicate_rejected(self):
+        net, words = _fresh(3)
+        with pytest.raises(ValueError):
+            comparator(net, "~=", words["a"], words["b"])
+
+    def test_comparator_const(self):
+        net, words = _fresh(6, names=("a",))
+        net.add_po("z", comparator_const(net, "<", words["a"], 23))
+        rng = np.random.default_rng(4)
+        pats = rng.integers(0, 2, (300, 6)).astype(np.uint8)
+        out = simulate(net, pats)[:, 0]
+        assert (out == (_decode(pats, 0, 6) < 23)).all()
+
+    def test_mixed_width_zero_extension(self):
+        net = Netlist()
+        a = [net.add_pi(f"a[{i}]") for i in range(3)]
+        b = [net.add_pi(f"b[{i}]") for i in range(6)]
+        net.add_po("z", less_than(net, a, b))
+        rng = np.random.default_rng(8)
+        pats = rng.integers(0, 2, (200, 9)).astype(np.uint8)
+        out = simulate(net, pats)[:, 0]
+        assert (out == (_decode(pats, 0, 3) < _decode(pats, 3, 6))).all()
+
+    def test_equals_self_is_true(self):
+        net, words = _fresh(4, names=("a",))
+        net.add_po("z", equals(net, words["a"], words["a"]))
+        pats = np.random.default_rng(2).integers(
+            0, 2, (64, 4)).astype(np.uint8)
+        assert simulate(net, pats)[:, 0].all()
+
+
+class TestMux:
+    def test_mux_selects(self):
+        net = Netlist()
+        s = net.add_pi("s")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po("z", mux(net, s, when0=a, when1=b))
+        pats = np.array([[0, 1, 0], [1, 1, 0], [0, 0, 1], [1, 0, 1]],
+                        dtype=np.uint8)
+        assert simulate(net, pats)[:, 0].tolist() == [1, 0, 0, 1]
+
+
+class TestSopBuilders:
+    def test_build_sop_matches_cover(self):
+        s = Sop.from_strings(["11-0", "0--1"])
+        net = netlist_from_sops([f"x{i}" for i in range(4)],
+                                [("f", s, False)])
+        pats = np.random.default_rng(6).integers(
+            0, 2, (128, 4)).astype(np.uint8)
+        assert (simulate(net, pats)[:, 0] == s.evaluate(pats)).all()
+
+    def test_complemented_build(self):
+        s = Sop.from_strings(["1-"])
+        net = netlist_from_sops(["x0", "x1"], [("f", s, True)])
+        pats = np.array([[0, 0], [1, 0]], dtype=np.uint8)
+        assert simulate(net, pats)[:, 0].tolist() == [1, 0]
+
+    def test_factored_build_matches_and_is_smaller(self):
+        cubes = [Cube({0: 1, 1: 1, k: 1}) for k in range(2, 8)]
+        s = Sop(cubes, 8)
+        flat = Netlist("flat")
+        vf = [flat.add_pi(f"x{i}") for i in range(8)]
+        flat.add_po("f", build_sop(flat, s, vf))
+        fact = Netlist("fact")
+        vg = [fact.add_pi(f"x{i}") for i in range(8)]
+        fact.add_po("f", build_factored_sop(fact, s, vg))
+        pats = np.random.default_rng(7).integers(
+            0, 2, (256, 8)).astype(np.uint8)
+        assert (simulate(flat, pats) == simulate(fact, pats)).all()
+        assert fact.gate_count() < flat.gate_count()
+
+    def test_zero_cover(self):
+        net = netlist_from_sops(["x0"], [("f", Sop.zero(1), False)])
+        pats = np.array([[0], [1]], dtype=np.uint8)
+        assert simulate(net, pats)[:, 0].tolist() == [0, 0]

@@ -1,0 +1,147 @@
+"""Unit tests for the netlist data structure."""
+
+import numpy as np
+import pytest
+
+from repro.network.netlist import Gate, GateOp, Netlist
+from repro.network.simulate import simulate
+
+
+def small_net():
+    net = Netlist("t")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    c = net.add_pi("c")
+    x = net.add_xor(a, b)
+    y = net.add_and(x, c)
+    net.add_po("y", y)
+    return net
+
+
+class TestConstruction:
+    def test_pi_registration(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        assert net.pi_names == ["a"]
+        assert net.pi_node("a") == a
+        assert net.pi_index_of_node(a) == 0
+
+    def test_duplicate_pi_rejected(self):
+        net = Netlist()
+        net.add_pi("a")
+        with pytest.raises(ValueError):
+            net.add_pi("a")
+
+    def test_gate_arity_checked(self):
+        with pytest.raises(ValueError):
+            Gate(GateOp.AND, (0,))
+        with pytest.raises(ValueError):
+            Gate(GateOp.NOT, (0, 1))
+
+    def test_dangling_fanin_rejected(self):
+        net = Netlist()
+        net.add_pi("a")
+        with pytest.raises(ValueError):
+            net.add_gate(GateOp.NOT, 5)
+
+    def test_po_must_exist(self):
+        net = Netlist()
+        with pytest.raises(ValueError):
+            net.add_po("o", 0)
+
+    def test_const1(self):
+        net = Netlist()
+        one = net.add_const1()
+        net.add_po("o", one)
+        # No PIs: simulate with empty pattern columns.
+        out = simulate(net, np.zeros((4, 0), dtype=np.uint8))
+        assert (out[:, 0] == 1).all()
+
+
+class TestMetrics:
+    def test_gate_count_ignores_inverters(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        n = net.add_not(a)
+        g = net.add_and(n, a)
+        net.add_po("o", g)
+        assert net.gate_count() == 1
+
+    def test_gate_count_ignores_dangling(self):
+        net = small_net()
+        net.add_and(0, 1)  # dangling gate, unreachable from POs
+        assert net.gate_count() == 2
+
+    def test_level(self):
+        net = small_net()
+        assert net.level() == 2
+
+    def test_level_not_free(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        n1 = net.add_not(a)
+        n2 = net.add_not(n1)
+        net.add_po("o", n2)
+        assert net.level() == 0
+
+    def test_fanouts(self):
+        net = small_net()
+        fanouts = net.fanouts()
+        assert fanouts[0] == [3]  # a feeds the xor
+        assert fanouts[3] == [4]  # xor feeds the and
+
+
+class TestStructure:
+    def test_structural_support(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_pi("c")
+        net.add_po("o", net.add_or(a, b))
+        assert net.structural_support(0) == ["a", "b"]
+
+    def test_cone_extraction_keeps_universe(self):
+        net = small_net()
+        net.add_po("z", net.pi_node("a"))
+        cone = net.cone_of(1)
+        assert cone.num_pis == 3  # same input universe
+        assert cone.num_pos == 1
+        pats = np.random.default_rng(0).integers(
+            0, 2, (50, 3)).astype(np.uint8)
+        assert (simulate(cone, pats)[:, 0] == pats[:, 0]).all()
+
+    def test_cleaned_removes_dead_logic(self):
+        net = small_net()
+        net.add_xor(0, 1)
+        net.add_and(0, 2)
+        cleaned = net.cleaned()
+        assert len(cleaned) < len(net)
+        pats = np.random.default_rng(1).integers(
+            0, 2, (64, 3)).astype(np.uint8)
+        assert (simulate(cleaned, pats) == simulate(net, pats)).all()
+
+    def test_append_netlist(self):
+        inner = Netlist("inner")
+        x = inner.add_pi("x")
+        y = inner.add_pi("y")
+        inner.add_po("f", inner.add_and(x, y))
+        outer = Netlist("outer")
+        a = outer.add_pi("a")
+        b = outer.add_pi("b")
+        out_map = outer.append_netlist(inner, {"x": a, "y": b})
+        outer.add_po("f", out_map["f"])
+        pats = np.random.default_rng(2).integers(
+            0, 2, (32, 2)).astype(np.uint8)
+        assert (simulate(outer, pats)[:, 0]
+                == (pats[:, 0] & pats[:, 1])).all()
+
+    def test_append_netlist_unmapped_input_rejected(self):
+        inner = Netlist("inner")
+        inner.add_pi("x")
+        inner.add_po("f", 0)
+        outer = Netlist("outer")
+        with pytest.raises(ValueError):
+            outer.append_netlist(inner, {})
+
+    def test_repr(self):
+        assert "2 gates" in repr(small_net()).replace("gates)", "gates)")

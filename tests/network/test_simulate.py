@@ -1,0 +1,113 @@
+"""Unit tests for bit-parallel simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.netlist import GateOp, Netlist
+from repro.network.simulate import (pack_patterns, simulate, simulate_one,
+                                    unpack_values)
+
+
+class TestPacking:
+    @given(n=st.integers(1, 300), v=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trip(self, n, v):
+        rng = np.random.default_rng(n * 31 + v)
+        pats = rng.integers(0, 2, (n, v)).astype(np.uint8)
+        words = pack_patterns(pats)
+        assert words.shape[0] == v
+        back = unpack_values(words, n)
+        assert (back == pats).all()
+
+    def test_pack_pads_to_word(self):
+        pats = np.ones((3, 2), dtype=np.uint8)
+        words = pack_patterns(pats)
+        assert words.shape == (2, 1)
+        assert int(words[0, 0]) == 0b111
+
+
+class TestSimulate:
+    def test_every_gate_op(self):
+        table = {
+            GateOp.AND: lambda a, b: a & b,
+            GateOp.OR: lambda a, b: a | b,
+            GateOp.XOR: lambda a, b: a ^ b,
+            GateOp.NAND: lambda a, b: 1 - (a & b),
+            GateOp.NOR: lambda a, b: 1 - (a | b),
+            GateOp.XNOR: lambda a, b: 1 - (a ^ b),
+        }
+        pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        for op, fn in table.items():
+            net = Netlist()
+            a = net.add_pi("a")
+            b = net.add_pi("b")
+            net.add_po("o", net.add_gate(op, a, b))
+            got = simulate(net, pats)[:, 0]
+            want = [fn(int(r[0]), int(r[1])) for r in pats]
+            assert got.tolist() == want, op
+
+    def test_not_buf_const(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        net.add_po("n", net.add_not(a))
+        net.add_po("b", net.add_gate(GateOp.BUF, a))
+        net.add_po("z", net.add_const0())
+        pats = np.array([[0], [1]], dtype=np.uint8)
+        out = simulate(net, pats)
+        assert out[:, 0].tolist() == [1, 0]
+        assert out[:, 1].tolist() == [0, 1]
+        assert out[:, 2].tolist() == [0, 0]
+
+    def test_shape_validation(self):
+        net = Netlist()
+        net.add_pi("a")
+        with pytest.raises(ValueError):
+            simulate(net, np.zeros((4, 2), dtype=np.uint8))
+
+    def test_empty_batch(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        net.add_po("o", a)
+        out = simulate(net, np.zeros((0, 1), dtype=np.uint8))
+        assert out.shape == (0, 1)
+
+    def test_simulate_one(self):
+        net = Netlist()
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po("o", net.add_and(a, b))
+        assert simulate_one(net, [1, 1]) == [1]
+        assert simulate_one(net, [1, 0]) == [0]
+
+    def test_large_batch_matches_small(self):
+        rng = np.random.default_rng(5)
+        net = Netlist()
+        pis = [net.add_pi(f"i{k}") for k in range(6)]
+        x = net.add_xor(pis[0], pis[3])
+        y = net.add_gate(GateOp.NOR, x, pis[5])
+        net.add_po("o", y)
+        pats = rng.integers(0, 2, (1000, 6)).astype(np.uint8)
+        full = simulate(net, pats)
+        for i in range(0, 1000, 237):
+            assert (simulate(net, pats[i:i + 1]) == full[i:i + 1]).all()
+
+    @given(seed=st.integers(0, 10000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_dag_matches_reference(self, seed):
+        """Bit-parallel result equals a per-pattern reference evaluation."""
+        rng = np.random.default_rng(seed)
+        net = Netlist()
+        pis = [net.add_pi(f"i{k}") for k in range(4)]
+        nodes = list(pis)
+        ops = [GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND]
+        for _ in range(10):
+            a, b = rng.integers(0, len(nodes), 2)
+            op = ops[rng.integers(len(ops))]
+            nodes.append(net.add_gate(op, nodes[a], nodes[b]))
+        net.add_po("o", nodes[-1])
+        pats = rng.integers(0, 2, (65, 4)).astype(np.uint8)
+        got = simulate(net, pats)[:, 0]
+        for row, out in zip(pats, got):
+            assert simulate_one(net, row.tolist()) == [int(out)]

@@ -1,0 +1,97 @@
+"""Tests for the black-box oracle contract."""
+
+import numpy as np
+import pytest
+
+from repro.network.netlist import Netlist
+from repro.oracle import (FunctionOracle, NetlistOracle, Oracle,
+                          QueryBudgetExceeded)
+
+
+def and_oracle(budget=None):
+    net = Netlist("and2")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    net.add_po("o", net.add_and(a, b))
+    return NetlistOracle(net, query_budget=budget)
+
+
+class TestContract:
+    def test_names_exposed(self):
+        o = and_oracle()
+        assert o.pi_names == ["a", "b"]
+        assert o.po_names == ["o"]
+        assert o.num_pis == 2 and o.num_pos == 1
+
+    def test_full_assignments_required(self):
+        o = and_oracle()
+        with pytest.raises(ValueError):
+            o.query(np.zeros((3, 1), dtype=np.uint8))  # partial
+
+    def test_non_binary_rejected(self):
+        o = and_oracle()
+        with pytest.raises(ValueError):
+            o.query(np.full((1, 2), 2, dtype=np.uint8))
+
+    def test_query_counting(self):
+        o = and_oracle()
+        o.query(np.zeros((5, 2), dtype=np.uint8))
+        o.query_one([1, 1])
+        assert o.query_count == 6
+        o.reset_query_count()
+        assert o.query_count == 0
+
+    def test_budget_enforced(self):
+        o = and_oracle(budget=4)
+        o.query(np.zeros((3, 2), dtype=np.uint8))
+        with pytest.raises(QueryBudgetExceeded):
+            o.query(np.zeros((2, 2), dtype=np.uint8))
+        # The failed batch must not have been counted.
+        assert o.query_count == 3
+
+    def test_query_one(self):
+        o = and_oracle()
+        assert o.query_one([1, 1]) == [1]
+        assert o.query_one([1, 0]) == [0]
+
+    def test_correct_values(self):
+        o = and_oracle()
+        pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        assert o.query(pats)[:, 0].tolist() == [0, 0, 0, 1]
+
+
+class TestFunctionOracle:
+    def test_vectorized(self):
+        o = FunctionOracle(
+            lambda p: (p.sum(axis=1) % 2).reshape(-1, 1),
+            pi_names=["a", "b", "c"], po_names=["parity"])
+        pats = np.array([[1, 0, 0], [1, 1, 0], [1, 1, 1]], dtype=np.uint8)
+        assert o.query(pats)[:, 0].tolist() == [1, 0, 1]
+
+    def test_from_scalar(self):
+        o = FunctionOracle.from_scalar(
+            lambda bits: [int(bits[0] or bits[1]), int(bits[0])],
+            pi_names=["a", "b"], po_names=["or", "pass"])
+        assert o.query_one([0, 1]) == [1, 0]
+        assert o.query_one([1, 0]) == [1, 1]
+
+    def test_malformed_response_caught(self):
+        o = FunctionOracle(lambda p: np.zeros((p.shape[0], 3)),
+                           pi_names=["a"], po_names=["x"])
+        with pytest.raises(AssertionError):
+            o.query(np.zeros((2, 1), dtype=np.uint8))
+
+
+class TestNetlistOracle:
+    def test_golden_access(self):
+        o = and_oracle()
+        assert o.golden_netlist().gate_count() == 1
+
+    def test_matches_simulation(self, rng):
+        from repro.network.simulate import simulate
+        net = Netlist("mix")
+        pis = [net.add_pi(f"i{k}") for k in range(6)]
+        net.add_po("o", net.add_xor(pis[0], pis[4]))
+        o = NetlistOracle(net)
+        pats = rng.integers(0, 2, (100, 6)).astype(np.uint8)
+        assert (o.query(pats) == simulate(net, pats)).all()

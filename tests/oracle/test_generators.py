@@ -1,0 +1,170 @@
+"""Tests for the four benchmark-category generators."""
+
+import numpy as np
+import pytest
+
+from repro.network.simulate import simulate
+from repro.oracle.data import build_data_netlist
+from repro.oracle.diag import PREDICATES, build_diag_netlist
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.neq import build_neq_netlist
+from repro.oracle.random_logic import mutated_copy, random_cone
+from repro.network.netlist import Netlist
+
+
+def _decode(pats, positions):
+    return sum(pats[:, p].astype(np.int64) << k
+               for k, p in enumerate(positions))
+
+
+class TestRandomLogic:
+    def test_random_cone_uses_whole_support(self, rng):
+        net = Netlist("c")
+        pis = [net.add_pi(f"i{k}") for k in range(6)]
+        root = random_cone(net, rng, pis, num_gates=15)
+        net.add_po("o", root)
+        # No dead logic: every gate is in the PO cone.
+        assert net.gate_count() == sum(
+            1 for g in net.gates if g.op.counts_as_gate)
+
+    def test_mutated_copy_differs_structurally(self, rng):
+        net = Netlist("c")
+        pis = [net.add_pi(f"i{k}") for k in range(5)]
+        net.add_po("o", random_cone(net, rng, pis, num_gates=10))
+        mutated = mutated_copy(net, rng, num_mutations=2)
+        assert len(mutated) == len(net)
+        assert mutated.pi_names == net.pi_names
+        assert any(g1 != g2 for g1, g2 in zip(net.gates, mutated.gates))
+
+
+class TestEco:
+    def test_shape(self):
+        net = build_eco_netlist(40, 6, seed=1)
+        assert net.num_pis == 40
+        assert net.num_pos == 6
+
+    def test_outputs_have_small_support(self):
+        net = build_eco_netlist(60, 8, seed=2, support_low=3,
+                                support_high=8)
+        for j in range(net.num_pos):
+            assert len(net.structural_support(j)) <= 8
+
+    def test_deterministic(self):
+        a = build_eco_netlist(30, 4, seed=9)
+        b = build_eco_netlist(30, 4, seed=9)
+        pats = np.random.default_rng(0).integers(
+            0, 2, (100, 30)).astype(np.uint8)
+        assert (simulate(a, pats) == simulate(b, pats)).all()
+
+
+class TestNeq:
+    def test_miter_outputs_are_sparse_but_nonzero(self):
+        net = build_neq_netlist(40, 4, seed=3, support_low=6,
+                                support_high=12)
+        pats = np.random.default_rng(1).integers(
+            0, 2, (4096, 40)).astype(np.uint8)
+        out = simulate(net, pats)
+        density = out.mean(axis=0)
+        assert (density > 0).all()  # non-equivalent: miter fires somewhere
+        assert (density < 0.5).all()  # but difference is sparse-ish
+
+    def test_shape(self):
+        net = build_neq_netlist(25, 3, seed=4)
+        assert net.num_pis == 25 and net.num_pos == 3
+
+
+class TestDiag:
+    def test_specs_match_behaviour(self):
+        net, specs = build_diag_netlist(6, seed=5, bus_width=6,
+                                        num_buses=2, extra_pis=3)
+        pats = np.random.default_rng(2).integers(
+            0, 2, (500, net.num_pis)).astype(np.uint8)
+        out = simulate(net, pats)
+        import operator
+        ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        name_to_pos = {}
+        for idx, name in enumerate(net.pi_names):
+            name_to_pos[name] = idx
+        for j, spec in enumerate(specs):
+            left_pos = [name_to_pos[f"{spec.left_bus}[{i}]"]
+                        for i in range(6)]
+            n_left = _decode(pats, left_pos)
+            if spec.right_bus is None:
+                rhs = spec.constant
+            else:
+                right_pos = [name_to_pos[f"{spec.right_bus}[{i}]"]
+                             for i in range(6)]
+                rhs = _decode(pats, right_pos)
+            want = ops[spec.predicate](n_left, rhs)
+            assert (out[:, j] == want).all(), spec
+
+    def test_buried_outputs_marked(self):
+        net, specs = build_diag_netlist(8, seed=6, bus_width=5,
+                                        num_buses=2, extra_pis=4,
+                                        buried_fraction=1.0)
+        assert all(s.buried for s in specs)
+
+    def test_buried_predicate_visible_under_cube(self):
+        """Fig. 3 scenario: with the select forced to 1, the PO follows
+        the comparator exactly."""
+        net, specs = build_diag_netlist(1, seed=7, bus_width=5,
+                                        num_buses=2, extra_pis=4,
+                                        buried_fraction=1.0)
+        spec = specs[0]
+        assert spec.buried
+        sel = net.pi_names.index("ctl_0")
+        pats = np.random.default_rng(3).integers(
+            0, 2, (400, net.num_pis)).astype(np.uint8)
+        pats[:, sel] = 1
+        out = simulate(net, pats)[:, 0]
+        import operator
+        ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        left_pos = [net.pi_names.index(f"{spec.left_bus}[{i}]")
+                    for i in range(5)]
+        n_left = _decode(pats, left_pos)
+        if spec.right_bus is None:
+            rhs = spec.constant
+        else:
+            right_pos = [net.pi_names.index(f"{spec.right_bus}[{i}]")
+                         for i in range(5)]
+            rhs = _decode(pats, right_pos)
+        assert (out == ops[spec.predicate](n_left, rhs)).all()
+
+
+class TestData:
+    def test_linear_semantics(self):
+        net, specs = build_data_netlist(seed=8, num_in_buses=3, in_width=5,
+                                        out_width=8, num_out_buses=2,
+                                        extra_pis=2)
+        spec_names = {s.out_bus for s in specs}
+        assert len(spec_names) == 2
+        pats = np.random.default_rng(4).integers(
+            0, 2, (300, net.num_pis)).astype(np.uint8)
+        out = simulate(net, pats)
+        for spec in specs:
+            operands = []
+            for bus in spec.in_buses:
+                pos = [net.pi_names.index(f"{bus}[{i}]")
+                       for i in range(5)]
+                operands.append(_decode(pats, pos))
+            expect = np.full(300, spec.constant, dtype=np.int64)
+            for a, n in zip(spec.coefficients, operands):
+                expect += a * n
+            expect %= 1 << spec.out_width
+            got_pos = [net.po_names.index(f"{spec.out_bus}[{i}]")
+                       for i in range(spec.out_width)]
+            got = sum(out[:, p].astype(np.int64) << k
+                      for k, p in enumerate(got_pos))
+            assert (got == expect).all()
+
+    def test_extra_pis_are_dont_care(self):
+        net, _ = build_data_netlist(seed=9, extra_pis=3)
+        pats = np.random.default_rng(5).integers(
+            0, 2, (100, net.num_pis)).astype(np.uint8)
+        flipped = pats.copy()
+        for j, name in enumerate(net.pi_names):
+            if name.startswith("mode_"):
+                flipped[:, j] ^= 1
+        assert (simulate(net, pats) == simulate(net, flipped)).all()

@@ -1,0 +1,77 @@
+"""Tests for the fallible-teacher oracle wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.network.netlist import Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.oracle.noisy import NoisyOracle
+
+
+def base_oracle(num_pis=12):
+    net = Netlist("t")
+    pis = [net.add_pi(f"i{k}") for k in range(num_pis)]
+    net.add_po("f", net.add_xor(pis[0], net.add_and(pis[3], pis[7])))
+    return NetlistOracle(net)
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_transparent(self, rng):
+        inner = base_oracle()
+        noisy = NoisyOracle(base_oracle(), 0.0)
+        pats = rng.integers(0, 2, (200, 12)).astype(np.uint8)
+        assert (noisy.query(pats) == inner.query(pats)).all()
+
+    def test_flip_rate_close_to_p(self, rng):
+        inner = base_oracle()
+        noisy = NoisyOracle(base_oracle(), 0.1, seed=5)
+        pats = rng.integers(0, 2, (5000, 12)).astype(np.uint8)
+        rate = float((noisy.query(pats) != inner.query(pats)).mean())
+        assert 0.06 < rate < 0.14
+
+    def test_deterministic_per_assignment(self, rng):
+        noisy = NoisyOracle(base_oracle(), 0.2, seed=3)
+        pats = rng.integers(0, 2, (100, 12)).astype(np.uint8)
+        assert (noisy.query(pats) == noisy.query(pats)).all()
+
+    def test_same_seed_same_noise(self, rng):
+        pats = rng.integers(0, 2, (100, 12)).astype(np.uint8)
+        a = NoisyOracle(base_oracle(), 0.2, seed=3).query(pats)
+        b = NoisyOracle(base_oracle(), 0.2, seed=3).query(pats)
+        assert (a == b).all()
+
+    def test_different_seed_different_noise(self, rng):
+        pats = rng.integers(0, 2, (500, 12)).astype(np.uint8)
+        a = NoisyOracle(base_oracle(), 0.2, seed=3).query(pats)
+        b = NoisyOracle(base_oracle(), 0.2, seed=4).query(pats)
+        assert (a != b).any()
+
+    def test_nondeterministic_mode(self, rng):
+        noisy = NoisyOracle(base_oracle(), 0.3, seed=1,
+                            deterministic=False)
+        pats = np.tile(rng.integers(0, 2, (1, 12)).astype(np.uint8),
+                       (2000, 1))
+        out = noisy.query(pats)
+        assert out.min() != out.max()  # noise varies on a fixed input
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyOracle(base_oracle(), 0.5)
+        with pytest.raises(ValueError):
+            NoisyOracle(base_oracle(), -0.1)
+
+
+class TestLearningUnderNoise:
+    def test_mild_noise_still_learns_approximately(self):
+        """At p=1% the learner's majority votes absorb most corruption."""
+        from repro.core.config import fast_config
+        from repro.core.regressor import LogicRegressor
+        from repro.eval import accuracy, contest_test_patterns
+
+        inner = base_oracle()
+        noisy = NoisyOracle(base_oracle(), 0.01, seed=7)
+        cfg = fast_config(time_limit=20, leaf_epsilon=0.05)
+        result = LogicRegressor(cfg).learn(noisy)
+        pats = contest_test_patterns(12, total=4000)
+        acc = accuracy(result.netlist, inner.golden_netlist(), pats)
+        assert acc > 0.9

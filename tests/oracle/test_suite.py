@@ -1,0 +1,91 @@
+"""Tests for the 20-case contest suite (Table II's workload column)."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.suite import (build_case, case_ids_by_category,
+                                contest_suite)
+
+# (case, category, PI, PO) straight from Table II.
+TABLE2_ROWS = [
+    ("case_1", "ECO", 121, 38), ("case_2", "DATA", 53, 19),
+    ("case_3", "DIAG", 72, 1), ("case_4", "ECO", 56, 5),
+    ("case_5", "NEQ", 87, 16), ("case_6", "DIAG", 76, 1),
+    ("case_7", "ECO", 43, 7), ("case_8", "DIAG", 44, 5),
+    ("case_9", "ECO", 173, 16), ("case_10", "NEQ", 37, 2),
+    ("case_11", "NEQ", 60, 20), ("case_12", "DATA", 40, 26),
+    ("case_13", "ECO", 43, 7), ("case_14", "NEQ", 50, 22),
+    ("case_15", "DIAG", 80, 3), ("case_16", "DIAG", 26, 4),
+    ("case_17", "ECO", 76, 33), ("case_18", "NEQ", 102, 2),
+    ("case_19", "ECO", 73, 8), ("case_20", "DIAG", 51, 2),
+]
+
+
+@pytest.mark.parametrize("case_id,category,num_pis,num_pos", TABLE2_ROWS)
+def test_case_matches_table2_row(case_id, category, num_pis, num_pos):
+    case = build_case(case_id)
+    assert case.category == category
+    assert case.num_pis == num_pis
+    assert case.num_pos == num_pos
+    assert case.golden.num_pis == num_pis
+    assert case.golden.num_pos == num_pos
+
+
+def test_full_suite_has_20_cases():
+    suite = contest_suite()
+    assert len(suite) == 20
+    assert len({c.case_id for c in suite}) == 20
+
+
+def test_unknown_case_rejected():
+    with pytest.raises(KeyError):
+        build_case("case_99")
+
+
+def test_categories_partition_the_suite():
+    ids = set()
+    for cat in ("NEQ", "ECO", "DIAG", "DATA"):
+        ids.update(case_ids_by_category(cat))
+    assert len(ids) == 20
+
+
+def test_hidden_flags_match_paper():
+    suite = {c.case_id: c for c in contest_suite()}
+    hidden = {cid for cid, c in suite.items() if c.hidden}
+    assert hidden == {f"case_{i}" for i in range(11, 21)}
+
+
+def test_paper_reference_fields():
+    case4 = build_case("case_4")
+    assert case4.paper_size == 173
+    assert case4.paper_accuracy == pytest.approx(100.0)
+    case9 = build_case("case_9")
+    assert case9.paper_size is None  # the '-' row
+
+
+def test_oracle_is_deterministic_and_fresh():
+    case = build_case("case_7")
+    o1 = case.oracle()
+    o2 = case.oracle()
+    pats = np.random.default_rng(0).integers(
+        0, 2, (64, case.num_pis)).astype(np.uint8)
+    assert (o1.query(pats) == o2.query(pats)).all()
+    assert o1.query_count == 64
+    assert o2.query_count == 64  # independent counters
+
+
+def test_rebuilding_case_gives_same_function():
+    a = build_case("case_10")
+    b = build_case("case_10")
+    pats = np.random.default_rng(1).integers(
+        0, 2, (128, a.num_pis)).astype(np.uint8)
+    assert (a.oracle().query(pats) == b.oracle().query(pats)).all()
+
+
+def test_neq_miters_not_constant():
+    for cid in case_ids_by_category("NEQ"):
+        case = build_case(cid)
+        pats = np.random.default_rng(2).integers(
+            0, 2, (2048, case.num_pis)).astype(np.uint8)
+        out = case.oracle().query(pats)
+        assert out.any(), f"{cid}: all miters constant 0"

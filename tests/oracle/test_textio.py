@@ -1,0 +1,97 @@
+"""Tests for the contest file-protocol layer."""
+
+import numpy as np
+import pytest
+
+from repro.network.netlist import Netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.oracle.textio import (TextProtocolOracle, read_pattern_file,
+                                 read_relation_file, serve_once,
+                                 write_pattern_file, write_relation_file)
+
+
+@pytest.fixture
+def small_oracle():
+    net = Netlist("t")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    c = net.add_pi("c")
+    net.add_po("f", net.add_and(a, net.add_or(b, c)))
+    net.add_po("g", net.add_xor(a, c))
+    return NetlistOracle(net)
+
+
+class TestFiles:
+    def test_pattern_round_trip(self, tmp_path, rng):
+        path = str(tmp_path / "input.pattern")
+        pats = rng.integers(0, 2, (20, 3)).astype(np.uint8)
+        write_pattern_file(path, ["a", "b", "c"], pats)
+        names, back = read_pattern_file(path)
+        assert names == ["a", "b", "c"]
+        assert (back == pats).all()
+
+    def test_relation_round_trip(self, tmp_path, rng):
+        path = str(tmp_path / "io.relation")
+        pats = rng.integers(0, 2, (10, 3)).astype(np.uint8)
+        outs = rng.integers(0, 2, (10, 2)).astype(np.uint8)
+        write_relation_file(path, ["a", "b", "c"], ["f", "g"], pats, outs)
+        pi, po, ins, read_outs = read_relation_file(path)
+        assert pi == ["a", "b", "c"] and po == ["f", "g"]
+        assert (ins == pats).all() and (read_outs == outs).all()
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.pattern")
+        with open(path, "w") as handle:
+            handle.write("a b\n01\n0x\n")
+        with pytest.raises(ValueError):
+            read_pattern_file(path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pattern_file(str(tmp_path / "x"), ["a"],
+                               np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestServe:
+    def test_serve_once(self, tmp_path, small_oracle, rng):
+        pattern_path = str(tmp_path / "input.pattern")
+        relation_path = str(tmp_path / "io.relation")
+        pats = rng.integers(0, 2, (16, 3)).astype(np.uint8)
+        write_pattern_file(pattern_path, small_oracle.pi_names, pats)
+        served = serve_once(small_oracle, pattern_path, relation_path)
+        assert served == 16
+        _, po, ins, outs = read_relation_file(relation_path)
+        assert po == ["f", "g"]
+        assert (outs == small_oracle.query(ins)).all()
+
+    def test_name_mismatch_rejected(self, tmp_path, small_oracle):
+        pattern_path = str(tmp_path / "input.pattern")
+        write_pattern_file(pattern_path, ["x", "y", "z"],
+                           np.zeros((1, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            serve_once(small_oracle, pattern_path,
+                       str(tmp_path / "io.relation"))
+
+
+class TestProtocolOracle:
+    def test_identical_behaviour(self, tmp_path, small_oracle, rng):
+        proto = TextProtocolOracle(small_oracle, str(tmp_path / "wd"))
+        pats = rng.integers(0, 2, (64, 3)).astype(np.uint8)
+        got = proto.query(pats)
+        want = small_oracle.query(pats)
+        assert (got == want).all()
+        assert proto.round_trips == 1
+        assert proto.query_count == 64
+
+    def test_learner_through_protocol(self, tmp_path, small_oracle):
+        """The full pipeline driven purely through file exchanges."""
+        from repro.core.config import fast_config
+        from repro.core.regressor import LogicRegressor
+        from repro.eval import accuracy, contest_test_patterns
+
+        proto = TextProtocolOracle(small_oracle, str(tmp_path / "wd"))
+        result = LogicRegressor(fast_config(time_limit=10)).learn(proto)
+        pats = contest_test_patterns(3, total=1000)
+        golden = small_oracle.golden_netlist()
+        assert accuracy(result.netlist, golden, pats) == 1.0
+        assert proto.round_trips > 0

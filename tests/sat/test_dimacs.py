@@ -1,0 +1,66 @@
+"""Tests for DIMACS CNF interchange."""
+
+import io
+
+import pytest
+
+from repro.sat.cnf import Cnf
+from repro.sat.dimacs import read_dimacs, write_dimacs
+from repro.sat.solver import Solver, SolveResult
+
+
+class TestWrite:
+    def test_format(self):
+        cnf = Cnf()
+        cnf.num_vars = 3
+        cnf.add(1, -2)
+        cnf.add(2, 3)
+        buf = io.StringIO()
+        write_dimacs(cnf, buf, comment="hello")
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "c hello"
+        assert lines[1] == "p cnf 3 2"
+        assert lines[2] == "1 -2 0"
+
+
+class TestRead:
+    def test_round_trip(self):
+        cnf = Cnf()
+        cnf.num_vars = 4
+        cnf.add(1, -2, 3)
+        cnf.add(-1, 4)
+        cnf.add(2)
+        buf = io.StringIO()
+        write_dimacs(cnf, buf)
+        buf.seek(0)
+        back = read_dimacs(buf)
+        assert back.num_vars == 4
+        assert back.clauses == cnf.clauses
+
+    def test_comments_and_blank_lines(self):
+        text = "c a comment\n\np cnf 2 1\nc mid comment\n1 2 0\n"
+        cnf = read_dimacs(io.StringIO(text))
+        assert cnf.clauses == [[1, 2]]
+
+    def test_multi_clause_per_line(self):
+        text = "p cnf 2 2\n1 0 -1 2 0\n"
+        cnf = read_dimacs(io.StringIO(text))
+        assert cnf.clauses == [[1], [-1, 2]]
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("p cnf 2 3\n1 0\n"))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("p sat 2 1\n1 0\n"))
+
+    def test_solver_integration(self):
+        text = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n"
+        cnf = read_dimacs(io.StringIO(text))
+        solver = Solver()
+        solver.add_clauses(cnf.clauses)
+        assert solver.solve() is SolveResult.SAT
+        model = solver.model()
+        for clause in cnf.clauses:
+            assert any(model.get(abs(l), False) == (l > 0) for l in clause)

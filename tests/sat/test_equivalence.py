@@ -1,0 +1,144 @@
+"""Tests for Tseitin encoding and miter-based equivalence checking."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import Aig
+from repro.network.builder import comparator, ripple_add
+from repro.network.netlist import GateOp, Netlist
+from repro.network.simulate import simulate
+from repro.sat import are_equivalent, find_counterexample
+from repro.sat.cnf import Cnf, tseitin_aig
+from repro.sat.solver import Solver, SolveResult
+
+
+class TestTseitin:
+    def test_and_gate_semantics(self):
+        aig = Aig(2)
+        aig.add_po(aig.and_(aig.pi_lit(0), aig.pi_lit(1)), "o")
+        cnf, pi_vars, po_lits = tseitin_aig(aig)
+        for a in (0, 1):
+            for b in (0, 1):
+                s = Solver()
+                s.add_clauses(cnf.clauses)
+                s.add_clause([pi_vars[0] if a else -pi_vars[0]])
+                s.add_clause([pi_vars[1] if b else -pi_vars[1]])
+                want = a and b
+                s.add_clause([po_lits[0] if want else -po_lits[0]])
+                assert s.solve() is SolveResult.SAT
+        # And the wrong output value must be UNSAT.
+        s = Solver()
+        s.add_clauses(cnf.clauses)
+        s.add_clause([pi_vars[0]])
+        s.add_clause([pi_vars[1]])
+        s.add_clause([-po_lits[0]])
+        assert s.solve() is SolveResult.UNSAT
+
+    def test_shared_pi_vars(self):
+        aig1 = Aig(1)
+        aig1.add_po(aig1.pi_lit(0), "o")
+        aig2 = Aig(1)
+        aig2.add_po(aig2.pi_lit(0) ^ 1, "o")  # complemented
+        cnf = Cnf()
+        cnf, pis, po1 = tseitin_aig(aig1, cnf)
+        cnf, _, po2 = tseitin_aig(aig2, cnf, pi_vars=pis)
+        s = Solver()
+        s.add_clauses(cnf.clauses)
+        s.add_clause([po1[0]])
+        s.add_clause([po2[0]])
+        assert s.solve() is SolveResult.UNSAT  # x and !x together
+
+
+class TestEquivalence:
+    def test_de_morgan(self):
+        n1 = Netlist("a")
+        a = n1.add_pi("a")
+        b = n1.add_pi("b")
+        n1.add_po("o", n1.add_not(n1.add_and(a, b)))
+        n2 = Netlist("b")
+        a = n2.add_pi("a")
+        b = n2.add_pi("b")
+        n2.add_po("o", n2.add_or(n2.add_not(a), n2.add_not(b)))
+        assert are_equivalent(n1, n2) is True
+
+    def test_counterexample_is_real(self):
+        n1 = Netlist("x")
+        a = n1.add_pi("a")
+        b = n1.add_pi("b")
+        n1.add_po("o", n1.add_and(a, b))
+        n2 = Netlist("y")
+        a = n2.add_pi("a")
+        b = n2.add_pi("b")
+        n2.add_po("o", n2.add_xor(a, b))
+        result, cex = find_counterexample(n1, n2)
+        assert result is SolveResult.SAT
+        pat = np.array([cex], dtype=np.uint8)
+        assert (simulate(n1, pat) != simulate(n2, pat)).any()
+
+    def test_multi_output_difference_found(self):
+        n1 = Netlist("m1")
+        a = n1.add_pi("a")
+        b = n1.add_pi("b")
+        n1.add_po("p", n1.add_and(a, b))
+        n1.add_po("q", n1.add_or(a, b))
+        n2 = Netlist("m2")
+        a = n2.add_pi("a")
+        b = n2.add_pi("b")
+        n2.add_po("p", n2.add_and(a, b))
+        n2.add_po("q", n2.add_and(a, b))  # q differs
+        result, cex = find_counterexample(n1, n2)
+        assert result is SolveResult.SAT
+        pat = np.array([cex], dtype=np.uint8)
+        assert (simulate(n1, pat) != simulate(n2, pat)).any()
+
+    def test_adders_built_differently(self):
+        def adder(width, order):
+            net = Netlist(f"add{order}")
+            a = [net.add_pi(f"a{i}") for i in range(width)]
+            b = [net.add_pi(f"b{i}") for i in range(width)]
+            if order:
+                s = ripple_add(net, a, b, width)
+            else:
+                s = ripple_add(net, b, a, width)
+            for i, bit in enumerate(s):
+                net.add_po(f"s{i}", bit)
+            return net
+        assert are_equivalent(adder(6, True), adder(6, False)) is True
+
+    def test_comparator_pair_inequivalent(self):
+        def cmp_net(pred):
+            net = Netlist(pred)
+            a = [net.add_pi(f"a{i}") for i in range(4)]
+            b = [net.add_pi(f"b{i}") for i in range(4)]
+            net.add_po("z", comparator(net, pred, a, b))
+            return net
+        assert are_equivalent(cmp_net("<"), cmp_net("<=")) is False
+        assert are_equivalent(cmp_net("<"), cmp_net(">")) is False
+
+    def test_mismatched_interfaces_rejected(self):
+        n1 = Netlist("a")
+        n1.add_pi("a")
+        n1.add_po("o", 0)
+        n2 = Netlist("b")
+        n2.add_pi("a")
+        n2.add_pi("b")
+        n2.add_po("o", 0)
+        with pytest.raises(ValueError):
+            are_equivalent(n1, n2)
+
+    def test_budget_gives_none(self):
+        # Two big random-ish adders with a 0-conflict budget.
+        net = Netlist("big")
+        a = [net.add_pi(f"a{i}") for i in range(10)]
+        b = [net.add_pi(f"b{i}") for i in range(10)]
+        for i, s in enumerate(ripple_add(net, a, b, 10)):
+            net.add_po(f"s{i}", s)
+        other = Netlist("big2")
+        a = [other.add_pi(f"a{i}") for i in range(10)]
+        b = [other.add_pi(f"b{i}") for i in range(10)]
+        s = ripple_add(other, a, b, 10)
+        s[9] = other.add_not(s[9])  # flip the MSB
+        for i, bit in enumerate(s):
+            other.add_po(f"s{i}", bit)
+        # Unbounded: must find the difference.
+        assert are_equivalent(net, other) is False

@@ -1,0 +1,144 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.solver import Solver, SolveResult, _luby
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve() is SolveResult.SAT
+
+    def test_single_unit(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve() is SolveResult.SAT
+        assert s.model_value(1) is True
+
+    def test_conflicting_units(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.add_clause([-1]) is False
+        assert s.solve() is SolveResult.UNSAT
+
+    def test_tautological_clause_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve() is SolveResult.SAT
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        s.add_clause([2, 2, 2])
+        assert s.solve() is SolveResult.SAT
+        assert s.model_value(2) is True
+
+    def test_implication_chain(self):
+        s = Solver()
+        n = 50
+        for i in range(1, n):
+            s.add_clause([-i, i + 1])
+        s.add_clause([1])
+        assert s.solve() is SolveResult.SAT
+        assert all(s.model_value(v) for v in range(1, n + 1))
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var p_{i,j} = pigeon i in hole j; i in 0..2, j in 0..1.
+        def var(i, j):
+            return i * 2 + j + 1
+        s = Solver()
+        for i in range(3):
+            s.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    s.add_clause([-var(i1, j), -var(i2, j)])
+        assert s.solve() is SolveResult.UNSAT
+
+    def test_model_satisfies_formula(self):
+        rng = np.random.default_rng(0)
+        clauses = [[int(l) for l in rng.choice(
+            [1, -1, 2, -2, 3, -3, 4, -4, 5, -5], size=3)]
+            for _ in range(20)]
+        s = Solver()
+        for c in clauses:
+            s.add_clause(c)
+        if s.solve() is SolveResult.SAT:
+            model = s.model()
+            for c in clauses:
+                assert any(model.get(abs(l), False) == (l > 0) for l in c)
+
+    def test_conflict_budget_unknown(self):
+        # A hard-ish pigeonhole with a 1-conflict budget must give UNKNOWN.
+        def var(i, j):
+            return i * 4 + j + 1
+
+        s = Solver()
+        for i in range(5):
+            s.add_clause([var(i, j) for j in range(4)])
+        for j in range(4):
+            for i1 in range(5):
+                for i2 in range(i1 + 1, 5):
+                    s.add_clause([-var(i1, j), -var(i2, j)])
+        assert s.solve(max_conflicts=1) is SolveResult.UNKNOWN
+
+
+class TestAssumptions:
+    def test_assumption_forces_branch(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        result, clone = s.solve_with_assumptions([-1])
+        assert result is SolveResult.SAT
+        assert clone.model_value(2) is True
+
+    def test_assumption_unsat_does_not_poison_base(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-2])
+        result, _ = s.solve_with_assumptions([-1])
+        assert result is SolveResult.UNSAT
+        assert s.solve() is SolveResult.SAT  # base formula still SAT
+
+
+def _brute_force_sat(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for c in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in c):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_agrees_with_brute_force(data):
+    num_vars = data.draw(st.integers(2, 6))
+    num_clauses = data.draw(st.integers(1, 18))
+    literal = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clauses = data.draw(st.lists(
+        st.lists(literal, min_size=1, max_size=3), min_size=1,
+        max_size=num_clauses))
+    solver = Solver()
+    for c in clauses:
+        solver.add_clause(c)
+    got = solver.solve()
+    want = _brute_force_sat(clauses, num_vars)
+    assert (got is SolveResult.SAT) == want
+    if got is SolveResult.SAT:
+        model = solver.model()
+        for c in clauses:
+            assert any(model.get(abs(l), False) == (l > 0) for l in c)

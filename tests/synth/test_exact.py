@@ -1,0 +1,129 @@
+"""Tests for SAT-based exact synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import Aig
+from repro.synth.exact import CONST0, CONST1, ExactChain, exact_synthesis
+
+
+def _table_of(fn, k):
+    out = 0
+    for m in range(1 << k):
+        bits = [(m >> v) & 1 for v in range(k)]
+        if fn(bits):
+            out |= 1 << m
+    return out
+
+
+class TestTrivial:
+    def test_constants(self):
+        for k in (1, 2, 3):
+            zero = exact_synthesis(0, k)
+            one = exact_synthesis((1 << (1 << k)) - 1, k)
+            assert zero.size == 0 and zero.output_lit == CONST0
+            assert one.size == 0 and one.output_lit == CONST1
+
+    def test_literals(self):
+        chain = exact_synthesis(_table_of(lambda b: b[1], 2), 2)
+        assert chain.size == 0
+        chain = exact_synthesis(_table_of(lambda b: not b[0], 2), 2)
+        assert chain.size == 0
+        assert chain.output_lit & 1  # complemented
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(ValueError):
+            exact_synthesis(0, 5)
+
+
+class TestKnownOptima:
+    """Minimum AND counts from the literature (Knuth 7.1.2 / ABC)."""
+
+    def test_and2_is_1(self):
+        assert exact_synthesis(_table_of(lambda b: b[0] and b[1], 2),
+                               2).size == 1
+
+    def test_or2_is_1(self):
+        assert exact_synthesis(_table_of(lambda b: b[0] or b[1], 2),
+                               2).size == 1
+
+    def test_xor2_is_3(self):
+        assert exact_synthesis(_table_of(lambda b: b[0] != b[1], 2),
+                               2).size == 3
+
+    def test_mux_is_3(self):
+        fn = lambda b: b[1] if b[0] else b[2]
+        assert exact_synthesis(_table_of(fn, 3), 3).size == 3
+
+    def test_majority3_is_4(self):
+        fn = lambda b: sum(b) >= 2
+        assert exact_synthesis(_table_of(fn, 3), 3).size == 4
+
+    def test_and3_is_2(self):
+        fn = lambda b: all(b)
+        assert exact_synthesis(_table_of(fn, 3), 3).size == 2
+
+    @pytest.mark.slow
+    def test_xor3_is_6(self):
+        fn = lambda b: sum(b) % 2 == 1
+        assert exact_synthesis(_table_of(fn, 3), 3).size == 6
+
+
+class TestChainSemantics:
+    @given(table=st.integers(0, 255))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_realizes_table(self, table):
+        chain = exact_synthesis(table, 3, max_gates=6,
+                                max_conflicts_per_size=20000)
+        if chain is None:
+            return  # search gave up within budget; nothing to check
+        assert chain.table() == table
+
+    @given(table=st.integers(0, 255))
+    @settings(max_examples=15, deadline=None)
+    def test_build_into_matches(self, table):
+        chain = exact_synthesis(table, 3, max_gates=6,
+                                max_conflicts_per_size=20000)
+        if chain is None:
+            return
+        aig = Aig(3)
+        lit = chain.build_into(aig, [aig.pi_lit(i) for i in range(3)])
+        aig.add_po(lit, "f")
+        pats = np.array([[(m >> v) & 1 for v in range(3)]
+                         for m in range(8)], dtype=np.uint8)
+        got = aig.simulate(pats)[:, 0]
+        want = [(table >> m) & 1 for m in range(8)]
+        assert got.tolist() == want
+
+    def test_aig_size_matches_chain_size(self):
+        fn = lambda b: sum(b) >= 2
+        chain = exact_synthesis(_table_of(fn, 3), 3)
+        aig = Aig(3)
+        aig.add_po(chain.build_into(
+            aig, [aig.pi_lit(i) for i in range(3)]), "f")
+        assert aig.size() == chain.size
+
+
+class TestExactRewriteIntegration:
+    def test_exact_rewrite_never_worse(self):
+        from repro.logic.cube import Cube
+        from repro.logic.sop import Sop
+        from repro.network.builder import netlist_from_sops
+        from repro.sat import are_equivalent
+        from repro.synth.rewrite import rewrite
+
+        rng = np.random.default_rng(3)
+        cubes = []
+        for _ in range(15):
+            vars_ = rng.choice(6, size=3, replace=False)
+            cubes.append(Cube({int(v): int(rng.integers(0, 2))
+                               for v in vars_}))
+        net = netlist_from_sops([f"x{i}" for i in range(6)],
+                                [("f", Sop(cubes, 6), False)])
+        aig = Aig.from_netlist(net)
+        plain = rewrite(aig)
+        exact = rewrite(aig, exact=True)
+        assert exact.size() <= plain.size()
+        assert are_equivalent(aig, exact) is True

@@ -1,0 +1,86 @@
+"""Tests for the k-LUT mapper."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import Aig
+from repro.network.builder import comparator, ripple_add
+from repro.network.netlist import GateOp, Netlist
+from repro.sat import are_equivalent
+from repro.synth.lutmap import map_luts
+
+
+def adder_aig(width=6):
+    net = Netlist("add")
+    a = [net.add_pi(f"a{i}") for i in range(width)]
+    b = [net.add_pi(f"b{i}") for i in range(width)]
+    for i, s in enumerate(ripple_add(net, a, b, width)):
+        net.add_po(f"s{i}", s)
+    return Aig.from_netlist(net)
+
+
+class TestMapping:
+    def test_functionality_preserved(self):
+        aig = adder_aig()
+        mapping = map_luts(aig, k=4)
+        assert are_equivalent(aig.to_netlist(),
+                              mapping.to_netlist()) is True
+
+    def test_lut_count_below_and_count(self):
+        aig = adder_aig()
+        mapping = map_luts(aig, k=4)
+        assert 0 < mapping.num_luts < aig.size()
+
+    def test_depth_shrinks_with_bigger_luts(self):
+        aig = adder_aig(8)
+        d4 = map_luts(aig, k=4).depth
+        d6 = map_luts(aig, k=6).depth
+        assert d6 <= d4 <= aig.depth()
+
+    def test_leaf_width_bounded(self):
+        aig = adder_aig()
+        for k in (3, 4, 5):
+            mapping = map_luts(aig, k=k)
+            for lut in mapping.luts:
+                assert 1 <= len(lut.leaves) <= k
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            map_luts(adder_aig(), k=1)
+        with pytest.raises(ValueError):
+            map_luts(adder_aig(), k=7)
+
+    def test_comparator_mapping(self):
+        net = Netlist("cmp")
+        a = [net.add_pi(f"a{i}") for i in range(5)]
+        b = [net.add_pi(f"b{i}") for i in range(5)]
+        net.add_po("le", comparator(net, "<=", a, b))
+        aig = Aig.from_netlist(net)
+        mapping = map_luts(aig, k=4)
+        assert are_equivalent(net, mapping.to_netlist()) is True
+
+    def test_constant_and_wire_pos(self):
+        aig = Aig(2, pi_names=["a", "b"])
+        aig.add_po(0, "zero")
+        aig.add_po(aig.pi_lit(0), "wire")
+        aig.add_po(aig.pi_lit(1) ^ 1, "inv")
+        mapping = map_luts(aig, k=4)
+        assert mapping.num_luts == 0
+        assert are_equivalent(aig.to_netlist(),
+                              mapping.to_netlist()) is True
+
+    def test_random_aigs_preserved(self):
+        rng = np.random.default_rng(2)
+        for seed in range(5):
+            net = Netlist("r")
+            nodes = [net.add_pi(f"i{j}") for j in range(5)]
+            ops = [GateOp.AND, GateOp.OR, GateOp.XOR]
+            r2 = np.random.default_rng(seed)
+            for _ in range(14):
+                x, y = r2.integers(0, len(nodes), 2)
+                nodes.append(net.add_gate(ops[r2.integers(3)],
+                                          nodes[x], nodes[y]))
+            net.add_po("o", nodes[-1])
+            aig = Aig.from_netlist(net)
+            mapping = map_luts(aig, k=4)
+            assert are_equivalent(net, mapping.to_netlist()) is True

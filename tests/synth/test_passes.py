@@ -1,0 +1,168 @@
+"""Tests for the optimization passes: equivalence preserved, size reduced."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import Aig
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import (build_sop, comparator, netlist_from_sops,
+                                   ripple_add)
+from repro.network.netlist import GateOp, Netlist
+from repro.sat import are_equivalent
+from repro.synth import (balance, collapse, fraig, optimize_netlist,
+                         refactor, rewrite)
+from repro.synth.rebuild import copy_strash
+
+
+def clumsy_sop_net(seed=7, num_vars=8, num_cubes=24):
+    rng = np.random.default_rng(seed)
+    cubes = []
+    for _ in range(num_cubes):
+        size = int(rng.integers(2, 5))
+        vars_ = rng.choice(num_vars, size=size, replace=False)
+        cubes.append(Cube({int(v): int(rng.integers(0, 2))
+                           for v in vars_}))
+    sop = Sop(cubes, num_vars)
+    return netlist_from_sops([f"x{i}" for i in range(num_vars)],
+                             [("f", sop, False)], "clumsy")
+
+
+def redundant_net():
+    """A netlist with functionally (not structurally) duplicated logic.
+
+    ``a & (b | (a & b))`` equals ``a & b`` but strashes to different AND
+    nodes, so only functional reduction (fraig) can merge them.
+    """
+    net = Netlist("dup")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    c = net.add_pi("c")
+    x1 = net.add_and(a, b)
+    x2 = net.add_and(a, net.add_or(b, net.add_and(a, b)))
+    net.add_po("p", net.add_or(x1, c))
+    net.add_po("q", net.add_and(x2, c))
+    return net
+
+
+PASSES = [
+    ("strash", lambda a: copy_strash(a)),
+    ("balance", balance),
+    ("rewrite", rewrite),
+    ("refactor", refactor),
+    ("fraig", fraig),
+    ("collapse", lambda a: collapse(a, max_support=10)),
+]
+
+
+class TestPassesPreserveFunction:
+    @pytest.mark.parametrize("name,fn", PASSES)
+    def test_on_sop_circuit(self, name, fn):
+        net = clumsy_sop_net()
+        aig = Aig.from_netlist(net)
+        out = fn(aig)
+        assert are_equivalent(aig, out) is True, name
+
+    @pytest.mark.parametrize("name,fn", PASSES)
+    def test_on_adder(self, name, fn):
+        net = Netlist("add")
+        a = [net.add_pi(f"a{i}") for i in range(5)]
+        b = [net.add_pi(f"b{i}") for i in range(5)]
+        for i, s in enumerate(ripple_add(net, a, b, 5)):
+            net.add_po(f"s{i}", s)
+        aig = Aig.from_netlist(net)
+        out = fn(aig)
+        assert are_equivalent(aig, out) is True, name
+
+    @pytest.mark.parametrize("name,fn", PASSES)
+    def test_on_redundant_logic(self, name, fn):
+        aig = Aig.from_netlist(redundant_net())
+        out = fn(aig)
+        assert are_equivalent(aig, out) is True, name
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_on_random_netlists(self, seed):
+        rng = np.random.default_rng(seed)
+        net = Netlist("r")
+        nodes = [net.add_pi(f"i{k}") for k in range(5)]
+        ops = [GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND]
+        for _ in range(15):
+            a, b = rng.integers(0, len(nodes), 2)
+            nodes.append(net.add_gate(ops[rng.integers(len(ops))],
+                                      nodes[a], nodes[b]))
+        net.add_po("o", nodes[-1])
+        aig = Aig.from_netlist(net)
+        out = collapse(rewrite(balance(aig)), max_support=8)
+        assert are_equivalent(aig, out) is True
+
+
+class TestPassesReduce:
+    def test_fraig_merges_duplicates(self):
+        aig = Aig.from_netlist(redundant_net())
+        out = fraig(aig)
+        assert out.size() < aig.size()
+
+    def test_collapse_crushes_flat_sop(self):
+        net = clumsy_sop_net()
+        aig = Aig.from_netlist(net)
+        out = collapse(aig, max_support=10)
+        assert out.size() < aig.size()
+
+    def test_balance_reduces_depth(self):
+        net = Netlist("chain")
+        pis = [net.add_pi(f"i{k}") for k in range(8)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = net.add_and(acc, p)  # linear chain, depth 7
+        net.add_po("o", acc)
+        aig = Aig.from_netlist(net)
+        out = balance(aig)
+        assert out.depth() < aig.depth()
+        assert are_equivalent(aig, out) is True
+
+    def test_rewrite_shares_common_logic(self):
+        # Two structurally different mux-ish cones of the same function.
+        net = Netlist("share")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        c = net.add_pi("c")
+        f1 = net.add_or(net.add_and(a, b), net.add_and(net.add_not(a), c))
+        f2 = net.add_or(net.add_and(b, a), net.add_and(c, net.add_not(a)))
+        net.add_po("p", f1)
+        net.add_po("q", f2)
+        aig = Aig.from_netlist(net)
+        out = rewrite(aig)
+        assert out.size() <= aig.size()
+
+
+class TestOptimizeNetlist:
+    def test_keep_best_never_grows(self):
+        net = clumsy_sop_net()
+        rng = np.random.default_rng(1)
+        out, report = optimize_netlist(net, time_limit=15, rng=rng,
+                                       max_iterations=3)
+        assert out.gate_count() <= net.gate_count()
+        assert are_equivalent(net, out) is True
+        assert report.scripts_run[0] == "strash"
+        assert 0.0 <= report.reduction <= 1.0
+
+    def test_interface_preserved(self):
+        net = clumsy_sop_net()
+        out, _ = optimize_netlist(net, time_limit=5,
+                                  rng=np.random.default_rng(2),
+                                  max_iterations=1)
+        assert out.pi_names == net.pi_names
+        assert out.po_names == net.po_names
+
+    def test_constant_output_collapses(self):
+        net = Netlist("const")
+        a = net.add_pi("a")
+        net.add_po("o", net.add_and(a, net.add_not(a)))  # constant 0
+        out, _ = optimize_netlist(net, time_limit=5,
+                                  rng=np.random.default_rng(3),
+                                  max_iterations=1)
+        assert out.gate_count() == 0
+        assert are_equivalent(net, out) is True

@@ -1,0 +1,90 @@
+"""Tests for SAT-based redundancy removal (observability don't-cares)."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import Aig
+from repro.network.netlist import Netlist
+from repro.sat import are_equivalent
+from repro.synth.redundancy import remove_redundancies
+from repro.synth.fraig import fraig
+
+
+def absorption_net():
+    """f = x | (x & c): the (x & c) term is observably redundant."""
+    net = Netlist("abs")
+    a, b, c = net.add_pi("a"), net.add_pi("b"), net.add_pi("c")
+    x = net.add_and(a, b)
+    net.add_po("f", net.add_or(x, net.add_and(x, c)))
+    return net
+
+
+def consensus_net():
+    """f = ab | !ac | bc: the consensus term bc is redundant."""
+    net = Netlist("cons")
+    a, b, c = net.add_pi("a"), net.add_pi("b"), net.add_pi("c")
+    t1 = net.add_and(a, b)
+    t2 = net.add_and(net.add_not(a), c)
+    t3 = net.add_and(b, c)
+    net.add_po("f", net.add_or(net.add_or(t1, t2), t3))
+    return net
+
+
+class TestRemoval:
+    def test_absorption_removed(self):
+        aig = Aig.from_netlist(absorption_net())
+        out = remove_redundancies(aig)
+        assert are_equivalent(aig, out) is True
+        assert out.size() == 1  # just a & b
+
+    def test_consensus_removed(self):
+        aig = Aig.from_netlist(consensus_net())
+        out = remove_redundancies(aig)
+        assert are_equivalent(aig, out) is True
+        assert out.size() < aig.size()
+
+    def test_at_least_as_strong_as_fraig_on_absorption(self):
+        """Node-substitution-by-fanin with a global SAT check subsumes
+        the node-equivalence merges fraig finds on these circuits."""
+        aig = Aig.from_netlist(absorption_net())
+        via_fraig = fraig(aig)
+        via_rr = remove_redundancies(aig)
+        assert via_rr.size() <= via_fraig.size()
+        assert are_equivalent(aig, via_rr) is True
+
+    def test_irredundant_circuit_untouched(self):
+        net = Netlist("irr")
+        a, b = net.add_pi("a"), net.add_pi("b")
+        net.add_po("f", net.add_xor(a, b))
+        aig = Aig.from_netlist(net)
+        out = remove_redundancies(aig)
+        assert out.size() == aig.size()
+        assert are_equivalent(aig, out) is True
+
+    def test_no_pis_is_noop(self):
+        aig = Aig(0)
+        aig.add_po(0, "zero")
+        out = remove_redundancies(aig)
+        assert out is aig
+
+    def test_multi_output_safety(self):
+        """A node redundant for one output but live for another must
+        survive."""
+        net = Netlist("mo")
+        a, b, c = net.add_pi("a"), net.add_pi("b"), net.add_pi("c")
+        x = net.add_and(a, b)
+        xc = net.add_and(x, c)
+        net.add_po("f", net.add_or(x, xc))  # xc redundant here
+        net.add_po("g", xc)  # ... but observable here
+        aig = Aig.from_netlist(net)
+        out = remove_redundancies(aig)
+        assert are_equivalent(aig, out) is True
+
+    def test_randomized_equivalence(self):
+        rng = np.random.default_rng(1)
+        from repro.oracle.eco import build_eco_netlist
+        net = build_eco_netlist(12, 2, seed=5, support_low=3,
+                                support_high=6)
+        aig = Aig.from_netlist(net)
+        out = remove_redundancies(aig, rng=rng)
+        assert are_equivalent(aig, out) is True

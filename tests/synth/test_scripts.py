@@ -1,0 +1,82 @@
+"""Tests for the optimization script layer (dc2/resyn3/compress2rs)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import Aig
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.builder import netlist_from_sops
+from repro.sat import are_equivalent
+from repro.synth.scripts import (compress2rs, dc2, optimize_aig, resyn3)
+
+
+def sop_aig(seed=3, num_vars=8, num_cubes=20):
+    rng = np.random.default_rng(seed)
+    cubes = []
+    for _ in range(num_cubes):
+        vars_ = rng.choice(num_vars, size=int(rng.integers(2, 5)),
+                           replace=False)
+        cubes.append(Cube({int(v): int(rng.integers(0, 2))
+                           for v in vars_}))
+    net = netlist_from_sops([f"x{i}" for i in range(num_vars)],
+                            [("f", Sop(cubes, num_vars), False)])
+    return Aig.from_netlist(net)
+
+
+class TestScripts:
+    @pytest.mark.parametrize("script", [dc2, resyn3, compress2rs])
+    def test_scripts_preserve_function(self, script):
+        aig = sop_aig()
+        out = script(aig)
+        assert are_equivalent(aig, out) is True
+
+    def test_expired_deadline_is_identity_like(self):
+        aig = sop_aig()
+        out = dc2(aig, deadline=time.monotonic() - 1)
+        assert out.size() == aig.size()
+
+    def test_mid_script_deadline_still_sound(self):
+        aig = sop_aig(seed=9, num_cubes=30)
+        out = compress2rs(aig, deadline=time.monotonic() + 0.05)
+        assert are_equivalent(aig, out) is True
+
+
+class TestOptimizeAig:
+    def test_report_structure(self):
+        aig = sop_aig()
+        best, report = optimize_aig(aig, time_limit=8,
+                                    rng=np.random.default_rng(0),
+                                    max_iterations=2)
+        assert report.initial_size == aig.size()
+        assert report.final_size == best.size()
+        assert report.final_size <= report.initial_size
+        assert report.scripts_run[0] == "strash"
+        assert report.elapsed > 0
+
+    def test_keep_best_semantics(self):
+        aig = sop_aig(seed=4)
+        best, _ = optimize_aig(aig, time_limit=8,
+                               rng=np.random.default_rng(1),
+                               max_iterations=3)
+        assert best.size() <= aig.size()
+        assert are_equivalent(aig, best) is True
+
+    def test_zero_budget_still_returns(self):
+        aig = sop_aig(seed=5)
+        best, report = optimize_aig(aig, time_limit=0.0,
+                                    rng=np.random.default_rng(2),
+                                    max_iterations=4)
+        assert are_equivalent(aig, best) is True
+
+    def test_seeded_determinism(self):
+        aig = sop_aig(seed=6)
+        a, _ = optimize_aig(aig, time_limit=60,
+                            rng=np.random.default_rng(42),
+                            max_iterations=2)
+        b, _ = optimize_aig(aig, time_limit=60,
+                           rng=np.random.default_rng(42),
+                           max_iterations=2)
+        assert a.size() == b.size()

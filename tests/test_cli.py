@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import load_circuit, main, save_circuit
+from repro.network.builder import comparator
+from repro.network.blif import write_blif
+from repro.network.netlist import Netlist
+from repro.sat import are_equivalent
+
+
+@pytest.fixture
+def circuit_file(tmp_path):
+    net = Netlist("cmp")
+    a = [net.add_pi(f"a[{i}]") for i in range(4)]
+    b = [net.add_pi(f"b[{i}]") for i in range(4)]
+    net.add_po("lt", comparator(net, "<", a, b))
+    path = tmp_path / "cmp.blif"
+    with open(path, "w") as handle:
+        write_blif(net, handle)
+    return str(path), net
+
+
+class TestIo:
+    def test_load_save_blif(self, circuit_file, tmp_path):
+        path, net = circuit_file
+        loaded = load_circuit(path)
+        assert are_equivalent(net, loaded) is True
+        out = str(tmp_path / "copy.blif")
+        save_circuit(loaded, out)
+        assert are_equivalent(net, load_circuit(out)) is True
+
+    def test_save_load_aag(self, circuit_file, tmp_path):
+        path, net = circuit_file
+        out = str(tmp_path / "c.aag")
+        save_circuit(load_circuit(path), out)
+        assert are_equivalent(net, load_circuit(out)) is True
+
+    def test_save_verilog(self, circuit_file, tmp_path):
+        path, _ = circuit_file
+        out = str(tmp_path / "c.v")
+        save_circuit(load_circuit(path), out)
+        assert open(out).read().startswith("module")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            load_circuit(str(tmp_path / "x.json"))
+
+
+class TestCommands:
+    def test_stats(self, circuit_file, capsys):
+        path, _ = circuit_file
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "inputs  : 8" in out
+        assert "outputs : 1" in out
+
+    def test_learn_and_check(self, circuit_file, tmp_path, capsys):
+        path, net = circuit_file
+        learned = str(tmp_path / "learned.blif")
+        code = main(["learn", path, "--out", learned,
+                     "--time-limit", "15", "--patterns", "4000"])
+        assert code == 0
+        assert main(["check", path, learned]) == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+
+    def test_check_detects_difference(self, circuit_file, tmp_path,
+                                      capsys):
+        path, net = circuit_file
+        other = Netlist("other")
+        a = [other.add_pi(f"a[{i}]") for i in range(4)]
+        b = [other.add_pi(f"b[{i}]") for i in range(4)]
+        other.add_po("lt", comparator(other, "<=", a, b))
+        other_path = str(tmp_path / "other.blif")
+        with open(other_path, "w") as handle:
+            write_blif(other, handle)
+        assert main(["check", path, other_path]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+    def test_optimize(self, circuit_file, tmp_path, capsys):
+        path, net = circuit_file
+        out_path = str(tmp_path / "opt.blif")
+        assert main(["optimize", path, "--out", out_path,
+                     "--time-limit", "10"]) == 0
+        optimized = load_circuit(out_path)
+        assert are_equivalent(net, optimized) is True
+        assert optimized.gate_count() <= net.gate_count()

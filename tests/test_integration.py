@@ -1,0 +1,109 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise learner -> assembly -> optimization -> serialization ->
+equivalence checking on real contest-suite cases.  A few are marked slow.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import LogicRegressor, RegressorConfig, contest_suite
+from repro.aig.aig import Aig
+from repro.aig.aiger import read_aag, write_aag
+from repro.core.config import fast_config
+from repro.eval import accuracy, contest_test_patterns
+from repro.network.blif import read_blif, write_blif
+from repro.sat import are_equivalent
+
+
+class TestContestCases:
+    """Template-category cases must meet the contest bar quickly."""
+
+    @pytest.mark.parametrize("case_id", ["case_16", "case_13", "case_7"])
+    def test_easy_cases_meet_contest_bar(self, case_id):
+        case = contest_suite([case_id])[0]
+        cfg = RegressorConfig(time_limit=30.0, r_support=384)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        pats = contest_test_patterns(case.num_pis, total=15000,
+                                     rng=np.random.default_rng(1))
+        acc = accuracy(result.netlist, case.golden, pats)
+        assert acc >= 0.9999, f"{case_id}: {acc}"
+
+    def test_diag_case_is_small_and_exact(self):
+        case = contest_suite(["case_16"])[0]
+        cfg = RegressorConfig(time_limit=30.0)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        pats = contest_test_patterns(case.num_pis, total=15000,
+                                     rng=np.random.default_rng(2))
+        assert accuracy(result.netlist, case.golden, pats) == 1.0
+        # Size shape vs the golden circuit: templates rebuild the
+        # comparators, not a blown-up SOP.
+        assert result.gate_count <= case.golden.gate_count()
+
+    @pytest.mark.slow
+    def test_data_case_with_paper_scale_sampling(self):
+        case = contest_suite(["case_2"])[0]
+        cfg = RegressorConfig(time_limit=90.0, r_support=1024)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        pats = contest_test_patterns(case.num_pis, total=30000,
+                                     rng=np.random.default_rng(3))
+        assert accuracy(result.netlist, case.golden, pats) == 1.0
+        assert result.methods_used() == {"linear-template": 19}
+
+
+class TestLearnedCircuitLifecycle:
+    def test_learn_export_import_check(self):
+        """learned -> BLIF -> reread -> SAT-equivalent; same through AAG."""
+        case = contest_suite(["case_16"])[0]
+        result = LogicRegressor(fast_config(time_limit=20)).learn(
+            case.oracle())
+        net = result.netlist
+
+        blif = io.StringIO()
+        write_blif(net, blif)
+        blif.seek(0)
+        again = read_blif(blif)
+        assert are_equivalent(net, again) is True
+
+        aag = io.StringIO()
+        write_aag(Aig.from_netlist(net), aag)
+        aag.seek(0)
+        once_more = read_aag(aag).to_netlist()
+        assert are_equivalent(net, once_more) is True
+
+    def test_optimization_preserves_learned_function(self):
+        """The assembled circuit before and after step 5 must agree."""
+        case = contest_suite(["case_7"])[0]
+        cfg = fast_config(time_limit=20, enable_optimization=False)
+        raw = LogicRegressor(cfg).learn(case.oracle())
+        cfg2 = fast_config(time_limit=20, enable_optimization=True)
+        opt = LogicRegressor(cfg2).learn(case.oracle())
+        # Same seed, same learning phase -> optimization is the only delta.
+        assert are_equivalent(raw.netlist, opt.netlist) is True
+        assert opt.gate_count <= raw.gate_count
+
+
+class TestBudgetDiscipline:
+    def test_time_limit_roughly_respected(self):
+        case = contest_suite(["case_5"])[0]  # a hard NEQ case
+        cfg = RegressorConfig(time_limit=12.0, r_support=256)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        # Generous slack: optimization scripts check deadlines between
+        # passes, so a single pass may overrun briefly.
+        assert result.elapsed < 4 * cfg.time_limit
+
+    def test_all_outputs_present_even_at_tiny_budget(self):
+        case = contest_suite(["case_5"])[0]
+        cfg = RegressorConfig(time_limit=3.0, r_support=64, r_node=16,
+                              leaf_samples=24, optimize_iterations=1)
+        result = LogicRegressor(cfg).learn(case.oracle())
+        assert result.netlist.po_names == case.golden.po_names
+        pats = contest_test_patterns(case.num_pis, total=4000,
+                                     rng=np.random.default_rng(4))
+        # Even a degraded model must be far better than random guessing
+        # (0.5^16 ~ 1.5e-5 on 16 outputs).  The 3-second wall-clock
+        # budget makes the absolute level load-sensitive, so the floor
+        # is deliberately loose.
+        assert accuracy(result.netlist, case.golden, pats) > 0.005

@@ -1,0 +1,48 @@
+"""Whole-suite smoke: every contest case runs the full pipeline.
+
+Tiny budgets — the goal is that no case crashes, every interface is
+honoured, and easy cases stay exact even under pressure.  The full-budget
+evaluation lives in examples/contest_evaluation.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LogicRegressor, RegressorConfig
+from repro.eval import accuracy, contest_test_patterns
+from repro.oracle.suite import _TABLE2, build_case
+
+ALL_CASES = sorted(_TABLE2, key=lambda c: int(c.split("_")[1]))
+
+TEMPLATE_CASES = {"case_2", "case_3", "case_6", "case_8", "case_12",
+                  "case_15", "case_16", "case_20"}
+EASY_CASES = {"case_7", "case_10", "case_13"}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case_id", ALL_CASES)
+def test_full_pipeline_on_every_case(case_id):
+    case = build_case(case_id)
+    cfg = RegressorConfig(time_limit=6.0, r_support=128, r_node=24,
+                          leaf_samples=32, optimize_iterations=1,
+                          max_tree_nodes=256)
+    oracle = case.oracle()
+    result = LogicRegressor(cfg).learn(oracle)
+    # Interface contract.
+    assert result.netlist.pi_names == oracle.pi_names
+    assert result.netlist.po_names == oracle.po_names
+    assert len(result.reports) == case.num_pos
+    assert result.queries > 0
+    # Behaviour floor.
+    pats = contest_test_patterns(case.num_pis, total=3000,
+                                 rng=np.random.default_rng(11))
+    acc = accuracy(result.netlist, case.golden, pats)
+    if case_id in TEMPLATE_CASES:
+        assert acc == 1.0, f"{case_id} template category must be exact"
+    elif case_id in EASY_CASES:
+        # r_support=128 under-approximates some supports; the full-budget
+        # integration tests assert exactness — here 97% guards crashes
+        # and gross regressions only.
+        assert acc >= 0.97, f"{case_id} easy case regressed: {acc}"
+    else:
+        assert acc > 0.0
