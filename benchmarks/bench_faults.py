@@ -1,0 +1,76 @@
+"""Fault-tolerance bench: degradation curve under an adversarial oracle.
+
+Companion to ``bench_noise.py``: where that bench corrupts *data*, this
+one attacks the *channel* — transient exceptions plus a sliver of
+bit-flip noise, injected by the seeded :class:`FaultyOracle`, with the
+retry layer in front.  The sweep records how accuracy (against the clean
+golden function) and gate count degrade as the fault rate climbs from
+0 % to 20 %, which quantifies what the execution layer buys: a learner
+without it scores zero at any nonzero rate, because the first uncaught
+fault aborts the run.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import RobustnessConfig, fast_config
+from repro.core.regressor import LogicRegressor
+from repro.eval import accuracy, contest_test_patterns
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.robustness.faults import FaultModel, FaultyOracle
+
+
+@pytest.mark.parametrize("fault_rate", [0.0, 0.05, 0.10, 0.20])
+def test_degradation_vs_fault_rate(benchmark, fault_rate):
+    golden = build_eco_netlist(20, 4, seed=21, support_low=3,
+                               support_high=7)
+
+    def run():
+        oracle = FaultyOracle(
+            NetlistOracle(golden),
+            FaultModel(transient_rate=fault_rate,
+                       bitflip_rate=fault_rate / 20.0),
+            seed=9)
+        cfg = fast_config(
+            time_limit=20, leaf_epsilon=0.08,
+            robustness=RobustnessConfig(max_retries=3,
+                                        retry_base_delay=0.0,
+                                        retry_max_delay=0.0))
+        result = LogicRegressor(cfg).learn(oracle)
+        pats = contest_test_patterns(20, total=8000,
+                                     rng=np.random.default_rng(1))
+        return oracle, result, accuracy(result.netlist, golden, pats)
+
+    oracle, result, acc = one_shot(benchmark, run)
+    benchmark.extra_info.update(
+        fault_rate=fault_rate, size=result.gate_count,
+        accuracy=round(acc * 100, 3),
+        transients=oracle.counters.transients,
+        bits_flipped=oracle.counters.bits_flipped,
+        degraded=sum(1 for r in result.reports
+                     if r.method in ("degraded", "budget-exhausted")))
+    if fault_rate == 0.0:
+        assert acc == 1.0
+    else:
+        # Retries cure the transients; the residual bit-flip noise sets
+        # the same kind of floor bench_noise.py measures.
+        assert acc > 0.7
+
+
+def test_retry_overhead_on_clean_oracle(benchmark):
+    """The execution layer must be ~free when nothing goes wrong."""
+    golden = build_eco_netlist(20, 4, seed=21, support_low=3,
+                               support_high=7)
+
+    def run():
+        inner = NetlistOracle(golden)
+        cfg = fast_config(time_limit=20,
+                          robustness=RobustnessConfig(max_retries=3))
+        result = LogicRegressor(cfg).learn(inner)
+        return result
+
+    result = one_shot(benchmark, run)
+    benchmark.extra_info.update(size=result.gate_count,
+                                queries=result.queries)

@@ -57,7 +57,7 @@ def save_circuit(net: Netlist, path: str) -> None:
 
 
 def cmd_learn(args: argparse.Namespace) -> int:
-    from repro.core.config import RegressorConfig
+    from repro.core.config import RegressorConfig, RobustnessConfig
     from repro.core.regressor import LogicRegressor
     from repro.eval.accuracy import accuracy
     from repro.eval.patterns import contest_test_patterns
@@ -65,11 +65,25 @@ def cmd_learn(args: argparse.Namespace) -> int:
 
     golden = load_circuit(args.circuit)
     oracle = NetlistOracle(golden)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    if args.inject_faults:
+        from repro.robustness.faults import FaultModel, FaultyOracle
+
+        oracle = FaultyOracle(
+            oracle,
+            FaultModel(transient_rate=args.inject_faults,
+                       bitflip_rate=args.inject_faults / 20.0),
+            seed=args.seed)
     config = RegressorConfig(
         time_limit=args.time_limit,
         enable_preprocessing=not args.no_preprocessing,
         enable_optimization=not args.no_optimize,
-        seed=args.seed)
+        seed=args.seed,
+        robustness=RobustnessConfig(
+            max_retries=args.max_retries,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume))
     result = LogicRegressor(config).learn(oracle)
     for line in result.step_trace:
         print("  " + line)
@@ -174,6 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--no-optimize", action="store_true")
     learn.add_argument("--no-accuracy-gate", action="store_true",
                        help="exit 0 even below the 99.99%% bar")
+    learn.add_argument("--max-retries", type=int, default=2,
+                       help="transparent retries per failed oracle query "
+                            "(0 disables the retry layer)")
+    learn.add_argument("--checkpoint", metavar="PATH",
+                       help="persist each completed output to this file")
+    learn.add_argument("--resume", action="store_true",
+                       help="restore completed outputs from --checkpoint "
+                            "instead of re-learning them")
+    learn.add_argument("--inject-faults", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos mode: wrap the oracle in a seeded "
+                            "fault injector with this transient-fault "
+                            "rate (and RATE/20 bit-flip noise)")
     learn.set_defaults(fn=cmd_learn)
 
     opt = sub.add_parser("optimize", help="optimize a circuit file")

@@ -14,6 +14,61 @@ from typing import Optional, Sequence, Tuple
 
 
 @dataclass
+class RobustnessConfig:
+    """Knobs of the fault-tolerant execution layer (``repro.robustness``).
+
+    The defaults keep a clean oracle's behaviour unchanged: no retry
+    wrapper, no checkpointing, but per-output isolation on — an output
+    that crashes or exhausts the budget degrades to its best partial (or
+    constant-majority) cover instead of aborting the run.
+    """
+
+    max_retries: int = 0
+    """Transparent retries per failed oracle query batch (0 disables the
+    retry wrapper entirely)."""
+
+    retry_base_delay: float = 0.05
+    """Backoff before the first retry, seconds; doubles per attempt."""
+
+    retry_max_delay: float = 2.0
+    """Cap on a single backoff delay."""
+
+    retry_jitter: float = 0.5
+    """Random scale-up of each delay (de-correlates retry storms)."""
+
+    cache_queries: bool = True
+    """Memoize answered assignments inside the retry wrapper so retried
+    or repeated queries never double-bill the query budget."""
+
+    isolate_outputs: bool = True
+    """Catch per-output failures at the output boundary and emit a
+    degraded cover instead of propagating.  ``False`` restores the
+    fail-fast behaviour (useful when debugging the learner itself)."""
+
+    hard_slack: float = 1.5
+    """Hard-tier multiplier on each output's fair-share soft deadline
+    (see ``repro.robustness.deadline.DeadlineManager``)."""
+
+    checkpoint_path: Optional[str] = None
+    """Write a per-output checkpoint file here (None disables)."""
+
+    resume: bool = False
+    """Load ``checkpoint_path`` at startup and skip already-learned
+    outputs."""
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if min(self.retry_base_delay, self.retry_max_delay,
+               self.retry_jitter) < 0:
+            raise ValueError("retry delays and jitter must be >= 0")
+        if self.hard_slack < 1.0:
+            raise ValueError("hard_slack must be >= 1")
+        if self.resume and not self.checkpoint_path:
+            raise ValueError("resume requires a checkpoint_path")
+
+
+@dataclass
 class RegressorConfig:
     """All knobs of the five-step pipeline (Fig. 1)."""
 
@@ -107,6 +162,9 @@ class RegressorConfig:
     optimize_iterations: int = 4
     collapse_support: int = 14
 
+    # -- execution layer ----------------------------------------------------------
+    robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
+
     # -- misc ---------------------------------------------------------------------
     seed: int = 2019
 
@@ -126,6 +184,7 @@ class RegressorConfig:
                 "exhaustive threshold above 20 is intractable here")
         if self.preprocessing_fraction + self.optimize_fraction >= 1.0:
             raise ValueError("budget fractions leave nothing for the tree")
+        self.robustness.validate()
 
 
 def fast_config(**overrides) -> RegressorConfig:

@@ -28,7 +28,7 @@ from repro.logic.cube import Cube
 from repro.logic.minimize import quine_mccluskey
 from repro.logic.sop import Sop
 from repro.logic.truthtable import TruthTable
-from repro.oracle.base import Oracle
+from repro.oracle.base import Oracle, QueryBudgetExceeded
 
 
 @dataclass
@@ -42,6 +42,7 @@ class FbdtStats:
     max_depth: int = 0
     exhausted: bool = False  # trick-1 path taken
     timed_out: bool = False
+    budget_exhausted: bool = False  # query budget died mid-construction
 
 
 @dataclass
@@ -196,7 +197,6 @@ def build_decision_tree(oracle: Oracle, output: int,
     stats = FbdtStats()
     onset: List[Cube] = []
     offset: List[Cube] = []
-    eps = config.leaf_epsilon
     queue = deque([Cube.empty()])
     root_ratio: Optional[float] = None
 
@@ -209,64 +209,27 @@ def build_decision_tree(oracle: Oracle, output: int,
         if out_of_budget():
             stats.timed_out = True
             _flush_pending(oracle, output, queue, onset, offset, rng,
-                           config, stats)
+                           config, stats, fallback_ratio=root_ratio)
             break
         cube = queue.popleft() if config.levelized else queue.pop()
-        stats.nodes_expanded += 1
-        stats.max_depth = max(stats.max_depth, len(cube))
-        candidates = [i for i in support_set if i not in cube]
-        # Constant-leaf probe (cheap, no flip blocks).
-        probes = random_patterns(config.leaf_samples, num_pis, rng,
-                                 config.sampling_biases, cube)
-        values = oracle.query(probes)[:, output]
-        ratio = float(values.mean())
+        try:
+            ratio = _expand_node(oracle, output, cube, queue, onset,
+                                 offset, support_set, config, rng, stats)
+        except QueryBudgetExceeded:
+            # The query budget died mid-tree: keep everything learned so
+            # far as the best partial cover.  The node in hand and all
+            # pending nodes become majority leaves with no further
+            # queries, biased by the root truth ratio.
+            stats.budget_exhausted = True
+            stats.timed_out = True
+            guess = root_ratio if root_ratio is not None else 0.0
+            _majority_leaf(cube, guess, onset, offset, stats)
+            while queue:
+                _majority_leaf(queue.popleft(), guess, onset, offset,
+                               stats)
+            break
         if root_ratio is None:
             root_ratio = ratio
-        if ratio >= 1.0 - eps:
-            onset.append(cube)
-            stats.onset_leaves += 1
-            continue
-        if ratio <= eps:
-            offset.append(cube)
-            stats.offset_leaves += 1
-            continue
-        if config.max_depth is not None and len(cube) >= config.max_depth:
-            _majority_leaf(cube, ratio, onset, offset, stats)
-            continue
-        # Subtree conquest (trick 1 inside the tree): the remaining
-        # support fits the exhaustive budget, so tabulate this subspace
-        # exactly instead of splitting on.
-        if (candidates and 0 < config.subtree_exhaustive_threshold
-                and len(candidates) <= config.subtree_exhaustive_threshold
-                and _exhaust_subtree(oracle, output, cube,
-                                     sorted(candidates), onset, offset,
-                                     stats, rng, config)):
-            continue
-        # Most significant input via constrained PatternSampling (r_node).
-        best = None
-        if candidates:
-            sample = pattern_sampling(oracle, cube, config.r_node, rng,
-                                      biases=config.sampling_biases,
-                                      candidates=candidates)
-            best = sample.most_significant(output, candidates)
-        if best is None:
-            # Either S' is exhausted along this path or its dependency
-            # counts vanished while the values stay mixed: the support was
-            # an under-approximation — widen with inputs outside S'.
-            extra = [i for i in range(num_pis)
-                     if i not in cube and i not in support_set]
-            if extra:
-                sample = pattern_sampling(oracle, cube, config.r_node, rng,
-                                          biases=config.sampling_biases,
-                                          candidates=extra)
-                best = sample.most_significant(output, extra)
-                if best is not None:
-                    support_set.add(best)
-        if best is None:
-            _majority_leaf(cube, ratio, onset, offset, stats)
-            continue
-        queue.append(cube.with_literal(best, 0))
-        queue.append(cube.with_literal(best, 1))
 
     onset_sop = Sop(onset, num_pis).merge_siblings()
     offset_sop = Sop(offset, num_pis).merge_siblings()
@@ -282,6 +245,74 @@ def build_decision_tree(oracle: Oracle, output: int,
     cover = LearnedCover(onset_sop, offset_sop, use_offset=use_offset,
                          stats=stats)
     return cover
+
+
+def _expand_node(oracle: Oracle, output: int, cube: Cube, queue,
+                 onset: List[Cube], offset: List[Cube], support_set: set,
+                 config: RegressorConfig, rng: np.random.Generator,
+                 stats: FbdtStats) -> float:
+    """Process one FBDT node (leaf-test, conquer, or split).
+
+    Returns the node's sampled truth ratio; raising
+    ``QueryBudgetExceeded`` leaves ``onset``/``offset`` holding every
+    leaf decided before the budget died (the caller's partial cover).
+    """
+    num_pis = oracle.num_pis
+    eps = config.leaf_epsilon
+    stats.nodes_expanded += 1
+    stats.max_depth = max(stats.max_depth, len(cube))
+    candidates = [i for i in support_set if i not in cube]
+    # Constant-leaf probe (cheap, no flip blocks).
+    probes = random_patterns(config.leaf_samples, num_pis, rng,
+                             config.sampling_biases, cube)
+    values = oracle.query(probes)[:, output]
+    ratio = float(values.mean())
+    if ratio >= 1.0 - eps:
+        onset.append(cube)
+        stats.onset_leaves += 1
+        return ratio
+    if ratio <= eps:
+        offset.append(cube)
+        stats.offset_leaves += 1
+        return ratio
+    if config.max_depth is not None and len(cube) >= config.max_depth:
+        _majority_leaf(cube, ratio, onset, offset, stats)
+        return ratio
+    # Subtree conquest (trick 1 inside the tree): the remaining
+    # support fits the exhaustive budget, so tabulate this subspace
+    # exactly instead of splitting on.
+    if (candidates and 0 < config.subtree_exhaustive_threshold
+            and len(candidates) <= config.subtree_exhaustive_threshold
+            and _exhaust_subtree(oracle, output, cube,
+                                 sorted(candidates), onset, offset,
+                                 stats, rng, config)):
+        return ratio
+    # Most significant input via constrained PatternSampling (r_node).
+    best = None
+    if candidates:
+        sample = pattern_sampling(oracle, cube, config.r_node, rng,
+                                  biases=config.sampling_biases,
+                                  candidates=candidates)
+        best = sample.most_significant(output, candidates)
+    if best is None:
+        # Either S' is exhausted along this path or its dependency
+        # counts vanished while the values stay mixed: the support was
+        # an under-approximation — widen with inputs outside S'.
+        extra = [i for i in range(num_pis)
+                 if i not in cube and i not in support_set]
+        if extra:
+            sample = pattern_sampling(oracle, cube, config.r_node, rng,
+                                      biases=config.sampling_biases,
+                                      candidates=extra)
+            best = sample.most_significant(output, extra)
+            if best is not None:
+                support_set.add(best)
+    if best is None:
+        _majority_leaf(cube, ratio, onset, offset, stats)
+        return ratio
+    queue.append(cube.with_literal(best, 0))
+    queue.append(cube.with_literal(best, 1))
+    return ratio
 
 
 def _exhaust_subtree(oracle: Oracle, output: int, cube: Cube,
@@ -345,10 +376,13 @@ def _majority_leaf(cube: Cube, ratio: float, onset: List[Cube],
 def _flush_pending(oracle: Oracle, output: int, queue,
                    onset: List[Cube], offset: List[Cube],
                    rng: np.random.Generator, config: RegressorConfig,
-                   stats: FbdtStats, probes_per_cube: int = 8) -> None:
+                   stats: FbdtStats, probes_per_cube: int = 8,
+                   fallback_ratio: Optional[float] = None) -> None:
     """Timeout path: every undecided node becomes a majority-value leaf.
 
-    All pending cubes are probed in one batched oracle call.
+    All pending cubes are probed in one batched oracle call; if that
+    query cannot be served (budget exhausted), the cubes fall back to
+    the ``fallback_ratio`` majority guess so a cover is still emitted.
     """
     pending = list(queue)
     queue.clear()
@@ -360,7 +394,14 @@ def _flush_pending(oracle: Oracle, output: int, queue,
     for idx, cube in enumerate(pending):
         rows = block[idx * probes_per_cube:(idx + 1) * probes_per_cube]
         cube.apply_to(rows)
-    out = oracle.query(block)[:, output]
+    try:
+        out = oracle.query(block)[:, output]
+    except QueryBudgetExceeded:
+        stats.budget_exhausted = True
+        guess = fallback_ratio if fallback_ratio is not None else 0.0
+        for cube in pending:
+            _majority_leaf(cube, guess, onset, offset, stats)
+        return
     for idx, cube in enumerate(pending):
         ratio = float(
             out[idx * probes_per_cube:(idx + 1) * probes_per_cube].mean())

@@ -19,13 +19,18 @@ from repro.core.compression import DELEGATE_NAME, CompressedOracle
 from repro.core.config import RegressorConfig
 from repro.core.fbdt import FbdtStats, LearnedCover, learn_output
 from repro.core.grouping import BusGroup, Grouping, group_names
+from repro.core.sampling import random_patterns
 from repro.core.support import identify_supports
 from repro.core.templates.comparator import ComparatorMatch, match_comparator
 from repro.core.templates.linear import LinearMatch, match_linear
+from repro.logic.sop import Sop
 from repro.network.builder import (build_factored_sop, comparator,
                                    comparator_const, linear_combination)
 from repro.network.netlist import Netlist
-from repro.oracle.base import Oracle
+from repro.oracle.base import Oracle, QueryBudgetExceeded
+from repro.robustness.checkpoint import CheckpointEntry, CheckpointStore
+from repro.robustness.deadline import Deadline, DeadlineManager
+from repro.robustness.retry import RetryingOracle, RetryPolicy
 from repro.synth.scripts import optimize_netlist
 
 
@@ -72,15 +77,53 @@ class LogicRegressor:
 
     # -- public API -------------------------------------------------------------
 
-    def learn(self, oracle: Oracle) -> LearnResult:
-        """Run the full pipeline against ``oracle``."""
+    def learn(self, oracle: Oracle, *, checkpoint: Optional[str] = None,
+              resume: Optional[bool] = None) -> LearnResult:
+        """Run the full pipeline against ``oracle``.
+
+        ``checkpoint``/``resume`` override the corresponding
+        :class:`~repro.core.config.RobustnessConfig` fields: with a
+        checkpoint path each completed output is persisted, and with
+        ``resume=True`` outputs found in an existing checkpoint are
+        restored verbatim instead of re-learned.
+        """
         cfg = self.config
+        rob = cfg.robustness
+        if checkpoint is None:
+            checkpoint = rob.checkpoint_path
+        if resume is None:
+            resume = rob.resume
         rng = np.random.default_rng(cfg.seed)
-        t0 = time.monotonic()
-        deadline_all = t0 + cfg.time_limit
-        deadline_tree = t0 + cfg.time_limit * (1.0 - cfg.optimize_fraction)
+        deadlines = DeadlineManager(
+            cfg.time_limit,
+            preprocessing_fraction=cfg.preprocessing_fraction,
+            optimize_fraction=cfg.optimize_fraction,
+            hard_slack=rob.hard_slack)
         trace: List[str] = []
         start_queries = oracle.query_count
+        # The execution layer talks to the oracle through the retry
+        # wrapper; budget metering stays on the caller's oracle.
+        exec_oracle: Oracle = oracle
+        if rob.max_retries > 0:
+            exec_oracle = RetryingOracle(
+                oracle,
+                policy=RetryPolicy(max_retries=rob.max_retries,
+                                   base_delay=rob.retry_base_delay,
+                                   max_delay=rob.retry_max_delay,
+                                   jitter=rob.retry_jitter),
+                seed=cfg.seed, cache=rob.cache_queries)
+
+        store: Optional[CheckpointStore] = None
+        restored: Dict[int, CheckpointEntry] = {}
+        if checkpoint:
+            store = CheckpointStore(checkpoint)
+            restored = store.open_for(oracle.pi_names, oracle.po_names,
+                                      cfg.seed, resume=bool(resume))
+            if restored:
+                trace.append(
+                    "checkpoint: restored "
+                    + ", ".join(oracle.po_names[j]
+                                for j in sorted(restored)))
 
         # -- step 1: name based grouping ------------------------------------
         pi_grouping = Grouping(buses=[], scalars=list(range(oracle.num_pis)))
@@ -98,21 +141,34 @@ class LogicRegressor:
         linear_matches: List[LinearMatch] = []
         extended_matches: List = []
         comparator_matches: Dict[int, ComparatorMatch] = {}
-        done: set = set()
+        done: set = set(restored)
         if cfg.enable_preprocessing:
-            linear_matches = self._match_linear_buses(
-                oracle, pi_grouping, po_grouping, rng, trace, done)
+            linear_matches = self._shielded(
+                "linear templates", trace, [],
+                lambda: self._match_linear_buses(
+                    oracle=exec_oracle, pi_grouping=pi_grouping,
+                    po_grouping=po_grouping, rng=rng, trace=trace,
+                    done=done))
             if cfg.enable_extended_templates:
-                extended_matches = self._match_extended(
-                    oracle, pi_grouping, po_grouping, rng, trace, done)
-            self._match_comparators(oracle, pi_grouping, rng, trace, done,
-                                    comparator_matches, deadline_all)
+                extended_matches = self._shielded(
+                    "extended templates", trace, [],
+                    lambda: self._match_extended(
+                        exec_oracle, pi_grouping, po_grouping, rng, trace,
+                        done))
+            self._shielded(
+                "comparator templates", trace, None,
+                lambda: self._match_comparators(
+                    exec_oracle, pi_grouping, rng, trace, done,
+                    comparator_matches, deadlines.preprocessing.hard))
 
         # -- output dedup: identical / complemented outputs learn once ------
         remaining = [j for j in range(oracle.num_pos) if j not in done]
         aliases: Dict[int, Tuple[int, bool]] = {}
         if cfg.enable_output_sharing and len(remaining) > 1:
-            aliases = self._find_output_aliases(oracle, remaining, rng)
+            aliases = self._shielded(
+                "output sharing", trace, {},
+                lambda: self._find_output_aliases(exec_oracle, remaining,
+                                                  rng))
             if aliases:
                 remaining = [j for j in remaining if j not in aliases]
                 trace.append(
@@ -125,11 +181,16 @@ class LogicRegressor:
         # -- step 3: support identification -------------------------------------
         supports: Dict[int, List[int]] = {}
         if remaining:
-            info = identify_supports(oracle, cfg.r_support, rng,
-                                     biases=cfg.sampling_biases,
-                                     outputs=remaining)
+            # On failure every output keeps an empty support: the learn
+            # step then starts from the exhaustive path and widens the
+            # support itself, so a lost step 3 degrades instead of dying.
+            info = self._shielded(
+                "support identification", trace, None,
+                lambda: identify_supports(exec_oracle, cfg.r_support, rng,
+                                          biases=cfg.sampling_biases,
+                                          outputs=remaining))
             for j in remaining:
-                supports[j] = info.support_of(j)
+                supports[j] = info.support_of(j) if info is not None else []
             trace.append(
                 "support: "
                 + ", ".join(f"{oracle.po_names[j]}:{len(supports[j])}"
@@ -139,30 +200,59 @@ class LogicRegressor:
         # -- step 4: FBDT / exhaustive learning -----------------------------------
         covers: Dict[int, Tuple[LearnedCover, Optional[ComparatorMatch],
                                 Optional[CompressedOracle]]] = {}
+        overrides: Dict[int, Tuple[str, str]] = {}
+        for j, entry in restored.items():
+            covers[j] = (entry.cover, None, None)
+            supports[j] = list(entry.support)
+            detail = f"resumed · {entry.detail}" if entry.detail \
+                else "resumed"
+            overrides[j] = (entry.method, detail)
         # Easiest (smallest support) outputs first: cheap wins land before
         # the budget runs out, mirroring the paper's per-output time caps.
         order = sorted(remaining, key=lambda j: len(supports[j]))
         for idx, j in enumerate(order):
-            now = time.monotonic()
-            if now >= deadline_tree:
-                slice_deadline = now  # flush-only learning below
-            else:
-                share = (deadline_tree - now) / (len(order) - idx)
-                slice_deadline = now + share
-            match = comparator_matches.get(j)
-            if match is not None and match.buried:
-                compressed = CompressedOracle(oracle, match)
-                sub_rng = np.random.default_rng(cfg.seed + 17 * (j + 1))
-                sub_info = identify_supports(
-                    compressed, max(32, cfg.r_support // 4), sub_rng,
-                    biases=cfg.sampling_biases, outputs=[j])
-                cover = learn_output(compressed, j, sub_info.support_of(j),
-                                     cfg, sub_rng, deadline=slice_deadline)
-                covers[j] = (cover, match, compressed)
-            else:
-                cover = learn_output(oracle, j, supports[j], cfg, rng,
-                                     deadline=slice_deadline)
-                covers[j] = (cover, None, None)
+            slice_deadline = deadlines.output_slice(idx, len(order))
+            name = oracle.po_names[j]
+            try:
+                covers[j] = self._learn_one(exec_oracle, j, supports,
+                                            comparator_matches,
+                                            slice_deadline, rng)
+            except QueryBudgetExceeded as exc:
+                # Per-output boundary (satellite of the fault-tolerance
+                # work): an exhausted budget costs this output, not the
+                # outputs already learned or still pending.
+                covers[j] = (self._fallback_cover(exec_oracle, j, rng),
+                             None, None)
+                overrides[j] = ("budget-exhausted",
+                                "constant-majority fallback")
+                trace.append(f"degraded: {name} budget-exhausted ({exc})")
+                continue
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                if not rob.isolate_outputs:
+                    raise
+                covers[j] = (self._fallback_cover(exec_oracle, j, rng),
+                             None, None)
+                overrides[j] = ("degraded",
+                                f"{type(exc).__name__}: {exc}")
+                trace.append(
+                    f"degraded: {name} failed ({type(exc).__name__}: "
+                    f"{exc})")
+                continue
+            cover, match, _ = covers[j]
+            if cover.stats.budget_exhausted:
+                overrides[j] = ("budget-exhausted",
+                                "partial cover, budget died mid-tree")
+                trace.append(f"degraded: {name} emitted a partial cover "
+                             "(budget exhausted mid-tree)")
+            elif slice_deadline.hard_expired():
+                trace.append(f"deadline: {name} overran its hard slice")
+            if store is not None and match is None \
+                    and j not in overrides:
+                method, detail = self._cover_method(cover, supports, j)
+                store.record_output(CheckpointEntry(
+                    po_index=j, po_name=name, method=method,
+                    detail=detail, support=supports.get(j, []),
+                    cover=cover))
 
         # -- assembly ------------------------------------------------------------------
         net = self._assemble(oracle, linear_matches, extended_matches,
@@ -170,23 +260,103 @@ class LogicRegressor:
                              aliases)
         reports = self._reports(oracle, linear_matches, extended_matches,
                                 comparator_matches, covers, supports,
-                                aliases)
+                                aliases, overrides)
 
         # -- step 5: circuit optimization -----------------------------------------------
         if cfg.enable_optimization:
-            budget = max(1.0, deadline_all - time.monotonic())
-            net, opt_report = optimize_netlist(
-                net, time_limit=budget, rng=rng,
-                max_iterations=cfg.optimize_iterations)
-            trace.append(
-                f"optimize: {opt_report.initial_size} -> "
-                f"{opt_report.final_size} AIG nodes via "
-                f"{'/'.join(opt_report.scripts_run)}")
+            try:
+                net, opt_report = optimize_netlist(
+                    net, time_limit=deadlines.optimize_budget(), rng=rng,
+                    max_iterations=cfg.optimize_iterations)
+                trace.append(
+                    f"optimize: {opt_report.initial_size} -> "
+                    f"{opt_report.final_size} AIG nodes via "
+                    f"{'/'.join(opt_report.scripts_run)}")
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                if not rob.isolate_outputs:
+                    raise
+                trace.append(
+                    f"degraded: optimization failed "
+                    f"({type(exc).__name__}); keeping the unoptimized "
+                    "netlist")
 
-        elapsed = time.monotonic() - t0
-        return LearnResult(netlist=net, reports=reports, elapsed=elapsed,
+        return LearnResult(netlist=net, reports=reports,
+                           elapsed=deadlines.elapsed(),
                            queries=oracle.query_count - start_queries,
                            step_trace=trace)
+
+    # -- execution-layer helpers -------------------------------------------------
+
+    def _shielded(self, label: str, trace: List[str], default, fn):
+        """Run one pipeline step inside an isolation boundary.
+
+        A failing step degrades to ``default`` (with a trace line)
+        instead of killing the run; ``QueryBudgetExceeded`` is always
+        absorbed, other exceptions only under ``isolate_outputs``.
+        """
+        try:
+            return fn()
+        except QueryBudgetExceeded as exc:
+            trace.append(f"degraded: {label} skipped ({exc})")
+            return default
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            if not self.config.robustness.isolate_outputs:
+                raise
+            trace.append(
+                f"degraded: {label} failed ({type(exc).__name__}: {exc})")
+            return default
+
+    def _learn_one(self, oracle: Oracle, j: int,
+                   supports: Dict[int, List[int]],
+                   comparator_matches: Dict[int, ComparatorMatch],
+                   slice_deadline: Deadline, rng: np.random.Generator
+                   ) -> Tuple[LearnedCover, Optional[ComparatorMatch],
+                              Optional[CompressedOracle]]:
+        """Learn one output's cover within its deadline slice."""
+        cfg = self.config
+        match = comparator_matches.get(j)
+        if match is not None and match.buried:
+            compressed = CompressedOracle(oracle, match)
+            sub_rng = np.random.default_rng(cfg.seed + 17 * (j + 1))
+            sub_info = identify_supports(
+                compressed, max(32, cfg.r_support // 4), sub_rng,
+                biases=cfg.sampling_biases, outputs=[j])
+            cover = learn_output(compressed, j, sub_info.support_of(j),
+                                 cfg, sub_rng,
+                                 deadline=slice_deadline.soft)
+            return cover, match, compressed
+        cover = learn_output(oracle, j, supports[j], cfg, rng,
+                             deadline=slice_deadline.soft)
+        return cover, None, None
+
+    def _fallback_cover(self, oracle: Oracle, j: int,
+                        rng: np.random.Generator) -> LearnedCover:
+        """Constant-majority cover: always yields a valid netlist.
+
+        A last probe decides the constant; if even that fails (budget
+        gone, oracle down) the output falls back to constant 0.
+        """
+        value = 0
+        try:
+            probes = random_patterns(32, oracle.num_pis, rng,
+                                     self.config.sampling_biases)
+            value = int(oracle.query(probes)[:, j].mean() >= 0.5)
+        except Exception:  # noqa: BLE001 - last-resort fallback
+            pass
+        num_pis = oracle.num_pis
+        onset = Sop.one(num_pis) if value else Sop.zero(num_pis)
+        offset = Sop.zero(num_pis) if value else Sop.one(num_pis)
+        return LearnedCover(onset, offset, use_offset=False,
+                            stats=FbdtStats())
+
+    @staticmethod
+    def _cover_method(cover: LearnedCover, supports: Dict[int, List[int]],
+                      j: int) -> Tuple[str, str]:
+        """(method, detail) for a cleanly learned plain cover."""
+        if cover.stats.exhausted:
+            return "exhaustive", f"|S'|={len(supports.get(j, []))}"
+        return "fbdt", (f"nodes={cover.stats.nodes_expanded} "
+                        f"forced={cover.stats.forced_leaves}")
 
     # -- step 2 helpers ------------------------------------------------------------
 
@@ -203,6 +373,8 @@ class LogicRegressor:
                 buses=[b.reversed_() for b in pi_grouping.buses],
                 scalars=pi_grouping.scalars))
         for out_bus in po_grouping.buses:
+            if any(pos in done for pos in out_bus.positions):
+                continue  # some bit already learned (e.g. checkpoint)
             out_variants = [out_bus]
             if self.config.try_reversed_buses:
                 out_variants.append(out_bus.reversed_())
@@ -396,9 +568,11 @@ class LogicRegressor:
                  extended_matches: List,
                  comparator_matches: Dict[int, ComparatorMatch],
                  covers: Dict, supports: Dict[int, List[int]],
-                 aliases: Optional[Dict[int, Tuple[int, bool]]] = None
+                 aliases: Optional[Dict[int, Tuple[int, bool]]] = None,
+                 overrides: Optional[Dict[int, Tuple[str, str]]] = None
                  ) -> List[OutputReport]:
         aliases = aliases or {}
+        overrides = overrides or {}
         reports: List[OutputReport] = []
         linear_by_pos: Dict[int, LinearMatch] = {}
         for match in linear_matches:
@@ -409,7 +583,14 @@ class LogicRegressor:
             for pos in match.out_bus.positions:
                 extended_by_pos[pos] = match
         for j, name in enumerate(oracle.po_names):
-            if j in aliases:
+            if j in overrides:
+                method, detail = overrides[j]
+                cover = covers[j][0] if j in covers else None
+                reports.append(OutputReport(
+                    j, name, method, detail=detail,
+                    support_size=len(supports.get(j, [])),
+                    stats=cover.stats if cover is not None else None))
+            elif j in aliases:
                 rep, complemented = aliases[j]
                 prefix = "!" if complemented else ""
                 reports.append(OutputReport(

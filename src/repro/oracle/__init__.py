@@ -6,10 +6,12 @@ identical interface: full input assignments in, full output assignments
 out, nothing else observable.
 """
 
-from repro.oracle.base import Oracle, QueryBudgetExceeded
+from repro.oracle.base import (Oracle, OracleFault, OracleTimeout,
+                               QueryBudgetExceeded, TransientOracleFault)
 from repro.oracle.netlist_oracle import NetlistOracle
 from repro.oracle.function_oracle import FunctionOracle
 from repro.oracle.suite import ContestCase, contest_suite
 
-__all__ = ["Oracle", "QueryBudgetExceeded", "NetlistOracle",
-           "FunctionOracle", "ContestCase", "contest_suite"]
+__all__ = ["Oracle", "OracleFault", "OracleTimeout", "QueryBudgetExceeded",
+           "TransientOracleFault", "NetlistOracle", "FunctionOracle",
+           "ContestCase", "contest_suite"]

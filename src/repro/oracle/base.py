@@ -19,6 +19,23 @@ class QueryBudgetExceeded(RuntimeError):
     """Raised when an oracle's query budget is exhausted."""
 
 
+class OracleFault(RuntimeError):
+    """Base class for recoverable oracle failures.
+
+    The execution layer (``repro.robustness``) distinguishes faults —
+    which a retry may cure — from contract violations (``ValueError`` /
+    ``AssertionError``), which never recover.
+    """
+
+
+class TransientOracleFault(OracleFault):
+    """A momentary failure: the same query may succeed if re-asked."""
+
+
+class OracleTimeout(OracleFault):
+    """A single query exceeded its per-query deadline."""
+
+
 class Oracle(abc.ABC):
     """A black-box input-output relation generator.
 
@@ -78,12 +95,14 @@ class Oracle(abc.ABC):
                 and self._query_count + patterns.shape[0] > self._budget:
             raise QueryBudgetExceeded(
                 f"budget of {self._budget} queries exhausted")
-        self._query_count += patterns.shape[0]
         out = self._evaluate(patterns)
         out = np.asarray(out, dtype=np.uint8)
         if out.shape != (patterns.shape[0], self.num_pos):
             raise AssertionError(
                 "oracle implementation returned a malformed response")
+        # Bill only answers actually delivered: a raising oracle must not
+        # consume budget, or every retry would double-bill the caller.
+        self._query_count += patterns.shape[0]
         return out
 
     def query_one(self, assignment: Sequence[int]) -> List[int]:

@@ -1,0 +1,27 @@
+"""Fault-tolerant execution layer.
+
+The contest setting is adversarial by construction: one wall-clock
+deadline, a black-box IO-generator that may hiccup, and a score of zero
+for any run that dies without emitting a netlist.  This package holds the
+machinery that keeps a run alive:
+
+- :mod:`repro.robustness.faults` — a seeded fault-injecting oracle
+  wrapper for testing the learner under adversity;
+- :mod:`repro.robustness.retry` — exponential-backoff retries with a
+  query-result cache so retried assignments never double-bill the budget;
+- :mod:`repro.robustness.deadline` — the hierarchical deadline manager
+  that splits the global budget into per-step / per-output sub-deadlines;
+- :mod:`repro.robustness.checkpoint` — per-output checkpointing so a
+  killed run can resume without re-learning completed outputs.
+
+See ``docs/ROBUSTNESS.md`` for the full design.
+"""
+
+from repro.robustness.checkpoint import CheckpointError, CheckpointStore
+from repro.robustness.deadline import Deadline, DeadlineManager
+from repro.robustness.faults import FaultModel, FaultyOracle
+from repro.robustness.retry import RetryExhausted, RetryingOracle, RetryPolicy
+
+__all__ = ["CheckpointError", "CheckpointStore", "Deadline",
+           "DeadlineManager", "FaultModel", "FaultyOracle",
+           "RetryExhausted", "RetryingOracle", "RetryPolicy"]

@@ -1,0 +1,185 @@
+"""Per-output checkpointing: a killed run resumes instead of restarting.
+
+The unit of durable progress is one completed primary output — the same
+granularity as the paper's per-output decomposition.  After each output's
+cover is learned (or degraded), the store appends a JSON record holding
+the learned ``(onset, offset)`` cover pair, the support used, and the
+``OutputReport`` fields, then atomically replaces the checkpoint file
+(write-to-temp + ``os.replace``), so a kill at any instant leaves either
+the previous or the next consistent snapshot — never a torn file.
+
+A fingerprint of the oracle interface (PI/PO names) and the learner seed
+guards against resuming into a different problem; mismatches raise
+:class:`CheckpointError` rather than silently grafting foreign covers.
+
+Covers are stored positionally: each cube is a list of ``[var, phase]``
+literals over the full PI universe, which survives JSON round-trips
+exactly, so a restored output reproduces the uninterrupted run's netlist
+for that output bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.fbdt import FbdtStats, LearnedCover
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or belongs to another problem."""
+
+
+@dataclass
+class CheckpointEntry:
+    """One completed output, as persisted."""
+
+    po_index: int
+    po_name: str
+    method: str
+    detail: str
+    support: List[int]
+    cover: LearnedCover
+
+    def to_json(self) -> dict:
+        return {
+            "po_index": self.po_index,
+            "po_name": self.po_name,
+            "method": self.method,
+            "detail": self.detail,
+            "support": list(self.support),
+            "cover": cover_to_json(self.cover),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, num_pis: int) -> "CheckpointEntry":
+        return cls(po_index=int(data["po_index"]),
+                   po_name=data["po_name"],
+                   method=data["method"],
+                   detail=data.get("detail", ""),
+                   support=[int(v) for v in data.get("support", [])],
+                   cover=cover_from_json(data["cover"], num_pis))
+
+
+def cover_to_json(cover: LearnedCover) -> dict:
+    return {
+        "onset": _sop_to_json(cover.onset),
+        "offset": _sop_to_json(cover.offset),
+        "use_offset": bool(cover.use_offset),
+        "stats": asdict(cover.stats),
+    }
+
+
+def cover_from_json(data: dict, num_pis: int) -> LearnedCover:
+    known = {f for f in FbdtStats.__dataclass_fields__}
+    stats = FbdtStats(**{k: v for k, v in data.get("stats", {}).items()
+                         if k in known})
+    return LearnedCover(onset=_sop_from_json(data["onset"], num_pis),
+                        offset=_sop_from_json(data["offset"], num_pis),
+                        use_offset=bool(data["use_offset"]),
+                        stats=stats)
+
+
+def _sop_to_json(sop: Sop) -> List[List[List[int]]]:
+    return [[[int(v), int(p)] for v, p in cube.literals()]
+            for cube in sop.cubes]
+
+
+def _sop_from_json(cubes: Sequence, num_pis: int) -> Sop:
+    return Sop([Cube({int(v): int(p) for v, p in lits})
+                for lits in cubes], num_pis)
+
+
+class CheckpointStore:
+    """Read/write access to one checkpoint file.
+
+    ``open_for(...)`` binds the store to a problem fingerprint.  With
+    ``resume=True`` an existing compatible file is loaded (an
+    incompatible one raises); with ``resume=False`` any existing file is
+    discarded and the run starts a fresh snapshot.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._fingerprint: Optional[dict] = None
+        self._entries: Dict[int, CheckpointEntry] = {}
+        self._num_pis = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open_for(self, pi_names: Sequence[str], po_names: Sequence[str],
+                 seed: int, resume: bool) -> Dict[int, CheckpointEntry]:
+        """Bind to a problem; return restored entries (empty if fresh)."""
+        self._fingerprint = {
+            "pi_names": list(pi_names),
+            "po_names": list(po_names),
+            "seed": int(seed),
+        }
+        self._num_pis = len(pi_names)
+        self._entries = {}
+        if resume and os.path.exists(self.path):
+            self._entries = self._load()
+        else:
+            self._write()  # start (or truncate to) an empty snapshot
+        return dict(self._entries)
+
+    def record_output(self, entry: CheckpointEntry) -> None:
+        """Persist one completed output (atomic replace)."""
+        if self._fingerprint is None:
+            raise CheckpointError("store not opened; call open_for first")
+        self._entries[entry.po_index] = entry
+        self._write()
+
+    @property
+    def completed(self) -> List[int]:
+        return sorted(self._entries)
+
+    # -- file format ---------------------------------------------------------
+
+    def _load(self) -> Dict[int, CheckpointEntry]:
+        try:
+            with open(self.path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path!r}: {exc}") from exc
+        if data.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {data.get('version')!r} is not "
+                f"{FORMAT_VERSION}")
+        if data.get("fingerprint") != self._fingerprint:
+            raise CheckpointError(
+                "checkpoint belongs to a different problem "
+                "(oracle interface or seed mismatch)")
+        entries = {}
+        for item in data.get("outputs", []):
+            entry = CheckpointEntry.from_json(item, self._num_pis)
+            entries[entry.po_index] = entry
+        return entries
+
+    def _write(self) -> None:
+        data = {
+            "version": FORMAT_VERSION,
+            "fingerprint": self._fingerprint,
+            "outputs": [self._entries[j].to_json()
+                        for j in sorted(self._entries)],
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,114 @@
+"""Hierarchical wall-clock budgets for the five-step pipeline.
+
+The contest gives one global deadline; spending it well means splitting
+it — a share for preprocessing, a share for tree construction, a reserve
+for circuit optimization, and within tree construction a fair slice per
+remaining output.  :class:`DeadlineManager` owns that arithmetic
+(previously ad-hoc expressions inside ``LogicRegressor.learn``) and
+hands out :class:`Deadline` objects with two tiers:
+
+- **soft** — where cooperative code should wrap up (the FBDT flushes its
+  pending nodes into majority leaves);
+- **hard** — where the caller stops trusting the step and moves on (the
+  per-output isolation boundary records an overrun).
+
+Per-output slices are computed against the *remaining* soft budget, so
+an output that underruns donates its leftover time to the outputs after
+it, and one that overruns steals only from its successors — never from
+the optimization reserve.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Deadline:
+    """A soft/hard pair of absolute timestamps on the monotonic clock."""
+
+    __slots__ = ("soft", "hard", "_clock")
+
+    def __init__(self, soft: float, hard: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.soft = soft
+        self.hard = hard if hard is not None else soft
+        if self.hard < self.soft:
+            raise ValueError("hard deadline precedes soft deadline")
+        self._clock = clock
+
+    def remaining(self) -> float:
+        """Seconds until the soft deadline (negative if past)."""
+        return self.soft - self._clock()
+
+    def hard_remaining(self) -> float:
+        return self.hard - self._clock()
+
+    def expired(self) -> bool:
+        """Past the soft deadline."""
+        return self._clock() >= self.soft
+
+    def hard_expired(self) -> bool:
+        return self._clock() >= self.hard
+
+    def __repr__(self) -> str:
+        return (f"Deadline(soft in {self.remaining():.2f}s, "
+                f"hard in {self.hard_remaining():.2f}s)")
+
+
+class DeadlineManager:
+    """Split one global budget into per-step and per-output deadlines."""
+
+    def __init__(self, time_limit: float, *,
+                 preprocessing_fraction: float = 0.15,
+                 optimize_fraction: float = 0.2,
+                 hard_slack: float = 1.5,
+                 clock: Callable[[], float] = time.monotonic):
+        if time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if preprocessing_fraction + optimize_fraction >= 1.0:
+            raise ValueError("budget fractions leave nothing for the tree")
+        if hard_slack < 1.0:
+            raise ValueError("hard_slack must be >= 1")
+        self._clock = clock
+        self.start = clock()
+        self.time_limit = time_limit
+        self.hard_slack = hard_slack
+        self.overall = Deadline(self.start + time_limit, clock=clock)
+        self.preprocessing = Deadline(
+            self.start + time_limit * preprocessing_fraction,
+            self.start + time_limit * (1.0 - optimize_fraction),
+            clock=clock)
+        # Tree construction may start early (cheap preprocessing) but
+        # must leave the optimization reserve untouched.
+        self.tree = Deadline(
+            self.start + time_limit * (1.0 - optimize_fraction),
+            self.start + time_limit * (1.0 - optimize_fraction),
+            clock=clock)
+
+    def elapsed(self) -> float:
+        return self._clock() - self.start
+
+    def output_slice(self, index: int, total: int) -> Deadline:
+        """Fair-share deadline for output ``index`` of ``total``.
+
+        The soft tier is an equal split of the remaining tree budget
+        across the outputs not yet learned; the hard tier allows
+        ``hard_slack``x that share but never crosses the tree deadline.
+        Past the tree deadline both tiers collapse to *now*: the learner
+        runs in flush-only mode and still emits a (majority) cover.
+        """
+        if total <= index:
+            raise ValueError("index must be < total")
+        now = self._clock()
+        left = self.tree.soft - now
+        if left <= 0.0:
+            return Deadline(now, now, clock=self._clock)
+        share = left / (total - index)
+        soft = now + share
+        hard = min(now + share * self.hard_slack, self.tree.hard)
+        return Deadline(soft, max(soft, hard), clock=self._clock)
+
+    def optimize_budget(self, floor: float = 1.0) -> float:
+        """Seconds available to circuit optimization (>= ``floor``)."""
+        return max(floor, self.overall.soft - self._clock())

@@ -1,0 +1,147 @@
+"""Seeded fault injection: an adversarial wrapper around any oracle.
+
+The contest's IO-generator is an opaque binary; nothing in the problem
+statement promises it answers promptly, correctly, or at all.
+:class:`FaultyOracle` makes that adversity reproducible: every fault
+decision is drawn from one seeded RNG whose draw sequence depends only on
+the sequence of queries, so a failing run replays bit-for-bit under the
+same seed.  The model covers four failure families:
+
+- **transient exceptions** — the query raises ``TransientOracleFault``
+  and no answer is delivered (a crashed generator process, a dropped
+  pipe);
+- **latency spikes / hangs** — the query takes ``hang_duration``
+  simulated seconds; when that exceeds the per-query deadline the wrapper
+  raises ``OracleTimeout`` instead of stalling the pipeline;
+- **intermittent bit-flip noise** — delivered answers are corrupted
+  per-bit, *not* repeatably per-assignment (contrast
+  :class:`repro.oracle.noisy.NoisyOracle`, whose corruption is a function
+  of the input);
+- **budget exhaustion** — after ``fail_after_queries`` delivered rows the
+  wrapper raises ``QueryBudgetExceeded`` forever, simulating a generator
+  that cuts the learner off mid-run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.oracle.base import (Oracle, OracleTimeout, QueryBudgetExceeded,
+                               TransientOracleFault)
+
+
+@dataclass
+class FaultModel:
+    """Knobs of the injected fault distribution (all off by default)."""
+
+    transient_rate: float = 0.0
+    """Probability that a ``query`` call raises ``TransientOracleFault``."""
+
+    hang_rate: float = 0.0
+    """Probability that a ``query`` call incurs a latency spike."""
+
+    hang_duration: float = 5.0
+    """Simulated duration of a latency spike, seconds."""
+
+    query_deadline: Optional[float] = 1.0
+    """Per-query deadline: spikes longer than this raise
+    ``OracleTimeout``; ``None`` means spikes always stall (real sleep)."""
+
+    bitflip_rate: float = 0.0
+    """Per-bit probability of corrupting a delivered answer."""
+
+    fail_after_queries: Optional[int] = None
+    """Deliver this many rows, then raise ``QueryBudgetExceeded``
+    forever (``None`` disables)."""
+
+    real_sleep: bool = False
+    """Actually ``time.sleep`` through sub-deadline spikes.  Off by
+    default so fault-heavy tests stay fast; the timeout path is taken
+    either way."""
+
+    def validate(self) -> None:
+        for name in ("transient_rate", "hang_rate", "bitflip_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.hang_duration < 0.0:
+            raise ValueError("hang_duration must be non-negative")
+
+
+@dataclass
+class FaultCounters:
+    """What the wrapper actually injected (for tests and reporting)."""
+
+    transients: int = 0
+    hangs: int = 0
+    timeouts: int = 0
+    bits_flipped: int = 0
+    budget_cutoffs: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)  # reserved
+
+
+class FaultyOracle(Oracle):
+    """Inject the :class:`FaultModel` faults in front of ``inner``.
+
+    The fault stream is a pure function of ``(seed, query sequence)``:
+    each ``query`` call draws a fixed number of decision uniforms, so two
+    wrappers with the same seed serving the same queries fail in exactly
+    the same places — a failing chaos run is replayable.
+    """
+
+    def __init__(self, inner: Oracle, model: Optional[FaultModel] = None,
+                 seed: int = 0):
+        model = model or FaultModel()
+        model.validate()
+        super().__init__(inner.pi_names, inner.po_names)
+        self._inner = inner
+        self._model = model
+        self._rng = np.random.default_rng(seed)
+        self._delivered_rows = 0
+        self.counters = FaultCounters()
+
+    @property
+    def model(self) -> FaultModel:
+        return self._model
+
+    @property
+    def inner(self) -> Oracle:
+        return self._inner
+
+    def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        m = self._model
+        # Fixed draw count per call keeps the fault stream aligned with
+        # the query sequence no matter which families are enabled.
+        u_transient = self._rng.random()
+        u_hang = self._rng.random()
+        if m.fail_after_queries is not None \
+                and self._delivered_rows >= m.fail_after_queries:
+            self.counters.budget_cutoffs += 1
+            raise QueryBudgetExceeded(
+                f"injected: generator cut off after "
+                f"{m.fail_after_queries} rows")
+        if u_transient < m.transient_rate:
+            self.counters.transients += 1
+            raise TransientOracleFault("injected transient fault")
+        if u_hang < m.hang_rate:
+            self.counters.hangs += 1
+            if m.query_deadline is not None \
+                    and m.hang_duration > m.query_deadline:
+                self.counters.timeouts += 1
+                raise OracleTimeout(
+                    f"injected hang of {m.hang_duration:.1f}s exceeds "
+                    f"per-query deadline {m.query_deadline:.1f}s")
+            if m.real_sleep:
+                time.sleep(m.hang_duration)
+        out = self._inner.query(patterns)
+        if m.bitflip_rate > 0.0:
+            flips = (self._rng.random(out.shape)
+                     < m.bitflip_rate).astype(np.uint8)
+            self.counters.bits_flipped += int(flips.sum())
+            out = out ^ flips
+        self._delivered_rows += patterns.shape[0]
+        return out

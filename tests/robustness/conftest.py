@@ -1,0 +1,42 @@
+"""Shared oracles for the execution-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.base import Oracle, TransientOracleFault
+
+
+class XorOracle(Oracle):
+    """A tiny deterministic oracle: po_0 = parity, po_1 = AND."""
+
+    def __init__(self, num_pis=4, query_budget=None):
+        super().__init__([f"x{i}" for i in range(num_pis)],
+                         ["parity", "allones"],
+                         query_budget=query_budget)
+
+    def _evaluate(self, patterns):
+        parity = patterns.sum(axis=1) % 2
+        allones = patterns.min(axis=1)
+        return np.stack([parity, allones], axis=1).astype(np.uint8)
+
+
+class FlakyOracle(Oracle):
+    """Raises ``TransientOracleFault`` for the first ``failures`` calls
+    (or forever with ``failures=None``), then answers like ``inner``."""
+
+    def __init__(self, inner, failures=None):
+        super().__init__(inner.pi_names, inner.po_names)
+        self._inner = inner
+        self._failures = failures
+        self.attempts = 0
+
+    def _evaluate(self, patterns):
+        self.attempts += 1
+        if self._failures is None or self.attempts <= self._failures:
+            raise TransientOracleFault(f"flaky (attempt {self.attempts})")
+        return self._inner.query(patterns)
+
+
+@pytest.fixture
+def xor_oracle():
+    return XorOracle()

@@ -1,0 +1,193 @@
+"""Checkpoint/resume: durable per-output progress."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import RobustnessConfig, fast_config
+from repro.core.fbdt import FbdtStats, LearnedCover
+from repro.core.regressor import LogicRegressor
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.network.simulate import simulate
+from repro.oracle.base import Oracle
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.robustness.checkpoint import (CheckpointEntry, CheckpointError,
+                                         CheckpointStore, cover_from_json,
+                                         cover_to_json)
+
+
+def random_cover(rng, num_pis=10, cubes=5):
+    def sop():
+        out = []
+        for _ in range(cubes):
+            k = int(rng.integers(1, 4))
+            variables = rng.choice(num_pis, size=k, replace=False)
+            out.append(Cube({int(v): int(rng.integers(0, 2))
+                             for v in variables}))
+        return Sop(out, num_pis)
+
+    stats = FbdtStats(nodes_expanded=7, onset_leaves=3, timed_out=True)
+    return LearnedCover(sop(), sop(), use_offset=bool(rng.integers(2)),
+                        stats=stats)
+
+
+class TestCoverSerialization:
+    def test_roundtrip_preserves_function_and_stats(self, rng):
+        cover = random_cover(rng)
+        restored = cover_from_json(
+            json.loads(json.dumps(cover_to_json(cover))), num_pis=10)
+        patterns = rng.integers(0, 2, size=(500, 10)).astype(np.uint8)
+        assert restored.use_offset == cover.use_offset
+        assert restored.evaluate(patterns).tolist() == \
+            cover.evaluate(patterns).tolist()
+        assert restored.onset.literal_count() == \
+            cover.onset.literal_count()
+        assert restored.stats == cover.stats
+
+    def test_constant_covers_roundtrip(self):
+        cover = LearnedCover(Sop.one(6), Sop.zero(6), use_offset=False)
+        restored = cover_from_json(cover_to_json(cover), num_pis=6)
+        patterns = np.zeros((4, 6), dtype=np.uint8)
+        assert restored.evaluate(patterns).tolist() == [1, 1, 1, 1]
+
+
+class TestStore:
+    def entry(self, rng, j=0):
+        return CheckpointEntry(po_index=j, po_name=f"po_{j}",
+                               method="fbdt", detail="nodes=7",
+                               support=[1, 4], cover=random_cover(rng))
+
+    def test_record_and_reload(self, tmp_path, rng):
+        path = str(tmp_path / "run.ckpt")
+        pis = [f"a{i}" for i in range(10)]
+        store = CheckpointStore(path)
+        store.open_for(pis, ["po_0", "po_1"], seed=1, resume=False)
+        store.record_output(self.entry(rng, 0))
+        store.record_output(self.entry(rng, 1))
+        assert store.completed == [0, 1]
+
+        fresh = CheckpointStore(path)
+        restored = fresh.open_for(pis, ["po_0", "po_1"], seed=1,
+                                  resume=True)
+        assert sorted(restored) == [0, 1]
+        assert restored[1].method == "fbdt"
+        assert restored[1].support == [1, 4]
+
+    def test_open_without_resume_truncates(self, tmp_path, rng):
+        path = str(tmp_path / "run.ckpt")
+        store = CheckpointStore(path)
+        store.open_for(["a"], ["po_0"], seed=1, resume=False)
+        store.record_output(self.entry(rng))
+        again = CheckpointStore(path)
+        assert again.open_for(["a"], ["po_0"], seed=1, resume=False) == {}
+        assert json.load(open(path))["outputs"] == []
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path, rng):
+        path = str(tmp_path / "run.ckpt")
+        store = CheckpointStore(path)
+        store.open_for(["a"], ["po_0"], seed=1, resume=False)
+        store.record_output(self.entry(rng))
+        other = CheckpointStore(path)
+        with pytest.raises(CheckpointError):
+            other.open_for(["a"], ["po_0"], seed=2, resume=True)
+        with pytest.raises(CheckpointError):
+            other.open_for(["a", "b"], ["po_0"], seed=1, resume=True)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        with open(path, "w") as handle:
+            handle.write("not json{")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).open_for(["a"], ["p"], 1, resume=True)
+
+    def test_unopened_store_refuses_records(self, tmp_path, rng):
+        store = CheckpointStore(str(tmp_path / "run.ckpt"))
+        with pytest.raises(CheckpointError):
+            store.record_output(self.entry(rng))
+
+    def test_config_requires_path_for_resume(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(resume=True).validate()
+
+
+class SimulatedKill(BaseException):
+    """Process death: a BaseException so no isolation boundary eats it."""
+
+
+class KillingOracle(Oracle):
+    """Answers like ``inner`` until ``kill_after`` rows, then dies."""
+
+    def __init__(self, inner, kill_after):
+        super().__init__(inner.pi_names, inner.po_names)
+        self._inner = inner
+        self._kill_after = kill_after
+
+    def _evaluate(self, patterns):
+        if self._inner.query_count >= self._kill_after:
+            raise SimulatedKill()
+        return self._inner.query(patterns)
+
+
+class TestResume:
+    def test_kill_and_resume_matches_uninterrupted_run(self, tmp_path):
+        golden = build_eco_netlist(18, 4, seed=9, support_low=3,
+                                   support_high=6)
+        path = str(tmp_path / "run.ckpt")
+        cfg = fast_config(time_limit=30.0)
+
+        reference = LogicRegressor(cfg).learn(NetlistOracle(golden))
+
+        with pytest.raises(SimulatedKill):
+            LogicRegressor(cfg).learn(
+                KillingOracle(NetlistOracle(golden), kill_after=4000),
+                checkpoint=path)
+        completed = [o["po_index"]
+                     for o in json.load(open(path))["outputs"]]
+        assert completed, "the kill landed before any output finished"
+        assert len(completed) < golden.num_pos, "the kill landed too late"
+
+        resumed = LogicRegressor(cfg).learn(
+            NetlistOracle(golden), checkpoint=path, resume=True)
+        methods = {r.po_index: r for r in resumed.reports}
+        patterns = np.random.default_rng(3).integers(
+            0, 2, size=(2000, 18)).astype(np.uint8)
+        ours = simulate(resumed.netlist, patterns)
+        ref = simulate(reference.netlist, patterns)
+        for j in completed:
+            assert methods[j].detail.startswith("resumed")
+            assert (ours[:, j] == ref[:, j]).all(), \
+                f"restored output {j} diverged from uninterrupted run"
+
+    def test_uninterrupted_checkpoint_run_matches_plain_run(
+            self, tmp_path):
+        golden = build_eco_netlist(14, 3, seed=4, support_low=3,
+                                   support_high=5)
+        cfg = fast_config(time_limit=20.0)
+        plain = LogicRegressor(cfg).learn(NetlistOracle(golden))
+        path = str(tmp_path / "run.ckpt")
+        with_ckpt = LogicRegressor(cfg).learn(NetlistOracle(golden),
+                                              checkpoint=path)
+        patterns = np.random.default_rng(8).integers(
+            0, 2, size=(2000, 14)).astype(np.uint8)
+        assert simulate(plain.netlist, patterns).tolist() == \
+            simulate(with_ckpt.netlist, patterns).tolist()
+        assert os.path.exists(path)
+
+    def test_resume_skips_restored_outputs_queries(self, tmp_path):
+        golden = build_eco_netlist(14, 3, seed=4, support_low=3,
+                                   support_high=5)
+        cfg = fast_config(time_limit=20.0)
+        path = str(tmp_path / "run.ckpt")
+        full = LogicRegressor(cfg).learn(NetlistOracle(golden),
+                                         checkpoint=path)
+        resumed = LogicRegressor(cfg).learn(NetlistOracle(golden),
+                                            checkpoint=path, resume=True)
+        # Everything was restored: only validation-free bookkeeping and
+        # no per-output learning remains, so far fewer queries are spent.
+        assert resumed.queries < full.queries
+        assert all(r.detail.startswith("resumed")
+                   for r in resumed.reports)

@@ -1,0 +1,99 @@
+"""The hierarchical deadline manager."""
+
+import pytest
+
+from repro.robustness.deadline import Deadline, DeadlineManager
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestDeadline:
+    def test_soft_and_hard_tiers(self):
+        clock = FakeClock()
+        dl = Deadline(soft=105.0, hard=110.0, clock=clock)
+        assert dl.remaining() == pytest.approx(5.0)
+        assert dl.hard_remaining() == pytest.approx(10.0)
+        assert not dl.expired()
+        clock.advance(6.0)
+        assert dl.expired() and not dl.hard_expired()
+        clock.advance(5.0)
+        assert dl.hard_expired()
+
+    def test_hard_defaults_to_soft(self):
+        dl = Deadline(soft=105.0, clock=FakeClock())
+        assert dl.hard == dl.soft
+
+    def test_hard_before_soft_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(soft=105.0, hard=104.0, clock=FakeClock())
+
+
+class TestDeadlineManager:
+    def manager(self, clock, limit=100.0):
+        return DeadlineManager(limit, preprocessing_fraction=0.15,
+                               optimize_fraction=0.2, hard_slack=1.5,
+                               clock=clock)
+
+    def test_budget_split(self):
+        clock = FakeClock(0.0)
+        dm = self.manager(clock)
+        assert dm.overall.soft == pytest.approx(100.0)
+        assert dm.preprocessing.soft == pytest.approx(15.0)
+        assert dm.tree.soft == pytest.approx(80.0)  # optimize reserve
+
+    def test_output_slice_fair_share(self):
+        clock = FakeClock(0.0)
+        dm = self.manager(clock)
+        # Four outputs share the 80 s tree budget equally.
+        first = dm.output_slice(0, 4)
+        assert first.soft == pytest.approx(20.0)
+        assert first.hard == pytest.approx(30.0)  # 1.5x slack
+
+    def test_underrun_donates_to_later_outputs(self):
+        clock = FakeClock(0.0)
+        dm = self.manager(clock)
+        clock.advance(4.0)  # output 0 finished early
+        nxt = dm.output_slice(1, 4)
+        assert nxt.soft == pytest.approx(4.0 + 76.0 / 3)
+
+    def test_slack_never_crosses_tree_deadline(self):
+        clock = FakeClock(0.0)
+        dm = self.manager(clock)
+        clock.advance(79.0)  # one second of tree budget left
+        last = dm.output_slice(3, 4)
+        assert last.hard <= dm.tree.hard + 1e-9
+
+    def test_past_tree_deadline_collapses_to_flush_only(self):
+        clock = FakeClock(0.0)
+        dm = self.manager(clock)
+        clock.advance(95.0)
+        dl = dm.output_slice(0, 2)
+        assert dl.expired() and dl.hard_expired()
+
+    def test_optimize_budget_reserved_and_floored(self):
+        clock = FakeClock(0.0)
+        dm = self.manager(clock)
+        clock.advance(80.0)
+        assert dm.optimize_budget() == pytest.approx(20.0)
+        clock.advance(100.0)  # way past the overall deadline
+        assert dm.optimize_budget() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineManager(0.0)
+        with pytest.raises(ValueError):
+            DeadlineManager(10.0, preprocessing_fraction=0.6,
+                            optimize_fraction=0.5)
+        with pytest.raises(ValueError):
+            DeadlineManager(10.0, hard_slack=0.5)
+        with pytest.raises(ValueError):
+            DeadlineManager(10.0).output_slice(2, 2)

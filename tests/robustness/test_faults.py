@@ -1,0 +1,98 @@
+"""Fault injection: seeded, reproducible adversity."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.base import (OracleTimeout, QueryBudgetExceeded,
+                               TransientOracleFault)
+from repro.robustness.faults import FaultModel, FaultyOracle
+
+from tests.robustness.conftest import XorOracle
+
+
+def drive(oracle, calls=40, rows=8, seed=1):
+    """Run a fixed query sequence; record per-call outcome."""
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    for _ in range(calls):
+        patterns = rng.integers(0, 2, size=(rows, oracle.num_pis))
+        patterns = patterns.astype(np.uint8)
+        try:
+            outcomes.append(oracle.query(patterns).tobytes())
+        except (TransientOracleFault, OracleTimeout,
+                QueryBudgetExceeded) as exc:
+            outcomes.append(type(exc).__name__)
+    return outcomes
+
+
+class TestDeterminism:
+    MODEL = dict(transient_rate=0.3, bitflip_rate=0.05)
+
+    def test_same_seed_same_faults(self):
+        a = FaultyOracle(XorOracle(), FaultModel(**self.MODEL), seed=42)
+        b = FaultyOracle(XorOracle(), FaultModel(**self.MODEL), seed=42)
+        assert drive(a) == drive(b)
+        assert a.counters.transients == b.counters.transients
+        assert a.counters.bits_flipped == b.counters.bits_flipped
+        assert a.counters.transients > 0
+        assert a.counters.bits_flipped > 0
+
+    def test_different_seed_different_faults(self):
+        a = FaultyOracle(XorOracle(), FaultModel(**self.MODEL), seed=42)
+        b = FaultyOracle(XorOracle(), FaultModel(**self.MODEL), seed=43)
+        assert drive(a) != drive(b)
+
+
+class TestFaultFamilies:
+    def test_no_faults_is_transparent(self):
+        inner = XorOracle()
+        faulty = FaultyOracle(inner, FaultModel(), seed=0)
+        patterns = np.array([[0, 0, 1, 1], [1, 1, 1, 1]], dtype=np.uint8)
+        assert faulty.query(patterns).tolist() == \
+            inner.query(patterns).tolist()
+        assert faulty.query_count == 2
+
+    def test_transient_fault_raises_and_does_not_bill(self):
+        inner = XorOracle()
+        faulty = FaultyOracle(inner, FaultModel(transient_rate=1.0))
+        with pytest.raises(TransientOracleFault):
+            faulty.query(np.zeros((3, 4), dtype=np.uint8))
+        # No answer delivered: neither metering layer may bill.
+        assert faulty.query_count == 0
+        assert inner.query_count == 0
+
+    def test_hang_beyond_deadline_times_out(self):
+        faulty = FaultyOracle(XorOracle(), FaultModel(
+            hang_rate=1.0, hang_duration=30.0, query_deadline=0.5))
+        with pytest.raises(OracleTimeout):
+            faulty.query(np.zeros((1, 4), dtype=np.uint8))
+        assert faulty.counters.hangs == 1
+        assert faulty.counters.timeouts == 1
+
+    def test_hang_within_deadline_is_served(self):
+        faulty = FaultyOracle(XorOracle(), FaultModel(
+            hang_rate=1.0, hang_duration=0.2, query_deadline=5.0))
+        out = faulty.query(np.ones((1, 4), dtype=np.uint8))
+        assert out.tolist() == [[0, 1]]
+        assert faulty.counters.hangs == 1
+        assert faulty.counters.timeouts == 0
+
+    def test_budget_cutoff_after_n_rows(self):
+        faulty = FaultyOracle(XorOracle(),
+                              FaultModel(fail_after_queries=10))
+        faulty.query(np.zeros((10, 4), dtype=np.uint8))
+        with pytest.raises(QueryBudgetExceeded):
+            faulty.query(np.zeros((1, 4), dtype=np.uint8))
+        assert faulty.counters.budget_cutoffs == 1
+
+    def test_bitflips_are_counted(self):
+        faulty = FaultyOracle(XorOracle(),
+                              FaultModel(bitflip_rate=0.5), seed=3)
+        faulty.query(np.zeros((64, 4), dtype=np.uint8))
+        assert faulty.counters.bits_flipped > 0
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(transient_rate=1.5).validate()
+        with pytest.raises(ValueError):
+            FaultModel(hang_duration=-1.0).validate()

@@ -69,6 +69,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "EQUIVALENT" in out
 
+    def test_learn_with_faults_and_checkpoint(self, circuit_file,
+                                              tmp_path, capsys):
+        path, _ = circuit_file
+        ckpt = str(tmp_path / "run.ckpt")
+        learned = str(tmp_path / "learned.blif")
+        code = main(["learn", path, "--out", learned,
+                     "--time-limit", "15", "--patterns", "2000",
+                     "--inject-faults", "0.05", "--max-retries", "3",
+                     "--checkpoint", ckpt, "--no-accuracy-gate"])
+        assert code == 0
+        assert os.path.exists(ckpt)
+        assert load_circuit(learned).num_pos == 1
+        capsys.readouterr()
+        # Resume from the finished checkpoint: completed outputs skip.
+        code = main(["learn", path, "--out", learned,
+                     "--time-limit", "15", "--patterns", "2000",
+                     "--checkpoint", ckpt, "--resume",
+                     "--no-accuracy-gate"])
+        assert code == 0
+
+    def test_learn_resume_requires_checkpoint(self, circuit_file):
+        path, _ = circuit_file
+        with pytest.raises(SystemExit):
+            main(["learn", path, "--resume"])
+
     def test_check_detects_difference(self, circuit_file, tmp_path,
                                       capsys):
         path, net = circuit_file
