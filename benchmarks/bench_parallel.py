@@ -1,0 +1,104 @@
+"""Query-engine benches: parallel per-output learning and bank reuse.
+
+Three claims measured here, matching ``docs/PERFORMANCE.md``:
+
+1. ``--jobs N`` produces a bit-identical circuit for any ``N`` (the
+   determinism contract — workers read a frozen bank fork and private
+   RNG streams);
+2. multi-worker learning gives a wall-clock win on workloads with
+   several comparably hard outputs (and, honestly measured, no win when
+   one output dominates — Amdahl);
+3. the cross-output sample bank reduces billed oracle rows relative to
+   a bank-less run of the same pipeline.
+"""
+
+import io
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import RegressorConfig, RobustnessConfig
+from repro.core.regressor import LogicRegressor
+from repro.network.blif import write_blif
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def balanced_golden():
+    """Six outputs of comparable tree difficulty: the favourable shape
+    for per-output parallelism."""
+    return build_eco_netlist(20, 6, seed=13, support_low=5,
+                             support_high=8)
+
+
+def config(jobs=1, bank=True):
+    return RegressorConfig(
+        time_limit=120.0, seed=11, r_support=256, jobs=jobs,
+        enable_sample_bank=bank, enable_optimization=False,
+        robustness=RobustnessConfig(max_retries=0))
+
+
+def netlist_text(result):
+    buf = io.StringIO()
+    write_blif(result.netlist, buf)
+    return buf.getvalue()
+
+
+def test_jobs_determinism_and_speedup(benchmark):
+    """Learn the same black box with jobs=1 and jobs=4; the circuits
+    must match bit for bit, and the wall-clock ratio is recorded."""
+    golden = balanced_golden()
+
+    t0 = time.perf_counter()
+    seq = LogicRegressor(config(jobs=1)).learn(NetlistOracle(golden))
+    seq_wall = time.perf_counter() - t0
+
+    def parallel_run():
+        return LogicRegressor(config(jobs=4)).learn(
+            NetlistOracle(golden))
+
+    par = one_shot(benchmark, parallel_run)
+    par_wall = benchmark.stats.stats.mean
+
+    assert netlist_text(seq) == netlist_text(par), \
+        "jobs=4 diverged from jobs=1 — determinism contract broken"
+    assert seq.queries == par.queries
+    import os
+
+    benchmark.extra_info.update(
+        seq_wall_s=round(seq_wall, 3), par_wall_s=round(par_wall, 3),
+        speedup=round(seq_wall / max(par_wall, 1e-9), 2),
+        cpus=len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        queries=seq.queries, gates=seq.gate_count)
+
+
+def test_bank_reduces_billed_rows(benchmark):
+    """Same pipeline with and without the sample bank: the bank serves
+    repeat rows from memory, so the banked run bills fewer rows."""
+    golden = balanced_golden()
+
+    def banked_run():
+        oracle = NetlistOracle(golden)
+        result = LogicRegressor(config(bank=True)).learn(oracle)
+        return oracle.query_count, oracle.query_calls, result
+
+    banked_rows, banked_calls, banked = one_shot(benchmark, banked_run)
+
+    bare_oracle = NetlistOracle(golden)
+    t0 = time.perf_counter()
+    bare = LogicRegressor(config(bank=False)).learn(bare_oracle)
+    bare_wall = time.perf_counter() - t0
+
+    assert banked_rows <= bare_oracle.query_count, \
+        "the bank must never increase billed rows"
+    assert netlist_text(banked) and netlist_text(bare)  # both learned
+    stats = banked.bank_stats
+    benchmark.extra_info.update(
+        banked_rows=banked_rows, bare_rows=bare_oracle.query_count,
+        banked_calls=banked_calls, bare_calls=bare_oracle.query_calls,
+        bank_hits=stats.hits, bank_misses=stats.misses,
+        bare_wall_s=round(bare_wall, 3),
+        rows_saved=bare_oracle.query_count - banked_rows)

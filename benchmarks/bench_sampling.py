@@ -6,11 +6,13 @@ measure S' recall under uniform-only vs mixed biases, and the cost of
 PatternSampling as r grows.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from benchmarks.conftest import one_shot
-from repro.core.sampling import pattern_sampling
+from repro.core.sampling import pattern_sampling, pattern_sampling_unfused
 from repro.core.support import identify_supports
 from repro.logic.cube import Cube
 from repro.network.netlist import Netlist
@@ -88,3 +90,36 @@ def test_paper_scale_support_identification(benchmark):
     info = one_shot(benchmark, run)
     assert info.support_of(0) == [0, 13, 37]
     benchmark.extra_info.update(r=7200, queries=oracle.query_count)
+
+
+def test_fused_support_identification_query_calls(benchmark):
+    """Query-engine headline number: support identification on the
+    multi-output DIAG case (44 PIs, 5 POs) issues ONE fused oracle call
+    where the legacy loop issued 1 + |candidates| — a >= 2x reduction in
+    round trips, with the same bits answered."""
+    from repro.oracle.suite import build_case
+
+    case = build_case("case_8")
+    r = 512
+
+    def fused():
+        oracle = case.oracle()
+        identify_supports(oracle, r=r, rng=np.random.default_rng(7))
+        return oracle.query_calls, oracle.query_count
+
+    fused_calls, fused_rows = one_shot(benchmark, fused)
+
+    legacy_oracle = case.oracle()
+    t0 = time.perf_counter()
+    pattern_sampling_unfused(legacy_oracle, Cube.empty(), r,
+                             np.random.default_rng(7))
+    legacy_wall = time.perf_counter() - t0
+    legacy_calls = legacy_oracle.query_calls
+
+    assert legacy_calls >= 2 * fused_calls, \
+        f"expected >= 2x fewer calls, got {legacy_calls} vs {fused_calls}"
+    assert fused_rows == legacy_oracle.query_count  # same evidence volume
+    benchmark.extra_info.update(
+        fused_calls=fused_calls, legacy_calls=legacy_calls,
+        rows=fused_rows, legacy_wall_s=round(legacy_wall, 4),
+        call_reduction=round(legacy_calls / max(1, fused_calls), 1))

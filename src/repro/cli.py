@@ -80,6 +80,8 @@ def cmd_learn(args: argparse.Namespace) -> int:
         enable_preprocessing=not args.no_preprocessing,
         enable_optimization=not args.no_optimize,
         seed=args.seed,
+        jobs=args.jobs,
+        enable_sample_bank=not args.no_sample_bank,
         robustness=RobustnessConfig(
             max_retries=args.max_retries,
             checkpoint_path=args.checkpoint,
@@ -92,6 +94,13 @@ def cmd_learn(args: argparse.Namespace) -> int:
     print(f"learned {result.gate_count} gates "
           f"(hidden: {golden.gate_count()}), accuracy {acc * 100:.4f}%, "
           f"{result.queries} queries, {result.elapsed:.1f}s")
+    if result.bank_stats is not None:
+        bs = result.bank_stats
+        served = bs.hits + bs.misses
+        rate = (100.0 * bs.hits / served) if served else 0.0
+        print(f"sample bank: {bs.hits} rows served from memory / "
+              f"{bs.misses} queried ({rate:.1f}% hit rate), "
+              f"{bs.rows_recorded} recorded, {bs.rows_evicted} evicted")
     if args.out:
         save_circuit(result.netlist, args.out)
         print(f"written to {args.out}")
@@ -201,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chaos mode: wrap the oracle in a seeded "
                             "fault injector with this transient-fault "
                             "rate (and RATE/20 bit-flip noise)")
+    learn.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="learn independent outputs across N worker "
+                            "processes (same seed gives a bit-identical "
+                            "circuit for any N; default 1)")
+    learn.add_argument("--no-sample-bank", action="store_true",
+                       help="disable the cross-output sample bank "
+                            "(every probe hits the oracle)")
     learn.set_defaults(fn=cmd_learn)
 
     opt = sub.add_parser("optimize", help="optimize a circuit file")

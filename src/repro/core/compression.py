@@ -116,4 +116,4 @@ class CompressedOracle(Oracle):
         return full
 
     def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
-        return self._base.query(self.expand(patterns))
+        return self._base.query(self.expand(patterns), validate=False)

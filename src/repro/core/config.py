@@ -144,6 +144,29 @@ class RegressorConfig:
     max_depth: Optional[int] = None
     """Optional depth cap per output (None = bounded by support size)."""
 
+    # -- query engine (repro.perf) -----------------------------------------
+    jobs: int = 1
+    """Worker processes for per-output learning.  1 keeps the paper's
+    single-threaded contract; N > 1 learns independent outputs in
+    ``concurrent.futures`` worker processes with per-worker oracle
+    shards.  Output is deterministic (same seed => bit-identical
+    circuit) regardless of worker count as long as neither wall-clock
+    deadlines nor the query budget bind (see docs/PERFORMANCE.md)."""
+
+    enable_sample_bank: bool = True
+    """Keep every answered (pattern, full output row) pair in a bounded
+    cross-output :class:`~repro.perf.bank.SampleBank` and drain it
+    before spending new query budget."""
+
+    bank_max_rows: int = 1 << 16
+    """Ring capacity of the sample bank, rows (memory is
+    ``bank_max_rows * (num_pis + num_pos)`` bytes plus the index)."""
+
+    bank_fresh_fraction: float = 0.25
+    """Floor on the freshly sampled share of each bank-assisted probe,
+    so stale bank rows can never fully starve a leaf test of new
+    evidence."""
+
     # -- budgets -----------------------------------------------------------------
     time_limit: float = 120.0
     """Wall-clock budget for the whole pipeline, seconds (contest: 2700)."""
@@ -184,6 +207,12 @@ class RegressorConfig:
                 "exhaustive threshold above 20 is intractable here")
         if self.preprocessing_fraction + self.optimize_fraction >= 1.0:
             raise ValueError("budget fractions leave nothing for the tree")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.bank_max_rows <= 0:
+            raise ValueError("bank_max_rows must be positive")
+        if not 0.0 < self.bank_fresh_fraction <= 1.0:
+            raise ValueError("bank_fresh_fraction must be in (0, 1]")
         self.robustness.validate()
 
 

@@ -43,6 +43,8 @@ class FbdtStats:
     exhausted: bool = False  # trick-1 path taken
     timed_out: bool = False
     budget_exhausted: bool = False  # query budget died mid-construction
+    bank_hits: int = 0  # rows served from the sample bank
+    bank_misses: int = 0  # rows the bank could not supply
 
 
 @dataclass
@@ -57,6 +59,10 @@ class LearnedCover:
     offset: Sop
     use_offset: bool
     stats: FbdtStats = field(default_factory=FbdtStats)
+    cleaned: Optional[Tuple[Sop, bool]] = None
+    """Cache of :func:`cleanup_cover` — computed in the worker process
+    under ``--jobs`` so the (expensive, per-output) two-level
+    minimization parallelizes with the learning itself."""
 
     def chosen_cover(self) -> Tuple[Sop, bool]:
         """(cover to instantiate, complement flag)."""
@@ -70,15 +76,46 @@ class LearnedCover:
         return (~values if complemented else values).astype(np.uint8)
 
 
+def cleanup_cover(cover: LearnedCover) -> Tuple[Sop, bool]:
+    """Espresso-lite on the chosen cover before gate construction.
+
+    The FBDT hands back both the onset and the offset leaves, which is
+    exactly the cover pair the espresso EXPAND step wants; anything in
+    neither cover (timeout gaps) is a don't-care.  Bounded to modest
+    covers — large ones go straight to factoring + synthesis.  The
+    result is cached on the cover (it is a pure function of it), so the
+    parallel learner can pay the cost once, off the critical path.
+    """
+    if cover.cleaned is not None:
+        return cover.cleaned
+    from repro.logic.minimize import espresso_lite
+
+    sop, complemented = cover.chosen_cover()
+    other = cover.onset if complemented else cover.offset
+    if sop.cubes and len(sop) <= 160 and len(other) <= 160:
+        try:
+            minimized = espresso_lite(sop, other, max_iterations=2)
+            if minimized.literal_count() < sop.literal_count():
+                sop = minimized
+        except RecursionError:  # pathological covers; keep the original
+            pass
+    cover.cleaned = (sop, complemented)
+    return cover.cleaned
+
+
 def learn_output(oracle: Oracle, output: int, support: Sequence[int],
                  config: RegressorConfig, rng: np.random.Generator,
-                 deadline: Optional[float] = None) -> LearnedCover:
+                 deadline: Optional[float] = None,
+                 bank=None) -> LearnedCover:
     """Learn one output: exhaustive path for small supports, else FBDT.
 
     The exhaustive path validates its result on random probes; failures
     mean ``S'`` missed a dependency (Proposition 1 is one-sided), so the
     offending inputs are hunted down with an extra PatternSampling pass
     and the support widened before retrying.
+
+    ``bank`` is an optional :class:`~repro.perf.bank.SampleBank` the
+    tree's constant-leaf probes drain before spending query budget.
     """
     support = sorted(support)
     for _ in range(3):  # widen at most twice
@@ -93,7 +130,7 @@ def learn_output(oracle: Oracle, output: int, support: Sequence[int],
     else:
         return cover
     return build_decision_tree(oracle, output, support, config, rng,
-                               deadline=deadline)
+                               deadline=deadline, bank=bank)
 
 
 def _missing_support(oracle: Oracle, output: int, support: Sequence[int],
@@ -110,20 +147,25 @@ def _missing_support(oracle: Oracle, output: int, support: Sequence[int],
     probes = random_patterns(num_probes, oracle.num_pis, rng,
                              config.sampling_biases)
     got = cover.evaluate(probes)
-    want = oracle.query(probes)[:, output]
+    want = oracle.query(probes, validate=False)[:, output]
     mismatched = probes[got != want]
     if mismatched.shape[0] == 0:
         return []
     candidates = [i for i in range(oracle.num_pis) if i not in support]
     if not candidates:
         return []
-    witnesses = mismatched[:64]
-    base_out = oracle.query(witnesses)[:, output]
+    witnesses = np.ascontiguousarray(mismatched[:64])
+    # Fused flip test at the witnesses: one call for the base block and
+    # every candidate's flip block (mirrors pattern_sampling).
+    w = witnesses.shape[0]
+    block = np.tile(witnesses, (1 + len(candidates), 1))
+    for idx, i in enumerate(candidates):
+        block[(idx + 1) * w:(idx + 2) * w, i] ^= 1
+    out = oracle.query(block, validate=False)[:, output]
+    base_out = out[:w]
     extra = []
-    for i in candidates:
-        flipped = witnesses.copy()
-        flipped[:, i] ^= 1
-        flip_out = oracle.query(flipped)[:, output]
+    for idx, i in enumerate(candidates):
+        flip_out = out[(idx + 1) * w:(idx + 2) * w]
         if (flip_out != base_out).any():
             extra.append(i)
     return extra
@@ -144,7 +186,8 @@ def enumerate_small_function(oracle: Oracle, output: int,
     stats = FbdtStats(exhausted=True)
     if k == 0:
         value = int(oracle.query(
-            np.zeros((1, num_pis), dtype=np.uint8))[0, output])
+            np.zeros((1, num_pis), dtype=np.uint8),
+            validate=False)[0, output])
         onset = Sop.one(num_pis) if value else Sop.zero(num_pis)
         offset = Sop.zero(num_pis) if value else Sop.one(num_pis)
         return LearnedCover(onset, offset, use_offset=False, stats=stats)
@@ -152,7 +195,7 @@ def enumerate_small_function(oracle: Oracle, output: int,
     minterm_bits = ((np.arange(1 << k)[:, None]
                      >> np.arange(k)[None, :]) & 1).astype(np.uint8)
     patterns[:, support] = minterm_bits
-    values = oracle.query(patterns)[:, output]
+    values = oracle.query(patterns, validate=False)[:, output]
     table = TruthTable(k, _pack_bits(values))
     onset_local = _minimize_table(table, k)
     offset_local = _minimize_table(~table, k)
@@ -190,7 +233,8 @@ def _lift_cover(cover: Sop, support: Sequence[int], num_pis: int) -> Sop:
 def build_decision_tree(oracle: Oracle, output: int,
                         support: Sequence[int], config: RegressorConfig,
                         rng: np.random.Generator,
-                        deadline: Optional[float] = None) -> LearnedCover:
+                        deadline: Optional[float] = None,
+                        bank=None) -> LearnedCover:
     """Algorithm 2 with the paper's three tricks."""
     num_pis = oracle.num_pis
     support_set = set(support)
@@ -214,7 +258,8 @@ def build_decision_tree(oracle: Oracle, output: int,
         cube = queue.popleft() if config.levelized else queue.pop()
         try:
             ratio = _expand_node(oracle, output, cube, queue, onset,
-                                 offset, support_set, config, rng, stats)
+                                 offset, support_set, config, rng, stats,
+                                 bank=bank)
         except QueryBudgetExceeded:
             # The query budget died mid-tree: keep everything learned so
             # far as the best partial cover.  The node in hand and all
@@ -250,7 +295,7 @@ def build_decision_tree(oracle: Oracle, output: int,
 def _expand_node(oracle: Oracle, output: int, cube: Cube, queue,
                  onset: List[Cube], offset: List[Cube], support_set: set,
                  config: RegressorConfig, rng: np.random.Generator,
-                 stats: FbdtStats) -> float:
+                 stats: FbdtStats, bank=None) -> float:
     """Process one FBDT node (leaf-test, conquer, or split).
 
     Returns the node's sampled truth ratio; raising
@@ -262,10 +307,23 @@ def _expand_node(oracle: Oracle, output: int, cube: Cube, queue,
     stats.nodes_expanded += 1
     stats.max_depth = max(stats.max_depth, len(cube))
     candidates = [i for i in support_set if i not in cube]
-    # Constant-leaf probe (cheap, no flip blocks).
-    probes = random_patterns(config.leaf_samples, num_pis, rng,
-                             config.sampling_biases, cube)
-    values = oracle.query(probes)[:, output]
+    # Constant-leaf probe (cheap, no flip blocks); bank rows matching
+    # this cube — answered for earlier probes or sibling subspaces —
+    # are drained before fresh budget is spent.
+    if bank is not None:
+        from repro.perf.bank import banked_probe
+
+        before = bank.stats.hits
+        values = banked_probe(oracle, cube, config.leaf_samples, rng,
+                              config.sampling_biases, bank,
+                              config.bank_fresh_fraction)[:, output]
+        hits = bank.stats.hits - before
+        stats.bank_hits += hits
+        stats.bank_misses += config.leaf_samples - hits
+    else:
+        probes = random_patterns(config.leaf_samples, num_pis, rng,
+                                 config.sampling_biases, cube)
+        values = oracle.query(probes, validate=False)[:, output]
     ratio = float(values.mean())
     if ratio >= 1.0 - eps:
         onset.append(cube)
@@ -334,13 +392,13 @@ def _exhaust_subtree(oracle: Oracle, output: int, cube: Cube,
     minterm_bits = ((np.arange(1 << k)[:, None]
                      >> np.arange(k)[None, :]) & 1).astype(np.uint8)
     patterns[:, candidates] = minterm_bits
-    values = oracle.query(patterns)[:, output]
+    values = oracle.query(patterns, validate=False)[:, output]
     table = TruthTable(k, _pack_bits(values))
     # Validate on random probes: if a non-candidate free input matters
     # here, predictions will disagree with the oracle.
     probes = random_patterns(32, oracle.num_pis, rng,
                              config.sampling_biases, cube)
-    probe_out = oracle.query(probes)[:, output]
+    probe_out = oracle.query(probes, validate=False)[:, output]
     probe_minterms = np.zeros(probes.shape[0], dtype=np.int64)
     for i, var in enumerate(candidates):
         probe_minterms += probes[:, var].astype(np.int64) << i
@@ -395,7 +453,7 @@ def _flush_pending(oracle: Oracle, output: int, queue,
         rows = block[idx * probes_per_cube:(idx + 1) * probes_per_cube]
         cube.apply_to(rows)
     try:
-        out = oracle.query(block)[:, output]
+        out = oracle.query(block, validate=False)[:, output]
     except QueryBudgetExceeded:
         stats.budget_exhausted = True
         guess = fallback_ratio if fallback_ratio is not None else 0.0

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.core.compression import DELEGATE_NAME, CompressedOracle
 from repro.core.config import RegressorConfig
-from repro.core.fbdt import FbdtStats, LearnedCover, learn_output
+from repro.core.fbdt import (FbdtStats, LearnedCover, cleanup_cover,
+                             learn_output)
 from repro.core.grouping import BusGroup, Grouping, group_names
 from repro.core.sampling import random_patterns
 from repro.core.support import identify_supports
@@ -28,6 +29,9 @@ from repro.network.builder import (build_factored_sop, comparator,
                                    comparator_const, linear_combination)
 from repro.network.netlist import Netlist
 from repro.oracle.base import Oracle, QueryBudgetExceeded
+from repro.perf.bank import BankedOracle, BankStats, SampleBank
+from repro.perf.parallel import (OutputTask, derive_output_rng,
+                                 learn_outputs)
 from repro.robustness.checkpoint import CheckpointEntry, CheckpointStore
 from repro.robustness.deadline import Deadline, DeadlineManager
 from repro.robustness.retry import RetryingOracle, RetryPolicy
@@ -56,6 +60,7 @@ class LearnResult:
     elapsed: float
     queries: int
     step_trace: List[str] = field(default_factory=list)
+    bank_stats: Optional[BankStats] = None
 
     @property
     def gate_count(self) -> int:
@@ -103,15 +108,23 @@ class LogicRegressor:
         start_queries = oracle.query_count
         # The execution layer talks to the oracle through the retry
         # wrapper; budget metering stays on the caller's oracle.
-        exec_oracle: Oracle = oracle
+        inner_exec: Oracle = oracle
         if rob.max_retries > 0:
-            exec_oracle = RetryingOracle(
+            inner_exec = RetryingOracle(
                 oracle,
                 policy=RetryPolicy(max_retries=rob.max_retries,
                                    base_delay=rob.retry_base_delay,
                                    max_delay=rob.retry_max_delay,
                                    jitter=rob.retry_jitter),
                 seed=cfg.seed, cache=rob.cache_queries)
+        # The sample bank sits above the retry wrapper: rows it serves
+        # from memory never reach (or bill) the underlying oracle.
+        bank: Optional[SampleBank] = None
+        exec_oracle: Oracle = inner_exec
+        if cfg.enable_sample_bank:
+            bank = SampleBank(oracle.num_pis, oracle.num_pos,
+                              max_rows=cfg.bank_max_rows)
+            exec_oracle = BankedOracle(inner_exec, bank)
 
         store: Optional[CheckpointStore] = None
         restored: Dict[int, CheckpointEntry] = {}
@@ -209,9 +222,18 @@ class LogicRegressor:
             overrides[j] = (entry.method, detail)
         # Easiest (smallest support) outputs first: cheap wins land before
         # the budget runs out, mirroring the paper's per-output time caps.
+        # Buried-comparator outputs stay in the main process (their
+        # compressed-space queries seed the sample bank before the
+        # fan-out); everything else goes through the parallel engine.
         order = sorted(remaining, key=lambda j: len(supports[j]))
-        for idx, j in enumerate(order):
-            slice_deadline = deadlines.output_slice(idx, len(order))
+        buried = [j for j in order
+                  if comparator_matches.get(j) is not None
+                  and comparator_matches[j].buried]
+        buried_set = set(buried)
+        plain = [j for j in order if j not in buried_set]
+        total = len(order)
+        for idx, j in enumerate(buried):
+            slice_deadline = deadlines.output_slice(idx, total)
             name = oracle.po_names[j]
             try:
                 covers[j] = self._learn_one(exec_oracle, j, supports,
@@ -221,8 +243,9 @@ class LogicRegressor:
                 # Per-output boundary (satellite of the fault-tolerance
                 # work): an exhausted budget costs this output, not the
                 # outputs already learned or still pending.
-                covers[j] = (self._fallback_cover(exec_oracle, j, rng),
-                             None, None)
+                covers[j] = (self._fallback_cover(
+                    inner_exec, j, derive_output_rng(cfg.seed, j)),
+                    None, None)
                 overrides[j] = ("budget-exhausted",
                                 "constant-majority fallback")
                 trace.append(f"degraded: {name} budget-exhausted ({exc})")
@@ -230,8 +253,9 @@ class LogicRegressor:
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 if not rob.isolate_outputs:
                     raise
-                covers[j] = (self._fallback_cover(exec_oracle, j, rng),
-                             None, None)
+                covers[j] = (self._fallback_cover(
+                    inner_exec, j, derive_output_rng(cfg.seed, j)),
+                    None, None)
                 overrides[j] = ("degraded",
                                 f"{type(exc).__name__}: {exc}")
                 trace.append(
@@ -246,13 +270,98 @@ class LogicRegressor:
                              "(budget exhausted mid-tree)")
             elif slice_deadline.hard_expired():
                 trace.append(f"deadline: {name} overran its hard slice")
-            if store is not None and match is None \
-                    and j not in overrides:
-                method, detail = self._cover_method(cover, supports, j)
+
+        extra_queries = 0
+        if plain:
+            if bank is not None:
+                # Frozen before the fan-out: every output (any jobs
+                # value) forks the same snapshot, so no output observes
+                # rows produced by a sibling — the determinism keystone.
+                bank.freeze()
+            tasks = [OutputTask(j, supports[j]) for j in plain]
+            slice_provider = None
+            if cfg.jobs <= 1:
+                offset = len(buried)
+
+                def slice_provider(idx: int, _n: int,
+                                   _offset: int = offset
+                                   ) -> Tuple[float, float]:
+                    d = deadlines.output_slice(_offset + idx, total)
+                    return (max(0.0, d.remaining()),
+                            max(0.0, d.hard_remaining()))
+            else:
+                budgets = deadlines.parallel_slices(len(plain), cfg.jobs)
+                for task, (soft, hard) in zip(tasks, budgets):
+                    task.soft_seconds = soft
+                    task.hard_seconds = hard
+
+            def on_result(res) -> None:
+                if store is None or res.cover is None or res.error:
+                    return
+                if res.cover.stats.budget_exhausted:
+                    return
+                method, detail = self._cover_method(res.cover, supports,
+                                                    res.index)
                 store.record_output(CheckpointEntry(
-                    po_index=j, po_name=name, method=method,
-                    detail=detail, support=supports.get(j, []),
-                    cover=cover))
+                    po_index=res.index,
+                    po_name=oracle.po_names[res.index], method=method,
+                    detail=detail,
+                    support=supports.get(res.index, []),
+                    cover=res.cover))
+
+            engine = learn_outputs(inner_exec, tasks, cfg,
+                                   jobs=cfg.jobs, bank=bank,
+                                   slice_provider=slice_provider,
+                                   on_result=on_result,
+                                   shield=rob.isolate_outputs)
+            extra_queries = engine.extra_queries
+            if engine.note:
+                trace.append(f"parallel: {engine.note}")
+            if cfg.jobs > 1:
+                trace.append(
+                    f"parallel: {len(plain)} outputs, jobs={cfg.jobs} "
+                    f"({engine.mode})")
+            # Fold results back in `plain` order so covers / trace /
+            # netlist node ids never depend on worker completion order.
+            for j in plain:
+                name = oracle.po_names[j]
+                res = engine.results.get(j)
+                if res is not None and res.cover is not None:
+                    covers[j] = (res.cover, None, None)
+                    if res.cover.stats.budget_exhausted:
+                        overrides[j] = ("budget-exhausted",
+                                        "partial cover, budget died "
+                                        "mid-tree")
+                        trace.append(
+                            f"degraded: {name} emitted a partial cover "
+                            "(budget exhausted mid-tree)")
+                    elif res.hard_overrun:
+                        trace.append(
+                            f"deadline: {name} overran its hard slice")
+                    continue
+                error = res.error if res is not None else "no result"
+                error_type = res.error_type if res is not None else ""
+                if error_type != "QueryBudgetExceeded" \
+                        and not rob.isolate_outputs:
+                    raise RuntimeError(
+                        f"output {name} failed in worker: {error}")
+                covers[j] = (self._fallback_cover(
+                    inner_exec, j, derive_output_rng(cfg.seed, j)),
+                    None, None)
+                if error_type == "QueryBudgetExceeded":
+                    overrides[j] = ("budget-exhausted",
+                                    "constant-majority fallback")
+                    trace.append(
+                        f"degraded: {name} budget-exhausted ({error})")
+                else:
+                    overrides[j] = ("degraded", error)
+                    trace.append(f"degraded: {name} failed ({error})")
+        if bank is not None:
+            trace.append(
+                f"bank: {bank.stats.hits} hits / {bank.stats.misses} "
+                f"misses, {len(bank)} rows resident "
+                f"({bank.nbytes() >> 10} KiB), "
+                f"{bank.stats.rows_evicted} evicted")
 
         # -- assembly ------------------------------------------------------------------
         net = self._assemble(oracle, linear_matches, extended_matches,
@@ -282,8 +391,11 @@ class LogicRegressor:
 
         return LearnResult(netlist=net, reports=reports,
                            elapsed=deadlines.elapsed(),
-                           queries=oracle.query_count - start_queries,
-                           step_trace=trace)
+                           queries=(oracle.query_count - start_queries
+                                    + extra_queries),
+                           step_trace=trace,
+                           bank_stats=bank.stats if bank is not None
+                           else None)
 
     # -- execution-layer helpers -------------------------------------------------
 
@@ -508,8 +620,7 @@ class LogicRegressor:
                 continue  # handled through covers below
             po_nodes[j] = self._build_comparator(net, pi_nodes, match)
         for j, (cover, match, compressed) in covers.items():
-            sop, complemented = cover.chosen_cover()
-            sop = self._two_level_cleanup(sop, cover, complemented)
+            sop, complemented = cleanup_cover(cover)
             if match is not None and compressed is not None:
                 delegate = self._build_comparator(net, pi_nodes, match)
                 var_nodes = [pi_nodes[p] for p in
@@ -528,28 +639,6 @@ class LogicRegressor:
                 po_nodes[j] = net.add_const0()
             net.add_po(name, po_nodes[j])
         return net.cleaned()
-
-    @staticmethod
-    def _two_level_cleanup(sop, cover, complemented):
-        """Espresso-lite on the chosen cover before gate construction.
-
-        The FBDT hands us both the onset and the offset leaves, which is
-        exactly the cover pair the espresso EXPAND step wants; anything
-        in neither cover (timeout gaps) is a don't-care.  Bounded to
-        modest covers — large ones go straight to factoring + synthesis.
-        """
-        from repro.logic.minimize import espresso_lite
-
-        other = cover.onset if complemented else cover.offset
-        if not sop.cubes or len(sop) > 160 or len(other) > 160:
-            return sop
-        try:
-            minimized = espresso_lite(sop, other, max_iterations=2)
-        except RecursionError:  # pathological covers; keep the original
-            return sop
-        if minimized.literal_count() < sop.literal_count():
-            return minimized
-        return sop
 
     @staticmethod
     def _build_comparator(net: Netlist, pi_nodes: List[int],

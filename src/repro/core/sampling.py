@@ -6,9 +6,13 @@ and counts the disagreements ``D_i = sum_k F[alpha^k_i] xor F[alpha^k_!i]``.
 Assignments mix even and uneven 0/1 ratios (the paper's observation that
 skewed patterns expose more dependencies).
 
-Everything is batched: one oracle call evaluates the base block, and one
-call per input evaluates the flipped block, so the numpy bit-parallel
-oracle keeps the paper's sampling volumes tractable in Python.
+Everything is *fused*: the base block and all flip blocks are assembled
+into one ``(r * (1 + |candidates|), num_pis)`` array and evaluated in a
+single ``oracle.query`` call (chunked only when the block would exceed
+``FUSED_CHUNK_ROWS`` rows), so the per-call Python, validation and retry
+overhead is paid once per sampling pass instead of once per input.  The
+row-level sampling volume is unchanged — only the call count drops from
+``1 + |candidates|`` to ``ceil(rows / FUSED_CHUNK_ROWS)``.
 """
 
 from __future__ import annotations
@@ -20,6 +24,10 @@ import numpy as np
 
 from repro.logic.cube import Cube
 from repro.oracle.base import Oracle
+
+FUSED_CHUNK_ROWS = 1 << 19
+"""Upper bound on the rows of one fused oracle call (memory bound: a
+chunk of 2^19 rows over 256 PIs is ~128 MB of uint8)."""
 
 
 @dataclass
@@ -39,15 +47,23 @@ class SampleStats:
     def most_significant(self, output: int,
                          candidates: Optional[Sequence[int]] = None) -> Optional[int]:
         """The input the output is most sensitive to (argmax D_i), or None
-        if every candidate has a zero dependency count."""
+        if every candidate has a zero dependency count.
+
+        Ties resolve to the first maximal candidate in iteration order,
+        matching the historical Python loop.
+        """
         column = self.dependency[:, output]
         if candidates is None:
-            candidates = range(column.shape[0])
-        best, best_count = None, 0
-        for i in candidates:
-            if column[i] > best_count:
-                best, best_count = int(i), int(column[i])
-        return best
+            if column.shape[0] == 0:
+                return None
+            best = int(np.argmax(column))
+            return best if column[best] > 0 else None
+        cand = np.fromiter(candidates, dtype=np.int64)
+        if cand.size == 0:
+            return None
+        counts = column[cand]
+        k = int(np.argmax(counts))
+        return int(cand[k]) if counts[k] > 0 else None
 
     def support(self, output: int) -> list:
         """S' = {i : D_i != 0} for one output."""
@@ -73,33 +89,87 @@ def random_patterns(num: int, num_pis: int, rng: np.random.Generator,
     return patterns
 
 
+def _resolve_candidates(cube: Cube, num_pis: int,
+                        candidates: Optional[Sequence[int]]) -> list:
+    constrained = set(cube.variables)
+    if candidates is None:
+        return [i for i in range(num_pis) if i not in constrained]
+    return [i for i in candidates if i not in constrained]
+
+
 def pattern_sampling(oracle: Oracle, cube: Cube, r: int,
                      rng: np.random.Generator,
                      biases: Sequence[float] = (0.5,),
                      outputs: Optional[Sequence[int]] = None,
                      candidates: Optional[Sequence[int]] = None
                      ) -> SampleStats:
-    """Algorithm 1, batched over all outputs at once.
+    """Algorithm 1, batched over all outputs *and all flip blocks* at once.
 
     ``candidates`` restricts which inputs get a flip block (defaults to
     every input not constrained by ``cube``); other rows of the dependency
     matrix stay zero.  ``outputs`` restricts which output columns are
     meaningful (others are still computed — the oracle returns full output
     assignments anyway — but callers may ignore them).
+
+    Given the same ``rng`` state this draws the identical base block and
+    produces bit-identical statistics to the legacy one-call-per-input
+    implementation (kept below as :func:`pattern_sampling_unfused`).
     """
     num_pis = oracle.num_pis
     num_pos = oracle.num_pos
-    constrained = set(cube.variables)
-    if candidates is None:
-        candidates = [i for i in range(num_pis) if i not in constrained]
+    cand = _resolve_candidates(cube, num_pis, candidates)
+    base = random_patterns(r, num_pis, rng, biases, cube)
+    k = len(cand)
+    # One contiguous block: base rows first, then one r-row flip block
+    # per candidate (the candidate's column xor-ed against the base).
+    block = np.tile(base, (1 + k, 1))
+    for idx, i in enumerate(cand):
+        block[(idx + 1) * r:(idx + 2) * r, i] ^= 1
+    total_rows = block.shape[0]
+    if total_rows <= FUSED_CHUNK_ROWS:
+        out = oracle.query(block, validate=False)
     else:
-        candidates = [i for i in candidates if i not in constrained]
+        # Chunk at flip-block boundaries so a partial failure loses whole
+        # blocks, never half of one.
+        per_chunk = max(1, FUSED_CHUNK_ROWS // r) * r
+        pieces = [oracle.query(block[lo:lo + per_chunk], validate=False)
+                  for lo in range(0, total_rows, per_chunk)]
+        out = np.concatenate(pieces, axis=0)
+    stacked = out.reshape(1 + k, r, num_pos)
+    base_out = stacked[0]
+    dependency = np.zeros((num_pis, num_pos), dtype=np.int64)
+    if k:
+        diffs = np.count_nonzero(stacked[1:] != base_out[None, :, :],
+                                 axis=1)
+        dependency[cand] = diffs
+    ones = stacked.sum(axis=(0, 1), dtype=np.int64)
+    total = r * (1 + k)
+    truth_ratio = ones / max(1, total)
+    return SampleStats(dependency=dependency, truth_ratio=truth_ratio,
+                       num_samples=total)
+
+
+def pattern_sampling_unfused(oracle: Oracle, cube: Cube, r: int,
+                             rng: np.random.Generator,
+                             biases: Sequence[float] = (0.5,),
+                             outputs: Optional[Sequence[int]] = None,
+                             candidates: Optional[Sequence[int]] = None
+                             ) -> SampleStats:
+    """Legacy Algorithm 1: one oracle call per flip block.
+
+    Kept as the reference implementation: tests assert the fused path is
+    bit-identical, and ``benchmarks/bench_sampling.py`` measures the call
+    count and wall-clock ratio between the two.
+    """
+    num_pis = oracle.num_pis
+    num_pos = oracle.num_pos
+    cand = _resolve_candidates(cube, num_pis, candidates)
     base = random_patterns(r, num_pis, rng, biases, cube)
     base_out = oracle.query(base).astype(np.int16)
     dependency = np.zeros((num_pis, num_pos), dtype=np.int64)
     ones = base_out.sum(axis=0, dtype=np.int64)
     total = r
-    for i in candidates:
+    for i in cand:
         flipped = base.copy()
         flipped[:, i] ^= 1
         flip_out = oracle.query(flipped).astype(np.int16)
@@ -113,11 +183,22 @@ def pattern_sampling(oracle: Oracle, cube: Cube, r: int,
 
 def truth_ratio_only(oracle: Oracle, cube: Cube, num: int,
                      rng: np.random.Generator,
-                     biases: Sequence[float] = (0.5,)) -> Tuple[np.ndarray, np.ndarray]:
+                     biases: Sequence[float] = (0.5,),
+                     bank=None, fresh_fraction: float = 0.25
+                     ) -> Tuple[np.ndarray, np.ndarray]:
     """Cheap constant-leaf probe: sample values without any flip blocks.
 
-    Returns ``(truth_ratio per output, raw output block)``.
+    With a :class:`~repro.perf.bank.SampleBank` attached, rows already
+    answered in the subspace ``cube`` are drained from the bank first and
+    only the remainder (at least ``fresh_fraction`` of ``num``) is
+    queried.  Returns ``(truth_ratio per output, raw output block)``.
     """
-    patterns = random_patterns(num, oracle.num_pis, rng, biases, cube)
-    out = oracle.query(patterns)
+    if bank is not None:
+        from repro.perf.bank import banked_probe
+
+        out = banked_probe(oracle, cube, num, rng, biases, bank,
+                           fresh_fraction=fresh_fraction)
+    else:
+        patterns = random_patterns(num, oracle.num_pis, rng, biases, cube)
+        out = oracle.query(patterns, validate=False)
     return out.mean(axis=0), out

@@ -49,6 +49,7 @@ class Oracle(abc.ABC):
         self._pi_names = list(pi_names)
         self._po_names = list(po_names)
         self._query_count = 0
+        self._call_count = 0
         self._budget = query_budget
 
     # -- public contract -----------------------------------------------------
@@ -75,22 +76,40 @@ class Oracle(abc.ABC):
         """Total full-assignment queries served so far."""
         return self._query_count
 
+    @property
+    def query_calls(self) -> int:
+        """Number of ``query`` invocations served (batches, not rows)."""
+        return self._call_count
+
     def reset_query_count(self) -> None:
         self._query_count = 0
+        self._call_count = 0
 
-    def query(self, patterns: np.ndarray) -> np.ndarray:
+    def query(self, patterns: np.ndarray, *,
+              validate: bool = True) -> np.ndarray:
         """Evaluate a batch of full assignments.
 
         ``patterns`` is an ``(N, num_pis)`` 0/1 array; the result is the
         ``(N, num_pos)`` array of output assignments.
+
+        ``validate=False`` is the fast path for *internally generated*
+        patterns: arrays the sampling layer built itself and already
+        guarantees to be contiguous uint8 0/1.  It skips the dtype
+        coercion and the full-array 0/1 scan that dominate small-batch
+        overhead; external callers must keep validation on.
         """
-        patterns = np.asarray(patterns, dtype=np.uint8)
-        if patterns.ndim != 2 or patterns.shape[1] != self.num_pis:
+        if validate:
+            patterns = np.asarray(patterns, dtype=np.uint8)
+            if patterns.ndim != 2 or patterns.shape[1] != self.num_pis:
+                raise ValueError(
+                    f"full assignments required: expected "
+                    f"(N, {self.num_pis}), got {patterns.shape}")
+            if patterns.size and patterns.max() > 1:
+                raise ValueError("patterns must be 0/1 valued")
+        elif patterns.ndim != 2 or patterns.shape[1] != self.num_pis:
             raise ValueError(
                 f"full assignments required: expected (N, {self.num_pis}), "
                 f"got {patterns.shape}")
-        if patterns.size and patterns.max() > 1:
-            raise ValueError("patterns must be 0/1 valued")
         if self._budget is not None \
                 and self._query_count + patterns.shape[0] > self._budget:
             raise QueryBudgetExceeded(
@@ -103,6 +122,7 @@ class Oracle(abc.ABC):
         # Bill only answers actually delivered: a raising oracle must not
         # consume budget, or every retry would double-bill the caller.
         self._query_count += patterns.shape[0]
+        self._call_count += 1
         return out
 
     def query_one(self, assignment: Sequence[int]) -> List[int]:

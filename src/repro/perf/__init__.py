@@ -1,0 +1,29 @@
+"""The query engine: fused sampling support, a cross-output sample bank,
+and parallel per-output learning.
+
+The paper's pipeline is dominated by oracle traffic.  This package
+amortizes it three ways (see ``docs/PERFORMANCE.md``):
+
+- :mod:`repro.perf.bank` — a global, memory-bounded store of every
+  ``(pattern, full output row)`` pair ever answered, drained before new
+  budget is spent;
+- :mod:`repro.perf.parallel` — a ``concurrent.futures`` executor that
+  learns independent outputs in worker processes with per-worker oracle
+  shards, deterministically;
+- the fused single-call ``pattern_sampling`` lives in
+  :mod:`repro.core.sampling` (it is the oracle-facing hot path).
+"""
+
+from repro.perf.bank import BankedOracle, BankStats, SampleBank
+from repro.perf.parallel import (OutputResult, OutputTask, derive_output_rng,
+                                 learn_outputs)
+
+__all__ = [
+    "BankedOracle",
+    "BankStats",
+    "SampleBank",
+    "OutputResult",
+    "OutputTask",
+    "derive_output_rng",
+    "learn_outputs",
+]

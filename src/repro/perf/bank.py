@@ -1,0 +1,280 @@
+"""The cross-output sample bank: never pay twice for the same answer.
+
+Every oracle answer is a *full* output assignment, but the per-output
+learner historically used one column and threw the rest away.  The bank
+keeps every answered ``(pattern, full output row)`` pair in a
+memory-bounded ring so later consumers — support identification for an
+output learned after its siblings, TruthRatio probes, constant-leaf
+detection, FBDT cube filtering — can drain matching rows before spending
+new query budget ("Sampling and Learning for Boolean Function" argues
+sample reuse across sub-problems is the main lever on query complexity).
+
+Two access paths:
+
+- **exact-row reuse** — :class:`BankedOracle` wraps any oracle, serves
+  previously answered assignments from the bank and forwards only the
+  misses (skipped for very large batches, where the per-row hashing would
+  cost more than it saves);
+- **subspace drains** — :meth:`SampleBank.take` returns stored rows
+  satisfying a constraining cube, which is what the FBDT's leaf probes
+  want.
+
+Determinism: bank contents are a pure function of the query sequence, so
+sequential runs are reproducible.  For parallel per-output learning the
+regressor freezes the bank after preprocessing and gives each output a
+private :meth:`fork` — reads then depend only on the (deterministic)
+preprocessing traffic plus the output's own queries, never on sibling
+outputs racing in other workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.logic.cube import Cube
+from repro.oracle.base import Oracle
+
+
+@dataclass
+class BankStats:
+    """Per-bank traffic counters (surfaced in the CLI report)."""
+
+    hits: int = 0
+    """Rows served from the bank instead of the oracle."""
+
+    misses: int = 0
+    """Rows that had to be queried because the bank could not supply
+    them (exact-row misses plus the fresh remainder of subspace
+    drains)."""
+
+    rows_recorded: int = 0
+    """Distinct rows ever written into the ring."""
+
+    rows_evicted: int = 0
+    """Rows overwritten by the FIFO ring after it filled up."""
+
+    take_calls: int = 0
+    """Subspace drains served (:meth:`SampleBank.take`)."""
+
+    def merge(self, other: "BankStats") -> None:
+        """Fold a child bank's counters into this one (fork → parent)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.rows_recorded += other.rows_recorded
+        self.rows_evicted += other.rows_evicted
+        self.take_calls += other.take_calls
+
+
+class SampleBank:
+    """A memory-bounded FIFO store of answered ``(pattern, outputs)`` rows.
+
+    Rows live in fixed pre-allocated arrays addressed as a ring; a dict
+    from pattern bytes to slot gives O(1) exact lookups and keeps the
+    store duplicate-free.  ``max_rows`` bounds memory at
+    ``max_rows * (num_pis + num_pos)`` bytes plus the index.
+    """
+
+    def __init__(self, num_pis: int, num_pos: int,
+                 max_rows: int = 1 << 16):
+        if max_rows <= 0:
+            raise ValueError("max_rows must be positive")
+        self.num_pis = num_pis
+        self.num_pos = num_pos
+        self.max_rows = max_rows
+        self._pat = np.zeros((max_rows, num_pis), dtype=np.uint8)
+        self._out = np.zeros((max_rows, num_pos), dtype=np.uint8)
+        self._keys: list = [None] * max_rows
+        self._index: Dict[bytes, int] = {}
+        self._size = 0
+        self._write = 0
+        self._frozen = False
+        self.stats = BankStats()
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def nbytes(self) -> int:
+        """Bytes currently occupied by stored rows."""
+        return self._size * (self.num_pis + self.num_pos)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Make the bank read-only; ``record`` becomes a no-op."""
+        self._frozen = True
+
+    def fork(self) -> "SampleBank":
+        """A writable private copy seeded with this bank's rows.
+
+        Fork stats start at zero so per-output reuse is attributable;
+        fold them back with ``parent.stats.merge(child.stats)``.
+        """
+        child = SampleBank(self.num_pis, self.num_pos,
+                           max_rows=self.max_rows)
+        child._pat = self._pat.copy()
+        child._out = self._out.copy()
+        child._keys = list(self._keys)
+        child._index = dict(self._index)
+        child._size = self._size
+        child._write = self._write
+        return child
+
+    # -- writes --------------------------------------------------------------
+
+    def record(self, patterns: np.ndarray, outputs: np.ndarray) -> None:
+        """Store answered rows (duplicates are skipped, oldest evicted).
+
+        Batches larger than the ring only keep their tail — the head
+        would be immediately evicted anyway.
+        """
+        if self._frozen:
+            return
+        n = patterns.shape[0]
+        if n > self.max_rows:
+            patterns = patterns[n - self.max_rows:]
+            outputs = outputs[n - self.max_rows:]
+            n = self.max_rows
+        for row in range(n):
+            key = patterns[row].tobytes()
+            if key in self._index:
+                continue
+            slot = self._write
+            old = self._keys[slot]
+            if old is not None:
+                del self._index[old]
+                self.stats.rows_evicted += 1
+            else:
+                self._size += 1
+            self._pat[slot] = patterns[row]
+            self._out[slot] = outputs[row]
+            self._keys[slot] = key
+            self._index[key] = slot
+            self._write = (slot + 1) % self.max_rows
+            self.stats.rows_recorded += 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def lookup(self, patterns: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact-row lookup: ``(hit mask, outputs)``.
+
+        Rows whose mask entry is False carry unspecified output values.
+        Does not touch the stats — the caller decides what counts as
+        traffic.
+        """
+        n = patterns.shape[0]
+        mask = np.zeros(n, dtype=bool)
+        out = np.empty((n, self.num_pos), dtype=np.uint8)
+        index = self._index
+        for row in range(n):
+            slot = index.get(patterns[row].tobytes())
+            if slot is not None:
+                mask[row] = True
+                out[row] = self._out[slot]
+        return mask, out
+
+    def take(self, cube: Cube, limit: int
+             ) -> Tuple[np.ndarray, np.ndarray]:
+        """Up to ``limit`` stored rows satisfying ``cube``.
+
+        Returns ``(patterns, outputs)`` slices (copies).  Served rows
+        count as hits.
+        """
+        self.stats.take_calls += 1
+        if limit <= 0 or self._size == 0:
+            empty = np.empty((0, self.num_pis), dtype=np.uint8)
+            return empty, np.empty((0, self.num_pos), dtype=np.uint8)
+        stored = self._pat[:self._size] if self._size < self.max_rows \
+            else self._pat
+        mask = cube.evaluate(stored)
+        picks = np.flatnonzero(mask)[:limit]
+        self.stats.hits += picks.shape[0]
+        return stored[picks].copy(), self._out[picks].copy()
+
+
+class BankedOracle(Oracle):
+    """Serve exact repeats from ``bank``, forward misses, record answers.
+
+    Budget metering stays on ``inner`` — this wrapper never bills the
+    real oracle for rows the bank absorbed.  Per-row hashing is skipped
+    for batches above ``lookup_limit`` rows (fused sampling megablocks),
+    which are simply forwarded and recorded.
+    """
+
+    def __init__(self, inner: Oracle, bank: SampleBank,
+                 lookup_limit: int = 8192):
+        super().__init__(inner.pi_names, inner.po_names)
+        self._inner = inner
+        self._bank = bank
+        self._lookup_limit = lookup_limit
+
+    @property
+    def inner(self) -> Oracle:
+        return self._inner
+
+    @property
+    def bank(self) -> SampleBank:
+        return self._bank
+
+    def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        bank = self._bank
+        if patterns.shape[0] > self._lookup_limit:
+            out = self._inner.query(patterns, validate=False)
+            bank.stats.misses += patterns.shape[0]
+            bank.record(patterns, out)
+            return out
+        mask, out = bank.lookup(patterns)
+        hits = int(mask.sum())
+        misses = patterns.shape[0] - hits
+        bank.stats.hits += hits
+        bank.stats.misses += misses
+        if misses == 0:
+            return out
+        miss_rows = np.ascontiguousarray(patterns[~mask])
+        answers = self._inner.query(miss_rows, validate=False)
+        out[~mask] = answers
+        bank.record(miss_rows, answers)
+        return out
+
+
+def banked_probe(oracle: Oracle, cube: Cube, num: int,
+                 rng: np.random.Generator, biases,
+                 bank: Optional[SampleBank],
+                 fresh_fraction: float = 0.25) -> np.ndarray:
+    """The FBDT's constant-leaf probe: bank rows first, fresh rows after.
+
+    Returns a ``(num, num_pos)`` output block for the subspace ``cube``.
+    At least ``ceil(num * fresh_fraction)`` rows are always freshly
+    sampled so a stale bank cannot starve the tree of new evidence.
+    Fresh answers are recorded into ``bank`` (idempotent when ``oracle``
+    is already a :class:`BankedOracle` over the same bank).
+    """
+    from repro.core.sampling import random_patterns
+
+    if bank is None:
+        probes = random_patterns(num, oracle.num_pis, rng, biases, cube)
+        return oracle.query(probes, validate=False)
+    if num <= 0:
+        return np.empty((0, oracle.num_pos), dtype=np.uint8)
+    fresh_min = max(1, int(np.ceil(num * fresh_fraction)))
+    banked_pat, banked_out = bank.take(cube, num - fresh_min)
+    want = num - banked_out.shape[0]
+    if want <= 0:
+        return banked_out
+    probes = random_patterns(want, oracle.num_pis, rng, biases, cube)
+    fresh = oracle.query(probes, validate=False)
+    if not isinstance(oracle, BankedOracle):
+        bank.stats.misses += want
+        bank.record(probes, fresh)
+    if banked_out.shape[0] == 0:
+        return fresh
+    return np.concatenate([banked_out, fresh], axis=0)

@@ -1,0 +1,253 @@
+"""Parallel per-output learning with deterministic results.
+
+The problem decomposes per output (Sec. IV), so independent outputs can
+be learned concurrently.  :func:`learn_outputs` runs a list of
+:class:`OutputTask` either in-process (``jobs=1``, the paper's
+single-threaded contract) or across ``concurrent.futures`` worker
+processes, each holding its own *oracle shard* — a pickled copy of the
+execution-layer oracle chain — and a private fork of the sample bank.
+
+Determinism is by construction, not by luck:
+
+- every output draws from its own seeded RNG stream
+  (:func:`derive_output_rng`), never from a shared generator whose state
+  would depend on scheduling order;
+- every output reads a private :meth:`SampleBank.fork` of the bank as it
+  stood *before* the fan-out, so no output observes rows produced by a
+  sibling racing in another worker;
+- results are keyed by output index and folded back in a fixed order.
+
+Consequently the same seed yields a bit-identical circuit for any
+``jobs`` value — provided neither wall-clock deadlines nor the query
+budget bind (a timeout or budget cliff is inherently racy; the run still
+degrades gracefully, it just may degrade differently).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import RegressorConfig
+from repro.core.fbdt import LearnedCover, cleanup_cover, learn_output
+from repro.oracle.base import Oracle, QueryBudgetExceeded
+from repro.perf.bank import BankedOracle, BankStats, SampleBank
+
+_RNG_STREAM = 0x51AB
+"""Domain separator so per-output streams never collide with the
+pipeline's shared preprocessing generator."""
+
+
+def derive_output_rng(seed: int, output: int) -> np.random.Generator:
+    """The per-output RNG stream: a pure function of (seed, output)."""
+    return np.random.default_rng([seed, _RNG_STREAM, output])
+
+
+@dataclass
+class OutputTask:
+    """One unit of step-4 work: learn output ``index`` within a slice."""
+
+    index: int
+    support: List[int]
+    soft_seconds: float = float("inf")
+    hard_seconds: float = float("inf")
+
+
+@dataclass
+class OutputResult:
+    """What came back for one output (cover, or a reason there is none)."""
+
+    index: int
+    cover: Optional[LearnedCover] = None
+    error: str = ""
+    error_type: str = ""
+    budget_exhausted: bool = False
+    queries: int = 0
+    """Rows billed to the oracle that served this task.  Counted against
+    a worker's private shard in parallel mode (the caller's oracle never
+    saw them); 0 relevance in-process, where the shared oracle was
+    billed directly."""
+
+    hard_overrun: bool = False
+    bank: Optional[BankStats] = None
+
+
+@dataclass
+class EngineReport:
+    """Aggregate outcome of one :func:`learn_outputs` call."""
+
+    results: Dict[int, OutputResult] = field(default_factory=dict)
+    extra_queries: int = 0
+    """Worker-shard query rows invisible to the caller's oracle meter."""
+
+    mode: str = "sequential"
+    note: str = ""
+
+
+def run_output_task(oracle: Oracle, task: OutputTask,
+                    config: RegressorConfig,
+                    bank: Optional[SampleBank],
+                    shield: bool = True) -> OutputResult:
+    """Learn one output deterministically against ``oracle``.
+
+    ``shield=False`` restores fail-fast semantics for generic exceptions
+    (``isolate_outputs=False`` debugging); ``QueryBudgetExceeded`` is
+    always absorbed into a result, matching the sequential pipeline.
+    """
+    rng = derive_output_rng(config.seed, task.index)
+    local_bank = bank.fork() if bank is not None else None
+    exec_oracle: Oracle = oracle
+    if local_bank is not None:
+        exec_oracle = BankedOracle(oracle, local_bank)
+    start_rows = oracle.query_count
+    start_time = time.monotonic()
+    try:
+        cover = learn_output(exec_oracle, task.index, task.support,
+                             config, rng,
+                             deadline=start_time + task.soft_seconds,
+                             bank=local_bank)
+    except QueryBudgetExceeded as exc:
+        return OutputResult(
+            task.index, error=str(exc),
+            error_type="QueryBudgetExceeded", budget_exhausted=True,
+            queries=oracle.query_count - start_rows,
+            bank=local_bank.stats if local_bank is not None else None)
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        if not shield:
+            raise
+        return OutputResult(
+            task.index, error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+            queries=oracle.query_count - start_rows,
+            bank=local_bank.stats if local_bank is not None else None)
+    if local_bank is not None:
+        cover.stats.bank_hits = local_bank.stats.hits
+        cover.stats.bank_misses = local_bank.stats.misses
+    # Pre-pay the two-level minimization here: it is pure per-output
+    # work, and in parallel mode this moves the pipeline's dominant
+    # sequential cost (espresso at assembly) onto the workers.
+    cleanup_cover(cover)
+    elapsed = time.monotonic() - start_time
+    return OutputResult(
+        task.index, cover=cover,
+        budget_exhausted=cover.stats.budget_exhausted,
+        queries=oracle.query_count - start_rows,
+        hard_overrun=elapsed >= task.hard_seconds,
+        bank=local_bank.stats if local_bank is not None else None)
+
+
+# -- worker-process plumbing ---------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    oracle, config, bank = pickle.loads(payload)
+    _WORKER_STATE["oracle"] = oracle
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["bank"] = bank
+
+
+def _worker_run(task: OutputTask) -> OutputResult:
+    return run_output_task(_WORKER_STATE["oracle"], task,
+                           _WORKER_STATE["config"],
+                           _WORKER_STATE["bank"], shield=True)
+
+
+def learn_outputs(oracle: Oracle, tasks: List[OutputTask],
+                  config: RegressorConfig, *, jobs: int,
+                  bank: Optional[SampleBank] = None,
+                  slice_provider: Optional[
+                      Callable[[int, int], Tuple[float, float]]] = None,
+                  on_result: Optional[
+                      Callable[[OutputResult], None]] = None,
+                  shield: bool = True) -> EngineReport:
+    """Learn every task's output; in-process or across worker shards.
+
+    ``slice_provider(idx, total)`` (sequential mode only) recomputes a
+    task's ``(soft, hard)`` second budget at start time, preserving the
+    DeadlineManager's leftover-donation semantics; parallel tasks run
+    with the budgets already on them.  ``on_result`` fires as each
+    result lands (checkpoint hook); arrival order is nondeterministic in
+    parallel mode, so callers must not derive anything order-sensitive
+    from it.
+    """
+    report = EngineReport()
+    if jobs <= 1 or len(tasks) <= 1:
+        _run_sequential(oracle, tasks, config, bank, slice_provider,
+                        on_result, shield, report)
+        return report
+    try:
+        payload = pickle.dumps((oracle, config, bank))
+    except Exception as exc:  # noqa: BLE001 - unpicklable oracle chain
+        report.note = (f"oracle not picklable "
+                       f"({type(exc).__name__}); fell back to "
+                       "sequential learning")
+        _run_sequential(oracle, tasks, config, bank, slice_provider,
+                        on_result, shield, report)
+        return report
+    from concurrent.futures import ProcessPoolExecutor
+
+    report.mode = f"parallel x{jobs}"
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                initializer=_worker_init,
+                initargs=(payload,)) as pool:
+            futures = {pool.submit(_worker_run, task): task
+                       for task in tasks}
+            for fut in as_completed(futures):
+                task = futures[fut]
+                try:
+                    res = fut.result()
+                except Exception as exc:  # noqa: BLE001 - dead worker
+                    res = OutputResult(
+                        task.index,
+                        error=f"worker died: {type(exc).__name__}: "
+                              f"{exc}",
+                        error_type=type(exc).__name__)
+                report.results[res.index] = res
+                report.extra_queries += res.queries
+                if on_result is not None:
+                    on_result(res)
+    except (OSError, PermissionError) as exc:
+        # Process pools can be unavailable (sandboxes, exhausted PIDs);
+        # the work still has to happen.
+        report.note = (f"process pool unavailable "
+                       f"({type(exc).__name__}: {exc}); fell back to "
+                       "sequential learning")
+        report.mode = "sequential"
+        report.extra_queries = 0
+        missing = [t for t in tasks if t.index not in report.results]
+        _run_sequential(oracle, missing, config, bank, slice_provider,
+                        on_result, shield, report)
+    if bank is not None:
+        for res in report.results.values():
+            if res.bank is not None:
+                bank.stats.merge(res.bank)
+    return report
+
+
+def _run_sequential(oracle: Oracle, tasks: List[OutputTask],
+                    config: RegressorConfig,
+                    bank: Optional[SampleBank],
+                    slice_provider, on_result, shield: bool,
+                    report: EngineReport) -> None:
+    total = len(tasks)
+    for idx, task in enumerate(tasks):
+        if slice_provider is not None:
+            task.soft_seconds, task.hard_seconds = \
+                slice_provider(idx, total)
+        res = run_output_task(oracle, task, config, bank, shield=shield)
+        res.queries = 0  # billed directly to the caller's oracle
+        report.results[res.index] = res
+        if bank is not None and res.bank is not None:
+            bank.stats.merge(res.bank)
+            res.bank = None  # merged; avoid double counting upstream
+        if on_result is not None:
+            on_result(res)

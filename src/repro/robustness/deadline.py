@@ -109,6 +109,29 @@ class DeadlineManager:
         hard = min(now + share * self.hard_slack, self.tree.hard)
         return Deadline(soft, max(soft, hard), clock=self._clock)
 
+    def parallel_slices(self, total: int, jobs: int) -> list:
+        """Upfront per-output ``(soft, hard)`` second budgets for the
+        parallel learner.
+
+        With ``jobs`` workers each serving ``ceil(total / jobs)``
+        outputs back to back, an equal split of the remaining tree
+        budget per round keeps total wall-clock within the tree
+        deadline.  Budgets are fixed before the fan-out — workers cannot
+        donate leftovers to each other the way the sequential
+        :meth:`output_slice` path does, which is the price of not
+        sharing a clock across processes.
+        """
+        if total <= 0:
+            return []
+        now = self._clock()
+        left = max(0.0, self.tree.soft - now)
+        rounds = -(-total // max(1, jobs))
+        share = left / rounds if rounds else left
+        hard_cap = max(0.0, self.tree.hard - now)
+        soft = share
+        hard = max(soft, min(share * self.hard_slack, hard_cap))
+        return [(soft, hard)] * total
+
     def optimize_budget(self, floor: float = 1.0) -> float:
         """Seconds available to circuit optimization (>= ``floor``)."""
         return max(floor, self.overall.soft - self._clock())

@@ -137,7 +137,7 @@ class FaultyOracle(Oracle):
                     f"per-query deadline {m.query_deadline:.1f}s")
             if m.real_sleep:
                 time.sleep(m.hang_duration)
-        out = self._inner.query(patterns)
+        out = self._inner.query(patterns, validate=False)
         if m.bitflip_rate > 0.0:
             flips = (self._rng.random(out.shape)
                      < m.bitflip_rate).astype(np.uint8)

@@ -143,7 +143,9 @@ class RetryingOracle(Oracle):
         last: BaseException = None
         for attempt in range(attempts):
             try:
-                return self._inner.query(patterns)
+                # Rows reaching the inner oracle were validated at this
+                # wrapper's own boundary; skip re-validating them.
+                return self._inner.query(patterns, validate=False)
             except QueryBudgetExceeded:
                 raise  # re-asking cannot restore an exhausted budget
             except policy.retry_on as exc:

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.sampling import (pattern_sampling, random_patterns,
-                                 truth_ratio_only)
+from repro.core.sampling import (pattern_sampling, pattern_sampling_unfused,
+                                 random_patterns, truth_ratio_only)
 from repro.logic.cube import Cube
 from repro.network.netlist import Netlist
 from repro.oracle.netlist_oracle import NetlistOracle
@@ -94,6 +94,54 @@ class TestPatternSampling:
                                  biases=(0.5,))
         # P(a&b) = 0.25 under uniform sampling.
         assert 0.15 < stats.truth_ratio[0] < 0.35
+
+    def test_fused_matches_unfused_bit_for_bit(self):
+        """One fused megabatch computes the same statistics as the
+        legacy one-call-per-candidate loop (same rng, same base block)."""
+        oracle_a, oracle_b = make_oracle(), make_oracle()
+        for cube, cands in ((Cube.empty(), None), (Cube({0: 1}), None),
+                            (Cube.empty(), [1, 2, 4])):
+            fused = pattern_sampling(
+                oracle_a, cube, r=64, rng=np.random.default_rng(99),
+                candidates=cands)
+            legacy = pattern_sampling_unfused(
+                oracle_b, cube, r=64, rng=np.random.default_rng(99),
+                candidates=cands)
+            assert (fused.dependency == legacy.dependency).all()
+            assert (fused.truth_ratio == legacy.truth_ratio).all()
+            assert fused.num_samples == legacy.num_samples
+
+    def test_fused_uses_one_oracle_call(self):
+        oracle = make_oracle()
+        pattern_sampling(oracle, Cube.empty(), r=32,
+                         rng=np.random.default_rng(1))
+        assert oracle.query_calls == 1
+        oracle2 = make_oracle()
+        pattern_sampling_unfused(oracle2, Cube.empty(), r=32,
+                                 rng=np.random.default_rng(1))
+        assert oracle2.query_calls == 1 + 5  # base + one per PI
+
+
+class TestMostSignificant:
+    def stats(self, rng, r=128):
+        return pattern_sampling(make_oracle(), Cube.empty(), r=r, rng=rng)
+
+    def test_no_candidates_empty_sequence(self, rng):
+        assert self.stats(rng).most_significant(0, candidates=[]) is None
+
+    def test_all_zero_candidates(self, rng):
+        # e is unused by both outputs.
+        assert self.stats(rng).most_significant(0, candidates=[4]) is None
+
+    def test_single_live_candidate(self, rng):
+        assert self.stats(rng).most_significant(0, candidates=[1]) == 1
+
+    def test_tie_resolves_to_first_listed(self, rng):
+        stats = self.stats(rng, r=64)
+        # Both XOR inputs have D_i == r; the first candidate wins,
+        # matching the old linear-scan semantics.
+        assert stats.most_significant(1, candidates=[3, 2]) == 3
+        assert stats.most_significant(1, candidates=[2, 3]) == 2
 
 
 class TestTruthRatioOnly:

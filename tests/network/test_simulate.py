@@ -27,6 +27,38 @@ class TestPacking:
         assert words.shape == (2, 1)
         assert int(words[0, 0]) == 0b111
 
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 127, 128, 129, 200])
+    def test_round_trip_at_word_boundaries(self, n):
+        """Batch sizes straddling the 64-bit word width, where padding
+        and masking bugs live."""
+        rng = np.random.default_rng(n)
+        pats = rng.integers(0, 2, (n, 5)).astype(np.uint8)
+        back = unpack_values(pack_patterns(pats), n)
+        assert back.shape == (n, 5)
+        assert (back == pats).all()
+
+    def test_round_trip_zero_pattern_batch(self):
+        pats = np.zeros((0, 3), dtype=np.uint8)
+        words = pack_patterns(pats)
+        back = unpack_values(words, 0)
+        assert back.shape == (0, 3)
+
+    def test_round_trip_single_pi(self):
+        pats = np.array([[0], [1], [1], [0], [1]], dtype=np.uint8)
+        back = unpack_values(pack_patterns(pats), 5)
+        assert (back == pats).all()
+
+    def test_padding_bits_do_not_leak(self):
+        """The pad bits beyond n in the last word must unpack to
+        nothing: an all-ones batch of 65 rows uses two words whose
+        second is mostly padding."""
+        pats = np.ones((65, 1), dtype=np.uint8)
+        words = pack_patterns(pats)
+        assert words.shape == (1, 2)
+        back = unpack_values(words, 65)
+        assert back.shape == (65, 1)
+        assert back.sum() == 65
+
 
 class TestSimulate:
     def test_every_gate_op(self):

@@ -59,6 +59,34 @@ class TestContract:
         pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
         assert o.query(pats)[:, 0].tolist() == [0, 0, 0, 1]
 
+    def test_call_counting(self):
+        o = and_oracle()
+        o.query(np.zeros((5, 2), dtype=np.uint8))
+        o.query(np.zeros((3, 2), dtype=np.uint8))
+        assert o.query_count == 8
+        assert o.query_calls == 2
+        o.reset_query_count()
+        assert o.query_calls == 0
+
+    def test_validate_false_same_answers(self):
+        a, b = and_oracle(), and_oracle()
+        pats = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        assert (a.query(pats) == b.query(pats, validate=False)).all()
+
+    def test_validate_false_still_checks_shape(self):
+        o = and_oracle()
+        with pytest.raises(ValueError):
+            o.query(np.zeros((3, 1), dtype=np.uint8), validate=False)
+
+    def test_validate_false_skips_value_scan(self):
+        """The fast path trusts internally generated patterns: a
+        non-binary value sails through instead of raising."""
+        o = and_oracle()
+        bad = np.full((1, 2), 2, dtype=np.uint8)
+        o.query(bad, validate=False)  # no ValueError
+        with pytest.raises(ValueError):
+            o.query(bad)
+
 
 class TestFunctionOracle:
     def test_vectorized(self):
