@@ -1,0 +1,77 @@
+"""Observability overhead: instrumented vs bare pipeline wall-clock.
+
+The tracing/metrics layer sits on the oracle hot path (one counter
+increment per query batch, a handful per FBDT node), so it must be
+near-free.  This bench runs the same learn twice — observability on and
+off — and asserts the instrumented run stays within 5% wall-clock of
+the bare run.  Per-arm time is the *minimum* over five interleaved
+rounds — the best case is the least noisy estimator of intrinsic cost,
+and both arms learn bit-identical circuits from the same seed.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import ObsConfig, RobustnessConfig, fast_config
+from repro.core.regressor import LogicRegressor
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+ROUNDS = 5
+OVERHEAD_BUDGET = 0.05
+
+
+def _run(enabled):
+    oracle = NetlistOracle(build_eco_netlist(16, 12, seed=5))
+    cfg = fast_config(time_limit=30.0, seed=7,
+                      enable_optimization=False,
+                      robustness=RobustnessConfig(max_retries=0),
+                      observability=ObsConfig(enabled=enabled))
+    start = time.perf_counter()
+    result = LogicRegressor(cfg).learn(oracle)
+    return time.perf_counter() - start, result
+
+
+def test_tracer_overhead_under_five_percent(benchmark):
+    def compare():
+        on_times, off_times = [], []
+        gates = set()
+        for _ in range(ROUNDS):
+            t_off, r_off = _run(False)
+            t_on, r_on = _run(True)
+            off_times.append(t_off)
+            on_times.append(t_on)
+            gates.update({r_off.gate_count, r_on.gate_count})
+        return min(on_times), min(off_times), gates
+
+    on, off, gates = one_shot(benchmark, compare)
+    overhead = on / off - 1.0
+    benchmark.extra_info.update(
+        obs_on_s=round(on, 4), obs_off_s=round(off, 4),
+        overhead_pct=round(overhead * 100, 2))
+    print(f"\nobs on: {on:.3f}s, off: {off:.3f}s, "
+          f"overhead {overhead * 100:+.2f}%")
+    # Instrumentation must not change the learned circuit.
+    assert len(gates) == 1
+    assert overhead < OVERHEAD_BUDGET, \
+        f"observability overhead {overhead * 100:.2f}% exceeds 5%"
+
+
+def test_trace_export_cost_is_negligible(benchmark, tmp_path):
+    """Serializing the artifacts is milliseconds, not seconds."""
+    _, result = _run(True)
+    instr = result.instrumentation
+    assert instr is not None
+
+    def export():
+        from repro.obs.trace import export_trace
+
+        start = time.perf_counter()
+        export_trace(instr.tracer, str(tmp_path / "t.jsonl"))
+        return time.perf_counter() - start
+
+    elapsed = one_shot(benchmark, export)
+    benchmark.extra_info.update(export_s=round(elapsed, 5))
+    assert elapsed < 1.0

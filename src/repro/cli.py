@@ -101,10 +101,41 @@ def cmd_learn(args: argparse.Namespace) -> int:
         print(f"sample bank: {bs.hits} rows served from memory / "
               f"{bs.misses} queried ({rate:.1f}% hit rate), "
               f"{bs.rows_recorded} recorded, {bs.rows_evicted} evicted")
+    _write_obs_artifacts(args, result, config, acc)
     if args.out:
         save_circuit(result.netlist, args.out)
         print(f"written to {args.out}")
     return 0 if acc >= 0.9999 or args.no_accuracy_gate else 1
+
+
+def _write_obs_artifacts(args: argparse.Namespace, result, config,
+                         acc: float) -> None:
+    """Emit --trace-out / --metrics-out / --report-out artifacts."""
+    if not (args.trace_out or args.metrics_out or args.report_out):
+        return
+    instr = result.instrumentation
+    if instr is None:
+        raise SystemExit("observability is disabled; cannot write "
+                         "trace/metrics/report artifacts")
+    import json
+
+    if args.trace_out:
+        from repro.obs.trace import export_trace
+
+        for path in export_trace(instr.tracer, args.trace_out):
+            print(f"trace written to {path}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(instr.metrics.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_out}")
+    if args.report_out:
+        from repro.obs.report import build_run_report, write_run_report
+
+        report = build_run_report(result, config, accuracy=acc)
+        write_run_report(report, args.report_out)
+        print(f"run report written to {args.report_out}")
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
@@ -217,6 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--no-sample-bank", action="store_true",
                        help="disable the cross-output sample bank "
                             "(every probe hits the oracle)")
+    learn.add_argument("--trace-out", metavar="PATH",
+                       help="write the structured trace here (.jsonl "
+                            "also gets a Perfetto-loadable sibling "
+                            "<stem>.trace.json; other extensions get "
+                            "Chrome trace JSON directly)")
+    learn.add_argument("--metrics-out", metavar="PATH",
+                       help="write the metrics registry dump (JSON)")
+    learn.add_argument("--report-out", metavar="PATH",
+                       help="write the per-run manifest "
+                            "(run_report.json; see "
+                            "docs/run_report.schema.json)")
     learn.set_defaults(fn=cmd_learn)
 
     opt = sub.add_parser("optimize", help="optimize a circuit file")

@@ -80,6 +80,8 @@ class CompressedOracle(Oracle):
     representative bus assignment chosen by the delegate bit.
     """
 
+    obs_layer = "compressed"
+
     def __init__(self, base: Oracle, match: ComparatorMatch):
         self._base = base
         self._match = match

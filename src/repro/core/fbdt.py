@@ -28,7 +28,13 @@ from repro.logic.cube import Cube
 from repro.logic.minimize import quine_mccluskey
 from repro.logic.sop import Sop
 from repro.logic.truthtable import TruthTable
+from repro.obs import context as obs
 from repro.oracle.base import Oracle, QueryBudgetExceeded
+
+LEAF_DEPTH_BOUNDARIES = (1, 2, 4, 8, 16, 32, 64)
+"""Fixed histogram buckets for ``fbdt.leaf_depth`` (inclusive upper
+bounds; deeper leaves land in the implicit overflow bucket).  Fixed so
+histograms merge across workers and runs."""
 
 
 @dataclass
@@ -184,6 +190,7 @@ def enumerate_small_function(oracle: Oracle, output: int,
     k = len(support)
     num_pis = oracle.num_pis
     stats = FbdtStats(exhausted=True)
+    obs.count("fbdt.exhaustive_tabulations")
     if k == 0:
         value = int(oracle.query(
             np.zeros((1, num_pis), dtype=np.uint8),
@@ -305,6 +312,7 @@ def _expand_node(oracle: Oracle, output: int, cube: Cube, queue,
     num_pis = oracle.num_pis
     eps = config.leaf_epsilon
     stats.nodes_expanded += 1
+    obs.count("fbdt.nodes_expanded")
     stats.max_depth = max(stats.max_depth, len(cube))
     candidates = [i for i in support_set if i not in cube]
     # Constant-leaf probe (cheap, no flip blocks); bank rows matching
@@ -328,10 +336,14 @@ def _expand_node(oracle: Oracle, output: int, cube: Cube, queue,
     if ratio >= 1.0 - eps:
         onset.append(cube)
         stats.onset_leaves += 1
+        obs.count("fbdt.leaves", kind="onset")
+        obs.observe("fbdt.leaf_depth", len(cube), LEAF_DEPTH_BOUNDARIES)
         return ratio
     if ratio <= eps:
         offset.append(cube)
         stats.offset_leaves += 1
+        obs.count("fbdt.leaves", kind="offset")
+        obs.observe("fbdt.leaf_depth", len(cube), LEAF_DEPTH_BOUNDARIES)
         return ratio
     if config.max_depth is not None and len(cube) >= config.max_depth:
         _majority_leaf(cube, ratio, onset, offset, stats)
@@ -418,6 +430,9 @@ def _exhaust_subtree(oracle: Oracle, output: int, cube: Cube,
             collection.append(merged)
     stats.onset_leaves += len(local_on)
     stats.offset_leaves += len(local_off)
+    obs.count("fbdt.leaves", len(local_on), kind="onset")
+    obs.count("fbdt.leaves", len(local_off), kind="offset")
+    obs.count("fbdt.subtrees_exhausted")
     stats.max_depth = max(stats.max_depth, len(cube) + k)
     return True
 
@@ -429,6 +444,8 @@ def _majority_leaf(cube: Cube, ratio: float, onset: List[Cube],
     else:
         offset.append(cube)
     stats.forced_leaves += 1
+    obs.count("fbdt.leaves", kind="forced")
+    obs.observe("fbdt.leaf_depth", len(cube), LEAF_DEPTH_BOUNDARIES)
 
 
 def _flush_pending(oracle: Oracle, output: int, queue,

@@ -28,6 +28,9 @@ from repro.logic.sop import Sop
 from repro.network.builder import (build_factored_sop, comparator,
                                    comparator_const, linear_combination)
 from repro.network.netlist import Netlist
+from repro.obs import context as obs_ctx
+from repro.obs.context import Instrumentation
+from repro.obs.steptrace import StepTrace
 from repro.oracle.base import Oracle, QueryBudgetExceeded
 from repro.perf.bank import BankedOracle, BankStats, SampleBank
 from repro.perf.parallel import (OutputTask, derive_output_rng,
@@ -61,6 +64,13 @@ class LearnResult:
     queries: int
     step_trace: List[str] = field(default_factory=list)
     bank_stats: Optional[BankStats] = None
+    degradations: List[str] = field(default_factory=list)
+    """Rendered ``degraded`` events — what the run gave up on."""
+
+    instrumentation: Optional[Instrumentation] = None
+    """The run's tracer + metrics registry (None when
+    ``config.observability.enabled`` is off); feed it to
+    :func:`repro.obs.report.build_run_report` or the trace exporters."""
 
     @property
     def gate_count(self) -> int:
@@ -93,6 +103,23 @@ class LogicRegressor:
         restored verbatim instead of re-learned.
         """
         cfg = self.config
+        # The oracle handed to us is the billing meter: its query_count
+        # is the run's billed-row total, and every wrapper we stack on
+        # top (retry, bank) only decides what still needs asking.
+        obs_ctx.mark_billing(oracle)
+        instr = Instrumentation() if cfg.observability.enabled else None
+        st = StepTrace()
+        with obs_ctx.use(instr):
+            # The root span is named "run" with no parent; the report
+            # builder relies on that to find top-level stage walls.
+            with obs_ctx.span("run", seed=cfg.seed, jobs=cfg.jobs):
+                result = self._learn_impl(oracle, checkpoint, resume, st)
+        result.instrumentation = instr
+        return result
+
+    def _learn_impl(self, oracle: Oracle, checkpoint: Optional[str],
+                    resume: Optional[bool], st: StepTrace) -> LearnResult:
+        cfg = self.config
         rob = cfg.robustness
         if checkpoint is None:
             checkpoint = rob.checkpoint_path
@@ -104,7 +131,6 @@ class LogicRegressor:
             preprocessing_fraction=cfg.preprocessing_fraction,
             optimize_fraction=cfg.optimize_fraction,
             hard_slack=rob.hard_slack)
-        trace: List[str] = []
         start_queries = oracle.query_count
         # The execution layer talks to the oracle through the retry
         # wrapper; budget metering stays on the caller's oracle.
@@ -133,22 +159,21 @@ class LogicRegressor:
             restored = store.open_for(oracle.pi_names, oracle.po_names,
                                       cfg.seed, resume=bool(resume))
             if restored:
-                trace.append(
-                    "checkpoint: restored "
-                    + ", ".join(oracle.po_names[j]
-                                for j in sorted(restored)))
+                st.emit("checkpoint",
+                        outputs=[oracle.po_names[j]
+                                 for j in sorted(restored)])
 
         # -- step 1: name based grouping ------------------------------------
         pi_grouping = Grouping(buses=[], scalars=list(range(oracle.num_pis)))
         po_grouping = Grouping(buses=[], scalars=list(range(oracle.num_pos)))
         if cfg.enable_preprocessing:
-            pi_grouping = group_names(oracle.pi_names,
-                                      min_width=cfg.min_bus_width)
-            po_grouping = group_names(oracle.po_names,
-                                      min_width=cfg.min_bus_width)
-            trace.append(
-                f"grouping: {len(pi_grouping.buses)} PI buses, "
-                f"{len(po_grouping.buses)} PO buses")
+            with obs_ctx.stage("grouping"):
+                pi_grouping = group_names(oracle.pi_names,
+                                          min_width=cfg.min_bus_width)
+                po_grouping = group_names(oracle.po_names,
+                                          min_width=cfg.min_bus_width)
+            st.emit("grouping", pi_buses=len(pi_grouping.buses),
+                    po_buses=len(po_grouping.buses))
 
         # -- step 2: template matching -----------------------------------------
         linear_matches: List[LinearMatch] = []
@@ -156,40 +181,40 @@ class LogicRegressor:
         comparator_matches: Dict[int, ComparatorMatch] = {}
         done: set = set(restored)
         if cfg.enable_preprocessing:
-            linear_matches = self._shielded(
-                "linear templates", trace, [],
-                lambda: self._match_linear_buses(
-                    oracle=exec_oracle, pi_grouping=pi_grouping,
-                    po_grouping=po_grouping, rng=rng, trace=trace,
-                    done=done))
-            if cfg.enable_extended_templates:
-                extended_matches = self._shielded(
-                    "extended templates", trace, [],
-                    lambda: self._match_extended(
-                        exec_oracle, pi_grouping, po_grouping, rng, trace,
-                        done))
-            self._shielded(
-                "comparator templates", trace, None,
-                lambda: self._match_comparators(
-                    exec_oracle, pi_grouping, rng, trace, done,
-                    comparator_matches, deadlines.preprocessing.hard))
+            with obs_ctx.stage("templates"):
+                linear_matches = self._shielded(
+                    "linear templates", st, [],
+                    lambda: self._match_linear_buses(
+                        oracle=exec_oracle, pi_grouping=pi_grouping,
+                        po_grouping=po_grouping, rng=rng, st=st,
+                        done=done))
+                if cfg.enable_extended_templates:
+                    extended_matches = self._shielded(
+                        "extended templates", st, [],
+                        lambda: self._match_extended(
+                            exec_oracle, pi_grouping, po_grouping, rng,
+                            st, done))
+                self._shielded(
+                    "comparator templates", st, None,
+                    lambda: self._match_comparators(
+                        exec_oracle, pi_grouping, rng, st, done,
+                        comparator_matches, deadlines.preprocessing.hard))
 
         # -- output dedup: identical / complemented outputs learn once ------
         remaining = [j for j in range(oracle.num_pos) if j not in done]
         aliases: Dict[int, Tuple[int, bool]] = {}
         if cfg.enable_output_sharing and len(remaining) > 1:
-            aliases = self._shielded(
-                "output sharing", trace, {},
-                lambda: self._find_output_aliases(exec_oracle, remaining,
-                                                  rng))
+            with obs_ctx.stage("sharing"):
+                aliases = self._shielded(
+                    "output sharing", st, {},
+                    lambda: self._find_output_aliases(exec_oracle,
+                                                      remaining, rng))
             if aliases:
                 remaining = [j for j in remaining if j not in aliases]
-                trace.append(
-                    "sharing: "
-                    + ", ".join(
-                        f"{oracle.po_names[j]}"
-                        f"={'!' if c else ''}{oracle.po_names[r]}"
-                        for j, (r, c) in sorted(aliases.items())))
+                st.emit("sharing", pairs=[
+                    {"output": oracle.po_names[j],
+                     "rep": oracle.po_names[r], "complemented": c}
+                    for j, (r, c) in sorted(aliases.items())])
 
         # -- step 3: support identification -------------------------------------
         supports: Dict[int, List[int]] = {}
@@ -197,18 +222,19 @@ class LogicRegressor:
             # On failure every output keeps an empty support: the learn
             # step then starts from the exhaustive path and widens the
             # support itself, so a lost step 3 degrades instead of dying.
-            info = self._shielded(
-                "support identification", trace, None,
-                lambda: identify_supports(exec_oracle, cfg.r_support, rng,
-                                          biases=cfg.sampling_biases,
-                                          outputs=remaining))
+            with obs_ctx.stage("support"):
+                info = self._shielded(
+                    "support identification", st, None,
+                    lambda: identify_supports(exec_oracle, cfg.r_support,
+                                              rng,
+                                              biases=cfg.sampling_biases,
+                                              outputs=remaining))
             for j in remaining:
                 supports[j] = info.support_of(j) if info is not None else []
-            trace.append(
-                "support: "
-                + ", ".join(f"{oracle.po_names[j]}:{len(supports[j])}"
-                            for j in remaining[:8])
-                + ("..." if len(remaining) > 8 else ""))
+            st.emit("support",
+                    sizes=[(oracle.po_names[j], len(supports[j]))
+                           for j in remaining[:8]],
+                    truncated=len(remaining) > 8)
 
         # -- step 4: FBDT / exhaustive learning -----------------------------------
         covers: Dict[int, Tuple[LearnedCover, Optional[ComparatorMatch],
@@ -232,190 +258,204 @@ class LogicRegressor:
         buried_set = set(buried)
         plain = [j for j in order if j not in buried_set]
         total = len(order)
-        for idx, j in enumerate(buried):
-            slice_deadline = deadlines.output_slice(idx, total)
-            name = oracle.po_names[j]
-            try:
-                covers[j] = self._learn_one(exec_oracle, j, supports,
-                                            comparator_matches,
-                                            slice_deadline, rng)
-            except QueryBudgetExceeded as exc:
-                # Per-output boundary (satellite of the fault-tolerance
-                # work): an exhausted budget costs this output, not the
-                # outputs already learned or still pending.
-                covers[j] = (self._fallback_cover(
-                    inner_exec, j, derive_output_rng(cfg.seed, j)),
-                    None, None)
-                overrides[j] = ("budget-exhausted",
-                                "constant-majority fallback")
-                trace.append(f"degraded: {name} budget-exhausted ({exc})")
-                continue
-            except Exception as exc:  # noqa: BLE001 - isolation boundary
-                if not rob.isolate_outputs:
-                    raise
-                covers[j] = (self._fallback_cover(
-                    inner_exec, j, derive_output_rng(cfg.seed, j)),
-                    None, None)
-                overrides[j] = ("degraded",
-                                f"{type(exc).__name__}: {exc}")
-                trace.append(
-                    f"degraded: {name} failed ({type(exc).__name__}: "
-                    f"{exc})")
-                continue
-            cover, match, _ = covers[j]
-            if cover.stats.budget_exhausted:
-                overrides[j] = ("budget-exhausted",
-                                "partial cover, budget died mid-tree")
-                trace.append(f"degraded: {name} emitted a partial cover "
-                             "(budget exhausted mid-tree)")
-            elif slice_deadline.hard_expired():
-                trace.append(f"deadline: {name} overran its hard slice")
-
-        extra_queries = 0
-        if plain:
-            if bank is not None:
-                # Frozen before the fan-out: every output (any jobs
-                # value) forks the same snapshot, so no output observes
-                # rows produced by a sibling — the determinism keystone.
-                bank.freeze()
-            tasks = [OutputTask(j, supports[j]) for j in plain]
-            slice_provider = None
-            if cfg.jobs <= 1:
-                offset = len(buried)
-
-                def slice_provider(idx: int, _n: int,
-                                   _offset: int = offset
-                                   ) -> Tuple[float, float]:
-                    d = deadlines.output_slice(_offset + idx, total)
-                    return (max(0.0, d.remaining()),
-                            max(0.0, d.hard_remaining()))
-            else:
-                budgets = deadlines.parallel_slices(len(plain), cfg.jobs)
-                for task, (soft, hard) in zip(tasks, budgets):
-                    task.soft_seconds = soft
-                    task.hard_seconds = hard
-
-            def on_result(res) -> None:
-                if store is None or res.cover is None or res.error:
-                    return
-                if res.cover.stats.budget_exhausted:
-                    return
-                method, detail = self._cover_method(res.cover, supports,
-                                                    res.index)
-                store.record_output(CheckpointEntry(
-                    po_index=res.index,
-                    po_name=oracle.po_names[res.index], method=method,
-                    detail=detail,
-                    support=supports.get(res.index, []),
-                    cover=res.cover))
-
-            engine = learn_outputs(inner_exec, tasks, cfg,
-                                   jobs=cfg.jobs, bank=bank,
-                                   slice_provider=slice_provider,
-                                   on_result=on_result,
-                                   shield=rob.isolate_outputs)
-            extra_queries = engine.extra_queries
-            if engine.note:
-                trace.append(f"parallel: {engine.note}")
-            if cfg.jobs > 1:
-                trace.append(
-                    f"parallel: {len(plain)} outputs, jobs={cfg.jobs} "
-                    f"({engine.mode})")
-            # Fold results back in `plain` order so covers / trace /
-            # netlist node ids never depend on worker completion order.
-            for j in plain:
+        with obs_ctx.stage("learn"):
+            for idx, j in enumerate(buried):
+                slice_deadline = deadlines.output_slice(idx, total)
                 name = oracle.po_names[j]
-                res = engine.results.get(j)
-                if res is not None and res.cover is not None:
-                    covers[j] = (res.cover, None, None)
-                    if res.cover.stats.budget_exhausted:
-                        overrides[j] = ("budget-exhausted",
-                                        "partial cover, budget died "
-                                        "mid-tree")
-                        trace.append(
-                            f"degraded: {name} emitted a partial cover "
-                            "(budget exhausted mid-tree)")
-                    elif res.hard_overrun:
-                        trace.append(
-                            f"deadline: {name} overran its hard slice")
-                    continue
-                error = res.error if res is not None else "no result"
-                error_type = res.error_type if res is not None else ""
-                if error_type != "QueryBudgetExceeded" \
-                        and not rob.isolate_outputs:
-                    raise RuntimeError(
-                        f"output {name} failed in worker: {error}")
-                covers[j] = (self._fallback_cover(
-                    inner_exec, j, derive_output_rng(cfg.seed, j)),
-                    None, None)
-                if error_type == "QueryBudgetExceeded":
+                try:
+                    with obs_ctx.output_scope(j, name):
+                        covers[j] = self._learn_one(
+                            exec_oracle, j, supports, comparator_matches,
+                            slice_deadline, rng)
+                except QueryBudgetExceeded as exc:
+                    # Per-output boundary (satellite of the
+                    # fault-tolerance work): an exhausted budget costs
+                    # this output, not the outputs already learned or
+                    # still pending.
+                    covers[j] = (self._fallback_cover(
+                        inner_exec, j, derive_output_rng(cfg.seed, j)),
+                        None, None)
                     overrides[j] = ("budget-exhausted",
                                     "constant-majority fallback")
-                    trace.append(
-                        f"degraded: {name} budget-exhausted ({error})")
+                    st.emit("degraded", subject=name,
+                            reason="budget-exhausted", detail=str(exc))
+                    continue
+                except Exception as exc:  # noqa: BLE001 - isolation
+                    if not rob.isolate_outputs:
+                        raise
+                    covers[j] = (self._fallback_cover(
+                        inner_exec, j, derive_output_rng(cfg.seed, j)),
+                        None, None)
+                    overrides[j] = ("degraded",
+                                    f"{type(exc).__name__}: {exc}")
+                    st.emit("degraded", subject=name, reason="failed",
+                            detail=f"{type(exc).__name__}: {exc}")
+                    continue
+                cover, match, _ = covers[j]
+                if cover.stats.budget_exhausted:
+                    overrides[j] = ("budget-exhausted",
+                                    "partial cover, budget died mid-tree")
+                    st.emit("degraded", subject=name,
+                            reason="partial-cover")
+                elif slice_deadline.hard_expired():
+                    st.emit("deadline", subject=name)
+
+            extra_queries = 0
+            if plain:
+                if bank is not None:
+                    # Frozen before the fan-out: every output (any jobs
+                    # value) forks the same snapshot, so no output
+                    # observes rows produced by a sibling — the
+                    # determinism keystone.
+                    bank.freeze()
+                if isinstance(inner_exec, RetryingOracle):
+                    # Same keystone for the retry memo cache: freeze in
+                    # both modes so sequential outputs and worker shards
+                    # see one snapshot and bill the same rows at any
+                    # --jobs value.
+                    inner_exec.freeze_cache()
+                tasks = [OutputTask(j, supports[j]) for j in plain]
+                slice_provider = None
+                if cfg.jobs <= 1:
+                    offset = len(buried)
+
+                    def slice_provider(idx: int, _n: int,
+                                       _offset: int = offset
+                                       ) -> Tuple[float, float]:
+                        d = deadlines.output_slice(_offset + idx, total)
+                        return (max(0.0, d.remaining()),
+                                max(0.0, d.hard_remaining()))
                 else:
-                    overrides[j] = ("degraded", error)
-                    trace.append(f"degraded: {name} failed ({error})")
+                    budgets = deadlines.parallel_slices(len(plain),
+                                                        cfg.jobs)
+                    for task, (soft, hard) in zip(tasks, budgets):
+                        task.soft_seconds = soft
+                        task.hard_seconds = hard
+
+                def on_result(res) -> None:
+                    if store is None or res.cover is None or res.error:
+                        return
+                    if res.cover.stats.budget_exhausted:
+                        return
+                    method, detail = self._cover_method(res.cover,
+                                                        supports,
+                                                        res.index)
+                    store.record_output(CheckpointEntry(
+                        po_index=res.index,
+                        po_name=oracle.po_names[res.index], method=method,
+                        detail=detail,
+                        support=supports.get(res.index, []),
+                        cover=res.cover))
+
+                engine = learn_outputs(inner_exec, tasks, cfg,
+                                       jobs=cfg.jobs, bank=bank,
+                                       slice_provider=slice_provider,
+                                       on_result=on_result,
+                                       shield=rob.isolate_outputs)
+                extra_queries = engine.extra_queries
+                if engine.note:
+                    st.emit("parallel-note", message=engine.note)
+                if cfg.jobs > 1:
+                    st.emit("parallel", outputs=len(plain),
+                            jobs=cfg.jobs, mode=engine.mode)
+                # Fold results back in `plain` order so covers / trace /
+                # netlist node ids never depend on worker completion
+                # order.
+                for j in plain:
+                    name = oracle.po_names[j]
+                    res = engine.results.get(j)
+                    if res is not None and res.cover is not None:
+                        covers[j] = (res.cover, None, None)
+                        if res.cover.stats.budget_exhausted:
+                            overrides[j] = ("budget-exhausted",
+                                            "partial cover, budget died "
+                                            "mid-tree")
+                            st.emit("degraded", subject=name,
+                                    reason="partial-cover")
+                        elif res.hard_overrun:
+                            st.emit("deadline", subject=name)
+                        continue
+                    error = res.error if res is not None else "no result"
+                    error_type = res.error_type if res is not None else ""
+                    if error_type != "QueryBudgetExceeded" \
+                            and not rob.isolate_outputs:
+                        raise RuntimeError(
+                            f"output {name} failed in worker: {error}")
+                    covers[j] = (self._fallback_cover(
+                        inner_exec, j, derive_output_rng(cfg.seed, j)),
+                        None, None)
+                    if error_type == "QueryBudgetExceeded":
+                        overrides[j] = ("budget-exhausted",
+                                        "constant-majority fallback")
+                        st.emit("degraded", subject=name,
+                                reason="budget-exhausted", detail=error)
+                    else:
+                        overrides[j] = ("degraded", error)
+                        st.emit("degraded", subject=name,
+                                reason="failed", detail=error)
         if bank is not None:
-            trace.append(
-                f"bank: {bank.stats.hits} hits / {bank.stats.misses} "
-                f"misses, {len(bank)} rows resident "
-                f"({bank.nbytes() >> 10} KiB), "
-                f"{bank.stats.rows_evicted} evicted")
+            st.emit("bank", hits=bank.stats.hits,
+                    misses=bank.stats.misses, rows_resident=len(bank),
+                    kib=bank.nbytes() >> 10,
+                    evicted=bank.stats.rows_evicted)
 
         # -- assembly ------------------------------------------------------------------
-        net = self._assemble(oracle, linear_matches, extended_matches,
-                             comparator_matches, covers, supports, trace,
-                             aliases)
-        reports = self._reports(oracle, linear_matches, extended_matches,
-                                comparator_matches, covers, supports,
-                                aliases, overrides)
+        with obs_ctx.stage("assemble"):
+            net = self._assemble(oracle, linear_matches, extended_matches,
+                                 comparator_matches, covers, supports,
+                                 aliases)
+            reports = self._reports(oracle, linear_matches,
+                                    extended_matches, comparator_matches,
+                                    covers, supports, aliases, overrides)
 
         # -- step 5: circuit optimization -----------------------------------------------
         if cfg.enable_optimization:
-            try:
-                net, opt_report = optimize_netlist(
-                    net, time_limit=deadlines.optimize_budget(), rng=rng,
-                    max_iterations=cfg.optimize_iterations)
-                trace.append(
-                    f"optimize: {opt_report.initial_size} -> "
-                    f"{opt_report.final_size} AIG nodes via "
-                    f"{'/'.join(opt_report.scripts_run)}")
-            except Exception as exc:  # noqa: BLE001 - isolation boundary
-                if not rob.isolate_outputs:
-                    raise
-                trace.append(
-                    f"degraded: optimization failed "
-                    f"({type(exc).__name__}); keeping the unoptimized "
-                    "netlist")
+            with obs_ctx.stage("optimize"):
+                try:
+                    net, opt_report = optimize_netlist(
+                        net, time_limit=deadlines.optimize_budget(),
+                        rng=rng,
+                        max_iterations=cfg.optimize_iterations)
+                    st.emit("optimize",
+                            initial_size=opt_report.initial_size,
+                            final_size=opt_report.final_size,
+                            scripts=opt_report.scripts_run)
+                except Exception as exc:  # noqa: BLE001 - isolation
+                    if not rob.isolate_outputs:
+                        raise
+                    st.emit("degraded", subject="optimization",
+                            reason="optimize-failed",
+                            detail=type(exc).__name__)
 
         return LearnResult(netlist=net, reports=reports,
                            elapsed=deadlines.elapsed(),
                            queries=(oracle.query_count - start_queries
                                     + extra_queries),
-                           step_trace=trace,
+                           step_trace=st.lines(),
                            bank_stats=bank.stats if bank is not None
-                           else None)
+                           else None,
+                           degradations=st.degradations())
 
     # -- execution-layer helpers -------------------------------------------------
 
-    def _shielded(self, label: str, trace: List[str], default, fn):
+    def _shielded(self, label: str, st: StepTrace, default, fn):
         """Run one pipeline step inside an isolation boundary.
 
-        A failing step degrades to ``default`` (with a trace line)
+        A failing step degrades to ``default`` (with a trace event)
         instead of killing the run; ``QueryBudgetExceeded`` is always
         absorbed, other exceptions only under ``isolate_outputs``.
         """
         try:
             return fn()
         except QueryBudgetExceeded as exc:
-            trace.append(f"degraded: {label} skipped ({exc})")
+            st.emit("degraded", subject=label, reason="skipped",
+                    detail=str(exc))
             return default
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             if not self.config.robustness.isolate_outputs:
                 raise
-            trace.append(
-                f"degraded: {label} failed ({type(exc).__name__}: {exc})")
+            st.emit("degraded", subject=label, reason="failed",
+                    detail=f"{type(exc).__name__}: {exc}")
             return default
 
     def _learn_one(self, oracle: Oracle, j: int,
@@ -474,7 +514,7 @@ class LogicRegressor:
 
     def _match_linear_buses(self, oracle: Oracle, pi_grouping: Grouping,
                             po_grouping: Grouping,
-                            rng: np.random.Generator, trace: List[str],
+                            rng: np.random.Generator, st: StepTrace,
                             done: set) -> List[LinearMatch]:
         matches: List[LinearMatch] = []
         if not pi_grouping.buses:
@@ -503,12 +543,12 @@ class LogicRegressor:
             if match is not None:
                 matches.append(match)
                 done.update(out_bus.positions)
-                trace.append(f"template: {match.describe()}")
+                st.emit("template", describe=match.describe())
         return matches
 
     def _match_extended(self, oracle: Oracle, pi_grouping: Grouping,
                         po_grouping: Grouping, rng: np.random.Generator,
-                        trace: List[str], done: set) -> List:
+                        st: StepTrace, done: set) -> List:
         """Sec. VI extension families for output buses linear missed."""
         from repro.core.templates.extended import (match_bitwise,
                                                    match_mux, match_wiring)
@@ -532,11 +572,11 @@ class LogicRegressor:
             if match is not None:
                 matches.append(match)
                 done.update(out_bus.positions)
-                trace.append(f"template: {match.describe()}")
+                st.emit("template", describe=match.describe())
         return matches
 
     def _match_comparators(self, oracle: Oracle, pi_grouping: Grouping,
-                           rng: np.random.Generator, trace: List[str],
+                           rng: np.random.Generator, st: StepTrace,
                            done: set,
                            out: Dict[int, ComparatorMatch],
                            deadline: float) -> None:
@@ -554,12 +594,11 @@ class LogicRegressor:
             out[j] = match
             if not match.buried:
                 done.add(j)
-                trace.append(
-                    f"template: {oracle.po_names[j]} = {match.describe()}")
+                st.emit("template", output=oracle.po_names[j],
+                        describe=match.describe())
             else:
-                trace.append(
-                    f"template: delegate for {oracle.po_names[j]}: "
-                    f"{match.describe()}")
+                st.emit("template", output=oracle.po_names[j],
+                        describe=match.describe(), delegate=True)
 
     # -- output dedup helpers ---------------------------------------------------
 
@@ -600,7 +639,6 @@ class LogicRegressor:
                   extended_matches: List,
                   comparator_matches: Dict[int, ComparatorMatch],
                   covers: Dict, supports: Dict[int, List[int]],
-                  trace: List[str],
                   aliases: Optional[Dict[int, Tuple[int, bool]]] = None
                   ) -> Netlist:
         net = Netlist("learned")

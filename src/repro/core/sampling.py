@@ -23,6 +23,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.logic.cube import Cube
+from repro.obs import context as obs
 from repro.oracle.base import Oracle
 
 FUSED_CHUNK_ROWS = 1 << 19
@@ -126,6 +127,8 @@ def pattern_sampling(oracle: Oracle, cube: Cube, r: int,
     for idx, i in enumerate(cand):
         block[(idx + 1) * r:(idx + 2) * r, i] ^= 1
     total_rows = block.shape[0]
+    obs.count("sampling.fused_calls")
+    obs.count("sampling.rows", total_rows)
     if total_rows <= FUSED_CHUNK_ROWS:
         out = oracle.query(block, validate=False)
     else:

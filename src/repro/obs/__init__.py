@@ -1,0 +1,30 @@
+"""Zero-dependency observability: tracing, metrics, run reports.
+
+The learning pipeline is a five-stage, budget-constrained flow whose
+scarce resources — oracle rows, wall-clock, gate count — need per-stage
+and per-output attribution.  This package provides:
+
+- :mod:`repro.obs.trace` — a span-based structured tracer with typed
+  events, monotonic timestamps, JSONL export and Chrome ``trace_event``
+  export (loadable in Perfetto / ``chrome://tracing``);
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with labels, deterministic serialization and commutative
+  merge (so parallel workers fold back to the same aggregates);
+- :mod:`repro.obs.context` — the ambient instrumentation context the
+  pipeline and the oracle wrappers report into, carrying the current
+  (stage, output) attribution;
+- :mod:`repro.obs.steptrace` — the legacy ``step_trace`` strings,
+  rebuilt as a rendered view over structured events;
+- :mod:`repro.obs.report` — the per-run ``run_report.json`` manifest
+  plus a minimal JSON-schema validator (no external deps);
+- :mod:`repro.obs.accounting` — the single source of truth for billed
+  vs. cache-served rows across stacked oracle wrappers.
+
+See ``docs/OBSERVABILITY.md`` for schemas and the determinism contract.
+"""
+
+from repro.obs.context import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["Instrumentation", "MetricsRegistry", "Span", "Tracer"]

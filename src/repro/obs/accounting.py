@@ -1,0 +1,80 @@
+"""Query accounting across stacked oracle wrappers.
+
+The execution layer stacks wrappers — typically ``BankedOracle`` over
+``RetryingOracle`` over the caller's oracle — and *every* layer is an
+:class:`~repro.oracle.base.Oracle` with its own ``query_count``.  Each
+layer's ``query_count`` is the number of rows **requested of that
+layer**; it says nothing about what reached the layers below.  The
+single source of truth:
+
+- **billed rows** = ``query_count`` of the *billing meter* — the oracle
+  the caller handed to :meth:`LogicRegressor.learn` (marked with
+  :func:`repro.obs.context.mark_billing`), or the bottom of the chain
+  when nothing is marked.  Never sum ``query_count`` across layers.
+- **cache-served rows** = rows a caching layer absorbed: the difference
+  between what was requested of it and what it forwarded, surfaced
+  directly as ``RetryingOracle.cache_hits`` and ``BankStats.hits``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.obs.context import is_billing
+
+
+def oracle_chain(oracle: Any) -> Iterator[Any]:
+    """Top-down iteration over a wrapper stack via ``.inner``."""
+    seen = set()
+    while oracle is not None and id(oracle) not in seen:
+        seen.add(id(oracle))
+        yield oracle
+        oracle = getattr(oracle, "inner", None)
+
+
+def billing_meter(oracle: Any) -> Any:
+    """The layer whose ``query_count`` is the billed-row total.
+
+    Prefers the explicitly marked layer (survives pickling to worker
+    shards); falls back to the bottom of the chain, which for an
+    unwrapped oracle is the oracle itself.
+    """
+    chain = list(oracle_chain(oracle))
+    for layer in chain:
+        if is_billing(layer):
+            return layer
+    return chain[-1]
+
+
+def billed_rows(oracle: Any) -> int:
+    """Rows actually billed by the stack ``oracle`` fronts."""
+    return billing_meter(oracle).query_count
+
+
+def accounting_summary(oracle: Any) -> Dict[str, Any]:
+    """Requested / billed / cache-absorbed rows for a wrapper stack."""
+    chain = list(oracle_chain(oracle))
+    layers: List[Dict[str, Any]] = []
+    cached = 0
+    for layer in chain:
+        entry: Dict[str, Any] = {
+            "layer": type(layer).obs_layer
+            if hasattr(type(layer), "obs_layer") else "oracle",
+            "class": type(layer).__name__,
+            "rows_requested": layer.query_count,
+        }
+        hits = getattr(layer, "cache_hits", None)
+        if hits is None:
+            bank = getattr(layer, "bank", None)
+            if bank is not None:
+                hits = bank.stats.hits
+        if hits is not None:
+            entry["rows_cached"] = int(hits)
+            cached += int(hits)
+        layers.append(entry)
+    return {
+        "rows_requested": chain[0].query_count,
+        "rows_billed": billing_meter(oracle).query_count,
+        "rows_cached": cached,
+        "layers": layers,
+    }

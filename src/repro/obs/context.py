@@ -1,0 +1,206 @@
+"""The ambient instrumentation context: who is spending the budget now.
+
+The pipeline's interesting costs are incurred deep inside shared code
+(the oracle stack, the sampler, the FBDT) that has no business taking a
+tracer parameter.  Instead, an :class:`Instrumentation` (tracer +
+metrics registry + attribution stacks) is *activated* for the duration
+of a run; instrumented code reports through the module-level helpers
+below, which are near-free no-ops when nothing is active.
+
+Attribution: :func:`stage` and :func:`output_scope` push the current
+pipeline stage / primary output; the oracle hook then labels every
+billed row with ``(stage, output)`` and every served row with the
+serving wrapper's ``obs_layer``, so a metrics dump answers "which stage
+spent the rows, and which wrapper in the Banked→Retrying→base stack
+actually billed them".
+
+Parallel workers activate their own private :class:`Instrumentation`
+(see :func:`repro.perf.parallel.run_output_task`); the parent adopts
+their payloads in fold-back order, so ``--jobs N`` produces the same
+aggregates as a sequential run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+UNATTRIBUTED = "-"
+"""Stage/output label used for traffic outside any scope."""
+
+
+class Instrumentation:
+    """One run's tracer + metrics registry + attribution state."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.stage_stack: List[str] = []
+        self.output_stack: List[int] = []
+
+    # -- attribution ---------------------------------------------------------
+
+    @property
+    def stage(self) -> str:
+        return self.stage_stack[-1] if self.stage_stack else UNATTRIBUTED
+
+    @property
+    def output(self) -> int:
+        return self.output_stack[-1] if self.output_stack else -1
+
+    # -- worker payloads -----------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """Pickle-/JSON-safe snapshot for cross-process fold-back."""
+        return {"trace": self.tracer.to_records(),
+                "metrics": self.metrics.to_dict()}
+
+    def adopt(self, payload: Dict[str, Any]) -> None:
+        """Fold a child payload back in (call in fold-back order)."""
+        self.tracer.adopt(payload.get("trace", []))
+        self.metrics.merge_dict(payload.get("metrics", {}))
+
+
+_STACK: List[Instrumentation] = []
+
+
+def active() -> Optional[Instrumentation]:
+    """The innermost active instrumentation, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def use(instr: Optional[Instrumentation]) -> Iterator[None]:
+    """Activate ``instr`` for the dynamic extent (None is a no-op)."""
+    if instr is None:
+        yield
+        return
+    _STACK.append(instr)
+    try:
+        yield
+    finally:
+        _STACK.pop()
+
+
+# -- scopes ---------------------------------------------------------------------
+
+
+@contextmanager
+def stage(name: str, **attrs: Any) -> Iterator[None]:
+    """Enter a pipeline stage: attribution label + tracer span."""
+    instr = active()
+    if instr is None:
+        yield
+        return
+    instr.stage_stack.append(name)
+    try:
+        with instr.tracer.span(name, kind="stage", **attrs):
+            yield
+    finally:
+        instr.stage_stack.pop()
+
+
+@contextmanager
+def output_scope(index: int, name: str = "") -> Iterator[None]:
+    """Enter a per-output scope: attribution label + tracer span."""
+    instr = active()
+    if instr is None:
+        yield
+        return
+    instr.output_stack.append(index)
+    try:
+        with instr.tracer.span("output", kind="output", output=index,
+                               po_name=name):
+            yield
+    finally:
+        instr.output_stack.pop()
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """A plain tracer span (no attribution change); no-op if inactive."""
+    instr = active()
+    if instr is None:
+        yield
+        return
+    with instr.tracer.span(name, **attrs):
+        yield
+
+
+# -- reporting helpers -----------------------------------------------------------
+
+
+def count(name: str, amount: float = 1, **labels: Any) -> None:
+    """Increment a counter, auto-labelled with the current stage."""
+    instr = active()
+    if instr is None or amount == 0:
+        return
+    labels.setdefault("stage", instr.stage)
+    instr.metrics.counter(name).inc(amount, **labels)
+
+
+def observe(name: str, value: float, boundaries: Sequence[float],
+            **labels: Any) -> None:
+    """Observe into a fixed-bucket histogram (stage auto-labelled)."""
+    instr = active()
+    if instr is None:
+        return
+    labels.setdefault("stage", instr.stage)
+    instr.metrics.histogram(name, boundaries).observe(value, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    instr = active()
+    if instr is None:
+        return
+    instr.metrics.gauge(name).set(value, **labels)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a typed tracer event; no-op if inactive."""
+    instr = active()
+    if instr is None:
+        return
+    instr.tracer.event(name, **attrs)
+
+
+# -- oracle hooks ----------------------------------------------------------------
+
+
+def mark_billing(oracle: Any) -> None:
+    """Declare ``oracle`` the billing meter of its wrapper stack.
+
+    The flag survives pickling to worker processes, so worker-shard
+    copies bill against the same logical meter.  See
+    ``docs/OBSERVABILITY.md`` ("query accounting").
+    """
+    oracle._obs_billing = True
+
+
+def is_billing(oracle: Any) -> bool:
+    return bool(getattr(oracle, "_obs_billing", False))
+
+
+def on_oracle_rows(oracle: Any, rows: int) -> None:
+    """Called by ``Oracle.query`` for every delivered batch.
+
+    Records per-layer served rows always, and — when ``oracle`` is the
+    marked billing meter — the billed rows attributed to the current
+    (stage, output).
+    """
+    instr = active()
+    if instr is None:
+        return
+    stage_label = instr.stage
+    instr.metrics.counter("oracle.rows_served").inc(
+        rows, layer=oracle.obs_layer, stage=stage_label)
+    if getattr(oracle, "_obs_billing", False):
+        instr.metrics.counter("oracle.rows_billed").inc(
+            rows, stage=stage_label, output=instr.output)
+        instr.metrics.counter("oracle.calls_billed").inc(
+            1, stage=stage_label)

@@ -1,0 +1,204 @@
+"""Metrics: labelled counters, gauges and fixed-bucket histograms.
+
+The registry is deliberately tiny — dict-backed instruments keyed by a
+canonicalized label tuple — because it sits on the oracle hot path (one
+counter increment per query batch, a handful per FBDT node).  Two
+properties matter more than features:
+
+- **deterministic serialization** — :meth:`MetricsRegistry.to_dict`
+  sorts names and label sets, so two runs with identical traffic
+  produce byte-identical JSON;
+- **commutative merge** — counters and histograms add, so folding
+  worker registries back in any order yields the same aggregates
+  (gauges are last-write-wins; merge them in fold-back order).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def _labels(key: LabelKey) -> Dict[str, Any]:
+    return dict(key)
+
+
+class Counter:
+    """A monotonically increasing sum per label set."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = _key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_key(labels), 0)
+
+    def total(self, **label_filter: Any) -> float:
+        """Sum over every label set matching ``label_filter``."""
+        items = label_filter.items()
+        return sum(v for k, v in self._values.items()
+                   if items <= _labels(k).items())
+
+    def by(self, label: str, **label_filter: Any) -> Dict[Any, float]:
+        """Group-by one label (missing label groups under ``None``)."""
+        items = label_filter.items()
+        out: Dict[Any, float] = {}
+        for key, value in self._values.items():
+            labels = _labels(key)
+            if not items <= labels.items():
+                continue
+            group = labels.get(label)
+            out[group] = out.get(group, 0) + value
+        return out
+
+
+class Gauge:
+    """A last-written value per label set."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_key(labels)] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._values.get(_key(labels))
+
+
+class Histogram:
+    """Cumulative-bucket histogram with fixed upper boundaries.
+
+    ``boundaries`` are inclusive upper bounds; a value lands in the
+    first bucket whose boundary is ``>= value``, with an implicit
+    overflow bucket past the last boundary.  Boundaries are fixed at
+    first use per name — merging histograms with different boundaries
+    is an error, never a silent re-bucketing.
+    """
+
+    def __init__(self, name: str, boundaries: Sequence[float]):
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be a sorted non-empty list")
+        self.name = name
+        self.boundaries: List[float] = list(boundaries)
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(self.boundaries) + 1)
+            self._counts[key] = counts
+        counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def counts(self, **labels: Any) -> List[int]:
+        key = _key(labels)
+        return list(self._counts.get(key,
+                                     [0] * (len(self.boundaries) + 1)))
+
+
+class MetricsRegistry:
+    """Lazily created named instruments, one namespace per run."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  boundaries: Sequence[float]) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, boundaries)
+        elif list(boundaries) != inst.boundaries:
+            raise ValueError(
+                f"histogram {name!r} already exists with boundaries "
+                f"{inst.boundaries}")
+        return inst
+
+    # -- serialization -------------------------------------------------------
+
+    @staticmethod
+    def _sorted_items(values: Dict[LabelKey, Any]):
+        return sorted(values.items(), key=lambda kv: repr(kv[0]))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict dump (JSON- and pickle-safe)."""
+        counters = {}
+        for name in sorted(self._counters):
+            counters[name] = [
+                {"labels": _labels(k), "value": v}
+                for k, v in self._sorted_items(self._counters[name]._values)
+            ]
+        gauges = {}
+        for name in sorted(self._gauges):
+            gauges[name] = [
+                {"labels": _labels(k), "value": v}
+                for k, v in self._sorted_items(self._gauges[name]._values)
+            ]
+        histograms = {}
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            histograms[name] = [
+                {"labels": _labels(k), "boundaries": hist.boundaries,
+                 "counts": list(counts),
+                 "sum": hist._sums[k], "count": hist._totals[k]}
+                for k, counts in self._sorted_items(hist._counts)
+            ]
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_dict(self, dump: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` dump into this registry."""
+        for name, rows in dump.get("counters", {}).items():
+            counter = self.counter(name)
+            for row in rows:
+                counter.inc(row["value"], **row["labels"])
+        for name, rows in dump.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            for row in rows:
+                gauge.set(row["value"], **row["labels"])
+        for name, rows in dump.get("histograms", {}).items():
+            for row in rows:
+                hist = self.histogram(name, row["boundaries"])
+                key = _key(row["labels"])
+                counts = hist._counts.get(key)
+                if counts is None:
+                    counts = [0] * (len(hist.boundaries) + 1)
+                    hist._counts[key] = counts
+                for i, c in enumerate(row["counts"]):
+                    counts[i] += c
+                hist._sums[key] = hist._sums.get(key, 0.0) + row["sum"]
+                hist._totals[key] = hist._totals.get(key, 0) \
+                    + row["count"]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_dict(other.to_dict())

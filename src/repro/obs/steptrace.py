@@ -1,0 +1,107 @@
+"""``step_trace`` rebuilt as a rendered view over structured events.
+
+Historically the regressor appended free-form strings to a list; tools
+then had to re-parse them.  Now every pipeline milestone is emitted as a
+typed ``(kind, attrs)`` event — mirrored into the active tracer as a
+``step.<kind>`` event — and the legacy human-readable lines are *derived*
+by per-kind renderers, byte-identical to the old strings so existing CLI
+output and tests keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.obs import context as obs
+
+
+def _render_degraded(a: Dict[str, Any]) -> str:
+    reason = a.get("reason", "failed")
+    if reason == "skipped":
+        return f"degraded: {a['subject']} skipped ({a['detail']})"
+    if reason == "budget-exhausted":
+        return (f"degraded: {a['subject']} budget-exhausted "
+                f"({a['detail']})")
+    if reason == "partial-cover":
+        return (f"degraded: {a['subject']} emitted a partial cover "
+                "(budget exhausted mid-tree)")
+    if reason == "optimize-failed":
+        return (f"degraded: optimization failed ({a['detail']}); "
+                "keeping the unoptimized netlist")
+    return f"degraded: {a['subject']} failed ({a['detail']})"
+
+
+def _render_template(a: Dict[str, Any]) -> str:
+    if a.get("delegate"):
+        return f"template: delegate for {a['output']}: {a['describe']}"
+    if a.get("output"):
+        return f"template: {a['output']} = {a['describe']}"
+    return f"template: {a['describe']}"
+
+
+def _render_support(a: Dict[str, Any]) -> str:
+    body = ", ".join(f"{name}:{size}" for name, size in a["sizes"])
+    return "support: " + body + ("..." if a.get("truncated") else "")
+
+
+def _render_sharing(a: Dict[str, Any]) -> str:
+    body = ", ".join(
+        f"{p['output']}={'!' if p['complemented'] else ''}{p['rep']}"
+        for p in a["pairs"])
+    return "sharing: " + body
+
+
+RENDERERS: Dict[str, Callable[[Dict[str, Any]], str]] = {
+    "checkpoint": lambda a: ("checkpoint: restored "
+                             + ", ".join(a["outputs"])),
+    "grouping": lambda a: (f"grouping: {a['pi_buses']} PI buses, "
+                           f"{a['po_buses']} PO buses"),
+    "template": _render_template,
+    "sharing": _render_sharing,
+    "support": _render_support,
+    "degraded": _render_degraded,
+    "deadline": lambda a: (f"deadline: {a['subject']} overran its "
+                           "hard slice"),
+    "parallel-note": lambda a: f"parallel: {a['message']}",
+    "parallel": lambda a: (f"parallel: {a['outputs']} outputs, "
+                           f"jobs={a['jobs']} ({a['mode']})"),
+    "bank": lambda a: (f"bank: {a['hits']} hits / {a['misses']} misses, "
+                       f"{a['rows_resident']} rows resident "
+                       f"({a['kib']} KiB), {a['evicted']} evicted"),
+    "optimize": lambda a: (f"optimize: {a['initial_size']} -> "
+                           f"{a['final_size']} AIG nodes via "
+                           f"{'/'.join(a['scripts'])}"),
+}
+
+
+def render(kind: str, attrs: Dict[str, Any]) -> str:
+    """One event -> the legacy human-readable trace line."""
+    renderer = RENDERERS.get(kind)
+    if renderer is None:
+        return str(attrs.get("message", kind))
+    return renderer(attrs)
+
+
+class StepTrace:
+    """Ordered structured pipeline events + their rendered lines."""
+
+    def __init__(self):
+        self._events: List[Tuple[str, Dict[str, Any]]] = []
+
+    def emit(self, kind: str, **attrs: Any) -> None:
+        """Record a milestone and mirror it into the active tracer."""
+        self._events.append((kind, attrs))
+        obs.event(f"step.{kind}", **attrs)
+
+    @property
+    def events(self) -> List[Tuple[str, Dict[str, Any]]]:
+        return list(self._events)
+
+    def lines(self) -> List[str]:
+        """The legacy ``step_trace`` strings, rendered on demand."""
+        return [render(kind, attrs) for kind, attrs in self._events]
+
+    def degradations(self) -> List[str]:
+        """Rendered ``degraded`` events (the run-report tags)."""
+        return [render(kind, attrs) for kind, attrs in self._events
+                if kind == "degraded"]

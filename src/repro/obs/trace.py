@@ -1,0 +1,223 @@
+"""Span-based structured tracing with JSONL and Chrome trace export.
+
+A :class:`Tracer` records a tree of :class:`Span` intervals (opened and
+closed as context managers) plus point-in-time events, all stamped with
+monotonic timestamps relative to the tracer's epoch.  Two export
+formats:
+
+- **JSONL** (:meth:`Tracer.write_jsonl`): one JSON object per line, the
+  machine-readable record stream (schema in ``docs/OBSERVABILITY.md``);
+- **Chrome ``trace_event``** (:meth:`Tracer.write_chrome_trace`): the
+  ``{"traceEvents": [...]}`` JSON that Perfetto and ``chrome://tracing``
+  load directly.
+
+Worker processes build their own tracers; the parent adopts their record
+lists with :meth:`Tracer.adopt`, re-assigning ids deterministically in
+fold-back order.  The determinism contract covers span/event names,
+nesting, ordering and attributes — never timestamps (see
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    try:  # numpy scalars expose item()
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+@dataclass
+class Span:
+    """One timed interval of work, possibly nested under a parent."""
+
+    span_id: int
+    name: str
+    parent_id: Optional[int]
+    t_start: float
+    t_end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        for key, value in attrs.items():
+            self.attrs[key] = _jsonable(value)
+
+    @property
+    def duration(self) -> float:
+        end = self.t_end if self.t_end is not None else self.t_start
+        return max(0.0, end - self.t_start)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "ts": round(self.t_start, 9),
+            "dur": round(self.duration, 9),
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collect spans and events; export JSONL / Chrome trace JSON.
+
+    Records accumulate in *emission order*: events when emitted, spans
+    when closed (so a parent span's record follows its children's, like
+    Chrome's complete events).  Open spans are excluded from exports.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._epoch = clock()
+        self._records: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span; it closes (and is recorded) on exit."""
+        span = Span(span_id=self._next_id, name=name,
+                    parent_id=self._stack[-1].span_id if self._stack
+                    else None,
+                    t_start=self._now())
+        self._next_id += 1
+        span.set(**attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.t_end = self._now()
+            self._stack.pop()
+            self._records.append(span.to_record())
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a typed point-in-time event under the open span."""
+        self._records.append({
+            "type": "event",
+            "id": self._next_id,
+            "span": self._stack[-1].span_id if self._stack else None,
+            "name": name,
+            "ts": round(self._now(), 9),
+            "attrs": {k: _jsonable(v) for k, v in attrs.items()},
+        })
+        self._next_id += 1
+
+    # -- merging -------------------------------------------------------------
+
+    def adopt(self, records: List[Dict[str, Any]],
+              parent_id: Optional[int] = None,
+              at: Optional[float] = None) -> None:
+        """Fold a child tracer's records into this one.
+
+        Ids are re-assigned from this tracer's counter (call order is
+        the determinism contract, so adopt children in fold-back order).
+        Child timestamps are shifted by ``at`` (default: the open span's
+        start, else the current time) — they were measured against the
+        child's own epoch, typically a worker process.
+        """
+        if at is None:
+            at = self._stack[-1].t_start if self._stack else self._now()
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        # Two passes: spans are recorded *after* their children, so a
+        # child's parent ref points at a record later in the list — the
+        # full id map must exist before any ref is rewritten.
+        remap: Dict[int, int] = {}
+        for rec in records:
+            remap[rec["id"]] = self._next_id
+            self._next_id += 1
+        for rec in records:
+            new = dict(rec)
+            new["id"] = remap[rec["id"]]
+            key = "parent" if rec["type"] == "span" else "span"
+            old_ref = rec.get(key)
+            new[key] = remap.get(old_ref, parent_id) \
+                if old_ref is not None else parent_id
+            new["ts"] = round(rec["ts"] + at, 9)
+            self._records.append(new)
+
+    # -- export --------------------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Completed records in emission order (JSONL payload)."""
+        return list(self._records)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for rec in self._records:
+                handle.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable)."""
+        events: List[Dict[str, Any]] = []
+        for rec in self._records:
+            if rec["type"] == "span":
+                events.append({
+                    "name": rec["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": rec["ts"] * 1e6,
+                    "dur": rec["dur"] * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": rec["attrs"],
+                })
+            else:
+                events.append({
+                    "name": rec["name"],
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": rec["ts"] * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": rec["attrs"],
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+
+
+def export_trace(tracer: Tracer, path: str) -> List[str]:
+    """Write ``path`` in the format its extension implies.
+
+    ``*.jsonl`` gets the JSONL record stream *plus* a sibling
+    ``<stem>.trace.json`` Chrome export (so a ``--trace-out t.jsonl``
+    run is always Perfetto-loadable); any other extension gets the
+    Chrome JSON directly.  Returns the paths written.
+    """
+    if path.endswith(".jsonl"):
+        tracer.write_jsonl(path)
+        chrome = path[:-len(".jsonl")] + ".trace.json"
+        tracer.write_chrome_trace(chrome)
+        return [path, chrome]
+    tracer.write_chrome_trace(path)
+    return [path]

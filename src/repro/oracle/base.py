@@ -14,6 +14,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.context import on_oracle_rows
+
 
 class QueryBudgetExceeded(RuntimeError):
     """Raised when an oracle's query budget is exhausted."""
@@ -43,6 +45,11 @@ class Oracle(abc.ABC):
     validates shapes (full assignments only), counts queries and enforces
     an optional budget.
     """
+
+    obs_layer = "oracle"
+    """Layer label used by the observability context to attribute
+    served rows per wrapper (overridden by BankedOracle, RetryingOracle,
+    FaultyOracle, ...); see ``docs/OBSERVABILITY.md``."""
 
     def __init__(self, pi_names: Sequence[str], po_names: Sequence[str],
                  query_budget: Optional[int] = None):
@@ -123,6 +130,7 @@ class Oracle(abc.ABC):
         # consume budget, or every retry would double-bill the caller.
         self._query_count += patterns.shape[0]
         self._call_count += 1
+        on_oracle_rows(self, patterns.shape[0])
         return out
 
     def query_one(self, assignment: Sequence[int]) -> List[int]:

@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.logic.cube import Cube
+from repro.obs import context as obs
 from repro.oracle.base import Oracle
 
 
@@ -138,6 +139,7 @@ class SampleBank:
         """
         if self._frozen:
             return
+        evicted_before = self.stats.rows_evicted
         n = patterns.shape[0]
         if n > self.max_rows:
             patterns = patterns[n - self.max_rows:]
@@ -160,6 +162,8 @@ class SampleBank:
             self._index[key] = slot
             self._write = (slot + 1) % self.max_rows
             self.stats.rows_recorded += 1
+        obs.count("bank.rows_evicted",
+                  self.stats.rows_evicted - evicted_before)
 
     # -- reads ---------------------------------------------------------------
 
@@ -190,6 +194,7 @@ class SampleBank:
         count as hits.
         """
         self.stats.take_calls += 1
+        obs.count("bank.take_calls")
         if limit <= 0 or self._size == 0:
             empty = np.empty((0, self.num_pis), dtype=np.uint8)
             return empty, np.empty((0, self.num_pos), dtype=np.uint8)
@@ -198,6 +203,7 @@ class SampleBank:
         mask = cube.evaluate(stored)
         picks = np.flatnonzero(mask)[:limit]
         self.stats.hits += picks.shape[0]
+        obs.count("bank.rows_hit", int(picks.shape[0]))
         return stored[picks].copy(), self._out[picks].copy()
 
 
@@ -209,6 +215,8 @@ class BankedOracle(Oracle):
     for batches above ``lookup_limit`` rows (fused sampling megablocks),
     which are simply forwarded and recorded.
     """
+
+    obs_layer = "bank"
 
     def __init__(self, inner: Oracle, bank: SampleBank,
                  lookup_limit: int = 8192):
@@ -230,6 +238,7 @@ class BankedOracle(Oracle):
         if patterns.shape[0] > self._lookup_limit:
             out = self._inner.query(patterns, validate=False)
             bank.stats.misses += patterns.shape[0]
+            obs.count("bank.rows_missed", patterns.shape[0])
             bank.record(patterns, out)
             return out
         mask, out = bank.lookup(patterns)
@@ -237,6 +246,8 @@ class BankedOracle(Oracle):
         misses = patterns.shape[0] - hits
         bank.stats.hits += hits
         bank.stats.misses += misses
+        obs.count("bank.rows_hit", hits)
+        obs.count("bank.rows_missed", misses)
         if misses == 0:
             return out
         miss_rows = np.ascontiguousarray(patterns[~mask])

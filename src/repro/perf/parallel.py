@@ -35,6 +35,9 @@ import numpy as np
 
 from repro.core.config import RegressorConfig
 from repro.core.fbdt import LearnedCover, cleanup_cover, learn_output
+from repro.obs import context as obs_ctx
+from repro.obs.accounting import billing_meter
+from repro.obs.context import Instrumentation
 from repro.oracle.base import Oracle, QueryBudgetExceeded
 from repro.perf.bank import BankedOracle, BankStats, SampleBank
 
@@ -75,6 +78,11 @@ class OutputResult:
 
     hard_overrun: bool = False
     bank: Optional[BankStats] = None
+    obs: Optional[dict] = None
+    """The task's private :class:`~repro.obs.context.Instrumentation`
+    payload (trace records + metrics dump).  Folded back into the
+    caller's active instrumentation in task order — the same order for
+    any ``jobs`` value — then cleared."""
 
 
 @dataclass
@@ -104,41 +112,69 @@ def run_output_task(oracle: Oracle, task: OutputTask,
     exec_oracle: Oracle = oracle
     if local_bank is not None:
         exec_oracle = BankedOracle(oracle, local_bank)
-    start_rows = oracle.query_count
+    # Meter billed rows at the marked billing meter (the base oracle),
+    # not at the top of whatever wrapper stack we were handed: rows a
+    # retry cache absorbs are requested of the stack but never billed,
+    # and ``extra_queries`` must match what a sequential run would have
+    # billed for the same work.
+    meter = billing_meter(oracle)
+    obs_cfg = getattr(config, "observability", None)
+    child = Instrumentation() \
+        if obs_cfg is not None and obs_cfg.enabled else None
+    start_rows = meter.query_count
     start_time = time.monotonic()
-    try:
-        cover = learn_output(exec_oracle, task.index, task.support,
-                             config, rng,
-                             deadline=start_time + task.soft_seconds,
-                             bank=local_bank)
-    except QueryBudgetExceeded as exc:
+
+    def attempt() -> OutputResult:
+        try:
+            cover = learn_output(exec_oracle, task.index, task.support,
+                                 config, rng,
+                                 deadline=start_time + task.soft_seconds,
+                                 bank=local_bank)
+        except QueryBudgetExceeded as exc:
+            return OutputResult(
+                task.index, error=str(exc),
+                error_type="QueryBudgetExceeded", budget_exhausted=True,
+                queries=meter.query_count - start_rows,
+                bank=local_bank.stats if local_bank is not None else None)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            if not shield:
+                raise
+            return OutputResult(
+                task.index, error=f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+                queries=meter.query_count - start_rows,
+                bank=local_bank.stats if local_bank is not None else None)
+        if local_bank is not None:
+            cover.stats.bank_hits = local_bank.stats.hits
+            cover.stats.bank_misses = local_bank.stats.misses
+        # Pre-pay the two-level minimization here: it is pure per-output
+        # work, and in parallel mode this moves the pipeline's dominant
+        # sequential cost (espresso at assembly) onto the workers.
+        cleanup_cover(cover)
+        elapsed = time.monotonic() - start_time
         return OutputResult(
-            task.index, error=str(exc),
-            error_type="QueryBudgetExceeded", budget_exhausted=True,
-            queries=oracle.query_count - start_rows,
+            task.index, cover=cover,
+            budget_exhausted=cover.stats.budget_exhausted,
+            queries=meter.query_count - start_rows,
+            hard_overrun=elapsed >= task.hard_seconds,
             bank=local_bank.stats if local_bank is not None else None)
-    except Exception as exc:  # noqa: BLE001 - isolation boundary
-        if not shield:
-            raise
-        return OutputResult(
-            task.index, error=f"{type(exc).__name__}: {exc}",
-            error_type=type(exc).__name__,
-            queries=oracle.query_count - start_rows,
-            bank=local_bank.stats if local_bank is not None else None)
-    if local_bank is not None:
-        cover.stats.bank_hits = local_bank.stats.hits
-        cover.stats.bank_misses = local_bank.stats.misses
-    # Pre-pay the two-level minimization here: it is pure per-output
-    # work, and in parallel mode this moves the pipeline's dominant
-    # sequential cost (espresso at assembly) onto the workers.
-    cleanup_cover(cover)
-    elapsed = time.monotonic() - start_time
-    return OutputResult(
-        task.index, cover=cover,
-        budget_exhausted=cover.stats.budget_exhausted,
-        queries=oracle.query_count - start_rows,
-        hard_overrun=elapsed >= task.hard_seconds,
-        bank=local_bank.stats if local_bank is not None else None)
+
+    if child is None:
+        return attempt()
+    # A private child instrumentation even in-process: sequential and
+    # worker execution then produce identical per-task payloads, folded
+    # back identically — the keystone for jobs-invariant aggregates.
+    po_name = oracle.po_names[task.index] \
+        if task.index < oracle.num_pos else ""
+    with obs_ctx.use(child):
+        child.stage_stack.append("learn")
+        try:
+            with obs_ctx.output_scope(task.index, po_name):
+                res = attempt()
+        finally:
+            child.stage_stack.pop()
+    res.obs = child.payload()
+    return res
 
 
 # -- worker-process plumbing ---------------------------------------------------
@@ -181,6 +217,7 @@ def learn_outputs(oracle: Oracle, tasks: List[OutputTask],
     if jobs <= 1 or len(tasks) <= 1:
         _run_sequential(oracle, tasks, config, bank, slice_provider,
                         on_result, shield, report)
+        _fold_back_obs(report, tasks)
         return report
     try:
         payload = pickle.dumps((oracle, config, bank))
@@ -190,6 +227,7 @@ def learn_outputs(oracle: Oracle, tasks: List[OutputTask],
                        "sequential learning")
         _run_sequential(oracle, tasks, config, bank, slice_provider,
                         on_result, shield, report)
+        _fold_back_obs(report, tasks)
         return report
     from concurrent.futures import ProcessPoolExecutor
 
@@ -230,7 +268,26 @@ def learn_outputs(oracle: Oracle, tasks: List[OutputTask],
         for res in report.results.values():
             if res.bank is not None:
                 bank.stats.merge(res.bank)
+    _fold_back_obs(report, tasks)
     return report
+
+
+def _fold_back_obs(report: EngineReport, tasks: List[OutputTask]) -> None:
+    """Adopt per-task instrumentation payloads in *task order*.
+
+    Task order is the same for every ``jobs`` value (arrival order is
+    not), so the folded-back trace structure and metric aggregates are
+    jobs-invariant.  With no active parent instrumentation the payloads
+    stay attached to the results for the caller to inspect.
+    """
+    parent = obs_ctx.active()
+    if parent is None:
+        return
+    for task in tasks:
+        res = report.results.get(task.index)
+        if res is not None and res.obs is not None:
+            parent.adopt(res.obs)
+            res.obs = None
 
 
 def _run_sequential(oracle: Oracle, tasks: List[OutputTask],

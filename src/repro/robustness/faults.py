@@ -30,6 +30,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs import context as obs
 from repro.oracle.base import (Oracle, OracleTimeout, QueryBudgetExceeded,
                                TransientOracleFault)
 
@@ -93,6 +94,8 @@ class FaultyOracle(Oracle):
     the same places — a failing chaos run is replayable.
     """
 
+    obs_layer = "faults"
+
     def __init__(self, inner: Oracle, model: Optional[FaultModel] = None,
                  seed: int = 0):
         model = model or FaultModel()
@@ -121,17 +124,21 @@ class FaultyOracle(Oracle):
         if m.fail_after_queries is not None \
                 and self._delivered_rows >= m.fail_after_queries:
             self.counters.budget_cutoffs += 1
+            obs.count("faults.injected", kind="budget-cutoff")
             raise QueryBudgetExceeded(
                 f"injected: generator cut off after "
                 f"{m.fail_after_queries} rows")
         if u_transient < m.transient_rate:
             self.counters.transients += 1
+            obs.count("faults.injected", kind="transient")
             raise TransientOracleFault("injected transient fault")
         if u_hang < m.hang_rate:
             self.counters.hangs += 1
+            obs.count("faults.injected", kind="hang")
             if m.query_deadline is not None \
                     and m.hang_duration > m.query_deadline:
                 self.counters.timeouts += 1
+                obs.count("faults.injected", kind="timeout")
                 raise OracleTimeout(
                     f"injected hang of {m.hang_duration:.1f}s exceeds "
                     f"per-query deadline {m.query_deadline:.1f}s")
@@ -141,7 +148,9 @@ class FaultyOracle(Oracle):
         if m.bitflip_rate > 0.0:
             flips = (self._rng.random(out.shape)
                      < m.bitflip_rate).astype(np.uint8)
-            self.counters.bits_flipped += int(flips.sum())
+            flipped = int(flips.sum())
+            self.counters.bits_flipped += flipped
+            obs.count("faults.bits_flipped", flipped)
             out = out ^ flips
         self._delivered_rows += patterns.shape[0]
         return out

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs import context as obs
 from repro.oracle.base import Oracle, OracleFault, QueryBudgetExceeded
 
 
@@ -84,6 +85,8 @@ class RetryingOracle(Oracle):
     number of rows the cache absorbed.
     """
 
+    obs_layer = "retry"
+
     def __init__(self, inner: Oracle, policy: RetryPolicy = None,
                  seed: int = 0, cache: bool = True,
                  max_cache_rows: int = 1 << 18):
@@ -95,6 +98,7 @@ class RetryingOracle(Oracle):
         self._rng = np.random.default_rng(seed)
         self._cache: Dict[bytes, np.ndarray] = {} if cache else None
         self._max_cache_rows = max_cache_rows
+        self._cache_frozen = False
         self.retries_performed = 0
         self.faults_seen = 0
         self.cache_hits = 0
@@ -106,6 +110,20 @@ class RetryingOracle(Oracle):
     @property
     def policy(self) -> RetryPolicy:
         return self._policy
+
+    @property
+    def cache_frozen(self) -> bool:
+        return self._cache_frozen
+
+    def freeze_cache(self) -> None:
+        """Stop inserting new answers; existing entries still serve.
+
+        Mirrors :meth:`SampleBank.freeze`: the regressor freezes the
+        cache before fanning outputs out, so a sequential run and every
+        worker shard (whose pickled copy inherits the frozen flag) see
+        the *same* cache snapshot — the keystone for identical query
+        accounting at any ``--jobs`` value."""
+        self._cache_frozen = True
 
     def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -123,10 +141,14 @@ class RetryingOracle(Oracle):
                 seen_this_batch[key] = i
                 miss_idx.append(i)
                 miss_keys.append(key)
+        batch_hits = patterns.shape[0] - len(miss_idx)
+        if batch_hits:
+            obs.count("retry.cache_hit_rows", batch_hits)
         out = np.empty((patterns.shape[0], self.num_pos), dtype=np.uint8)
         if miss_idx:
             answers = self._ask(patterns[miss_idx])
-            room = self._max_cache_rows - len(self._cache)
+            room = 0 if self._cache_frozen \
+                else self._max_cache_rows - len(self._cache)
             for k, (key, row) in enumerate(zip(miss_keys, answers)):
                 if k < room:
                     self._cache[key] = row
@@ -150,8 +172,11 @@ class RetryingOracle(Oracle):
                 raise  # re-asking cannot restore an exhausted budget
             except policy.retry_on as exc:
                 self.faults_seen += 1
+                obs.count("retry.faults_seen",
+                          fault=type(exc).__name__)
                 last = exc
                 if attempt + 1 < attempts:
                     self.retries_performed += 1
+                    obs.count("retry.retries")
                     policy.sleep(policy.delay(attempt, self._rng))
         raise RetryExhausted(attempts, last)

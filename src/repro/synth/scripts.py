@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.aig.aig import Aig
 from repro.network.netlist import Netlist
+from repro.obs import context as obs
 from repro.synth.balance import balance
 from repro.synth.collapse import collapse
 from repro.synth.fraig import fraig
@@ -105,8 +106,10 @@ def optimize_aig(aig: Aig, time_limit: float = 60.0,
     # Heavy collapse once (as in the paper), then the randomized loop.
     if not out_of_time():
         try:
-            candidate = collapse(current, max_support=collapse_support)
+            with obs.span("synth.script", script="collapse"):
+                candidate = collapse(current, max_support=collapse_support)
             report.scripts_run.append("collapse")
+            obs.count("synth.scripts", script="collapse")
             if candidate.size() < best.size():
                 best = candidate
                 current = candidate
@@ -120,15 +123,19 @@ def optimize_aig(aig: Aig, time_limit: float = 60.0,
         if out_of_time():
             break
         script = str(rng.choice(names, p=weights))
-        if script == "dc2":
-            candidate = dc2(current, deadline=deadline)
-        elif script == "rewrite":
-            candidate = _run_script(current, [balance, rewrite], deadline)
-        elif script == "resyn3":
-            candidate = resyn3(current, deadline=deadline)
-        else:
-            candidate = compress2rs(current, rng=rng, deadline=deadline)
+        with obs.span("synth.script", script=script):
+            if script == "dc2":
+                candidate = dc2(current, deadline=deadline)
+            elif script == "rewrite":
+                candidate = _run_script(current, [balance, rewrite],
+                                        deadline)
+            elif script == "resyn3":
+                candidate = resyn3(current, deadline=deadline)
+            else:
+                candidate = compress2rs(current, rng=rng,
+                                        deadline=deadline)
         report.scripts_run.append(script)
+        obs.count("synth.scripts", script=script)
         if candidate.size() < best.size():
             best = candidate
         if candidate.size() <= current.size():
@@ -140,13 +147,17 @@ def optimize_aig(aig: Aig, time_limit: float = 60.0,
     if best.size() <= 200 and not out_of_time():
         from repro.synth.redundancy import remove_redundancies
 
-        candidate = rewrite(best, exact=True)
+        with obs.span("synth.script", script="rewrite -x"):
+            candidate = rewrite(best, exact=True)
         report.scripts_run.append("rewrite -x")
+        obs.count("synth.scripts", script="rewrite -x")
         if candidate.size() < best.size():
             best = candidate
         if not out_of_time():
-            candidate = remove_redundancies(best)
+            with obs.span("synth.script", script="mfs"):
+                candidate = remove_redundancies(best)
             report.scripts_run.append("mfs")
+            obs.count("synth.scripts", script="mfs")
             if candidate.size() < best.size():
                 best = candidate
     report.final_size = best.size()

@@ -1,0 +1,140 @@
+"""Query accounting: one source of truth across stacked wrappers."""
+
+import numpy as np
+
+from repro.network.netlist import Netlist
+from repro.obs import context as obs
+from repro.obs.accounting import (accounting_summary, billed_rows,
+                                  billing_meter, oracle_chain)
+from repro.obs.context import Instrumentation
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.perf.bank import BankedOracle, SampleBank
+from repro.robustness.retry import RetryingOracle
+
+
+def xor_oracle():
+    net = Netlist("x")
+    a, b, c = (net.add_pi(x) for x in "abc")
+    net.add_po("f0", net.add_xor(a, b))
+    net.add_po("f1", net.add_and(b, c))
+    return NetlistOracle(net)
+
+
+def all_patterns(v):
+    n = 1 << v
+    return ((np.arange(n)[:, None] >> np.arange(v)[None, :]) & 1
+            ).astype(np.uint8)
+
+
+def stacked():
+    base = xor_oracle()
+    retry = RetryingOracle(base)
+    bank = SampleBank(base.num_pis, base.num_pos, max_rows=64)
+    return BankedOracle(retry, bank), retry, base
+
+
+class TestBillingMeter:
+    def test_unwrapped_oracle_is_its_own_meter(self):
+        base = xor_oracle()
+        assert billing_meter(base) is base
+
+    def test_unmarked_stack_falls_back_to_bottom(self):
+        top, _retry, base = stacked()
+        assert [type(o).__name__ for o in oracle_chain(top)] == \
+            ["BankedOracle", "RetryingOracle", "NetlistOracle"]
+        assert billing_meter(top) is base
+
+    def test_marked_layer_wins(self):
+        top, retry, _base = stacked()
+        obs.mark_billing(retry)
+        assert billing_meter(top) is retry
+
+    def test_billed_rows_excludes_cache_hits(self):
+        top, _retry, base = stacked()
+        pats = all_patterns(3)
+        top.query(pats)
+        top.query(pats)  # the repeat is absorbed by the bank
+        assert top.query_count == 16     # rows requested of the stack
+        assert base.query_count == 8     # rows actually billed
+        assert billed_rows(top) == 8
+
+    def test_bank_absorbs_without_billing(self):
+        top, _retry, base = stacked()
+        pats = all_patterns(3)[:4]
+        top.bank.record(pats, base.query(pats))
+        base_before = base.query_count
+        out = top.query(pats)
+        assert (out == top.bank.lookup(pats)[1]).all()
+        assert base.query_count == base_before
+        assert top.bank.stats.hits == 4
+
+    def test_never_sum_layer_counts(self):
+        # The anti-pattern the accounting module exists to prevent:
+        # each layer's query_count counts rows requested OF THAT LAYER.
+        top, retry, base = stacked()
+        top.query(all_patterns(3))
+        assert top.query_count + retry.query_count + base.query_count \
+            > billed_rows(top)
+
+
+class TestAccountingSummary:
+    def test_layers_and_cached_rows(self):
+        top, _retry, base = stacked()
+        pats = all_patterns(3)
+        top.query(pats)
+        top.query(pats)
+        summary = accounting_summary(top)
+        assert summary["rows_requested"] == 16
+        assert summary["rows_billed"] == 8
+        assert summary["rows_cached"] == 8
+        assert [e["layer"] for e in summary["layers"]] == \
+            ["bank", "retry", "oracle"]
+        bank_entry, retry_entry, _ = summary["layers"]
+        assert bank_entry["rows_cached"] == 8   # bank absorbed the repeat
+        assert retry_entry["rows_cached"] == 0  # never saw it
+
+
+class TestOracleRowsHook:
+    def test_billed_rows_attributed_to_stage_and_output(self):
+        top, _retry, base = stacked()
+        obs.mark_billing(base)
+        instr = Instrumentation()
+        with obs.use(instr):
+            with obs.stage("learn"):
+                with obs.output_scope(1, "f1"):
+                    top.query(all_patterns(3))
+                    top.query(all_patterns(3))  # cache-served, not billed
+        billed = instr.metrics.counter("oracle.rows_billed")
+        assert billed.total() == base.query_count == 8
+        assert billed.by("stage") == {"learn": 8}
+        assert billed.by("output") == {1: 8}
+        served = instr.metrics.counter("oracle.rows_served")
+        # Every layer reports what it served; only the meter bills.  The
+        # repeat never reached the retry layer — the bank absorbed it.
+        assert served.by("layer") == {"bank": 16, "retry": 8,
+                                      "oracle": 8}
+
+    def test_unscoped_traffic_lands_unattributed(self):
+        base = xor_oracle()
+        obs.mark_billing(base)
+        instr = Instrumentation()
+        with obs.use(instr):
+            base.query(all_patterns(3))
+        billed = instr.metrics.counter("oracle.rows_billed")
+        assert billed.by("stage") == {obs.UNATTRIBUTED: 8}
+        assert billed.by("output") == {-1: 8}
+
+    def test_inactive_context_is_a_noop(self):
+        base = xor_oracle()
+        obs.mark_billing(base)
+        base.query(all_patterns(3))  # must not raise, nothing recorded
+        assert obs.active() is None
+
+    def test_billing_mark_survives_pickling(self):
+        import pickle
+
+        base = xor_oracle()
+        obs.mark_billing(base)
+        clone = pickle.loads(pickle.dumps(base))
+        assert obs.is_billing(clone)
+        assert billing_meter(clone) is clone

@@ -1,0 +1,124 @@
+"""Metrics registry: counters, histogram bucket edges, merge laws."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_total_and_filter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("rows")
+        c.inc(10, stage="learn", output=0)
+        c.inc(5, stage="learn", output=1)
+        c.inc(3, stage="support")
+        assert c.total() == 18
+        assert c.total(stage="learn") == 15
+        assert c.value(stage="support") == 3
+        assert c.value(stage="missing") == 0
+
+    def test_by_groups_and_none_bucket(self):
+        reg = MetricsRegistry()
+        c = reg.counter("rows")
+        c.inc(10, stage="learn", output=0)
+        c.inc(5, stage="learn", output=1)
+        c.inc(3, stage="support")
+        assert c.by("stage") == {"learn": 15, "support": 3}
+        # Label sets missing the group-by label land under None.
+        assert c.by("output") == {0: 10, 1: 5, None: 3}
+        assert c.by("output", stage="learn") == {0: 10, 1: 5}
+
+
+class TestHistogramBuckets:
+    def test_boundaries_are_inclusive_upper_bounds(self):
+        h = Histogram("d", boundaries=[1, 2, 4])
+        for v in (0, 1):     # <= 1
+            h.observe(v)
+        h.observe(2)         # <= 2
+        for v in (3, 4):     # <= 4
+            h.observe(v)
+        h.observe(5)         # overflow
+        assert h.counts() == [2, 1, 2, 1]
+
+    def test_exact_boundary_lands_in_its_bucket(self):
+        h = Histogram("d", boundaries=[8, 16])
+        h.observe(8)
+        h.observe(16)
+        assert h.counts() == [1, 1, 0]
+
+    def test_rejects_unsorted_or_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("d", boundaries=[])
+        with pytest.raises(ValueError):
+            Histogram("d", boundaries=[2, 1])
+
+    def test_registry_fixes_boundaries_per_name(self):
+        reg = MetricsRegistry()
+        reg.histogram("d", [1, 2])
+        assert reg.histogram("d", [1, 2]) is reg.histogram("d", [1, 2])
+        with pytest.raises(ValueError):
+            reg.histogram("d", [1, 2, 3])
+
+    def test_sum_and_count_tracked(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("d", [10])
+        h.observe(3, stage="learn")
+        h.observe(4, stage="learn")
+        row = reg.to_dict()["histograms"]["d"][0]
+        assert row["sum"] == 7
+        assert row["count"] == 2
+        assert row["counts"] == [2, 0]
+
+
+class TestMergeAndSerialization:
+    def _make(self, a, b):
+        reg = MetricsRegistry()
+        reg.counter("rows").inc(a, stage="learn")
+        reg.counter("rows").inc(b, stage="support")
+        reg.gauge("depth").set(a)
+        reg.histogram("d", [2, 4]).observe(a)
+        return reg
+
+    def test_merge_dict_adds_counters_and_histograms(self):
+        one = self._make(10, 1)
+        two = self._make(5, 2)
+        one.merge_dict(two.to_dict())
+        assert one.counter("rows").total() == 18
+        # 10 and 5 both land past the last boundary (4): overflow bucket.
+        assert one.histogram("d", [2, 4]).counts() == [0, 0, 2]
+        # Gauges are last-write-wins.
+        assert one.gauge("depth").value() == 5
+
+    def test_merge_is_commutative_for_counters(self):
+        a, b = self._make(10, 1), self._make(5, 2)
+        ab = MetricsRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        ba = MetricsRegistry()
+        ba.merge(b)
+        ba.merge(a)
+        left, right = ab.to_dict(), ba.to_dict()
+        assert left["counters"] == right["counters"]
+        assert left["histograms"] == right["histograms"]
+
+    def test_merge_rejects_boundary_mismatch(self):
+        one = MetricsRegistry()
+        one.histogram("d", [1, 2]).observe(1)
+        other = MetricsRegistry()
+        other.histogram("d", [1, 2, 3]).observe(1)
+        with pytest.raises(ValueError):
+            one.merge(other)
+
+    def test_to_dict_deterministic_json(self):
+        one = self._make(10, 1)
+        two = self._make(10, 1)
+        assert json.dumps(one.to_dict(), sort_keys=True) == \
+            json.dumps(two.to_dict(), sort_keys=True)
+
+    def test_to_dict_round_trips_through_merge(self):
+        one = self._make(10, 1)
+        clone = MetricsRegistry()
+        clone.merge_dict(one.to_dict())
+        assert clone.to_dict() == one.to_dict()

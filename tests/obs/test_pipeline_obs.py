@@ -1,0 +1,146 @@
+"""End-to-end observability: jobs-invariance, determinism, opt-out."""
+
+import json
+
+import pytest
+
+from repro.core.config import ObsConfig, RobustnessConfig, fast_config
+from repro.core.regressor import LogicRegressor
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+
+def _learn(jobs, *, retries=0, seed=7):
+    oracle = NetlistOracle(build_eco_netlist(8, 4, seed=5))
+    cfg = fast_config(
+        time_limit=30.0, jobs=jobs, seed=seed,
+        enable_optimization=False,
+        robustness=RobustnessConfig(max_retries=retries))
+    return LogicRegressor(cfg).learn(oracle), oracle
+
+
+def _metrics_json(result):
+    return json.dumps(result.instrumentation.metrics.to_dict(),
+                      sort_keys=True)
+
+
+def _trace_shape(result):
+    """Trace records minus timestamps: the determinism contract."""
+    return [{k: v for k, v in rec.items() if k not in ("ts", "dur")}
+            for rec in result.instrumentation.tracer.to_records()]
+
+
+class TestJobsInvariance:
+    """--jobs N must not change aggregates (the satellite regression)."""
+
+    @pytest.mark.parametrize("retries", [0, 2])
+    def test_jobs1_vs_jobs4_identical_aggregates(self, retries):
+        seq, _ = _learn(1, retries=retries)
+        par, _ = _learn(4, retries=retries)
+        assert seq.queries == par.queries
+        assert seq.gate_count == par.gate_count
+        # The caller's oracle object misses worker-shard rows under
+        # --jobs N; ``result.queries`` (and the billed counter) is the
+        # single source of truth and must match across modes.
+        assert _metrics_json(seq) == _metrics_json(par)
+        if seq.bank_stats is not None:
+            assert vars(seq.bank_stats) == vars(par.bank_stats)
+
+    def test_jobs1_vs_jobs4_per_output_stats_survive(self):
+        seq, _ = _learn(1)
+        par, _ = _learn(4)
+        seq_stats = {r.po_index: (r.method, r.support_size)
+                     for r in seq.reports}
+        par_stats = {r.po_index: (r.method, r.support_size)
+                     for r in par.reports}
+        assert seq_stats == par_stats
+
+    def test_step_trace_differs_only_by_parallel_line(self):
+        seq, _ = _learn(1)
+        par, _ = _learn(4)
+        extra = [line for line in par.step_trace
+                 if line not in seq.step_trace]
+        assert all(line.startswith("parallel: ") for line in extra)
+        assert [line for line in seq.step_trace
+                if not line.startswith("parallel: ")] == \
+            [line for line in par.step_trace
+             if not line.startswith("parallel: ")]
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        one, _ = _learn(1)
+        two, _ = _learn(1)
+        assert _metrics_json(one) == _metrics_json(two)
+        assert _trace_shape(one) == _trace_shape(two)
+
+    def test_different_seeds_still_account_fully(self):
+        for seed in (7, 8):
+            result, oracle = _learn(1, seed=seed)
+            billed = result.instrumentation.metrics.counter(
+                "oracle.rows_billed")
+            assert billed.total() == oracle.query_count == result.queries
+
+    def test_parallel_billed_counter_matches_result_queries(self):
+        result, _ = _learn(4)
+        billed = result.instrumentation.metrics.counter(
+            "oracle.rows_billed")
+        assert billed.total() == result.queries
+
+
+class TestAttribution:
+    def test_billed_rows_sum_to_oracle_total(self):
+        result, _ = _learn(2)
+        billed = result.instrumentation.metrics.counter(
+            "oracle.rows_billed")
+        assert billed.total() == result.queries
+        by_stage = billed.by("stage")
+        assert sum(by_stage.values()) == result.queries
+        # Nothing may escape stage attribution.
+        assert "-" not in by_stage
+
+    def test_stage_spans_nest_under_run(self):
+        result, _ = _learn(1)
+        records = result.instrumentation.tracer.to_records()
+        runs = [r for r in records if r["type"] == "span"
+                and r["name"] == "run" and r["parent"] is None]
+        assert len(runs) == 1
+        stage_names = {r["name"] for r in records
+                       if r["type"] == "span"
+                       and r.get("attrs", {}).get("kind") == "stage"
+                       and r["parent"] == runs[0]["id"]}
+        assert "learn" in stage_names
+        assert "support" in stage_names
+
+    def test_output_spans_present_per_learned_output(self):
+        result, oracle = _learn(1)
+        records = result.instrumentation.tracer.to_records()
+        outputs = {r["attrs"]["output"] for r in records
+                   if r["type"] == "span" and r["name"] == "output"}
+        learned = {rep.po_index for rep in result.reports
+                   if rep.method not in ("degraded",)}
+        assert outputs >= learned - {  # template outputs skip step 4
+            rep.po_index for rep in result.reports
+            if "template" in rep.method or rep.method == "shared"}
+
+
+class TestOptOut:
+    def test_disabled_observability_yields_no_instrumentation(self):
+        oracle = NetlistOracle(build_eco_netlist(8, 4, seed=5))
+        cfg = fast_config(time_limit=30.0, enable_optimization=False,
+                          observability=ObsConfig(enabled=False))
+        result = LogicRegressor(cfg).learn(oracle)
+        assert result.instrumentation is None
+        assert result.netlist.num_pos == 4
+        assert result.step_trace  # the rendered view still works
+
+    def test_disabled_matches_enabled_circuit(self):
+        on, _ = _learn(1)
+        oracle = NetlistOracle(build_eco_netlist(8, 4, seed=5))
+        cfg = fast_config(time_limit=30.0, jobs=1, seed=7,
+                          enable_optimization=False,
+                          robustness=RobustnessConfig(max_retries=0),
+                          observability=ObsConfig(enabled=False))
+        off = LogicRegressor(cfg).learn(oracle)
+        assert off.gate_count == on.gate_count
+        assert off.queries == on.queries

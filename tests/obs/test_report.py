@@ -1,0 +1,136 @@
+"""Run-report manifest: schema validity, accounting, checked-in copy."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import RobustnessConfig, fast_config
+from repro.core.regressor import LogicRegressor
+from repro.obs.report import (REPORT_SCHEMA, build_run_report, main,
+                              validate, write_run_report)
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+@pytest.fixture(scope="module")
+def learned():
+    oracle = NetlistOracle(build_eco_netlist(8, 4, seed=5))
+    cfg = fast_config(time_limit=30.0, seed=7, jobs=2,
+                      enable_optimization=False,
+                      robustness=RobustnessConfig(max_retries=0))
+    result = LogicRegressor(cfg).learn(oracle)
+    return result, cfg, oracle
+
+
+class TestValidator:
+    def test_accepts_valid_instance(self):
+        assert validate({"a": 1}, {"type": "object"}) == []
+
+    def test_type_mismatch(self):
+        errors = validate("x", {"type": "integer"})
+        assert errors and "expected integer" in errors[0]
+
+    def test_bool_is_not_integer(self):
+        assert validate(True, {"type": "integer"})
+        assert validate(True, {"type": "boolean"}) == []
+
+    def test_required_and_nested_paths(self):
+        schema = {"type": "object", "required": ["a"],
+                  "properties": {"a": {"type": "object",
+                                       "required": ["b"]}}}
+        errors = validate({"a": {}}, schema)
+        assert errors == ["$.a: missing required key 'b'"]
+
+    def test_items_and_enum(self):
+        schema = {"type": "array", "items": {"enum": [1, 2]}}
+        assert validate([1, 2, 1], schema) == []
+        errors = validate([1, 3], schema)
+        assert errors and "$[1]" in errors[0]
+
+    def test_type_list(self):
+        schema = {"type": ["object", "null"]}
+        assert validate(None, schema) == []
+        assert validate({}, schema) == []
+        assert validate([], schema)
+
+
+class TestBuildRunReport:
+    def test_validates_against_schema(self, learned):
+        result, cfg, _ = learned
+        report = build_run_report(result, cfg, accuracy=1.0)
+        assert validate(report, REPORT_SCHEMA) == []
+
+    def test_stage_rows_sum_to_billed_total(self, learned):
+        result, cfg, _ = learned
+        report = build_run_report(result, cfg)
+        stage_sum = sum(s["billed_rows"] for s in report["stages"])
+        assert stage_sum == report["totals"]["billed_rows"]
+        # result.queries includes worker-shard rows the caller's oracle
+        # object never saw (jobs=2 here) — the report must agree.
+        assert report["totals"]["billed_rows"] == result.queries
+
+    def test_run_section_reflects_config(self, learned):
+        result, cfg, _ = learned
+        report = build_run_report(result, cfg)
+        assert report["run"]["seed"] == 7
+        assert report["run"]["jobs"] == 2
+        assert report["run"]["num_pis"] == 8
+        assert report["run"]["num_pos"] == 4
+        assert report["totals"]["outputs"] == 4
+        assert report["totals"]["accuracy"] is None
+
+    def test_outputs_cover_every_po(self, learned):
+        result, cfg, _ = learned
+        report = build_run_report(result, cfg)
+        assert sorted(o["index"] for o in report["outputs"]) == \
+            list(range(4))
+        for out in report["outputs"]:
+            assert out["billed_rows"] >= 0
+
+    def test_requires_instrumentation(self, learned):
+        result, cfg, _ = learned
+        bare = type("R", (), {"instrumentation": None})()
+        with pytest.raises(ValueError, match="no instrumentation"):
+            build_run_report(bare, cfg)
+
+    def test_write_rejects_invalid_report(self, tmp_path, learned):
+        result, cfg, _ = learned
+        report = build_run_report(result, cfg)
+        del report["totals"]
+        with pytest.raises(ValueError, match="schema validation"):
+            write_run_report(report, str(tmp_path / "r.json"))
+
+
+class TestCheckedInSchema:
+    def test_docs_copy_matches_constant(self):
+        path = os.path.join(REPO_ROOT, "docs", "run_report.schema.json")
+        with open(path) as handle:
+            assert json.load(handle) == REPORT_SCHEMA
+
+
+class TestCli:
+    def _write(self, tmp_path, learned):
+        result, cfg, _ = learned
+        path = tmp_path / "r.json"
+        write_run_report(build_run_report(result, cfg), str(path))
+        return str(path)
+
+    def test_ok_path(self, tmp_path, learned, capsys):
+        path = self._write(tmp_path, learned)
+        assert main([path]) == 0
+        assert capsys.readouterr().out.startswith(f"OK {path}")
+
+    def test_ok_with_external_schema(self, tmp_path, learned):
+        path = self._write(tmp_path, learned)
+        schema = os.path.join(REPO_ROOT, "docs",
+                              "run_report.schema.json")
+        assert main([path, "--schema", schema]) == 0
+
+    def test_invalid_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 1}))
+        assert main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Tracer: span nesting, JSONL round-trip, Chrome export, adoption."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, export_trace
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        records = tracer.to_records()
+        # Emission order: children close before parents.
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner_rec, outer_rec = records
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_open_spans_excluded_from_export(self):
+        tracer = Tracer(clock=FakeClock())
+        cm = tracer.span("open")
+        cm.__enter__()
+        assert tracer.to_records() == []
+        cm.__exit__(None, None, None)
+        assert len(tracer.to_records()) == 1
+
+    def test_timestamps_relative_to_epoch(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.tick(2.0)
+        with tracer.span("work"):
+            clock.tick(3.0)
+        rec = tracer.to_records()[0]
+        assert rec["ts"] == pytest.approx(2.0)
+        assert rec["dur"] == pytest.approx(3.0)
+
+    def test_event_attaches_to_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s") as s:
+            tracer.event("marker", n=3)
+        event = tracer.to_records()[0]
+        assert event["type"] == "event"
+        assert event["span"] == s.span_id
+        assert event["attrs"] == {"n": 3}
+
+    def test_attrs_coerced_jsonable(self):
+        import numpy as np
+
+        span = Span(span_id=1, name="s", parent_id=None, t_start=0.0)
+        span.set(count=np.int64(7), arr=(1, 2), obj=object())
+        assert span.attrs["count"] == 7
+        assert span.attrs["arr"] == [1, 2]
+        assert isinstance(span.attrs["obj"], str)
+        json.dumps(span.to_record())
+
+
+class TestJsonlRoundTrip:
+    def test_schema_and_round_trip(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("run", seed=1):
+            tracer.event("step.bank", hits=4)
+            with tracer.span("learn", kind="stage"):
+                pass
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records == tracer.to_records()
+        for rec in records:
+            assert rec["type"] in ("span", "event")
+            assert {"id", "name", "ts", "attrs"} <= set(rec)
+            if rec["type"] == "span":
+                assert "dur" in rec and "parent" in rec
+            else:
+                assert "span" in rec
+
+
+class TestChromeExport:
+    def test_valid_trace_event_json(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("run"):
+            clock.tick(0.5)
+            tracer.event("mark")
+        path = tmp_path / "t.trace.json"
+        tracer.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert {"name", "ph", "ts", "pid", "tid", "cat"} <= set(ev)
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(complete) == 1 and len(instants) == 1
+        assert complete[0]["dur"] == pytest.approx(0.5e6)  # microseconds
+        assert instants[0]["s"] == "t"
+
+    def test_export_trace_jsonl_writes_sibling(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("run"):
+            pass
+        path = tmp_path / "out.jsonl"
+        written = export_trace(tracer, str(path))
+        assert written == [str(path), str(tmp_path / "out.trace.json")]
+        json.loads((tmp_path / "out.trace.json").read_text())
+
+    def test_export_trace_other_extension(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        path = tmp_path / "out.json"
+        assert export_trace(tracer, str(path)) == [str(path)]
+        assert "traceEvents" in json.loads(path.read_text())
+
+
+class TestAdopt:
+    def _child_records(self):
+        child = Tracer(clock=FakeClock())
+        with child.span("output", output=3):
+            child.event("step.mark")
+        return child.to_records()
+
+    def test_reids_and_reparents(self):
+        parent = Tracer(clock=FakeClock())
+        with parent.span("learn") as learn:
+            parent.adopt(self._child_records())
+        records = parent.to_records()
+        names = [r["name"] for r in records]
+        assert names == ["step.mark", "output", "learn"]
+        event, out_span, learn_span = records
+        assert learn_span["id"] == learn.span_id
+        # Child root reparented under the open span; internal links kept.
+        assert out_span["parent"] == learn_span["id"]
+        assert event["span"] == out_span["id"]
+        # Ids were re-assigned from the parent's counter: all unique.
+        assert len({r["id"] for r in records}) == 3
+
+    def test_adopt_outside_span_keeps_roots_unparented(self):
+        parent = Tracer(clock=FakeClock())
+        parent.adopt(self._child_records())
+        out_span = [r for r in parent.to_records()
+                    if r["name"] == "output"][0]
+        assert out_span["parent"] is None
+
+    def test_adopt_shifts_timestamps(self):
+        clock = FakeClock()
+        parent = Tracer(clock=clock)
+        clock.tick(10.0)
+        with parent.span("learn"):
+            parent.adopt(self._child_records())
+        out_span = [r for r in parent.to_records()
+                    if r["name"] == "output"][0]
+        # Child epoch-relative 0.0 shifted to the learn span's start.
+        assert out_span["ts"] == pytest.approx(10.0)
+
+    def test_fold_back_order_determines_ids(self):
+        a, b = self._child_records(), self._child_records()
+        one = Tracer(clock=FakeClock())
+        with one.span("learn"):
+            one.adopt(a)
+            one.adopt(b)
+        two = Tracer(clock=FakeClock())
+        with two.span("learn"):
+            two.adopt(a)
+            two.adopt(b)
+        strip = [{k: v for k, v in r.items() if k not in ("ts", "dur")}
+                 for r in one.to_records()]
+        strip2 = [{k: v for k, v in r.items() if k not in ("ts", "dur")}
+                  for r in two.to_records()]
+        assert strip == strip2

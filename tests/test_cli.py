@@ -89,6 +89,43 @@ class TestCommands:
                      "--no-accuracy-gate"])
         assert code == 0
 
+    def test_learn_writes_obs_artifacts(self, circuit_file, tmp_path,
+                                        capsys):
+        import json
+
+        from repro.obs.report import REPORT_SCHEMA, validate
+
+        path, _ = circuit_file
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.json")
+        report = str(tmp_path / "r.json")
+        code = main(["learn", path, "--time-limit", "15",
+                     "--patterns", "2000", "--no-accuracy-gate",
+                     "--trace-out", trace, "--metrics-out", metrics,
+                     "--report-out", report])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        # JSONL trace: one JSON object per line.
+        records = [json.loads(line)
+                   for line in open(trace).read().splitlines()]
+        assert any(r["type"] == "span" and r["name"] == "run"
+                   for r in records)
+        # Perfetto sibling is valid Chrome trace JSON.
+        chrome = json.load(open(str(tmp_path / "t.trace.json")))
+        assert chrome["traceEvents"]
+        assert all({"ph", "ts", "name", "pid", "tid"} <= set(ev)
+                   for ev in chrome["traceEvents"])
+        # Metrics dump carries the billed-row counter.
+        dump = json.load(open(metrics))
+        assert "oracle.rows_billed" in dump["counters"]
+        # Report validates and its stage table sums to the total.
+        rep = json.load(open(report))
+        assert validate(rep, REPORT_SCHEMA) == []
+        assert sum(s["billed_rows"] for s in rep["stages"]) == \
+            rep["totals"]["billed_rows"]
+        assert rep["totals"]["accuracy"] is not None
+
     def test_learn_resume_requires_checkpoint(self, circuit_file):
         path, _ = circuit_file
         with pytest.raises(SystemExit):
