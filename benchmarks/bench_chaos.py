@@ -1,0 +1,125 @@
+"""Self-verification bench: what the certify-or-tag layer costs and buys.
+
+Three gates guard the acceptance criteria of the self-verifying
+execution layer:
+
+- **overhead** — on a clean oracle the verify stage must cost at most
+  10 % extra billed rows on top of learning (exhaustive verification on
+  small spaces is one shared full-space batch);
+- **never silently wrong** — under bit-flip corruption with auditing
+  enabled, every output must end the run either certified (verified /
+  repaired) or explicitly tagged ``verify-failed``;
+- **survival** — worker crashes and hangs at ``jobs=4`` must neither
+  lose outputs nor force the engine out of parallel mode.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import one_shot
+from repro.core.config import RobustnessConfig, fast_config
+from repro.core.regressor import LogicRegressor
+from repro.eval import contest_test_patterns
+from repro.eval.accuracy import per_output_accuracy
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.robustness.chaos import run_chaos_matrix
+from repro.robustness.faults import FaultModel, FaultyOracle
+
+
+def test_verify_overhead_on_clean_oracle(benchmark):
+    """Certification must be ~free when the channel is honest.
+
+    16 PIs puts the run on the sampled path (the one real problems
+    take); tiny spaces instead verify exhaustively, a deliberate
+    rows-for-exactness trade that this gate does not govern.
+    """
+    golden = build_eco_netlist(16, 4, seed=21, support_low=3,
+                               support_high=6)
+
+    def run():
+        base = LogicRegressor(fast_config(
+            time_limit=20,
+            robustness=RobustnessConfig(verify=False))).learn(
+                NetlistOracle(golden))
+        checked = LogicRegressor(fast_config(
+            time_limit=20,
+            robustness=RobustnessConfig(verify=True))).learn(
+                NetlistOracle(golden))
+        return base, checked
+
+    base, checked = one_shot(benchmark, run)
+    overhead = (checked.queries - base.queries) / base.queries
+    ver = checked.verification
+    benchmark.extra_info.update(
+        base_rows=base.queries, checked_rows=checked.queries,
+        verify_rows=ver.rows_spent,
+        overhead_pct=round(overhead * 100, 2),
+        statuses=ver.status_counts())
+    # On the clean path nothing fails and nothing is repaired; with the
+    # row budget this tight the honest verdict per output is either
+    # "verified" or "inconclusive" (too few rows for the 99.99% bound),
+    # never a silent lie.
+    assert all(v.status in ("verified", "inconclusive")
+               and v.mismatches == 0 for v in ver.outputs)
+    # The acceptance bar: <= 10% extra billed rows on the clean path.
+    assert overhead <= 0.10, \
+        f"verification overhead {overhead:.1%} exceeds the 10% budget"
+
+
+def test_never_silently_wrong_under_bitflips(benchmark):
+    """Bit-flip corruption + auditing: certify or tag, never lie."""
+    golden = build_eco_netlist(10, 4, seed=2019, support_low=3,
+                               support_high=6)
+
+    def run():
+        oracle = FaultyOracle(NetlistOracle(golden),
+                              FaultModel(bitflip_rate=1e-3), seed=7)
+        cfg = fast_config(
+            time_limit=20,
+            robustness=RobustnessConfig(max_retries=3,
+                                        retry_base_delay=0.0,
+                                        retry_max_delay=0.0,
+                                        audit_rate=0.10))
+        return oracle, LogicRegressor(cfg).learn(oracle)
+
+    oracle, result = one_shot(benchmark, run)
+    ver = result.verification
+    statuses = [v.status for v in ver.outputs]
+    benchmark.extra_info.update(
+        bits_flipped=oracle.counters.bits_flipped,
+        statuses=ver.status_counts(), rows=result.queries)
+    assert set(statuses) <= {"verified", "repaired", "verify-failed"}, \
+        f"uncertified statuses under corruption: {statuses}"
+    # Anything that ends 'verified'/'repaired' must actually be exact.
+    pats = contest_test_patterns(10, total=4000,
+                                 rng=np.random.default_rng(1))
+    acc_per = per_output_accuracy(result.netlist, golden, pats)
+    for v, acc_j in zip(ver.outputs, acc_per):
+        if v.status in ("verified", "repaired"):
+            assert acc_j == 1.0, \
+                f"output {v.output} certified but accuracy={acc_j}"
+
+
+@pytest.mark.parametrize("fault", ["crash", "hang"])
+def test_parallel_survives_worker_faults(benchmark, fault):
+    """Killed/hung workers at jobs=4: complete, parallel, exact."""
+
+    def run():
+        return run_chaos_matrix([f"worker-{fault}"], seed=2019)
+
+    summary = one_shot(benchmark, run)
+    (outcome,) = summary["scenarios"]
+    benchmark.extra_info.update(details=outcome["details"])
+    assert outcome["passed"], outcome["failures"]
+    assert outcome["details"]["engine_mode"].startswith("parallel")
+
+
+def test_full_chaos_matrix(benchmark):
+    """The whole scripted scenario sweep, as ``repro chaos`` runs it."""
+    summary = one_shot(benchmark, run_chaos_matrix, seed=2019)
+    benchmark.extra_info.update(
+        passed=sum(1 for s in summary["scenarios"] if s["passed"]),
+        total=len(summary["scenarios"]))
+    failed = [s for s in summary["scenarios"] if not s["passed"]]
+    assert not failed, [(s["name"], s["failures"]) for s in failed]

@@ -8,6 +8,8 @@ Commands:
 - ``check``     SAT equivalence check between two circuit files.
 - ``evaluate``  run the contest suite (Table II) at a chosen budget.
 - ``stats``     print size / depth / interface facts about a circuit file.
+- ``chaos``     run the seeded fault-scenario matrix (self-verifying
+                execution smoke test).
 
 File formats are chosen by extension: ``.blif``, ``.aag`` for input and
 output, plus ``.v`` (write-only structural Verilog).
@@ -85,10 +87,18 @@ def cmd_learn(args: argparse.Namespace) -> int:
         robustness=RobustnessConfig(
             max_retries=args.max_retries,
             checkpoint_path=args.checkpoint,
-            resume=args.resume))
+            resume=args.resume,
+            audit_rate=args.audit_rate,
+            verify=not args.no_verify))
     result = LogicRegressor(config).learn(oracle)
     for line in result.step_trace:
         print("  " + line)
+    if result.verification is not None:
+        ver = result.verification
+        statuses = ", ".join(f"{k}={v}" for k, v in
+                             sorted(ver.status_counts().items()))
+        print(f"verification: {statuses} ({ver.rows_spent} rows, "
+              f"target {ver.target * 100:.2f}%)")
     patterns = contest_test_patterns(golden.num_pis, total=args.patterns)
     acc = accuracy(result.netlist, golden, patterns)
     print(f"learned {result.gate_count} gates "
@@ -194,6 +204,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.robustness.chaos import run_chaos_matrix
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        summary = run_chaos_matrix(names, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for scenario in summary["scenarios"]:
+        mark = "PASS" if scenario["passed"] else "FAIL"
+        print(f"{mark} {scenario['name']}")
+        for failure in scenario["failures"]:
+            print(f"     {failure}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos report written to {args.out}")
+    total = len(summary["scenarios"])
+    passed = sum(1 for s in summary["scenarios"] if s["passed"])
+    print(f"{passed}/{total} scenarios passed")
+    return 0 if summary["passed"] else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.synth.lutmap import map_luts
 
@@ -245,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="learn independent outputs across N worker "
                             "processes (same seed gives a bit-identical "
                             "circuit for any N; default 1)")
+    learn.add_argument("--audit-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="re-query this fraction of delivered rows "
+                            "through the corruption audit (0 disables; "
+                            "poisoned cache entries are invalidated)")
+    learn.add_argument("--no-verify", action="store_true",
+                       help="skip the post-learning verify-and-repair "
+                            "stage")
     learn.add_argument("--no-sample-bank", action="store_true",
                        help="disable the cross-output sample bank "
                             "(every probe hits the oracle)")
@@ -283,6 +327,16 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print circuit statistics")
     stats.add_argument("circuit")
     stats.set_defaults(fn=cmd_stats)
+
+    chaos = sub.add_parser("chaos",
+                           help="run the seeded fault-scenario matrix")
+    chaos.add_argument("--scenarios", type=str, default=None,
+                       help="comma-separated subset (default: all); see "
+                            "repro.robustness.chaos.SCENARIOS")
+    chaos.add_argument("--seed", type=int, default=2019)
+    chaos.add_argument("--out", metavar="PATH",
+                       help="write the JSON chaos report here")
+    chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -56,6 +56,72 @@ class RobustnessConfig:
     """Load ``checkpoint_path`` at startup and skip already-learned
     outputs."""
 
+    # -- corruption auditing (repro.robustness.audit) ----------------------
+    audit_rate: float = 0.0
+    """Fraction of delivered oracle rows the
+    :class:`~repro.robustness.audit.AuditingOracle` re-queries (0
+    disables the audit wrapper).  Selection is a pure per-row hash, so
+    audit counters are identical at any ``--jobs`` value."""
+
+    audit_votes: int = 3
+    """Copies majority-voted when an audited row disagrees (odd,
+    >= 3)."""
+
+    # -- verify-and-repair (repro.robustness.verify) -----------------------
+    verify: bool = True
+    """Certify every learned output against fresh oracle rows after
+    optimization and repair the ones that fail (the contest target is
+    99.99%; a run that cannot certify tags the output honestly instead
+    of shipping it silently wrong)."""
+
+    verify_target: float = 0.9999
+    """Per-output hit rate the Wilson lower bound is checked against."""
+
+    verify_confidence: float = 0.95
+    """One-sided confidence of the verification bound."""
+
+    verify_samples: Optional[int] = None
+    """Fixed verification rows per output; ``None`` adapts to
+    ``verify_rows_fraction`` of the learn-stage billed rows, clamped to
+    ``[verify_min_samples, rows_to_certify(target)]``."""
+
+    verify_rows_fraction: float = 0.08
+    """Adaptive share of learn-billed rows spent on verification."""
+
+    verify_min_samples: int = 256
+    """Floor on the adaptive verification sample per output."""
+
+    max_repair_rounds: int = 2
+    """Repair attempts per failing output (patch cubes first, re-learn
+    last; 0 reports ``verify-failed`` without repairing)."""
+
+    repair_rows_fraction: float = 0.05
+    """Cap on repair-channel oracle rows, as a share of learn-billed
+    rows."""
+
+    # -- worker supervision (repro.robustness.supervisor) ------------------
+    heartbeat_interval: float = 0.25
+    """Seconds between worker heartbeats while a task runs."""
+
+    heartbeat_timeout: float = 15.0
+    """A busy worker silent this long is terminated and its task
+    re-dispatched."""
+
+    task_wall_grace: float = 5.0
+    """Slack on top of a task's hard deadline before the supervisor
+    kills the worker outright."""
+
+    max_redispatches: int = 1
+    """Fresh-worker retries per task whose worker crashed or hung;
+    beyond this the task is quarantined as a poison task."""
+
+    redispatch_budget_factor: float = 0.5
+    """Scale on a re-dispatched task's soft/hard time budgets."""
+
+    worker_fault_plan: Optional[dict] = None
+    """Chaos/test injection: task index -> ``"crash"`` | ``"hang"``,
+    applied to the task's first dispatch only."""
+
     def validate(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -66,6 +132,36 @@ class RobustnessConfig:
             raise ValueError("hard_slack must be >= 1")
         if self.resume and not self.checkpoint_path:
             raise ValueError("resume requires a checkpoint_path")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ValueError("audit_rate must be in [0, 1]")
+        if self.audit_votes < 3 or self.audit_votes % 2 == 0:
+            raise ValueError("audit_votes must be odd and >= 3")
+        if not 0.0 < self.verify_target < 1.0:
+            raise ValueError("verify_target must be inside (0, 1)")
+        if not 0.0 < self.verify_confidence < 1.0:
+            raise ValueError("verify_confidence must be inside (0, 1)")
+        if self.verify_samples is not None and self.verify_samples <= 0:
+            raise ValueError("verify_samples must be positive when set")
+        if not 0.0 < self.verify_rows_fraction <= 1.0:
+            raise ValueError("verify_rows_fraction must be in (0, 1]")
+        if self.verify_min_samples <= 0:
+            raise ValueError("verify_min_samples must be positive")
+        if self.max_repair_rounds < 0:
+            raise ValueError("max_repair_rounds must be non-negative")
+        if not 0.0 < self.repair_rows_fraction <= 1.0:
+            raise ValueError("repair_rows_fraction must be in (0, 1]")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval/timeout must be > 0")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval")
+        if self.task_wall_grace < 0:
+            raise ValueError("task_wall_grace must be non-negative")
+        if self.max_redispatches < 0:
+            raise ValueError("max_redispatches must be non-negative")
+        if not 0.0 < self.redispatch_budget_factor <= 1.0:
+            raise ValueError(
+                "redispatch_budget_factor must be in (0, 1]")
 
 
 @dataclass

@@ -35,9 +35,12 @@ from repro.oracle.base import Oracle, QueryBudgetExceeded
 from repro.perf.bank import BankedOracle, BankStats, SampleBank
 from repro.perf.parallel import (OutputTask, derive_output_rng,
                                  learn_outputs)
+from repro.robustness.audit import AuditingOracle, AuditPolicy
 from repro.robustness.checkpoint import CheckpointEntry, CheckpointStore
 from repro.robustness.deadline import Deadline, DeadlineManager
 from repro.robustness.retry import RetryingOracle, RetryPolicy
+from repro.robustness.verify import (VerificationReport, VerifyPolicy,
+                                     verify_and_repair)
 from repro.synth.scripts import optimize_netlist
 
 
@@ -71,6 +74,19 @@ class LearnResult:
     """The run's tracer + metrics registry (None when
     ``config.observability.enabled`` is off); feed it to
     :func:`repro.obs.report.build_run_report` or the trace exporters."""
+
+    verification: Optional[VerificationReport] = None
+    """Post-learning certificate (None when ``robustness.verify`` is
+    off or verification errored): per-output Wilson-bound statuses,
+    repair record, and rows spent.  Serialized into the
+    ``verification`` section of ``run_report.json``."""
+
+    engine_mode: str = "sequential"
+    """How step-4 ran (``sequential`` or ``parallel xN``)."""
+
+    supervisor: Optional[dict] = None
+    """Supervised-pool statistics (crashes, hangs, redispatches,
+    quarantines) when the parallel engine ran; None otherwise."""
 
     @property
     def gate_count(self) -> int:
@@ -133,11 +149,22 @@ class LogicRegressor:
             hard_slack=rob.hard_slack)
         start_queries = oracle.query_count
         # The execution layer talks to the oracle through the retry
-        # wrapper; budget metering stays on the caller's oracle.
-        inner_exec: Oracle = oracle
+        # wrapper; budget metering stays on the caller's oracle.  The
+        # corruption audit sits directly above the billing oracle so
+        # every delivered row can be spot-checked before any cache
+        # (retry memo, sample bank) gets to memorize it.
+        audited: Optional[AuditingOracle] = None
+        base_exec: Oracle = oracle
+        if rob.audit_rate > 0.0:
+            audited = AuditingOracle(
+                oracle, AuditPolicy(rate=rob.audit_rate,
+                                    votes=rob.audit_votes,
+                                    seed=cfg.seed))
+            base_exec = audited
+        inner_exec: Oracle = base_exec
         if rob.max_retries > 0:
             inner_exec = RetryingOracle(
-                oracle,
+                base_exec,
                 policy=RetryPolicy(max_retries=rob.max_retries,
                                    base_delay=rob.retry_base_delay,
                                    max_delay=rob.retry_max_delay,
@@ -151,6 +178,13 @@ class LogicRegressor:
             bank = SampleBank(oracle.num_pis, oracle.num_pos,
                               max_rows=cfg.bank_max_rows)
             exec_oracle = BankedOracle(inner_exec, bank)
+        if audited is not None:
+            # Proven-poisoned rows must be purged wherever a stale copy
+            # may hide: the retry memo cache and the sample bank.
+            if isinstance(inner_exec, RetryingOracle):
+                audited.add_invalidator(inner_exec.invalidate)
+            if bank is not None:
+                audited.add_invalidator(bank.invalidate)
 
         store: Optional[CheckpointStore] = None
         restored: Dict[int, CheckpointEntry] = {}
@@ -301,6 +335,8 @@ class LogicRegressor:
                     st.emit("deadline", subject=name)
 
             extra_queries = 0
+            engine_mode = "sequential"
+            supervisor_stats: Optional[dict] = None
             if plain:
                 if bank is not None:
                     # Frozen before the fan-out: every output (any jobs
@@ -353,6 +389,8 @@ class LogicRegressor:
                                        on_result=on_result,
                                        shield=rob.isolate_outputs)
                 extra_queries = engine.extra_queries
+                engine_mode = engine.mode
+                supervisor_stats = engine.supervisor
                 if engine.note:
                     st.emit("parallel-note", message=engine.note)
                 if cfg.jobs > 1:
@@ -427,6 +465,52 @@ class LogicRegressor:
                             reason="optimize-failed",
                             detail=type(exc).__name__)
 
+        # -- verify-and-repair: the run certifies its own output ------------
+        verification: Optional[VerificationReport] = None
+        if rob.verify:
+            with obs_ctx.stage("verify"):
+                # Include worker-shard rows (invisible to this oracle's
+                # meter) so the verify sample is sized identically at
+                # any --jobs value.
+                learn_billed = (oracle.query_count - start_queries
+                                + extra_queries)
+                policy = VerifyPolicy(
+                    target=rob.verify_target,
+                    confidence=rob.verify_confidence,
+                    samples=rob.verify_samples,
+                    rows_fraction=rob.verify_rows_fraction,
+                    min_samples=rob.verify_min_samples,
+                    max_repair_rounds=rob.max_repair_rounds,
+                    repair_rows_fraction=rob.repair_rows_fraction,
+                    seed=cfg.seed)
+                try:
+                    # Against the *billing* oracle directly — the bank
+                    # and the retry cache hold exactly the rows whose
+                    # trustworthiness is in question.
+                    net, verification = verify_and_repair(
+                        net, oracle, policy,
+                        learn_billed_rows=learn_billed,
+                        supports=supports, config=cfg)
+                except Exception as exc:  # noqa: BLE001 - isolation
+                    if not rob.isolate_outputs:
+                        raise
+                    st.emit("degraded", subject="verification",
+                            reason="verify-error",
+                            detail=f"{type(exc).__name__}: {exc}")
+            if verification is not None:
+                st.emit("verify",
+                        statuses=verification.status_counts(),
+                        rows=verification.rows_spent)
+                for v in verification.outputs:
+                    if v.status == "verify-failed":
+                        st.emit("degraded", subject=v.po_name,
+                                reason="verify-failed",
+                                detail=(f"lcb={v.lower_bound:.6f} "
+                                        f"mismatches={v.mismatches}"))
+
+        if audited is not None:
+            st.emit("audit", **audited.counters.as_dict())
+
         return LearnResult(netlist=net, reports=reports,
                            elapsed=deadlines.elapsed(),
                            queries=(oracle.query_count - start_queries
@@ -434,7 +518,10 @@ class LogicRegressor:
                            step_trace=st.lines(),
                            bank_stats=bank.stats if bank is not None
                            else None,
-                           degradations=st.degradations())
+                           degradations=st.degradations(),
+                           verification=verification,
+                           engine_mode=engine_mode,
+                           supervisor=supervisor_stats)
 
     # -- execution-layer helpers -------------------------------------------------
 

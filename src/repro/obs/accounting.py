@@ -71,6 +71,15 @@ def accounting_summary(oracle: Any) -> Dict[str, Any]:
         if hits is not None:
             entry["rows_cached"] = int(hits)
             cached += int(hits)
+        counters = getattr(layer, "counters", None)
+        by_kind = getattr(counters, "by_kind", None)
+        if by_kind is not None:
+            # A fault-injecting layer (FaultyOracle): per-family totals.
+            entry["faults_injected"] = {k: int(v)
+                                        for k, v in sorted(by_kind.items())}
+        audit_dict = getattr(counters, "as_dict", None)
+        if audit_dict is not None and hasattr(counters, "rows_audited"):
+            entry["audit"] = audit_dict()
         layers.append(entry)
     return {
         "rows_requested": chain[0].query_count,

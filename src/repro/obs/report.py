@@ -49,12 +49,34 @@ _OUTPUT_ENTRY = {
     },
 }
 
+_VERIFY_OUTPUT_ENTRY = {
+    "type": "object",
+    "required": ["output", "index", "status", "sampled", "mismatches",
+                 "lower_bound"],
+    "properties": {
+        "output": {"type": "string"},
+        "index": {"type": "integer"},
+        "status": {"type": "string",
+                   "enum": ["verified", "repaired", "inconclusive",
+                            "verify-failed", "skipped"]},
+        "sampled": {"type": "integer"},
+        "mismatches": {"type": "integer"},
+        "lower_bound": {"type": _NUM},
+        "accuracy": {"type": _NUM},
+        "exhaustive": {"type": "boolean"},
+        "repair_rounds": {"type": "integer"},
+        "patches_applied": {"type": "integer"},
+        "relearned": {"type": "boolean"},
+    },
+}
+
 REPORT_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": ["schema_version", "run", "totals", "stages", "outputs",
-                 "degradations", "bank", "oracle_layers", "methods"],
+                 "degradations", "bank", "oracle_layers", "methods",
+                 "verification", "supervisor"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1]},
+        "schema_version": {"type": "integer", "enum": [2]},
         "run": {
             "type": "object",
             "required": ["seed", "jobs", "time_limit", "num_pis",
@@ -68,6 +90,7 @@ REPORT_SCHEMA: Dict[str, Any] = {
                 "elapsed_seconds": {"type": _NUM},
                 "sample_bank": {"type": "boolean"},
                 "max_retries": {"type": "integer"},
+                "engine_mode": {"type": "string"},
             },
         },
         "totals": {
@@ -108,6 +131,31 @@ REPORT_SCHEMA: Dict[str, Any] = {
             },
         },
         "methods": {"type": "object"},
+        "verification": {
+            "type": ["object", "null"],
+            "required": ["target", "confidence", "rows_spent",
+                         "statuses", "all_certified", "outputs"],
+            "properties": {
+                "target": {"type": "number"},
+                "confidence": {"type": "number"},
+                "rows_spent": {"type": "integer"},
+                "statuses": {"type": "object"},
+                "all_certified": {"type": "boolean"},
+                "outputs": {"type": "array",
+                            "items": _VERIFY_OUTPUT_ENTRY},
+            },
+        },
+        "supervisor": {
+            "type": ["object", "null"],
+            "properties": {
+                "workers_spawned": {"type": "integer"},
+                "workers_crashed": {"type": "integer"},
+                "workers_hung": {"type": "integer"},
+                "wall_timeouts": {"type": "integer"},
+                "redispatches": {"type": "integer"},
+                "quarantined": {"type": "integer"},
+            },
+        },
     },
 }
 
@@ -252,8 +300,10 @@ def build_run_report(result, config, *,
               for layer, rows in sorted(served.by("layer").items(),
                                         key=lambda kv: str(kv[0]))]
 
+    verification = getattr(result, "verification", None)
+
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "run": {
             "seed": config.seed,
             "jobs": config.jobs,
@@ -263,6 +313,7 @@ def build_run_report(result, config, *,
             "elapsed_seconds": round(result.elapsed, 6),
             "sample_bank": config.enable_sample_bank,
             "max_retries": config.robustness.max_retries,
+            "engine_mode": getattr(result, "engine_mode", "sequential"),
         },
         "totals": {
             "billed_rows": int(billed.total()),
@@ -278,6 +329,9 @@ def build_run_report(result, config, *,
         "bank": bank,
         "oracle_layers": layers,
         "methods": result.methods_used(),
+        "verification": verification.to_json()
+        if verification is not None else None,
+        "supervisor": getattr(result, "supervisor", None),
     }
 
 

@@ -28,6 +28,11 @@ def _render_degraded(a: Dict[str, Any]) -> str:
     if reason == "optimize-failed":
         return (f"degraded: optimization failed ({a['detail']}); "
                 "keeping the unoptimized netlist")
+    if reason == "verify-failed":
+        return (f"degraded: {a['subject']} failed verification "
+                f"({a['detail']})")
+    if reason == "verify-error":
+        return f"degraded: verification errored ({a['detail']})"
     return f"degraded: {a['subject']} failed ({a['detail']})"
 
 
@@ -71,6 +76,13 @@ RENDERERS: Dict[str, Callable[[Dict[str, Any]], str]] = {
     "optimize": lambda a: (f"optimize: {a['initial_size']} -> "
                            f"{a['final_size']} AIG nodes via "
                            f"{'/'.join(a['scripts'])}"),
+    "verify": lambda a: ("verify: "
+                         + ", ".join(f"{k}={v}" for k, v in
+                                     sorted(a["statuses"].items()))
+                         + f" ({a['rows']} rows)"),
+    "audit": lambda a: (f"audit: {a['rows_audited']} rows re-checked, "
+                        f"{a['rows_disagreed']} disagreed, "
+                        f"{a['rows_poisoned']} poisoned"),
 }
 
 

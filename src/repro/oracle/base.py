@@ -124,8 +124,14 @@ class Oracle(abc.ABC):
         out = self._evaluate(patterns)
         out = np.asarray(out, dtype=np.uint8)
         if out.shape != (patterns.shape[0], self.num_pos):
-            raise AssertionError(
-                "oracle implementation returned a malformed response")
+            # A wrong-shape response (duplicated / truncated rows, extra
+            # columns) is a *generator output* problem, not a caller
+            # contract violation: classify it as a transient fault so the
+            # retry layer can re-ask instead of the run dying on an
+            # assertion.  No rows are billed for a malformed response.
+            raise TransientOracleFault(
+                f"malformed oracle response: expected "
+                f"({patterns.shape[0]}, {self.num_pos}), got {out.shape}")
         # Bill only answers actually delivered: a raising oracle must not
         # consume budget, or every retry would double-bill the caller.
         self._query_count += patterns.shape[0]

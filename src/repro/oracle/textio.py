@@ -81,6 +81,17 @@ def read_relation_file(path: str) -> Tuple[List[str], List[str],
                 continue
             if len(parts) != 2:
                 raise ValueError(f"malformed relation row {line!r}")
+            if set(parts[0]) - {"0", "1"} or set(parts[1]) - {"0", "1"}:
+                raise ValueError(
+                    f"non-binary character in relation row {line!r}")
+            if len(parts[0]) != len(pi_names):
+                raise ValueError(
+                    f"relation row {line!r} has {len(parts[0])} input "
+                    f"bits; header names {len(pi_names)} PIs")
+            if len(parts[1]) != len(po_names):
+                raise ValueError(
+                    f"relation row {line!r} has {len(parts[1])} output "
+                    f"bits; header names {len(po_names)} POs")
             ins.append([int(ch) for ch in parts[0]])
             outs.append([int(ch) for ch in parts[1]])
     return (pi_names, po_names,

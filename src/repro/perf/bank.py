@@ -60,6 +60,9 @@ class BankStats:
     take_calls: int = 0
     """Subspace drains served (:meth:`SampleBank.take`)."""
 
+    rows_invalidated: int = 0
+    """Rows dropped by corruption auditing (:meth:`SampleBank.invalidate`)."""
+
     def merge(self, other: "BankStats") -> None:
         """Fold a child bank's counters into this one (fork → parent)."""
         self.hits += other.hits
@@ -67,6 +70,7 @@ class BankStats:
         self.rows_recorded += other.rows_recorded
         self.rows_evicted += other.rows_evicted
         self.take_calls += other.take_calls
+        self.rows_invalidated += other.rows_invalidated
 
 
 class SampleBank:
@@ -89,9 +93,11 @@ class SampleBank:
         self._out = np.zeros((max_rows, num_pos), dtype=np.uint8)
         self._keys: list = [None] * max_rows
         self._index: Dict[bytes, int] = {}
+        self._valid = np.zeros(max_rows, dtype=bool)
         self._size = 0
         self._write = 0
         self._frozen = False
+        self._ever_invalidated = False
         self.stats = BankStats()
 
     # -- introspection -------------------------------------------------------
@@ -125,8 +131,10 @@ class SampleBank:
         child._out = self._out.copy()
         child._keys = list(self._keys)
         child._index = dict(self._index)
+        child._valid = self._valid.copy()
         child._size = self._size
         child._write = self._write
+        child._ever_invalidated = self._ever_invalidated
         return child
 
     # -- writes --------------------------------------------------------------
@@ -160,10 +168,37 @@ class SampleBank:
             self._out[slot] = outputs[row]
             self._keys[slot] = key
             self._index[key] = slot
+            self._valid[slot] = True
             self._write = (slot + 1) % self.max_rows
             self.stats.rows_recorded += 1
         obs.count("bank.rows_evicted",
                   self.stats.rows_evicted - evicted_before)
+
+    def invalidate(self, patterns: np.ndarray) -> int:
+        """Drop any stored rows matching ``patterns``; return the count.
+
+        This is corruption recovery: the auditing layer calls it when a
+        majority vote proves a delivered answer was poisoned, so the
+        stale row can never be replayed into a later split or probe.
+        Invalidation works even on a frozen bank — correctness always
+        outranks the read-only fan-out snapshot.  The slot becomes a
+        tombstone (re-usable by ``record``) rather than being compacted,
+        which keeps the ring pointers untouched.
+        """
+        removed = 0
+        for row in range(patterns.shape[0]):
+            slot = self._index.pop(patterns[row].tobytes(), None)
+            if slot is None:
+                continue
+            self._keys[slot] = None
+            self._valid[slot] = False
+            self._size -= 1
+            removed += 1
+        if removed:
+            self._ever_invalidated = True
+            self.stats.rows_invalidated += removed
+            obs.count("bank.rows_invalidated", removed)
+        return removed
 
     # -- reads ---------------------------------------------------------------
 
@@ -198,13 +233,23 @@ class SampleBank:
         if limit <= 0 or self._size == 0:
             empty = np.empty((0, self.num_pis), dtype=np.uint8)
             return empty, np.empty((0, self.num_pos), dtype=np.uint8)
-        stored = self._pat[:self._size] if self._size < self.max_rows \
-            else self._pat
-        mask = cube.evaluate(stored)
+        if not self._ever_invalidated:
+            # Fast path: no tombstones, occupied slots are a prefix (or
+            # the whole ring once wrapped).
+            stored = self._pat[:self._size] if self._size < self.max_rows \
+                else self._pat
+            mask = cube.evaluate(stored)
+            picks = np.flatnonzero(mask)[:limit]
+            self.stats.hits += picks.shape[0]
+            obs.count("bank.rows_hit", int(picks.shape[0]))
+            return stored[picks].copy(), self._out[picks].copy()
+        # Tombstoned slots hold stale (possibly poisoned) rows: mask
+        # them out explicitly instead of trusting the prefix invariant.
+        mask = cube.evaluate(self._pat) & self._valid
         picks = np.flatnonzero(mask)[:limit]
         self.stats.hits += picks.shape[0]
         obs.count("bank.rows_hit", int(picks.shape[0]))
-        return stored[picks].copy(), self._out[picks].copy()
+        return self._pat[picks].copy(), self._out[picks].copy()
 
 
 class BankedOracle(Oracle):

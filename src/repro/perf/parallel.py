@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -95,6 +94,10 @@ class EngineReport:
 
     mode: str = "sequential"
     note: str = ""
+    supervisor: Optional[dict] = None
+    """:class:`~repro.robustness.supervisor.SupervisorStats` dump when
+    the supervised pool ran (crashes, hangs, redispatches, quarantines);
+    None for sequential runs."""
 
 
 def run_output_task(oracle: Oracle, task: OutputTask,
@@ -229,30 +232,32 @@ def learn_outputs(oracle: Oracle, tasks: List[OutputTask],
                         on_result, shield, report)
         _fold_back_obs(report, tasks)
         return report
-    from concurrent.futures import ProcessPoolExecutor
+    # Imported lazily: the supervisor module needs OutputTask/Result
+    # from here, so a top-level import would be circular.
+    from repro.robustness.supervisor import (SupervisorPolicy,
+                                             run_supervised)
+
+    rob = getattr(config, "robustness", None)
+    policy = SupervisorPolicy(
+        heartbeat_interval=getattr(rob, "heartbeat_interval", 0.25),
+        heartbeat_timeout=getattr(rob, "heartbeat_timeout", 15.0),
+        task_wall_grace=getattr(rob, "task_wall_grace", 5.0),
+        max_redispatches=getattr(rob, "max_redispatches", 1),
+        redispatch_budget_factor=getattr(
+            rob, "redispatch_budget_factor", 0.5),
+        fault_plan=getattr(rob, "worker_fault_plan", None))
 
     report.mode = f"parallel x{jobs}"
     try:
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, len(tasks)),
-                initializer=_worker_init,
-                initargs=(payload,)) as pool:
-            futures = {pool.submit(_worker_run, task): task
-                       for task in tasks}
-            for fut in as_completed(futures):
-                task = futures[fut]
-                try:
-                    res = fut.result()
-                except Exception as exc:  # noqa: BLE001 - dead worker
-                    res = OutputResult(
-                        task.index,
-                        error=f"worker died: {type(exc).__name__}: "
-                              f"{exc}",
-                        error_type=type(exc).__name__)
-                report.results[res.index] = res
-                report.extra_queries += res.queries
-                if on_result is not None:
-                    on_result(res)
+        # The supervised pool (not ProcessPoolExecutor): one dead or
+        # hung worker costs at most its own task — re-dispatched once,
+        # then quarantined — never the whole fan-out.
+        results, sup_stats = run_supervised(
+            payload, tasks, jobs, policy, on_result=on_result)
+        report.supervisor = sup_stats.as_dict()
+        for res in results.values():
+            report.results[res.index] = res
+            report.extra_queries += res.queries
     except (OSError, PermissionError) as exc:
         # Process pools can be unavailable (sandboxes, exhausted PIDs);
         # the work still has to happen.

@@ -1,9 +1,9 @@
-"""Fault-tolerant execution layer.
+"""Fault-tolerant, self-verifying execution layer.
 
 The contest setting is adversarial by construction: one wall-clock
 deadline, a black-box IO-generator that may hiccup, and a score of zero
 for any run that dies without emitting a netlist.  This package holds the
-machinery that keeps a run alive:
+machinery that keeps a run alive — and honest:
 
 - :mod:`repro.robustness.faults` — a seeded fault-injecting oracle
   wrapper for testing the learner under adversity;
@@ -11,17 +11,42 @@ machinery that keeps a run alive:
   query-result cache so retried assignments never double-bill the budget;
 - :mod:`repro.robustness.deadline` — the hierarchical deadline manager
   that splits the global budget into per-step / per-output sub-deadlines;
-- :mod:`repro.robustness.checkpoint` — per-output checkpointing so a
-  killed run can resume without re-learning completed outputs.
+- :mod:`repro.robustness.checkpoint` — per-output checkpointing (with
+  sha256 integrity digests) so a killed run can resume without
+  re-learning completed outputs;
+- :mod:`repro.robustness.audit` — deterministic spot re-checking of
+  delivered oracle rows, with cache invalidation of poisoned entries;
+- :mod:`repro.robustness.verify` — post-learning verify-and-repair:
+  Wilson-bound certification of every output, plus a bounded repair
+  loop for the ones that fail;
+- :mod:`repro.robustness.supervisor` — a supervised worker pool with
+  heartbeats, wall timeouts, re-dispatch and poison-task quarantine;
+- :mod:`repro.robustness.chaos` — the seeded fault-scenario matrix
+  behind ``repro chaos``.
 
 See ``docs/ROBUSTNESS.md`` for the full design.
 """
 
+# NOTE: repro.robustness.chaos is intentionally NOT imported here — it
+# drives the full pipeline (repro.core.regressor), which itself imports
+# this package's submodules; import it directly where needed.
+from repro.robustness.audit import (AuditCounters, AuditingOracle,
+                                    AuditPolicy, row_select_hash)
 from repro.robustness.checkpoint import CheckpointError, CheckpointStore
 from repro.robustness.deadline import Deadline, DeadlineManager
-from repro.robustness.faults import FaultModel, FaultyOracle
+from repro.robustness.faults import FaultCounters, FaultModel, FaultyOracle
 from repro.robustness.retry import RetryExhausted, RetryingOracle, RetryPolicy
+from repro.robustness.supervisor import (SupervisorPolicy, SupervisorStats,
+                                         run_supervised)
+from repro.robustness.verify import (OutputVerification, VerificationReport,
+                                     VerifyPolicy, rows_to_certify,
+                                     verify_and_repair, wilson_lower_bound)
 
-__all__ = ["CheckpointError", "CheckpointStore", "Deadline",
-           "DeadlineManager", "FaultModel", "FaultyOracle",
-           "RetryExhausted", "RetryingOracle", "RetryPolicy"]
+__all__ = ["AuditCounters", "AuditingOracle", "AuditPolicy",
+           "CheckpointError", "CheckpointStore", "Deadline",
+           "DeadlineManager", "FaultCounters", "FaultModel",
+           "FaultyOracle", "OutputVerification", "RetryExhausted",
+           "RetryingOracle", "RetryPolicy", "SupervisorPolicy",
+           "SupervisorStats", "VerificationReport", "VerifyPolicy",
+           "row_select_hash", "rows_to_certify", "run_supervised",
+           "verify_and_repair", "wilson_lower_bound"]

@@ -1,0 +1,267 @@
+"""The chaos matrix: seeded end-to-end fault scenarios with invariants.
+
+Each scenario builds a small ECO-style golden circuit, wraps its oracle
+in an adversarial :class:`~repro.robustness.faults.FaultyOracle` (or
+arms the supervisor's worker fault plan), runs the full pipeline, and
+checks the acceptance invariants of the self-verifying execution layer:
+
+- the run always completes with every primary output present;
+- under bit-flip corruption with auditing enabled, every output is
+  certified (``verified`` / ``repaired``) or loudly tagged
+  ``verify-failed`` — never silently wrong;
+- with injected worker crashes and hangs at ``jobs=4`` the engine stays
+  in ``parallel xN`` mode (no sequential collapse) and re-dispatches or
+  quarantines only the affected task;
+- under loud faults (transients, malformed responses) the learned
+  circuit still matches the golden function exactly.
+
+Every scenario is a pure function of its seed: the fault stream, the
+audit selection, and the verification rows all replay bit-for-bit, so a
+failing scenario is a reproducible bug report.  The matrix powers the
+``repro chaos`` CLI subcommand and the CI ``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RegressorConfig, RobustnessConfig, fast_config
+from repro.core.regressor import LearnResult, LogicRegressor
+from repro.eval.accuracy import accuracy
+from repro.network.netlist import Netlist
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.robustness.faults import FaultModel, FaultyOracle
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's verdict: which invariants failed, plus context."""
+
+    name: str
+    passed: bool
+    failures: List[str] = field(default_factory=list)
+    details: Dict = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {"name": self.name, "passed": self.passed,
+                "failures": list(self.failures),
+                "details": dict(self.details)}
+
+
+def _chaos_config(**overrides) -> RegressorConfig:
+    base = dict(
+        time_limit=10.0,
+        robustness=RobustnessConfig(max_retries=3, retry_base_delay=0.0,
+                                    retry_max_delay=0.0))
+    base.update(overrides)
+    return fast_config(**base)
+
+
+def _check_complete(out: ScenarioOutcome, result: LearnResult,
+                    golden: Netlist) -> None:
+    if result.netlist.num_pos != golden.num_pos:
+        out.failures.append(
+            f"outputs missing: {result.netlist.num_pos} of "
+            f"{golden.num_pos}")
+    if len(result.reports) != golden.num_pos:
+        out.failures.append("per-output reports incomplete")
+
+
+def _check_exact(out: ScenarioOutcome, result: LearnResult,
+                 golden: Netlist, seed: int) -> None:
+    patterns = np.random.default_rng(seed).integers(
+        0, 2, size=(2000, golden.num_pis)).astype(np.uint8)
+    acc = accuracy(result.netlist, NetlistOracle(golden), patterns)
+    out.details["accuracy"] = acc
+    if acc < 1.0:
+        out.failures.append(f"accuracy {acc:.6f} < 1.0")
+
+
+def _check_certified_or_tagged(out: ScenarioOutcome,
+                               result: LearnResult) -> None:
+    """The never-silently-wrong invariant."""
+    ver = result.verification
+    if ver is None:
+        out.failures.append("no verification report")
+        return
+    out.details["verification"] = ver.status_counts()
+    for v in ver.outputs:
+        if v.status not in ("verified", "repaired", "verify-failed"):
+            out.failures.append(
+                f"output {v.po_name} ended {v.status!r} (neither "
+                "certified nor tagged)")
+        if v.mismatches > 0 and v.status not in ("verify-failed",
+                                                 "repaired"):
+            out.failures.append(
+                f"output {v.po_name} has {v.mismatches} known "
+                f"mismatches but status {v.status!r}")
+
+
+def _check_parallel_survived(out: ScenarioOutcome, result: LearnResult,
+                             jobs: int) -> None:
+    out.details["engine_mode"] = result.engine_mode
+    out.details["supervisor"] = result.supervisor
+    if not result.engine_mode.startswith("parallel"):
+        out.failures.append(
+            f"engine collapsed to {result.engine_mode!r} instead of "
+            f"parallel x{jobs}")
+    if result.supervisor is None:
+        out.failures.append("no supervisor statistics recorded")
+
+
+# -- scenarios ---------------------------------------------------------------
+
+def _scenario_clean(seed: int) -> ScenarioOutcome:
+    out = ScenarioOutcome("clean", True)
+    golden = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                               support_high=6)
+    result = LogicRegressor(_chaos_config()).learn(NetlistOracle(golden))
+    _check_complete(out, result, golden)
+    _check_exact(out, result, golden, seed)
+    _check_certified_or_tagged(out, result)
+    if result.verification is not None \
+            and not result.verification.all_certified():
+        out.failures.append("clean oracle failed certification")
+    out.details["queries"] = result.queries
+    return out
+
+
+def _scenario_transient(seed: int) -> ScenarioOutcome:
+    out = ScenarioOutcome("transient", True)
+    golden = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                               support_high=6)
+    # The fused query engine issues few, large batches; per-call rates
+    # must be high for the seeded stream to fire within a short run.
+    oracle = FaultyOracle(NetlistOracle(golden),
+                          FaultModel(transient_rate=0.35), seed=seed)
+    cfg = _chaos_config(robustness=RobustnessConfig(
+        max_retries=6, retry_base_delay=0.0, retry_max_delay=0.0))
+    result = LogicRegressor(cfg).learn(oracle)
+    _check_complete(out, result, golden)
+    _check_exact(out, result, golden, seed)
+    out.details["faults"] = dict(oracle.counters.by_kind)
+    if oracle.counters.transients == 0:
+        out.failures.append("fault injection never fired")
+    return out
+
+
+def _scenario_malform(seed: int) -> ScenarioOutcome:
+    out = ScenarioOutcome("malform", True)
+    golden = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                               support_high=6)
+    oracle = FaultyOracle(NetlistOracle(golden),
+                          FaultModel(malform_rate=0.30,
+                                     transient_rate=0.05), seed=seed)
+    cfg = _chaos_config(robustness=RobustnessConfig(
+        max_retries=6, retry_base_delay=0.0, retry_max_delay=0.0))
+    result = LogicRegressor(cfg).learn(oracle)
+    _check_complete(out, result, golden)
+    _check_exact(out, result, golden, seed)
+    out.details["faults"] = dict(oracle.counters.by_kind)
+    if oracle.counters.malformed == 0:
+        out.failures.append("malform injection never fired")
+    return out
+
+
+def _scenario_bitflip_audit(seed: int) -> ScenarioOutcome:
+    out = ScenarioOutcome("bitflip-audit", True)
+    golden = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                               support_high=6)
+    oracle = FaultyOracle(NetlistOracle(golden),
+                          FaultModel(bitflip_rate=1e-3), seed=seed)
+    cfg = _chaos_config()
+    cfg.robustness.audit_rate = 0.10
+    result = LogicRegressor(cfg).learn(oracle)
+    _check_complete(out, result, golden)
+    _check_certified_or_tagged(out, result)
+    out.details["bits_flipped"] = oracle.counters.bits_flipped
+    if oracle.counters.bits_flipped == 0:
+        out.failures.append("bitflip injection never fired")
+    return out
+
+
+def _scenario_budget_cliff(seed: int) -> ScenarioOutcome:
+    out = ScenarioOutcome("budget-cliff", True)
+    golden = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                               support_high=6)
+    oracle = FaultyOracle(NetlistOracle(golden),
+                          FaultModel(fail_after_queries=2500), seed=seed)
+    result = LogicRegressor(_chaos_config()).learn(oracle)
+    _check_complete(out, result, golden)
+    ver = result.verification
+    if ver is not None:
+        out.details["verification"] = ver.status_counts()
+        allowed = ("verified", "repaired", "verify-failed",
+                   "inconclusive", "skipped")
+        for v in ver.outputs:
+            if v.status not in allowed:
+                out.failures.append(
+                    f"output {v.po_name} unknown status {v.status!r}")
+    out.details["methods"] = result.methods_used()
+    return out
+
+
+def _worker_scenario(name: str, fault: str, seed: int,
+                     jobs: int = 4) -> ScenarioOutcome:
+    out = ScenarioOutcome(name, True)
+    golden = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                               support_high=6)
+    rob = RobustnessConfig(
+        max_retries=2, retry_base_delay=0.0, retry_max_delay=0.0,
+        heartbeat_interval=0.1, heartbeat_timeout=1.5,
+        worker_fault_plan={0: fault, 2: fault})
+    # Preprocessing off so every output goes through the parallel
+    # engine and the fault plan's task indices are guaranteed to run.
+    cfg = _chaos_config(robustness=rob, jobs=jobs,
+                        enable_preprocessing=False,
+                        enable_output_sharing=False)
+    result = LogicRegressor(cfg).learn(NetlistOracle(golden))
+    _check_complete(out, result, golden)
+    _check_parallel_survived(out, result, jobs)
+    sup = result.supervisor or {}
+    if fault == "crash" and sup.get("workers_crashed", 0) == 0:
+        out.failures.append("no worker crash was observed")
+    if fault == "hang" and sup.get("workers_hung", 0) == 0:
+        out.failures.append("no hung worker was observed")
+    if sup.get("redispatches", 0) == 0:
+        out.failures.append("faulted tasks were never re-dispatched")
+    # Faults hit only first attempts, so the re-dispatch must succeed
+    # and the circuit must still be exact.
+    _check_exact(out, result, golden, seed)
+    return out
+
+
+SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
+    "clean": _scenario_clean,
+    "transient": _scenario_transient,
+    "malform": _scenario_malform,
+    "bitflip-audit": _scenario_bitflip_audit,
+    "budget-cliff": _scenario_budget_cliff,
+    "worker-crash": lambda seed: _worker_scenario("worker-crash",
+                                                  "crash", seed),
+    "worker-hang": lambda seed: _worker_scenario("worker-hang",
+                                                 "hang", seed),
+}
+
+
+def run_chaos_matrix(names: Optional[List[str]] = None,
+                     seed: int = 2019) -> Dict:
+    """Run the scenario matrix; returns a JSON-able summary."""
+    picked = names or list(SCENARIOS)
+    unknown = [n for n in picked if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown chaos scenarios: {unknown}")
+    outcomes = []
+    for name in picked:
+        outcome = SCENARIOS[name](seed)
+        outcome.passed = not outcome.failures
+        outcomes.append(outcome)
+    return {
+        "seed": seed,
+        "passed": all(o.passed for o in outcomes),
+        "scenarios": [o.to_json() for o in outcomes],
+    }

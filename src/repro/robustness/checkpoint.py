@@ -12,6 +12,15 @@ A fingerprint of the oracle interface (PI/PO names) and the learner seed
 guards against resuming into a different problem; mismatches raise
 :class:`CheckpointError` rather than silently grafting foreign covers.
 
+Integrity: the file and every output entry carry a sha256 digest of
+their canonical JSON.  A truncated, unparsable or digest-mismatched file
+logs a warning and restarts the run fresh — a corrupt checkpoint must
+cost the lost progress, not the resume; a single corrupt *entry* costs
+only that output, the rest restore normally.  Only a well-formed file
+that provably belongs to a *different problem* (version or fingerprint
+mismatch) still raises, because restarting there would silently discard
+a checkpoint the user explicitly asked to resume.
+
 Covers are stored positionally: each cube is a list of ``[var, phase]``
 literals over the full PI universe, which survives JSON round-trips
 exactly, so a restored output reproduces the uninterrupted run's netlist
@@ -20,7 +29,9 @@ for that output bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import asdict, dataclass
@@ -30,7 +41,16 @@ from repro.core.fbdt import FbdtStats, LearnedCover
 from repro.logic.cube import Cube
 from repro.logic.sop import Sop
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+"""Version 2 added sha256 digests to the file and each entry."""
+
+log = logging.getLogger(__name__)
+
+
+def payload_digest(obj) -> str:
+    """sha256 over the canonical JSON encoding of ``obj``."""
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class CheckpointError(RuntimeError):
@@ -148,8 +168,23 @@ class CheckpointStore:
             with open(self.path) as handle:
                 data = json.load(handle)
         except (OSError, ValueError) as exc:
-            raise CheckpointError(
-                f"unreadable checkpoint {self.path!r}: {exc}") from exc
+            # Truncated / garbage file: a kill or disk fault, not a
+            # user error.  Cost is the lost progress, not the resume.
+            log.warning("checkpoint %r unreadable (%s); restarting "
+                        "from scratch", self.path, exc)
+            return {}
+        if not isinstance(data, dict):
+            log.warning("checkpoint %r is not an object; restarting "
+                        "from scratch", self.path)
+            return {}
+        stored_digest = data.pop("digest", None)
+        if stored_digest != payload_digest(data):
+            log.warning("checkpoint %r failed its integrity check; "
+                        "restarting from scratch", self.path)
+            return {}
+        # Past the digest the file is provably what a run wrote, so a
+        # version or fingerprint mismatch means a *different problem* —
+        # raising beats silently discarding progress the user asked for.
         if data.get("version") != FORMAT_VERSION:
             raise CheckpointError(
                 f"checkpoint version {data.get('version')!r} is not "
@@ -160,17 +195,30 @@ class CheckpointStore:
                 "(oracle interface or seed mismatch)")
         entries = {}
         for item in data.get("outputs", []):
+            entry_digest = item.pop("digest", None)
+            if entry_digest != payload_digest(item):
+                log.warning(
+                    "checkpoint entry for output %r is corrupt; that "
+                    "output will be re-learned",
+                    item.get("po_name", "?"))
+                continue
             entry = CheckpointEntry.from_json(item, self._num_pis)
             entries[entry.po_index] = entry
         return entries
 
     def _write(self) -> None:
+        outputs = []
+        for j in sorted(self._entries):
+            item = self._entries[j].to_json()
+            item["digest"] = payload_digest(item)
+            outputs.append(item)
         data = {
             "version": FORMAT_VERSION,
             "fingerprint": self._fingerprint,
-            "outputs": [self._entries[j].to_json()
-                        for j in sorted(self._entries)],
+            "outputs": outputs,
         }
+        data["digest"] = payload_digest(
+            {k: v for k, v in data.items() if k != "digest"})
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
         try:

@@ -19,7 +19,11 @@ same seed.  The model covers four failure families:
   of the input);
 - **budget exhaustion** — after ``fail_after_queries`` delivered rows the
   wrapper raises ``QueryBudgetExceeded`` forever, simulating a generator
-  that cuts the learner off mid-run.
+  that cuts the learner off mid-run;
+- **wrong-shape responses** — the delivered block is malformed (last row
+  truncated or duplicated), which ``Oracle.query`` rejects and classifies
+  as a ``TransientOracleFault``, so the retry path covers malformed
+  generator output too.
 """
 
 from __future__ import annotations
@@ -59,13 +63,20 @@ class FaultModel:
     """Deliver this many rows, then raise ``QueryBudgetExceeded``
     forever (``None`` disables)."""
 
+    malform_rate: float = 0.0
+    """Probability that a ``query`` call returns a wrong-shape response
+    (last row truncated or duplicated).  ``Oracle.query`` rejects the
+    block and classifies it as a ``TransientOracleFault``, so the retry
+    layer re-asks; no rows are billed."""
+
     real_sleep: bool = False
     """Actually ``time.sleep`` through sub-deadline spikes.  Off by
     default so fault-heavy tests stay fast; the timeout path is taken
     either way."""
 
     def validate(self) -> None:
-        for name in ("transient_rate", "hang_rate", "bitflip_rate"):
+        for name in ("transient_rate", "hang_rate", "bitflip_rate",
+                     "malform_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -82,7 +93,15 @@ class FaultCounters:
     timeouts: int = 0
     bits_flipped: int = 0
     budget_cutoffs: int = 0
-    by_kind: Dict[str, int] = field(default_factory=dict)  # reserved
+    malformed: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    """Injection count per fault kind (``transient``, ``hang``,
+    ``timeout``, ``budget-cutoff``, ``malform-truncate``,
+    ``malform-duplicate``; ``bitflip`` counts flipped *bits*).  Surfaced
+    per-layer by ``accounting_summary`` and ``run_report.json``."""
+
+    def bump(self, kind: str, amount: int = 1) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + amount
 
 
 class FaultyOracle(Oracle):
@@ -119,25 +138,28 @@ class FaultyOracle(Oracle):
         m = self._model
         # Fixed draw count per call keeps the fault stream aligned with
         # the query sequence no matter which families are enabled.
-        u_transient = self._rng.random()
-        u_hang = self._rng.random()
+        u_transient, u_hang, u_malform, u_kind = self._rng.random(4)
         if m.fail_after_queries is not None \
                 and self._delivered_rows >= m.fail_after_queries:
             self.counters.budget_cutoffs += 1
+            self.counters.bump("budget-cutoff")
             obs.count("faults.injected", kind="budget-cutoff")
             raise QueryBudgetExceeded(
                 f"injected: generator cut off after "
                 f"{m.fail_after_queries} rows")
         if u_transient < m.transient_rate:
             self.counters.transients += 1
+            self.counters.bump("transient")
             obs.count("faults.injected", kind="transient")
             raise TransientOracleFault("injected transient fault")
         if u_hang < m.hang_rate:
             self.counters.hangs += 1
+            self.counters.bump("hang")
             obs.count("faults.injected", kind="hang")
             if m.query_deadline is not None \
                     and m.hang_duration > m.query_deadline:
                 self.counters.timeouts += 1
+                self.counters.bump("timeout")
                 obs.count("faults.injected", kind="timeout")
                 raise OracleTimeout(
                     f"injected hang of {m.hang_duration:.1f}s exceeds "
@@ -150,7 +172,23 @@ class FaultyOracle(Oracle):
                      < m.bitflip_rate).astype(np.uint8)
             flipped = int(flips.sum())
             self.counters.bits_flipped += flipped
+            if flipped:
+                self.counters.bump("bitflip", flipped)
             obs.count("faults.bits_flipped", flipped)
             out = out ^ flips
+        if u_malform < m.malform_rate:
+            # Return a wrong-shape block: Oracle.query on this wrapper
+            # sees the shape mismatch and raises TransientOracleFault,
+            # exactly as a real generator emitting a short / repeated
+            # line would look to the execution layer.  The rows were
+            # never delivered, so _delivered_rows stays untouched.
+            kind = "malform-truncate" if u_kind < 0.5 \
+                else "malform-duplicate"
+            self.counters.malformed += 1
+            self.counters.bump(kind)
+            obs.count("faults.injected", kind=kind)
+            if kind == "malform-truncate":
+                return out[:-1]
+            return np.concatenate([out, out[-1:]], axis=0)
         self._delivered_rows += patterns.shape[0]
         return out

@@ -102,6 +102,7 @@ class RetryingOracle(Oracle):
         self.retries_performed = 0
         self.faults_seen = 0
         self.cache_hits = 0
+        self.cache_invalidated = 0
 
     @property
     def inner(self) -> Oracle:
@@ -124,6 +125,26 @@ class RetryingOracle(Oracle):
         the *same* cache snapshot — the keystone for identical query
         accounting at any ``--jobs`` value."""
         self._cache_frozen = True
+
+    def invalidate(self, patterns: np.ndarray) -> int:
+        """Forget memoized answers for ``patterns``; return the count.
+
+        Corruption recovery: when the auditing layer proves a delivered
+        answer was poisoned, the memoized copy must not keep serving it.
+        Works even on a frozen cache — correctness outranks the
+        read-only fan-out snapshot.  The next request for such a row is
+        re-asked (and re-billed, since the poisoned answer was wrong).
+        """
+        if self._cache is None:
+            return 0
+        removed = 0
+        for row in range(patterns.shape[0]):
+            if self._cache.pop(patterns[row].tobytes(), None) is not None:
+                removed += 1
+        if removed:
+            self.cache_invalidated += removed
+            obs.count("retry.cache_invalidated", removed)
+        return removed
 
     def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -1,0 +1,564 @@
+"""Post-learning verify-and-repair: the run certifies its own output.
+
+The contest target is a circuit matching the generator on >= 99.99% of
+hidden patterns, but nothing in the pipeline ever *checks* the learned
+circuit against the oracle — an undetected corruption (or a plain
+learning failure) ships silently.  This stage closes the loop:
+
+1. **verify** — draw fresh oracle rows (never the bank or the retry
+   cache, whose contents are exactly what we must not trust), compare
+   against the simulated circuit, and compute a one-sided Wilson lower
+   confidence bound on the per-output hit rate against the target.
+   Certifying 99.99% at 95% confidence with zero mismatches needs
+   ``target * z^2 / (1 - target)`` ≈ 27k rows, so sample sizes adapt to
+   the run's own billed volume and a too-small certificate is reported
+   honestly as ``inconclusive`` rather than as a fake pass.  When the
+   whole input space fits the budget the check is *exhaustive* and the
+   bound is the exact accuracy.
+2. **confirm** — a mismatch seen through a noisy channel may be the
+   channel's fault, not the circuit's: each mismatching row is re-asked
+   twice more and the per-row majority of three decides.  Bit-flip noise
+   at 1e-3 therefore does not flood the verdict with false failures.
+3. **repair** — failing outputs get a bounded repair loop: first patch
+   cubes built from confirmed counterexamples (each validated by a
+   subspace probe before being XOR-ed into the PO driver), then a full
+   re-learn of the output with the residual repair budget.  Repair rows
+   are capped at a fraction of the learn volume; an exhausted budget
+   stops the loop, never the run.
+
+Statuses: ``verified`` (bound met), ``repaired`` (bound met after
+repair), ``inconclusive`` (no confirmed mismatch but sample too small to
+certify), ``verify-failed`` (confirmed mismatches remain — loudly
+tagged, never silently wrong), ``skipped`` (verification budget
+exhausted before sampling).
+
+Everything here is deterministic given ``(seed, oracle behaviour)`` and
+runs in the main process after fold-back, so results are identical at
+any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.logic.cube import Cube
+from repro.network.builder import build_cube, build_factored_sop
+from repro.network.netlist import Netlist
+from repro.network.simulate import simulate
+from repro.obs import context as obs
+from repro.oracle.base import Oracle, OracleFault, QueryBudgetExceeded
+
+_VERIFY_SALT = 0x5EB1F1
+
+
+# -- confidence math (no scipy in the container) ----------------------------
+
+def inverse_normal_cdf(p: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile
+    (|error| < 1.15e-9 — far below anything the bound cares about)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be strictly inside (0, 1)")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    plow = 0.02425
+    if p < plow:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - plow:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                 * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+            * r + a[5]) * q / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4])
+            * r + 1.0)
+
+
+def wilson_lower_bound(successes: int, n: int, z: float) -> float:
+    """One-sided Wilson score lower bound on a binomial proportion."""
+    if n <= 0:
+        return 0.0
+    phat = successes / n
+    z2 = z * z
+    center = phat + z2 / (2.0 * n)
+    margin = z * math.sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n))
+    return max(0.0, (center - margin) / (1.0 + z2 / n))
+
+
+def rows_to_certify(target: float, z: float) -> int:
+    """Smallest zero-mismatch sample size whose Wilson lower bound
+    reaches ``target`` (with p-hat = 1 the bound is ``n / (n + z^2)``)."""
+    return int(math.ceil(target * z * z / (1.0 - target))) + 1
+
+
+# -- policy and report ------------------------------------------------------
+
+@dataclass
+class VerifyPolicy:
+    """Knobs of the verify-and-repair stage."""
+
+    target: float = 0.9999
+    """Per-output hit rate the certificate is checked against (the
+    contest's 99.99%)."""
+
+    confidence: float = 0.95
+    """One-sided confidence of the Wilson bound."""
+
+    samples: Optional[int] = None
+    """Fixed verification rows per output; ``None`` sizes adaptively:
+    ``rows_fraction`` of the learn-stage billed rows, clamped to
+    ``[min_samples, rows_to_certify(target, z)]``."""
+
+    rows_fraction: float = 0.08
+    """Adaptive share of learn-billed rows spent verifying."""
+
+    min_samples: int = 256
+    """Floor on the adaptive verification sample."""
+
+    max_repair_rounds: int = 2
+    """Repair attempts per failing output (round 1 patches cubes, the
+    final round re-learns; 0 disables repair)."""
+
+    repair_rows_fraction: float = 0.05
+    """Cap on repair-channel rows, as a share of learn-billed rows."""
+
+    repair_probe_rows: int = 64
+    """Subspace probe size validating each candidate patch cube."""
+
+    max_patches_per_round: int = 16
+    """Counterexample cubes considered per patch round."""
+
+    confirm_cap: int = 512
+    """Mismatching rows above this skip majority confirmation — a
+    mismatch flood is a wrong circuit, not channel noise."""
+
+    exhaustive_limit: int = 1 << 12
+    """Verify by full enumeration when ``2^num_pis`` fits this many
+    rows (the bound then is the exact accuracy)."""
+
+    seed: int = 0
+    """Run seed; verification streams derive from it per output and
+    round."""
+
+    def validate(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be strictly inside (0, 1)")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be strictly inside (0, 1)")
+        if self.samples is not None and self.samples <= 0:
+            raise ValueError("samples must be positive when fixed")
+        if self.min_samples <= 0:
+            raise ValueError("min_samples must be positive")
+        if not 0.0 < self.rows_fraction <= 1.0:
+            raise ValueError("rows_fraction must be in (0, 1]")
+        if self.max_repair_rounds < 0:
+            raise ValueError("max_repair_rounds must be non-negative")
+
+    @property
+    def z(self) -> float:
+        return inverse_normal_cdf(self.confidence)
+
+
+@dataclass
+class OutputVerification:
+    """The certificate (or failure record) of one output."""
+
+    po_index: int
+    po_name: str
+    status: str = "skipped"
+    sampled: int = 0
+    mismatches: int = 0
+    """Confirmed mismatching rows in the final verification sample."""
+
+    lower_bound: float = 0.0
+    accuracy: float = 0.0
+    """Point estimate on the final sample (exact when exhaustive)."""
+
+    exhaustive: bool = False
+    repair_rounds: int = 0
+    patches_applied: int = 0
+    relearned: bool = False
+
+    def to_json(self) -> Dict:
+        return {
+            "output": self.po_name, "index": self.po_index,
+            "status": self.status, "sampled": self.sampled,
+            "mismatches": self.mismatches,
+            "lower_bound": round(self.lower_bound, 6),
+            "accuracy": round(self.accuracy, 6),
+            "exhaustive": self.exhaustive,
+            "repair_rounds": self.repair_rounds,
+            "patches_applied": self.patches_applied,
+            "relearned": self.relearned,
+        }
+
+
+@dataclass
+class VerificationReport:
+    """The whole run's certificate, embedded into ``run_report.json``."""
+
+    target: float
+    confidence: float
+    outputs: List[OutputVerification] = field(default_factory=list)
+    rows_spent: int = 0
+    """Oracle rows billed by verification + confirmation + repair."""
+
+    def status_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for v in self.outputs:
+            out[v.status] = out.get(v.status, 0) + 1
+        return out
+
+    def all_certified(self) -> bool:
+        """True when every output is verified or repaired."""
+        return all(v.status in ("verified", "repaired")
+                   for v in self.outputs)
+
+    def never_silently_wrong(self) -> bool:
+        """True when no output with known mismatches escaped a
+        ``verify-failed`` tag — the chaos-matrix invariant."""
+        return all(v.status != "verify-failed" or v.mismatches > 0
+                   for v in self.outputs) and \
+            all(v.mismatches == 0 or v.status in
+                ("verify-failed", "repaired") for v in self.outputs)
+
+    def to_json(self) -> Dict:
+        return {
+            "target": self.target, "confidence": self.confidence,
+            "rows_spent": self.rows_spent,
+            "statuses": self.status_counts(),
+            "all_certified": self.all_certified(),
+            "outputs": [v.to_json() for v in self.outputs],
+        }
+
+
+# -- the stage ---------------------------------------------------------------
+
+class _CappedOracle(Oracle):
+    """Pass-through that stops the repair channel at its row budget."""
+
+    obs_layer = "repair-cap"
+
+    def __init__(self, inner: Oracle, max_rows: int):
+        super().__init__(inner.pi_names, inner.po_names)
+        self._inner = inner
+        self._left = max_rows
+
+    @property
+    def inner(self) -> Oracle:
+        return self._inner
+
+    def _evaluate(self, patterns: np.ndarray) -> np.ndarray:
+        if patterns.shape[0] > self._left:
+            raise QueryBudgetExceeded("repair row budget exhausted")
+        out = self._inner.query(patterns, validate=False)
+        self._left -= patterns.shape[0]
+        return out
+
+
+def _verify_rng(seed: int, output: int, round_: int
+                ) -> np.random.Generator:
+    return np.random.default_rng([seed, _VERIFY_SALT, output, round_])
+
+
+def _all_patterns(num_pis: int) -> np.ndarray:
+    space = 1 << num_pis
+    idx = np.arange(space, dtype=np.uint64)
+    cols = [((idx >> np.uint64(num_pis - 1 - b)) & np.uint64(1))
+            for b in range(num_pis)]
+    return np.stack(cols, axis=1).astype(np.uint8)
+
+
+def _confirmed_mismatches(oracle: Oracle, patterns: np.ndarray,
+                          got_col: np.ndarray, sim_col: np.ndarray,
+                          j: int, policy: VerifyPolicy) -> np.ndarray:
+    """Indices of rows where output ``j`` of the circuit provably
+    disagrees with the oracle (majority of three through the channel)."""
+    sus = np.flatnonzero(got_col != sim_col)
+    if sus.shape[0] == 0 or sus.shape[0] > policy.confirm_cap:
+        # Nothing to confirm, or a flood (a wrong circuit, not noise).
+        return sus
+    sus_pat = np.ascontiguousarray(patterns[sus])
+    try:
+        second = oracle.query(sus_pat, validate=False)[:, j]
+        third = oracle.query(sus_pat, validate=False)[:, j]
+    except (OracleFault, QueryBudgetExceeded):
+        return sus  # cannot confirm: stay conservative
+    majority = ((got_col[sus].astype(np.int32) + second.astype(np.int32)
+                 + third.astype(np.int32)) >= 2).astype(np.uint8)
+    return sus[majority != sim_col[sus]]
+
+
+def _sample_size(policy: VerifyPolicy, learn_billed: int) -> int:
+    if policy.samples is not None:
+        return policy.samples
+    needed = rows_to_certify(policy.target, policy.z)
+    adaptive = int(policy.rows_fraction * max(0, learn_billed))
+    return max(policy.min_samples, min(adaptive, needed))
+
+
+def _verify_output(oracle: Oracle, net: Netlist, j: int, n: int,
+                   policy: VerifyPolicy, round_: int,
+                   ver: OutputVerification) -> bool:
+    """One verification pass for output ``j``; returns False when the
+    budget died (status set to ``skipped``)."""
+    rng = _verify_rng(policy.seed, j, round_)
+    patterns = (np.asarray(rng.random((n, len(net.pi_names))) < 0.5)
+                .astype(np.uint8))
+    try:
+        got = oracle.query(patterns, validate=False)
+    except (OracleFault, QueryBudgetExceeded):
+        ver.status = "skipped"
+        return False
+    sim = simulate(net, patterns)
+    confirmed = _confirmed_mismatches(oracle, patterns, got[:, j],
+                                      sim[:, j], j, policy)
+    ver.sampled = n
+    ver.mismatches = int(confirmed.shape[0])
+    ver.accuracy = 1.0 - ver.mismatches / n
+    ver.lower_bound = wilson_lower_bound(n - ver.mismatches, n, policy.z)
+    ver.exhaustive = False
+    ver._counterexamples = patterns[confirmed]  # transient, not serialized
+    return True
+
+
+def _patch_output(net: Netlist, oracle: Oracle, j: int,
+                  counterexamples: np.ndarray, support_idx: List[int],
+                  policy: VerifyPolicy, rng: np.random.Generator,
+                  biases) -> int:
+    """XOR validated counterexample cubes into PO ``j``; returns the
+    number of patches applied."""
+    seen = set()
+    applied = 0
+    for row in counterexamples[:policy.max_patches_per_round]:
+        key = tuple(int(row[v]) for v in support_idx)
+        if key in seen:
+            continue
+        seen.add(key)
+        cube = Cube.from_assignment((row[v] for v in support_idx),
+                                    support_idx)
+        probes = _probe_patterns(policy.repair_probe_rows,
+                                 len(net.pi_names), rng, biases, cube)
+        try:
+            want = oracle.query(probes, validate=False)[:, j]
+        except (OracleFault, QueryBudgetExceeded):
+            break
+        got = simulate(net, probes)[:, j]
+        # Patch only when the subspace is consistently wrong — a lone
+        # noisy counterexample must not flip a whole cube.
+        if float((want != got).mean()) < 0.5:
+            continue
+        node = build_cube(net, cube, net.pi_nodes)
+        net.po_nodes[j] = net.add_xor(net.po_nodes[j], node)
+        applied += 1
+    return applied
+
+
+def _probe_patterns(num: int, num_pis: int, rng: np.random.Generator,
+                    biases, cube: Cube) -> np.ndarray:
+    from repro.core.sampling import random_patterns
+    return random_patterns(num, num_pis, rng, biases, cube)
+
+
+def _relearn_output(net: Netlist, oracle: Oracle, j: int,
+                    support_idx: List[int], config,
+                    rng: np.random.Generator) -> bool:
+    """Replace PO ``j``'s driver with a freshly learned cover."""
+    from repro.core.fbdt import cleanup_cover, learn_output
+
+    try:
+        cover = learn_output(oracle, j, support_idx, config, rng)
+    except (OracleFault, QueryBudgetExceeded):
+        return False
+    sop, complemented = cleanup_cover(cover)
+    net.po_nodes[j] = build_factored_sop(net, sop, net.pi_nodes,
+                                         complement=complemented)
+    return True
+
+
+def verify_and_repair(net: Netlist, oracle: Oracle, policy: VerifyPolicy,
+                      *, learn_billed_rows: int,
+                      supports: Optional[Dict[int, List[int]]] = None,
+                      config=None) -> "tuple[Netlist, VerificationReport]":
+    """Certify every output of ``net`` against ``oracle``; repair the
+    ones that fail.  Returns the (possibly patched) netlist plus the
+    report.
+
+    ``oracle`` must be the *billing* oracle (or a thin wrapper over it),
+    never the banked/memoized training chain: verification exists to
+    distrust exactly those caches.  ``supports`` (learn-stage support
+    sets, PI indices) guide repair; structural support of the circuit is
+    the fallback.
+    """
+    policy.validate()
+    report = VerificationReport(target=policy.target,
+                                confidence=policy.confidence)
+    num_pis = len(net.pi_names)
+    start_rows = oracle.query_count
+    mutated = False
+    biases = getattr(config, "sampling_biases", (0.5, 0.15, 0.85))
+
+    exhaustive = num_pis <= 30 and (1 << num_pis) <= policy.exhaustive_limit
+    shared_pat: Optional[np.ndarray] = None
+    shared_got: Optional[np.ndarray] = None
+    if exhaustive:
+        shared_pat = _all_patterns(num_pis)
+        try:
+            # One shared full-space query covers every output.
+            shared_got = oracle.query(shared_pat, validate=False)
+        except (OracleFault, QueryBudgetExceeded):
+            exhaustive = False
+            shared_pat = shared_got = None
+    if shared_got is None:
+        # Round 0 samples ONE batch checked against every output — this
+        # is what keeps clean-path verification within a constant
+        # fraction of the learn rows instead of num_pos times it.  The
+        # stream index num_pos cannot collide with the per-output repair
+        # streams (those use j < num_pos, round >= 1).
+        n = _sample_size(policy, learn_billed_rows)
+        rng = _verify_rng(policy.seed, len(net.po_names), 0)
+        shared_pat = (np.asarray(rng.random((n, num_pis)) < 0.5)
+                      .astype(np.uint8))
+        try:
+            shared_got = oracle.query(shared_pat, validate=False)
+        except (OracleFault, QueryBudgetExceeded):
+            shared_pat = shared_got = None
+    # Simulated once against the pristine netlist: repairs inside the
+    # loop rewire only the PO they target, so later columns are
+    # unaffected.
+    shared_sim = (simulate(net, shared_pat)
+                  if shared_got is not None else None)
+
+    for j, name in enumerate(net.po_names):
+        ver = OutputVerification(po_index=j, po_name=name)
+        report.outputs.append(ver)
+        if shared_got is None:
+            ver.status = "skipped"
+            obs.count("verify.outputs", status=ver.status)
+            continue
+        confirmed = _confirmed_mismatches(
+            oracle, shared_pat, shared_got[:, j], shared_sim[:, j], j,
+            policy)
+        ver.sampled = shared_pat.shape[0]
+        ver.mismatches = int(confirmed.shape[0])
+        ver.accuracy = 1.0 - ver.mismatches / ver.sampled
+        if exhaustive:
+            ver.lower_bound = ver.accuracy  # exact, no sampling error
+        else:
+            ver.lower_bound = wilson_lower_bound(
+                ver.sampled - ver.mismatches, ver.sampled, policy.z)
+        ver.exhaustive = exhaustive
+        ver._counterexamples = shared_pat[confirmed]
+        if ver.lower_bound >= policy.target:
+            ver.status = "verified"
+        elif ver.mismatches == 0:
+            ver.status = "inconclusive"
+        else:
+            mutated |= _repair_loop(net, oracle, j, ver, policy,
+                                    learn_billed_rows, supports, config,
+                                    biases, exhaustive)
+        obs.count("verify.outputs", status=ver.status)
+
+    if mutated:
+        net = net.cleaned()
+    report.rows_spent = oracle.query_count - start_rows
+    obs.count("verify.rows_spent", report.rows_spent)
+    return net, report
+
+
+def _repair_loop(net: Netlist, oracle: Oracle, j: int,
+                 ver: OutputVerification, policy: VerifyPolicy,
+                 learn_billed_rows: int,
+                 supports: Optional[Dict[int, List[int]]], config,
+                 biases, exhaustive: bool) -> bool:
+    """Bounded repair for a failing output; returns True when the
+    netlist was mutated."""
+    if policy.max_repair_rounds == 0:
+        ver.status = "verify-failed"
+        return False
+    repair_budget = max(policy.min_samples,
+                        int(policy.repair_rows_fraction
+                            * max(0, learn_billed_rows)))
+    channel = _CappedOracle(oracle, repair_budget)
+    support_idx = _support_indices(net, j, supports)
+    mutated = False
+    for round_ in range(1, policy.max_repair_rounds + 1):
+        ver.repair_rounds = round_
+        rng = _verify_rng(policy.seed, j, 1000 + round_)
+        relearn_round = (round_ > 1 and config is not None
+                         and support_idx)
+        if relearn_round:
+            if _relearn_output(net, channel, j, support_idx, config, rng):
+                ver.relearned = True
+                mutated = True
+        else:
+            cexs = getattr(ver, "_counterexamples",
+                           np.empty((0, len(net.pi_names)), np.uint8))
+            applied = _patch_output(net, channel, j, cexs, support_idx
+                                    or list(range(len(net.pi_names))),
+                                    policy, rng, biases)
+            ver.patches_applied += applied
+            mutated |= applied > 0
+        # Re-verify on fresh rows.  These go to the uncapped oracle —
+        # the cap bounds *repair* traffic (probes, re-learning), while
+        # re-verification is the same certification cost as round 0 and
+        # is bounded by max_repair_rounds anyway.
+        if exhaustive:
+            pat = _all_patterns(len(net.pi_names))
+            try:
+                got = oracle.query(pat, validate=False)
+            except (OracleFault, QueryBudgetExceeded):
+                break
+            sim = simulate(net, pat)
+            confirmed = _confirmed_mismatches(oracle, pat, got[:, j],
+                                              sim[:, j], j, policy)
+            ver.sampled = pat.shape[0]
+            ver.mismatches = int(confirmed.shape[0])
+            ver.accuracy = 1.0 - ver.mismatches / ver.sampled
+            ver.lower_bound = ver.accuracy
+            ver._counterexamples = pat[confirmed]
+        else:
+            n = _sample_size(policy, learn_billed_rows)
+            if not _verify_output(oracle, net, j, n, policy, round_,
+                                  ver):
+                break
+        if ver.lower_bound >= policy.target:
+            ver.status = "repaired"
+            obs.count("verify.repaired")
+            return mutated
+        if ver.mismatches == 0:
+            ver.status = "inconclusive"
+            return mutated
+    if ver.status == "skipped":
+        return mutated
+    ver.status = "verify-failed" if ver.mismatches > 0 else "inconclusive"
+    if ver.status == "verify-failed":
+        obs.count("verify.failed")
+    return mutated
+
+
+def _support_indices(net: Netlist, j: int,
+                     supports: Optional[Dict[int, List[int]]]
+                     ) -> List[int]:
+    if supports and supports.get(j):
+        return list(supports[j])
+    by_name = {name: k for k, name in enumerate(net.pi_names)}
+    return sorted(by_name[s] for s in net.structural_support(j))

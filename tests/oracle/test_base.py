@@ -104,10 +104,23 @@ class TestFunctionOracle:
         assert o.query_one([1, 0]) == [1, 1]
 
     def test_malformed_response_caught(self):
+        from repro.oracle.base import TransientOracleFault
+
         o = FunctionOracle(lambda p: np.zeros((p.shape[0], 3)),
                            pi_names=["a"], po_names=["x"])
-        with pytest.raises(AssertionError):
+        with pytest.raises(TransientOracleFault):
             o.query(np.zeros((2, 1), dtype=np.uint8))
+        # The malformed response delivered nothing, so nothing billed.
+        assert o.query_count == 0
+
+    def test_malformed_row_count_caught(self):
+        from repro.oracle.base import TransientOracleFault
+
+        o = FunctionOracle(lambda p: np.zeros((p.shape[0] + 1, 1)),
+                           pi_names=["a"], po_names=["x"])
+        with pytest.raises(TransientOracleFault):
+            o.query(np.zeros((2, 1), dtype=np.uint8))
+        assert o.query_count == 0
 
 
 class TestNetlistOracle:

@@ -61,6 +61,39 @@ class TestNoisyOracle:
             NoisyOracle(base_oracle(), -0.1)
 
 
+class TestMalformedInput:
+    """The wrapper inherits the base oracle's input contract: noise is
+    applied to valid answers only, never to garbage in."""
+
+    def test_wrong_width_rejected(self):
+        noisy = NoisyOracle(base_oracle(), 0.1, seed=1)
+        with pytest.raises(ValueError):
+            noisy.query(np.zeros((4, 5), dtype=np.uint8))
+
+    def test_non_binary_rejected(self):
+        noisy = NoisyOracle(base_oracle(), 0.1, seed=1)
+        with pytest.raises(ValueError):
+            noisy.query(np.full((2, 12), 7, dtype=np.uint8))
+
+    def test_rejected_batches_are_not_billed(self):
+        noisy = NoisyOracle(base_oracle(), 0.1, seed=1)
+        with pytest.raises(ValueError):
+            noisy.query(np.zeros((4, 5), dtype=np.uint8))
+        assert noisy.query_count == 0
+
+    def test_malformed_inner_response_is_transient_fault(self):
+        from repro.oracle import FunctionOracle
+        from repro.oracle.base import TransientOracleFault
+
+        bad = FunctionOracle(lambda p: np.zeros((p.shape[0], 9)),
+                             pi_names=[f"i{k}" for k in range(12)],
+                             po_names=["f"])
+        noisy = NoisyOracle(bad, 0.1, seed=1)
+        with pytest.raises(TransientOracleFault):
+            noisy.query(np.zeros((4, 12), dtype=np.uint8))
+        assert noisy.query_count == 0
+
+
 class TestLearningUnderNoise:
     def test_mild_noise_still_learns_approximately(self):
         """At p=1% the learner's majority votes absorb most corruption."""

@@ -52,6 +52,58 @@ class TestFiles:
                                np.zeros((2, 3), dtype=np.uint8))
 
 
+class TestMalformedRelation:
+    """A lying or buggy generator must be caught at the parse boundary,
+    never silently folded into training data."""
+
+    def write(self, tmp_path, text):
+        path = str(tmp_path / "io.relation")
+        with open(path, "w") as handle:
+            handle.write(text)
+        return path
+
+    def test_header_without_separator(self, tmp_path):
+        path = self.write(tmp_path, "a b f g\n01 10\n")
+        with pytest.raises(ValueError, match="'|'"):
+            read_relation_file(path)
+
+    def test_header_with_two_separators(self, tmp_path):
+        path = self.write(tmp_path, "a | f | g\n0 1\n")
+        with pytest.raises(ValueError):
+            read_relation_file(path)
+
+    @pytest.mark.parametrize("row,match", [
+        ("01 10 11", "malformed"),          # three columns
+        ("0x 10", "non-binary"),            # junk in the input part
+        ("01 1?", "non-binary"),            # junk in the output part
+        ("011 10", "input bits"),           # extra input bit
+        ("01 1", "output bits"),            # short output row
+    ])
+    def test_bad_rows_rejected(self, tmp_path, row, match):
+        path = self.write(tmp_path, f"a b | f g\n01 10\n{row}\n")
+        with pytest.raises(ValueError, match=match):
+            read_relation_file(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = self.write(tmp_path, "a b | f g\n01 10\n\n10 01\n")
+        _, _, ins, outs = read_relation_file(path)
+        assert ins.tolist() == [[0, 1], [1, 0]]
+        assert outs.tolist() == [[1, 0], [0, 1]]
+
+    def test_empty_body_yields_zero_rows(self, tmp_path):
+        path = self.write(tmp_path, "a b | f\n")
+        _, po, ins, outs = read_relation_file(path)
+        assert po == ["f"]
+        assert ins.shape == (0, 2) and outs.shape == (0, 1)
+
+    def test_pattern_garbage_line_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.pattern")
+        with open(path, "w") as handle:
+            handle.write("a b c\n010\ntotal garbage\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_pattern_file(path)
+
+
 class TestServe:
     def test_serve_once(self, tmp_path, small_oracle, rng):
         pattern_path = str(tmp_path / "input.pattern")
@@ -82,6 +134,28 @@ class TestProtocolOracle:
         assert (got == want).all()
         assert proto.round_trips == 1
         assert proto.query_count == 64
+
+    def test_corrupted_echo_detected(self, tmp_path, small_oracle,
+                                     monkeypatch):
+        """If the generator echoes back different input patterns, the
+        protocol layer refuses the batch instead of mispairing rows."""
+        import repro.oracle.textio as textio
+
+        real_serve = textio.serve_once
+
+        def tampering_serve(oracle, pattern_path, relation_path):
+            served = real_serve(oracle, pattern_path, relation_path)
+            pi, po, ins, outs = read_relation_file(relation_path)
+            ins = ins.copy()
+            ins[0, 0] ^= 1  # mispair the first row
+            write_relation_file(relation_path, pi, po, ins, outs)
+            return served
+
+        monkeypatch.setattr(textio, "serve_once", tampering_serve)
+        proto = TextProtocolOracle(small_oracle, str(tmp_path / "wd"))
+        pats = np.zeros((4, 3), dtype=np.uint8)
+        with pytest.raises(AssertionError, match="corrupted"):
+            proto.query(pats)
 
     def test_learner_through_protocol(self, tmp_path, small_oracle):
         """The full pipeline driven purely through file exchanges."""

@@ -1,0 +1,211 @@
+"""Corruption audit: hash selection, majority vote, cache invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.base import Oracle, TransientOracleFault
+from repro.robustness.audit import (AuditingOracle, AuditPolicy,
+                                    row_select_hash)
+
+from tests.robustness.conftest import XorOracle
+
+
+class CorruptOnceOracle(Oracle):
+    """XOR truth, but the first delivery flips ``flip_rows`` rows;
+    every later query (the audit's re-checks) answers honestly."""
+
+    def __init__(self, num_pis=4, flip_rows=(0, 2)):
+        super().__init__([f"x{i}" for i in range(num_pis)],
+                         ["parity", "allones"])
+        self._truth = XorOracle(num_pis)
+        self._flip_rows = flip_rows
+        self.calls = 0
+
+    def _evaluate(self, patterns):
+        out = self._truth.query(patterns, validate=False)
+        self.calls += 1
+        if self.calls == 1:
+            out = out.copy()
+            for r in self._flip_rows:
+                out[r] ^= 1
+        return out
+
+
+class LyingRecheckOracle(Oracle):
+    """Honest on the first delivery, flips row 0 on the second call
+    only — the *audit channel* is the noisy one."""
+
+    def __init__(self, num_pis=4):
+        super().__init__([f"x{i}" for i in range(num_pis)],
+                         ["parity", "allones"])
+        self._truth = XorOracle(num_pis)
+        self.calls = 0
+
+    def _evaluate(self, patterns):
+        out = self._truth.query(patterns, validate=False)
+        self.calls += 1
+        if self.calls == 2:
+            out = out.copy()
+            out[0] ^= 1
+        return out
+
+
+class FaultingRecheckOracle(Oracle):
+    """Honest delivery; any further call raises."""
+
+    def __init__(self, num_pis=4):
+        super().__init__([f"x{i}" for i in range(num_pis)],
+                         ["parity", "allones"])
+        self._truth = XorOracle(num_pis)
+        self.calls = 0
+
+    def _evaluate(self, patterns):
+        self.calls += 1
+        if self.calls > 1:
+            raise TransientOracleFault("audit channel down")
+        return self._truth.query(patterns, validate=False)
+
+
+def patterns_of(n, num_pis=4, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 2, size=(n, num_pis)).astype(np.uint8)
+
+
+class TestRowSelectHash:
+    def test_pure_function_of_seed_and_content(self):
+        pat = patterns_of(64)
+        assert row_select_hash(pat, 7).tolist() == \
+            row_select_hash(pat, 7).tolist()
+        assert row_select_hash(pat, 7).tolist() != \
+            row_select_hash(pat, 8).tolist()
+
+    def test_batching_does_not_change_per_row_hash(self):
+        # The jobs-determinism keystone: a row hashes identically no
+        # matter which batch delivered it.
+        pat = patterns_of(64)
+        whole = row_select_hash(pat, 3)
+        split = np.concatenate([row_select_hash(pat[:20], 3),
+                                row_select_hash(pat[20:], 3)])
+        assert whole.tolist() == split.tolist()
+
+    def test_selection_rate_roughly_honored(self):
+        pat = patterns_of(4096, num_pis=16, seed=2)
+        h = row_select_hash(pat, 0)
+        frac = float((h % np.uint64(1 << 30)
+                      < np.uint64(int(0.25 * (1 << 30)))).mean())
+        assert 0.18 < frac < 0.32
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuditPolicy(rate=1.5).validate()
+        with pytest.raises(ValueError):
+            AuditPolicy(votes=2).validate()
+        with pytest.raises(ValueError):
+            AuditPolicy(votes=1).validate()
+        AuditPolicy(rate=0.0, votes=5).validate()
+
+
+class TestAuditingOracle:
+    def test_transparent_on_clean_oracle(self):
+        inner = XorOracle()
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        pat = patterns_of(32)
+        assert audited.query(pat).tolist() == \
+            XorOracle().query(pat).tolist()
+        assert audited.counters.rows_audited == 32
+        assert audited.counters.rows_disagreed == 0
+        assert audited.counters.rows_poisoned == 0
+
+    def test_rate_zero_audits_nothing(self):
+        audited = AuditingOracle(XorOracle(), AuditPolicy(rate=0.0))
+        audited.query(patterns_of(32))
+        assert audited.counters.rows_audited == 0
+        assert audited.counters.audit_rows_queried == 0
+
+    def test_poisoned_delivery_corrected_by_majority(self):
+        inner = CorruptOnceOracle(flip_rows=(0, 2))
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        pat = patterns_of(16)
+        out = audited.query(pat)
+        # The corrupted delivery was overruled: the caller sees truth.
+        assert out.tolist() == XorOracle().query(pat).tolist()
+        assert audited.counters.rows_disagreed == 2
+        assert audited.counters.rows_poisoned == 2
+
+    def test_poisoned_patterns_passed_to_invalidators(self):
+        inner = CorruptOnceOracle(flip_rows=(3,))
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        seen = []
+        audited.add_invalidator(
+            lambda bad: seen.append(bad.copy()) or bad.shape[0])
+        pat = patterns_of(16)
+        audited.query(pat)
+        assert len(seen) == 1
+        assert seen[0].tolist() == [pat[3].tolist()]
+
+    def test_noisy_recheck_does_not_overturn_good_delivery(self):
+        inner = LyingRecheckOracle()
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        pat = patterns_of(16)
+        out = audited.query(pat)
+        # Majority (delivery + tie-breaker vs the lying re-check) sides
+        # with the original: disagreement recorded, nothing poisoned.
+        assert out.tolist() == XorOracle().query(pat).tolist()
+        assert audited.counters.rows_disagreed == 1
+        assert audited.counters.rows_poisoned == 0
+
+    def test_faulting_audit_channel_aborts_nonfatally(self):
+        inner = FaultingRecheckOracle()
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        pat = patterns_of(8)
+        out = audited.query(pat)  # must NOT raise
+        assert out.shape == (8, 2)
+        assert audited.counters.audits_aborted == 1
+        assert audited.counters.rows_audited == 0
+
+    def test_audit_rows_are_billed(self):
+        inner = XorOracle()
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        audited.query(patterns_of(32))
+        # Delivery (32) + full re-check (32) billed on the inner oracle.
+        assert inner.query_count == 64
+        assert audited.counters.audit_rows_queried == 32
+
+    def test_selection_is_batch_invariant(self):
+        # Same rows split differently -> identical audited-row count.
+        pol = AuditPolicy(rate=0.3, seed=9)
+        pat = patterns_of(128, seed=5)
+        fused = AuditingOracle(XorOracle(), pol)
+        fused.query(pat)
+        split = AuditingOracle(XorOracle(), pol)
+        split.query(pat[:50])
+        split.query(pat[50:])
+        assert fused.counters.rows_audited == \
+            split.counters.rows_audited
+
+
+class TestCacheInvalidation:
+    def test_bank_and_retry_drop_poisoned_rows(self):
+        from repro.perf.bank import SampleBank
+        from repro.robustness.retry import RetryingOracle, RetryPolicy
+
+        inner = CorruptOnceOracle(flip_rows=(0,))
+        audited = AuditingOracle(inner, AuditPolicy(rate=1.0, seed=1))
+        retry = RetryingOracle(audited, policy=RetryPolicy(max_retries=1),
+                               cache=True)
+        bank = SampleBank(4, 2, max_rows=64)
+        audited.add_invalidator(retry.invalidate)
+        audited.add_invalidator(bank.invalidate)
+        pat = patterns_of(8)
+        out = retry.query(pat)  # corrupted delivery, audited + corrected
+        bank.record(pat, out)
+        before = len(bank)
+        # Poison a fresh delivery of the same patterns: the stale copies
+        # must be dropped from both caches.
+        inner.calls = 0  # re-arm the one-shot corruption
+        audited.query(pat)
+        assert audited.counters.rows_poisoned == 2  # once per delivery
+        assert len(bank) == before - 1
+        assert retry.cache_invalidated == 1

@@ -136,3 +136,42 @@ class TestIsolation:
         # The partial tree (not a constant fallback) was kept.
         assert report.stats is not None
         assert report.stats.nodes_expanded > 0
+
+
+class TestChaosMatrix:
+    """The scripted scenario matrix behind ``repro chaos``.
+
+    The full seven-scenario sweep runs in CI and ``benchmarks/``; here we
+    exercise the matrix machinery itself on a cheap subset.
+    """
+
+    def test_clean_scenario_passes(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        summary = run_chaos_matrix(["clean"], seed=2019)
+        assert summary["passed"]
+        (outcome,) = summary["scenarios"]
+        assert outcome["name"] == "clean"
+        assert outcome["passed"]
+        assert outcome["failures"] == []
+
+    def test_bitflip_audit_scenario_certifies_or_tags(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        summary = run_chaos_matrix(["bitflip-audit"], seed=2019)
+        assert summary["passed"], summary["scenarios"][0]["failures"]
+        statuses = summary["scenarios"][0]["details"]["verification"]
+        assert set(statuses) <= {"verified", "repaired", "verify-failed"}
+
+    def test_scenario_outcomes_are_deterministic(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        a = run_chaos_matrix(["transient"], seed=2019)
+        b = run_chaos_matrix(["transient"], seed=2019)
+        assert a == b
+
+    def test_unknown_scenario_rejected(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        with pytest.raises(ValueError, match="unknown"):
+            run_chaos_matrix(["no-such-scenario"])

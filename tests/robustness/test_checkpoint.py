@@ -97,12 +97,63 @@ class TestStore:
         with pytest.raises(CheckpointError):
             other.open_for(["a", "b"], ["po_0"], seed=1, resume=True)
 
-    def test_corrupt_file_rejected(self, tmp_path):
+    def test_corrupt_file_restarts_fresh(self, tmp_path, caplog):
+        # A truncated / garbage checkpoint is a disk fault, not a user
+        # error: warn and restart instead of crashing the resume.
         path = str(tmp_path / "run.ckpt")
         with open(path, "w") as handle:
             handle.write("not json{")
-        with pytest.raises(CheckpointError):
-            CheckpointStore(path).open_for(["a"], ["p"], 1, resume=True)
+        with caplog.at_level("WARNING"):
+            restored = CheckpointStore(path).open_for(
+                ["a"], ["p"], 1, resume=True)
+        assert restored == {}
+        assert any("unreadable" in rec.message for rec in caplog.records)
+
+    def test_digest_tamper_restarts_fresh(self, tmp_path, rng, caplog):
+        path = str(tmp_path / "run.ckpt")
+        store = CheckpointStore(path)
+        store.open_for(["a"], ["po_0"], seed=1, resume=False)
+        store.record_output(self.entry(rng))
+        data = json.load(open(path))
+        data["fingerprint"]["seed"] = 2  # bit-rot without digest update
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with caplog.at_level("WARNING"):
+            restored = CheckpointStore(path).open_for(
+                ["a"], ["po_0"], seed=1, resume=True)
+        assert restored == {}
+        assert any("integrity" in rec.message for rec in caplog.records)
+
+    def test_corrupt_entry_skipped_others_restored(self, tmp_path, rng,
+                                                   caplog):
+        from repro.robustness.checkpoint import payload_digest
+
+        path = str(tmp_path / "run.ckpt")
+        pis = [f"a{i}" for i in range(10)]
+        store = CheckpointStore(path)
+        store.open_for(pis, ["po_0", "po_1"], seed=1, resume=False)
+        store.record_output(self.entry(rng, 0))
+        store.record_output(self.entry(rng, 1))
+        data = json.load(open(path))
+        data["outputs"][0]["method"] = "tampered"  # entry digest now stale
+        data.pop("digest")
+        data["digest"] = payload_digest(data)  # file digest re-stamped
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with caplog.at_level("WARNING"):
+            restored = CheckpointStore(path).open_for(
+                pis, ["po_0", "po_1"], seed=1, resume=True)
+        assert sorted(restored) == [1]
+        assert any("re-learned" in rec.message for rec in caplog.records)
+
+    def test_file_carries_digests(self, tmp_path, rng):
+        path = str(tmp_path / "run.ckpt")
+        store = CheckpointStore(path)
+        store.open_for(["a"], ["po_0"], seed=1, resume=False)
+        store.record_output(self.entry(rng))
+        data = json.load(open(path))
+        assert "digest" in data
+        assert all("digest" in item for item in data["outputs"])
 
     def test_unopened_store_refuses_records(self, tmp_path, rng):
         store = CheckpointStore(str(tmp_path / "run.ckpt"))

@@ -91,8 +91,55 @@ class TestFaultFamilies:
         faulty.query(np.zeros((64, 4), dtype=np.uint8))
         assert faulty.counters.bits_flipped > 0
 
+    def test_malform_returns_wrong_shape_classified_transient(self):
+        inner = XorOracle()
+        faulty = FaultyOracle(inner, FaultModel(malform_rate=1.0), seed=0)
+        with pytest.raises(TransientOracleFault, match="malformed"):
+            faulty.query(np.zeros((4, 4), dtype=np.uint8))
+        assert faulty.counters.malformed == 1
+        # Nothing was delivered, nothing billed.
+        assert faulty.query_count == 0
+
+    def test_malform_both_kinds_fire(self):
+        faulty = FaultyOracle(XorOracle(), FaultModel(malform_rate=1.0),
+                              seed=7)
+        for _ in range(32):
+            with pytest.raises(TransientOracleFault):
+                faulty.query(np.zeros((4, 4), dtype=np.uint8))
+        kinds = faulty.counters.by_kind
+        assert kinds.get("malform-truncate", 0) > 0
+        assert kinds.get("malform-duplicate", 0) > 0
+        assert (kinds["malform-truncate"]
+                + kinds["malform-duplicate"]) == 32
+
+    def test_by_kind_populated_per_family(self):
+        faulty = FaultyOracle(XorOracle(), FaultModel(
+            transient_rate=0.3, bitflip_rate=0.05), seed=42)
+        drive(faulty)
+        kinds = faulty.counters.by_kind
+        assert kinds.get("transient") == faulty.counters.transients
+        assert kinds.get("bitflip") == faulty.counters.bits_flipped
+        cutoff = FaultyOracle(XorOracle(),
+                              FaultModel(fail_after_queries=0))
+        with pytest.raises(QueryBudgetExceeded):
+            cutoff.query(np.zeros((1, 4), dtype=np.uint8))
+        assert cutoff.counters.by_kind == {"budget-cutoff": 1}
+
+    def test_by_kind_surfaced_in_accounting_summary(self):
+        from repro.obs.accounting import accounting_summary
+
+        faulty = FaultyOracle(XorOracle(), FaultModel(
+            transient_rate=0.3, bitflip_rate=0.05), seed=42)
+        drive(faulty)
+        summary = accounting_summary(faulty)
+        entry = next(e for e in summary["layers"]
+                     if e["class"] == "FaultyOracle")
+        assert entry["faults_injected"] == faulty.counters.by_kind
+
     def test_model_validation(self):
         with pytest.raises(ValueError):
             FaultModel(transient_rate=1.5).validate()
         with pytest.raises(ValueError):
             FaultModel(hang_duration=-1.0).validate()
+        with pytest.raises(ValueError):
+            FaultModel(malform_rate=-0.1).validate()

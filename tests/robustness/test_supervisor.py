@@ -1,0 +1,142 @@
+"""Supervised worker pool: heartbeats, redispatch, quarantine."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_config
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.perf.parallel import OutputTask
+from repro.robustness.supervisor import (SupervisorPolicy, SupervisorStats,
+                                         run_supervised)
+
+
+def make_payload(num_pis=8, num_pos=3, seed=11):
+    golden = build_eco_netlist(num_pis, num_pos, seed=seed,
+                               support_low=3, support_high=5)
+    oracle = NetlistOracle(golden)
+    cfg = fast_config(time_limit=10.0)
+    pi_index = {name: k for k, name in enumerate(oracle.pi_names)}
+    supports = [sorted(pi_index[name]
+                       for name in golden.structural_support(j))
+                for j in range(num_pos)]
+    tasks = [OutputTask(j, support=supports[j], soft_seconds=5.0,
+                        hard_seconds=10.0) for j in range(num_pos)]
+    return pickle.dumps((oracle, cfg, None)), tasks, golden, supports
+
+
+def fast_policy(**kw):
+    kw.setdefault("heartbeat_interval", 0.1)
+    kw.setdefault("heartbeat_timeout", 2.0)
+    return SupervisorPolicy(**kw)
+
+
+class TestHappyPath:
+    def test_all_tasks_return_covers(self):
+        payload, tasks, _, _ = make_payload()
+        results, stats = run_supervised(payload, tasks, jobs=2,
+                                        policy=fast_policy())
+        assert sorted(results) == [0, 1, 2]
+        for res in results.values():
+            assert res.cover is not None
+            assert res.error_type == ""
+        assert stats.workers_crashed == 0
+        assert stats.workers_hung == 0
+        assert stats.redispatches == 0
+        assert stats.quarantined == 0
+        assert stats.workers_spawned == 2
+
+    def test_on_result_callback_fires_per_task(self):
+        payload, tasks, _, _ = make_payload()
+        seen = []
+        run_supervised(payload, tasks, jobs=2, policy=fast_policy(),
+                       on_result=lambda r: seen.append(r.index))
+        assert sorted(seen) == [0, 1, 2]
+
+
+class TestFaultInjection:
+    def test_crashed_worker_is_replaced_and_task_redispatched(self):
+        payload, tasks, _, _ = make_payload()
+        policy = fast_policy(fault_plan={0: "crash"})
+        results, stats = run_supervised(payload, tasks, jobs=2,
+                                        policy=policy)
+        assert stats.workers_crashed >= 1
+        assert stats.redispatches == 1
+        # The second attempt succeeded: the crash cost nothing visible.
+        assert results[0].cover is not None
+        assert all(results[j].cover is not None for j in (1, 2))
+
+    def test_hung_worker_detected_by_heartbeat_timeout(self):
+        payload, tasks, _, _ = make_payload()
+        policy = fast_policy(heartbeat_timeout=1.0,
+                             fault_plan={1: "hang"})
+        results, stats = run_supervised(payload, tasks, jobs=2,
+                                        policy=policy)
+        assert stats.workers_hung >= 1
+        assert stats.redispatches == 1
+        assert results[1].cover is not None
+
+    def test_poison_task_quarantined_not_fatal(self):
+        payload, tasks, _, _ = make_payload()
+        # No redispatch allowed: the first crash already makes task 0
+        # twice-fatal by policy, so it must be quarantined in place.
+        policy = fast_policy(max_redispatches=0, fault_plan={0: "crash"})
+        results, stats = run_supervised(payload, tasks, jobs=2,
+                                        policy=policy)
+        assert stats.quarantined == 1
+        assert results[0].cover is None
+        assert results[0].error_type == "PoisonTask"
+        # The healthy tasks were untouched.
+        assert results[1].cover is not None
+        assert results[2].cover is not None
+
+    def test_redispatch_budget_is_scaled_down(self):
+        payload, tasks, _, _ = make_payload()
+        policy = fast_policy(fault_plan={0: "crash"},
+                             redispatch_budget_factor=0.5)
+        results, stats = run_supervised(payload, tasks, jobs=1,
+                                        policy=policy)
+        assert stats.redispatches == 1
+        assert results[0].cover is not None
+
+
+class TestDeterminism:
+    def test_results_identical_across_jobs(self):
+        payload, tasks, golden, supports = make_payload()
+        res1, _ = run_supervised(payload, tasks, jobs=1,
+                                 policy=fast_policy())
+        res3, _ = run_supervised(payload, tasks, jobs=3,
+                                 policy=fast_policy())
+        rng = np.random.default_rng(0)
+        pats = rng.integers(0, 2, size=(400, golden.num_pis))
+        pats = pats.astype(np.uint8)
+        for j in res1:
+            a = res1[j].cover.evaluate(pats)
+            b = res3[j].cover.evaluate(pats)
+            assert a.tolist() == b.tolist()
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(heartbeat_interval=0.0).validate()
+        with pytest.raises(ValueError):
+            SupervisorPolicy(heartbeat_timeout=0.1,
+                             heartbeat_interval=0.2).validate()
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_redispatches=-1).validate()
+        with pytest.raises(ValueError):
+            SupervisorPolicy(redispatch_budget_factor=0.0).validate()
+
+    def test_stats_as_dict_roundtrips(self):
+        stats = SupervisorStats(workers_spawned=3, workers_crashed=1,
+                                redispatches=1)
+        d = stats.as_dict()
+        assert d["workers_spawned"] == 3
+        assert d["workers_crashed"] == 1
+        assert d["redispatches"] == 1
+        assert set(d) == {"workers_spawned", "workers_crashed",
+                          "workers_hung", "wall_timeouts",
+                          "redispatches", "quarantined"}

@@ -1,0 +1,152 @@
+"""Verify-and-repair: Wilson bounds, certification, bounded repair."""
+
+import numpy as np
+import pytest
+
+from repro.logic.cube import Cube
+from repro.network.builder import build_cube
+from repro.network.simulate import simulate
+from repro.oracle.eco import build_eco_netlist
+from repro.oracle.netlist_oracle import NetlistOracle
+from repro.robustness.verify import (VerifyPolicy, inverse_normal_cdf,
+                                     rows_to_certify, verify_and_repair,
+                                     wilson_lower_bound)
+
+
+class TestConfidenceMath:
+    def test_inverse_normal_cdf_known_values(self):
+        assert inverse_normal_cdf(0.975) == pytest.approx(1.959964,
+                                                          abs=1e-5)
+        assert inverse_normal_cdf(0.95) == pytest.approx(1.644854,
+                                                         abs=1e-5)
+        assert inverse_normal_cdf(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert inverse_normal_cdf(0.025) == \
+            pytest.approx(-inverse_normal_cdf(0.975), abs=1e-9)
+        with pytest.raises(ValueError):
+            inverse_normal_cdf(0.0)
+
+    def test_wilson_bound_properties(self):
+        z = 1.644854
+        # More evidence -> tighter bound; bound never exceeds p-hat.
+        small = wilson_lower_bound(100, 100, z)
+        large = wilson_lower_bound(10000, 10000, z)
+        assert small < large < 1.0
+        assert wilson_lower_bound(0, 0, z) == 0.0
+        assert wilson_lower_bound(50, 100, z) < 0.5
+
+    def test_rows_to_certify_is_sufficient_and_tight(self):
+        target, z = 0.9999, inverse_normal_cdf(0.95)
+        n = rows_to_certify(target, z)
+        assert wilson_lower_bound(n, n, z) >= target
+        assert wilson_lower_bound(n - 2, n - 2, z) < target
+        # The 99.99% @ 95% certificate needs ~27k clean rows.
+        assert 25_000 < n < 30_000
+
+
+def broken_copy(golden, j, assignment):
+    """A copy of ``golden`` with output ``j`` flipped on one minterm."""
+    net = golden.cleaned()
+    cube = Cube.from_assignment(assignment,
+                                list(range(len(assignment))))
+    node = build_cube(net, cube, net.pi_nodes)
+    net.po_nodes[j] = net.add_xor(net.po_nodes[j], node)
+    return net
+
+
+class TestVerifyAndRepair:
+    NUM_PIS = 8
+
+    def golden(self, seed=21):
+        return build_eco_netlist(self.NUM_PIS, 3, seed=seed,
+                                 support_low=3, support_high=5)
+
+    def test_correct_circuit_certifies_exhaustively(self):
+        golden = self.golden()
+        oracle = NetlistOracle(golden)
+        net, report = verify_and_repair(
+            golden.cleaned(), oracle, VerifyPolicy(seed=0),
+            learn_billed_rows=1000)
+        assert report.all_certified()
+        for v in report.outputs:
+            assert v.status == "verified"
+            assert v.exhaustive
+            assert v.lower_bound == 1.0
+            assert v.sampled == 1 << self.NUM_PIS
+        # One shared full-space query covers every output.
+        assert report.rows_spent == 1 << self.NUM_PIS
+
+    def test_broken_output_repaired_via_patch(self):
+        golden = self.golden()
+        broken = broken_copy(golden, 1, [0] * self.NUM_PIS)
+        oracle = NetlistOracle(golden)
+        net, report = verify_and_repair(
+            broken, oracle, VerifyPolicy(seed=0),
+            learn_billed_rows=5000)
+        ver = report.outputs[1]
+        assert ver.status == "repaired"
+        assert ver.patches_applied >= 1
+        assert report.outputs[0].status == "verified"
+        # The repaired netlist is exact again.
+        full = np.array(np.meshgrid(
+            *[[0, 1]] * self.NUM_PIS)).reshape(self.NUM_PIS, -1).T \
+            .astype(np.uint8)
+        assert simulate(net, full).tolist() == \
+            simulate(golden, full).tolist()
+
+    def test_unrepairable_is_tagged_verify_failed(self):
+        golden = self.golden()
+        broken = broken_copy(golden, 0, [1] * self.NUM_PIS)
+        oracle = NetlistOracle(golden)
+        _, report = verify_and_repair(
+            broken, oracle, VerifyPolicy(seed=0, max_repair_rounds=0),
+            learn_billed_rows=1000)
+        ver = report.outputs[0]
+        assert ver.status == "verify-failed"
+        assert ver.mismatches == 1
+        assert report.never_silently_wrong()
+        assert not report.all_certified()
+
+    def test_budget_exhaustion_yields_skipped_not_crash(self):
+        golden = self.golden()
+        oracle = NetlistOracle(golden, query_budget=10)
+        _, report = verify_and_repair(
+            golden.cleaned(), oracle, VerifyPolicy(seed=0),
+            learn_billed_rows=1000)
+        assert all(v.status == "skipped" for v in report.outputs)
+        assert report.status_counts() == {"skipped": 3}
+
+    def test_sampled_path_reports_inconclusive_honestly(self):
+        # Force the sampled (non-exhaustive) path with a tiny sample: a
+        # clean small sample cannot certify 99.99% and must say so.
+        golden = self.golden()
+        oracle = NetlistOracle(golden)
+        policy = VerifyPolicy(seed=0, exhaustive_limit=4, samples=128)
+        _, report = verify_and_repair(
+            golden.cleaned(), oracle, policy, learn_billed_rows=1000)
+        for v in report.outputs:
+            assert v.status == "inconclusive"
+            assert not v.exhaustive
+            assert v.mismatches == 0
+            assert v.lower_bound < policy.target
+
+    def test_deterministic_given_seed(self):
+        golden = self.golden()
+        broken_a = broken_copy(golden, 1, [0] * self.NUM_PIS)
+        broken_b = broken_copy(golden, 1, [0] * self.NUM_PIS)
+        _, rep_a = verify_and_repair(
+            broken_a, NetlistOracle(golden), VerifyPolicy(seed=3),
+            learn_billed_rows=5000)
+        _, rep_b = verify_and_repair(
+            broken_b, NetlistOracle(golden), VerifyPolicy(seed=3),
+            learn_billed_rows=5000)
+        assert rep_a.to_json() == rep_b.to_json()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            VerifyPolicy(target=1.0).validate()
+        with pytest.raises(ValueError):
+            VerifyPolicy(confidence=0.0).validate()
+        with pytest.raises(ValueError):
+            VerifyPolicy(samples=0).validate()
+        with pytest.raises(ValueError):
+            VerifyPolicy(max_repair_rounds=-1).validate()

@@ -131,6 +131,34 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["learn", path, "--resume"])
 
+    def test_learn_with_audit_and_verify(self, circuit_file, tmp_path,
+                                         capsys):
+        path, _ = circuit_file
+        learned = str(tmp_path / "learned.blif")
+        code = main(["learn", path, "--out", learned,
+                     "--time-limit", "15", "--patterns", "2000",
+                     "--audit-rate", "0.1", "--no-accuracy-gate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verification:" in out
+
+    def test_chaos_subset(self, tmp_path, capsys):
+        import json
+
+        report = str(tmp_path / "chaos.json")
+        code = main(["chaos", "--scenarios", "clean", "--seed", "2019",
+                     "--out", report])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        dumped = json.load(open(report))
+        assert dumped["passed"] is True
+        assert [s["name"] for s in dumped["scenarios"]] == ["clean"]
+
+    def test_chaos_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenarios", "does-not-exist"])
+
     def test_check_detects_difference(self, circuit_file, tmp_path,
                                       capsys):
         path, net = circuit_file
