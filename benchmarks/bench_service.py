@@ -1,0 +1,163 @@
+"""Service bench: scheduling overhead, reuse payoff, recovery cost.
+
+Three gates guard the learning-as-a-service layer:
+
+- **fleet completes** — a mixed-priority fleet with one fault-injected
+  job must drain with every job terminal and the poisoned job isolated
+  (its neighbors still certify);
+- **reuse pays** — a second fleet over the same circuits must serve
+  rows from the cross-job cache (hits > 0), spending strictly fewer
+  billed rows than the cold fleet;
+- **recovery is cheap** — a crash-resumed job must not double-bill:
+  every billing row carries a unique attempt number.
+
+Run under pytest-benchmark in CI, or standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.network.blif import write_blif
+from repro.oracle.eco import build_eco_netlist
+from repro.service.cache import CrossJobCache
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import JobScheduler, SchedulerPolicy
+from repro.service.spool import Spool
+
+TIERS_CYCLE = ("interactive", "standard", "batch")
+
+
+def _make_circuit(tmp: str, seed: int) -> str:
+    net = build_eco_netlist(10, 4, seed=seed, support_low=3,
+                            support_high=6)
+    path = os.path.join(tmp, f"golden_{seed}.blif")
+    with open(path, "w") as handle:
+        write_blif(net, handle)
+    return path
+
+
+def run_fleet(tmp: str, tag: str, circuits, cache: CrossJobCache,
+              fault_job: bool = False) -> dict:
+    """Drain one inline fleet; returns per-fleet metrics."""
+    spool = Spool(os.path.join(tmp, f"spool_{tag}"))
+    for i, circuit in enumerate(circuits):
+        spool.submit(
+            JobSpec(job_id=f"{tag}-{i}", circuit=circuit,
+                    tier=TIERS_CYCLE[i % len(TIERS_CYCLE)],
+                    profile="fast", time_limit=30.0, seed=7,
+                    fault="crash" if fault_job and i == 0 else None,
+                    fault_attempts=1),
+            circuit_src=circuit)
+    sched = JobScheduler(
+        spool,
+        SchedulerPolicy(inline=True, max_active=2,
+                        retry_backoff_base=0.0),
+        cache=cache)
+    started = time.perf_counter()
+    summary = sched.drain(timeout=600)
+    elapsed = time.perf_counter() - started
+    statuses = {job_id: info["status"]
+                for job_id, info in summary.items()}
+    billing = {job_id: spool.read_state(job_id).get("billing", [])
+               for job_id in summary}
+    return {
+        "elapsed_s": round(elapsed, 3),
+        "statuses": statuses,
+        "all_terminal": spool.all_terminal(),
+        "billed_rows": sum(row["billed_rows"] for rows in
+                           billing.values() for row in rows),
+        "billing_attempts": {job_id: [row["attempt"] for row in rows]
+                             for job_id, rows in billing.items()},
+        "scheduler": sched.stats.as_dict(),
+    }
+
+
+def run_service_bench(n_jobs: int = 4) -> dict:
+    """Cold fleet (one fault-injected) then warm fleet on the same
+    circuits through a shared cross-job cache."""
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        circuits = [_make_circuit(tmp, seed) for seed in
+                    range(31, 31 + n_jobs)]
+        cache = CrossJobCache(os.path.join(tmp, "xcache"))
+        cold = run_fleet(tmp, "cold", circuits, cache, fault_job=True)
+        warm = run_fleet(tmp, "warm", circuits, cache)
+        return {"jobs_per_fleet": n_jobs, "cold": cold, "warm": warm,
+                "cache": cache.stats()}
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def check_gates(metrics: dict) -> list:
+    """The acceptance assertions, shared by pytest and __main__."""
+    failures = []
+    for fleet in ("cold", "warm"):
+        if not metrics[fleet]["all_terminal"]:
+            failures.append(f"{fleet} fleet left non-terminal jobs")
+        for job_id, attempts in \
+                metrics[fleet]["billing_attempts"].items():
+            if len(attempts) != len(set(attempts)):
+                failures.append(f"{job_id} double-billed: {attempts}")
+    # The fault-injected job retried and still certified; neighbors
+    # were never disturbed.
+    cold = metrics["cold"]
+    if cold["scheduler"]["crashes"] < 1:
+        failures.append("cold fleet never saw the injected crash")
+    bad = [job_id for job_id, status in cold["statuses"].items()
+           if status not in ("verified", "repaired")]
+    if bad:
+        failures.append(f"cold fleet jobs not certified: {bad}")
+    # Reuse must pay: warm fleet hits the cache and bills fewer rows.
+    if metrics["cache"]["hits"] < metrics["jobs_per_fleet"]:
+        failures.append(
+            f"warm fleet barely hit the cache: {metrics['cache']}")
+    if metrics["warm"]["billed_rows"] >= metrics["cold"]["billed_rows"]:
+        failures.append(
+            "cross-job cache did not reduce billed rows "
+            f"({metrics['cold']['billed_rows']} -> "
+            f"{metrics['warm']['billed_rows']})")
+    return failures
+
+
+def test_service_fleet_reuse_and_recovery(benchmark):
+    from benchmarks.conftest import one_shot
+
+    metrics = one_shot(benchmark, run_service_bench)
+    benchmark.extra_info.update(
+        cold_billed_rows=metrics["cold"]["billed_rows"],
+        warm_billed_rows=metrics["warm"]["billed_rows"],
+        cache=metrics["cache"],
+        cold_statuses=metrics["cold"]["statuses"])
+    failures = check_gates(metrics)
+    assert not failures, failures
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="jobs per fleet (default 4)")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="snapshot path (default BENCH_service.json)")
+    args = parser.parse_args()
+    metrics = run_service_bench(args.jobs)
+    failures = check_gates(metrics)
+    snapshot = {"bench": "service", "gates_passed": not failures,
+                "failures": failures, "metrics": metrics}
+    with open(args.out, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"written to {args.out}; "
+          + ("all gates passed" if not failures
+             else f"FAILURES: {failures}"))
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

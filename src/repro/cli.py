@@ -10,6 +10,12 @@ Commands:
 - ``stats``     print size / depth / interface facts about a circuit file.
 - ``chaos``     run the seeded fault-scenario matrix (self-verifying
                 execution smoke test).
+- ``serve``     run the learning service against a spool directory
+                (resumes any in-flight jobs, then schedules until
+                SIGINT/SIGTERM — or until drained with ``--drain``).
+- ``submit``    submit a circuit as a job to a service spool.
+- ``status``    show one job (or the whole fleet) from a spool.
+- ``cancel``    request cancellation of a spooled job.
 
 File formats are chosen by extension: ``.blif``, ``.aag`` for input and
 output, plus ``.v`` (write-only structural Verilog).
@@ -67,8 +73,6 @@ def cmd_learn(args: argparse.Namespace) -> int:
 
     golden = load_circuit(args.circuit)
     oracle = NetlistOracle(golden)
-    if args.resume and not args.checkpoint:
-        raise SystemExit("--resume requires --checkpoint")
     if args.inject_faults:
         from repro.robustness.faults import FaultModel, FaultyOracle
 
@@ -90,7 +94,21 @@ def cmd_learn(args: argparse.Namespace) -> int:
             resume=args.resume,
             audit_rate=args.audit_rate,
             verify=not args.no_verify))
-    result = LogicRegressor(config).learn(oracle)
+    from repro.service.signals import ShutdownRequested, graceful_shutdown
+    try:
+        with graceful_shutdown():
+            result = LogicRegressor(config).learn(oracle)
+    except ShutdownRequested as exc:
+        # A first SIGINT/SIGTERM lands here between pipeline steps: the
+        # checkpoint already holds every completed output, so report
+        # where the resumable state lives and flush what observability
+        # captured before the signal.
+        print(f"interrupted: {exc}")
+        if args.checkpoint:
+            print(f"resumable checkpoint: {args.checkpoint} (rerun with "
+                  f"--checkpoint {args.checkpoint} --resume)")
+        _flush_partial_obs(args, exc.instrumentation)
+        return 130
     for line in result.step_trace:
         print("  " + line)
     if result.verification is not None:
@@ -116,6 +134,25 @@ def cmd_learn(args: argparse.Namespace) -> int:
         save_circuit(result.netlist, args.out)
         print(f"written to {args.out}")
     return 0 if acc >= 0.9999 or args.no_accuracy_gate else 1
+
+
+def _flush_partial_obs(args: argparse.Namespace, instr) -> None:
+    """Best-effort trace/metrics flush for an interrupted learn."""
+    if instr is None:
+        return
+    import json
+
+    if getattr(args, "trace_out", None):
+        from repro.obs.trace import export_trace
+
+        for path in export_trace(instr.tracer, args.trace_out):
+            print(f"partial trace written to {path}")
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as handle:
+            json.dump(instr.metrics.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"partial metrics written to {args.metrics_out}")
 
 
 def _write_obs_artifacts(args: argparse.Namespace, result, config,
@@ -230,6 +267,129 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if summary["passed"] else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+    from repro.service.spool import Spool
+
+    spool = Spool(args.spool)
+    policy = SchedulerPolicy(
+        max_active=args.max_active,
+        queue_depth=args.queue_depth,
+        poll_interval=args.poll,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_job_retries=args.max_job_retries,
+        inline=args.inline)
+    try:
+        policy.validate()
+    except ValueError as exc:
+        raise SystemExit(f"invalid service configuration: {exc}")
+
+    def on_event(kind: str, job_id: str, detail: str) -> None:
+        line = f"[{kind}] {job_id}"
+        if detail:
+            line += f" ({detail})"
+        print(line, flush=True)
+
+    sched = JobScheduler(spool, policy, on_event=on_event)
+    resumed = sched.recover()
+    if resumed:
+        print(f"resumed {len(resumed)} in-flight job(s): "
+              + ", ".join(resumed), flush=True)
+    if args.drain:
+        summary = sched.drain(timeout=args.timeout if args.timeout > 0
+                              else None)
+        counts: dict = {}
+        for info in summary.values():
+            counts[info["status"]] = counts.get(info["status"], 0) + 1
+        print("drained: " + (", ".join(f"{k}={v}" for k, v in
+                                       sorted(counts.items()))
+                             or "empty spool"))
+        return 0 if spool.all_terminal() else 1
+    reason = sched.serve()
+    print(f"service stopped ({reason}); in-flight journals left "
+          "resumable", flush=True)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import uuid
+
+    from repro.service.client import submit_job
+    from repro.service.jobs import JobSpec
+    from repro.service.spool import DuplicateJobError, Spool
+
+    spool = Spool(args.spool)
+    job_id = args.job_id or f"job-{uuid.uuid4().hex[:8]}"
+    spec = JobSpec(
+        job_id=job_id, circuit=args.circuit, tenant=args.tenant,
+        tier=args.tier, priority=args.priority,
+        time_limit=args.time_limit, seed=args.seed,
+        max_retries=args.max_retries, audit_rate=args.audit_rate,
+        inject_faults=args.inject_faults, profile=args.profile,
+        fault=args.fault, fault_attempts=args.fault_attempts)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise SystemExit(f"invalid job: {exc}")
+    try:
+        submit_job(spool, spec, circuit_src=args.circuit)
+    except DuplicateJobError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot submit {args.circuit!r}: {exc}")
+    print(job_id)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import fleet_status, job_status
+    from repro.service.spool import Spool
+
+    spool = Spool(args.spool)
+    if args.job_id:
+        info = job_status(spool, args.job_id)
+        if info is None:
+            raise SystemExit(f"unknown job {args.job_id!r}")
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+        else:
+            print(f"{args.job_id}: {info['status']} "
+                  f"(attempt {info['attempt']}, "
+                  f"{info['billed_rows']} rows billed)")
+            if info["detail"]:
+                print(f"  {info['detail']}")
+            rejection = info.get("rejection")
+            if rejection:
+                print(f"  rejected: {rejection.get('reason_code')} — "
+                      f"{rejection.get('detail')}")
+        return 0
+    summary = fleet_status(spool)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not summary:
+        print("spool is empty")
+        return 0
+    for job_id, info in sorted(summary.items()):
+        print(f"{job_id}: {info['status']} (attempt {info['attempt']}, "
+              f"{info['billed_rows']} rows billed)")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import cancel_job
+    from repro.service.spool import Spool
+
+    spool = Spool(args.spool)
+    if not cancel_job(spool, args.job_id, reason=args.reason):
+        raise SystemExit(f"unknown job {args.job_id!r}")
+    print(f"cancel requested for {args.job_id} (honored at the "
+          "scheduler's next tick)")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.synth.lutmap import map_luts
 
@@ -337,11 +497,113 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", metavar="PATH",
                        help="write the JSON chaos report here")
     chaos.set_defaults(fn=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="run the learning service on a spool directory")
+    serve.add_argument("--spool", required=True,
+                       help="spool directory (created if missing)")
+    serve.add_argument("--drain", action="store_true",
+                       help="exit once every spooled job is terminal "
+                            "instead of serving forever")
+    serve.add_argument("--timeout", type=float, default=0.0,
+                       help="with --drain: give up after this many "
+                            "seconds (0 = no limit)")
+    serve.add_argument("--inline", action="store_true",
+                       help="run jobs in-process instead of supervised "
+                            "worker processes (tests, debugging)")
+    serve.add_argument("--max-active", type=int, default=2,
+                       help="concurrent jobs (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admission bound on waiting jobs; beyond it "
+                            "submissions are shed with a structured "
+                            "rejection (default 16)")
+    serve.add_argument("--poll", type=float, default=0.05,
+                       help="scheduler tick interval, seconds")
+    serve.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       help="declare a worker hung after this much "
+                            "heartbeat silence (default 15s)")
+    serve.add_argument("--max-job-retries", type=int, default=1,
+                       help="redispatches after worker loss before a "
+                            "job fails terminally (default 1)")
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser("submit",
+                            help="submit a job to a service spool")
+    submit.add_argument("--spool", required=True)
+    submit.add_argument("circuit", help="golden circuit (.blif/.aag), "
+                                        "copied into the spool")
+    submit.add_argument("--job-id", default=None,
+                        help="explicit id (default: random job-<hex>)")
+    submit.add_argument("--tenant", default="anonymous")
+    submit.add_argument("--tier", default="standard",
+                        choices=["interactive", "standard", "batch"],
+                        help="budget/deadline tier (caps --time-limit "
+                             "and sets default priority)")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="override the tier's queue priority")
+    submit.add_argument("--time-limit", type=float, default=20.0)
+    submit.add_argument("--seed", type=int, default=2019)
+    submit.add_argument("--max-retries", type=int, default=2,
+                        help="oracle-query retries inside the run")
+    submit.add_argument("--audit-rate", type=float, default=0.0)
+    submit.add_argument("--inject-faults", type=float, default=0.0)
+    submit.add_argument("--profile", default="fast",
+                        choices=["default", "fast"],
+                        help="config scale for the run (default: fast)")
+    submit.add_argument("--fault", default=None,
+                        help="chaos injection: crash | hang | "
+                             "sleep:<seconds>")
+    submit.add_argument("--fault-attempts", type=int, default=1,
+                        help="attempts the fault applies to")
+    submit.set_defaults(fn=cmd_submit)
+
+    status = sub.add_parser("status",
+                            help="show spooled job (or fleet) status")
+    status.add_argument("--spool", required=True)
+    status.add_argument("job_id", nargs="?", default=None)
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    status.set_defaults(fn=cmd_status)
+
+    cancel = sub.add_parser("cancel",
+                            help="request cancellation of a spooled job")
+    cancel.add_argument("--spool", required=True)
+    cancel.add_argument("job_id")
+    cancel.add_argument("--reason", default="cancelled by client")
+    cancel.set_defaults(fn=cmd_cancel)
     return parser
 
 
+def _validate_learn_args(parser: argparse.ArgumentParser,
+                         args: argparse.Namespace) -> None:
+    """Reject out-of-range flags and nonsensical combos with a usage
+    error (exit 2) before any oracle work starts."""
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0 "
+                     f"(got {args.max_retries})")
+    if not 0.0 <= args.audit_rate <= 1.0:
+        parser.error(f"--audit-rate must be in [0, 1] "
+                     f"(got {args.audit_rate})")
+    if not 0.0 <= args.inject_faults < 1.0:
+        parser.error(f"--inject-faults must be in [0, 1) "
+                     f"(got {args.inject_faults})")
+    if args.time_limit <= 0:
+        parser.error(f"--time-limit must be positive "
+                     f"(got {args.time_limit})")
+    if args.patterns < 1:
+        parser.error(f"--patterns must be >= 1 (got {args.patterns})")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint (there is nothing "
+                     "to resume from)")
+
+
 def main(argv: Optional[list] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "learn":
+        _validate_learn_args(parser, args)
     return args.fn(args)
 
 

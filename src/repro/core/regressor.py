@@ -88,6 +88,18 @@ class LearnResult:
     """Supervised-pool statistics (crashes, hangs, redispatches,
     quarantines) when the parallel engine ran; None otherwise."""
 
+    sample_bank: Optional[SampleBank] = None
+    """The run's bank (None when disabled) — the service exports its
+    rows into the cross-job cache after the run."""
+
+    retry_stats: Optional[Dict[str, int]] = None
+    """Retry-wrapper counters (:meth:`RetryingOracle.counters`) when
+    retries were enabled; surfaced in the report's ``caches`` section."""
+
+    bank_prefilled: int = 0
+    """Rows seeded into the bank from the cross-job cache before the
+    run (0 when no prefill was offered or it was unusable)."""
+
     @property
     def gate_count(self) -> int:
         return self.netlist.gate_count()
@@ -109,7 +121,9 @@ class LogicRegressor:
     # -- public API -------------------------------------------------------------
 
     def learn(self, oracle: Oracle, *, checkpoint: Optional[str] = None,
-              resume: Optional[bool] = None) -> LearnResult:
+              resume: Optional[bool] = None,
+              bank_prefill: Optional[Tuple[np.ndarray, np.ndarray]] = None
+              ) -> LearnResult:
         """Run the full pipeline against ``oracle``.
 
         ``checkpoint``/``resume`` override the corresponding
@@ -117,6 +131,11 @@ class LogicRegressor:
         checkpoint path each completed output is persisted, and with
         ``resume=True`` outputs found in an existing checkpoint are
         restored verbatim instead of re-learned.
+
+        ``bank_prefill`` seeds the sample bank with already-answered
+        ``(patterns, outputs)`` rows (the service's cross-job cache)
+        before any query is issued; rows with the wrong shape are
+        ignored, and the prefill is a no-op when the bank is disabled.
         """
         cfg = self.config
         # The oracle handed to us is the billing meter: its query_count
@@ -128,13 +147,24 @@ class LogicRegressor:
         with obs_ctx.use(instr):
             # The root span is named "run" with no parent; the report
             # builder relies on that to find top-level stage walls.
-            with obs_ctx.span("run", seed=cfg.seed, jobs=cfg.jobs):
-                result = self._learn_impl(oracle, checkpoint, resume, st)
+            try:
+                with obs_ctx.span("run", seed=cfg.seed, jobs=cfg.jobs):
+                    result = self._learn_impl(oracle, checkpoint, resume,
+                                              st, bank_prefill)
+            except BaseException as exc:
+                # A graceful-shutdown signal (or anything else carrying
+                # an instrumentation slot) gets the partial trace so the
+                # CLI can still flush observability artifacts.
+                if hasattr(exc, "instrumentation"):
+                    exc.instrumentation = instr
+                raise
         result.instrumentation = instr
         return result
 
     def _learn_impl(self, oracle: Oracle, checkpoint: Optional[str],
-                    resume: Optional[bool], st: StepTrace) -> LearnResult:
+                    resume: Optional[bool], st: StepTrace,
+                    bank_prefill: Optional[Tuple[np.ndarray, np.ndarray]]
+                    = None) -> LearnResult:
         cfg = self.config
         rob = cfg.robustness
         if checkpoint is None:
@@ -174,9 +204,13 @@ class LogicRegressor:
         # from memory never reach (or bill) the underlying oracle.
         bank: Optional[SampleBank] = None
         exec_oracle: Oracle = inner_exec
+        bank_prefilled = 0
         if cfg.enable_sample_bank:
             bank = SampleBank(oracle.num_pis, oracle.num_pos,
                               max_rows=cfg.bank_max_rows)
+            if bank_prefill is not None:
+                bank_prefilled = self._prefill_bank(bank, bank_prefill,
+                                                    oracle, st)
             exec_oracle = BankedOracle(inner_exec, bank)
         if audited is not None:
             # Proven-poisoned rows must be purged wherever a stale copy
@@ -521,7 +555,38 @@ class LogicRegressor:
                            degradations=st.degradations(),
                            verification=verification,
                            engine_mode=engine_mode,
-                           supervisor=supervisor_stats)
+                           supervisor=supervisor_stats,
+                           sample_bank=bank,
+                           retry_stats=(inner_exec.counters()
+                                        if isinstance(inner_exec,
+                                                      RetryingOracle)
+                                        else None),
+                           bank_prefilled=bank_prefilled)
+
+    @staticmethod
+    def _prefill_bank(bank: SampleBank,
+                      prefill: Tuple[np.ndarray, np.ndarray],
+                      oracle: Oracle, st: StepTrace) -> int:
+        """Seed the bank from already-answered rows (cross-job cache).
+
+        Unusable input (wrong shapes, wrong widths, garbage dtypes) is
+        dropped silently: a prefill may only ever save queries.
+        """
+        try:
+            patterns = np.asarray(prefill[0], dtype=np.uint8)
+            outputs = np.asarray(prefill[1], dtype=np.uint8)
+        except (ValueError, TypeError, IndexError):
+            return 0
+        if patterns.ndim != 2 or outputs.ndim != 2 \
+                or patterns.shape[0] != outputs.shape[0] \
+                or patterns.shape[1] != oracle.num_pis \
+                or outputs.shape[1] != oracle.num_pos:
+            return 0
+        bank.record(patterns, outputs)
+        rows = len(bank)
+        if rows:
+            st.emit("bank-prefill", rows=rows)
+        return rows
 
     # -- execution-layer helpers -------------------------------------------------
 

@@ -70,13 +70,35 @@ _VERIFY_OUTPUT_ENTRY = {
     },
 }
 
+_CACHE_COUNTERS = {
+    "type": ["object", "null"],
+    "required": ["hits", "misses"],
+    "properties": {
+        "hits": {"type": "integer"},
+        "misses": {"type": "integer"},
+        "entries": {"type": "integer"},
+        "evictions": {"type": "integer"},
+        "invalidated": {"type": "integer"},
+        "retries_performed": {"type": "integer"},
+        "faults_seen": {"type": "integer"},
+        "rows_recorded": {"type": "integer"},
+        "rows_evicted": {"type": "integer"},
+        "prefilled_rows": {"type": "integer"},
+        "exported_rows": {"type": "integer"},
+        "rows_served": {"type": "integer"},
+        "rows_stored": {"type": "integer"},
+        "stores": {"type": "integer"},
+        "fingerprint": {"type": "string"},
+    },
+}
+
 REPORT_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": ["schema_version", "run", "totals", "stages", "outputs",
-                 "degradations", "bank", "oracle_layers", "methods",
-                 "verification", "supervisor"],
+                 "degradations", "bank", "caches", "oracle_layers",
+                 "methods", "verification", "supervisor", "job"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [2]},
+        "schema_version": {"type": "integer", "enum": [3]},
         "run": {
             "type": "object",
             "required": ["seed", "jobs", "time_limit", "num_pis",
@@ -117,6 +139,26 @@ REPORT_SCHEMA: Dict[str, Any] = {
                 "rows_recorded": {"type": "integer"},
                 "rows_evicted": {"type": "integer"},
                 "take_calls": {"type": "integer"},
+            },
+        },
+        "caches": {
+            "type": "object",
+            "required": ["sample_bank", "retry_cache", "cross_job"],
+            "properties": {
+                "sample_bank": _CACHE_COUNTERS,
+                "retry_cache": _CACHE_COUNTERS,
+                "cross_job": _CACHE_COUNTERS,
+            },
+        },
+        "job": {
+            "type": ["object", "null"],
+            "required": ["id", "tenant", "tier", "priority", "attempt"],
+            "properties": {
+                "id": {"type": "string"},
+                "tenant": {"type": "string"},
+                "tier": {"type": "string"},
+                "priority": {"type": "integer"},
+                "attempt": {"type": "integer"},
             },
         },
         "oracle_layers": {
@@ -243,12 +285,20 @@ _DEGRADED_METHODS = ("degraded", "budget-exhausted")
 
 
 def build_run_report(result, config, *,
-                     accuracy: Optional[float] = None) -> Dict[str, Any]:
+                     accuracy: Optional[float] = None,
+                     job: Optional[Dict[str, Any]] = None,
+                     cross_job: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
     """Assemble the run manifest from a finished :class:`LearnResult`.
 
     ``result`` must carry instrumentation (``config.observability``
     enabled); ``accuracy`` is optional because it is measured by the
     caller against held-out patterns, outside the learn budget.
+
+    ``job`` (schema v3) is the service's per-job identity —
+    ``{id, tenant, tier, priority, attempt}`` — and ``cross_job`` the
+    cross-job cache traffic for this run; both stay ``None`` for plain
+    ``repro learn`` runs.
     """
     instr = result.instrumentation
     if instr is None:
@@ -302,8 +352,37 @@ def build_run_report(result, config, *,
 
     verification = getattr(result, "verification", None)
 
+    sample_bank_cache = None
+    if result.bank_stats is not None:
+        bs = result.bank_stats
+        sample_bank_cache = {
+            "hits": bs.hits, "misses": bs.misses,
+            "rows_recorded": bs.rows_recorded,
+            "rows_evicted": bs.rows_evicted,
+            "invalidated": bs.rows_invalidated,
+            "prefilled_rows": int(getattr(result, "bank_prefilled", 0)),
+        }
+    retry_cache = None
+    retry_stats = getattr(result, "retry_stats", None)
+    if retry_stats is not None:
+        retry_cache = {key: int(value)
+                       for key, value in retry_stats.items()}
+    cross_job_cache = None
+    if cross_job is not None:
+        cross_job_cache = dict(cross_job)
+
+    job_section = None
+    if job is not None:
+        job_section = {
+            "id": str(job.get("id", "")),
+            "tenant": str(job.get("tenant", "anonymous")),
+            "tier": str(job.get("tier", "standard")),
+            "priority": int(job.get("priority", 0)),
+            "attempt": int(job.get("attempt", 0)),
+        }
+
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "run": {
             "seed": config.seed,
             "jobs": config.jobs,
@@ -327,6 +406,12 @@ def build_run_report(result, config, *,
         "outputs": outputs,
         "degradations": result.degradations,
         "bank": bank,
+        "caches": {
+            "sample_bank": sample_bank_cache,
+            "retry_cache": retry_cache,
+            "cross_job": cross_job_cache,
+        },
+        "job": job_section,
         "oracle_layers": layers,
         "methods": result.methods_used(),
         "verification": verification.to_json()

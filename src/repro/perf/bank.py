@@ -113,6 +113,14 @@ class SampleBank:
         """Bytes currently occupied by stored rows."""
         return self._size * (self.num_pis + self.num_pos)
 
+    def export_rows(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Snapshot every valid ``(pattern, outputs)`` row, or ``None``
+        when empty — what the cross-job cache persists after a run."""
+        if self._size == 0:
+            return None
+        idx = np.flatnonzero(self._valid)
+        return self._pat[idx].copy(), self._out[idx].copy()
+
     # -- lifecycle -----------------------------------------------------------
 
     def freeze(self) -> None:

@@ -23,6 +23,12 @@ failing scenario is a reproducible bug report.  The matrix powers the
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import os
+import shutil
+import signal as _signal
+import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -31,6 +37,7 @@ import numpy as np
 from repro.core.config import RegressorConfig, RobustnessConfig, fast_config
 from repro.core.regressor import LearnResult, LogicRegressor
 from repro.eval.accuracy import accuracy
+from repro.network.blif import write_blif
 from repro.network.netlist import Netlist
 from repro.oracle.eco import build_eco_netlist
 from repro.oracle.netlist_oracle import NetlistOracle
@@ -235,6 +242,220 @@ def _worker_scenario(name: str, fault: str, seed: int,
     return out
 
 
+# -- service-level scenarios -------------------------------------------------
+
+def _service_fixture(tmp: str, seed: int):
+    """A tiny golden circuit on disk plus a fresh spool under ``tmp``."""
+    from repro.service.spool import Spool
+
+    golden = build_eco_netlist(8, 2, seed=seed, support_low=3,
+                               support_high=5)
+    circuit = os.path.join(tmp, "golden.blif")
+    with open(circuit, "w") as handle:
+        write_blif(golden, handle)
+    return Spool(os.path.join(tmp, "spool")), circuit, golden
+
+
+def _scenario_service_flood(seed: int) -> ScenarioOutcome:
+    """Flood admissions past the queue bound: structured rejections for
+    the overflow, normal terminal statuses for the admitted jobs, and
+    no job left non-terminal (the no-starvation half of the contract)."""
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+
+    out = ScenarioOutcome("service-flood", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-flood-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        for i in range(6):
+            spool.submit(JobSpec(job_id=f"flood-{i}", circuit=circuit,
+                                 profile="fast", time_limit=15.0,
+                                 seed=seed), circuit_src=circuit)
+        sched = JobScheduler(spool, SchedulerPolicy(
+            inline=True, max_active=1, queue_depth=2,
+            retry_backoff_base=0.0))
+        summary = sched.drain(timeout=240)
+        statuses = sorted(info["status"] for info in summary.values())
+        out.details["statuses"] = statuses
+        out.details["stats"] = sched.stats.as_dict()
+        rejected = [info for info in summary.values()
+                    if info["status"] == "rejected"]
+        if len(rejected) != 4:
+            out.failures.append(
+                f"expected 4 shed jobs, saw {len(rejected)}")
+        for info in rejected:
+            rejection = info.get("rejection")
+            if not rejection or rejection.get("reason_code") \
+                    != "queue-full":
+                out.failures.append(
+                    f"rejection without structured reason: {rejection}")
+        admitted = [info for info in summary.values()
+                    if info["status"] not in ("rejected",)]
+        if len(admitted) != 2 or any(
+                info["status"] not in ("verified", "repaired")
+                for info in admitted):
+            out.failures.append(
+                f"admitted jobs did not certify: {statuses}")
+        if not spool.all_terminal():
+            out.failures.append("flood left non-terminal jobs")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def _scenario_service_hang_job(seed: int) -> ScenarioOutcome:
+    """One permanently hung job degrades to ``failed`` after its retry
+    budget without touching its neighbors (per-job isolation)."""
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+
+    out = ScenarioOutcome("service-hang-job", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-hang-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        for i, fault in enumerate([None, "hang", None]):
+            spool.submit(JobSpec(job_id=f"hang-{i}", circuit=circuit,
+                                 profile="fast", time_limit=20.0,
+                                 seed=seed, fault=fault,
+                                 fault_attempts=999),
+                         circuit_src=circuit)
+        sched = JobScheduler(spool, SchedulerPolicy(
+            max_active=2, heartbeat_interval=0.1,
+            heartbeat_timeout=1.2, max_job_retries=1,
+            retry_backoff_base=0.0))
+        summary = sched.drain(timeout=240)
+        out.details["statuses"] = {j: info["status"]
+                                   for j, info in summary.items()}
+        out.details["stats"] = sched.stats.as_dict()
+        if summary["hang-1"]["status"] != "failed":
+            out.failures.append(
+                f"hung job ended {summary['hang-1']['status']!r}, "
+                "expected failed")
+        if sched.stats.hangs == 0:
+            out.failures.append("no hang was ever detected")
+        for job_id in ("hang-0", "hang-2"):
+            if summary[job_id]["status"] not in ("verified", "repaired"):
+                out.failures.append(
+                    f"neighbor {job_id} ended "
+                    f"{summary[job_id]['status']!r} — isolation broken")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def _service_drain_main(spool_root: str) -> None:
+    """Child entry for the kill scenario: a real service life."""
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+    from repro.service.spool import Spool
+
+    sched = JobScheduler(Spool(spool_root), SchedulerPolicy(
+        max_active=3, heartbeat_interval=0.1, heartbeat_timeout=5.0))
+    sched.recover()
+    sched.drain(timeout=240)
+
+
+def _scenario_service_kill(seed: int) -> ScenarioOutcome:
+    """``kill -9`` the whole service with three jobs in flight, restart,
+    and require every job to reach a terminal status with no job lost
+    and no double-billed attempt rows."""
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+
+    out = ScenarioOutcome("service-kill", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-kill-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        for i in range(3):
+            spool.submit(JobSpec(job_id=f"kill-{i}", circuit=circuit,
+                                 profile="fast", time_limit=30.0,
+                                 seed=seed, fault="sleep:1.5"),
+                         circuit_src=circuit)
+        service = mp.Process(target=_service_drain_main,
+                             args=(spool.root,))
+        service.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if len(spool.jobs_with_status("running")) == 3:
+                break
+            time.sleep(0.05)
+        in_flight = spool.jobs_with_status("running")
+        out.details["in_flight_at_kill"] = in_flight
+        if len(in_flight) != 3:
+            out.failures.append(
+                f"only {len(in_flight)} jobs in flight before the kill")
+        os.kill(service.pid, _signal.SIGKILL)
+        service.join()
+        # Orphaned workers notice the parent pid change and exit.
+        time.sleep(1.0)
+        sched = JobScheduler(spool, SchedulerPolicy(
+            max_active=3, heartbeat_interval=0.1, heartbeat_timeout=5.0))
+        resumed = sched.recover()
+        out.details["resumed"] = resumed
+        summary = sched.drain(timeout=240)
+        out.details["statuses"] = {j: info["status"]
+                                   for j, info in summary.items()}
+        if len(summary) != 3:
+            out.failures.append(f"jobs lost: {sorted(summary)}")
+        if not spool.all_terminal():
+            out.failures.append("kill/restart left non-terminal jobs")
+        for job_id, info in summary.items():
+            if info["status"] not in ("verified", "repaired",
+                                      "degraded", "failed"):
+                out.failures.append(
+                    f"{job_id} ended {info['status']!r}")
+            state = spool.read_state(job_id) or {}
+            attempts = [b.get("attempt") for b in state.get("billing",
+                                                            [])]
+            if len(attempts) != len(set(attempts)):
+                out.failures.append(
+                    f"{job_id} double-billed an attempt: {attempts}")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def _scenario_service_corrupt_checkpoint(seed: int) -> ScenarioOutcome:
+    """A job whose checkpoint was corrupted mid-flight still resumes to
+    a terminal status: the checkpoint layer detects the damage and
+    restarts that job's learn from scratch instead of wedging."""
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+
+    out = ScenarioOutcome("service-corrupt-checkpoint", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-corrupt-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        spool.submit(JobSpec(job_id="corrupt-0", circuit=circuit,
+                             profile="fast", time_limit=20.0,
+                             seed=seed), circuit_src=circuit)
+        # Simulate a service life that died mid-run leaving a poisoned
+        # checkpoint behind.
+        spool.transition("corrupt-0", "queued", detail="admitted")
+        spool.transition("corrupt-0", "running", detail="attempt 0",
+                         attempt=0)
+        with open(spool.checkpoint_path("corrupt-0"), "w") as handle:
+            handle.write('{"format_version": 2, "entries": {GARBAGE')
+        sched = JobScheduler(spool, SchedulerPolicy(
+            inline=True, max_active=1, retry_backoff_base=0.0))
+        resumed = sched.recover()
+        out.details["resumed"] = resumed
+        summary = sched.drain(timeout=240)
+        info = summary["corrupt-0"]
+        out.details["status"] = info["status"]
+        if resumed != ["corrupt-0"]:
+            out.failures.append(
+                f"recovery missed the in-flight job: {resumed}")
+        if info["status"] not in ("verified", "repaired"):
+            out.failures.append(
+                f"corrupt-checkpoint job ended {info['status']!r}")
+        if info["billed_rows"] <= 0:
+            out.failures.append("re-learn after corruption billed "
+                                "no rows")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
 SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
     "clean": _scenario_clean,
     "transient": _scenario_transient,
@@ -245,6 +466,10 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
                                                   "crash", seed),
     "worker-hang": lambda seed: _worker_scenario("worker-hang",
                                                  "hang", seed),
+    "service-flood": _scenario_service_flood,
+    "service-hang-job": _scenario_service_hang_job,
+    "service-kill": _scenario_service_kill,
+    "service-corrupt-checkpoint": _scenario_service_corrupt_checkpoint,
 }
 
 

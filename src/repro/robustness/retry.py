@@ -102,6 +102,7 @@ class RetryingOracle(Oracle):
         self.retries_performed = 0
         self.faults_seen = 0
         self.cache_hits = 0
+        self.cache_misses = 0
         self.cache_invalidated = 0
 
     @property
@@ -115,6 +116,22 @@ class RetryingOracle(Oracle):
     @property
     def cache_frozen(self) -> bool:
         return self._cache_frozen
+
+    @property
+    def cache_entries(self) -> int:
+        """Memoized assignments currently resident."""
+        return 0 if self._cache is None else len(self._cache)
+
+    def counters(self) -> Dict[str, int]:
+        """All retry/memo counters, report-ready (schema v3 `caches`)."""
+        return {
+            "retries_performed": self.retries_performed,
+            "faults_seen": self.faults_seen,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidated": self.cache_invalidated,
+            "entries": self.cache_entries,
+        }
 
     def freeze_cache(self) -> None:
         """Stop inserting new answers; existing entries still serve.
@@ -163,6 +180,7 @@ class RetryingOracle(Oracle):
                 miss_idx.append(i)
                 miss_keys.append(key)
         batch_hits = patterns.shape[0] - len(miss_idx)
+        self.cache_misses += len(miss_idx)
         if batch_hits:
             obs.count("retry.cache_hit_rows", batch_hits)
         out = np.empty((patterns.shape[0], self.num_pos), dtype=np.uint8)

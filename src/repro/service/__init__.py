@@ -1,0 +1,39 @@
+"""Learning-as-a-service: a fault-tolerant multi-job scheduler.
+
+The contest setting is inherently multi-tenant — many black-box oracles
+learned under a shared query budget — and this package turns the
+one-shot ``repro learn`` CLI into a long-running service:
+
+- :mod:`repro.service.jobs`       job specs and the lifecycle state machine;
+- :mod:`repro.service.spool`      the durable spool directory (crash-safe
+  digested JSON, per-job artifact layout, cancel markers);
+- :mod:`repro.service.admission`  bounded-queue admission control with
+  structured load shedding;
+- :mod:`repro.service.scheduler`  the priority queue + supervised
+  dispatch + retry/backoff + crash-resume loop;
+- :mod:`repro.service.runner`     one job's execution (learn + verify +
+  artifacts) inside a supervised child process;
+- :mod:`repro.service.cache`      the cross-job sample cache keyed by the
+  checkpoint problem fingerprint;
+- :mod:`repro.service.signals`    graceful SIGINT/SIGTERM shutdown;
+- :mod:`repro.service.client`     thin submit/status/cancel front-end
+  used by the ``repro submit``/``status``/``cancel`` subcommands.
+
+See ``docs/SERVICE.md`` for the architecture and failure semantics.
+"""
+
+from repro.service.admission import (AdmissionDecision, AdmissionPolicy,
+                                     admission_decision)
+from repro.service.jobs import (TERMINAL_STATUSES, JobSpec, JobStatus,
+                                TIERS)
+from repro.service.scheduler import (JobScheduler, SchedulerPolicy,
+                                     SchedulerStats)
+from repro.service.signals import ShutdownRequested, graceful_shutdown
+from repro.service.spool import DuplicateJobError, Spool
+
+__all__ = [
+    "AdmissionDecision", "AdmissionPolicy", "admission_decision",
+    "DuplicateJobError", "JobScheduler", "JobSpec", "JobStatus",
+    "SchedulerPolicy", "SchedulerStats", "ShutdownRequested", "Spool",
+    "TERMINAL_STATUSES", "TIERS", "graceful_shutdown",
+]

@@ -1,0 +1,85 @@
+"""Admission control: bounded queues and structured load shedding.
+
+An overloaded service must say *no* early, cheaply, and legibly — never
+by OOM-ing, hanging, or starving the jobs it already accepted.  The
+controller's contract:
+
+- the scheduler's in-memory footprint is bounded by
+  ``queue_depth + max_active`` jobs regardless of how many submissions
+  flood the spool;
+- a shed job is terminally ``rejected`` with a machine-readable record
+  (``reason_code``, observed depth, capacity) in its state journal, so
+  the tenant learns *why* and can resubmit with backoff;
+- admission is strictly ordered by (priority, submission time): a flood
+  of low-priority submissions cannot push out an earlier high-priority
+  one observed in the same scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.jobs import JobSpec
+
+
+@dataclass
+class AdmissionPolicy:
+    """Capacity knobs of the admission controller."""
+
+    queue_depth: int = 16
+    """Jobs allowed to wait in the ready queue (excludes running)."""
+
+    max_active: int = 2
+    """Jobs allowed to run concurrently."""
+
+    max_time_limit: float = 3600.0
+    """Hard ceiling on a job's requested wall budget; above it the job
+    is shed at admission (a tenant cannot buy the whole service)."""
+
+    def validate(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if self.max_time_limit <= 0:
+            raise ValueError("max_time_limit must be positive")
+
+
+@dataclass
+class AdmissionDecision:
+    """The structured verdict recorded in the job's state journal."""
+
+    admitted: bool
+    reason_code: str = "admitted"
+    detail: str = ""
+    queue_depth: int = 0
+    capacity: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "reason_code": self.reason_code,
+            "detail": self.detail,
+            "queue_depth": self.queue_depth,
+            "capacity": self.capacity,
+        }
+
+
+def admission_decision(spec: JobSpec, queued_now: int,
+                       policy: AdmissionPolicy) -> AdmissionDecision:
+    """Admit or shed one submission given the current queue depth."""
+    if spec.effective_time_limit > policy.max_time_limit:
+        return AdmissionDecision(
+            False, reason_code="budget-too-large",
+            detail=(f"time_limit {spec.effective_time_limit:.0f}s exceeds "
+                    f"the service ceiling {policy.max_time_limit:.0f}s"),
+            queue_depth=queued_now, capacity=policy.queue_depth)
+    if queued_now >= policy.queue_depth:
+        return AdmissionDecision(
+            False, reason_code="queue-full",
+            detail=(f"ready queue at capacity "
+                    f"({queued_now}/{policy.queue_depth}); resubmit "
+                    "with backoff"),
+            queue_depth=queued_now, capacity=policy.queue_depth)
+    return AdmissionDecision(True, queue_depth=queued_now,
+                             capacity=policy.queue_depth)

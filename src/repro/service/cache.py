@@ -1,0 +1,170 @@
+"""The cross-job sample cache: state that compounds across requests.
+
+Cirbo's core speedup is a persistent database consulted during
+synthesis; the service-scale analogue here is simpler but the same
+shape: every finished job exports its :class:`~repro.perf.bank.SampleBank`
+rows, keyed by the *problem fingerprint* the checkpoint store already
+uses (PI/PO names + seed), and the next job against the same oracle
+prefills its bank from the cache — rows it will never have to bill.
+
+Durability and concurrency:
+
+- one ``.npz`` file per fingerprint, written via temp + ``os.replace``
+  (a crash mid-store leaves the previous snapshot);
+- a corrupt or unreadable entry is a *miss*, never an error — the cache
+  may only ever save queries, not break jobs;
+- counters are an append-only event log (O_APPEND lines are atomic at
+  these sizes), so concurrent job processes never lose each other's
+  updates the way read-modify-write stats files would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.robustness.checkpoint import payload_digest
+
+
+def problem_fingerprint(pi_names, po_names, seed: int) -> str:
+    """The checkpoint problem fingerprint, as a stable hex key."""
+    return payload_digest({"pi_names": list(pi_names),
+                           "po_names": list(po_names),
+                           "seed": int(seed)})
+
+
+class CrossJobCache:
+    """Fingerprint-keyed store of answered ``(pattern, outputs)`` rows."""
+
+    def __init__(self, root: str, max_entries: int = 64,
+                 max_rows_per_entry: int = 1 << 15):
+        if max_entries < 1 or max_rows_per_entry < 1:
+            raise ValueError("cache capacities must be >= 1")
+        self.root = str(root)
+        self.max_entries = max_entries
+        self.max_rows_per_entry = max_rows_per_entry
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def entry_path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, f"{fingerprint}.npz")
+
+    @property
+    def events_path(self) -> str:
+        return os.path.join(self.root, "events.log")
+
+    # -- events / stats ------------------------------------------------------
+
+    def _log(self, kind: str, fingerprint: str, rows: int) -> None:
+        line = json.dumps({"kind": kind, "fp": fingerprint[:16],
+                           "rows": int(rows)})
+        try:
+            with open(self.events_path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass  # stats are best-effort; the cache itself is not
+
+    def stats(self) -> Dict[str, int]:
+        """Fold the event log: hits/misses/stores/evictions + rows."""
+        out = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0,
+               "rows_served": 0, "rows_stored": 0}
+        try:
+            with open(self.events_path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return out
+        for line in lines:
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn tail line after a crash
+            kind = event.get("kind")
+            rows = int(event.get("rows", 0))
+            if kind == "hit":
+                out["hits"] += 1
+                out["rows_served"] += rows
+            elif kind == "miss":
+                out["misses"] += 1
+            elif kind == "store":
+                out["stores"] += 1
+                out["rows_stored"] += rows
+            elif kind == "evict":
+                out["evictions"] += 1
+        return out
+
+    # -- load / store --------------------------------------------------------
+
+    def load(self, fingerprint: str, num_pis: int, num_pos: int
+             ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Rows for ``fingerprint``, or ``None`` (miss / corrupt)."""
+        path = self.entry_path(fingerprint)
+        try:
+            with np.load(path) as data:
+                patterns = np.asarray(data["patterns"], dtype=np.uint8)
+                outputs = np.asarray(data["outputs"], dtype=np.uint8)
+        except (OSError, ValueError, KeyError, EOFError):
+            self._log("miss", fingerprint, 0)
+            return None
+        if patterns.ndim != 2 or outputs.ndim != 2 \
+                or patterns.shape[0] != outputs.shape[0] \
+                or patterns.shape[1] != num_pis \
+                or outputs.shape[1] != num_pos:
+            # Shape mismatch means a fingerprint collision or tampering;
+            # either way the entry is useless for this problem.
+            self._log("miss", fingerprint, 0)
+            return None
+        self._log("hit", fingerprint, patterns.shape[0])
+        return patterns, outputs
+
+    def store(self, fingerprint: str, patterns: np.ndarray,
+              outputs: np.ndarray) -> int:
+        """Persist (the tail of) a job's answered rows; returns count."""
+        n = patterns.shape[0]
+        if n == 0:
+            return 0
+        if n > self.max_rows_per_entry:
+            patterns = patterns[n - self.max_rows_per_entry:]
+            outputs = outputs[n - self.max_rows_per_entry:]
+            n = self.max_rows_per_entry
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, patterns=patterns,
+                                    outputs=outputs)
+            os.replace(tmp, self.entry_path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._log("store", fingerprint, n)
+        self._evict_over_capacity()
+        return n
+
+    def _evict_over_capacity(self) -> None:
+        """Drop oldest entries beyond ``max_entries`` (LRU by mtime)."""
+        try:
+            entries = [entry for entry in os.listdir(self.root)
+                       if entry.endswith(".npz")]
+        except OSError:
+            return
+        if len(entries) <= self.max_entries:
+            return
+        def mtime(name: str) -> float:
+            try:
+                return os.path.getmtime(os.path.join(self.root, name))
+            except OSError:
+                return 0.0
+        entries.sort(key=mtime)
+        for name in entries[:len(entries) - self.max_entries]:
+            try:
+                os.unlink(os.path.join(self.root, name))
+                self._log("evict", name.split(".")[0], 0)
+            except OSError:
+                pass

@@ -1,0 +1,52 @@
+"""Thin client helpers over the spool protocol.
+
+The CLI front-end (``repro submit`` / ``status`` / ``cancel``) and tests
+both go through these, so the file protocol has exactly one reader and
+one writer implementation on the client side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.service.jobs import JobSpec
+from repro.service.spool import Spool
+
+
+def submit_job(spool: Spool, spec: JobSpec,
+               circuit_src: Optional[str] = None) -> str:
+    """Validate + submit; returns the job id.
+
+    ``circuit_src`` (usually the path the tenant typed) is copied into
+    the job directory so the spool stays self-contained.
+    """
+    return spool.submit(spec, circuit_src=circuit_src)
+
+
+def job_status(spool: Spool, job_id: str) -> Optional[dict]:
+    """The job's journal view (``None`` for unknown ids)."""
+    state = spool.read_state(job_id)
+    if state is None:
+        return None
+    return {
+        "job_id": job_id,
+        "status": state.get("status"),
+        "detail": state.get("detail", ""),
+        "attempt": state.get("attempt", 0),
+        "billing": list(state.get("billing", [])),
+        "billed_rows": sum(int(b.get("billed_rows", 0))
+                           for b in state.get("billing", [])),
+        "rejection": state.get("rejection"),
+        "history": list(state.get("history", [])),
+    }
+
+
+def fleet_status(spool: Spool) -> Dict[str, dict]:
+    """``job_id -> summary`` for every job in the spool."""
+    return spool.summary()
+
+
+def cancel_job(spool: Spool, job_id: str, reason: str = "") -> bool:
+    """Drop the cancel marker; the scheduler honors it on its next
+    tick.  Returns ``False`` for unknown job ids."""
+    return spool.request_cancel(job_id, reason)

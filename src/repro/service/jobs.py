@@ -1,0 +1,157 @@
+"""Job specs and the job lifecycle state machine.
+
+A *job* is one request to learn a circuit for one black-box oracle.  Its
+durable identity is a :class:`JobSpec` (immutable after submission) and a
+state journal (see :mod:`repro.service.spool`) that walks the lifecycle:
+
+::
+
+    submitted --> queued --> running --> verified
+         |           |          |    \\-> repaired
+         v           v          |     \\-> degraded
+      rejected   cancelled      |------> failed
+                                 \\-----> cancelled
+                                  \\----> queued   (retry / crash-resume)
+
+``verified`` / ``repaired`` / ``degraded`` / ``failed`` / ``cancelled``
+/ ``rejected`` are terminal.  ``running -> queued`` is the only backward
+edge: a job whose worker crashed, hung, or died with the service is
+re-enqueued (with its attempt counter bumped) and resumes from its
+per-output checkpoint — never silently lost, never restarted from row
+zero.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class JobStatus:
+    """String constants of the lifecycle (kept JSON-friendly)."""
+
+    SUBMITTED = "submitted"
+    QUEUED = "queued"
+    RUNNING = "running"
+    VERIFIED = "verified"
+    REPAIRED = "repaired"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    REJECTED = "rejected"
+
+
+TERMINAL_STATUSES = frozenset({
+    JobStatus.VERIFIED, JobStatus.REPAIRED, JobStatus.DEGRADED,
+    JobStatus.FAILED, JobStatus.CANCELLED, JobStatus.REJECTED,
+})
+
+_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    JobStatus.SUBMITTED: (JobStatus.QUEUED, JobStatus.REJECTED,
+                          JobStatus.CANCELLED),
+    JobStatus.QUEUED: (JobStatus.RUNNING, JobStatus.CANCELLED,
+                       JobStatus.FAILED),
+    JobStatus.RUNNING: (JobStatus.VERIFIED, JobStatus.REPAIRED,
+                        JobStatus.DEGRADED, JobStatus.FAILED,
+                        JobStatus.CANCELLED, JobStatus.QUEUED),
+}
+
+
+def can_transition(src: str, dst: str) -> bool:
+    """Whether ``src -> dst`` is a legal lifecycle edge."""
+    return dst in _TRANSITIONS.get(src, ())
+
+
+TIERS: Dict[str, Dict[str, float]] = {
+    # priority: default queue priority (higher runs first).
+    # time_cap: ceiling on the job's requested wall budget, seconds.
+    "interactive": {"priority": 20, "time_cap": 60.0},
+    "standard": {"priority": 10, "time_cap": 600.0},
+    "batch": {"priority": 0, "time_cap": 3600.0},
+}
+"""Budget/deadline tiers.  A tier caps the per-job wall budget that the
+runner hands to :class:`~repro.robustness.deadline.DeadlineManager` and
+sets the default queue priority, so an interactive tenant's small job
+overtakes batch backfill without starving it (FIFO within a tier)."""
+
+
+@dataclass
+class JobSpec:
+    """One learn request, as persisted in ``spec.json``.
+
+    ``circuit`` points at the golden .blif/.aag file *inside the job
+    directory* (the client copies it at submit time, so the spool is
+    self-contained and survives the submitting shell's tmpdir).
+    """
+
+    job_id: str
+    circuit: str
+    tenant: str = "anonymous"
+    tier: str = "standard"
+    priority: Optional[int] = None
+    time_limit: float = 20.0
+    seed: int = 2019
+    max_retries: int = 2
+    audit_rate: float = 0.0
+    inject_faults: float = 0.0
+    profile: str = "default"
+    """``default`` uses the full RegressorConfig scale; ``fast`` uses
+    ``fast_config`` sampling volumes (tests, smoke jobs, tiny oracles)."""
+
+    fault: Optional[str] = None
+    """Chaos injection honored by the runner: ``crash`` (hard exit on
+    pickup), ``hang`` (stall without heartbeats), ``sleep:<seconds>``
+    (slow-start, applied every attempt)."""
+
+    fault_attempts: int = 1
+    """Attempts the fault applies to (``crash``/``hang`` only): the
+    default 1 faults only the first attempt so the retry succeeds; a
+    large value makes the job a permanent casualty."""
+
+    submitted_at: float = field(default_factory=time.time)
+
+    def validate(self) -> None:
+        if not self.job_id or "/" in self.job_id or self.job_id in (
+                ".", ".."):
+            raise ValueError(f"invalid job id {self.job_id!r}")
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r} (expected one of "
+                f"{sorted(TIERS)})")
+        if self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ValueError("audit_rate must be in [0, 1]")
+        if not 0.0 <= self.inject_faults < 1.0:
+            raise ValueError("inject_faults must be in [0, 1)")
+        if self.profile not in ("default", "fast"):
+            raise ValueError("profile must be 'default' or 'fast'")
+        if self.fault is not None and self.fault not in ("crash", "hang") \
+                and not self.fault.startswith("sleep:"):
+            raise ValueError(f"unknown fault {self.fault!r}")
+        if self.fault_attempts < 0:
+            raise ValueError("fault_attempts must be non-negative")
+
+    @property
+    def effective_priority(self) -> int:
+        if self.priority is not None:
+            return int(self.priority)
+        return int(TIERS[self.tier]["priority"])
+
+    @property
+    def effective_time_limit(self) -> float:
+        """The tier-capped wall budget the runner actually gets."""
+        return min(float(self.time_limit), TIERS[self.tier]["time_cap"])
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        spec = cls(**{k: v for k, v in data.items() if k in known})
+        spec.validate()
+        return spec

@@ -1,0 +1,464 @@
+"""The fault-tolerant multi-job scheduler.
+
+This generalizes :func:`repro.robustness.supervisor.run_supervised`
+(one fleet of per-output tasks inside one run) to a persistent fleet of
+*jobs*: a priority queue fed from the spool, per-job worker processes
+supervised by heartbeat and wall deadline, retry-with-backoff on worker
+loss, and crash recovery that re-enqueues every in-flight job from its
+journal + checkpoint.
+
+Isolation contract: one poisoned, hung, or crashing job is *that job's*
+problem.  It burns its own retry budget and lands on ``failed`` (or
+``degraded`` if the learn itself survives); neighbors keep their
+workers, their budgets, and their billing.
+
+Two dispatch modes:
+
+- **process** (default): each attempt runs in a ``multiprocessing``
+  child (:func:`repro.service.runner.job_child_main`).  The scheduler
+  watches the spool heartbeat file (mtime survives a service restart,
+  unlike an mp queue) and the per-job wall deadline derived from the
+  spec's tier-capped budget.
+- **inline**: attempts run in-process — deterministic, single-threaded,
+  what the unit tests and the chaos flood scenario use.  Hard faults
+  degrade to exceptions so the retry path is still exercised.
+
+Crash recovery (:meth:`JobScheduler.recover`): on startup, any job the
+previous service life left ``running`` is re-enqueued (``running ->
+queued`` is the lifecycle's one backward edge) with its attempt bumped;
+its next run resumes from the per-output checkpoint, so the tenant pays
+only for outputs the crash actually lost.  Recovery does **not** charge
+the job's retry budget — a service death is not the job's fault.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.robustness.deadline import Deadline
+from repro.service.admission import AdmissionPolicy, admission_decision
+from repro.service.cache import CrossJobCache
+from repro.service.jobs import TERMINAL_STATUSES, JobSpec, JobStatus
+from repro.service.runner import (SimulatedWorkerCrash, execute_job,
+                                  job_child_main)
+from repro.service.signals import ShutdownRequested, graceful_shutdown
+from repro.service.spool import Spool
+
+
+@dataclass
+class SchedulerPolicy:
+    """All the scheduler's knobs in one validated place."""
+
+    max_active: int = 2
+    queue_depth: int = 16
+    max_time_limit: float = 3600.0
+    poll_interval: float = 0.05
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 15.0
+    """Silence (no heartbeat-file touch) before a worker is declared
+    hung and reaped; must cover several ``heartbeat_interval``."""
+
+    wall_slack: float = 1.5
+    wall_grace: float = 10.0
+    """A job is hard-killed at ``limit * wall_slack + wall_grace`` —
+    past the soft budget :class:`~repro.robustness.deadline
+    .DeadlineManager` already enforces *inside* the run, so tripping
+    this means the worker is wedged, not slow."""
+
+    max_job_retries: int = 1
+    """Redispatches after worker loss (crash/hang/wall) per service
+    life; past it the job is terminally ``failed``."""
+
+    retry_backoff_base: float = 0.5
+    retry_backoff_max: float = 30.0
+    inline: bool = False
+
+    def validate(self) -> None:
+        if self.max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.poll_interval <= 0 or self.heartbeat_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval")
+        if self.wall_slack < 1.0 or self.wall_grace < 0:
+            raise ValueError("wall_slack >= 1 and wall_grace >= 0")
+        if self.max_job_retries < 0:
+            raise ValueError("max_job_retries must be non-negative")
+        if self.retry_backoff_base < 0 or self.retry_backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+    def admission(self) -> AdmissionPolicy:
+        return AdmissionPolicy(queue_depth=self.queue_depth,
+                               max_active=self.max_active,
+                               max_time_limit=self.max_time_limit)
+
+
+@dataclass
+class SchedulerStats:
+    """Counters for one service life (reset on restart; the durable
+    truth is always the spool journals)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    dispatched: int = 0
+    redispatches: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    wall_timeouts: int = 0
+    cancelled: int = 0
+    recovered: int = 0
+    finished: Dict[str, int] = field(default_factory=dict)
+
+    def finish(self, status: str) -> None:
+        self.finished[status] = self.finished.get(status, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted, "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "redispatches": self.redispatches, "crashes": self.crashes,
+            "hangs": self.hangs, "wall_timeouts": self.wall_timeouts,
+            "cancelled": self.cancelled, "recovered": self.recovered,
+            "finished": dict(self.finished),
+        }
+
+
+@dataclass
+class _JobHandle:
+    """One in-flight attempt under supervision."""
+
+    job_id: str
+    spec: JobSpec
+    attempt: int
+    proc: Optional[mp.Process]
+    started: float
+    deadline: Deadline
+
+
+class JobScheduler:
+    """Admit, prioritize, dispatch, supervise, retry, recover."""
+
+    def __init__(self, spool: Spool,
+                 policy: Optional[SchedulerPolicy] = None,
+                 cache: Optional[CrossJobCache] = None,
+                 on_event: Optional[Callable[[str, str, str], None]]
+                 = None):
+        self.spool = spool
+        self.policy = policy or SchedulerPolicy()
+        self.policy.validate()
+        self.cache = cache if cache is not None \
+            else CrossJobCache(spool.cache_dir)
+        self.stats = SchedulerStats()
+        self._on_event = on_event
+        self._ready: List[tuple] = []  # (-priority, seq, job_id)
+        self._seq = itertools.count()
+        self._running: Dict[str, _JobHandle] = {}
+        self._retries: Dict[str, int] = {}  # worker losses this life
+        self._not_before: Dict[str, float] = {}  # retry backoff gate
+
+    # -- events --------------------------------------------------------------
+
+    def _emit(self, kind: str, job_id: str, detail: str = "") -> None:
+        if self._on_event is not None:
+            self._on_event(kind, job_id, detail)
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> List[str]:
+        """Re-adopt the spool after a restart; returns resumed job ids.
+
+        ``running`` journals are workers of a dead service life: each is
+        re-enqueued with its attempt bumped (the checkpoint makes the
+        bump cheap) and *without* charging its retry budget.  ``queued``
+        jobs were already admitted — they re-enter the ready queue
+        directly, never through admission again.
+        """
+        resumed: List[str] = []
+        for job_id in self.spool.job_ids():
+            status = self.spool.status(job_id)
+            if status == JobStatus.RUNNING:
+                state = self.spool.read_state(job_id) or {}
+                attempt = int(state.get("attempt", 0)) + 1
+                self.spool.clear_heartbeat(job_id)
+                self.spool.transition(
+                    job_id, JobStatus.QUEUED,
+                    detail="recovered after service restart",
+                    attempt=attempt)
+                self._enqueue(job_id)
+                self.stats.recovered += 1
+                resumed.append(job_id)
+                self._emit("recovered", job_id, f"attempt {attempt}")
+            elif status == JobStatus.QUEUED:
+                self._enqueue(job_id)
+        return resumed
+
+    # -- admission / queue ---------------------------------------------------
+
+    def _enqueue(self, job_id: str) -> None:
+        spec = self.spool.read_spec(job_id)
+        if spec is None:
+            self.spool.transition(job_id, JobStatus.FAILED,
+                                  detail="spec.json missing or corrupt",
+                                  force=True)
+            self.stats.finish(JobStatus.FAILED)
+            return
+        heapq.heappush(self._ready,
+                       (-spec.effective_priority, next(self._seq),
+                        job_id))
+
+    def _queued_depth(self) -> int:
+        """Live depth of the ready queue (skips stale/cancelled ids)."""
+        return sum(1 for _, _, job_id in self._ready
+                   if self.spool.status(job_id) == JobStatus.QUEUED)
+
+    def poll_submissions(self) -> None:
+        """Admit or shed everything newly submitted, best-first."""
+        fresh = []
+        for job_id in self.spool.jobs_with_status(JobStatus.SUBMITTED):
+            spec = self.spool.read_spec(job_id)
+            if spec is None:
+                self.spool.transition(
+                    job_id, JobStatus.FAILED,
+                    detail="spec.json missing or corrupt", force=True)
+                self.stats.finish(JobStatus.FAILED)
+                continue
+            fresh.append((-spec.effective_priority, spec.submitted_at,
+                          job_id, spec))
+        fresh.sort(key=lambda item: item[:3])
+        depth = self._queued_depth()
+        for _, _, job_id, spec in fresh:
+            decision = admission_decision(spec, depth,
+                                          self.policy.admission())
+            if decision.admitted:
+                self.spool.transition(job_id, JobStatus.QUEUED,
+                                      detail="admitted")
+                self._enqueue(job_id)
+                depth += 1
+                self.stats.admitted += 1
+                self._emit("admitted", job_id)
+            else:
+                self.spool.transition(job_id, JobStatus.REJECTED,
+                                      detail=decision.detail,
+                                      rejection=decision.to_json())
+                self.stats.rejected += 1
+                self.stats.finish(JobStatus.REJECTED)
+                self._emit("rejected", job_id, decision.reason_code)
+
+    # -- cancellation --------------------------------------------------------
+
+    def apply_cancels(self) -> None:
+        for job_id in self.spool.job_ids():
+            if self.spool.cancel_requested(job_id) is None:
+                continue
+            status = self.spool.status(job_id)
+            if status in (JobStatus.SUBMITTED, JobStatus.QUEUED):
+                self.spool.transition(job_id, JobStatus.CANCELLED,
+                                      detail="cancelled before dispatch")
+                self.stats.cancelled += 1
+                self.stats.finish(JobStatus.CANCELLED)
+                self._emit("cancelled", job_id)
+            elif status == JobStatus.RUNNING and job_id in self._running:
+                handle = self._running.pop(job_id)
+                self._terminate(handle)
+                self.spool.transition(job_id, JobStatus.CANCELLED,
+                                      detail="cancelled while running",
+                                      force=True)
+                self.spool.clear_heartbeat(job_id)
+                self.stats.cancelled += 1
+                self.stats.finish(JobStatus.CANCELLED)
+                self._emit("cancelled", job_id, "killed worker")
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch_ready(self) -> None:
+        now = time.monotonic()
+        deferred = []
+        while (len(self._running) < self.policy.max_active
+               and self._ready):
+            entry = heapq.heappop(self._ready)
+            job_id = entry[2]
+            if self.spool.status(job_id) != JobStatus.QUEUED:
+                continue  # cancelled/failed while waiting: lazy removal
+            if self._not_before.get(job_id, 0.0) > now:
+                deferred.append(entry)  # still backing off
+                continue
+            self._start(job_id)
+        for entry in deferred:
+            heapq.heappush(self._ready, entry)
+
+    def _start(self, job_id: str) -> None:
+        spec = self.spool.read_spec(job_id)
+        if spec is None:
+            self.spool.transition(job_id, JobStatus.FAILED,
+                                  detail="spec.json missing or corrupt",
+                                  force=True)
+            self.stats.finish(JobStatus.FAILED)
+            return
+        state = self.spool.read_state(job_id) or {}
+        attempt = int(state.get("attempt", 0))
+        limit = spec.effective_time_limit
+        now = time.monotonic()
+        deadline = Deadline(
+            soft=now + limit,
+            hard=now + limit * self.policy.wall_slack
+            + self.policy.wall_grace)
+        self.stats.dispatched += 1
+        self._emit("dispatch", job_id,
+                   f"attempt {attempt}, limit {limit:.0f}s")
+        if self.policy.inline:
+            try:
+                status = execute_job(self.spool, job_id,
+                                     attempt=attempt, cache=self.cache)
+            except SimulatedWorkerCrash as exc:
+                self.stats.crashes += 1
+                self._job_lost(job_id, str(exc))
+            else:
+                self.stats.finish(status)
+                self._finish_cleanup(job_id)
+            return
+        self.spool.clear_heartbeat(job_id)
+        proc = mp.Process(
+            target=job_child_main,
+            args=(self.spool.root, job_id, attempt,
+                  self.policy.heartbeat_interval, os.getpid()),
+            daemon=True)
+        proc.start()
+        self._running[job_id] = _JobHandle(job_id, spec, attempt, proc,
+                                           now, deadline)
+
+    # -- supervision ---------------------------------------------------------
+
+    def sweep_running(self) -> None:
+        now = time.monotonic()
+        for job_id, handle in list(self._running.items()):
+            proc = handle.proc
+            if proc is not None and not proc.is_alive():
+                proc.join()
+                del self._running[job_id]
+                status = self.spool.status(job_id)
+                if status in TERMINAL_STATUSES:
+                    self.stats.finish(status)
+                    self._finish_cleanup(job_id)
+                    self._emit("finished", job_id, status)
+                else:
+                    self.stats.crashes += 1
+                    self._job_lost(
+                        job_id,
+                        f"worker died (exit {proc.exitcode})")
+                continue
+            age = self.spool.heartbeat_age(job_id)
+            silent = age if age is not None else now - handle.started
+            if silent > self.policy.heartbeat_timeout:
+                self.stats.hangs += 1
+                self._terminate(handle)
+                del self._running[job_id]
+                self._job_lost(job_id,
+                               f"heartbeat silent {silent:.1f}s")
+            elif handle.deadline.hard_expired():
+                self.stats.wall_timeouts += 1
+                self._terminate(handle)
+                del self._running[job_id]
+                self._job_lost(job_id, "hard wall deadline exceeded")
+
+    def _terminate(self, handle: _JobHandle) -> None:
+        proc = handle.proc
+        if proc is None or not proc.is_alive():
+            return
+        proc.terminate()
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2.0)
+
+    def _job_lost(self, job_id: str, reason: str) -> None:
+        """Worker loss: retry with backoff or fail terminally."""
+        self.spool.clear_heartbeat(job_id)
+        retries = self._retries.get(job_id, 0)
+        state = self.spool.read_state(job_id) or {}
+        attempt = int(state.get("attempt", 0))
+        if retries < self.policy.max_job_retries:
+            self._retries[job_id] = retries + 1
+            self.stats.redispatches += 1
+            delay = min(self.policy.retry_backoff_max,
+                        self.policy.retry_backoff_base * (2 ** retries))
+            self._not_before[job_id] = time.monotonic() + delay
+            self.spool.transition(
+                job_id, JobStatus.QUEUED,
+                detail=f"retry after {reason} (backoff {delay:.2f}s)",
+                attempt=attempt + 1, force=True)
+            self._enqueue(job_id)
+            self._emit("retry", job_id, reason)
+        else:
+            self.spool.transition(
+                job_id, JobStatus.FAILED,
+                detail=f"{reason}; retry budget exhausted "
+                       f"({retries}/{self.policy.max_job_retries})",
+                force=True)
+            self.stats.finish(JobStatus.FAILED)
+            self._finish_cleanup(job_id)
+            self._emit("failed", job_id, reason)
+
+    def _finish_cleanup(self, job_id: str) -> None:
+        self._retries.pop(job_id, None)
+        self._not_before.pop(job_id, None)
+        self.spool.clear_heartbeat(job_id)
+
+    # -- loops ---------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One scheduling round: admit, cancel, supervise, dispatch."""
+        self.poll_submissions()
+        self.apply_cancels()
+        self.sweep_running()
+        self.dispatch_ready()
+
+    def pending_work(self) -> bool:
+        if self._running:
+            return True
+        return bool(self.spool.jobs_with_status(JobStatus.SUBMITTED,
+                                                JobStatus.QUEUED))
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, dict]:
+        """Tick until the spool is fully terminal (or ``timeout``)."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            self.tick()
+            if not self.pending_work():
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(self.policy.poll_interval)
+        return self.spool.summary()
+
+    def serve(self) -> str:
+        """Run until SIGINT/SIGTERM; returns the shutdown reason.
+
+        On signal, in-flight workers are terminated gracefully and
+        their journals left ``running`` — exactly the state
+        :meth:`recover` resumes from on the next start.
+        """
+        try:
+            with graceful_shutdown():
+                while True:
+                    self.tick()
+                    time.sleep(self.policy.poll_interval)
+        except ShutdownRequested as exc:
+            self.shutdown(str(exc))
+            return str(exc)
+
+    def shutdown(self, reason: str = "shutdown") -> None:
+        """Stop all workers, preserving resumable journals."""
+        for job_id, handle in list(self._running.items()):
+            self._terminate(handle)
+            self._emit("stopped", job_id, reason)
+        self._running.clear()

@@ -1,0 +1,88 @@
+"""Graceful SIGINT/SIGTERM shutdown for learn runs and the service.
+
+A kill signal must cost the *time since the last checkpoint*, not the
+run: checkpoints are flushed per completed output already (atomic
+replace, see :mod:`repro.robustness.checkpoint`), so all shutdown has to
+do is stop the pipeline at the next safe point and let the caller report
+where the resumable state lives.
+
+:func:`graceful_shutdown` installs handlers that convert the *first*
+SIGINT/SIGTERM into a :class:`ShutdownRequested` exception raised in the
+main thread (like ``KeyboardInterrupt``, between bytecodes — never
+mid-syscall-unsafe).  A second signal restores the previous handlers, so
+an impatient operator can still force-kill a wedged process.
+
+``ShutdownRequested`` derives from ``BaseException`` on purpose: the
+execution layer's isolation boundaries catch ``Exception`` to degrade a
+single output, and a shutdown must *not* be degraded around — it has to
+unwind the whole pipeline promptly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Optional
+
+
+class ShutdownRequested(BaseException):
+    """Raised in the main thread when a shutdown signal arrives.
+
+    ``signum`` names the signal; ``instrumentation`` is attached by
+    :meth:`LogicRegressor.learn` on the way out so the CLI can still
+    flush a partial trace/metrics dump for the interrupted run.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"shutdown requested ({signal.Signals(signum).name})")
+        self.signum = signum
+        self.instrumentation = None
+
+
+@contextlib.contextmanager
+def graceful_shutdown(signals: Optional[tuple] = None) -> Iterator[None]:
+    """Convert the first SIGINT/SIGTERM inside the block into
+    :class:`ShutdownRequested`; restore previous handlers on exit.
+
+    Only the main thread of the main interpreter may install signal
+    handlers; anywhere else (worker processes started without a fresh
+    main thread, pytest plugins running in threads) the manager degrades
+    to a no-op rather than failing.
+    """
+    wanted = signals or (signal.SIGINT, signal.SIGTERM)
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = {}
+    fired = {"done": False}
+
+    def handler(signum, frame):  # noqa: ARG001 - signal API shape
+        if fired["done"]:
+            return
+        fired["done"] = True
+        # Re-arm the previous handlers so a second signal force-kills.
+        for num, old in previous.items():
+            try:
+                signal.signal(num, old)
+            except (ValueError, OSError):
+                pass
+        raise ShutdownRequested(signum)
+
+    try:
+        for num in wanted:
+            previous[num] = signal.signal(num, handler)
+    except (ValueError, OSError):
+        # Not installable here (embedded interpreter, exotic platform):
+        # run unprotected instead of refusing to run at all.
+        yield
+        return
+    try:
+        yield
+    finally:
+        for num, old in previous.items():
+            try:
+                if signal.getsignal(num) is handler:
+                    signal.signal(num, old)
+            except (ValueError, OSError):
+                pass

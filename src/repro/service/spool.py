@@ -1,0 +1,324 @@
+"""The spool directory: the service's durable, crash-safe state.
+
+Clients and the scheduler communicate through files, not sockets — a
+submission is a directory, a state change is an atomic JSON replace, a
+cancellation is a marker file.  That buys exactly the properties the
+robustness layer already relies on: a ``kill -9`` at any instant leaves
+every job either in its previous or its next consistent state (never a
+torn file), and a restarted service reconstructs the full fleet from the
+directory alone.
+
+Layout::
+
+    <spool>/
+      jobs/<job_id>/
+        spec.json        immutable submission record (digested)
+        state.json       lifecycle journal (digested, atomic replace)
+        cancel           cancellation marker dropped by the client
+        heartbeat        touched by the running worker (liveness probe)
+        circuit.blif     golden circuit copied at submit time
+        checkpoint.ckpt  per-output learn checkpoint (format v2)
+        result.blif      learned circuit (on success)
+        run_report.json  schema-v3 manifest with per-job billing
+      cache/             cross-job sample cache (repro.service.cache)
+
+Every JSON written here carries the checkpoint-v2 style sha256 digest of
+its canonical encoding; a corrupted ``state.json`` is *detected* and the
+job fails loudly (``state-corrupt``) instead of replaying a stale or
+torn status.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.robustness.checkpoint import payload_digest
+from repro.service.jobs import (TERMINAL_STATUSES, JobSpec, JobStatus,
+                                can_transition)
+
+
+class SpoolError(RuntimeError):
+    """A spool operation failed (bad job id, illegal transition, ...)."""
+
+
+class DuplicateJobError(SpoolError):
+    """A submission reused an existing job id."""
+
+
+def write_json_atomic(path: str, data: dict) -> None:
+    """Digest + write-to-temp + ``os.replace``: all or nothing."""
+    data = dict(data)
+    data.pop("digest", None)
+    data["digest"] = payload_digest(data)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json_checked(path: str) -> Optional[dict]:
+    """Read a digested JSON file; ``None`` if missing/torn/tampered."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    stored = data.pop("digest", None)
+    if stored != payload_digest(data):
+        return None
+    return data
+
+
+class Spool:
+    """Filesystem protocol shared by the client and the scheduler."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.cache_dir = os.path.join(self.root, "cache")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    # -- per-job paths -------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> str:
+        if not job_id or "/" in job_id or job_id in (".", ".."):
+            raise SpoolError(f"invalid job id {job_id!r}")
+        return os.path.join(self.jobs_dir, job_id)
+
+    def spec_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "spec.json")
+
+    def state_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "state.json")
+
+    def cancel_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "cancel")
+
+    def heartbeat_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "heartbeat")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "checkpoint.ckpt")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.blif")
+
+    def report_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "run_report.json")
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec, circuit_src: Optional[str] = None
+               ) -> str:
+        """Create the job directory; returns the job id.
+
+        ``circuit_src`` is copied into the job dir as the spec's circuit
+        (self-contained spool); when ``None`` the spec's ``circuit``
+        path is used as-is (it must already live inside the job dir or
+        be otherwise durable).
+        """
+        spec.validate()
+        job_dir = self.job_dir(spec.job_id)
+        if os.path.exists(job_dir):
+            raise DuplicateJobError(
+                f"job id {spec.job_id!r} already exists in this spool")
+        os.makedirs(job_dir)
+        if circuit_src is not None:
+            ext = os.path.splitext(circuit_src)[1] or ".blif"
+            dst = os.path.join(job_dir, f"circuit{ext}")
+            shutil.copyfile(circuit_src, dst)
+            spec.circuit = dst
+        write_json_atomic(self.spec_path(spec.job_id), spec.to_json())
+        self._write_state(spec.job_id, {
+            "job_id": spec.job_id,
+            "status": JobStatus.SUBMITTED,
+            "detail": "",
+            "attempt": 0,
+            "pid": None,
+            "billing": [],
+            "rejection": None,
+            "history": [self._event(JobStatus.SUBMITTED, "")],
+        })
+        return spec.job_id
+
+    # -- state journal -------------------------------------------------------
+
+    @staticmethod
+    def _event(status: str, detail: str) -> dict:
+        return {"status": status, "detail": detail, "at": time.time()}
+
+    def _write_state(self, job_id: str, state: dict) -> None:
+        write_json_atomic(self.state_path(job_id), state)
+
+    def read_spec(self, job_id: str) -> Optional[JobSpec]:
+        data = read_json_checked(self.spec_path(job_id))
+        if data is None:
+            return None
+        try:
+            return JobSpec.from_json(data)
+        except (ValueError, TypeError):
+            return None
+
+    def read_state(self, job_id: str) -> Optional[dict]:
+        """The current journal; ``None`` if missing or corrupt."""
+        return read_json_checked(self.state_path(job_id))
+
+    def status(self, job_id: str) -> Optional[str]:
+        state = self.read_state(job_id)
+        return state["status"] if state else None
+
+    def transition(self, job_id: str, status: str, detail: str = "",
+                   *, attempt: Optional[int] = None,
+                   pid: Optional[int] = None,
+                   rejection: Optional[dict] = None,
+                   force: bool = False) -> dict:
+        """Advance the lifecycle journal (atomic, history-preserving).
+
+        Illegal edges raise :class:`SpoolError` unless ``force`` — the
+        escape hatch for repairing a corrupt journal, where the previous
+        status is unknowable.
+        """
+        state = self.read_state(job_id)
+        if state is None:
+            # A torn/corrupt journal: rebuild a minimal one so the job
+            # fails loudly instead of wedging the scheduler.
+            state = {"job_id": job_id, "status": JobStatus.SUBMITTED,
+                     "detail": "state journal was corrupt", "attempt": 0,
+                     "pid": None, "billing": [], "rejection": None,
+                     "history": [self._event("state-corrupt", "")]}
+            force = True
+        src = state["status"]
+        if src == status:
+            return state  # idempotent re-assertion
+        if not force and not can_transition(src, status):
+            raise SpoolError(
+                f"illegal transition {src!r} -> {status!r} for job "
+                f"{job_id!r}")
+        state["status"] = status
+        state["detail"] = detail
+        if attempt is not None:
+            state["attempt"] = int(attempt)
+        state["pid"] = pid
+        if rejection is not None:
+            state["rejection"] = rejection
+        state["history"] = list(state.get("history", [])) \
+            + [self._event(status, detail)]
+        self._write_state(job_id, state)
+        return state
+
+    def record_billing(self, job_id: str, attempt: int, billed_rows: int,
+                       billed_calls: int) -> None:
+        """Append one attempt's billed totals to the job's journal.
+
+        Each attempt bills what *it* sent to the oracle; resumed outputs
+        are restored from the checkpoint without re-querying, so the sum
+        across attempts is the tenant's true cost and a crash can only
+        lose (never double-count) rows.
+        """
+        state = self.read_state(job_id)
+        if state is None:
+            return
+        state["billing"] = list(state.get("billing", [])) + [{
+            "attempt": int(attempt),
+            "billed_rows": int(billed_rows),
+            "billed_calls": int(billed_calls),
+        }]
+        self._write_state(job_id, state)
+
+    def billed_total(self, job_id: str) -> int:
+        state = self.read_state(job_id) or {}
+        return sum(int(b.get("billed_rows", 0))
+                   for b in state.get("billing", []))
+
+    # -- cancellation --------------------------------------------------------
+
+    def request_cancel(self, job_id: str, reason: str = "") -> bool:
+        """Drop the cancel marker; returns False for unknown jobs."""
+        if not os.path.isdir(self.job_dir(job_id)):
+            return False
+        with open(self.cancel_path(job_id), "w") as handle:
+            handle.write(reason or "cancelled by client")
+        return True
+
+    def cancel_requested(self, job_id: str) -> Optional[str]:
+        try:
+            with open(self.cancel_path(job_id)) as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    # -- liveness ------------------------------------------------------------
+
+    def touch_heartbeat(self, job_id: str) -> None:
+        path = self.heartbeat_path(job_id)
+        try:
+            with open(path, "a"):
+                os.utime(path, None)
+        except OSError:
+            pass
+
+    def heartbeat_age(self, job_id: str) -> Optional[float]:
+        """Seconds since the worker last beat; ``None`` if never."""
+        try:
+            return max(0.0, time.time()
+                       - os.path.getmtime(self.heartbeat_path(job_id)))
+        except OSError:
+            return None
+
+    def clear_heartbeat(self, job_id: str) -> None:
+        try:
+            os.unlink(self.heartbeat_path(job_id))
+        except OSError:
+            pass
+
+    # -- listing -------------------------------------------------------------
+
+    def job_ids(self) -> List[str]:
+        try:
+            return sorted(entry for entry in os.listdir(self.jobs_dir)
+                          if os.path.isdir(os.path.join(self.jobs_dir,
+                                                        entry)))
+        except OSError:
+            return []
+
+    def jobs_with_status(self, *statuses: str) -> List[str]:
+        wanted = set(statuses)
+        return [job_id for job_id in self.job_ids()
+                if self.status(job_id) in wanted]
+
+    def all_terminal(self) -> bool:
+        return all(self.status(job_id) in TERMINAL_STATUSES
+                   for job_id in self.job_ids())
+
+    def summary(self) -> Dict[str, dict]:
+        """``job_id -> {status, detail, attempt, billed_rows}`` for all."""
+        out: Dict[str, dict] = {}
+        for job_id in self.job_ids():
+            state = self.read_state(job_id) or {}
+            out[job_id] = {
+                "status": state.get("status", "state-corrupt"),
+                "detail": state.get("detail", ""),
+                "attempt": state.get("attempt", 0),
+                "billed_rows": sum(
+                    int(b.get("billed_rows", 0))
+                    for b in state.get("billing", [])),
+                "rejection": state.get("rejection"),
+            }
+        return out

@@ -175,3 +175,37 @@ class TestChaosMatrix:
 
         with pytest.raises(ValueError, match="unknown"):
             run_chaos_matrix(["no-such-scenario"])
+
+
+class TestServiceScenarios:
+    """The service-layer chaos scenarios (inline ones; the process-mode
+    kill/hang scenarios run under ``repro chaos`` in CI)."""
+
+    def test_admission_flood_sheds_structurally(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        summary = run_chaos_matrix(["service-flood"], seed=2019)
+        assert summary["passed"], summary["scenarios"][0]["failures"]
+        details = summary["scenarios"][0]["details"]
+        assert details["statuses"].count("rejected") == 4
+        assert details["stats"]["rejected"] == 4
+
+    def test_corrupt_checkpoint_restarts_from_scratch(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        summary = run_chaos_matrix(["service-corrupt-checkpoint"],
+                                   seed=2019)
+        assert summary["passed"], summary["scenarios"][0]["failures"]
+        details = summary["scenarios"][0]["details"]
+        assert details["resumed"] == ["corrupt-0"]
+        assert details["status"] in ("verified", "repaired")
+
+    @pytest.mark.slow
+    def test_kill_dash_nine_loses_no_jobs(self):
+        from repro.robustness.chaos import run_chaos_matrix
+
+        summary = run_chaos_matrix(["service-kill"], seed=2019)
+        assert summary["passed"], summary["scenarios"][0]["failures"]
+        details = summary["scenarios"][0]["details"]
+        assert len(details["in_flight_at_kill"]) == 3
+        assert len(details["statuses"]) == 3

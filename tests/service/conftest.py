@@ -1,0 +1,37 @@
+"""Shared fixtures for the service-layer tests."""
+
+import pytest
+
+from repro.network.blif import write_blif
+from repro.oracle.eco import build_eco_netlist
+from repro.service.jobs import JobSpec
+from repro.service.spool import Spool
+
+
+@pytest.fixture
+def golden_file(tmp_path):
+    """A tiny golden circuit on disk (8 PIs, 2 POs): fast to learn."""
+    net = build_eco_netlist(8, 2, seed=7, support_low=3, support_high=5)
+    path = tmp_path / "golden.blif"
+    with open(path, "w") as handle:
+        write_blif(net, handle)
+    return str(path), net
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return Spool(str(tmp_path / "spool"))
+
+
+@pytest.fixture
+def make_spec(golden_file):
+    """Factory for fast-profile job specs against the golden circuit."""
+    path, _ = golden_file
+
+    def factory(job_id="j1", **kw):
+        kw.setdefault("profile", "fast")
+        kw.setdefault("time_limit", 15.0)
+        kw.setdefault("seed", 7)
+        return JobSpec(job_id=job_id, circuit=path, **kw)
+
+    return factory

@@ -1,0 +1,49 @@
+"""Admission control: bounded queues, structured shedding."""
+
+import pytest
+
+from repro.service.admission import (AdmissionPolicy, admission_decision)
+from repro.service.jobs import JobSpec
+
+
+def spec(**kw):
+    kw.setdefault("job_id", "a")
+    kw.setdefault("circuit", "c.blif")
+    return JobSpec(**kw)
+
+
+class TestAdmission:
+    def test_admitted_under_capacity(self):
+        decision = admission_decision(spec(), 0, AdmissionPolicy())
+        assert decision.admitted
+        assert decision.reason_code == "admitted"
+
+    def test_queue_full_is_structured(self):
+        policy = AdmissionPolicy(queue_depth=2)
+        decision = admission_decision(spec(), 2, policy)
+        assert not decision.admitted
+        assert decision.reason_code == "queue-full"
+        record = decision.to_json()
+        assert record["queue_depth"] == 2
+        assert record["capacity"] == 2
+        assert "resubmit" in record["detail"]
+
+    def test_budget_too_large_shed_even_when_queue_empty(self):
+        policy = AdmissionPolicy(max_time_limit=10.0)
+        over = spec(tier="batch", time_limit=600.0)
+        decision = admission_decision(over, 0, policy)
+        assert not decision.admitted
+        assert decision.reason_code == "budget-too-large"
+
+    def test_tier_cap_applies_before_budget_check(self):
+        # interactive caps at 60s, under the 100s ceiling: admitted.
+        policy = AdmissionPolicy(max_time_limit=100.0)
+        wild = spec(tier="interactive", time_limit=10_000.0)
+        assert admission_decision(wild, 0, policy).admitted
+
+    @pytest.mark.parametrize("kw", [
+        {"queue_depth": 0}, {"max_active": 0}, {"max_time_limit": 0.0},
+    ])
+    def test_policy_validation(self, kw):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kw).validate()

@@ -1,0 +1,98 @@
+"""The cross-job sample cache: durable reuse keyed by fingerprint."""
+
+import numpy as np
+
+from repro.service.cache import CrossJobCache, problem_fingerprint
+
+
+def rows(n, num_pis=4, num_pos=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 2, (n, num_pis)).astype(np.uint8),
+            rng.integers(0, 2, (n, num_pos)).astype(np.uint8))
+
+
+class TestFingerprint:
+    def test_stable(self):
+        a = problem_fingerprint(["a", "b"], ["y"], 7)
+        b = problem_fingerprint(["a", "b"], ["y"], 7)
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = problem_fingerprint(["a", "b"], ["y"], 7)
+        assert problem_fingerprint(["a", "c"], ["y"], 7) != base
+        assert problem_fingerprint(["a", "b"], ["z"], 7) != base
+        assert problem_fingerprint(["a", "b"], ["y"], 8) != base
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        pats, outs = rows(10)
+        assert cache.store("fp1", pats, outs) == 10
+        got = cache.load("fp1", 4, 2)
+        assert got is not None
+        np.testing.assert_array_equal(got[0], pats)
+        np.testing.assert_array_equal(got[1], outs)
+
+    def test_unknown_fingerprint_is_miss(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        assert cache.load("nope", 4, 2) is None
+
+    def test_shape_mismatch_is_miss_not_error(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        cache.store("fp", *rows(5, num_pis=4))
+        assert cache.load("fp", 9, 2) is None  # wrong num_pis
+
+    def test_corrupt_entry_is_miss_not_error(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        cache.store("fp", *rows(5))
+        with open(cache.entry_path("fp"), "wb") as handle:
+            handle.write(b"this is not an npz archive")
+        assert cache.load("fp", 4, 2) is None
+
+    def test_empty_store_is_noop(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        assert cache.store("fp", *rows(0)) == 0
+        assert cache.load("fp", 4, 2) is None
+
+    def test_oversized_batch_keeps_tail(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path), max_rows_per_entry=4)
+        pats, outs = rows(10)
+        assert cache.store("fp", pats, outs) == 4
+        got = cache.load("fp", 4, 2)
+        np.testing.assert_array_equal(got[0], pats[-4:])
+
+
+class TestStatsAndEviction:
+    def test_event_log_folds_to_counters(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        cache.load("fp", 4, 2)          # miss
+        cache.store("fp", *rows(6))     # store
+        cache.load("fp", 4, 2)          # hit
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 1
+        assert stats["rows_served"] == 6
+        assert stats["rows_stored"] == 6
+
+    def test_torn_log_line_is_skipped(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path))
+        cache.store("fp", *rows(3))
+        with open(cache.events_path, "a") as handle:
+            handle.write('{"kind": "sto')  # crash mid-append
+        assert cache.stats()["stores"] == 1
+
+    def test_lru_eviction_over_capacity(self, tmp_path):
+        cache = CrossJobCache(str(tmp_path), max_entries=2)
+        import os
+        import time
+        for i, fp in enumerate(["old", "mid", "new"]):
+            cache.store(fp, *rows(3, seed=i))
+            # mtime granularity: space the entries apart explicitly.
+            past = time.time() - (10 - i)
+            os.utime(cache.entry_path(fp), (past, past))
+            cache._evict_over_capacity()
+        assert cache.load("old", 4, 2) is None
+        assert cache.load("new", 4, 2) is not None
+        assert cache.stats()["evictions"] >= 1

@@ -1,0 +1,84 @@
+"""Job specs, tiers, and the lifecycle state machine."""
+
+import pytest
+
+from repro.service.jobs import (TERMINAL_STATUSES, TIERS, JobSpec,
+                                JobStatus, can_transition)
+
+
+class TestLifecycle:
+    def test_happy_path_edges(self):
+        assert can_transition(JobStatus.SUBMITTED, JobStatus.QUEUED)
+        assert can_transition(JobStatus.QUEUED, JobStatus.RUNNING)
+        for terminal in ("verified", "repaired", "degraded", "failed",
+                         "cancelled"):
+            assert can_transition(JobStatus.RUNNING, terminal)
+
+    def test_retry_is_the_only_backward_edge(self):
+        assert can_transition(JobStatus.RUNNING, JobStatus.QUEUED)
+        assert not can_transition(JobStatus.QUEUED, JobStatus.SUBMITTED)
+        assert not can_transition(JobStatus.VERIFIED, JobStatus.QUEUED)
+
+    def test_terminal_statuses_have_no_outgoing_edges(self):
+        everything = [getattr(JobStatus, n) for n in dir(JobStatus)
+                      if not n.startswith("_")]
+        for src in TERMINAL_STATUSES:
+            for dst in everything:
+                assert not can_transition(src, dst)
+
+    def test_rejection_only_from_submitted(self):
+        assert can_transition(JobStatus.SUBMITTED, JobStatus.REJECTED)
+        assert not can_transition(JobStatus.QUEUED, JobStatus.REJECTED)
+        assert not can_transition(JobStatus.RUNNING, JobStatus.REJECTED)
+
+
+class TestTiers:
+    def test_tier_caps_time_limit(self):
+        spec = JobSpec(job_id="a", circuit="c.blif", tier="interactive",
+                       time_limit=500.0)
+        assert spec.effective_time_limit == TIERS["interactive"][
+            "time_cap"]
+
+    def test_under_cap_budget_is_untouched(self):
+        spec = JobSpec(job_id="a", circuit="c.blif", tier="batch",
+                       time_limit=42.0)
+        assert spec.effective_time_limit == 42.0
+
+    def test_tier_sets_default_priority(self):
+        lo = JobSpec(job_id="a", circuit="c", tier="batch")
+        hi = JobSpec(job_id="b", circuit="c", tier="interactive")
+        assert hi.effective_priority > lo.effective_priority
+
+    def test_explicit_priority_overrides_tier(self):
+        spec = JobSpec(job_id="a", circuit="c", tier="batch",
+                       priority=99)
+        assert spec.effective_priority == 99
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("job_id", ""), ("job_id", "a/b"), ("job_id", ".."),
+        ("tier", "platinum"), ("time_limit", 0.0),
+        ("max_retries", -1), ("audit_rate", 1.5),
+        ("inject_faults", 1.0), ("profile", "turbo"),
+        ("fault", "explode"), ("fault_attempts", -1),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        spec = JobSpec(job_id="ok", circuit="c.blif")
+        setattr(spec, field, value)
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_sleep_fault_accepted(self):
+        JobSpec(job_id="ok", circuit="c", fault="sleep:1.5").validate()
+
+    def test_json_roundtrip(self):
+        spec = JobSpec(job_id="rt", circuit="c.blif", tier="batch",
+                       priority=3, time_limit=9.0, fault="crash")
+        again = JobSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_from_json_ignores_unknown_keys(self):
+        data = JobSpec(job_id="x", circuit="c").to_json()
+        data["added_in_v99"] = True
+        assert JobSpec.from_json(data).job_id == "x"

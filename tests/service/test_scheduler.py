@@ -1,0 +1,255 @@
+"""Scheduler edge cases: the satellite checklist plus isolation.
+
+Everything here runs in inline dispatch mode — deterministic and
+single-process — except the cancel-while-running case, which needs a
+real worker to kill.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.service.cache import CrossJobCache
+from repro.service.jobs import TERMINAL_STATUSES, JobStatus
+from repro.service.scheduler import JobScheduler, SchedulerPolicy
+from repro.service.spool import Spool
+
+
+def inline_policy(**kw):
+    kw.setdefault("inline", True)
+    kw.setdefault("poll_interval", 0.01)
+    kw.setdefault("retry_backoff_base", 0.0)
+    return SchedulerPolicy(**kw)
+
+
+class TestEmptyQueue:
+    def test_drain_on_empty_spool_returns_immediately(self, spool):
+        sched = JobScheduler(spool, inline_policy())
+        start = time.monotonic()
+        summary = sched.drain(timeout=5.0)
+        assert summary == {}
+        assert time.monotonic() - start < 1.0
+        assert not sched.pending_work()
+
+    def test_tick_on_empty_spool_is_a_noop(self, spool):
+        sched = JobScheduler(spool, inline_policy())
+        sched.tick()
+        assert sched.stats.dispatched == 0
+
+
+class TestDuplicateIds:
+    def test_second_submit_rejected_first_unharmed(self, spool,
+                                                   make_spec):
+        from repro.service.spool import DuplicateJobError
+        spool.submit(make_spec("dup"))
+        with pytest.raises(DuplicateJobError):
+            spool.submit(make_spec("dup", seed=99))
+        sched = JobScheduler(spool, inline_policy())
+        sched.drain(timeout=60.0)
+        assert spool.status("dup") in (JobStatus.VERIFIED,
+                                       JobStatus.REPAIRED)
+        # The surviving spec is the original, not the loser's.
+        assert spool.read_spec("dup").seed == 7
+
+
+class TestCancel:
+    def test_cancel_before_dispatch(self, spool, make_spec):
+        spool.submit(make_spec("c1"))
+        spool.request_cancel("c1", "operator said no")
+        sched = JobScheduler(spool, inline_policy())
+        sched.tick()
+        assert spool.status("c1") == JobStatus.CANCELLED
+        assert sched.stats.cancelled == 1
+        assert sched.stats.dispatched == 0
+
+    def test_cancel_queued_job_never_dispatches(self, spool, make_spec):
+        spool.submit(make_spec("c2"))
+        sched = JobScheduler(spool, inline_policy())
+        sched.poll_submissions()  # now queued
+        assert spool.status("c2") == JobStatus.QUEUED
+        spool.request_cancel("c2")
+        sched.tick()
+        assert spool.status("c2") == JobStatus.CANCELLED
+        assert sched.stats.dispatched == 0
+
+    @pytest.mark.slow
+    def test_cancel_while_running_kills_worker(self, spool, make_spec):
+        # A worker wedged in a long sleep: cancel must terminate it.
+        spool.submit(make_spec("c3", fault="sleep:30",
+                               fault_attempts=999))
+        sched = JobScheduler(spool, SchedulerPolicy(
+            inline=False, poll_interval=0.01, heartbeat_timeout=60.0))
+        try:
+            deadline = time.monotonic() + 30.0
+            while (spool.status("c3") != JobStatus.RUNNING
+                   and time.monotonic() < deadline):
+                sched.tick()
+                time.sleep(0.05)
+            assert spool.status("c3") == JobStatus.RUNNING
+            worker = sched._running["c3"].proc
+            spool.request_cancel("c3", "tenant hit ^C")
+            sched.tick()
+            assert spool.status("c3") == JobStatus.CANCELLED
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+            assert sched.stats.cancelled == 1
+        finally:
+            sched.shutdown()
+
+
+class TestAdmissionUnderLoad:
+    def test_flood_sheds_with_structured_rejections(self, spool,
+                                                    make_spec):
+        for i in range(5):
+            spool.submit(make_spec(f"f{i}", priority=5 - i))
+        sched = JobScheduler(spool, inline_policy(queue_depth=2,
+                                                  max_active=1))
+        sched.poll_submissions()
+        queued = spool.jobs_with_status(JobStatus.QUEUED)
+        rejected = spool.jobs_with_status(JobStatus.REJECTED)
+        assert len(queued) == 2
+        assert len(rejected) == 3
+        # Best-first admission: the two highest priorities got in.
+        assert sorted(queued) == ["f0", "f1"]
+        for job_id in rejected:
+            record = spool.read_state(job_id)["rejection"]
+            assert record["reason_code"] == "queue-full"
+            assert record["capacity"] == 2
+
+    def test_rejected_jobs_count_as_terminal(self, spool, make_spec):
+        spool.submit(make_spec("r0"))
+        spool.submit(make_spec("r1"))
+        sched = JobScheduler(spool, inline_policy(queue_depth=1,
+                                                  max_active=1))
+        sched.drain(timeout=60.0)
+        assert spool.all_terminal()
+        statuses = {j: spool.status(j) for j in ("r0", "r1")}
+        assert JobStatus.REJECTED in statuses.values()
+
+
+class TestRecovery:
+    def test_resume_with_missing_checkpoint_still_terminates(
+            self, spool, make_spec):
+        """Crash-resume where the checkpoint never got written: the
+        job must rerun from scratch and land terminal, not wedge."""
+        spool.submit(make_spec("m1"))
+        spool.transition("m1", JobStatus.QUEUED)
+        spool.transition("m1", JobStatus.RUNNING, attempt=0)
+        assert not os.path.exists(spool.checkpoint_path("m1"))
+        sched = JobScheduler(spool, inline_policy())
+        assert sched.recover() == ["m1"]
+        assert sched.stats.recovered == 1
+        sched.drain(timeout=60.0)
+        assert spool.status("m1") in (JobStatus.VERIFIED,
+                                      JobStatus.REPAIRED)
+        # Resumed attempt is 1; billing rows carry unique attempts.
+        rows = spool.read_state("m1")["billing"]
+        assert [r["attempt"] for r in rows] == [1]
+
+    def test_recover_requeues_without_charging_retry_budget(
+            self, spool, make_spec):
+        spool.submit(make_spec("m2"))
+        spool.transition("m2", JobStatus.QUEUED)
+        spool.transition("m2", JobStatus.RUNNING, attempt=3)
+        sched = JobScheduler(spool, inline_policy(max_job_retries=0))
+        sched.recover()
+        # attempt bumped, but the per-life retry ledger is untouched.
+        assert spool.read_state("m2")["attempt"] == 4
+        assert sched._retries == {}
+        sched.drain(timeout=60.0)
+        assert spool.status("m2") in TERMINAL_STATUSES
+
+    def test_recover_requeues_queued_without_admission(self, spool,
+                                                       make_spec):
+        # Depth 1, two already-queued jobs: both were admitted by a
+        # previous life and must both run, not be re-shed.
+        spool.submit(make_spec("q0"))
+        spool.submit(make_spec("q1"))
+        spool.transition("q0", JobStatus.QUEUED)
+        spool.transition("q1", JobStatus.QUEUED)
+        sched = JobScheduler(spool, inline_policy(queue_depth=1))
+        sched.recover()
+        sched.drain(timeout=120.0)
+        for job_id in ("q0", "q1"):
+            assert spool.status(job_id) in (JobStatus.VERIFIED,
+                                            JobStatus.REPAIRED)
+
+
+class TestRetries:
+    def test_inline_crash_retries_then_succeeds(self, spool, make_spec):
+        spool.submit(make_spec("cr", fault="crash", fault_attempts=1))
+        sched = JobScheduler(spool, inline_policy(max_job_retries=1))
+        sched.drain(timeout=60.0)
+        assert spool.status("cr") in (JobStatus.VERIFIED,
+                                      JobStatus.REPAIRED)
+        assert sched.stats.crashes == 1
+        assert sched.stats.redispatches == 1
+        # Only the surviving attempt billed: no double-billing.
+        rows = spool.read_state("cr")["billing"]
+        assert [r["attempt"] for r in rows] == [1]
+
+    def test_retry_budget_exhausted_fails_terminally(self, spool,
+                                                     make_spec):
+        spool.submit(make_spec("ex", fault="crash", fault_attempts=999))
+        sched = JobScheduler(spool, inline_policy(max_job_retries=1))
+        sched.drain(timeout=60.0)
+        assert spool.status("ex") == JobStatus.FAILED
+        assert "retry budget exhausted" in \
+            spool.read_state("ex")["detail"]
+
+    def test_poisoned_job_does_not_infect_neighbors(self, spool,
+                                                    make_spec):
+        spool.submit(make_spec("bad", fault="crash", fault_attempts=999))
+        spool.submit(make_spec("good"))
+        sched = JobScheduler(spool, inline_policy(max_job_retries=1))
+        sched.drain(timeout=120.0)
+        assert spool.status("bad") == JobStatus.FAILED
+        assert spool.status("good") in (JobStatus.VERIFIED,
+                                        JobStatus.REPAIRED)
+
+
+class TestPriority:
+    def test_dispatch_order_follows_priority(self, spool, make_spec):
+        order = []
+        spool.submit(make_spec("low", tier="batch"))
+        spool.submit(make_spec("hi", tier="interactive"))
+        spool.submit(make_spec("mid", tier="standard"))
+        sched = JobScheduler(
+            spool, inline_policy(max_active=1),
+            on_event=lambda kind, job_id, detail:
+                order.append(job_id) if kind == "dispatch" else None)
+        sched.drain(timeout=120.0)
+        assert order == ["hi", "mid", "low"]
+
+
+class TestCrossJobCache:
+    def test_second_job_prefills_from_first(self, spool, make_spec,
+                                            tmp_path):
+        cache = CrossJobCache(str(tmp_path / "xcache"))
+        spool.submit(make_spec("first"))
+        sched = JobScheduler(spool, inline_policy(), cache=cache)
+        sched.drain(timeout=60.0)
+        assert cache.stats()["stores"] >= 1
+        spool.submit(make_spec("second"))
+        sched.tick()
+        sched.drain(timeout=60.0)
+        stats = cache.stats()
+        assert stats["hits"] >= 1
+        assert stats["rows_served"] > 0
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("kw", [
+        {"max_active": 0}, {"queue_depth": 0}, {"poll_interval": 0.0},
+        {"heartbeat_interval": 1.0, "heartbeat_timeout": 0.5},
+        {"wall_slack": 0.5}, {"wall_grace": -1.0},
+        {"max_job_retries": -1}, {"retry_backoff_base": -0.1},
+    ])
+    def test_bad_policy_rejected(self, kw):
+        with pytest.raises(ValueError):
+            SchedulerPolicy(**kw).validate()
+
+    def test_scheduler_constructor_validates(self, spool):
+        with pytest.raises(ValueError):
+            JobScheduler(spool, SchedulerPolicy(max_active=0))

@@ -1,0 +1,152 @@
+"""End-to-end signal handling: real processes, real signals.
+
+Satellite coverage for graceful shutdown — ``repro learn`` killed
+mid-run must leave a resumable checkpoint and exit 130; ``repro serve``
+killed mid-fleet must leave ``running`` journals a restart resumes.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.network.blif import write_blif
+from repro.oracle.eco import build_eco_netlist
+from repro.service.jobs import JobStatus
+from repro.service.spool import Spool
+
+pytestmark = pytest.mark.slow
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def repro_cmd(*args):
+    return [sys.executable, "-m", "repro", *args]
+
+
+def repro_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def write_golden(tmp_path, num_pis=24, num_pos=12, support=(10, 14)):
+    """Big enough that learning spans a useful kill window."""
+    net = build_eco_netlist(num_pis, num_pos, seed=11,
+                            support_low=support[0],
+                            support_high=support[1])
+    path = str(tmp_path / "golden.blif")
+    with open(path, "w") as handle:
+        write_blif(net, handle)
+    return path
+
+
+def checkpoint_entries(path):
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return 0
+    return len(data.get("outputs", []))
+
+
+class TestLearnGracefulShutdown:
+    def test_sigterm_mid_learn_leaves_resumable_checkpoint(self,
+                                                           tmp_path):
+        golden = write_golden(tmp_path)
+        ck = str(tmp_path / "learn.ck.json")
+        out = str(tmp_path / "learned.blif")
+        cmd = repro_cmd("learn", golden, "--checkpoint", ck, "--out",
+                        out, "--time-limit", "120", "--patterns", "256",
+                        "--no-optimize", "--no-accuracy-gate",
+                        "--seed", "7")
+        proc = subprocess.Popen(cmd, env=repro_env(),
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT, text=True)
+        try:
+            # Wait for the first per-output flush, then pull the plug.
+            deadline = time.monotonic() + 120.0
+            while (checkpoint_entries(ck) < 1
+                   and proc.poll() is None
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert checkpoint_entries(ck) >= 1, \
+                "checkpoint never got a per-output entry"
+            proc.send_signal(signal.SIGTERM)
+            stdout, _ = proc.communicate(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, stdout
+        assert "interrupted" in stdout
+        assert "resumable checkpoint" in stdout
+        assert checkpoint_entries(ck) >= 1  # kill did not eat the file
+
+        # The interrupted run's state must actually resume and finish.
+        resume = subprocess.run(
+            repro_cmd("learn", golden, "--checkpoint", ck, "--resume",
+                      "--out", out, "--time-limit", "120", "--patterns",
+                      "256", "--no-optimize", "--no-accuracy-gate",
+                      "--seed", "7"),
+            env=repro_env(), capture_output=True, text=True,
+            timeout=300.0)
+        assert resume.returncode == 0, resume.stdout + resume.stderr
+        assert os.path.exists(out)
+
+
+class TestServeGracefulShutdown:
+    def test_sigterm_leaves_resumable_journals_then_drains(self,
+                                                           tmp_path):
+        golden = write_golden(tmp_path, num_pis=8, num_pos=2,
+                              support=(3, 5))
+        spool_dir = str(tmp_path / "spool")
+        submit = subprocess.run(
+            repro_cmd("submit", "--spool", spool_dir, golden,
+                      "--job-id", "e2e-1", "--profile", "fast",
+                      "--time-limit", "30", "--seed", "7",
+                      "--fault", "sleep:2.0"),
+            env=repro_env(), capture_output=True, text=True,
+            timeout=120.0)
+        assert submit.returncode == 0, submit.stdout + submit.stderr
+
+        serve = subprocess.Popen(
+            repro_cmd("serve", "--spool", spool_dir, "--poll", "0.05"),
+            env=repro_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        spool = Spool(spool_dir)
+        try:
+            deadline = time.monotonic() + 60.0
+            while (spool.status("e2e-1") != JobStatus.RUNNING
+                   and serve.poll() is None
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert spool.status("e2e-1") == JobStatus.RUNNING
+            serve.send_signal(signal.SIGTERM)
+            stdout, _ = serve.communicate(timeout=60.0)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.communicate()
+        assert serve.returncode == 0, stdout
+        assert "service stopped" in stdout
+        # The journal is exactly what the next life resumes from.
+        assert spool.status("e2e-1") == JobStatus.RUNNING
+
+        drain = subprocess.run(
+            repro_cmd("serve", "--spool", spool_dir, "--drain",
+                      "--timeout", "120", "--poll", "0.05"),
+            env=repro_env(), capture_output=True, text=True,
+            timeout=300.0)
+        assert drain.returncode == 0, drain.stdout + drain.stderr
+        assert "resumed 1 in-flight job(s): e2e-1" in drain.stdout
+        assert spool.status("e2e-1") in (JobStatus.VERIFIED,
+                                         JobStatus.REPAIRED)
+        billing = spool.read_state("e2e-1")["billing"]
+        attempts = [row["attempt"] for row in billing]
+        assert len(attempts) == len(set(attempts))  # never double-billed

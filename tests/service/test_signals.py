@@ -1,0 +1,62 @@
+"""Graceful-shutdown signal handling."""
+
+import signal
+import threading
+
+import pytest
+
+from repro.service.signals import ShutdownRequested, graceful_shutdown
+
+
+class TestGracefulShutdown:
+    def test_sigterm_becomes_exception_with_signum(self):
+        with pytest.raises(ShutdownRequested) as excinfo:
+            with graceful_shutdown():
+                signal.raise_signal(signal.SIGTERM)
+        assert excinfo.value.signum == signal.SIGTERM
+        assert excinfo.value.instrumentation is None
+
+    def test_sigint_also_covered(self):
+        with pytest.raises(ShutdownRequested) as excinfo:
+            with graceful_shutdown():
+                signal.raise_signal(signal.SIGINT)
+        assert excinfo.value.signum == signal.SIGINT
+
+    def test_handlers_restored_after_block(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with graceful_shutdown():
+            assert signal.getsignal(signal.SIGTERM) is not before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+
+    def test_handlers_restored_after_shutdown(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(ShutdownRequested):
+            with graceful_shutdown():
+                signal.raise_signal(signal.SIGTERM)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_clean_exit_without_signal(self):
+        with graceful_shutdown():
+            result = 1 + 1
+        assert result == 2
+
+    def test_noop_outside_main_thread(self):
+        """Worker threads must not try to install handlers."""
+        seen = {}
+
+        def body():
+            before = signal.getsignal(signal.SIGTERM)
+            with graceful_shutdown():
+                seen["installed"] = signal.getsignal(signal.SIGTERM)
+            seen["before"] = before
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert seen["installed"] is seen["before"]
+
+    def test_message_names_the_signal(self):
+        exc = ShutdownRequested(signal.SIGTERM)
+        assert "SIGTERM" in str(exc)

@@ -1,0 +1,136 @@
+"""The spool protocol: durable, digested, crash-safe job state."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.jobs import JobStatus
+from repro.service.spool import (DuplicateJobError, Spool, SpoolError,
+                                 read_json_checked, write_json_atomic)
+
+
+class TestDigestedJson:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        write_json_atomic(path, {"a": 1})
+        assert read_json_checked(path) == {"a": 1}
+
+    def test_tampering_detected(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        write_json_atomic(path, {"status": "running"})
+        data = json.load(open(path))
+        data["status"] = "verified"  # forged without re-digesting
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        assert read_json_checked(path) is None
+
+    def test_torn_write_detected(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        with open(path, "w") as handle:
+            handle.write('{"status": "runn')
+        assert read_json_checked(path) is None
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_json_checked(str(tmp_path / "nope.json")) is None
+
+
+class TestSubmission:
+    def test_submit_creates_spec_and_state(self, spool, make_spec):
+        job_id = spool.submit(make_spec("s1"))
+        assert spool.status(job_id) == JobStatus.SUBMITTED
+        assert spool.read_spec(job_id).job_id == "s1"
+
+    def test_duplicate_id_rejected(self, spool, make_spec):
+        spool.submit(make_spec("dup"))
+        with pytest.raises(DuplicateJobError):
+            spool.submit(make_spec("dup"))
+
+    def test_circuit_copied_into_job_dir(self, spool, make_spec,
+                                         golden_file):
+        path, _ = golden_file
+        spool.submit(make_spec("c1"), circuit_src=path)
+        spec = spool.read_spec("c1")
+        assert spec.circuit.startswith(spool.job_dir("c1"))
+        assert os.path.exists(spec.circuit)
+
+    def test_bad_job_ids_rejected(self, spool):
+        for bad in ("", "a/b", ".", ".."):
+            with pytest.raises(SpoolError):
+                spool.job_dir(bad)
+
+
+class TestTransitions:
+    def test_legal_walk(self, spool, make_spec):
+        spool.submit(make_spec("w"))
+        spool.transition("w", JobStatus.QUEUED)
+        spool.transition("w", JobStatus.RUNNING, attempt=0)
+        state = spool.transition("w", JobStatus.VERIFIED, detail="done")
+        assert state["status"] == JobStatus.VERIFIED
+        assert [e["status"] for e in state["history"]] == [
+            "submitted", "queued", "running", "verified"]
+
+    def test_illegal_edge_raises(self, spool, make_spec):
+        spool.submit(make_spec("ill"))
+        with pytest.raises(SpoolError):
+            spool.transition("ill", JobStatus.VERIFIED)
+
+    def test_same_status_is_idempotent(self, spool, make_spec):
+        spool.submit(make_spec("idem"))
+        spool.transition("idem", JobStatus.QUEUED)
+        state = spool.transition("idem", JobStatus.QUEUED)
+        assert state["status"] == JobStatus.QUEUED
+        assert len(state["history"]) == 2  # no duplicate event appended
+
+    def test_corrupt_journal_fails_loudly_not_silently(self, spool,
+                                                       make_spec):
+        spool.submit(make_spec("corrupt"))
+        with open(spool.state_path("corrupt"), "w") as handle:
+            handle.write("not json at all")
+        assert spool.status("corrupt") is None
+        state = spool.transition("corrupt", JobStatus.FAILED,
+                                 detail="journal corrupt", force=True)
+        assert state["status"] == JobStatus.FAILED
+        assert state["history"][0]["status"] == "state-corrupt"
+
+
+class TestBillingAndCancel:
+    def test_billing_accumulates_per_attempt(self, spool, make_spec):
+        spool.submit(make_spec("b"))
+        spool.record_billing("b", 0, 100, 2)
+        spool.record_billing("b", 1, 50, 1)
+        assert spool.billed_total("b") == 150
+        rows = spool.read_state("b")["billing"]
+        assert [r["attempt"] for r in rows] == [0, 1]
+
+    def test_cancel_marker_roundtrip(self, spool, make_spec):
+        spool.submit(make_spec("c"))
+        assert spool.cancel_requested("c") is None
+        assert spool.request_cancel("c", "changed my mind")
+        assert spool.cancel_requested("c") == "changed my mind"
+
+    def test_cancel_unknown_job_is_false(self, spool):
+        assert not spool.request_cancel("ghost")
+
+    def test_heartbeat_age(self, spool, make_spec):
+        spool.submit(make_spec("h"))
+        assert spool.heartbeat_age("h") is None
+        spool.touch_heartbeat("h")
+        age = spool.heartbeat_age("h")
+        assert age is not None and age < 5.0
+        spool.clear_heartbeat("h")
+        assert spool.heartbeat_age("h") is None
+
+
+class TestListing:
+    def test_summary_and_terminal(self, spool, make_spec):
+        spool.submit(make_spec("x1"))
+        spool.submit(make_spec("x2"))
+        spool.transition("x1", JobStatus.QUEUED)
+        spool.transition("x1", JobStatus.RUNNING)
+        spool.transition("x1", JobStatus.VERIFIED)
+        assert not spool.all_terminal()
+        assert spool.jobs_with_status(JobStatus.SUBMITTED) == ["x2"]
+        summary = spool.summary()
+        assert summary["x1"]["status"] == "verified"
+        assert summary["x2"]["status"] == "submitted"

@@ -180,3 +180,103 @@ class TestCommands:
         optimized = load_circuit(out_path)
         assert are_equivalent(net, optimized) is True
         assert optimized.gate_count() <= net.gate_count()
+
+
+class TestLearnFlagValidation:
+    @pytest.mark.parametrize("flags", [
+        ["--jobs", "0"],
+        ["--max-retries", "-1"],
+        ["--audit-rate", "1.5"],
+        ["--audit-rate", "-0.1"],
+        ["--inject-faults", "1.0"],
+        ["--time-limit", "0"],
+        ["--patterns", "0"],
+        ["--resume"],  # nonsensical without --checkpoint
+    ])
+    def test_bad_flags_exit_with_usage_error(self, circuit_file, flags,
+                                             capsys):
+        path, _ = circuit_file
+        with pytest.raises(SystemExit) as excinfo:
+            main(["learn", path, *flags])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_error_message_names_the_flag(self, circuit_file, capsys):
+        path, _ = circuit_file
+        with pytest.raises(SystemExit):
+            main(["learn", path, "--audit-rate", "7"])
+        assert "--audit-rate" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_submit_drain_status_roundtrip(self, circuit_file, tmp_path,
+                                           capsys):
+        import json
+
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "--spool", spool, path,
+                     "--job-id", "cli-1", "--profile", "fast",
+                     "--time-limit", "15", "--seed", "7"]) == 0
+        assert capsys.readouterr().out.strip() == "cli-1"
+
+        assert main(["serve", "--spool", spool, "--drain", "--inline",
+                     "--timeout", "120", "--poll", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "[dispatch] cli-1" in out
+        assert "drained:" in out
+
+        assert main(["status", "--spool", spool, "cli-1",
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["status"] in ("verified", "repaired")
+        assert info["billed_rows"] > 0
+        assert [row["attempt"] for row in info["billing"]] == [0]
+
+        assert main(["status", "--spool", spool]) == 0
+        assert "cli-1:" in capsys.readouterr().out
+
+    def test_cancel_then_drain_marks_cancelled(self, circuit_file,
+                                               tmp_path, capsys):
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        main(["submit", "--spool", spool, path, "--job-id", "cli-c",
+              "--profile", "fast", "--time-limit", "15"])
+        assert main(["cancel", "--spool", spool, "cli-c"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--spool", spool, "--drain", "--inline",
+                     "--timeout", "60", "--poll", "0.01"]) == 0
+        assert main(["status", "--spool", spool, "cli-c"]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+    def test_submit_rejects_invalid_spec(self, circuit_file, tmp_path):
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        with pytest.raises(SystemExit):
+            main(["submit", "--spool", spool, path,
+                  "--job-id", "bad", "--audit-rate", "2.0"])
+
+    def test_submit_duplicate_id_rejected(self, circuit_file, tmp_path,
+                                          capsys):
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        main(["submit", "--spool", spool, path, "--job-id", "dup"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["submit", "--spool", spool, path, "--job-id", "dup"])
+
+    def test_status_unknown_job_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["status", "--spool", str(tmp_path / "spool"),
+                  "ghost"])
+
+    def test_cancel_unknown_job_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cancel", "--spool", str(tmp_path / "spool"),
+                  "ghost"])
+
+    def test_serve_rejects_invalid_policy(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--spool", str(tmp_path / "spool"),
+                  "--max-active", "0", "--drain"])
