@@ -5,8 +5,19 @@
   timeout covers are more accurate.
 - Exhaustive-threshold sweep: where trick 1 stops paying.
 - Scalability: nodes and queries vs support width.
+- Batched vs unbatched frontier expansion: oracle round-trips per tree
+  and wall-clock on a 64-input netlist oracle, gated against the
+  checked-in ``BENCH_fbdt_batched.json`` snapshot.
+
+Standalone snapshot mode (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_fbdt.py --batched \
+        --out BENCH_fbdt_batched.json
+    PYTHONPATH=src python benchmarks/bench_fbdt.py --batched \
+        --check BENCH_fbdt_batched.json
 """
 
+import json
 import time
 
 import numpy as np
@@ -15,7 +26,9 @@ import pytest
 from benchmarks.conftest import one_shot
 from repro.core.config import fast_config
 from repro.core.fbdt import build_decision_tree, learn_output
+from repro.oracle.eco import build_eco_netlist
 from repro.oracle.function_oracle import FunctionOracle
+from repro.oracle.netlist_oracle import NetlistOracle
 
 
 def majority_oracle(width, num_pis=None):
@@ -119,3 +132,140 @@ def test_tree_scaling_with_support(benchmark, width):
     benchmark.extra_info.update(width=width,
                                 nodes=cover.stats.nodes_expanded,
                                 queries=oracle.query_count)
+
+
+# -- batched frontier: round-trips and wall-clock per tree --------------------
+
+# The benchmark oracle is a hidden 64-PI netlist (per-call simulation
+# cost amortizes honestly, unlike a trivial lambda), learned as a deep
+# tree: in-tree tabulation off, so the oracle traffic is exactly the
+# level-by-level probe/split pattern the batched engine fuses.
+BATCHED_CALLS_TOLERANCE = 0.10
+
+
+def batched_case_oracle(seed=11):
+    """The gated 64-input case: one dense cone over 14 of 64 PIs."""
+    net = build_eco_netlist(64, 1, seed=seed, support_low=14,
+                            support_high=14, gates_per_output=300)
+    oracle = NetlistOracle(net)
+    support = sorted(oracle.pi_names.index(name)
+                     for name in net.structural_support(0))
+    return oracle, support
+
+
+def run_batched_bench() -> dict:
+    """One tree per frontier mode from identical seeds."""
+    metrics = {}
+    for mode in ("batched", "unbatched"):
+        oracle, support = batched_case_oracle()
+        cfg = fast_config(exhaustive_threshold=0,
+                          subtree_exhaustive_threshold=0,
+                          frontier_mode=mode)
+        started = time.perf_counter()
+        cover = build_decision_tree(oracle, 0, support, cfg,
+                                    np.random.default_rng(7))
+        wall = time.perf_counter() - started
+        calls, rows = oracle.query_calls, oracle.query_count
+        rng = np.random.default_rng(0)
+        pats = rng.integers(0, 2, (6000, 64)).astype(np.uint8)
+        acc = float((cover.evaluate(pats)
+                     == oracle.query(pats)[:, 0]).mean())
+        metrics[mode] = {
+            "oracle_calls": calls,
+            "oracle_rows": rows,
+            "wall_s": round(wall, 4),
+            "nodes": cover.stats.nodes_expanded,
+            "levels": cover.stats.levels,
+            "accuracy": round(acc, 4),
+        }
+    metrics["calls_ratio"] = round(
+        metrics["unbatched"]["oracle_calls"]
+        / metrics["batched"]["oracle_calls"], 2)
+    metrics["wall_ratio"] = round(
+        metrics["unbatched"]["wall_s"]
+        / max(metrics["batched"]["wall_s"], 1e-9), 2)
+    return metrics
+
+
+def check_batched_gates(metrics: dict, snapshot: dict = None) -> list:
+    """Acceptance gates, shared by pytest, __main__ and CI."""
+    failures = []
+    if metrics["calls_ratio"] < 5.0:
+        failures.append(
+            f"batching saves fewer than 5x oracle round-trips per tree "
+            f"(got {metrics['calls_ratio']}x)")
+    if metrics["wall_ratio"] < 3.0:
+        failures.append(
+            f"batching is less than 3x faster wall-clock "
+            f"(got {metrics['wall_ratio']}x)")
+    for mode in ("batched", "unbatched"):
+        if metrics[mode]["accuracy"] < 0.8:
+            failures.append(
+                f"{mode} accuracy collapsed: {metrics[mode]['accuracy']}")
+    if abs(metrics["batched"]["accuracy"]
+           - metrics["unbatched"]["accuracy"]) > 0.05:
+        failures.append("accuracy diverges across frontier modes: "
+                        f"{metrics['batched']['accuracy']} vs "
+                        f"{metrics['unbatched']['accuracy']}")
+    if snapshot is not None:
+        want = snapshot["metrics"]["batched"]["oracle_calls"]
+        got = metrics["batched"]["oracle_calls"]
+        if abs(got - want) > BATCHED_CALLS_TOLERANCE * want:
+            failures.append(
+                f"oracle round-trips per tree regressed vs snapshot: "
+                f"{got} vs {want} "
+                f"(±{BATCHED_CALLS_TOLERANCE * 100:.0f}%)")
+    return failures
+
+
+def test_batched_frontier_round_trips(benchmark):
+    metrics = one_shot(benchmark, run_batched_bench)
+    benchmark.extra_info.update(
+        calls_ratio=metrics["calls_ratio"],
+        wall_ratio=metrics["wall_ratio"],
+        batched_calls=metrics["batched"]["oracle_calls"],
+        unbatched_calls=metrics["unbatched"]["oracle_calls"])
+    failures = check_batched_gates(metrics)
+    assert not failures, failures
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batched", action="store_true",
+                        help="run the batched-frontier case")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the snapshot JSON here")
+    parser.add_argument("--check", metavar="PATH",
+                        help="gate against an existing snapshot "
+                             "(±10%% on oracle round-trips per tree)")
+    args = parser.parse_args()
+    if not args.batched:
+        parser.error("only --batched is supported standalone; the "
+                     "ablations need pytest-benchmark")
+    snapshot = None
+    if args.check:
+        with open(args.check) as handle:
+            snapshot = json.load(handle)
+    metrics = run_batched_bench()
+    failures = check_batched_gates(metrics, snapshot)
+    out = {"bench": "fbdt_batched", "gates_passed": not failures,
+           "failures": failures, "metrics": metrics}
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(out, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"written to {args.out}", end="; ")
+    print(f"calls {metrics['unbatched']['oracle_calls']} -> "
+          f"{metrics['batched']['oracle_calls']} "
+          f"({metrics['calls_ratio']}x), wall "
+          f"{metrics['unbatched']['wall_s']}s -> "
+          f"{metrics['batched']['wall_s']}s "
+          f"({metrics['wall_ratio']}x)"
+          + ("" if not failures else f"; FAILURES: {failures}"))
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

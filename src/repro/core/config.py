@@ -259,6 +259,21 @@ class RegressorConfig:
     max_depth: Optional[int] = None
     """Optional depth cap per output (None = bounded by support size)."""
 
+    frontier_mode: str = "batched"
+    """How FBDT frontier nodes are expanded in levelized (BFS) order:
+    ``"batched"`` fuses every frontier node's constant-leaf probe,
+    subtree tabulation and split-selection sampling into one oracle
+    call per level (per-node RNG substreams keep results deterministic
+    at any ``--jobs`` value); ``"unbatched"`` keeps the node-at-a-time
+    reference path.  Depth-first exploration (``levelized=False``)
+    always runs unbatched — there is no level to fuse."""
+
+    kernel_backend: str = "auto"
+    """Implementation of the packed bit-parallel logic kernels
+    (``repro.logic.bitops``): ``"numpy"``, ``"numba"`` (JIT, needs the
+    ``[perf]`` extra; silently falls back to numpy when absent), or
+    ``"auto"`` (honours ``$REPRO_KERNEL_BACKEND``, else numpy)."""
+
     # -- query engine (repro.perf) -----------------------------------------
     jobs: int = 1
     """Worker processes for per-output learning.  1 keeps the paper's
@@ -327,6 +342,14 @@ class RegressorConfig:
             raise ValueError("budget fractions leave nothing for the tree")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.frontier_mode not in ("batched", "unbatched"):
+            raise ValueError(
+                "frontier_mode must be 'batched' or 'unbatched', got "
+                f"{self.frontier_mode!r}")
+        if self.kernel_backend not in ("auto", "numpy", "numba"):
+            raise ValueError(
+                "kernel_backend must be 'auto', 'numpy' or 'numba', got "
+                f"{self.kernel_backend!r}")
         if self.bank_max_rows <= 0:
             raise ValueError("bank_max_rows must be positive")
         if not 0.0 < self.bank_fresh_fraction <= 1.0:

@@ -11,6 +11,18 @@ graceful early termination.
 Trick 1 (conquering small functions) lives here too: supports up to the
 exhaustive threshold skip the tree entirely and are tabulated minterm by
 minterm.
+
+Frontier expansion comes in two modes (``RegressorConfig.frontier_mode``):
+
+- ``"batched"`` (default, levelized order only): all frontier nodes of a
+  BFS depth are independent, so their constant-leaf probes, subtree
+  tabulations and split-selection sampling blocks are fused into one
+  ``oracle.query`` call per level.  Every node draws from its own RNG
+  substream (``[base_key, _NODE_STREAM, node_uid]``, mirroring
+  ``derive_output_rng``), so results do not depend on how the level is
+  chunked and stay bit-identical at any ``--jobs`` value.
+- ``"unbatched"``: the node-at-a-time reference path (also used for
+  depth-first exploration, which has no level to fuse).
 """
 
 from __future__ import annotations
@@ -23,7 +35,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import RegressorConfig
-from repro.core.sampling import pattern_sampling, random_patterns
+from repro.core.sampling import (FUSED_CHUNK_ROWS, pattern_sampling,
+                                 random_patterns)
+from repro.logic import bitops
 from repro.logic.cube import Cube
 from repro.logic.minimize import quine_mccluskey
 from repro.logic.sop import Sop
@@ -35,6 +49,14 @@ LEAF_DEPTH_BOUNDARIES = (1, 2, 4, 8, 16, 32, 64)
 """Fixed histogram buckets for ``fbdt.leaf_depth`` (inclusive upper
 bounds; deeper leaves land in the implicit overflow bucket).  Fixed so
 histograms merge across workers and runs."""
+
+LEVEL_WIDTH_BOUNDARIES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+"""Fixed histogram buckets for ``fbdt.level_width`` — frontier nodes
+fused per batched level (the batch sizes the level engine achieves)."""
+
+_NODE_STREAM = 0x51AC
+"""Domain separator of per-node RNG substreams (sibling of the
+``0x51AB`` per-output stream in ``repro.perf.parallel``)."""
 
 
 @dataclass
@@ -49,8 +71,16 @@ class FbdtStats:
     exhausted: bool = False  # trick-1 path taken
     timed_out: bool = False
     budget_exhausted: bool = False  # query budget died mid-construction
-    bank_hits: int = 0  # rows served from the sample bank
-    bank_misses: int = 0  # rows the bank could not supply
+    bank_hits: int = 0
+    """Leaf-probe rows drained from the sample bank.  Together with
+    ``bank_misses`` this partitions the probe traffic: for every
+    completed leaf probe, ``bank_hits + bank_misses`` equals the rows
+    requested (``nodes_expanded * leaf_samples``) in both frontier
+    modes."""
+    bank_misses: int = 0
+    """Leaf-probe rows the bank could not supply (freshly queried)."""
+    levels: int = 0
+    """Batched frontier levels processed (0 in unbatched mode)."""
 
 
 @dataclass
@@ -215,11 +245,7 @@ def enumerate_small_function(oracle: Oracle, output: int,
 
 
 def _pack_bits(values: np.ndarray) -> np.ndarray:
-    bits = np.packbits(values.astype(np.uint8), bitorder="little")
-    pad = (-bits.shape[0]) % 8
-    if pad:
-        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
-    return bits.view(np.uint64)
+    return bitops.pack_bit_vector(values)
 
 
 def _minimize_table(table: TruthTable, k: int) -> Sop:
@@ -248,6 +274,37 @@ def build_decision_tree(oracle: Oracle, output: int,
     stats = FbdtStats()
     onset: List[Cube] = []
     offset: List[Cube] = []
+    if config.frontier_mode == "batched" and config.levelized:
+        root_ratio = _grow_batched(oracle, output, support_set, config,
+                                   rng, stats, onset, offset,
+                                   deadline=deadline, bank=bank)
+    else:
+        root_ratio = _grow_unbatched(oracle, output, support_set, config,
+                                     rng, stats, onset, offset,
+                                     deadline=deadline, bank=bank)
+
+    onset_sop = Sop(onset, num_pis).merge_siblings()
+    offset_sop = Sop(offset, num_pis).merge_siblings()
+    use_offset = False
+    if config.onset_offset_selection:
+        # Trick 2: specify the smaller half of the space.  The root truth
+        # ratio decides the tendency; cover sizes break near-ties.
+        if root_ratio is not None and root_ratio > 0.5:
+            use_offset = True
+        if onset_sop.literal_count() != offset_sop.literal_count():
+            use_offset = (offset_sop.literal_count()
+                          < onset_sop.literal_count())
+    cover = LearnedCover(onset_sop, offset_sop, use_offset=use_offset,
+                         stats=stats)
+    return cover
+
+
+def _grow_unbatched(oracle: Oracle, output: int, support_set: set,
+                    config: RegressorConfig, rng: np.random.Generator,
+                    stats: FbdtStats, onset: List[Cube],
+                    offset: List[Cube], deadline: Optional[float] = None,
+                    bank=None) -> Optional[float]:
+    """The node-at-a-time reference engine (one oracle probe per node)."""
     queue = deque([Cube.empty()])
     root_ratio: Optional[float] = None
 
@@ -282,21 +339,290 @@ def build_decision_tree(oracle: Oracle, output: int,
             break
         if root_ratio is None:
             root_ratio = ratio
+    return root_ratio
 
-    onset_sop = Sop(onset, num_pis).merge_siblings()
-    offset_sop = Sop(offset, num_pis).merge_siblings()
-    use_offset = False
-    if config.onset_offset_selection:
-        # Trick 2: specify the smaller half of the space.  The root truth
-        # ratio decides the tendency; cover sizes break near-ties.
-        if root_ratio is not None and root_ratio > 0.5:
-            use_offset = True
-        if onset_sop.literal_count() != offset_sop.literal_count():
-            use_offset = (offset_sop.literal_count()
-                          < onset_sop.literal_count())
-    cover = LearnedCover(onset_sop, offset_sop, use_offset=use_offset,
-                         stats=stats)
-    return cover
+
+@dataclass(eq=False)
+class _FrontierNode:
+    """One batched-frontier node with its private RNG substream."""
+
+    cube: Cube
+    uid: int
+    rng: np.random.Generator
+    candidates: List[int] = field(default_factory=list)
+    ratio: float = 0.0
+
+
+def _query_blocks(oracle: Oracle, blocks: List[np.ndarray],
+                  num_pos: int) -> List[np.ndarray]:
+    """One fused oracle call over concatenated per-node blocks.
+
+    Chunked at ``FUSED_CHUNK_ROWS`` without ever splitting a node's
+    block (a partial failure loses whole nodes, never half of one's
+    evidence).  Returns the output slices in block order;
+    ``QueryBudgetExceeded`` propagates to the caller.
+    """
+    sizes = [b.shape[0] for b in blocks]
+    total = sum(sizes)
+    if total == 0:
+        return [np.empty((0, num_pos), dtype=np.uint8) for _ in blocks]
+    big = np.concatenate([b for b in blocks if b.shape[0]], axis=0)
+    cuts = []
+    chunk = pos = 0
+    for size in sizes:
+        if chunk and chunk + size > FUSED_CHUNK_ROWS:
+            cuts.append(pos)
+            chunk = 0
+        chunk += size
+        pos += size
+    bounds = [0] + cuts + [total]
+    outs = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        obs.count("sampling.fused_calls")
+        obs.count("sampling.rows", hi - lo)
+        outs.append(oracle.query(big[lo:hi], validate=False))
+    out = outs[0] if len(outs) == 1 else np.concatenate(outs, axis=0)
+    pieces = []
+    lo = 0
+    for size in sizes:
+        pieces.append(out[lo:lo + size])
+        lo += size
+    return pieces
+
+
+def _grow_batched(oracle: Oracle, output: int, support_set: set,
+                  config: RegressorConfig, rng: np.random.Generator,
+                  stats: FbdtStats, onset: List[Cube],
+                  offset: List[Cube], deadline: Optional[float] = None,
+                  bank=None) -> Optional[float]:
+    """Level-batched Algorithm 2: one fused probe per frontier level.
+
+    Semantics match :func:`_grow_unbatched` node for node — same leaf
+    thresholds, subtree conquest, split selection and support widening —
+    but every level costs a constant number of ``oracle.query`` calls
+    instead of several per node.  Each node owns the RNG substream
+    ``[base_key, _NODE_STREAM, uid]`` (uids assigned in deterministic
+    creation order), so its draws are independent of how the level is
+    batched; ``rng`` itself is consumed exactly once for ``base_key``
+    plus any timeout flushes, keeping same-seed runs bit-identical at
+    any ``--jobs`` value.
+
+    Bank accounting invariant: per completed level, drained rows
+    (``bank_hits``) plus fresh rows (``bank_misses``) equal
+    ``level_width * leaf_samples`` — the satellite contract checked by
+    ``tests/core/test_fbdt_batched.py``.
+    """
+    from repro.perf.bank import BankedOracle
+
+    num_pis = oracle.num_pis
+    num_pos = oracle.num_pos
+    eps = config.leaf_epsilon
+    base_key = int(rng.integers(0, 2 ** 63))
+    frontier: List[Tuple[Cube, int]] = [(Cube.empty(), 0)]
+    next_uid = 1
+    root_ratio: Optional[float] = None
+
+    def give_up(unresolved: List[Cube]) -> None:
+        """Budget death: every unresolved cube becomes a majority leaf."""
+        stats.budget_exhausted = True
+        stats.timed_out = True
+        guess = root_ratio if root_ratio is not None else 0.0
+        for cube in unresolved:
+            _majority_leaf(cube, guess, onset, offset, stats)
+
+    while frontier:
+        if deadline is not None and time.monotonic() >= deadline:
+            stats.timed_out = True
+            _flush_pending(oracle, output, [c for c, _ in frontier],
+                           onset, offset, rng, config, stats,
+                           fallback_ratio=root_ratio)
+            return root_ratio
+        # Node cap: process only what the budget allows; the overflow is
+        # flushed as majority leaves after this (final) level.
+        allowed = config.max_tree_nodes - stats.nodes_expanded
+        overflow = []
+        if len(frontier) > allowed:
+            overflow = [c for c, _ in frontier[allowed:]]
+            frontier = frontier[:allowed]
+        if not frontier:
+            stats.timed_out = True
+            _flush_pending(oracle, output, overflow, onset, offset, rng,
+                           config, stats, fallback_ratio=root_ratio)
+            return root_ratio
+        stats.levels += 1
+        obs.count("fbdt.level_batches")
+        obs.observe("fbdt.level_width", len(frontier),
+                    LEVEL_WIDTH_BOUNDARIES)
+        nodes = [_FrontierNode(cube, uid, np.random.default_rng(
+            [base_key, _NODE_STREAM, uid])) for cube, uid in frontier]
+
+        # --- fused constant-leaf probe across the level -----------------
+        drained: List[np.ndarray] = []
+        fresh_blocks: List[np.ndarray] = []
+        for node in nodes:
+            stats.nodes_expanded += 1
+            obs.count("fbdt.nodes_expanded")
+            stats.max_depth = max(stats.max_depth, len(node.cube))
+            node.candidates = sorted(i for i in support_set
+                                     if i not in node.cube)
+            want = config.leaf_samples
+            banked_out = np.empty((0, num_pos), dtype=np.uint8)
+            if bank is not None:
+                fresh_min = max(1, int(np.ceil(
+                    config.leaf_samples * config.bank_fresh_fraction)))
+                _, banked_out = bank.take(
+                    node.cube, config.leaf_samples - fresh_min)
+                want = config.leaf_samples - banked_out.shape[0]
+            drained.append(banked_out)
+            if want > 0:
+                fresh_blocks.append(random_patterns(
+                    want, num_pis, node.rng, config.sampling_biases,
+                    node.cube))
+            else:
+                fresh_blocks.append(
+                    np.empty((0, num_pis), dtype=np.uint8))
+        try:
+            fresh_out = _query_blocks(oracle, fresh_blocks, num_pos)
+        except QueryBudgetExceeded:
+            give_up([n.cube for n in nodes] + overflow)
+            return root_ratio
+        if bank is not None:
+            stats.bank_hits += sum(b.shape[0] for b in drained)
+            stats.bank_misses += sum(b.shape[0] for b in fresh_blocks)
+            if not isinstance(oracle, BankedOracle):
+                for pats, out in zip(fresh_blocks, fresh_out):
+                    if pats.shape[0]:
+                        bank.stats.misses += pats.shape[0]
+                        bank.record(pats, out)
+
+        # --- classify: constant leaves, depth cap, survivors ------------
+        survivors: List[_FrontierNode] = []
+        for node, banked_out, out in zip(nodes, drained, fresh_out):
+            values = out[:, output] if not banked_out.shape[0] else \
+                np.concatenate([banked_out[:, output], out[:, output]])
+            node.ratio = float(values.mean())
+            if root_ratio is None and node.uid == 0:
+                root_ratio = node.ratio
+            if node.ratio >= 1.0 - eps or node.ratio <= eps:
+                kind = "onset" if node.ratio >= 1.0 - eps else "offset"
+                (onset if kind == "onset" else offset).append(node.cube)
+                if kind == "onset":
+                    stats.onset_leaves += 1
+                else:
+                    stats.offset_leaves += 1
+                obs.count("fbdt.leaves", kind=kind)
+                obs.observe("fbdt.leaf_depth", len(node.cube),
+                            LEAF_DEPTH_BOUNDARIES)
+                continue
+            if config.max_depth is not None \
+                    and len(node.cube) >= config.max_depth:
+                _majority_leaf(node.cube, node.ratio, onset, offset,
+                               stats)
+                continue
+            survivors.append(node)
+
+        # --- fused subtree conquest (trick 1 inside the tree) -----------
+        exhaust_nodes: List[_FrontierNode] = []
+        splitters: List[_FrontierNode] = []
+        for node in survivors:
+            if (node.candidates and 0 < config.subtree_exhaustive_threshold
+                    and len(node.candidates)
+                    <= config.subtree_exhaustive_threshold):
+                exhaust_nodes.append(node)
+            else:
+                splitters.append(node)
+        if exhaust_nodes:
+            tab_blocks: List[np.ndarray] = []
+            for node in exhaust_nodes:
+                k = len(node.candidates)
+                patterns = np.zeros((1 << k, num_pis), dtype=np.uint8)
+                node.cube.apply_to(patterns)
+                patterns[:, node.candidates] = bitops.minterm_block(k)
+                probes = random_patterns(32, num_pis, node.rng,
+                                         config.sampling_biases,
+                                         node.cube)
+                tab_blocks.append(patterns)
+                tab_blocks.append(probes)
+            try:
+                tab_out = _query_blocks(oracle, tab_blocks, num_pos)
+            except QueryBudgetExceeded:
+                give_up([n.cube for n in exhaust_nodes + splitters]
+                        + overflow)
+                return root_ratio
+            for i, node in enumerate(exhaust_nodes):
+                if _emit_tabulated(node.cube, node.candidates,
+                                   tab_out[2 * i][:, output],
+                                   tab_blocks[2 * i + 1],
+                                   tab_out[2 * i + 1][:, output],
+                                   onset, offset, stats):
+                    continue
+                splitters.append(node)  # validation failed: split on
+
+        # --- fused split selection across the level ---------------------
+        children: List[Tuple[Cube, int]] = []
+        if splitters:
+            r = config.r_node
+            blocks = []
+            for node in splitters:
+                base = random_patterns(r, num_pis, node.rng,
+                                       config.sampling_biases, node.cube)
+                block = np.tile(base, (1 + len(node.candidates), 1))
+                for idx, i in enumerate(node.candidates):
+                    block[(idx + 1) * r:(idx + 2) * r, i] ^= 1
+                blocks.append(block)
+            try:
+                split_out = _query_blocks(oracle, blocks, num_pos)
+            except QueryBudgetExceeded:
+                give_up([n.cube for n in splitters] + overflow)
+                return root_ratio
+            for i, node in enumerate(splitters):
+                cand = node.candidates
+                try:
+                    column = split_out[i][:, output].reshape(
+                        1 + len(cand), r)
+                    diffs = np.count_nonzero(
+                        column[1:] != column[0][None, :], axis=1)
+                    best = None
+                    if cand:
+                        j = int(np.argmax(diffs))
+                        if diffs[j] > 0:
+                            best = cand[j]
+                    if best is None:
+                        # Support under-approximation: widen with inputs
+                        # outside S' (rare; one extra per-node call).
+                        extra = [i_ for i_ in range(num_pis)
+                                 if i_ not in node.cube
+                                 and i_ not in support_set]
+                        if extra:
+                            sample = pattern_sampling(
+                                oracle, node.cube, r, node.rng,
+                                biases=config.sampling_biases,
+                                candidates=extra)
+                            best = sample.most_significant(output, extra)
+                            if best is not None:
+                                support_set.add(best)
+                except QueryBudgetExceeded:
+                    give_up([n.cube for n in splitters[i:]]
+                            + [c for c, _ in children] + overflow)
+                    return root_ratio
+                if best is None:
+                    _majority_leaf(node.cube, node.ratio, onset, offset,
+                                   stats)
+                    continue
+                children.append((node.cube.with_literal(best, 0),
+                                 next_uid))
+                children.append((node.cube.with_literal(best, 1),
+                                 next_uid + 1))
+                next_uid += 2
+        if overflow:
+            stats.timed_out = True
+            _flush_pending(oracle, output,
+                           [c for c, _ in children] + overflow,
+                           onset, offset, rng, config, stats,
+                           fallback_ratio=root_ratio)
+            return root_ratio
+        frontier = children
+    return root_ratio
 
 
 def _expand_node(oracle: Oracle, output: int, cube: Cube, queue,
@@ -401,27 +727,38 @@ def _exhaust_subtree(oracle: Oracle, output: int, cube: Cube,
     k = len(candidates)
     patterns = np.zeros((1 << k, oracle.num_pis), dtype=np.uint8)
     cube.apply_to(patterns)
-    minterm_bits = ((np.arange(1 << k)[:, None]
-                     >> np.arange(k)[None, :]) & 1).astype(np.uint8)
-    patterns[:, candidates] = minterm_bits
+    patterns[:, candidates] = bitops.minterm_block(k)
     values = oracle.query(patterns, validate=False)[:, output]
-    table = TruthTable(k, _pack_bits(values))
-    # Validate on random probes: if a non-candidate free input matters
-    # here, predictions will disagree with the oracle.
     probes = random_patterns(32, oracle.num_pis, rng,
                              config.sampling_biases, cube)
     probe_out = oracle.query(probes, validate=False)[:, output]
+    return _emit_tabulated(cube, candidates, values, probes, probe_out,
+                           onset, offset, stats)
+
+
+def _emit_tabulated(cube: Cube, candidates: List[int],
+                    values: np.ndarray, probes: np.ndarray,
+                    probe_out: np.ndarray, onset: List[Cube],
+                    offset: List[Cube], stats: FbdtStats) -> bool:
+    """Validate a tabulated subspace and emit its minimized leaves.
+
+    ``values`` is the truth vector over ``candidates``' minterms and
+    ``probes``/``probe_out`` the random validation rows; returns False —
+    emitting nothing — when a non-candidate free input matters in this
+    subspace (prediction/oracle disagreement), so the caller falls back
+    to splitting.
+    """
+    k = len(candidates)
+    table = TruthTable(k, _pack_bits(values))
     probe_minterms = np.zeros(probes.shape[0], dtype=np.int64)
     for i, var in enumerate(candidates):
         probe_minterms += probes[:, var].astype(np.int64) << i
-    predicted = np.array([table.get(int(m)) for m in probe_minterms],
-                         dtype=np.uint8)
+    predicted = bitops.testbits(table.words, probe_minterms)
     if not np.array_equal(predicted, probe_out):
         return False
     local_on = _minimize_table(table, k)
     local_off = _minimize_table(~table, k)
-    for local, collection, counter in ((local_on, onset, "on"),
-                                       (local_off, offset, "off")):
+    for local, collection in ((local_on, onset), (local_off, offset)):
         for local_cube in local.cubes:
             lifted = Cube({candidates[v]: phase
                            for v, phase in local_cube.literals()})

@@ -24,6 +24,7 @@ from repro.core.sampling import random_patterns
 from repro.core.support import identify_supports
 from repro.core.templates.comparator import ComparatorMatch, match_comparator
 from repro.core.templates.linear import LinearMatch, match_linear
+from repro.logic import bitops
 from repro.logic.sop import Sop
 from repro.network.builder import (build_factored_sop, comparator,
                                    comparator_const, linear_combination)
@@ -83,6 +84,13 @@ class LearnResult:
 
     engine_mode: str = "sequential"
     """How step-4 ran (``sequential`` or ``parallel xN``)."""
+
+    engine: Dict[str, str] = field(default_factory=dict)
+    """Resolved execution-engine knobs for the run: ``frontier_mode``
+    (batched/unbatched), ``kernel_backend`` (the *resolved* backend —
+    ``auto`` never appears here) and ``mode`` (same as
+    :attr:`engine_mode`).  Serialized as the report's ``engine``
+    section (schema v4)."""
 
     supervisor: Optional[dict] = None
     """Supervised-pool statistics (crashes, hangs, redispatches,
@@ -171,6 +179,10 @@ class LogicRegressor:
             checkpoint = rob.checkpoint_path
         if resume is None:
             resume = rob.resume
+        # Resolve the packed-kernel backend once for the whole run; a
+        # requested-but-unavailable numba degrades to numpy here rather
+        # than erroring deep inside a hot loop.
+        kernel_backend = bitops.set_backend(cfg.kernel_backend)
         rng = np.random.default_rng(cfg.seed)
         deadlines = DeadlineManager(
             cfg.time_limit,
@@ -555,6 +567,9 @@ class LogicRegressor:
                            degradations=st.degradations(),
                            verification=verification,
                            engine_mode=engine_mode,
+                           engine={"frontier_mode": cfg.frontier_mode,
+                                   "kernel_backend": kernel_backend,
+                                   "mode": engine_mode},
                            supervisor=supervisor_stats,
                            sample_bank=bank,
                            retry_stats=(inner_exec.counters()

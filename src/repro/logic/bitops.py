@@ -1,0 +1,313 @@
+"""Packed bit-parallel logic kernels over ``uint64`` words.
+
+Generalizes the ``(V, ceil(N/64))`` packing that powered netlist
+simulation (``repro.network.simulate``) into a shared kernel layer the
+whole learner can profile to: cube matching, SOP evaluation, truth-table
+bit vectors and popcounts all operate on 64 patterns per word instead of
+one row per Python iteration.  ``N`` patterns against a cube of ``L``
+literals costs ``O(L * N / 64)`` word ops.
+
+Layout: bit ``k`` of word ``w`` of row ``v`` is pattern ``w * 64 + k``'s
+value of variable ``v`` (little-endian bit order, matching
+``np.packbits(..., bitorder="little")``).  The padding tail of the last
+word is zero after :func:`pack_patterns`; kernels that negate words may
+set tail bits, so consumers must slice unpacked results to ``N`` (all
+helpers here do) or mask before counting (:func:`popcount` takes
+``num_rows``).
+
+Backends
+--------
+Two implementations sit behind :func:`set_backend`:
+
+- ``"numpy"`` (always available): vectorized word ops, one pass per
+  literal;
+- ``"numba"`` (optional, ``pip install repro[perf]``): JIT-compiled
+  fused loops, one pass over the words total.
+
+``"auto"`` resolves to the ``REPRO_KERNEL_BACKEND`` environment
+variable when set, else ``"numpy"`` (the JIT warm-up is opt-in).
+Requesting ``"numba"`` on a machine without numba *falls back* to
+``"numpy"`` instead of raising — the flag records intent, the resolver
+reports what actually ran (see ``RegressorConfig.kernel_backend`` and
+the run report's ``engine`` section).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Literal = Tuple[int, int]
+
+_ENV_VAR = "REPRO_KERNEL_BACKEND"
+BACKENDS = ("numpy", "numba")
+
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_active_backend: Optional[str] = None
+_numba_kernels = None  # cached compiled kernels, or False when unusable
+
+
+# -- backend selection --------------------------------------------------------
+
+
+def numba_available() -> bool:
+    """True when the numba JIT can actually be imported."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def resolve_backend(name: str = "auto") -> str:
+    """Map a requested backend name to the one that will run.
+
+    ``"auto"`` honours ``$REPRO_KERNEL_BACKEND`` when set, else numpy;
+    ``"numba"`` degrades to ``"numpy"`` when numba is missing.  Unknown
+    names raise ``ValueError``.
+    """
+    if name == "auto":
+        name = os.environ.get(_ENV_VAR, "").strip() or "numpy"
+        if name not in BACKENDS:  # a bad env var must not crash runs
+            name = "numpy"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r} (choose from "
+            f"{', '.join(BACKENDS)} or 'auto')")
+    if name == "numba" and not numba_available():
+        return "numpy"
+    return name
+
+
+def set_backend(name: str = "auto") -> str:
+    """Select the active kernel backend; returns the resolved name."""
+    global _active_backend
+    resolved = resolve_backend(name)
+    if resolved == "numba" and _numba_jit() is None:
+        resolved = "numpy"  # import ok but compilation unusable
+    _active_backend = resolved
+    return resolved
+
+
+def get_backend() -> str:
+    """The currently active backend (resolving ``auto`` on first use)."""
+    global _active_backend
+    if _active_backend is None:
+        set_backend("auto")
+    return _active_backend  # type: ignore[return-value]
+
+
+def _numba_jit():
+    """Compile (once) and return the numba kernel table, or None."""
+    global _numba_kernels
+    if _numba_kernels is not None:
+        return _numba_kernels or None
+    if not numba_available():
+        _numba_kernels = False
+        return None
+    try:
+        from numba import njit
+
+        @njit(cache=True)
+        def sop_mask_words(words, lit_var, lit_phase, cube_start, out):
+            full = np.uint64(0xFFFFFFFFFFFFFFFF)
+            num_words = words.shape[1]
+            num_cubes = cube_start.shape[0] - 1
+            for w in range(num_words):
+                acc_or = np.uint64(0)
+                for c in range(num_cubes):
+                    acc = full
+                    for t in range(cube_start[c], cube_start[c + 1]):
+                        m = words[lit_var[t], w]
+                        if lit_phase[t] == 0:
+                            m = ~m
+                        acc &= m
+                    acc_or |= acc
+                    if acc_or == full:
+                        break
+                out[w] = acc_or
+
+        _numba_kernels = {"sop_mask_words": sop_mask_words}
+    except Exception:
+        _numba_kernels = False
+        return None
+    return _numba_kernels
+
+
+# -- packing ------------------------------------------------------------------
+
+
+def words_for(num_rows: int) -> int:
+    """Words needed for ``num_rows`` packed bits (at least one)."""
+    return max(1, (num_rows + 63) // 64)
+
+
+def pack_patterns(patterns: np.ndarray) -> np.ndarray:
+    """Pack a ``(N, V)`` 0/1 array into a ``(V, ceil(N/64))`` uint64 array."""
+    patterns = np.ascontiguousarray(patterns, dtype=np.uint8)
+    n, v = patterns.shape
+    if v == 0 or n == 0:
+        return np.zeros((v, words_for(n)), dtype=np.uint64)
+    pad = (-n) % 64
+    if pad:
+        patterns = np.vstack(
+            [patterns, np.zeros((pad, v), dtype=np.uint8)])
+    bits = np.packbits(np.ascontiguousarray(patterns.T), axis=1,
+                       bitorder="little")
+    return np.ascontiguousarray(bits).view(np.uint64).reshape(v, -1)
+
+
+def unpack_values(words: np.ndarray, num_patterns: int) -> np.ndarray:
+    """Unpack a ``(V, W)`` uint64 array into a ``(num_patterns, V)`` array."""
+    v = words.shape[0]
+    bits = np.unpackbits(words.view(np.uint8).reshape(v, -1),
+                         axis=1, bitorder="little")
+    return bits[:, :num_patterns].T.copy()
+
+
+def pack_bit_vector(values: np.ndarray) -> np.ndarray:
+    """Pack a flat 0/1 vector into little-endian uint64 words.
+
+    This is the truth-table layout (:class:`~repro.logic.truthtable
+    .TruthTable` words): bit ``i`` of the result is ``values[i]``.
+    """
+    bits = np.packbits(np.asarray(values, dtype=np.uint8),
+                       bitorder="little")
+    pad = (-bits.shape[0]) % 8
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    if bits.shape[0] == 0:
+        return np.zeros(0, dtype=np.uint64)
+    return bits.view(np.uint64)
+
+
+def unpack_bit_vector(words: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bit_vector` (returns uint8 0/1)."""
+    bits = np.unpackbits(np.asarray(words, dtype=np.uint64)
+                         .view(np.uint8), bitorder="little")
+    return bits[:num_bits].copy()
+
+
+def popcount(words: np.ndarray, num_rows: Optional[int] = None) -> int:
+    """Total set bits; ``num_rows`` masks the padding tail first."""
+    words = np.asarray(words, dtype=np.uint64)
+    if num_rows is not None:
+        words = mask_tail(words.copy(), num_rows)
+    return int(np.bitwise_count(words).sum())
+
+
+def mask_tail(words: np.ndarray, num_rows: int) -> np.ndarray:
+    """Zero the bits beyond ``num_rows`` in place (last axis is words)."""
+    total = words.shape[-1] * 64
+    if num_rows >= total:
+        return words
+    full_words = num_rows // 64
+    rem = num_rows % 64
+    if rem:
+        words[..., full_words] &= np.uint64((1 << rem) - 1)
+        full_words += 1
+    if full_words < words.shape[-1]:
+        words[..., full_words:] = 0
+    return words
+
+
+def testbits(words: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Gather bits at flat ``indices`` from a packed bit vector."""
+    idx = np.asarray(indices, dtype=np.int64)
+    word = idx >> 6
+    bit = (idx & 63).astype(np.uint64)
+    return ((np.asarray(words, dtype=np.uint64)[word] >> bit)
+            & np.uint64(1)).astype(np.uint8)
+
+
+def minterm_block(k: int) -> np.ndarray:
+    """The ``(2^k, k)`` uint8 enumeration of all minterms (LSB first)."""
+    return ((np.arange(1 << k)[:, None] >> np.arange(k)[None, :]) & 1) \
+        .astype(np.uint8)
+
+
+# -- cube / SOP kernels -------------------------------------------------------
+
+
+def _flatten_cubes(cubes_lits: Sequence[Sequence[Literal]]
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    starts = np.zeros(len(cubes_lits) + 1, dtype=np.int64)
+    lit_var: List[int] = []
+    lit_phase: List[int] = []
+    for c, lits in enumerate(cubes_lits):
+        for var, phase in lits:
+            lit_var.append(var)
+            lit_phase.append(phase)
+        starts[c + 1] = len(lit_var)
+    return (np.asarray(lit_var, dtype=np.int64),
+            np.asarray(lit_phase, dtype=np.uint8), starts)
+
+
+def cube_mask_words(words: np.ndarray, lits: Sequence[Literal]
+                    ) -> np.ndarray:
+    """AND of the literal word-rows: bit set iff the pattern satisfies
+    every literal.  The empty cube yields all ones (constant 1); padding
+    tail bits may be set — slice or mask before counting."""
+    acc = np.full(words.shape[1], _FULL, dtype=np.uint64)
+    for var, phase in lits:
+        row = words[var]
+        if phase:
+            acc &= row
+        else:
+            acc &= ~row
+    return acc
+
+
+def sop_mask_words(words: np.ndarray,
+                   cubes_lits: Sequence[Sequence[Literal]]) -> np.ndarray:
+    """OR over :func:`cube_mask_words` of each cube (packed SOP eval).
+
+    The empty cover yields all zeros.  Dispatches on the active backend.
+    """
+    if not cubes_lits:
+        return np.zeros(words.shape[1], dtype=np.uint64)
+    if get_backend() == "numba":
+        kernels = _numba_jit()
+        if kernels is not None:
+            lit_var, lit_phase, starts = _flatten_cubes(cubes_lits)
+            out = np.empty(words.shape[1], dtype=np.uint64)
+            kernels["sop_mask_words"](
+                np.ascontiguousarray(words), lit_var, lit_phase, starts,
+                out)
+            return out
+    out = np.zeros(words.shape[1], dtype=np.uint64)
+    for lits in cubes_lits:
+        out |= cube_mask_words(words, lits)
+    return out
+
+
+def cube_eval_words(words: np.ndarray, num_rows: int,
+                    lits: Sequence[Literal]) -> np.ndarray:
+    """Packed cube match unpacked to a length-``num_rows`` bool array."""
+    mask = cube_mask_words(words, lits)
+    return unpack_bit_vector(mask, num_rows).astype(bool)
+
+
+def cube_eval(patterns: np.ndarray, lits: Sequence[Literal]) -> np.ndarray:
+    """Pack-and-match convenience for an unpacked ``(N, V)`` array."""
+    patterns = np.asarray(patterns)
+    return cube_eval_words(pack_patterns(patterns), patterns.shape[0],
+                           lits)
+
+
+def sop_eval_words(words: np.ndarray, num_rows: int,
+                   cubes_lits: Sequence[Sequence[Literal]]) -> np.ndarray:
+    """Packed SOP evaluation unpacked to a length-``num_rows`` bool array."""
+    mask = sop_mask_words(words, cubes_lits)
+    return unpack_bit_vector(mask, num_rows).astype(bool)
+
+
+def sop_eval(patterns: np.ndarray,
+             cubes_lits: Sequence[Sequence[Literal]]) -> np.ndarray:
+    """Pack-and-evaluate convenience for an unpacked ``(N, V)`` array."""
+    patterns = np.asarray(patterns)
+    return sop_eval_words(pack_patterns(patterns), patterns.shape[0],
+                          cubes_lits)

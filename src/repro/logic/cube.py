@@ -27,7 +27,7 @@ class Cube:
     (1, 0, None)
     """
 
-    __slots__ = ("_lits", "_hash")
+    __slots__ = ("_lits", "_hash", "_arrays")
 
     def __init__(self, lits: Optional[Dict[int, int]] = None):
         self._lits: Dict[int, int] = dict(lits) if lits else {}
@@ -37,6 +37,7 @@ class Cube:
             if phase not in (0, 1):
                 raise ValueError(f"phase must be 0 or 1, got {phase}")
         self._hash: Optional[int] = None
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -182,11 +183,28 @@ class Cube:
 
     # -- evaluation / sampling ----------------------------------------------
 
+    def lits_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(variables, phases)`` int arrays in sorted var order.
+
+        The vectorized form the packed kernels and the sampling
+        constraint application index with (one fancy-index op instead of
+        one column op per literal).
+        """
+        if self._arrays is None:
+            vars_sorted = sorted(self._lits)
+            self._arrays = (
+                np.asarray(vars_sorted, dtype=np.int64),
+                np.asarray([self._lits[v] for v in vars_sorted],
+                           dtype=np.uint8))
+        return self._arrays
+
     def evaluate(self, patterns: np.ndarray) -> np.ndarray:
-        """Vectorized satisfaction test.
+        """Vectorized satisfaction test (scalar reference path).
 
         ``patterns`` is a ``(N, num_vars)`` 0/1 array; returns a length-N
         boolean array with True where the pattern satisfies the cube.
+        Kept as the bit-identical reference for the packed kernels
+        (:meth:`match_words` / ``repro.logic.bitops.cube_eval``).
         """
         patterns = np.asarray(patterns)
         result = np.ones(patterns.shape[0], dtype=bool)
@@ -194,14 +212,24 @@ class Cube:
             result &= patterns[:, var] == phase
         return result
 
+    def match_words(self, words: np.ndarray, num_rows: int) -> np.ndarray:
+        """Packed satisfaction test over a ``(V, ceil(N/64))`` uint64
+        array (see :mod:`repro.logic.bitops`); bit-identical to
+        :meth:`evaluate` on the unpacked patterns."""
+        from repro.logic import bitops
+
+        return bitops.cube_eval_words(words, num_rows,
+                                      list(self.literals()))
+
     def apply_to(self, patterns: np.ndarray) -> np.ndarray:
         """Force the cube's literals into ``patterns`` in place; returns it.
 
         This implements the ``alpha |= c`` constraint of Algorithm 1:
         arbitrary random patterns become samples of the subspace ``c``.
         """
-        for var, phase in self._lits.items():
-            patterns[:, var] = phase
+        if self._lits:
+            variables, phases = self.lits_arrays()
+            patterns[:, variables] = phases
         return patterns
 
     # -- dunder ---------------------------------------------------------------

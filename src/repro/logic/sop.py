@@ -87,12 +87,39 @@ class Sop:
     # -- evaluation -----------------------------------------------------------
 
     def evaluate(self, patterns: np.ndarray) -> np.ndarray:
-        """Vectorized evaluation over a ``(N, num_vars)`` 0/1 array."""
+        """Packed evaluation over a ``(N, num_vars)`` 0/1 array.
+
+        Patterns are packed 64-per-word and each cube becomes an AND of
+        literal word-rows (``O(literals * N / 64)`` word ops); see
+        :mod:`repro.logic.bitops`.  Bit-identical to
+        :meth:`evaluate_scalar`, which property tests assert.
+        """
+        from repro.logic import bitops
+
+        patterns = np.asarray(patterns)
+        if patterns.shape[0] == 0 or not self.cubes:
+            return np.zeros(patterns.shape[0], dtype=bool)
+        return bitops.sop_eval(
+            patterns, [list(cube.literals()) for cube in self.cubes])
+
+    def evaluate_scalar(self, patterns: np.ndarray) -> np.ndarray:
+        """Row-major reference evaluation (one pass per cube per row)."""
         patterns = np.asarray(patterns)
         result = np.zeros(patterns.shape[0], dtype=bool)
         for cube in self.cubes:
             result |= cube.evaluate(patterns)
         return result
+
+    def evaluate_words(self, words: np.ndarray,
+                       num_rows: int) -> np.ndarray:
+        """Packed evaluation over an already-packed ``(V, W)`` array."""
+        from repro.logic import bitops
+
+        if not self.cubes:
+            return np.zeros(num_rows, dtype=bool)
+        return bitops.sop_eval_words(
+            words, num_rows,
+            [list(cube.literals()) for cube in self.cubes])
 
     def evaluate_one(self, assignment: Sequence[int]) -> int:
         """Evaluate a single full assignment (sequence indexed by variable)."""

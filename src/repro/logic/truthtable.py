@@ -142,8 +142,9 @@ class TruthTable:
                     >> np.uint64(minterm & 63)) & np.uint64(1))
 
     def count_ones(self) -> int:
-        # numpy has no popcount on uint64 before 2.x; go through bytes.
-        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+        from repro.logic.bitops import popcount
+
+        return popcount(self.words)
 
     def is_zero(self) -> bool:
         return not self.words.any()

@@ -13,30 +13,10 @@ from typing import Dict, List
 
 import numpy as np
 
+# The packing kernels started life here and grew into the shared
+# bit-parallel layer; re-exported so existing imports keep working.
+from repro.logic.bitops import pack_patterns, unpack_values  # noqa: F401
 from repro.network.netlist import GateOp, Netlist
-
-
-def pack_patterns(patterns: np.ndarray) -> np.ndarray:
-    """Pack a ``(N, V)`` 0/1 array into a ``(V, ceil(N/64))`` uint64 array."""
-    patterns = np.ascontiguousarray(patterns, dtype=np.uint8)
-    n, v = patterns.shape
-    if v == 0:
-        return np.zeros((0, max(1, (n + 63) // 64)), dtype=np.uint64)
-    pad = (-n) % 64
-    if pad:
-        patterns = np.vstack(
-            [patterns, np.zeros((pad, v), dtype=np.uint8)])
-    bits = np.packbits(np.ascontiguousarray(patterns.T), axis=1,
-                       bitorder="little")
-    return np.ascontiguousarray(bits).view(np.uint64).reshape(v, -1)
-
-
-def unpack_values(words: np.ndarray, num_patterns: int) -> np.ndarray:
-    """Unpack a ``(V, W)`` uint64 array into a ``(num_patterns, V)`` array."""
-    v = words.shape[0]
-    bits = np.unpackbits(words.view(np.uint8).reshape(v, -1),
-                         axis=1, bitorder="little")
-    return bits[:, :num_patterns].T.copy()
 
 
 def simulate_packed(netlist: Netlist, pi_words: np.ndarray) -> np.ndarray:

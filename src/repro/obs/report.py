@@ -94,11 +94,23 @@ _CACHE_COUNTERS = {
 
 REPORT_SCHEMA: Dict[str, Any] = {
     "type": "object",
-    "required": ["schema_version", "run", "totals", "stages", "outputs",
-                 "degradations", "bank", "caches", "oracle_layers",
-                 "methods", "verification", "supervisor", "job"],
+    "required": ["schema_version", "run", "engine", "totals", "stages",
+                 "outputs", "degradations", "bank", "caches",
+                 "oracle_layers", "methods", "verification", "supervisor",
+                 "job"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [3]},
+        "schema_version": {"type": "integer", "enum": [4]},
+        "engine": {
+            "type": "object",
+            "required": ["frontier_mode", "kernel_backend", "mode"],
+            "properties": {
+                "frontier_mode": {"type": "string",
+                                  "enum": ["batched", "unbatched"]},
+                "kernel_backend": {"type": "string",
+                                   "enum": ["numpy", "numba"]},
+                "mode": {"type": "string"},
+            },
+        },
         "run": {
             "type": "object",
             "required": ["seed", "jobs", "time_limit", "num_pis",
@@ -295,7 +307,7 @@ def build_run_report(result, config, *,
     enabled); ``accuracy`` is optional because it is measured by the
     caller against held-out patterns, outside the learn budget.
 
-    ``job`` (schema v3) is the service's per-job identity —
+    ``job`` (schema v3+) is the service's per-job identity —
     ``{id, tenant, tier, priority, attempt}`` — and ``cross_job`` the
     cross-job cache traffic for this run; both stay ``None`` for plain
     ``repro learn`` runs.
@@ -381,8 +393,16 @@ def build_run_report(result, config, *,
             "attempt": int(job.get("attempt", 0)),
         }
 
+    engine = dict(getattr(result, "engine", None) or {})
+    engine.setdefault("frontier_mode", config.frontier_mode)
+    engine.setdefault(
+        "kernel_backend",
+        config.kernel_backend if config.kernel_backend != "auto"
+        else "numpy")
+    engine.setdefault("mode", getattr(result, "engine_mode", "sequential"))
+
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "run": {
             "seed": config.seed,
             "jobs": config.jobs,
@@ -394,6 +414,7 @@ def build_run_report(result, config, *,
             "max_retries": config.robustness.max_retries,
             "engine_mode": getattr(result, "engine_mode", "sequential"),
         },
+        "engine": engine,
         "totals": {
             "billed_rows": int(billed.total()),
             "billed_calls": int(calls.total()),

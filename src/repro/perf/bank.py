@@ -34,6 +34,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.logic import bitops
 from repro.logic.cube import Cube
 from repro.obs import context as obs
 from repro.oracle.base import Oracle
@@ -90,6 +91,12 @@ class SampleBank:
         self.num_pos = num_pos
         self.max_rows = max_rows
         self._pat = np.zeros((max_rows, num_pis), dtype=np.uint8)
+        # Packed mirror of _pat: variable-major uint64 words (bit s of
+        # word s>>6 is slot s), kept in sync by record() so subspace
+        # drains match cubes in O(literals * max_rows / 64) word ops
+        # instead of a column comparison per literal per stored row.
+        self._pat_words = np.zeros(
+            (num_pis, bitops.words_for(max_rows)), dtype=np.uint64)
         self._out = np.zeros((max_rows, num_pos), dtype=np.uint8)
         self._keys: list = [None] * max_rows
         self._index: Dict[bytes, int] = {}
@@ -136,6 +143,7 @@ class SampleBank:
         child = SampleBank(self.num_pis, self.num_pos,
                            max_rows=self.max_rows)
         child._pat = self._pat.copy()
+        child._pat_words = self._pat_words.copy()
         child._out = self._out.copy()
         child._keys = list(self._keys)
         child._index = dict(self._index)
@@ -173,6 +181,9 @@ class SampleBank:
             else:
                 self._size += 1
             self._pat[slot] = patterns[row]
+            word, bit = slot >> 6, np.uint64(1 << (slot & 63))
+            self._pat_words[:, word] &= ~bit
+            self._pat_words[patterns[row] != 0, word] |= bit
             self._out[slot] = outputs[row]
             self._keys[slot] = key
             self._index[key] = slot
@@ -241,19 +252,23 @@ class SampleBank:
         if limit <= 0 or self._size == 0:
             empty = np.empty((0, self.num_pis), dtype=np.uint8)
             return empty, np.empty((0, self.num_pos), dtype=np.uint8)
+        # Packed match against the word mirror: only the cube's literal
+        # rows are touched, 64 slots per word op.
+        lits = list(cube.literals())
         if not self._ever_invalidated:
             # Fast path: no tombstones, occupied slots are a prefix (or
-            # the whole ring once wrapped).
-            stored = self._pat[:self._size] if self._size < self.max_rows \
-                else self._pat
-            mask = cube.evaluate(stored)
-            picks = np.flatnonzero(mask)[:limit]
-            self.stats.hits += picks.shape[0]
-            obs.count("bank.rows_hit", int(picks.shape[0]))
-            return stored[picks].copy(), self._out[picks].copy()
-        # Tombstoned slots hold stale (possibly poisoned) rows: mask
-        # them out explicitly instead of trusting the prefix invariant.
-        mask = cube.evaluate(self._pat) & self._valid
+            # the whole ring once wrapped).  Empty slots beyond _size
+            # hold all-zero patterns that an all-negative cube would
+            # match, so the unpacked mask is sliced to the prefix.
+            slots = self._size if self._size < self.max_rows \
+                else self.max_rows
+            mask = bitops.cube_eval_words(self._pat_words, slots, lits)
+        else:
+            # Tombstoned slots hold stale (possibly poisoned) rows: mask
+            # them out explicitly instead of trusting the prefix
+            # invariant.
+            mask = bitops.cube_eval_words(self._pat_words, self.max_rows,
+                                          lits) & self._valid
         picks = np.flatnonzero(mask)[:limit]
         self.stats.hits += picks.shape[0]
         obs.count("bank.rows_hit", int(picks.shape[0]))

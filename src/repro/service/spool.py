@@ -19,7 +19,7 @@ Layout::
         circuit.blif     golden circuit copied at submit time
         checkpoint.ckpt  per-output learn checkpoint (format v2)
         result.blif      learned circuit (on success)
-        run_report.json  schema-v3 manifest with per-job billing
+        run_report.json  schema-v4 manifest with per-job billing
       cache/             cross-job sample cache (repro.service.cache)
 
 Every JSON written here carries the checkpoint-v2 style sha256 digest of

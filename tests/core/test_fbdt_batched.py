@@ -1,0 +1,186 @@
+"""Batched frontier expansion vs. the unbatched reference path.
+
+The batched engine fuses a whole BFS level's oracle traffic into a few
+calls; these tests pin its contracts: SAT-equivalence with the
+unbatched path, per-seed determinism, bank accounting, and graceful
+death under node caps / deadlines.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_config
+from repro.core.fbdt import build_decision_tree
+from repro.network.builder import netlist_from_sops
+from repro.oracle.function_oracle import FunctionOracle
+from repro.perf.bank import SampleBank
+from repro.sat import are_equivalent
+
+
+def oracle_from_fn(fn, num_pis, name="f"):
+    def batched(p):
+        return fn(p).astype(np.uint8).reshape(-1, 1)
+    return FunctionOracle(batched, [f"x{i}" for i in range(num_pis)],
+                          [name])
+
+
+def cover_netlist(oracle, cover):
+    sop, complemented = cover.chosen_cover()
+    return netlist_from_sops(oracle.pi_names,
+                             [("f", sop, complemented)])
+
+
+def learn_both_modes(fn, num_pis, support, seed=7, **overrides):
+    """Build one tree per frontier mode from identical seeds."""
+    covers = {}
+    for mode in ("batched", "unbatched"):
+        cfg = fast_config(exhaustive_threshold=0, frontier_mode=mode,
+                          **overrides)
+        oracle = oracle_from_fn(fn, num_pis)
+        rng = np.random.default_rng(seed)
+        covers[mode] = (oracle,
+                        build_decision_tree(oracle, 0, support, cfg, rng))
+    return covers
+
+
+CASES = [
+    ("and3", lambda p: p[:, 1] & p[:, 3] & p[:, 5], 8, [1, 3, 5]),
+    ("mux", lambda p: np.where(p[:, 0], p[:, 1], p[:, 2]), 6, [0, 1, 2]),
+    ("xor4", lambda p: p[:, :4].sum(axis=1) % 2, 6, [0, 1, 2, 3]),
+    ("maj5", lambda p: (p[:, :5].sum(axis=1) >= 3).astype(np.uint8),
+     7, [0, 1, 2, 3, 4]),
+]
+
+
+class TestBatchedUnbatchedEquivalence:
+    @pytest.mark.parametrize("name,fn,num_pis,support", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_modes_learn_sat_equivalent_circuits(self, name, fn, num_pis,
+                                                 support):
+        covers = learn_both_modes(fn, num_pis, support)
+        nets = {mode: cover_netlist(oracle, cover)
+                for mode, (oracle, cover) in covers.items()}
+        assert are_equivalent(nets["batched"], nets["unbatched"]) is True
+
+    def test_both_modes_learn_exactly(self):
+        fn = lambda p: (p[:, 0] & p[:, 2]) | (p[:, 4] & ~p[:, 1] & 1)
+        covers = learn_both_modes(fn, 6, [0, 1, 2, 4])
+        rng = np.random.default_rng(3)
+        pats = rng.integers(0, 2, (2000, 6)).astype(np.uint8)
+        want = fn(pats).astype(np.uint8)
+        for mode, (_, cover) in covers.items():
+            got = cover.evaluate(pats)
+            assert np.array_equal(got, want), mode
+
+
+class TestBatchedDeterminism:
+    def test_same_seed_same_cover(self):
+        fn = lambda p: (p[:, :5].sum(axis=1) >= 3).astype(np.uint8)
+        runs = []
+        for _ in range(2):
+            cfg = fast_config(exhaustive_threshold=0,
+                              frontier_mode="batched")
+            oracle = oracle_from_fn(fn, 7)
+            rng = np.random.default_rng(11)
+            cover = build_decision_tree(oracle, 0, [0, 1, 2, 3, 4],
+                                        cfg, rng)
+            sop, comp = cover.chosen_cover()
+            runs.append((sorted(map(hash, sop.cubes)), comp,
+                         oracle.query_count))
+        assert runs[0] == runs[1]
+
+    def test_level_stats_reported(self):
+        fn = lambda p: p[:, 0] & p[:, 1]
+        cfg = fast_config(exhaustive_threshold=0,
+                          frontier_mode="batched")
+        oracle = oracle_from_fn(fn, 4)
+        cover = build_decision_tree(oracle, 0, [0, 1], cfg,
+                                    np.random.default_rng(0))
+        assert cover.stats.levels >= 1
+
+        cfg = fast_config(exhaustive_threshold=0,
+                          frontier_mode="unbatched")
+        oracle = oracle_from_fn(fn, 4)
+        cover = build_decision_tree(oracle, 0, [0, 1], cfg,
+                                    np.random.default_rng(0))
+        assert cover.stats.levels == 0
+
+    def test_batched_uses_fewer_oracle_round_trips(self):
+        fn = lambda p: (p[:, :6].sum(axis=1) >= 3).astype(np.uint8)
+        covers = learn_both_modes(fn, 8, list(range(6)))
+        calls = {mode: oracle.query_calls
+                 for mode, (oracle, _) in covers.items()}
+        rows = {mode: oracle.query_count
+                for mode, (oracle, _) in covers.items()}
+        assert calls["batched"] < calls["unbatched"]
+        # Batching rearranges round-trips, not the sampling work itself.
+        assert rows["batched"] == rows["unbatched"]
+
+
+class TestBatchedBankAccounting:
+    def test_hits_plus_misses_equals_rows_requested(self):
+        fn = lambda p: (p[:, :5].sum(axis=1) >= 3).astype(np.uint8)
+        cfg = fast_config(exhaustive_threshold=0,
+                          frontier_mode="batched")
+        oracle = oracle_from_fn(fn, 7)
+        bank = SampleBank(7, 1, max_rows=4096)
+        cover = build_decision_tree(oracle, 0, [0, 1, 2, 3, 4], cfg,
+                                    np.random.default_rng(5), bank=bank)
+        st = cover.stats
+        assert not st.budget_exhausted and not st.timed_out
+        assert st.bank_hits + st.bank_misses \
+            == st.nodes_expanded * cfg.leaf_samples
+        # The bank recorded the fresh leaf rows, so a second tree over
+        # the same subspaces actually drains it.
+        assert st.bank_misses > 0
+
+    def test_warm_bank_produces_hits(self):
+        fn = lambda p: (p[:, :4].sum(axis=1) % 2).astype(np.uint8)
+        cfg = fast_config(exhaustive_threshold=0,
+                          frontier_mode="batched")
+        bank = SampleBank(6, 1, max_rows=8192)
+        for seed in (1, 2):
+            oracle = oracle_from_fn(fn, 6)
+            cover = build_decision_tree(oracle, 0, [0, 1, 2, 3], cfg,
+                                        np.random.default_rng(seed),
+                                        bank=bank)
+        st = cover.stats
+        assert st.bank_hits > 0
+        assert st.bank_hits + st.bank_misses \
+            == st.nodes_expanded * cfg.leaf_samples
+
+
+class TestBatchedDegradation:
+    def test_node_cap_respected(self):
+        fn = lambda p: (p[:, :8].sum(axis=1) % 2).astype(np.uint8)
+        cfg = fast_config(exhaustive_threshold=0,
+                          subtree_exhaustive_threshold=0,
+                          max_tree_nodes=16, frontier_mode="batched")
+        oracle = oracle_from_fn(fn, 10)
+        cover = build_decision_tree(oracle, 0, list(range(8)), cfg,
+                                    np.random.default_rng(9))
+        assert cover.stats.nodes_expanded <= 16
+        assert cover.stats.timed_out
+        # Flushed majority leaves still yield a complete cover pair.
+        pats = np.random.default_rng(1).integers(
+            0, 2, (512, 10)).astype(np.uint8)
+        on = cover.onset.evaluate(pats)
+        off = cover.offset.evaluate(pats)
+        assert bool(np.all(on | off))
+
+    def test_expired_deadline_flushes_majority_leaves(self):
+        fn = lambda p: (p[:, :6].sum(axis=1) >= 3).astype(np.uint8)
+        cfg = fast_config(exhaustive_threshold=0,
+                          frontier_mode="batched")
+        oracle = oracle_from_fn(fn, 8)
+        cover = build_decision_tree(oracle, 0, list(range(6)), cfg,
+                                    np.random.default_rng(2),
+                                    deadline=time.monotonic() - 1.0)
+        assert cover.stats.timed_out
+        pats = np.random.default_rng(4).integers(
+            0, 2, (512, 8)).astype(np.uint8)
+        on = cover.onset.evaluate(pats)
+        off = cover.offset.evaluate(pats)
+        assert bool(np.all(on | off))

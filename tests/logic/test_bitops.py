@@ -1,0 +1,222 @@
+"""Property tests for the packed bit-parallel kernels.
+
+The contract under test: every packed path is *bit-identical* to its
+scalar reference on random inputs, including ragged row counts
+(``N % 64 != 0``), the empty cube, the empty cover and zero-row
+batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.logic import bitops
+from repro.logic.cube import Cube
+from repro.logic.sop import Sop
+from repro.logic.truthtable import TruthTable
+from repro.perf.bank import SampleBank
+
+
+def random_cover(rng, num_vars, num_cubes, max_lits=4):
+    cubes = []
+    for _ in range(num_cubes):
+        k = int(rng.integers(0, min(max_lits, num_vars) + 1))
+        variables = rng.choice(num_vars, size=k, replace=False)
+        cubes.append(Cube({int(v): int(rng.integers(0, 2))
+                           for v in variables}))
+    return Sop(cubes, num_vars)
+
+
+RAGGED_SIZES = [0, 1, 63, 64, 65, 127, 200]
+
+
+class TestPacking:
+    @pytest.mark.parametrize("n", RAGGED_SIZES)
+    def test_pack_unpack_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        pats = rng.integers(0, 2, (n, 9)).astype(np.uint8)
+        words = bitops.pack_patterns(pats)
+        assert words.shape == (9, bitops.words_for(n))
+        assert np.array_equal(bitops.unpack_values(words, n), pats)
+
+    @pytest.mark.parametrize("n", RAGGED_SIZES)
+    def test_bit_vector_roundtrip(self, n):
+        rng = np.random.default_rng(100 + n)
+        values = rng.integers(0, 2, n).astype(np.uint8)
+        words = bitops.pack_bit_vector(values)
+        assert np.array_equal(bitops.unpack_bit_vector(words, n), values)
+        assert bitops.popcount(words) == int(values.sum())
+
+    def test_pack_bit_vector_matches_truthtable_layout(self):
+        rng = np.random.default_rng(5)
+        for k in (0, 1, 3, 6, 8):
+            values = rng.integers(0, 2, 1 << k).astype(np.uint8)
+            table = TruthTable(k, bitops.pack_bit_vector(values))
+            assert [table.get(m) for m in range(1 << k)] \
+                == values.tolist()
+
+    def test_mask_tail_zeroes_padding(self):
+        words = np.full(3, np.uint64(0xFFFFFFFFFFFFFFFF))
+        bitops.mask_tail(words, 70)
+        assert bitops.popcount(words) == 70
+
+    def test_testbits_matches_indexing(self):
+        rng = np.random.default_rng(9)
+        values = rng.integers(0, 2, 300).astype(np.uint8)
+        words = bitops.pack_bit_vector(values)
+        idx = rng.integers(0, 300, 64)
+        assert np.array_equal(bitops.testbits(words, idx), values[idx])
+
+    def test_minterm_block(self):
+        block = bitops.minterm_block(3)
+        assert block.shape == (8, 3)
+        got = [int(b[0]) + 2 * int(b[1]) + 4 * int(b[2]) for b in block]
+        assert got == list(range(8))
+
+
+class TestKernelsMatchScalar:
+    @pytest.mark.parametrize("n", RAGGED_SIZES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sop_evaluate_bit_identical(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cover = random_cover(rng, 11, int(rng.integers(1, 8)))
+        pats = rng.integers(0, 2, (n, 11)).astype(np.uint8)
+        assert np.array_equal(cover.evaluate(pats),
+                              cover.evaluate_scalar(pats))
+
+    @pytest.mark.parametrize("n", RAGGED_SIZES)
+    def test_cube_match_words_bit_identical(self, n):
+        rng = np.random.default_rng(n + 7)
+        pats = rng.integers(0, 2, (n, 8)).astype(np.uint8)
+        words = bitops.pack_patterns(pats)
+        for cube in (Cube.empty(), Cube({0: 1}), Cube({2: 0, 5: 1}),
+                     Cube({i: 0 for i in range(8)})):
+            assert np.array_equal(cube.match_words(words, n),
+                                  cube.evaluate(pats).astype(bool))
+
+    def test_empty_cover_is_constant_zero(self):
+        pats = np.random.default_rng(1).integers(
+            0, 2, (70, 5)).astype(np.uint8)
+        assert not Sop.zero(5).evaluate(pats).any()
+
+    def test_empty_cube_is_constant_one(self):
+        pats = np.random.default_rng(2).integers(
+            0, 2, (70, 5)).astype(np.uint8)
+        assert Sop.one(5).evaluate(pats).all()
+
+    def test_zero_rows(self):
+        cover = Sop([Cube({0: 1})], 4)
+        out = cover.evaluate(np.zeros((0, 4), dtype=np.uint8))
+        assert out.shape == (0,)
+
+    def test_all_negative_cube_ignores_padding(self):
+        """Padding rows are all-zero and would match an all-negative
+        cube if the tail were not sliced off."""
+        cube = Cube({i: 0 for i in range(6)})
+        pats = np.ones((70, 6), dtype=np.uint8)
+        words = bitops.pack_patterns(pats)
+        assert not cube.match_words(words, 70).any()
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.resolve_backend("cuda")
+
+    def test_auto_resolves_to_real_backend(self):
+        assert bitops.resolve_backend("auto") in bitops.BACKENDS
+
+    def test_numba_request_degrades_when_unavailable(self):
+        resolved = bitops.resolve_backend("numba")
+        if bitops.numba_available():
+            assert resolved == "numba"
+        else:
+            assert resolved == "numpy"
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        assert bitops.resolve_backend("auto") == "numpy"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "bogus")
+        assert bitops.resolve_backend("auto") == "numpy"
+
+    def test_set_backend_returns_resolved(self):
+        try:
+            assert bitops.set_backend("numpy") == "numpy"
+            assert bitops.get_backend() == "numpy"
+        finally:
+            bitops.set_backend("auto")
+
+    def test_kernels_identical_across_backends(self):
+        """When numba is importable, the JIT kernel must agree with the
+        numpy path bit for bit (skipped silently otherwise — the
+        fallback path is then already exercised everywhere)."""
+        rng = np.random.default_rng(3)
+        cover = random_cover(rng, 10, 6)
+        pats = rng.integers(0, 2, (130, 10)).astype(np.uint8)
+        lits = [list(c.literals()) for c in cover.cubes]
+        try:
+            bitops.set_backend("numpy")
+            ref = bitops.sop_eval(pats, lits)
+            if bitops.numba_available():
+                bitops.set_backend("numba")
+                assert np.array_equal(bitops.sop_eval(pats, lits), ref)
+        finally:
+            bitops.set_backend("auto")
+
+
+class TestBankPackedTake:
+    def _reference_take(self, pats, cube, limit):
+        mask = cube.evaluate(pats).astype(bool)
+        return np.flatnonzero(mask)[:limit]
+
+    @staticmethod
+    def _dedupe(pats, outs):
+        """record() skips duplicate patterns — mirror that, keeping the
+        first occurrence in insertion order."""
+        seen, keep = set(), []
+        for row in range(pats.shape[0]):
+            key = pats[row].tobytes()
+            if key not in seen:
+                seen.add(key)
+                keep.append(row)
+        return pats[keep], outs[keep]
+
+    def test_take_matches_reference(self):
+        rng = np.random.default_rng(4)
+        bank = SampleBank(6, 2, max_rows=100)
+        pats = rng.integers(0, 2, (70, 6)).astype(np.uint8)
+        outs = rng.integers(0, 2, (70, 2)).astype(np.uint8)
+        bank.record(pats, outs)
+        pats, outs = self._dedupe(pats, outs)
+        for cube in (Cube.empty(), Cube({0: 1}), Cube({1: 0, 4: 1}),
+                     Cube({i: 0 for i in range(6)})):
+            got_p, got_o = bank.take(cube, 50)
+            picks = self._reference_take(pats, cube, 50)
+            assert np.array_equal(got_p, pats[picks])
+            assert np.array_equal(got_o, outs[picks])
+
+    def test_take_after_invalidation(self):
+        """The tombstone path consults the packed mirror too."""
+        rng = np.random.default_rng(8)
+        bank = SampleBank(5, 1, max_rows=64)
+        pats = rng.integers(0, 2, (40, 5)).astype(np.uint8)
+        outs = rng.integers(0, 2, (40, 1)).astype(np.uint8)
+        bank.record(pats, outs)
+        stored = self._dedupe(pats, outs)[0].shape[0]
+        dropped = bank.invalidate(pats[:10])
+        assert dropped > 0
+        got_p, _ = bank.take(Cube.empty(), 100)
+        assert got_p.shape[0] == stored - dropped
+
+    def test_take_wraps_ring(self):
+        """Overwriting the FIFO ring keeps the packed mirror in sync."""
+        rng = np.random.default_rng(6)
+        bank = SampleBank(4, 1, max_rows=32)
+        for _ in range(3):
+            pats = rng.integers(0, 2, (20, 4)).astype(np.uint8)
+            outs = rng.integers(0, 2, (20, 1)).astype(np.uint8)
+            bank.record(pats, outs)
+        cube = Cube({0: 1})
+        got_p, _ = bank.take(cube, 100)
+        assert (got_p[:, 0] == 1).all()
+        live = bank._pat[bank._valid]
+        assert got_p.shape[0] == int(cube.evaluate(live).sum())
