@@ -16,6 +16,8 @@ Commands:
 - ``submit``    submit a circuit as a job to a service spool.
 - ``status``    show one job (or the whole fleet) from a spool.
 - ``cancel``    request cancellation of a spooled job.
+- ``fleet``     live service-wide telemetry: aggregated fleet status
+                (``fleet status [--watch]``) from per-job flushes.
 
 File formats are chosen by extension: ``.blif``, ``.aag`` for input and
 output, plus ``.v`` (write-only structural Verilog).
@@ -272,6 +274,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.scheduler import JobScheduler, SchedulerPolicy
     from repro.service.spool import Spool
+    from repro.service.telemetry import FleetTelemetry
 
     spool = Spool(args.spool)
     policy = SchedulerPolicy(
@@ -280,7 +283,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         poll_interval=args.poll,
         heartbeat_timeout=args.heartbeat_timeout,
         max_job_retries=args.max_job_retries,
-        inline=args.inline)
+        inline=args.inline,
+        telemetry=not args.no_telemetry,
+        telemetry_interval=args.telemetry_interval)
     try:
         policy.validate()
     except ValueError as exc:
@@ -292,7 +297,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
             line += f" ({detail})"
         print(line, flush=True)
 
-    sched = JobScheduler(spool, policy, on_event=on_event)
+    telemetry = None
+    if policy.telemetry:
+        slo_policy = None
+        if args.slo_config:
+            from repro.obs.slo import SloPolicy
+            try:
+                slo_policy = SloPolicy.load(args.slo_config)
+            except (OSError, ValueError, KeyError) as exc:
+                raise SystemExit(f"invalid SLO config "
+                                 f"{args.slo_config!r}: {exc}")
+        telemetry = FleetTelemetry(
+            spool, interval=policy.telemetry_interval,
+            slo_policy=slo_policy, prom_out=args.prom_out,
+            on_event=on_event)
+    elif args.prom_out or args.slo_config:
+        raise SystemExit("--prom-out/--slo-config require telemetry "
+                         "(drop --no-telemetry)")
+
+    sched = JobScheduler(spool, policy, on_event=on_event,
+                         telemetry=telemetry)
     resumed = sched.recover()
     if resumed:
         print(f"resumed {len(resumed)} in-flight job(s): "
@@ -378,6 +402,76 @@ def cmd_status(args: argparse.Namespace) -> int:
         print(f"{job_id}: {info['status']} (attempt {info['attempt']}, "
               f"{info['billed_rows']} rows billed)")
     return 0
+
+
+def _render_fleet_status(snapshot: dict) -> str:
+    """Human-readable one-screen rendering of a fleet snapshot."""
+    lines = []
+    slo = snapshot.get("slo") or {}
+    overall = slo.get("overall", "unknown")
+    jobs = snapshot["jobs"]
+    status_bits = ", ".join(f"{k}={v}" for k, v in
+                            sorted(jobs["by_status"].items()))
+    lines.append(f"fleet: {jobs['total']} jobs "
+                 f"({status_bits or 'none'}); health: {overall}")
+    totals = snapshot["totals"]
+    lines.append(f"totals: {totals['billed_rows']} rows billed / "
+                 f"{totals['billed_calls']} calls, "
+                 f"{totals['cache_hits']} cache hits, "
+                 f"{jobs['retries']} retries")
+    for tier, entry in sorted(snapshot["tiers"].items()):
+        latency = entry["queue_latency"]
+        p95 = latency["p95"]
+        burn = entry["budget_burn"]
+        lines.append(
+            f"  {tier}: {entry['jobs']} jobs, "
+            f"{entry['billed_rows']} rows, queue p95 "
+            + (f"{p95:.3f}s" if p95 is not None else "n/a")
+            + ", budget burn "
+            + (f"{burn:.0%}" if burn is not None else "n/a"))
+    rules = slo.get("rules") or {}
+    degraded = {name: status for name, status in sorted(rules.items())
+                if status != "healthy"}
+    if degraded:
+        lines.append("slo: " + ", ".join(f"{n}={s}" for n, s in
+                                         degraded.items()))
+    tel = snapshot["telemetry"]
+    if tel["corrupt_files"]:
+        lines.append(f"telemetry: {tel['corrupt_files']} corrupt "
+                     f"file(s), {tel['corrupt_lines']} line(s) skipped")
+    return "\n".join(lines)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.service.spool import Spool, read_json_checked
+    from repro.service.telemetry import FleetTelemetry
+
+    spool = Spool(args.spool)
+
+    def load_snapshot() -> dict:
+        # Prefer the scheduler's live file; fall back to an offline
+        # aggregation so the command works on a spool nobody serves.
+        snapshot = read_json_checked(spool.fleet_status_path())
+        if snapshot is None:
+            snapshot = FleetTelemetry(spool).collect()
+        return snapshot
+
+    while True:
+        snapshot = load_snapshot()
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(_render_fleet_status(snapshot))
+        if not args.watch:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        print()
 
 
 def cmd_cancel(args: argparse.Namespace) -> int:
@@ -539,6 +633,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-job-retries", type=int, default=1,
                        help="redispatches after worker loss before a "
                             "job fails terminally (default 1)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the live fleet view (no "
+                            "fleet_status.json, SLO evaluation or "
+                            "merged trace)")
+    serve.add_argument("--telemetry-interval", type=float, default=0.5,
+                       help="seconds between fleet-status refreshes "
+                            "(default 0.5)")
+    serve.add_argument("--prom-out", metavar="PATH",
+                       help="also render the fleet metrics as a "
+                            "Prometheus text exposition at every "
+                            "refresh")
+    serve.add_argument("--slo-config", metavar="PATH",
+                       help="JSON SLO policy (see repro.obs.slo; "
+                            "default: built-in thresholds)")
     serve.set_defaults(fn=cmd_serve)
 
     submit = sub.add_parser("submit",
@@ -585,6 +693,22 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job_id")
     cancel.add_argument("--reason", default="cancelled by client")
     cancel.set_defaults(fn=cmd_cancel)
+
+    fleet = sub.add_parser("fleet",
+                           help="live service-wide telemetry")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="aggregated fleet status (health, tiers, "
+                       "totals) from fleet_status.json or an offline "
+                       "aggregation of the spool")
+    fleet_status.add_argument("--spool", required=True)
+    fleet_status.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    fleet_status.add_argument("--watch", action="store_true",
+                              help="re-render every --interval seconds "
+                                   "until interrupted")
+    fleet_status.add_argument("--interval", type=float, default=2.0)
+    fleet_status.set_defaults(fn=cmd_fleet)
     return parser
 
 

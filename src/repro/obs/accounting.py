@@ -18,7 +18,7 @@ single source of truth:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.context import is_billing
 
@@ -51,8 +51,15 @@ def billed_rows(oracle: Any) -> int:
     return billing_meter(oracle).query_count
 
 
-def accounting_summary(oracle: Any) -> Dict[str, Any]:
-    """Requested / billed / cache-absorbed rows for a wrapper stack."""
+def accounting_summary(oracle: Any,
+                       metrics: Optional[Any] = None) -> Dict[str, Any]:
+    """Requested / billed / cache-absorbed rows for a wrapper stack.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, usually
+    ``result.instrumentation.metrics``) additionally surfaces the billed
+    batch-size distribution — count plus p50/p95/p99 estimated from the
+    ``oracle.batch_rows`` histogram buckets.
+    """
     chain = list(oracle_chain(oracle))
     layers: List[Dict[str, Any]] = []
     cached = 0
@@ -81,9 +88,15 @@ def accounting_summary(oracle: Any) -> Dict[str, Any]:
         if audit_dict is not None and hasattr(counters, "rows_audited"):
             entry["audit"] = audit_dict()
         layers.append(entry)
-    return {
+    summary = {
         "rows_requested": chain[0].query_count,
         "rows_billed": billing_meter(oracle).query_count,
         "rows_cached": cached,
         "layers": layers,
     }
+    if metrics is not None:
+        hist = getattr(metrics, "_histograms", {}).get(
+            "oracle.batch_rows")
+        if hist is not None and hist.total_count() > 0:
+            summary["batch_rows"] = hist.summary()
+    return summary

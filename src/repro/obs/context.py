@@ -31,6 +31,11 @@ from repro.obs.trace import Tracer
 UNATTRIBUTED = "-"
 """Stage/output label used for traffic outside any scope."""
 
+BATCH_ROWS_BOUNDARIES = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+                         262144)
+"""Buckets for the ``oracle.batch_rows`` histogram of billed query
+batch sizes (rows per call at the billing meter)."""
+
 
 class Instrumentation:
     """One run's tracer + metrics registry + attribution state."""
@@ -204,3 +209,6 @@ def on_oracle_rows(oracle: Any, rows: int) -> None:
             rows, stage=stage_label, output=instr.output)
         instr.metrics.counter("oracle.calls_billed").inc(
             1, stage=stage_label)
+        instr.metrics.histogram("oracle.batch_rows",
+                                BATCH_ROWS_BOUNDARIES).observe(
+            rows, stage=stage_label)

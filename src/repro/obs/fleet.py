@@ -1,0 +1,371 @@
+"""Fleet-wide aggregation of per-job telemetry.
+
+One job's observability payload (metrics registry dump, tracer records,
+billing summary) reaches the service as a telemetry record flushed into
+the spool (see :mod:`repro.service.telemetry`).  The
+:class:`FleetAggregator` here folds those records — plus the lifecycle
+facts the scheduler reads from the state journals — into one live view:
+
+- **metrics** merge commutatively through
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_dict`, the same
+  fold-back semantics worker shards already use, so fleet totals equal
+  the sum of per-job ``run_report.json`` aggregates exactly;
+- **traces** keep their per-job identity: the merged Chrome trace gives
+  every (job, attempt) its own ``pid`` track named by ``job_id``, so one
+  Perfetto load shows the whole fleet;
+- **dedup** is by ``(job_id, attempt)`` — re-ingesting a file after a
+  service restart (``recover()``) merges nothing twice;
+- only the **latest attempt** per job contributes to billing/metric
+  totals (earlier attempts were superseded by checkpoint resume, and the
+  job's ``run_report.json`` reflects the final attempt), while *every*
+  attempt keeps its trace track.
+
+The snapshot this produces is written atomically as
+``fleet_status.json``; ``python -m repro.obs.fleet <file>`` validates
+one against :data:`FLEET_STATUS_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import validate
+
+_NUM = ["number", "integer"]
+
+FLEET_STATUS_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["schema_version", "updated_at", "jobs", "tiers",
+                 "tenants", "totals", "verification", "telemetry",
+                 "scheduler", "slo"],
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [1]},
+        "updated_at": {"type": _NUM},
+        "jobs": {
+            "type": "object",
+            "required": ["total", "by_status", "dispatched", "retries"],
+            "properties": {
+                "total": {"type": "integer"},
+                "by_status": {"type": "object"},
+                "dispatched": {"type": "integer"},
+                "retries": {"type": "integer"},
+            },
+        },
+        "tiers": {"type": "object"},
+        "tenants": {"type": "object"},
+        "totals": {
+            "type": "object",
+            "required": ["billed_rows", "billed_calls", "rows_served",
+                         "cache_hits"],
+            "properties": {
+                "billed_rows": {"type": "integer"},
+                "billed_calls": {"type": "integer"},
+                "rows_served": {"type": "integer"},
+                "cache_hits": {"type": "integer"},
+            },
+        },
+        "verification": {
+            "type": "object",
+            "required": ["checked", "failed"],
+            "properties": {"checked": {"type": "integer"},
+                           "failed": {"type": "integer"}},
+        },
+        "telemetry": {
+            "type": "object",
+            "required": ["files", "records", "corrupt_files",
+                         "corrupt_lines"],
+            "properties": {"files": {"type": "integer"},
+                           "records": {"type": "integer"},
+                           "corrupt_files": {"type": "integer"},
+                           "corrupt_lines": {"type": "integer"}},
+        },
+        "scheduler": {"type": ["object", "null"]},
+        "slo": {"type": ["object", "null"]},
+    },
+}
+"""Schema of ``fleet_status.json`` (validated by the mini-validator in
+:mod:`repro.obs.report`; ``tiers``/``tenants`` carry dynamic keys)."""
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Exact linear-interpolated percentile of a sorted list."""
+    if not sorted_values:
+        raise ValueError("empty")
+    rank = q * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+class FleetAggregator:
+    """Fold per-job telemetry + journal facts into one fleet view."""
+
+    def __init__(self) -> None:
+        # job_id -> attempt -> telemetry record
+        self._records: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self._seen: Set[Tuple[str, int]] = set()
+        # job_id -> lifecycle facts from journal + spec
+        self._info: Dict[str, Dict[str, Any]] = {}
+        # telemetry file path -> corrupt line count (current scan)
+        self._corrupt: Dict[str, int] = {}
+        self._files: Set[str] = set()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def note_job(self, job_id: str, *, status: str, tier: str,
+                 tenant: str, attempt: int,
+                 queue_latency: Optional[float] = None,
+                 time_limit: Optional[float] = None) -> None:
+        """Record a job's lifecycle facts (journal + spec derived)."""
+        self._info[job_id] = {
+            "status": status, "tier": tier, "tenant": tenant,
+            "attempt": int(attempt), "queue_latency": queue_latency,
+            "time_limit": time_limit,
+        }
+
+    def ingest(self, job_id: str,
+               records: List[Dict[str, Any]]) -> int:
+        """Merge telemetry records; returns how many were new.
+
+        Dedup is by ``(job_id, attempt)`` — feeding the same file twice
+        (or a fresh aggregator after ``recover()`` re-reading every
+        file) merges each attempt exactly once.
+        """
+        fresh = 0
+        for rec in records:
+            key = (job_id, int(rec.get("attempt", 0)))
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self._records.setdefault(job_id, {})[key[1]] = rec
+            fresh += 1
+        return fresh
+
+    def note_file(self, path: str, corrupt_lines: int = 0) -> None:
+        """Record a telemetry file scan and its corrupt-line count."""
+        self._files.add(path)
+        if corrupt_lines:
+            self._corrupt[path] = int(corrupt_lines)
+        else:
+            self._corrupt.pop(path, None)
+
+    # -- merged views --------------------------------------------------------
+
+    def latest_records(self) -> Dict[str, Dict[str, Any]]:
+        """The highest-attempt telemetry record per job."""
+        return {job_id: attempts[max(attempts)]
+                for job_id, attempts in self._records.items()
+                if attempts}
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Commutative merge of every job's latest metrics dump."""
+        registry = MetricsRegistry()
+        for job_id in sorted(self._records):
+            record = self._records[job_id][max(self._records[job_id])]
+            registry.merge_dict(record.get("metrics", {}))
+        return registry
+
+    def merged_chrome_trace(self) -> Dict[str, Any]:
+        """One Perfetto-loadable trace covering the whole fleet.
+
+        Every (job, attempt) gets its own ``pid`` track (named via a
+        ``process_name`` metadata event), every span/event carries
+        ``job_id``/``attempt`` args, and tracks are mutually aligned on
+        the wall-clock ``trace_origin`` each flush recorded.
+        """
+        origins = [rec.get("trace_origin")
+                   for attempts in self._records.values()
+                   for rec in attempts.values()
+                   if rec.get("trace_origin") is not None]
+        base = min(origins) if origins else None
+        events: List[Dict[str, Any]] = []
+        pid = 0
+        for job_id in sorted(self._records):
+            for attempt in sorted(self._records[job_id]):
+                rec = self._records[job_id][attempt]
+                pid += 1
+                offset = 0.0
+                if base is not None \
+                        and rec.get("trace_origin") is not None:
+                    offset = float(rec["trace_origin"]) - base
+                events.append({"name": "process_name", "ph": "M",
+                               "pid": pid, "tid": 0,
+                               "args": {"name": f"{job_id} "
+                                                f"(attempt {attempt})"}})
+                for tr in rec.get("trace", []):
+                    args = dict(tr.get("attrs", {}))
+                    args["job_id"] = job_id
+                    args["attempt"] = attempt
+                    ts = (tr["ts"] + offset) * 1e6
+                    if tr.get("type") == "span":
+                        events.append({"name": tr["name"],
+                                       "cat": "repro", "ph": "X",
+                                       "ts": ts,
+                                       "dur": tr["dur"] * 1e6,
+                                       "pid": pid, "tid": 1,
+                                       "args": args})
+                    else:
+                        events.append({"name": tr["name"],
+                                       "cat": "repro", "ph": "i",
+                                       "s": "t", "ts": ts,
+                                       "pid": pid, "tid": 1,
+                                       "args": args})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    # -- the snapshot --------------------------------------------------------
+
+    @staticmethod
+    def _latency_summary(values: List[float]) -> Dict[str, Any]:
+        if not values:
+            return {"count": 0, "p50": None, "p95": None, "max": None}
+        ordered = sorted(values)
+        return {"count": len(ordered),
+                "p50": round(_percentile(ordered, 0.5), 6),
+                "p95": round(_percentile(ordered, 0.95), 6),
+                "max": round(ordered[-1], 6)}
+
+    def snapshot(self, stats: Optional[Dict[str, Any]] = None,
+                 now: Optional[float] = None) -> Dict[str, Any]:
+        """The live fleet status (see :data:`FLEET_STATUS_SCHEMA`).
+
+        ``stats`` is the scheduler's ``SchedulerStats.as_dict()`` for
+        this service life; without one (offline ``repro fleet status``)
+        dispatch/retry counts are derived from the journals.
+        """
+        registry = self.merged_registry()
+        latest = self.latest_records()
+
+        by_status: Dict[str, int] = {}
+        tiers: Dict[str, Dict[str, Any]] = {}
+        tenants: Dict[str, Dict[str, Any]] = {}
+        latencies: Dict[str, List[float]] = {}
+        derived_retries = 0
+        derived_dispatched = 0
+        for job_id in sorted(self._info):
+            info = self._info[job_id]
+            status = info["status"]
+            by_status[status] = by_status.get(status, 0) + 1
+            tier = tiers.setdefault(info["tier"], {
+                "jobs": 0, "attempts": 0, "billed_rows": 0,
+                "billed_calls": 0, "cache_hits": 0,
+                "budget_spent": 0.0, "budget_limit": 0.0})
+            tier["jobs"] += 1
+            tier["attempts"] += info["attempt"] + 1
+            tenant = tenants.setdefault(info["tenant"],
+                                        {"jobs": 0, "billed_rows": 0})
+            tenant["jobs"] += 1
+            if info["queue_latency"] is not None:
+                latencies.setdefault(info["tier"], []).append(
+                    float(info["queue_latency"]))
+            if status not in ("submitted", "queued", "rejected"):
+                derived_dispatched += info["attempt"] + 1
+                derived_retries += info["attempt"]
+        for job_id, rec in latest.items():
+            info = self._info.get(job_id, {})
+            billing = rec.get("billing", {})
+            cache = rec.get("cache", {})
+            tier = tiers.get(info.get("tier", rec.get("tier")))
+            if tier is None:
+                tier = tiers.setdefault(rec.get("tier", "standard"), {
+                    "jobs": 0, "attempts": 0, "billed_rows": 0,
+                    "billed_calls": 0, "cache_hits": 0,
+                    "budget_spent": 0.0, "budget_limit": 0.0})
+            tier["billed_rows"] += int(billing.get("billed_rows", 0))
+            tier["billed_calls"] += int(billing.get("billed_calls", 0))
+            tier["cache_hits"] += int(cache.get("hits", 0))
+            if rec.get("elapsed_seconds") is not None \
+                    and rec.get("time_limit"):
+                tier["budget_spent"] += float(rec["elapsed_seconds"])
+                tier["budget_limit"] += float(rec["time_limit"])
+            tenant = tenants.get(info.get("tenant",
+                                          rec.get("tenant", "anonymous")))
+            if tenant is not None:
+                tenant["billed_rows"] += int(
+                    billing.get("billed_rows", 0))
+
+        for name, tier in tiers.items():
+            tier["queue_latency"] = self._latency_summary(
+                latencies.get(name, []))
+            limit = tier.pop("budget_limit")
+            spent = tier.pop("budget_spent")
+            tier["budget_burn"] = round(spent / limit, 6) if limit \
+                else None
+
+        checked = sum(by_status.get(s, 0)
+                      for s in ("verified", "repaired", "degraded",
+                                "failed"))
+        uncertified = by_status.get("degraded", 0) \
+            + by_status.get("failed", 0)
+
+        if stats is not None:
+            dispatched = int(stats.get("dispatched", 0))
+            retries = int(stats.get("redispatches", 0))
+        else:
+            dispatched = derived_dispatched
+            retries = derived_retries
+
+        billed = registry.counter("oracle.rows_billed")
+        calls = registry.counter("oracle.calls_billed")
+        served = registry.counter("oracle.rows_served")
+        cache_hits = sum(int(rec.get("cache", {}).get("hits", 0))
+                         for rec in latest.values())
+
+        return {
+            "schema_version": 1,
+            "updated_at": time.time() if now is None else float(now),
+            "jobs": {
+                "total": len(self._info),
+                "by_status": {k: by_status[k]
+                              for k in sorted(by_status)},
+                "dispatched": dispatched,
+                "retries": retries,
+            },
+            "tiers": {k: tiers[k] for k in sorted(tiers)},
+            "tenants": {k: tenants[k] for k in sorted(tenants)},
+            "totals": {
+                "billed_rows": int(billed.total()),
+                "billed_calls": int(calls.total()),
+                "rows_served": int(served.total()),
+                "cache_hits": int(cache_hits),
+            },
+            "verification": {"checked": int(checked),
+                             "failed": int(uncertified)},
+            "telemetry": {
+                "files": len(self._files),
+                "records": len(self._seen),
+                "corrupt_files": len(self._corrupt),
+                "corrupt_lines": int(sum(self._corrupt.values())),
+            },
+            "scheduler": dict(stats) if stats is not None else None,
+            "slo": None,
+        }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.fleet",
+        description="Validate a fleet_status.json against the schema.")
+    parser.add_argument("status", help="path to fleet_status.json")
+    args = parser.parse_args(argv)
+    with open(args.status) as handle:
+        snapshot = json.load(handle)
+    snapshot.pop("digest", None)  # spool files carry a digest field
+    errors = validate(snapshot, FLEET_STATUS_SCHEMA)
+    if errors:
+        for err in errors:
+            print(f"INVALID {err}")
+        return 1
+    jobs = snapshot["jobs"]
+    print(f"OK {args.status}: {jobs['total']} jobs, "
+          f"{snapshot['totals']['billed_rows']} rows billed, "
+          f"{snapshot['telemetry']['records']} telemetry records")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,83 @@ class Histogram:
         return list(self._counts.get(key,
                                      [0] * (len(self.boundaries) + 1)))
 
+    # -- aggregation ---------------------------------------------------------
+
+    def _matching(self, label_filter: Dict[str, Any]
+                  ) -> Tuple[List[int], float, int]:
+        """Bucket counts / sum / total over every matching label set.
+
+        ``label_filter`` uses the same subset semantics as
+        :meth:`Counter.total`: a label set matches when it contains every
+        filter item (an empty filter matches everything).
+        """
+        items = label_filter.items()
+        counts = [0] * (len(self.boundaries) + 1)
+        total_sum = 0.0
+        total = 0
+        for key, row in self._counts.items():
+            if not items <= _labels(key).items():
+                continue
+            for i, c in enumerate(row):
+                counts[i] += c
+            total_sum += self._sums.get(key, 0.0)
+            total += self._totals.get(key, 0)
+        return counts, total_sum, total
+
+    def total_count(self, **label_filter: Any) -> int:
+        """Observations over every label set matching the filter."""
+        return self._matching(label_filter)[2]
+
+    def total_sum(self, **label_filter: Any) -> float:
+        """Sum of observed values over matching label sets."""
+        return self._matching(label_filter)[1]
+
+    def quantile(self, q: float, **label_filter: Any) -> Optional[float]:
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        Linear interpolation inside the bucket holding the target rank
+        (Prometheus-style: the first bucket's lower edge is 0 when its
+        boundary is positive, so estimates assume non-negative data
+        there); ranks past the last boundary clamp to it, since the
+        overflow bucket has no upper edge.  Aggregates across every
+        label set matching ``label_filter`` (subset semantics, like
+        :meth:`Counter.total`).  Returns ``None`` with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        counts, _, total = self._matching(label_filter)
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            cumulative += c
+            if cumulative >= rank:
+                if i >= len(self.boundaries):
+                    return float(self.boundaries[-1])
+                hi = float(self.boundaries[i])
+                if i > 0:
+                    lo = float(self.boundaries[i - 1])
+                else:
+                    lo = 0.0 if hi > 0 else hi
+                frac = (rank - (cumulative - c)) / c
+                return lo + (hi - lo) * frac
+        return float(self.boundaries[-1])  # pragma: no cover
+
+    def summary(self, quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+                **label_filter: Any) -> Dict[str, Any]:
+        """``{count, sum, p50, p95, p99}`` over matching label sets."""
+        counts, total_sum, total = self._matching(label_filter)
+        out: Dict[str, Any] = {"count": total,
+                               "sum": round(total_sum, 9)}
+        for q in quantiles:
+            value = self.quantile(q, **label_filter)
+            out[f"p{round(q * 100):d}"] = None if value is None \
+                else round(value, 9)
+        return out
+
 
 class MetricsRegistry:
     """Lazily created named instruments, one namespace per run."""

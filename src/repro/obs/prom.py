@@ -1,0 +1,163 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Zero-dependency rendering of the registry into the Prometheus text
+format (`# TYPE` headers, `{label="value"}` sample lines, cumulative
+``_bucket``/``_sum``/``_count`` triples for histograms), so a scrape
+sidecar or ``node_exporter``'s textfile collector can pick up fleet
+metrics from ``repro serve --prom-out``.
+
+Conventions:
+
+- metric names are sanitized (``oracle.rows_billed`` becomes
+  ``repro_oracle_rows_billed_total``); counters get the ``_total``
+  suffix, gauges and histograms keep the bare name;
+- label values are stringified and escaped per the exposition spec;
+- histogram buckets are emitted cumulatively with inclusive ``le``
+  upper bounds plus the implicit ``le="+Inf"`` overflow bucket.
+
+``python -m repro.obs.prom <file>`` lints an exposition file — every
+sample line must parse and belong to a ``# TYPE``-declared family —
+which is what CI's service-smoke job runs against the served artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?|"
+    r"[-+]?Inf|NaN)$")
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name (dots and dashes become ``_``)."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape(value: Any) -> str:
+    text = str(value)
+    return text.replace("\\", r"\\").replace("\n", r"\n") \
+        .replace('"', r'\"')
+
+
+def _labels(labels: Dict[str, Any], extra: Optional[Dict[str, Any]]
+            = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = [f'{sanitize_name(str(k))}="{_escape(v)}"'
+             for k, v in sorted(merged.items(), key=lambda kv: str(kv[0]))]
+    return "{" + ",".join(parts) + "}"
+
+
+def _value(value: float) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      prefix: str = "repro_") -> str:
+    """The registry as one Prometheus text exposition payload."""
+    dump = registry.to_dict()
+    lines: List[str] = []
+    for name, rows in sorted(dump.get("counters", {}).items()):
+        metric = prefix + sanitize_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for row in rows:
+            lines.append(f"{metric}{_labels(row['labels'])} "
+                         f"{_value(row['value'])}")
+    for name, rows in sorted(dump.get("gauges", {}).items()):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for row in rows:
+            lines.append(f"{metric}{_labels(row['labels'])} "
+                         f"{_value(row['value'])}")
+    for name, rows in sorted(dump.get("histograms", {}).items()):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for row in rows:
+            cumulative = 0
+            for boundary, count in zip(row["boundaries"], row["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_labels(row['labels'], {'le': _value(boundary)})}"
+                    f" {cumulative}")
+            lines.append(
+                f"{metric}_bucket"
+                f"{_labels(row['labels'], {'le': '+Inf'})}"
+                f" {row['count']}")
+            lines.append(f"{metric}_sum{_labels(row['labels'])} "
+                         f"{_value(row['sum'])}")
+            lines.append(f"{metric}_count{_labels(row['labels'])} "
+                         f"{row['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Errors in an exposition payload (empty list = well-formed)."""
+    errors: List[str] = []
+    declared: Dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    errors.append(f"line {lineno}: unknown metric type "
+                                  f"{parts[3]!r}")
+                declared[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        family = re.sub(r"_(?:total|bucket|sum|count)$", "", name)
+        if name not in declared and family not in declared:
+            errors.append(f"line {lineno}: sample {name!r} has no "
+                          f"# TYPE declaration")
+    if samples == 0:
+        errors.append("exposition contains no samples")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.prom",
+        description="Lint a Prometheus text exposition file.")
+    parser.add_argument("exposition", help="path to the .prom file")
+    args = parser.parse_args(argv)
+    with open(args.exposition) as handle:
+        text = handle.read()
+    errors = lint_exposition(text)
+    if errors:
+        for err in errors:
+            print(f"INVALID {err}")
+        return 1
+    families = sum(1 for line in text.splitlines()
+                   if line.startswith("# TYPE"))
+    print(f"OK {args.exposition}: {families} metric families")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,9 +97,9 @@ REPORT_SCHEMA: Dict[str, Any] = {
     "required": ["schema_version", "run", "engine", "totals", "stages",
                  "outputs", "degradations", "bank", "caches",
                  "oracle_layers", "methods", "verification", "supervisor",
-                 "job"],
+                 "job", "fleet"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [4]},
+        "schema_version": {"type": "integer", "enum": [5]},
         "engine": {
             "type": "object",
             "required": ["frontier_mode", "kernel_backend", "mode"],
@@ -171,6 +171,17 @@ REPORT_SCHEMA: Dict[str, Any] = {
                 "tier": {"type": "string"},
                 "priority": {"type": "integer"},
                 "attempt": {"type": "integer"},
+            },
+        },
+        "fleet": {
+            "type": ["object", "null"],
+            "required": ["job_id", "tier", "attempt",
+                         "queue_latency_seconds"],
+            "properties": {
+                "job_id": {"type": "string"},
+                "tier": {"type": "string"},
+                "attempt": {"type": "integer"},
+                "queue_latency_seconds": {"type": _NUM},
             },
         },
         "oracle_layers": {
@@ -299,7 +310,8 @@ _DEGRADED_METHODS = ("degraded", "budget-exhausted")
 def build_run_report(result, config, *,
                      accuracy: Optional[float] = None,
                      job: Optional[Dict[str, Any]] = None,
-                     cross_job: Optional[Dict[str, Any]] = None
+                     cross_job: Optional[Dict[str, Any]] = None,
+                     fleet: Optional[Dict[str, Any]] = None
                      ) -> Dict[str, Any]:
     """Assemble the run manifest from a finished :class:`LearnResult`.
 
@@ -310,7 +322,10 @@ def build_run_report(result, config, *,
     ``job`` (schema v3+) is the service's per-job identity —
     ``{id, tenant, tier, priority, attempt}`` — and ``cross_job`` the
     cross-job cache traffic for this run; both stay ``None`` for plain
-    ``repro learn`` runs.
+    ``repro learn`` runs.  ``fleet`` (schema v5+) is the service-side
+    scheduling context — ``{job_id, tier, attempt,
+    queue_latency_seconds}`` — required whenever the run executed under
+    the job scheduler, ``None`` otherwise.
     """
     instr = result.instrumentation
     if instr is None:
@@ -393,6 +408,16 @@ def build_run_report(result, config, *,
             "attempt": int(job.get("attempt", 0)),
         }
 
+    fleet_section = None
+    if fleet is not None:
+        fleet_section = {
+            "job_id": str(fleet.get("job_id", "")),
+            "tier": str(fleet.get("tier", "standard")),
+            "attempt": int(fleet.get("attempt", 0)),
+            "queue_latency_seconds": round(float(
+                fleet.get("queue_latency_seconds", 0.0)), 6),
+        }
+
     engine = dict(getattr(result, "engine", None) or {})
     engine.setdefault("frontier_mode", config.frontier_mode)
     engine.setdefault(
@@ -402,7 +427,7 @@ def build_run_report(result, config, *,
     engine.setdefault("mode", getattr(result, "engine_mode", "sequential"))
 
     return {
-        "schema_version": 4,
+        "schema_version": 5,
         "run": {
             "seed": config.seed,
             "jobs": config.jobs,
@@ -433,6 +458,7 @@ def build_run_report(result, config, *,
             "cross_job": cross_job_cache,
         },
         "job": job_section,
+        "fleet": fleet_section,
         "oracle_layers": layers,
         "methods": result.methods_used(),
         "verification": verification.to_json()

@@ -177,6 +177,8 @@ def _execute_admitted(spool: Spool, job_id: str, spec: JobSpec,
     from repro.network.blif import write_blif
     from repro.obs.report import build_run_report, write_run_report
     from repro.oracle.netlist_oracle import NetlistOracle
+    from repro.service.telemetry import (flush_job_telemetry,
+                                         queue_latency_seconds)
 
     golden = _load_circuit(spec.circuit)
     oracle = NetlistOracle(golden)
@@ -238,9 +240,17 @@ def _execute_admitted(spool: Spool, job_id: str, spec: JobSpec,
         "priority": spec.effective_priority,
         "attempt": int(attempt),
     }
+    queue_latency = queue_latency_seconds(spool.read_state(job_id))
+    fleet_section = {
+        "job_id": spec.job_id,
+        "tier": spec.tier,
+        "attempt": int(attempt),
+        "queue_latency_seconds": queue_latency or 0.0,
+    }
     try:
         report = build_run_report(result, config, accuracy=acc,
-                                  job=job_section, cross_job=cross_job)
+                                  job=job_section, cross_job=cross_job,
+                                  fleet=fleet_section)
         write_run_report(report, spool.report_path(job_id))
     except Exception as exc:
         # The learn succeeded; a report bug must not fail the job, but
@@ -253,6 +263,17 @@ def _execute_admitted(spool: Spool, job_id: str, spec: JobSpec,
     spool.record_billing(job_id, attempt, int(oracle.query_count),
                          int(getattr(oracle, "query_calls", 0)))
     status, detail = classify_result(result)
+    try:
+        # Flushed before the terminal transition: the aggregator defers
+        # corrupt-line accounting while the journal still says running,
+        # so a kill -9 exactly here can tear only this attempt's line.
+        flush_job_telemetry(spool, job_id, spec=spec, attempt=attempt,
+                            instr=result.instrumentation,
+                            status=status, elapsed=result.elapsed,
+                            queue_latency=queue_latency,
+                            cache=cross_job)
+    except Exception:
+        pass  # telemetry must never fail a finished job
     spool.transition(job_id, status,
                      detail=f"{detail}; accuracy {acc:.4f}{report_note}",
                      attempt=attempt)

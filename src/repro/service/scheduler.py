@@ -38,9 +38,10 @@ import itertools
 import multiprocessing as mp
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.robustness.deadline import Deadline
 from repro.service.admission import AdmissionPolicy, admission_decision
 from repro.service.cache import CrossJobCache
@@ -49,6 +50,7 @@ from repro.service.runner import (SimulatedWorkerCrash, execute_job,
                                   job_child_main)
 from repro.service.signals import ShutdownRequested, graceful_shutdown
 from repro.service.spool import Spool
+from repro.service.telemetry import FleetTelemetry
 
 
 @dataclass
@@ -79,6 +81,13 @@ class SchedulerPolicy:
     retry_backoff_max: float = 30.0
     inline: bool = False
 
+    telemetry: bool = True
+    """Maintain the live fleet view (``fleet/fleet_status.json``, SLO
+    evaluation, merged trace) from per-job telemetry flushes."""
+
+    telemetry_interval: float = 0.5
+    """Throttle between fleet-status refreshes, seconds."""
+
     def validate(self) -> None:
         if self.max_active < 1:
             raise ValueError("max_active must be >= 1")
@@ -95,6 +104,8 @@ class SchedulerPolicy:
             raise ValueError("max_job_retries must be non-negative")
         if self.retry_backoff_base < 0 or self.retry_backoff_max < 0:
             raise ValueError("backoff delays must be non-negative")
+        if self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
 
     def admission(self) -> AdmissionPolicy:
         return AdmissionPolicy(queue_depth=self.queue_depth,
@@ -102,24 +113,82 @@ class SchedulerPolicy:
                                max_time_limit=self.max_time_limit)
 
 
-@dataclass
 class SchedulerStats:
     """Counters for one service life (reset on restart; the durable
-    truth is always the spool journals)."""
+    truth is always the spool journals).
 
-    admitted: int = 0
-    rejected: int = 0
-    dispatched: int = 0
-    redispatches: int = 0
-    crashes: int = 0
-    hangs: int = 0
-    wall_timeouts: int = 0
-    cancelled: int = 0
-    recovered: int = 0
-    finished: Dict[str, int] = field(default_factory=dict)
+    A rendered view over a labelled :class:`MetricsRegistry` — one
+    ``scheduler.events`` counter labelled by ``kind`` and one
+    ``scheduler.finished`` counter labelled by terminal ``status`` —
+    so the same numbers flow into the Prometheus exposition unchanged.
+    :meth:`as_dict` stays byte-compatible with the old dataclass
+    rendering, and each event kind reads back as an ``int`` attribute.
+    """
+
+    KINDS = ("admitted", "rejected", "dispatched", "redispatches",
+             "crashes", "hangs", "wall_timeouts", "cancelled",
+             "recovered")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+
+    def record(self, kind: str, amount: int = 1) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown scheduler event kind {kind!r}")
+        self.registry.counter("scheduler.events").inc(amount, kind=kind)
 
     def finish(self, status: str) -> None:
-        self.finished[status] = self.finished.get(status, 0) + 1
+        self.registry.counter("scheduler.finished").inc(1,
+                                                        status=status)
+
+    def _count(self, kind: str) -> int:
+        return int(self.registry.counter("scheduler.events")
+                   .value(kind=kind))
+
+    @property
+    def admitted(self) -> int:
+        return self._count("admitted")
+
+    @property
+    def rejected(self) -> int:
+        return self._count("rejected")
+
+    @property
+    def dispatched(self) -> int:
+        return self._count("dispatched")
+
+    @property
+    def redispatches(self) -> int:
+        return self._count("redispatches")
+
+    @property
+    def crashes(self) -> int:
+        return self._count("crashes")
+
+    @property
+    def hangs(self) -> int:
+        return self._count("hangs")
+
+    @property
+    def wall_timeouts(self) -> int:
+        return self._count("wall_timeouts")
+
+    @property
+    def cancelled(self) -> int:
+        return self._count("cancelled")
+
+    @property
+    def recovered(self) -> int:
+        return self._count("recovered")
+
+    @property
+    def finished(self) -> Dict[str, int]:
+        by_status = self.registry.counter("scheduler.finished") \
+            .by("status")
+        return {str(status): int(n)
+                for status, n in sorted(by_status.items(),
+                                        key=lambda kv: str(kv[0]))}
 
     def as_dict(self) -> dict:
         return {
@@ -151,7 +220,8 @@ class JobScheduler:
                  policy: Optional[SchedulerPolicy] = None,
                  cache: Optional[CrossJobCache] = None,
                  on_event: Optional[Callable[[str, str, str], None]]
-                 = None):
+                 = None,
+                 telemetry: Optional[FleetTelemetry] = None):
         self.spool = spool
         self.policy = policy or SchedulerPolicy()
         self.policy.validate()
@@ -159,6 +229,14 @@ class JobScheduler:
             else CrossJobCache(spool.cache_dir)
         self.stats = SchedulerStats()
         self._on_event = on_event
+        if telemetry is not None:
+            self.telemetry: Optional[FleetTelemetry] = telemetry
+        elif self.policy.telemetry:
+            self.telemetry = FleetTelemetry(
+                spool, interval=self.policy.telemetry_interval,
+                on_event=on_event)
+        else:
+            self.telemetry = None
         self._ready: List[tuple] = []  # (-priority, seq, job_id)
         self._seq = itertools.count()
         self._running: Dict[str, _JobHandle] = {}
@@ -194,7 +272,7 @@ class JobScheduler:
                     detail="recovered after service restart",
                     attempt=attempt)
                 self._enqueue(job_id)
-                self.stats.recovered += 1
+                self.stats.record("recovered")
                 resumed.append(job_id)
                 self._emit("recovered", job_id, f"attempt {attempt}")
             elif status == JobStatus.QUEUED:
@@ -243,13 +321,13 @@ class JobScheduler:
                                       detail="admitted")
                 self._enqueue(job_id)
                 depth += 1
-                self.stats.admitted += 1
+                self.stats.record("admitted")
                 self._emit("admitted", job_id)
             else:
                 self.spool.transition(job_id, JobStatus.REJECTED,
                                       detail=decision.detail,
                                       rejection=decision.to_json())
-                self.stats.rejected += 1
+                self.stats.record("rejected")
                 self.stats.finish(JobStatus.REJECTED)
                 self._emit("rejected", job_id, decision.reason_code)
 
@@ -263,7 +341,7 @@ class JobScheduler:
             if status in (JobStatus.SUBMITTED, JobStatus.QUEUED):
                 self.spool.transition(job_id, JobStatus.CANCELLED,
                                       detail="cancelled before dispatch")
-                self.stats.cancelled += 1
+                self.stats.record("cancelled")
                 self.stats.finish(JobStatus.CANCELLED)
                 self._emit("cancelled", job_id)
             elif status == JobStatus.RUNNING and job_id in self._running:
@@ -273,7 +351,7 @@ class JobScheduler:
                                       detail="cancelled while running",
                                       force=True)
                 self.spool.clear_heartbeat(job_id)
-                self.stats.cancelled += 1
+                self.stats.record("cancelled")
                 self.stats.finish(JobStatus.CANCELLED)
                 self._emit("cancelled", job_id, "killed worker")
 
@@ -311,7 +389,7 @@ class JobScheduler:
             soft=now + limit,
             hard=now + limit * self.policy.wall_slack
             + self.policy.wall_grace)
-        self.stats.dispatched += 1
+        self.stats.record("dispatched")
         self._emit("dispatch", job_id,
                    f"attempt {attempt}, limit {limit:.0f}s")
         if self.policy.inline:
@@ -319,7 +397,7 @@ class JobScheduler:
                 status = execute_job(self.spool, job_id,
                                      attempt=attempt, cache=self.cache)
             except SimulatedWorkerCrash as exc:
-                self.stats.crashes += 1
+                self.stats.record("crashes")
                 self._job_lost(job_id, str(exc))
             else:
                 self.stats.finish(status)
@@ -350,7 +428,7 @@ class JobScheduler:
                     self._finish_cleanup(job_id)
                     self._emit("finished", job_id, status)
                 else:
-                    self.stats.crashes += 1
+                    self.stats.record("crashes")
                     self._job_lost(
                         job_id,
                         f"worker died (exit {proc.exitcode})")
@@ -358,13 +436,13 @@ class JobScheduler:
             age = self.spool.heartbeat_age(job_id)
             silent = age if age is not None else now - handle.started
             if silent > self.policy.heartbeat_timeout:
-                self.stats.hangs += 1
+                self.stats.record("hangs")
                 self._terminate(handle)
                 del self._running[job_id]
                 self._job_lost(job_id,
                                f"heartbeat silent {silent:.1f}s")
             elif handle.deadline.hard_expired():
-                self.stats.wall_timeouts += 1
+                self.stats.record("wall_timeouts")
                 self._terminate(handle)
                 del self._running[job_id]
                 self._job_lost(job_id, "hard wall deadline exceeded")
@@ -387,7 +465,7 @@ class JobScheduler:
         attempt = int(state.get("attempt", 0))
         if retries < self.policy.max_job_retries:
             self._retries[job_id] = retries + 1
-            self.stats.redispatches += 1
+            self.stats.record("redispatches")
             delay = min(self.policy.retry_backoff_max,
                         self.policy.retry_backoff_base * (2 ** retries))
             self._not_before[job_id] = time.monotonic() + delay
@@ -415,11 +493,14 @@ class JobScheduler:
     # -- loops ---------------------------------------------------------------
 
     def tick(self) -> None:
-        """One scheduling round: admit, cancel, supervise, dispatch."""
+        """One scheduling round: admit, cancel, supervise, dispatch,
+        then (throttled) fold fresh telemetry into the fleet view."""
         self.poll_submissions()
         self.apply_cancels()
         self.sweep_running()
         self.dispatch_ready()
+        if self.telemetry is not None:
+            self.telemetry.maybe_refresh(self.stats.as_dict())
 
     def pending_work(self) -> bool:
         if self._running:
@@ -438,6 +519,8 @@ class JobScheduler:
             if deadline is not None and time.monotonic() > deadline:
                 break
             time.sleep(self.policy.poll_interval)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.stats.as_dict())
         return self.spool.summary()
 
     def serve(self) -> str:
@@ -462,3 +545,5 @@ class JobScheduler:
             self._terminate(handle)
             self._emit("stopped", job_id, reason)
         self._running.clear()
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.stats.as_dict())

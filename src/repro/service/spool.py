@@ -19,8 +19,14 @@ Layout::
         circuit.blif     golden circuit copied at submit time
         checkpoint.ckpt  per-output learn checkpoint (format v2)
         result.blif      learned circuit (on success)
-        run_report.json  schema-v4 manifest with per-job billing
+        run_report.json  schema-v5 manifest with per-job billing
+        telemetry.jsonl  per-attempt observability flushes (appended,
+                         digest-per-line; repro.service.telemetry)
       cache/             cross-job sample cache (repro.service.cache)
+      fleet/
+        fleet_status.json  live aggregated fleet view (atomic replace)
+        slo_events.jsonl   SLO health transitions (appended)
+        fleet_trace.json   merged Perfetto trace (drain/shutdown)
 
 Every JSON written here carries the checkpoint-v2 style sha256 digest of
 its canonical encoding; a corrupted ``state.json`` is *detected* and the
@@ -92,8 +98,10 @@ class Spool:
         self.root = str(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.cache_dir = os.path.join(self.root, "cache")
+        self.fleet_dir = os.path.join(self.root, "fleet")
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.cache_dir, exist_ok=True)
+        os.makedirs(self.fleet_dir, exist_ok=True)
 
     # -- per-job paths -------------------------------------------------------
 
@@ -122,6 +130,20 @@ class Spool:
 
     def report_path(self, job_id: str) -> str:
         return os.path.join(self.job_dir(job_id), "run_report.json")
+
+    def telemetry_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "telemetry.jsonl")
+
+    # -- fleet-level artifacts -----------------------------------------------
+
+    def fleet_status_path(self) -> str:
+        return os.path.join(self.fleet_dir, "fleet_status.json")
+
+    def slo_events_path(self) -> str:
+        return os.path.join(self.fleet_dir, "slo_events.jsonl")
+
+    def fleet_trace_path(self) -> str:
+        return os.path.join(self.fleet_dir, "fleet_trace.json")
 
     # -- submission ----------------------------------------------------------
 

@@ -1,0 +1,324 @@
+"""Per-job telemetry flushes and the scheduler-side fleet pipeline.
+
+The worker side is one function — :func:`flush_job_telemetry` — called
+by the runner between billing and the terminal transition: it appends a
+single digest-checked JSONL record (metrics dump, tracer records,
+billing summary, queue latency) to the job's ``telemetry.jsonl``.  The
+append is one ``write(2)`` on an ``O_APPEND`` descriptor, so a
+``kill -9`` mid-flush can tear at most the final line; the reader
+detects the torn line by its per-record sha256 digest and skips it, and
+the next writer heals the file by prefixing a newline when the tail is
+unterminated.
+
+The scheduler side is :class:`FleetTelemetry`: on a throttled cadence it
+scans the spool, feeds journal facts and fresh telemetry records to a
+:class:`~repro.obs.fleet.FleetAggregator`, evaluates the SLO policy,
+appends health *transitions* to ``fleet/slo_events.jsonl``, and
+atomically rewrites ``fleet/fleet_status.json`` (plus an optional
+Prometheus exposition).  Corrupt telemetry lines under a still-running
+job are deferred, not counted — the worker may simply be mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.fleet import FleetAggregator
+from repro.obs.prom import render_prometheus
+from repro.obs.slo import SloEvaluator, SloPolicy
+from repro.robustness.checkpoint import payload_digest
+from repro.service.jobs import TERMINAL_STATUSES, JobStatus
+from repro.service.spool import Spool, write_json_atomic
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+def append_jsonl_record(path: str, record: Dict[str, Any]) -> None:
+    """Append one digest-stamped JSON line, crash-safely.
+
+    The payload (record + its sha256 digest) goes down in a single
+    ``os.write`` on an ``O_APPEND`` descriptor.  If a previous writer
+    was killed mid-write the file tail has no newline; we prepend one so
+    only the torn line stays corrupt and ours parses cleanly.
+    """
+    record = dict(record)
+    record.pop("digest", None)
+    record["digest"] = payload_digest(record)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    needs_newline = False
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                needs_newline = handle.read(1) != b"\n"
+    except OSError:
+        pass
+    if needs_newline:
+        line = "\n" + line
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def read_jsonl_records(path: str
+                       ) -> Tuple[List[Dict[str, Any]], int]:
+    """``(records, corrupt_lines)`` from a telemetry JSONL file.
+
+    A line is corrupt when it fails to parse or its digest does not
+    match its payload — a torn tail from a killed worker, a partial
+    line an active worker is still writing, or tampering.  Corrupt
+    lines are skipped, never fatal.
+    """
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return [], 0
+    records: List[Dict[str, Any]] = []
+    corrupt = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            corrupt += 1
+            continue
+        if not isinstance(data, dict):
+            corrupt += 1
+            continue
+        stored = data.pop("digest", None)
+        if stored != payload_digest(data):
+            corrupt += 1
+            continue
+        records.append(data)
+    return records, corrupt
+
+
+def queue_latency_seconds(state: Optional[Dict[str, Any]]
+                          ) -> Optional[float]:
+    """Seconds the latest dispatch waited, from the journal history.
+
+    The latency of the *last* ``queued -> running`` pair of events;
+    ``None`` when the job never ran (or the journal is missing).
+    """
+    if not state:
+        return None
+    queued_at: Optional[float] = None
+    latest: Optional[float] = None
+    for event in state.get("history", []):
+        if event.get("status") == JobStatus.QUEUED:
+            queued_at = event.get("at")
+        elif event.get("status") == JobStatus.RUNNING \
+                and queued_at is not None:
+            latest = max(0.0, float(event["at"]) - float(queued_at))
+    return latest
+
+
+def flush_job_telemetry(spool: Spool, job_id: str, *, spec: Any,
+                        attempt: int, instr: Any, status: str,
+                        elapsed: float,
+                        queue_latency: Optional[float],
+                        cache: Optional[Dict[str, Any]] = None
+                        ) -> Optional[str]:
+    """Append this attempt's observability payload to the spool.
+
+    Billing comes from the same ``oracle.rows_billed`` counter the run
+    report totals use, so fleet aggregates match summed reports
+    exactly.  ``trace_origin`` anchors the tracer's relative timestamps
+    to the wall clock so fleet traces align across jobs.  Returns the
+    telemetry path, or ``None`` when the run carried no
+    instrumentation.
+    """
+    if instr is None:
+        return None
+    billed = instr.metrics.counter("oracle.rows_billed")
+    calls = instr.metrics.counter("oracle.calls_billed")
+    record = {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "job_id": job_id,
+        "tenant": spec.tenant,
+        "tier": spec.tier,
+        "attempt": int(attempt),
+        "status": status,
+        "flushed_at": time.time(),
+        "trace_origin": time.time() - instr.tracer._now(),
+        "queue_latency_seconds": None if queue_latency is None
+        else round(float(queue_latency), 6),
+        "elapsed_seconds": round(float(elapsed), 6),
+        "time_limit": float(spec.effective_time_limit),
+        "billing": {"billed_rows": int(billed.total()),
+                    "billed_calls": int(calls.total())},
+        "cache": {"hits": int((cache or {}).get("hits", 0)),
+                  "prefilled_rows": int(
+                      (cache or {}).get("prefilled_rows", 0)),
+                  "exported_rows": int(
+                      (cache or {}).get("exported_rows", 0))},
+        "metrics": instr.metrics.to_dict(),
+        "trace": instr.tracer.to_records(),
+    }
+    path = spool.telemetry_path(job_id)
+    append_jsonl_record(path, record)
+    return path
+
+
+class FleetTelemetry:
+    """The scheduler's ingestion/aggregation/health pipeline."""
+
+    def __init__(self, spool: Spool, *, interval: float = 0.5,
+                 slo_policy: Optional[SloPolicy] = None,
+                 prom_out: Optional[str] = None,
+                 on_event: Optional[Callable[[str, str, str], None]]
+                 = None):
+        self.spool = spool
+        self.interval = float(interval)
+        self.evaluator = SloEvaluator(slo_policy)
+        self.prom_out = prom_out
+        self.aggregator = FleetAggregator()
+        self._on_event = on_event
+        self._last_refresh: Optional[float] = None
+        # telemetry path -> (size, corrupt_lines) at last scan
+        self._file_state: Dict[str, Tuple[int, int]] = {}
+        self._specs: Dict[str, Any] = {}  # immutable spec cache
+        # Terminal jobs whose telemetry is fully ingested: nothing
+        # about them can change, so later scans skip their I/O.
+        self._settled: set = set()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _spec(self, job_id: str) -> Optional[Any]:
+        spec = self._specs.get(job_id)
+        if spec is None:
+            spec = self.spool.read_spec(job_id)
+            if spec is not None:
+                self._specs[job_id] = spec
+        return spec
+
+    def scan(self) -> None:
+        """One spool sweep: journal facts + fresh telemetry records."""
+        for job_id in self.spool.job_ids():
+            if job_id in self._settled:
+                continue
+            state = self.spool.read_state(job_id) or {}
+            status = state.get("status", "state-corrupt")
+            spec = self._spec(job_id)
+            self.aggregator.note_job(
+                job_id,
+                status=status,
+                tier=getattr(spec, "tier", "standard"),
+                tenant=getattr(spec, "tenant", "anonymous"),
+                attempt=int(state.get("attempt", 0)),
+                queue_latency=queue_latency_seconds(state),
+                time_limit=getattr(spec, "effective_time_limit", None))
+            path = self.spool.telemetry_path(job_id)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                if status in TERMINAL_STATUSES:
+                    self._settled.add(job_id)
+                continue
+            seen_size, seen_corrupt = self._file_state.get(path, (-1, 0))
+            if size == seen_size:
+                corrupt = seen_corrupt
+            else:
+                records, corrupt = read_jsonl_records(path)
+                self.aggregator.ingest(job_id, records)
+                self._file_state[path] = (size, corrupt)
+            # A running worker may be mid-write: defer corrupt
+            # accounting until the job settles, else every flush would
+            # transiently read as corruption.
+            running = status == JobStatus.RUNNING
+            self.aggregator.note_file(
+                path, 0 if running else corrupt)
+            if status in TERMINAL_STATUSES:
+                self._settled.add(job_id)
+
+    # -- refresh -------------------------------------------------------------
+
+    def maybe_refresh(self, stats: Optional[Dict[str, Any]] = None,
+                      force: bool = False
+                      ) -> Optional[Dict[str, Any]]:
+        """Refresh on the throttle cadence; returns the new snapshot.
+
+        ``stats`` is ``SchedulerStats.as_dict()``; ``force`` bypasses
+        the interval (used at drain/shutdown so the final status is
+        never stale).
+        """
+        now = time.monotonic()
+        if not force and self._last_refresh is not None \
+                and now - self._last_refresh < self.interval:
+            return None
+        self._last_refresh = now
+        return self.refresh(stats)
+
+    def refresh(self, stats: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """Scan, snapshot, evaluate SLOs, publish artifacts."""
+        snapshot = self.collect(stats)
+        for record in self.evaluator.transitions(snapshot):
+            append_jsonl_record(self.spool.slo_events_path(),
+                               dict(record, at=time.time()))
+            if self._on_event is not None:
+                self._on_event(
+                    "slo", record["rule"],
+                    f"{record['previous']} -> {record['status']}"
+                    + ("" if record["signal"] is None
+                       else f" (signal {record['signal']:.4g})"))
+        snapshot["slo"] = {"policy": self.evaluator.policy.name,
+                           "overall": self.evaluator.overall(),
+                           "rules": self.evaluator.statuses}
+        write_json_atomic(self.spool.fleet_status_path(), snapshot)
+        if self.prom_out:
+            self.write_prometheus(self.prom_out, snapshot)
+        return snapshot
+
+    def collect(self, stats: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """Scan and build a snapshot without publishing anything
+        (what the read-only ``repro fleet status`` path uses)."""
+        self.scan()
+        return self.aggregator.snapshot(stats=stats)
+
+    def write_prometheus(self, path: str,
+                         snapshot: Dict[str, Any]) -> None:
+        """Render the merged registry + fleet gauges to ``path``."""
+        registry = self.aggregator.merged_registry()
+        jobs_gauge = registry.gauge("fleet.jobs")
+        for status, n in snapshot["jobs"]["by_status"].items():
+            jobs_gauge.set(n, status=status)
+        tel = snapshot["telemetry"]
+        registry.gauge("fleet.telemetry_corrupt_files").set(
+            tel["corrupt_files"])
+        registry.gauge("fleet.telemetry_records").set(tel["records"])
+        sched = snapshot.get("scheduler")
+        if sched:
+            events = registry.counter("scheduler.events")
+            for kind in ("admitted", "rejected", "dispatched",
+                         "redispatches", "crashes", "hangs",
+                         "wall_timeouts", "cancelled", "recovered"):
+                if sched.get(kind):
+                    events.inc(sched[kind], kind=kind)
+            finished = registry.counter("scheduler.finished")
+            for status, n in sched.get("finished", {}).items():
+                finished.inc(n, status=status)
+        text = render_prometheus(registry)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+
+    def finalize(self, stats: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        """Forced refresh + the merged fleet trace (drain/shutdown)."""
+        snapshot = self.refresh(stats)
+        trace = self.aggregator.merged_chrome_trace()
+        if trace["traceEvents"]:
+            with open(self.spool.fleet_trace_path(), "w") as handle:
+                json.dump(trace, handle, separators=(",", ":"))
+        return snapshot

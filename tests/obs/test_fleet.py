@@ -1,0 +1,189 @@
+"""FleetAggregator: dedup, merge totals, snapshot and merged trace."""
+
+import json
+
+from repro.obs.fleet import (FLEET_STATUS_SCHEMA, FleetAggregator,
+                             _percentile, main)
+from repro.obs.report import validate
+
+
+def record(job_id, attempt=0, *, billed=100, calls=2, tier="standard",
+           tenant="acme", elapsed=1.0, limit=10.0, hits=0,
+           trace_origin=None):
+    metrics = {
+        "counters": {
+            "oracle.rows_billed": [
+                {"labels": {"stage": "learn", "output": 0},
+                 "value": billed}],
+            "oracle.calls_billed": [
+                {"labels": {"stage": "learn"}, "value": calls}],
+            "oracle.rows_served": [
+                {"labels": {"layer": "oracle", "stage": "learn"},
+                 "value": billed}],
+        },
+        "gauges": {}, "histograms": {},
+    }
+    trace = [{"type": "span", "id": 1, "parent": None,
+              "name": "pipeline", "ts": 0.0, "dur": elapsed,
+              "attrs": {}}]
+    return {
+        "schema": 1, "job_id": job_id, "attempt": attempt,
+        "tier": tier, "tenant": tenant, "status": "verified",
+        "queue_latency_seconds": 0.1, "elapsed_seconds": elapsed,
+        "time_limit": limit,
+        "billing": {"billed_rows": billed, "billed_calls": calls},
+        "cache": {"hits": hits, "prefilled_rows": 0,
+                  "exported_rows": 0},
+        "metrics": metrics, "trace": trace,
+        "trace_origin": trace_origin,
+    }
+
+
+def noted(agg, job_id, **kw):
+    kw.setdefault("status", "verified")
+    kw.setdefault("tier", "standard")
+    kw.setdefault("tenant", "acme")
+    kw.setdefault("attempt", 0)
+    kw.setdefault("queue_latency", 0.1)
+    agg.note_job(job_id, **kw)
+
+
+class TestIngest:
+    def test_dedupes_by_job_and_attempt(self):
+        agg = FleetAggregator()
+        rec = record("j1")
+        assert agg.ingest("j1", [rec]) == 1
+        # Re-reading the same file (recover path) merges nothing new.
+        assert agg.ingest("j1", [rec]) == 0
+        assert agg.ingest("j1", [record("j1", attempt=1)]) == 1
+
+    def test_totals_use_latest_attempt_only(self):
+        agg = FleetAggregator()
+        noted(agg, "j1", attempt=1)
+        agg.ingest("j1", [record("j1", 0, billed=999),
+                          record("j1", 1, billed=120)])
+        snap = agg.snapshot()
+        assert snap["totals"]["billed_rows"] == 120
+
+    def test_merge_is_commutative_across_jobs(self):
+        one, two = FleetAggregator(), FleetAggregator()
+        a, b = record("a", billed=70), record("b", billed=30)
+        one.ingest("a", [a])
+        one.ingest("b", [b])
+        two.ingest("b", [b])
+        two.ingest("a", [a])
+        assert one.merged_registry().to_dict() \
+            == two.merged_registry().to_dict()
+        assert one.snapshot(now=0)["totals"] \
+            == two.snapshot(now=0)["totals"]
+
+
+class TestSnapshot:
+    def _populated(self):
+        agg = FleetAggregator()
+        noted(agg, "j1", tier="interactive", queue_latency=0.2)
+        noted(agg, "j2", tier="batch", tenant="beta", attempt=1,
+              queue_latency=3.0)
+        noted(agg, "j3", status="failed", queue_latency=None)
+        agg.ingest("j1", [record("j1", tier="interactive",
+                                 billed=100, hits=5)])
+        agg.ingest("j2", [record("j2", 1, tier="batch",
+                                 tenant="beta", billed=50,
+                                 elapsed=9.0, limit=10.0)])
+        agg.note_file("/spool/jobs/j1/telemetry.jsonl")
+        agg.note_file("/spool/jobs/j2/telemetry.jsonl", 1)
+        return agg
+
+    def test_snapshot_validates_against_schema(self):
+        snap = self._populated().snapshot()
+        assert validate(snap, FLEET_STATUS_SCHEMA) == []
+
+    def test_status_tier_tenant_rollups(self):
+        snap = self._populated().snapshot()
+        assert snap["jobs"]["total"] == 3
+        assert snap["jobs"]["by_status"] == {"failed": 1,
+                                             "verified": 2}
+        assert snap["tiers"]["interactive"]["billed_rows"] == 100
+        assert snap["tiers"]["interactive"]["cache_hits"] == 5
+        assert snap["tiers"]["batch"]["budget_burn"] == 0.9
+        assert snap["tenants"]["beta"]["billed_rows"] == 50
+        latency = snap["tiers"]["batch"]["queue_latency"]
+        assert latency["count"] == 1 and latency["p95"] == 3.0
+
+    def test_derived_dispatch_counts_without_stats(self):
+        snap = self._populated().snapshot()
+        # j1 (1 attempt) + j2 (2 attempts) + failed j3 (1 attempt).
+        assert snap["jobs"]["dispatched"] == 4
+        assert snap["jobs"]["retries"] == 1
+
+    def test_scheduler_stats_override_derived(self):
+        stats = {"dispatched": 9, "redispatches": 3, "finished": {}}
+        snap = self._populated().snapshot(stats=stats)
+        assert snap["jobs"]["dispatched"] == 9
+        assert snap["jobs"]["retries"] == 3
+        assert snap["scheduler"] == stats
+
+    def test_corrupt_file_accounting(self):
+        snap = self._populated().snapshot()
+        assert snap["telemetry"]["files"] == 2
+        assert snap["telemetry"]["corrupt_files"] == 1
+        assert snap["telemetry"]["corrupt_lines"] == 1
+
+    def test_corrupt_count_clears_when_file_heals(self):
+        agg = self._populated()
+        agg.note_file("/spool/jobs/j2/telemetry.jsonl", 0)
+        assert agg.snapshot()["telemetry"]["corrupt_files"] == 0
+
+    def test_verification_counts(self):
+        snap = self._populated().snapshot()
+        assert snap["verification"] == {"checked": 3, "failed": 1}
+
+
+class TestMergedTrace:
+    def test_one_pid_track_per_job_attempt(self):
+        agg = FleetAggregator()
+        agg.ingest("a", [record("a", trace_origin=100.0)])
+        agg.ingest("b", [record("b", 0, trace_origin=102.5),
+                         record("b", 1, trace_origin=104.0)])
+        trace = agg.merged_chrome_trace()
+        events = trace["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M"}
+        assert names == {"a (attempt 0)", "b (attempt 0)",
+                         "b (attempt 1)"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["job_id"] for e in spans} == {"a", "b"}
+        assert len({e["pid"] for e in spans}) == 3
+        # Tracks align on trace_origin: job b starts 2.5s after a.
+        by_job = {(e["args"]["job_id"], e["args"]["attempt"]): e["ts"]
+                  for e in spans}
+        assert by_job[("b", 0)] - by_job[("a", 0)] == 2.5e6
+
+    def test_missing_origin_defaults_to_base(self):
+        agg = FleetAggregator()
+        agg.ingest("a", [record("a")])
+        spans = [e for e in agg.merged_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"]
+        assert spans[0]["ts"] == 0.0
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        assert _percentile([0.0, 10.0], 0.5) == 5.0
+        assert _percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+        assert _percentile([7.0], 0.95) == 7.0
+
+
+class TestCli:
+    def test_validates_good_and_bad_files(self, tmp_path, capsys):
+        agg = FleetAggregator()
+        noted(agg, "j1")
+        agg.ingest("j1", [record("j1")])
+        good = tmp_path / "fleet_status.json"
+        good.write_text(json.dumps(agg.snapshot()))
+        assert main([str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 1}))
+        assert main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -122,3 +122,83 @@ class TestMergeAndSerialization:
         clone = MetricsRegistry()
         clone.merge_dict(one.to_dict())
         assert clone.to_dict() == one.to_dict()
+
+
+class TestHistogramQuantiles:
+    BOUNDS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+    def _hist(self, values, **labels):
+        hist = Histogram("lat", self.BOUNDS)
+        for v in values:
+            hist.observe(v, **labels)
+        return hist
+
+    def test_rejects_out_of_range_q(self):
+        hist = self._hist([1, 2, 3])
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_none_without_observations(self):
+        hist = Histogram("lat", self.BOUNDS)
+        assert hist.quantile(0.5) is None
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+
+    def test_overflow_bucket_clamps_to_last_boundary(self):
+        hist = self._hist([1000, 2000, 4000])
+        assert hist.quantile(0.99) == float(self.BOUNDS[-1])
+
+    def test_label_filter_aggregates_like_counter_total(self):
+        hist = Histogram("lat", self.BOUNDS)
+        for v in (1, 2, 3, 4):
+            hist.observe(v, tier="fast", stage="learn")
+        for v in (100, 120):
+            hist.observe(v, tier="slow", stage="learn")
+        assert hist.total_count() == 6
+        assert hist.total_count(tier="fast") == 4
+        assert hist.total_sum(tier="slow") == 220
+        # The slow tier's median sits in its own (64, 128] bucket.
+        assert hist.quantile(0.5, tier="slow") > 64
+        assert hist.quantile(0.5, tier="fast") <= 4
+
+    def test_summary_shape(self):
+        hist = self._hist([1, 2, 3, 4, 5, 6, 7, 8])
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "p50", "p95", "p99"}
+        assert summary["count"] == 8
+        assert summary["sum"] == 36
+
+    def test_quantiles_track_numpy_within_bucket_width(self):
+        # Property test: on non-negative synthetic data, the
+        # bucket-interpolated estimate never strays further from the
+        # exact numpy percentile than the width of the bucket holding
+        # the target rank (the best any fixed-bucket sketch can do).
+        import numpy as np
+
+        bounds = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        rng = np.random.default_rng(11)
+        for dist in ("uniform", "lognormal", "exponential"):
+            if dist == "uniform":
+                data = rng.uniform(0, 900, size=4000)
+            elif dist == "lognormal":
+                data = rng.lognormal(mean=2.0, sigma=1.2, size=4000)
+            else:
+                data = rng.exponential(scale=40.0, size=4000)
+            data = np.clip(data, 0, 1000)
+            hist = Histogram("q", bounds)
+            for v in data:
+                hist.observe(float(v))
+            edges = [0.0] + [float(b) for b in bounds]
+            for q in (0.5, 0.9, 0.95, 0.99):
+                exact = float(np.percentile(data, q * 100))
+                est = hist.quantile(q)
+                # Width of the bucket the exact value falls in (the
+                # overflow bucket clamps, so cap at the last edge).
+                idx = min(int(np.searchsorted(bounds, exact)),
+                          len(bounds) - 1)
+                width = edges[idx + 1] - edges[idx]
+                assert abs(est - exact) <= width + 1e-9, (
+                    dist, q, est, exact, width)

@@ -1,0 +1,60 @@
+"""Prometheus text exposition rendering and linting."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import lint_exposition, render_prometheus
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("oracle.rows_billed").inc(100, stage="learn", output=0)
+    reg.counter("oracle.rows_billed").inc(50, stage="verify", output=1)
+    reg.gauge("fleet.jobs").set(3, status="running")
+    hist = reg.histogram("oracle.batch_rows", [1, 4, 16])
+    hist.observe(2, stage="learn")
+    hist.observe(10, stage="learn")
+    hist.observe(100, stage="learn")
+    return reg
+
+
+class TestRender:
+    def test_counter_names_and_samples(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_oracle_rows_billed_total counter" in text
+        assert ('repro_oracle_rows_billed_total'
+                '{output="0",stage="learn"} 100') in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(_registry())
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_oracle_batch_rows_bucket")]
+        assert lines == [
+            'repro_oracle_batch_rows_bucket{le="1",stage="learn"} 0',
+            'repro_oracle_batch_rows_bucket{le="4",stage="learn"} 1',
+            'repro_oracle_batch_rows_bucket{le="16",stage="learn"} 2',
+            'repro_oracle_batch_rows_bucket{le="+Inf",stage="learn"} 3',
+        ]
+        assert "repro_oracle_batch_rows_sum" in text
+        assert 'repro_oracle_batch_rows_count{stage="learn"} 3' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, detail='say "hi"\nthere')
+        text = render_prometheus(reg)
+        assert r'detail="say \"hi\"\nthere"' in text
+
+    def test_rendered_output_lints_clean(self):
+        assert lint_exposition(render_prometheus(_registry())) == []
+
+
+class TestLint:
+    def test_flags_undeclared_sample(self):
+        errors = lint_exposition("repro_mystery_total 5\n")
+        assert any("no # TYPE" in e for e in errors)
+
+    def test_flags_unparseable_line(self):
+        text = ("# TYPE repro_x counter\n"
+                "repro_x this-is-not-a-number\n")
+        assert any("unparseable" in e for e in lint_exposition(text))
+
+    def test_flags_empty_exposition(self):
+        assert any("no samples" in e for e in lint_exposition(""))

@@ -1,0 +1,116 @@
+"""SLO rules, signal extraction, and transition reporting."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (BREACHED, DEGRADED, HEALTHY, SloEvaluator,
+                           SloPolicy, SloRule, default_policy)
+
+
+def snapshot(*, dispatched=10, retries=0, checked=0, failed=0,
+             tiers=None):
+    return {
+        "jobs": {"dispatched": dispatched, "retries": retries},
+        "verification": {"checked": checked, "failed": failed},
+        "tiers": tiers or {},
+    }
+
+
+class TestSloRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SloRule("x", "made_up", degraded=1, breached=2)
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            SloRule("x", "retry_rate", degraded=0.5, breached=0.1)
+
+    def test_retry_rate_thresholds(self):
+        rule = SloRule("rr", "retry_rate", degraded=0.2, breached=0.5)
+        assert rule.evaluate(snapshot(retries=1))["status"] == HEALTHY
+        assert rule.evaluate(
+            snapshot(retries=3))["status"] == DEGRADED
+        assert rule.evaluate(
+            snapshot(retries=6))["status"] == BREACHED
+
+    def test_no_traffic_is_healthy(self):
+        rule = SloRule("rr", "retry_rate", degraded=0.0, breached=0.0)
+        record = rule.evaluate(snapshot(dispatched=0))
+        assert record["status"] == HEALTHY
+        assert record["signal"] is None
+
+    def test_queue_latency_scopes_to_tier(self):
+        tiers = {
+            "interactive": {"queue_latency": {"p95": 0.5}},
+            "batch": {"queue_latency": {"p95": 90.0}},
+        }
+        scoped = SloRule("qi", "queue_latency_p95", degraded=1.0,
+                         breached=10.0, tier="interactive")
+        assert scoped.evaluate(
+            snapshot(tiers=tiers))["status"] == HEALTHY
+        fleet_wide = SloRule("qf", "queue_latency_p95", degraded=1.0,
+                             breached=10.0)
+        # Fleet-wide takes the worst tier.
+        assert fleet_wide.evaluate(
+            snapshot(tiers=tiers))["status"] == BREACHED
+
+    def test_verify_failure_rate(self):
+        rule = SloRule("vf", "verify_failure_rate", degraded=0.01,
+                       breached=0.10)
+        assert rule.evaluate(
+            snapshot(checked=100, failed=5))["status"] == DEGRADED
+        assert rule.evaluate(
+            snapshot(checked=100, failed=50))["status"] == BREACHED
+
+    def test_budget_burn(self):
+        tiers = {"batch": {"budget_burn": 0.9}}
+        rule = SloRule("bb", "budget_burn", degraded=0.8, breached=1.0)
+        assert rule.evaluate(
+            snapshot(tiers=tiers))["status"] == DEGRADED
+
+
+class TestSloPolicy:
+    def test_round_trips_through_json(self, tmp_path):
+        policy = default_policy()
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps(policy.to_dict()))
+        loaded = SloPolicy.load(str(path))
+        assert loaded.to_dict() == policy.to_dict()
+
+
+class TestSloEvaluator:
+    def _policy(self):
+        return SloPolicy(name="t", rules=[
+            SloRule("retry-rate", "retry_rate", degraded=0.2,
+                    breached=0.5)])
+
+    def test_quiet_on_first_healthy_evaluation(self):
+        ev = SloEvaluator(self._policy())
+        assert ev.transitions(snapshot(retries=0)) == []
+        assert ev.overall() == HEALTHY
+
+    def test_reports_flip_once_then_silence(self):
+        ev = SloEvaluator(self._policy())
+        ev.transitions(snapshot(retries=0))
+        flips = ev.transitions(snapshot(retries=3))
+        assert len(flips) == 1
+        assert flips[0]["status"] == DEGRADED
+        assert flips[0]["previous"] == HEALTHY
+        # Same state again: no new record.
+        assert ev.transitions(snapshot(retries=3)) == []
+        assert ev.overall() == DEGRADED
+
+    def test_first_evaluation_reports_only_unhealthy(self):
+        ev = SloEvaluator(self._policy())
+        flips = ev.transitions(snapshot(retries=6))
+        assert len(flips) == 1
+        assert flips[0]["status"] == BREACHED
+
+    def test_recovery_reported(self):
+        ev = SloEvaluator(self._policy())
+        ev.transitions(snapshot(retries=6))
+        flips = ev.transitions(snapshot(dispatched=100, retries=0))
+        assert len(flips) == 1
+        assert flips[0]["status"] == HEALTHY
+        assert flips[0]["previous"] == BREACHED

@@ -1,0 +1,318 @@
+"""Fleet telemetry: per-job flushes, crash-safe ingestion, SLO wiring.
+
+The end-to-end class drives a 6-job mixed-tier fleet (one chaos-crash
+job, one fault-injected oracle) through the inline scheduler and checks
+the acceptance invariants: fleet totals equal the summed run reports
+exactly, the merged trace carries every job keyed by ``job_id``, and a
+custom retry-rate SLO flips to degraded when the crash forces a
+redispatch.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.slo import SloPolicy, SloRule
+from repro.service.jobs import JobStatus
+from repro.service.scheduler import (JobScheduler, SchedulerPolicy,
+                                     SchedulerStats)
+from repro.service.telemetry import (FleetTelemetry,
+                                     append_jsonl_record,
+                                     queue_latency_seconds,
+                                     read_jsonl_records)
+
+
+class TestJsonlProtocol:
+    def test_round_trip_with_digests(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        append_jsonl_record(path, {"job_id": "a", "attempt": 0})
+        append_jsonl_record(path, {"job_id": "a", "attempt": 1})
+        records, corrupt = read_jsonl_records(path)
+        assert corrupt == 0
+        assert [r["attempt"] for r in records] == [0, 1]
+
+    def test_torn_tail_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        append_jsonl_record(path, {"attempt": 0})
+        with open(path, "a") as handle:
+            handle.write('{"attempt": 1, "truncated by kill -9')
+        records, corrupt = read_jsonl_records(path)
+        assert len(records) == 1 and corrupt == 1
+
+    def test_tampered_line_fails_digest(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        append_jsonl_record(path, {"attempt": 0, "billed": 10})
+        text = open(path).read().replace('"billed": 10',
+                                         '"billed": 99')
+        open(path, "w").write(text)
+        records, corrupt = read_jsonl_records(path)
+        assert records == [] and corrupt == 1
+
+    def test_writer_heals_torn_tail_with_newline(self, tmp_path):
+        # A kill -9 mid-flush leaves a partial line with no newline;
+        # the next append must not concatenate onto it.
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"attempt": 0, "torn')
+        append_jsonl_record(path, {"attempt": 1})
+        records, corrupt = read_jsonl_records(path)
+        assert len(records) == 1 and records[0]["attempt"] == 1
+        assert corrupt == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl_records(str(tmp_path / "no.jsonl")) == ([], 0)
+
+
+class TestQueueLatency:
+    def test_uses_last_queued_running_pair(self):
+        state = {"history": [
+            {"status": "queued", "at": 100.0},
+            {"status": "running", "at": 100.5},
+            {"status": "queued", "at": 200.0},
+            {"status": "running", "at": 203.0},
+        ]}
+        assert queue_latency_seconds(state) == 3.0
+
+    def test_none_before_first_dispatch(self):
+        assert queue_latency_seconds(
+            {"history": [{"status": "queued", "at": 1.0}]}) is None
+        assert queue_latency_seconds(None) is None
+
+
+class TestSchedulerStats:
+    def test_as_dict_matches_legacy_rendering(self):
+        stats = SchedulerStats()
+        stats.record("admitted")
+        stats.record("admitted")
+        stats.record("crashes")
+        stats.finish("verified")
+        stats.finish("failed")
+        stats.finish("verified")
+        assert stats.as_dict() == {
+            "admitted": 2, "rejected": 0, "dispatched": 0,
+            "redispatches": 0, "crashes": 1, "hangs": 0,
+            "wall_timeouts": 0, "cancelled": 0, "recovered": 0,
+            "finished": {"failed": 1, "verified": 2},
+        }
+        assert stats.admitted == 2
+        assert isinstance(stats.admitted, int)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SchedulerStats().record("typo")
+
+
+class TestCrashSafeIngestion:
+    def _submit(self, spool, make_spec, job_id):
+        spec = make_spec(job_id)
+        spool.submit(spec, circuit_src=spec.circuit)
+        return spec
+
+    def test_torn_tail_counted_once_never_double_merged(
+            self, spool, make_spec):
+        self._submit(spool, make_spec, "jt")
+        sched = JobScheduler(
+            spool, SchedulerPolicy(inline=True,
+                                   telemetry_interval=0.01))
+        sched.drain(timeout=60)
+        path = spool.telemetry_path("jt")
+        records, _ = read_jsonl_records(path)
+        assert len(records) == 1
+        # Simulate a kill -9 mid-flush of a later attempt: a torn,
+        # digestless tail after the good line.
+        with open(path, "a") as handle:
+            handle.write('{"job_id": "jt", "attempt": 1, "torn')
+        telemetry = FleetTelemetry(spool, interval=0.01)
+        first = telemetry.collect()
+        assert first["telemetry"]["records"] == 1
+        assert first["telemetry"]["corrupt_files"] == 1
+        assert first["telemetry"]["corrupt_lines"] == 1
+        billed = first["totals"]["billed_rows"]
+        assert billed > 0
+        # Rescanning (steady state) and recovering into a fresh
+        # pipeline must both keep the merge idempotent.
+        again = telemetry.collect()
+        assert again["telemetry"]["records"] == 1
+        assert again["totals"]["billed_rows"] == billed
+        recovered = FleetTelemetry(spool, interval=0.01).collect()
+        assert recovered["telemetry"]["records"] == 1
+        assert recovered["totals"]["billed_rows"] == billed
+
+    def test_corrupt_accounting_deferred_while_running(
+            self, spool, make_spec):
+        self._submit(spool, make_spec, "jr")
+        spool.transition("jr", JobStatus.QUEUED)
+        spool.transition("jr", JobStatus.RUNNING)
+        # An active worker mid-write: partial line, no newline yet.
+        with open(spool.telemetry_path("jr"), "w") as handle:
+            handle.write('{"job_id": "jr", "attempt": 0, "partial')
+        telemetry = FleetTelemetry(spool, interval=0.01)
+        snap = telemetry.collect()
+        assert snap["telemetry"]["corrupt_files"] == 0
+        # Once the job settles the torn line is real corruption.
+        spool.transition("jr", JobStatus.FAILED, force=True)
+        # Force a re-read: the file content changed size-wise? It did
+        # not, but corrupt accounting keys off job status at scan time.
+        snap = telemetry.collect()
+        assert snap["telemetry"]["corrupt_files"] == 1
+
+
+@pytest.mark.slow
+class TestFleetEndToEnd:
+    TIERS = ["interactive", "interactive", "standard", "standard",
+             "batch", "batch"]
+
+    def _run_fleet(self, spool, make_spec):
+        for i, tier in enumerate(self.TIERS):
+            kw = {"tier": tier, "tenant": f"tenant-{i % 2}"}
+            if i == 1:
+                kw["fault"] = "crash"  # one worker loss + redispatch
+                kw["fault_attempts"] = 1
+            if i == 4:
+                kw["inject_faults"] = 0.02  # one noisy oracle
+            spec = make_spec(f"job-{i}", **kw)
+            spool.submit(spec, circuit_src=spec.circuit)
+        slo = SloPolicy(name="tight", rules=[
+            SloRule("retry-rate", "retry_rate", degraded=0.1,
+                    breached=0.9)])
+        policy = SchedulerPolicy(inline=True, max_active=2,
+                                 telemetry_interval=0.01,
+                                 retry_backoff_base=0.0)
+        telemetry = FleetTelemetry(spool, interval=0.01,
+                                   slo_policy=slo)
+        sched = JobScheduler(spool, policy, telemetry=telemetry)
+        summary = sched.drain(timeout=300)
+        return sched, summary
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        from repro.network.blif import write_blif
+        from repro.oracle.eco import build_eco_netlist
+        from repro.service.jobs import JobSpec
+        from repro.service.spool import Spool
+
+        tmp = tmp_path_factory.mktemp("fleet")
+        net = build_eco_netlist(8, 2, seed=7, support_low=3,
+                                support_high=5)
+        golden = str(tmp / "golden.blif")
+        with open(golden, "w") as handle:
+            write_blif(net, handle)
+        spool = Spool(str(tmp / "spool"))
+
+        def make_spec(job_id, **kw):
+            kw.setdefault("profile", "fast")
+            kw.setdefault("time_limit", 15.0)
+            kw.setdefault("seed", 7)
+            return JobSpec(job_id=job_id, circuit=golden, **kw)
+
+        sched, summary = self._run_fleet(spool, make_spec)
+        return spool, sched, summary
+
+    def test_all_jobs_terminal_and_learned(self, fleet):
+        spool, _, summary = fleet
+        assert len(summary) == 6
+        for job_id, info in summary.items():
+            assert info["status"] in ("verified", "repaired",
+                                      "degraded"), (job_id, info)
+
+    def test_fleet_totals_equal_summed_run_reports(self, fleet):
+        spool, _, _ = fleet
+        status = json.load(open(spool.fleet_status_path()))
+        rows = calls = 0
+        for job_id in spool.job_ids():
+            report = json.load(open(spool.report_path(job_id)))
+            rows += report["totals"]["billed_rows"]
+            calls += report["totals"]["billed_calls"]
+        assert status["totals"]["billed_rows"] == rows
+        assert status["totals"]["billed_calls"] == calls
+
+    def test_run_reports_carry_fleet_block(self, fleet):
+        spool, _, _ = fleet
+        for job_id in spool.job_ids():
+            report = json.load(open(spool.report_path(job_id)))
+            block = report["fleet"]
+            assert block["job_id"] == job_id
+            assert block["tier"] in ("interactive", "standard",
+                                     "batch")
+            assert block["queue_latency_seconds"] >= 0.0
+        crashed = json.load(open(spool.report_path("job-1")))
+        assert crashed["fleet"]["attempt"] == 1
+
+    def test_merged_trace_covers_every_job(self, fleet):
+        spool, _, _ = fleet
+        trace = json.load(open(spool.fleet_trace_path()))
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        job_ids = {e["args"]["job_id"] for e in spans}
+        assert job_ids == {f"job-{i}" for i in range(6)}
+        # Distinct pid tracks, so Perfetto shows the fleet side by side.
+        assert len({e["pid"] for e in spans}) >= 6
+
+    def test_slo_flips_degraded_on_retry_rate(self, fleet):
+        spool, sched, _ = fleet
+        assert sched.stats.redispatches >= 1
+        status = json.load(open(spool.fleet_status_path()))
+        assert status["slo"]["rules"]["retry-rate"] == "degraded"
+        assert status["slo"]["overall"] == "degraded"
+        events, corrupt = read_jsonl_records(spool.slo_events_path())
+        assert corrupt == 0
+        flips = [e for e in events if e["rule"] == "retry-rate"]
+        assert flips and flips[0]["status"] == "degraded"
+        assert flips[0]["previous"] == "healthy"
+
+    def test_fleet_status_validates_and_rolls_up_tiers(self, fleet):
+        from repro.obs.fleet import FLEET_STATUS_SCHEMA
+        from repro.obs.report import validate
+
+        spool, sched, _ = fleet
+        status = json.load(open(spool.fleet_status_path()))
+        status.pop("digest", None)
+        assert validate(status, FLEET_STATUS_SCHEMA) == []
+        assert set(status["tiers"]) == {"interactive", "standard",
+                                        "batch"}
+        for entry in status["tiers"].values():
+            assert entry["jobs"] == 2
+            assert entry["queue_latency"]["p95"] is not None
+        assert set(status["tenants"]) == {"tenant-0", "tenant-1"}
+        assert status["scheduler"] == sched.stats.as_dict()
+        assert status["jobs"]["by_status"].get("verified", 0) \
+            + status["jobs"]["by_status"].get("repaired", 0) \
+            + status["jobs"]["by_status"].get("degraded", 0) == 6
+
+    def test_telemetry_clean_after_graceful_fleet(self, fleet):
+        spool, _, _ = fleet
+        status = json.load(open(spool.fleet_status_path()))
+        assert status["telemetry"]["corrupt_files"] == 0
+        # The crash job flushed only its successful attempt; every
+        # other job exactly one record.
+        assert status["telemetry"]["records"] == 6
+
+    def test_fleet_cli_renders_offline_and_live(self, fleet, capsys):
+        from repro.cli import main as cli_main
+
+        spool, _, _ = fleet
+        assert cli_main(["fleet", "status", "--spool", spool.root,
+                         "--json"]) == 0
+        out = capsys.readouterr().out
+        parsed = json.loads(out)
+        assert parsed["jobs"]["total"] == 6
+        # Human rendering mentions health and tiers.
+        assert cli_main(["fleet", "status",
+                         "--spool", spool.root]) == 0
+        out = capsys.readouterr().out
+        assert "health" in out and "interactive" in out
+
+    def test_prometheus_exposition_renders_and_lints(self, fleet,
+                                                     tmp_path):
+        from repro.obs.prom import lint_exposition
+
+        spool, sched, _ = fleet
+        prom_path = str(tmp_path / "fleet.prom")
+        telemetry = FleetTelemetry(spool, interval=0.01,
+                                   prom_out=prom_path)
+        telemetry.refresh(sched.stats.as_dict())
+        text = open(prom_path).read()
+        assert lint_exposition(text) == []
+        assert "repro_oracle_rows_billed_total" in text
+        assert "repro_scheduler_events_total" in text
+        assert "repro_fleet_jobs" in text
