@@ -7,8 +7,22 @@ off — and asserts the instrumented run stays within 5% wall-clock of
 the bare run.  Per-arm time is the *minimum* over five interleaved
 rounds — the best case is the least noisy estimator of intrinsic cost,
 and both arms learn bit-identical circuits from the same seed.
+
+The profiler arm repeats the comparison with the cost-model profiler
+armed (``ObsConfig(profile=True)``): the deterministic kernel counters
+must also stay within the 5% budget, and their aggregate totals must be
+identical on every round — they count nominal work derived from kernel
+inputs, so any run-to-run drift is a determinism bug, not noise.
+
+Standalone snapshot mode (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --profile \
+        --out BENCH_profile.json
+    PYTHONPATH=src python benchmarks/bench_obs.py --profile \
+        --check BENCH_profile.json
 """
 
+import json
 import time
 
 import pytest
@@ -23,12 +37,13 @@ ROUNDS = 5
 OVERHEAD_BUDGET = 0.05
 
 
-def _run(enabled):
+def _run(enabled, profile=False):
     oracle = NetlistOracle(build_eco_netlist(16, 12, seed=5))
     cfg = fast_config(time_limit=30.0, seed=7,
                       enable_optimization=False,
                       robustness=RobustnessConfig(max_retries=0),
-                      observability=ObsConfig(enabled=enabled))
+                      observability=ObsConfig(enabled=enabled,
+                                              profile=profile))
     start = time.perf_counter()
     result = LogicRegressor(cfg).learn(oracle)
     return time.perf_counter() - start, result
@@ -152,3 +167,123 @@ def test_fleet_telemetry_overhead_under_five_percent(benchmark,
     assert status["telemetry"]["records"] == FLEET_JOBS
     assert overhead < OVERHEAD_BUDGET, \
         f"fleet telemetry overhead {overhead * 100:.2f}% exceeds 5%"
+
+
+# -- cost-model profiler: overhead and counter determinism --------------------
+
+
+def run_profile_bench() -> dict:
+    """Interleaved obs-on vs profile-on learns from identical seeds.
+
+    Wall metrics are min-over-rounds (noisy, machine-dependent); the
+    ``counters`` block is the deterministic cost model and must be
+    bit-identical across rounds, jobs counts, and kernel backends.
+    """
+    from repro.obs.profile import Profiler
+
+    on_times, prof_times = [], []
+    gates = set()
+    counter_runs = []
+    for _ in range(ROUNDS):
+        t_on, r_on = _run(True)
+        t_prof, r_prof = _run(True, profile=True)
+        on_times.append(t_on)
+        prof_times.append(t_prof)
+        gates.update({r_on.gate_count, r_prof.gate_count})
+        counter_runs.append(
+            Profiler.from_instrumentation(r_prof.instrumentation)
+            .counters())
+    overhead = min(prof_times) / min(on_times) - 1.0
+    return {
+        "obs_wall_s": round(min(on_times), 4),
+        "profile_wall_s": round(min(prof_times), 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "gate_counts": sorted(gates),
+        "counters_stable": all(c == counter_runs[0]
+                               for c in counter_runs),
+        "counters": counter_runs[0],
+    }
+
+
+def check_profile_gates(metrics: dict, snapshot: dict = None) -> list:
+    """Acceptance gates, shared by pytest, __main__ and CI."""
+    failures = []
+    if metrics["overhead_pct"] > OVERHEAD_BUDGET * 100:
+        failures.append(
+            f"profiler overhead {metrics['overhead_pct']}% exceeds "
+            f"{OVERHEAD_BUDGET * 100:.0f}%")
+    if len(metrics["gate_counts"]) != 1:
+        failures.append("profiling changed the learned circuit: "
+                        f"gate counts {metrics['gate_counts']}")
+    if not metrics["counters"]:
+        failures.append("profiler produced no cost counters")
+    if not metrics["counters_stable"]:
+        failures.append(
+            "deterministic cost counters varied across rounds")
+    if snapshot is not None:
+        want = snapshot["metrics"]["counters"]
+        got = metrics["counters"]
+        drift = [name for name in sorted(set(want) | set(got))
+                 if want.get(name) != got.get(name)]
+        if drift:
+            failures.append(
+                "deterministic cost counters drifted vs snapshot: "
+                + ", ".join(f"{name} {want.get(name)} -> {got.get(name)}"
+                            for name in drift))
+    return failures
+
+
+def test_profiler_overhead_and_determinism(benchmark):
+    """Profiler on must stay within budget with stable counters."""
+    metrics = one_shot(benchmark, run_profile_bench)
+    benchmark.extra_info.update(
+        obs_wall_s=metrics["obs_wall_s"],
+        profile_wall_s=metrics["profile_wall_s"],
+        profiler_overhead_pct=metrics["overhead_pct"],
+        counter_names=len(metrics["counters"]))
+    print(f"\nprofile on: {metrics['profile_wall_s']}s, "
+          f"off: {metrics['obs_wall_s']}s, "
+          f"overhead {metrics['overhead_pct']:+.2f}%")
+    failures = check_profile_gates(metrics)
+    assert not failures, failures
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", action="store_true",
+                        help="run the cost-model profiler case")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the snapshot JSON here")
+    parser.add_argument("--check", metavar="PATH",
+                        help="gate against an existing snapshot "
+                             "(deterministic counters must match "
+                             "exactly)")
+    args = parser.parse_args()
+    if not args.profile:
+        parser.error("only --profile is supported standalone; the "
+                     "overhead arms need pytest-benchmark")
+    snapshot = None
+    if args.check:
+        with open(args.check) as handle:
+            snapshot = json.load(handle)
+    metrics = run_profile_bench()
+    failures = check_profile_gates(metrics, snapshot)
+    out = {"bench": "profile", "gates_passed": not failures,
+           "failures": failures, "metrics": metrics}
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(out, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"written to {args.out}", end="; ")
+    print(f"profile on {metrics['profile_wall_s']}s vs "
+          f"off {metrics['obs_wall_s']}s "
+          f"({metrics['overhead_pct']:+.2f}%), "
+          f"{len(metrics['counters'])} counters"
+          + ("" if not failures else f"; FAILURES: {failures}"))
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

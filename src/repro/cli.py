@@ -67,7 +67,8 @@ def save_circuit(net: Netlist, path: str) -> None:
 
 
 def cmd_learn(args: argparse.Namespace) -> int:
-    from repro.core.config import RegressorConfig, RobustnessConfig
+    from repro.core.config import (ObsConfig, RegressorConfig,
+                                   RobustnessConfig)
     from repro.core.regressor import LogicRegressor
     from repro.eval.accuracy import accuracy
     from repro.eval.patterns import contest_test_patterns
@@ -92,6 +93,9 @@ def cmd_learn(args: argparse.Namespace) -> int:
         enable_sample_bank=not args.no_sample_bank,
         frontier_mode=args.frontier_mode,
         kernel_backend=args.kernel_backend,
+        observability=ObsConfig(
+            profile=bool(args.profile_out or args.profile_mem),
+            profile_memory=bool(args.profile_mem)),
         robustness=RobustnessConfig(
             max_retries=args.max_retries,
             checkpoint_path=args.checkpoint,
@@ -161,8 +165,10 @@ def _flush_partial_obs(args: argparse.Namespace, instr) -> None:
 
 def _write_obs_artifacts(args: argparse.Namespace, result, config,
                          acc: float) -> None:
-    """Emit --trace-out / --metrics-out / --report-out artifacts."""
-    if not (args.trace_out or args.metrics_out or args.report_out):
+    """Emit --trace-out / --metrics-out / --report-out / --profile-out
+    artifacts."""
+    if not (args.trace_out or args.metrics_out or args.report_out
+            or args.profile_out):
         return
     instr = result.instrumentation
     if instr is None:
@@ -170,6 +176,15 @@ def _write_obs_artifacts(args: argparse.Namespace, result, config,
                          "trace/metrics/report artifacts")
     import json
 
+    if args.profile_out:
+        from repro.obs.profile import Profiler, render_profile
+
+        profile = Profiler.from_instrumentation(instr).to_json()
+        with open(args.profile_out, "w") as handle:
+            json.dump(profile, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"profile written to {args.profile_out}")
+        print(render_profile(profile))
     if args.trace_out:
         from repro.obs.trace import export_trace
 
@@ -351,7 +366,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         tier=args.tier, priority=args.priority,
         time_limit=args.time_limit, seed=args.seed,
         max_retries=args.max_retries, audit_rate=args.audit_rate,
-        inject_faults=args.inject_faults, profile=args.profile,
+        inject_faults=args.inject_faults, profile=args.config_profile,
         fault=args.fault, fault_attempts=args.fault_attempts)
     try:
         spec.validate()
@@ -364,6 +379,23 @@ def cmd_submit(args: argparse.Namespace) -> int:
     except OSError as exc:
         raise SystemExit(f"cannot submit {args.circuit!r}: {exc}")
     print(job_id)
+    return 0
+
+
+def cmd_prof(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.profile import render_profile
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+    profile = report.get("profile")
+    if not profile:
+        raise SystemExit(
+            f"{args.report}: no profile block (schema_version "
+            f"{report.get('schema_version')}); rerun the learn with "
+            f"--profile-out to arm the cost-model profiler")
+    print(render_profile(profile, top=args.top))
     return 0
 
 
@@ -571,6 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the per-run manifest "
                             "(run_report.json; see "
                             "docs/run_report.schema.json)")
+    learn.add_argument("--profile-out", metavar="PATH",
+                       help="arm the cost-model profiler and write its "
+                            "JSON profile (self-time table + "
+                            "deterministic kernel counters) here; also "
+                            "prints the top-N table")
+    learn.add_argument("--profile-mem", action="store_true",
+                       help="with the profiler: also record per-stage "
+                            "tracemalloc memory high-water marks "
+                            "(implies profiling)")
     learn.set_defaults(fn=cmd_learn)
 
     opt = sub.add_parser("optimize", help="optimize a circuit file")
@@ -669,15 +710,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="oracle-query retries inside the run")
     submit.add_argument("--audit-rate", type=float, default=0.0)
     submit.add_argument("--inject-faults", type=float, default=0.0)
-    submit.add_argument("--profile", default="fast",
+    submit.add_argument("--config-profile", default=None,
                         choices=["default", "fast"],
-                        help="config scale for the run (default: fast)")
+                        help="job config scale: 'default' or 'fast' "
+                             "(default: fast).  This picks the run's "
+                             "RegressorConfig preset — it is unrelated "
+                             "to the cost-model profiler "
+                             "(repro learn --profile-out)")
+    submit.add_argument("--profile", default=None,
+                        choices=["default", "fast"],
+                        help="legacy alias of --config-profile (job "
+                             "config scale, NOT the profiler)")
     submit.add_argument("--fault", default=None,
                         help="chaos injection: crash | hang | "
                              "sleep:<seconds>")
     submit.add_argument("--fault-attempts", type=int, default=1,
                         help="attempts the fault applies to")
     submit.set_defaults(fn=cmd_submit)
+
+    prof = sub.add_parser(
+        "prof", help="render the profile block of a run_report.json")
+    prof.add_argument("report", help="run_report.json written with "
+                                     "--report-out --profile-out")
+    prof.add_argument("--top", type=int, default=15,
+                      help="rows in the self-time table (default 15)")
+    prof.set_defaults(fn=cmd_prof)
 
     status = sub.add_parser("status",
                             help="show spooled job (or fleet) status")
@@ -743,11 +800,31 @@ def _validate_learn_args(parser: argparse.ArgumentParser,
                      f"'numba' (got {args.kernel_backend!r})")
 
 
+def _validate_submit_args(parser: argparse.ArgumentParser,
+                          args: argparse.Namespace) -> None:
+    """Resolve the job-config profile from its two spellings.
+
+    ``--profile`` predates the cost-model profiler and reads like a
+    profiling switch; ``--config-profile`` is the unambiguous name.
+    Giving both with different values is a usage error, never a silent
+    pick.
+    """
+    if (args.profile is not None and args.config_profile is not None
+            and args.profile != args.config_profile):
+        parser.error(
+            f"--profile {args.profile!r} conflicts with "
+            f"--config-profile {args.config_profile!r}; they are the "
+            f"same setting (the job config scale) — pass one")
+    args.config_profile = args.config_profile or args.profile or "fast"
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "learn":
         _validate_learn_args(parser, args)
+    elif args.command == "submit":
+        _validate_submit_args(parser, args)
     return args.fn(args)
 
 

@@ -179,8 +179,23 @@ class ObsConfig:
     attach them to the :class:`LearnResult`, and give every parallel
     worker a child tracer/registry folded back deterministically."""
 
+    profile: bool = False
+    """Arm the cost-model profiler: deterministic kernel counters
+    (packed words, popcounts, espresso iterations, scan words, ...)
+    plus per-span CPU time.  Off by default — the counters sit inside
+    the bit-kernel hot loops, and ``benchmarks/bench_obs.py`` gates the
+    armed overhead below the same 5% budget."""
+
+    profile_memory: bool = False
+    """Additionally trace per-stage memory high-water marks with
+    ``tracemalloc`` (requires ``profile=True`` to surface in the
+    profile artifacts; watermarks are outside the byte-identity
+    contract)."""
+
     def validate(self) -> None:
-        """No invalid states today; kept for config-surface symmetry."""
+        if self.profile_memory and not self.profile:
+            raise ValueError(
+                "profile_memory requires profile=True")
 
 
 @dataclass

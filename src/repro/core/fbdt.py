@@ -58,6 +58,10 @@ _NODE_STREAM = 0x51AC
 """Domain separator of per-node RNG substreams (sibling of the
 ``0x51AB`` per-output stream in ``repro.perf.parallel``)."""
 
+BLOCK_ROWS_BOUNDARIES = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+"""Fixed histogram buckets for ``fbdt.block_rows`` — per-node block
+sizes entering each fused-query site (profiler-only)."""
+
 
 @dataclass
 class FbdtStats:
@@ -81,6 +85,16 @@ class FbdtStats:
     """Leaf-probe rows the bank could not supply (freshly queried)."""
     levels: int = 0
     """Batched frontier levels processed (0 in unbatched mode)."""
+    minimize_wall_s: float = 0.0
+    """Wall seconds spent in two-level minimization for this output
+    (espresso-lite cleanup + exact/QM tabulation minimization).  Paid in
+    the worker under ``--jobs`` (the cleanup cache travels with the
+    cover), so this is attribution, not critical-path time."""
+    minimize_cubes_in: int = 0
+    """Cover cubes entering espresso-lite cleanup."""
+    minimize_cubes_out: int = 0
+    """Cover cubes after espresso-lite cleanup (<= ``minimize_cubes_in``
+    unless the minimized cover lost the literal-count comparison)."""
 
 
 @dataclass
@@ -129,12 +143,16 @@ def cleanup_cover(cover: LearnedCover) -> Tuple[Sop, bool]:
     sop, complemented = cover.chosen_cover()
     other = cover.onset if complemented else cover.offset
     if sop.cubes and len(sop) <= 160 and len(other) <= 160:
+        cover.stats.minimize_cubes_in += len(sop)
+        start = time.perf_counter()
         try:
             minimized = espresso_lite(sop, other, max_iterations=2)
             if minimized.literal_count() < sop.literal_count():
                 sop = minimized
         except RecursionError:  # pathological covers; keep the original
             pass
+        cover.stats.minimize_wall_s += time.perf_counter() - start
+        cover.stats.minimize_cubes_out += len(sop)
     cover.cleaned = (sop, complemented)
     return cover.cleaned
 
@@ -234,8 +252,10 @@ def enumerate_small_function(oracle: Oracle, output: int,
     patterns[:, support] = minterm_bits
     values = oracle.query(patterns, validate=False)[:, output]
     table = TruthTable(k, _pack_bits(values))
+    min_start = time.perf_counter()
     onset_local = _minimize_table(table, k)
     offset_local = _minimize_table(~table, k)
+    stats.minimize_wall_s += time.perf_counter() - min_start
     onset = _lift_cover(onset_local, support, num_pis)
     offset = _lift_cover(offset_local, support, num_pis)
     use_offset = (config.onset_offset_selection
@@ -354,18 +374,26 @@ class _FrontierNode:
 
 
 def _query_blocks(oracle: Oracle, blocks: List[np.ndarray],
-                  num_pos: int) -> List[np.ndarray]:
+                  num_pos: int, site: str = "fused") -> List[np.ndarray]:
     """One fused oracle call over concatenated per-node blocks.
 
     Chunked at ``FUSED_CHUNK_ROWS`` without ever splitting a node's
     block (a partial failure loses whole nodes, never half of one's
     evidence).  Returns the output slices in block order;
-    ``QueryBudgetExceeded`` propagates to the caller.
+    ``QueryBudgetExceeded`` propagates to the caller.  ``site`` names
+    the fusion site (``probe`` / ``tabulate`` / ``split``) on the
+    profiler's per-site cost counters.
     """
     sizes = [b.shape[0] for b in blocks]
     total = sum(sizes)
     if total == 0:
         return [np.empty((0, num_pos), dtype=np.uint8) for _ in blocks]
+    if obs.profiling():
+        obs.pcount("fbdt.fused_rows", total, site=site)
+        for size in sizes:
+            if size:
+                obs.pobserve("fbdt.block_rows", size,
+                             BLOCK_ROWS_BOUNDARIES, site=site)
     big = np.concatenate([b for b in blocks if b.shape[0]], axis=0)
     cuts = []
     chunk = pos = 0
@@ -482,7 +510,8 @@ def _grow_batched(oracle: Oracle, output: int, support_set: set,
                 fresh_blocks.append(
                     np.empty((0, num_pis), dtype=np.uint8))
         try:
-            fresh_out = _query_blocks(oracle, fresh_blocks, num_pos)
+            fresh_out = _query_blocks(oracle, fresh_blocks, num_pos,
+                                      site="probe")
         except QueryBudgetExceeded:
             give_up([n.cube for n in nodes] + overflow)
             return root_ratio
@@ -544,7 +573,8 @@ def _grow_batched(oracle: Oracle, output: int, support_set: set,
                 tab_blocks.append(patterns)
                 tab_blocks.append(probes)
             try:
-                tab_out = _query_blocks(oracle, tab_blocks, num_pos)
+                tab_out = _query_blocks(oracle, tab_blocks, num_pos,
+                                        site="tabulate")
             except QueryBudgetExceeded:
                 give_up([n.cube for n in exhaust_nodes + splitters]
                         + overflow)
@@ -571,7 +601,8 @@ def _grow_batched(oracle: Oracle, output: int, support_set: set,
                     block[(idx + 1) * r:(idx + 2) * r, i] ^= 1
                 blocks.append(block)
             try:
-                split_out = _query_blocks(oracle, blocks, num_pos)
+                split_out = _query_blocks(oracle, blocks, num_pos,
+                                          site="split")
             except QueryBudgetExceeded:
                 give_up([n.cube for n in splitters] + overflow)
                 return root_ratio
@@ -756,8 +787,10 @@ def _emit_tabulated(cube: Cube, candidates: List[int],
     predicted = bitops.testbits(table.words, probe_minterms)
     if not np.array_equal(predicted, probe_out):
         return False
+    min_start = time.perf_counter()
     local_on = _minimize_table(table, k)
     local_off = _minimize_table(~table, k)
+    stats.minimize_wall_s += time.perf_counter() - min_start
     for local, collection in ((local_on, onset), (local_off, offset)):
         for local_cube in local.cubes:
             lifted = Cube({candidates[v]: phase

@@ -10,6 +10,7 @@ the timeout path degrading gracefully to partial-but-accurate circuits.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -150,22 +151,39 @@ class LogicRegressor:
         # is the run's billed-row total, and every wrapper we stack on
         # top (retry, bank) only decides what still needs asking.
         obs_ctx.mark_billing(oracle)
-        instr = Instrumentation() if cfg.observability.enabled else None
+        obs_cfg = cfg.observability
+        instr = Instrumentation(
+            profile=obs_cfg.profile,
+            profile_memory=obs_cfg.profile_memory) \
+            if obs_cfg.enabled else None
         st = StepTrace()
-        with obs_ctx.use(instr):
-            # The root span is named "run" with no parent; the report
-            # builder relies on that to find top-level stage walls.
-            try:
-                with obs_ctx.span("run", seed=cfg.seed, jobs=cfg.jobs):
-                    result = self._learn_impl(oracle, checkpoint, resume,
-                                              st, bank_prefill)
-            except BaseException as exc:
-                # A graceful-shutdown signal (or anything else carrying
-                # an instrumentation slot) gets the partial trace so the
-                # CLI can still flush observability artifacts.
-                if hasattr(exc, "instrumentation"):
-                    exc.instrumentation = instr
-                raise
+        # Stage memory watermarks need tracemalloc; start it only if the
+        # caller isn't already tracing, and stop only what we started.
+        own_tracemalloc = (instr is not None and instr.profile_memory
+                           and not tracemalloc.is_tracing())
+        if own_tracemalloc:
+            tracemalloc.start()
+        try:
+            with obs_ctx.use(instr):
+                # The root span is named "run" with no parent; the report
+                # builder relies on that to find top-level stage walls.
+                try:
+                    with obs_ctx.span("run", seed=cfg.seed,
+                                      jobs=cfg.jobs):
+                        result = self._learn_impl(oracle, checkpoint,
+                                                  resume, st,
+                                                  bank_prefill)
+                except BaseException as exc:
+                    # A graceful-shutdown signal (or anything else
+                    # carrying an instrumentation slot) gets the partial
+                    # trace so the CLI can still flush observability
+                    # artifacts.
+                    if hasattr(exc, "instrumentation"):
+                        exc.instrumentation = instr
+                    raise
+        finally:
+            if own_tracemalloc:
+                tracemalloc.stop()
         result.instrumentation = instr
         return result
 

@@ -39,6 +39,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import context as obs
+
 Literal = Tuple[int, int]
 
 _ENV_VAR = "REPRO_KERNEL_BACKEND"
@@ -149,6 +151,7 @@ def pack_patterns(patterns: np.ndarray) -> np.ndarray:
     """Pack a ``(N, V)`` 0/1 array into a ``(V, ceil(N/64))`` uint64 array."""
     patterns = np.ascontiguousarray(patterns, dtype=np.uint8)
     n, v = patterns.shape
+    obs.pcount("bitops.words_packed", v * words_for(n))
     if v == 0 or n == 0:
         return np.zeros((v, words_for(n)), dtype=np.uint64)
     pad = (-n) % 64
@@ -194,6 +197,7 @@ def unpack_bit_vector(words: np.ndarray, num_bits: int) -> np.ndarray:
 def popcount(words: np.ndarray, num_rows: Optional[int] = None) -> int:
     """Total set bits; ``num_rows`` masks the padding tail first."""
     words = np.asarray(words, dtype=np.uint64)
+    obs.pcount("bitops.words_popcounted", words.size)
     if num_rows is not None:
         words = mask_tail(words.copy(), num_rows)
     return int(np.bitwise_count(words).sum())
@@ -217,6 +221,7 @@ def mask_tail(words: np.ndarray, num_rows: int) -> np.ndarray:
 def testbits(words: np.ndarray, indices: np.ndarray) -> np.ndarray:
     """Gather bits at flat ``indices`` from a packed bit vector."""
     idx = np.asarray(indices, dtype=np.int64)
+    obs.pcount("bitops.bits_tested", idx.size)
     word = idx >> 6
     bit = (idx & 63).astype(np.uint64)
     return ((np.asarray(words, dtype=np.uint64)[word] >> bit)
@@ -246,11 +251,8 @@ def _flatten_cubes(cubes_lits: Sequence[Sequence[Literal]]
             np.asarray(lit_phase, dtype=np.uint8), starts)
 
 
-def cube_mask_words(words: np.ndarray, lits: Sequence[Literal]
+def _cube_mask_body(words: np.ndarray, lits: Sequence[Literal]
                     ) -> np.ndarray:
-    """AND of the literal word-rows: bit set iff the pattern satisfies
-    every literal.  The empty cube yields all ones (constant 1); padding
-    tail bits may be set — slice or mask before counting."""
     acc = np.full(words.shape[1], _FULL, dtype=np.uint64)
     for var, phase in lits:
         row = words[var]
@@ -261,14 +263,30 @@ def cube_mask_words(words: np.ndarray, lits: Sequence[Literal]
     return acc
 
 
+def cube_mask_words(words: np.ndarray, lits: Sequence[Literal]
+                    ) -> np.ndarray:
+    """AND of the literal word-rows: bit set iff the pattern satisfies
+    every literal.  The empty cube yields all ones (constant 1); padding
+    tail bits may be set — slice or mask before counting."""
+    obs.pcount("bitops.cube_match_words",
+               max(1, len(lits)) * words.shape[1])
+    return _cube_mask_body(words, lits)
+
+
 def sop_mask_words(words: np.ndarray,
                    cubes_lits: Sequence[Sequence[Literal]]) -> np.ndarray:
     """OR over :func:`cube_mask_words` of each cube (packed SOP eval).
 
     The empty cover yields all zeros.  Dispatches on the active backend.
+    The cost counter records *nominal* word work here at the dispatch
+    point — before the numba early-exit or any backend divergence — so
+    profiles are byte-identical across backends.
     """
     if not cubes_lits:
         return np.zeros(words.shape[1], dtype=np.uint64)
+    if obs.profiling():
+        obs.pcount("bitops.cube_match_words", words.shape[1] *
+                   sum(max(1, len(lits)) for lits in cubes_lits))
     if get_backend() == "numba":
         kernels = _numba_jit()
         if kernels is not None:
@@ -280,7 +298,7 @@ def sop_mask_words(words: np.ndarray,
             return out
     out = np.zeros(words.shape[1], dtype=np.uint64)
     for lits in cubes_lits:
-        out |= cube_mask_words(words, lits)
+        out |= _cube_mask_body(words, lits)
     return out
 
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.logic.cube import Cube
 from repro.logic.sop import Sop
 from repro.logic.truthtable import TruthTable
+from repro.obs import context as obs
 
 
 # -- Quine-McCluskey ----------------------------------------------------------
@@ -32,6 +33,12 @@ def prime_implicants(onset: Sequence[int], dcset: Sequence[int],
         by_mask: Dict[int, List[Tuple[int, int]]] = {}
         for t in terms:
             by_mask.setdefault(t[1], []).append(t)
+        if obs.profiling():
+            # Nominal merge work this round: every (term, free-bit)
+            # neighbour probe, independent of set-iteration order.
+            obs.pcount("minimize.qm_implicant_pairs",
+                       sum(len(group) * (num_vars - bin(mask).count("1"))
+                           for mask, group in by_mask.items()))
         for mask, group in by_mask.items():
             group_set = set(group)
             for value, _ in group:
@@ -113,6 +120,7 @@ def quine_mccluskey(onset: Sequence[int], num_vars: int,
     onset = sorted(set(onset))
     if not onset:
         return Sop.zero(num_vars)
+    obs.pcount("minimize.qm_calls")
     primes = prime_implicants(onset, dcset, num_vars)
     # Cover table: which primes cover which onset minterm.
     cover: Dict[int, List[int]] = {m: [] for m in onset}
@@ -168,8 +176,11 @@ def espresso_lite(onset: Sop, offset: Sop,
     if onset.num_vars != offset.num_vars:
         raise ValueError("onset/offset over different universes")
     cover = onset.absorb()
+    obs.pcount("minimize.espresso_calls")
+    obs.pcount("minimize.cover_cubes_in", len(cover))
     best = cover
     for iteration in range(max_iterations):
+        obs.pcount("minimize.espresso_iterations")
         expanded = _expand(cover, offset)
         irredundant = _irredundant(expanded, onset)
         if _cost(irredundant) < _cost(best):
@@ -178,6 +189,7 @@ def espresso_lite(onset: Sop, offset: Sop,
         if reduced == cover and iteration > 0:
             break
         cover = reduced
+    obs.pcount("minimize.cover_cubes_out", len(best))
     return best
 
 

@@ -22,6 +22,8 @@ aggregates as a sequential run.
 
 from __future__ import annotations
 
+import time
+import tracemalloc
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
@@ -38,13 +40,26 @@ batch sizes (rows per call at the billing meter)."""
 
 
 class Instrumentation:
-    """One run's tracer + metrics registry + attribution state."""
+    """One run's tracer + metrics registry + attribution state.
+
+    ``profile=True`` additionally arms the cost-model counters
+    (:func:`pcount` / :func:`pobserve`) in the hot kernels and stamps a
+    CPU-time duration on every span; ``profile_memory=True`` records
+    tracemalloc per-stage high-water marks (see
+    ``docs/OBSERVABILITY.md``, "Profiling and the cost model").
+    """
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
-        self.tracer = tracer if tracer is not None else Tracer()
+                 metrics: Optional[MetricsRegistry] = None,
+                 profile: bool = False, profile_memory: bool = False):
+        if tracer is None:
+            cpu = time.process_time if profile else None
+            tracer = Tracer(cpu_clock=cpu)
+        self.tracer = tracer
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
+        self.profile = profile
+        self.profile_memory = profile_memory
         self.stage_stack: List[str] = []
         self.output_stack: List[int] = []
 
@@ -102,12 +117,31 @@ def stage(name: str, **attrs: Any) -> Iterator[None]:
     if instr is None:
         yield
         return
+    watermark = instr.profile_memory and tracemalloc.is_tracing()
+    if watermark:
+        tracemalloc.reset_peak()
     instr.stage_stack.append(name)
     try:
         with instr.tracer.span(name, kind="stage", **attrs):
             yield
     finally:
         instr.stage_stack.pop()
+        if watermark:
+            _record_stage_peak(instr, name)
+
+
+def _record_stage_peak(instr: Instrumentation, name: str) -> None:
+    """Fold the tracemalloc peak since stage entry into the gauge.
+
+    Peaks keep max semantics across nested/repeated stages; they are
+    wall-clock-adjacent data and explicitly outside the byte-identity
+    contract (allocation timing differs across ``--jobs``).
+    """
+    peak_kib = tracemalloc.get_traced_memory()[1] / 1024.0
+    gauge = instr.metrics.gauge("mem.stage_peak_kib")
+    prior = gauge.value(stage=name)
+    if prior is None or peak_kib > prior:
+        gauge.set(round(peak_kib, 3), stage=name)
 
 
 @contextmanager
@@ -154,6 +188,42 @@ def observe(name: str, value: float, boundaries: Sequence[float],
     """Observe into a fixed-bucket histogram (stage auto-labelled)."""
     instr = active()
     if instr is None:
+        return
+    labels.setdefault("stage", instr.stage)
+    instr.metrics.histogram(name, boundaries).observe(value, **labels)
+
+
+def pcount(name: str, amount: float = 1, **labels: Any) -> None:
+    """Profile-gated :func:`count`: the cost-model counters.
+
+    No-op unless the active instrumentation was built with
+    ``profile=True``, so the kernel hot paths stay free on normal runs.
+    Amounts must be *nominal* work (computed from the inputs, before
+    any backend/early-exit divergence) so aggregates are byte-identical
+    across ``--jobs`` values and kernel backends.
+    """
+    instr = active()
+    if instr is None or not instr.profile or amount == 0:
+        return
+    labels.setdefault("stage", instr.stage)
+    instr.metrics.counter(name).inc(amount, **labels)
+
+
+def profiling() -> bool:
+    """True when the active instrumentation has the cost model armed.
+
+    Kernels use this to skip computing a :func:`pcount` amount at all
+    when profiling is off — the gate the <5% overhead budget relies on.
+    """
+    instr = active()
+    return instr is not None and instr.profile
+
+
+def pobserve(name: str, value: float, boundaries: Sequence[float],
+             **labels: Any) -> None:
+    """Profile-gated :func:`observe` (cost-model histograms)."""
+    instr = active()
+    if instr is None or not instr.profile:
         return
     labels.setdefault("stage", instr.stage)
     instr.metrics.histogram(name, boundaries).observe(value, **labels)

@@ -1,0 +1,340 @@
+"""Cost-model profiler: self-time, kernel cost counters, flamegraphs.
+
+The learner's economy is oracle rows and wall-clock, but *where* the
+wall-clock goes is invisible in a span tree whose parents subsume their
+children.  This module turns a finished run's instrumentation into
+attribution:
+
+- **self time** — per-span wall (and, when profiling armed CPU stamps,
+  CPU) time minus the time of direct children, grouped by
+  ``(stage, output, name)``;
+- **cost counters** — the deterministic kernel counters armed by
+  ``ObsConfig(profile=True)`` (:data:`PROFILE_COUNTERS`): words packed /
+  popcounted / cube-matched in ``logic.bitops``, espresso-lite
+  iterations and cover sizes in ``logic.minimize``, fused rows per
+  site in ``core.fbdt``, scan words in ``perf.bank``.  They count
+  *nominal* work, so aggregates are byte-identical at any ``--jobs``
+  value and across kernel backends;
+- **memory** — per-stage tracemalloc high-water marks when
+  ``profile_memory`` is on (outside the byte-identity contract);
+- **flamegraphs** — a collapsed-stack exporter over the span tree
+  (``python -m repro.obs.profile --collapse trace.jsonl``), one
+  ``frame;frame;frame value`` line per stack, the format
+  ``flamegraph.pl`` and speedscope ingest directly.
+
+The run report (schema v6) embeds :meth:`Profiler.to_json` as its
+``profile`` block; ``repro prof run_report.json`` renders it back as a
+top-N table.  See ``docs/OBSERVABILITY.md``, "Profiling and the cost
+model".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+PROFILE_COUNTERS = (
+    "bank.scan_words",
+    "bitops.bits_tested",
+    "bitops.cube_match_words",
+    "bitops.words_packed",
+    "bitops.words_popcounted",
+    "fbdt.fused_rows",
+    "minimize.cover_cubes_in",
+    "minimize.cover_cubes_out",
+    "minimize.espresso_calls",
+    "minimize.espresso_iterations",
+    "minimize.qm_calls",
+    "minimize.qm_implicant_pairs",
+)
+"""The deterministic cost-model counters (sorted).  Armed only under
+``ObsConfig(profile=True)``; amounts are nominal work computed from
+kernel inputs, never from backend-dependent execution."""
+
+PROFILE_HISTOGRAMS = ("fbdt.block_rows",)
+"""Profiler-only histograms (fused per-site block sizes)."""
+
+UNATTRIBUTED = "-"
+
+
+# -- self-time over the span tree ------------------------------------------------
+
+
+def span_self_times(records: List[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+    """Per-span self time with (stage, output) attribution.
+
+    Self time is ``dur`` minus the summed ``dur`` of *direct* children,
+    clamped at zero (adopted worker spans overlap their parent's wall
+    time by construction).  CPU self time is computed the same way from
+    the optional ``cpu`` field and is ``None`` when absent.  Rows come
+    back in emission order.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    by_id = {r["id"]: r for r in spans}
+    child_wall: Dict[int, float] = {}
+    child_cpu: Dict[int, float] = {}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent in by_id:
+            child_wall[parent] = child_wall.get(parent, 0.0) \
+                + rec["dur"]
+            if "cpu" in rec:
+                child_cpu[parent] = child_cpu.get(parent, 0.0) \
+                    + rec["cpu"]
+    rows = []
+    for rec in spans:
+        wall_self = max(0.0, rec["dur"] - child_wall.get(rec["id"], 0.0))
+        cpu_self: Optional[float] = None
+        if "cpu" in rec:
+            cpu_self = max(0.0,
+                           rec["cpu"] - child_cpu.get(rec["id"], 0.0))
+        stage, output = _attribution(rec, by_id)
+        rows.append({"name": rec["name"], "stage": stage,
+                     "output": output, "wall_self_s": wall_self,
+                     "cpu_self_s": cpu_self})
+    return rows
+
+
+def _attribution(rec: Dict[str, Any],
+                 by_id: Dict[int, Dict[str, Any]]) -> Tuple[str, int]:
+    """Nearest enclosing stage span name and output span index."""
+    stage = UNATTRIBUTED
+    output = -1
+    node: Optional[Dict[str, Any]] = rec
+    while node is not None:
+        attrs = node.get("attrs", {})
+        if output < 0 and node.get("name") == "output" \
+                and "output" in attrs:
+            output = int(attrs["output"])
+        if stage == UNATTRIBUTED and attrs.get("kind") == "stage":
+            stage = node["name"]
+            break  # stages never nest under outputs
+        node = by_id.get(node.get("parent"))
+    return stage, output
+
+
+def aggregate_self_times(records: List[Dict[str, Any]]
+                         ) -> List[Dict[str, Any]]:
+    """Group :func:`span_self_times` by ``(stage, output, name)``.
+
+    Sorted by descending wall self time (ties broken lexically, so the
+    ordering is deterministic for identical timings — e.g. under a fake
+    clock in tests).
+    """
+    grouped: Dict[Tuple[str, int, str], Dict[str, Any]] = {}
+    for row in span_self_times(records):
+        key = (row["stage"], row["output"], row["name"])
+        entry = grouped.get(key)
+        if entry is None:
+            entry = grouped[key] = {
+                "stage": key[0], "output": key[1], "name": key[2],
+                "spans": 0, "wall_self_s": 0.0, "cpu_self_s": None}
+        entry["spans"] += 1
+        entry["wall_self_s"] += row["wall_self_s"]
+        if row["cpu_self_s"] is not None:
+            entry["cpu_self_s"] = (entry["cpu_self_s"] or 0.0) \
+                + row["cpu_self_s"]
+    out = sorted(grouped.values(),
+                 key=lambda e: (-e["wall_self_s"], e["stage"],
+                                e["name"], e["output"]))
+    for entry in out:
+        entry["wall_self_s"] = round(entry["wall_self_s"], 6)
+        if entry["cpu_self_s"] is not None:
+            entry["cpu_self_s"] = round(entry["cpu_self_s"], 6)
+    return out
+
+
+# -- collapsed-stack flamegraph export -------------------------------------------
+
+
+def _frame(rec: Dict[str, Any]) -> str:
+    attrs = rec.get("attrs", {})
+    if rec.get("name") == "output" and "output" in attrs:
+        po_name = attrs.get("po_name") or f"po{attrs['output']}"
+        return f"output:{po_name}"
+    return str(rec.get("name", "?"))
+
+
+def collapse_stacks(records: List[Dict[str, Any]],
+                    weight: str = "wall") -> List[str]:
+    """Collapsed stacks (``flamegraph.pl`` / speedscope format).
+
+    One line per distinct root-to-span stack, frames joined with ``;``,
+    weighted by integer-microsecond self time (``weight="cpu"`` uses
+    CPU self time where stamped).  Zero-weight stacks are dropped;
+    lines come back sorted, so equal traces collapse byte-identically.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    by_id = {r["id"]: r for r in spans}
+    totals: Dict[str, int] = {}
+    for row, rec in zip(span_self_times(records), spans):
+        value = row["wall_self_s"] if weight == "wall" \
+            else (row["cpu_self_s"] or 0.0)
+        micros = int(round(value * 1e6))
+        if micros <= 0:
+            continue
+        frames = [_frame(rec)]
+        node = by_id.get(rec.get("parent"))
+        while node is not None:
+            frames.append(_frame(node))
+            node = by_id.get(node.get("parent"))
+        stack = ";".join(reversed(frames))
+        totals[stack] = totals.get(stack, 0) + micros
+    return [f"{stack} {totals[stack]}" for stack in sorted(totals)]
+
+
+# -- the profiler ----------------------------------------------------------------
+
+
+class Profiler:
+    """One run's cost profile: self time + counters + memory.
+
+    Built from a finished run's instrumentation (or its serialized
+    trace records and metrics dump); :meth:`to_json` is the run
+    report's ``profile`` block.
+    """
+
+    def __init__(self, records: List[Dict[str, Any]],
+                 metrics: Optional[Dict[str, Any]] = None):
+        self.records = records
+        self.metrics = metrics or {}
+
+    @classmethod
+    def from_instrumentation(cls, instr) -> "Profiler":
+        return cls(instr.tracer.to_records(), instr.metrics.to_dict())
+
+    # -- sections ------------------------------------------------------------
+
+    def self_time(self) -> List[Dict[str, Any]]:
+        return aggregate_self_times(self.records)
+
+    def counters(self) -> Dict[str, float]:
+        """Totals of the cost-model counters present in the dump.
+
+        Values are sums over every label set, keyed by sorted name —
+        the byte-identical-across-``--jobs`` section of the profile.
+        """
+        out: Dict[str, float] = {}
+        dump = self.metrics.get("counters", {})
+        for name in PROFILE_COUNTERS:
+            rows = dump.get(name)
+            if rows:
+                out[name] = sum(row["value"] for row in rows)
+        return out
+
+    def counter_breakdown(self, label: str = "stage"
+                          ) -> Dict[str, Dict[str, float]]:
+        """Cost counters split by one label (default: pipeline stage)."""
+        out: Dict[str, Dict[str, float]] = {}
+        dump = self.metrics.get("counters", {})
+        for name in PROFILE_COUNTERS:
+            for row in dump.get(name, []):
+                group = str(row["labels"].get(label, UNATTRIBUTED))
+                per = out.setdefault(name, {})
+                per[group] = per.get(group, 0) + row["value"]
+        return out
+
+    def memory(self) -> Optional[Dict[str, float]]:
+        """Per-stage tracemalloc peak KiB, or None when not traced."""
+        rows = self.metrics.get("gauges", {}).get("mem.stage_peak_kib")
+        if not rows:
+            return None
+        return {str(row["labels"].get("stage", UNATTRIBUTED)):
+                row["value"] for row in rows}
+
+    def collapse(self, weight: str = "wall") -> List[str]:
+        return collapse_stacks(self.records, weight=weight)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The run report's ``profile`` block (schema v6)."""
+        return {
+            "counters": self.counters(),
+            "self_time": self.self_time(),
+            "memory": self.memory(),
+        }
+
+
+# -- rendering -------------------------------------------------------------------
+
+
+def render_profile(profile: Dict[str, Any], top: int = 15) -> str:
+    """Human-readable top-N table over a ``profile`` block."""
+    lines = [f"{'stage':<12} {'span':<22} {'out':>4} {'spans':>6} "
+             f"{'wall ms':>10} {'cpu ms':>10}"]
+    for entry in profile.get("self_time", [])[:top]:
+        cpu = entry.get("cpu_self_s")
+        cpu_txt = f"{cpu * 1e3:>10.2f}" if cpu is not None \
+            else f"{'-':>10}"
+        out_idx = entry.get("output", -1)
+        out_txt = str(out_idx) if out_idx >= 0 else "-"
+        lines.append(
+            f"{entry['stage']:<12} {entry['name']:<22} {out_txt:>4} "
+            f"{entry['spans']:>6} {entry['wall_self_s'] * 1e3:>10.2f} "
+            f"{cpu_txt}")
+    counters = profile.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append("cost counters (deterministic):")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}} {int(counters[name]):>14,}")
+    memory = profile.get("memory")
+    if memory:
+        lines.append("")
+        lines.append("stage memory peaks (tracemalloc KiB):")
+        width = max(len(name) for name in memory)
+        for name in sorted(memory):
+            lines.append(f"  {name:<{width}} {memory[name]:>12.1f}")
+    return "\n".join(lines)
+
+
+def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.profile",
+        description="Collapse a trace into flamegraph stacks, or "
+                    "render a profile table from a trace.")
+    parser.add_argument(
+        "--collapse", metavar="TRACE_JSONL", default=None,
+        help="emit collapsed stacks (flamegraph.pl / speedscope "
+             "format) for this trace .jsonl")
+    parser.add_argument(
+        "--table", metavar="TRACE_JSONL", default=None,
+        help="render the top-N self-time table for this trace .jsonl")
+    parser.add_argument("--cpu", action="store_true",
+                        help="weight collapsed stacks by CPU self time")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the self-time table (default 15)")
+    parser.add_argument("-o", "--out", default=None,
+                        help="write output here instead of stdout")
+    args = parser.parse_args(argv)
+    if not args.collapse and not args.table:
+        parser.error("one of --collapse or --table is required")
+    if args.collapse:
+        lines = collapse_stacks(read_trace_jsonl(args.collapse),
+                                weight="cpu" if args.cpu else "wall")
+        text = "\n".join(lines)
+    else:
+        profiler = Profiler(read_trace_jsonl(args.table))
+        text = render_profile(profiler.to_json(), top=args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

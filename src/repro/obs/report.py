@@ -46,6 +46,33 @@ _OUTPUT_ENTRY = {
         "support_size": {"type": "integer"},
         "billed_rows": {"type": "integer"},
         "degraded": {"type": "boolean"},
+        "minimize_wall_s": {"type": _NUM},
+        "minimize_cubes_in": {"type": "integer"},
+        "minimize_cubes_out": {"type": "integer"},
+    },
+}
+
+_PROFILE_SELF_TIME_ENTRY = {
+    "type": "object",
+    "required": ["stage", "output", "name", "spans", "wall_self_s"],
+    "properties": {
+        "stage": {"type": "string"},
+        "output": {"type": "integer"},
+        "name": {"type": "string"},
+        "spans": {"type": "integer"},
+        "wall_self_s": {"type": _NUM},
+        "cpu_self_s": {"type": ["number", "integer", "null"]},
+    },
+}
+
+_PROFILE_BLOCK = {
+    "type": ["object", "null"],
+    "required": ["counters", "self_time", "memory"],
+    "properties": {
+        "counters": {"type": "object"},
+        "self_time": {"type": "array",
+                      "items": _PROFILE_SELF_TIME_ENTRY},
+        "memory": {"type": ["object", "null"]},
     },
 }
 
@@ -97,9 +124,10 @@ REPORT_SCHEMA: Dict[str, Any] = {
     "required": ["schema_version", "run", "engine", "totals", "stages",
                  "outputs", "degradations", "bank", "caches",
                  "oracle_layers", "methods", "verification", "supervisor",
-                 "job", "fleet"],
+                 "job", "fleet", "profile"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [5]},
+        "schema_version": {"type": "integer", "enum": [6]},
+        "profile": _PROFILE_BLOCK,
         "engine": {
             "type": "object",
             "required": ["frontier_mode", "kernel_backend", "mode"],
@@ -355,7 +383,7 @@ def build_run_report(result, config, *,
     rows_by_output = billed.by("output")
     outputs = []
     for rep in result.reports:
-        outputs.append({
+        entry = {
             "index": rep.po_index,
             "name": rep.po_name,
             "method": rep.method,
@@ -363,7 +391,16 @@ def build_run_report(result, config, *,
             "support_size": rep.support_size,
             "billed_rows": int(rows_by_output.get(rep.po_index, 0)),
             "degraded": rep.method in _DEGRADED_METHODS,
-        })
+        }
+        stats = getattr(rep, "stats", None)
+        if stats is not None:
+            # The minimizer hotspot, per output (ROADMAP item 2): wall
+            # seconds in two-level minimization and the espresso-lite
+            # cover sizes before/after cleanup.
+            entry["minimize_wall_s"] = round(stats.minimize_wall_s, 6)
+            entry["minimize_cubes_in"] = stats.minimize_cubes_in
+            entry["minimize_cubes_out"] = stats.minimize_cubes_out
+        outputs.append(entry)
 
     bank = None
     if result.bank_stats is not None:
@@ -426,8 +463,14 @@ def build_run_report(result, config, *,
         else "numpy")
     engine.setdefault("mode", getattr(result, "engine_mode", "sequential"))
 
+    profile_section = None
+    if getattr(instr, "profile", False):
+        from repro.obs.profile import Profiler
+
+        profile_section = Profiler.from_instrumentation(instr).to_json()
+
     return {
-        "schema_version": 5,
+        "schema_version": 6,
         "run": {
             "seed": config.seed,
             "jobs": config.jobs,
@@ -459,6 +502,7 @@ def build_run_report(result, config, *,
         },
         "job": job_section,
         "fleet": fleet_section,
+        "profile": profile_section,
         "oracle_layers": layers,
         "methods": result.methods_used(),
         "verification": verification.to_json()

@@ -51,6 +51,8 @@ class Span:
     t_start: float
     t_end: Optional[float] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    cpu_start: Optional[float] = None
+    cpu_end: Optional[float] = None
 
     def set(self, **attrs: Any) -> None:
         """Attach (or overwrite) attributes on the open span."""
@@ -63,7 +65,7 @@ class Span:
         return max(0.0, end - self.t_start)
 
     def to_record(self) -> Dict[str, Any]:
-        return {
+        record = {
             "type": "span",
             "id": self.span_id,
             "parent": self.parent_id,
@@ -72,6 +74,10 @@ class Span:
             "dur": round(self.duration, 9),
             "attrs": self.attrs,
         }
+        if self.cpu_start is not None and self.cpu_end is not None:
+            record["cpu"] = round(
+                max(0.0, self.cpu_end - self.cpu_start), 9)
+        return record
 
 
 class Tracer:
@@ -82,9 +88,10 @@ class Tracer:
     Chrome's complete events).  Open spans are excluded from exports.
     """
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, cpu_clock=None):
         self._clock = clock
         self._epoch = clock()
+        self._cpu_clock = cpu_clock
         self._records: List[Dict[str, Any]] = []
         self._stack: List[Span] = []
         self._next_id = 1
@@ -108,11 +115,15 @@ class Tracer:
                     t_start=self._now())
         self._next_id += 1
         span.set(**attrs)
+        if self._cpu_clock is not None:
+            span.cpu_start = self._cpu_clock()
         self._stack.append(span)
         try:
             yield span
         finally:
             span.t_end = self._now()
+            if self._cpu_clock is not None:
+                span.cpu_end = self._cpu_clock()
             self._stack.pop()
             self._records.append(span.to_record())
 

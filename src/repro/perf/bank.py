@@ -255,6 +255,8 @@ class SampleBank:
         # Packed match against the word mirror: only the cube's literal
         # rows are touched, 64 slots per word op.
         lits = list(cube.literals())
+        obs.pcount("bank.scan_words",
+                   max(1, len(lits)) * self._pat_words.shape[1])
         if not self._ever_invalidated:
             # Fast path: no tombstones, occupied slots are a prefix (or
             # the whole ring once wrapped).  Empty slots beyond _size

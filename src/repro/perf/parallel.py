@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import pickle
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -122,7 +123,9 @@ def run_output_task(oracle: Oracle, task: OutputTask,
     # billed for the same work.
     meter = billing_meter(oracle)
     obs_cfg = getattr(config, "observability", None)
-    child = Instrumentation() \
+    child = Instrumentation(
+        profile=getattr(obs_cfg, "profile", False),
+        profile_memory=getattr(obs_cfg, "profile_memory", False)) \
         if obs_cfg is not None and obs_cfg.enabled else None
     start_rows = meter.query_count
     start_time = time.monotonic()
@@ -169,13 +172,26 @@ def run_output_task(oracle: Oracle, task: OutputTask,
     # back identically — the keystone for jobs-invariant aggregates.
     po_name = oracle.po_names[task.index] \
         if task.index < oracle.num_pos else ""
-    with obs_ctx.use(child):
-        child.stage_stack.append("learn")
-        try:
-            with obs_ctx.output_scope(task.index, po_name):
-                res = attempt()
-        finally:
-            child.stage_stack.pop()
+    # Worker shards run outside the parent's tracemalloc session, so
+    # arm one per task when memory profiling is on; the "learn" stage
+    # watermark then folds back via the gauge (max semantics).
+    own_tracemalloc = (child.profile_memory
+                       and not tracemalloc.is_tracing())
+    if own_tracemalloc:
+        tracemalloc.start()
+    try:
+        with obs_ctx.use(child):
+            child.stage_stack.append("learn")
+            try:
+                with obs_ctx.output_scope(task.index, po_name):
+                    res = attempt()
+            finally:
+                child.stage_stack.pop()
+                if child.profile_memory and tracemalloc.is_tracing():
+                    obs_ctx._record_stage_peak(child, "learn")
+    finally:
+        if own_tracemalloc:
+            tracemalloc.stop()
     res.obs = child.payload()
     return res
 

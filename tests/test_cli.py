@@ -280,3 +280,105 @@ class TestServiceCommands:
         with pytest.raises(SystemExit):
             main(["serve", "--spool", str(tmp_path / "spool"),
                   "--max-active", "0", "--drain"])
+
+
+class TestProfilerCli:
+    def _learn_profiled(self, path, tmp_path, extra=()):
+        profile = str(tmp_path / "profile.json")
+        report = str(tmp_path / "report.json")
+        code = main(["learn", path, "--time-limit", "15",
+                     "--patterns", "2000", "--no-accuracy-gate",
+                     "--profile-out", profile, "--report-out", report,
+                     *extra])
+        assert code == 0
+        return profile, report
+
+    def test_profile_out_writes_block_and_table(self, circuit_file,
+                                                tmp_path, capsys):
+        import json
+
+        path, _ = circuit_file
+        profile_path, report_path = self._learn_profiled(path, tmp_path)
+        out = capsys.readouterr().out
+        assert f"profile written to {profile_path}" in out
+        assert "cost counters (deterministic):" in out
+        profile = json.load(open(profile_path))
+        assert set(profile) == {"counters", "self_time", "memory"}
+        assert profile["counters"]
+        # The run report embeds the identical block (schema v6).
+        report = json.load(open(report_path))
+        assert report["schema_version"] == 6
+        assert report["profile"] == profile
+
+    def test_profile_mem_adds_watermarks(self, circuit_file, tmp_path):
+        import json
+
+        path, _ = circuit_file
+        profile_path, _ = self._learn_profiled(path, tmp_path,
+                                               ["--profile-mem"])
+        profile = json.load(open(profile_path))
+        assert profile["memory"]
+        assert all(peak > 0 for peak in profile["memory"].values())
+
+    def test_prof_renders_report(self, circuit_file, tmp_path, capsys):
+        path, _ = circuit_file
+        _, report_path = self._learn_profiled(path, tmp_path)
+        capsys.readouterr()
+        assert main(["prof", report_path]) == 0
+        out = capsys.readouterr().out
+        assert "cost counters (deterministic):" in out
+        assert "wall ms" in out
+
+    def test_prof_errors_without_profile_block(self, circuit_file,
+                                               tmp_path, capsys):
+        path, _ = circuit_file
+        report = str(tmp_path / "report.json")
+        assert main(["learn", path, "--time-limit", "15",
+                     "--patterns", "2000", "--no-accuracy-gate",
+                     "--report-out", report]) == 0
+        with pytest.raises(SystemExit, match="no profile block"):
+            main(["prof", report])
+
+    def test_bare_profile_flag_on_learn_is_ambiguous(self,
+                                                     circuit_file,
+                                                     capsys):
+        # `learn --profile` could mean --profile-out or --profile-mem;
+        # argparse must refuse rather than guess (and must never be
+        # confused with submit's job-config --profile).
+        path, _ = circuit_file
+        with pytest.raises(SystemExit) as excinfo:
+            main(["learn", path, "--profile", "x.json"])
+        assert excinfo.value.code == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+
+class TestSubmitProfileDisambiguation:
+    def test_config_profile_alias_accepted(self, circuit_file,
+                                           tmp_path, capsys):
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "--spool", spool, path,
+                     "--job-id", "alias-1",
+                     "--config-profile", "fast"]) == 0
+        assert capsys.readouterr().out.strip() == "alias-1"
+
+    def test_conflicting_values_rejected(self, circuit_file, tmp_path,
+                                         capsys):
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit", "--spool", spool, path,
+                  "--job-id", "clash", "--profile", "fast",
+                  "--config-profile", "default"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--config-profile" in err and "--profile" in err
+
+    def test_agreeing_values_accepted(self, circuit_file, tmp_path,
+                                      capsys):
+        path, _ = circuit_file
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "--spool", spool, path,
+                     "--job-id", "agree", "--profile", "fast",
+                     "--config-profile", "fast"]) == 0
+        assert capsys.readouterr().out.strip() == "agree"

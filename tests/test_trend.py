@@ -1,0 +1,214 @@
+"""Trend observatory: history integrity and regression gating."""
+
+import json
+
+import pytest
+
+from benchmarks.trend import (ABS, EXACT, HIGHER, INFO, LOWER, RATIO,
+                              MetricSpec, TrendError, append_snapshot,
+                              check_bench, load_history, main)
+
+SPECS = (
+    MetricSpec("counters/kernel.words", EXACT, LOWER),
+    MetricSpec("calls_ratio", RATIO, HIGHER, 0.10),
+    MetricSpec("rows", RATIO, LOWER, 0.10),
+    MetricSpec("overhead_pct", ABS, LOWER, 5.0),
+    MetricSpec("wall_s", INFO),
+)
+
+
+def _snapshot(*, words=1000, ratio=30.0, rows=5000, overhead=1.0,
+              wall=0.5):
+    return {"bench": "toy", "gates_passed": True,
+            "failures": [],
+            "metrics": {"counters": {"kernel.words": words},
+                        "calls_ratio": ratio, "rows": rows,
+                        "overhead_pct": overhead, "wall_s": wall}}
+
+
+@pytest.fixture
+def history(tmp_path, monkeypatch):
+    """Five baseline entries for the toy bench on a temp log."""
+    import benchmarks.trend as trend
+
+    monkeypatch.setitem(trend.BENCHES, "toy", ("BENCH_toy.json", SPECS))
+    path = str(tmp_path / "BENCH_history.jsonl")
+    for _ in range(5):
+        append_snapshot("toy", _snapshot(), path)
+    return path
+
+
+class TestHistoryIntegrity:
+    def test_append_then_load_roundtrip(self, history):
+        records = load_history(history)
+        assert len(records) == 5
+        assert [rec["seq"] for rec in records] == [1, 2, 3, 4, 5]
+        assert records[0]["metrics"]["counters/kernel.words"] == 1000
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_edited_line_breaks_digest(self, history):
+        lines = open(history).read().splitlines()
+        lines[2] = lines[2].replace("1000", "999")
+        with open(history, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(TrendError, match="digest mismatch"):
+            load_history(history)
+
+    def test_deleted_line_breaks_chain(self, history):
+        lines = open(history).read().splitlines()
+        with open(history, "w") as handle:
+            handle.write("\n".join(lines[1:]) + "\n")
+        with pytest.raises(TrendError, match="chain broken|bad seq"):
+            load_history(history)
+
+    def test_garbage_line_rejected(self, history):
+        with open(history, "a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(TrendError, match="not valid JSON"):
+            load_history(history)
+
+    def test_reordered_lines_rejected(self, history):
+        lines = open(history).read().splitlines()
+        lines[0], lines[1] = lines[1], lines[0]
+        with open(history, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(TrendError):
+            load_history(history)
+
+
+class TestRegressionGate:
+    def test_within_noise_passes(self, history):
+        records = load_history(history)
+        failures, _ = check_bench("toy", _snapshot(ratio=29.0,
+                                                   rows=5200),
+                                  records, specs=SPECS)
+        assert failures == []
+
+    def test_twenty_percent_regression_flagged(self, history):
+        records = load_history(history)
+        # calls_ratio is higher-is-better with 10% tolerance; a 20%
+        # drop (30 -> 24) must be caught.
+        failures, _ = check_bench("toy", _snapshot(ratio=24.0),
+                                  records, specs=SPECS)
+        assert len(failures) == 1
+        assert "calls_ratio" in failures[0]
+        assert "regressed" in failures[0]
+
+    def test_twenty_percent_row_growth_flagged(self, history):
+        records = load_history(history)
+        failures, _ = check_bench("toy", _snapshot(rows=6000),
+                                  records, specs=SPECS)
+        assert len(failures) == 1
+        assert "rows" in failures[0]
+
+    def test_improvement_passes_with_note(self, history):
+        records = load_history(history)
+        failures, notes = check_bench("toy", _snapshot(ratio=60.0,
+                                                       rows=2000),
+                                      records, specs=SPECS)
+        assert failures == []
+        assert any("improved" in note for note in notes)
+
+    def test_exact_counter_drift_flagged_both_directions(self, history):
+        records = load_history(history)
+        for words in (999, 1001):
+            failures, _ = check_bench("toy", _snapshot(words=words),
+                                      records, specs=SPECS)
+            assert len(failures) == 1
+            assert "kernel.words" in failures[0]
+            assert "deterministic" in failures[0]
+
+    def test_vanished_exact_counter_flagged(self, history):
+        records = load_history(history)
+        snapshot = _snapshot()
+        del snapshot["metrics"]["counters"]["kernel.words"]
+        failures, _ = check_bench("toy", snapshot, records, specs=SPECS)
+        assert len(failures) == 1
+        assert "vanished" in failures[0]
+
+    def test_abs_tolerance_direction_aware(self, history):
+        records = load_history(history)
+        # overhead_pct baseline 1.0, abs tolerance 5.0: 5.9 passes,
+        # 6.1 fails, and a large *improvement* (-20) always passes.
+        ok, _ = check_bench("toy", _snapshot(overhead=5.9), records,
+                            specs=SPECS)
+        bad, _ = check_bench("toy", _snapshot(overhead=6.1), records,
+                             specs=SPECS)
+        improved, _ = check_bench("toy", _snapshot(overhead=-20.0),
+                                  records, specs=SPECS)
+        assert ok == [] and improved == []
+        assert len(bad) == 1
+
+    def test_info_metrics_never_gate(self, history):
+        records = load_history(history)
+        failures, notes = check_bench("toy", _snapshot(wall=99.0),
+                                      records, specs=SPECS)
+        assert failures == []
+        assert any("informational" in note for note in notes)
+
+    def test_missing_history_notes_and_passes(self):
+        failures, notes = check_bench("toy", _snapshot(), [],
+                                      specs=SPECS)
+        assert failures == []
+        assert any("no history yet" in note for note in notes)
+
+    def test_median_absorbs_single_outlier(self, history):
+        # One wild entry out of five must not move the baseline.
+        append_snapshot("toy", _snapshot(ratio=300.0), history)
+        records = load_history(history)
+        failures, _ = check_bench("toy", _snapshot(ratio=28.0),
+                                  records, specs=SPECS)
+        assert failures == []
+
+
+class TestCli:
+    def _write_snapshot(self, tmp_path, **kw):
+        import benchmarks.trend as trend
+
+        path = tmp_path / trend.BENCHES["toy"][0]
+        with open(path, "w") as handle:
+            json.dump(_snapshot(**kw), handle)
+
+    def test_append_then_check_passes(self, tmp_path, monkeypatch):
+        import benchmarks.trend as trend
+
+        monkeypatch.setitem(trend.BENCHES, "toy",
+                            ("BENCH_toy.json", SPECS))
+        self._write_snapshot(tmp_path)
+        root = ["--root", str(tmp_path)]
+        assert main(["append", "toy", *root]) == 0
+        assert main(["check", "toy", *root]) == 0
+        assert main(["show", "toy", *root]) == 0
+
+    def test_check_fails_on_injected_regression(self, tmp_path,
+                                                monkeypatch, capsys):
+        import benchmarks.trend as trend
+
+        monkeypatch.setitem(trend.BENCHES, "toy",
+                            ("BENCH_toy.json", SPECS))
+        root = ["--root", str(tmp_path)]
+        self._write_snapshot(tmp_path)
+        for _ in range(3):
+            assert main(["append", "toy", *root]) == 0
+        self._write_snapshot(tmp_path, ratio=24.0)  # -20%
+        assert main(["check", "toy", *root]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err and "calls_ratio" in err
+
+    def test_check_missing_snapshot_fails_when_named(self, tmp_path):
+        assert main(["check", "fbdt_batched", "--root",
+                     str(tmp_path)]) == 1
+
+    def test_unknown_bench_rejected(self, tmp_path):
+        assert main(["check", "bogus", "--root", str(tmp_path)]) == 1
+
+    def test_checked_in_history_verifies(self):
+        """The repo's own BENCH_history.jsonl must pass the gate."""
+        import benchmarks.trend as trend
+
+        records = load_history(
+            trend.REPO_ROOT + "/" + trend.HISTORY_NAME)
+        assert records, "seeded history is missing"
+        assert main(["check"]) == 0
