@@ -40,6 +40,13 @@ import statistics
 import sys
 from dataclasses import dataclass
 
+try:
+    # The hardened append (O_APPEND single write + fsync barrier +
+    # torn-tail healing) from the robustness storage layer.
+    from repro.robustness.storage import append_line as _append_line
+except ImportError:  # standalone use without src/ on sys.path
+    _append_line = None
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 HISTORY_NAME = "BENCH_history.jsonl"
 DEFAULT_K = 5
@@ -87,6 +94,10 @@ BENCHES = {
         MetricSpec("cold/scheduler/redispatches", EXACT, LOWER),
         MetricSpec("cold/elapsed_s", INFO),
         MetricSpec("warm/elapsed_s", INFO),
+        # strict-vs-lax fsync cost on an isolated mini-fleet; the hard
+        # <10% gate lives in bench_service.check_gates, this is trend
+        # visibility only (wall-noise sensitive).
+        MetricSpec("durability/overhead_pct", INFO),
     )),
     "profile": ("BENCH_profile.json", (
         MetricSpec("counters/*", EXACT, LOWER),
@@ -102,6 +113,28 @@ BENCHES = {
 
 class TrendError(ValueError):
     """History file is corrupt, rewritten, or otherwise untrustworthy."""
+
+
+class TornTailError(TrendError):
+    """Only the *final* line is bad: a crash tore the last append.
+
+    Unlike mid-file corruption (which means tampering and stays fatal),
+    a torn tail is the expected debris of a kill or ENOSPC mid-append.
+    It is reported — never silently skipped — and ``check --repair``
+    truncates the file at ``offset`` to recover the valid prefix.
+    """
+
+    def __init__(self, path: str, lineno: int, offset: int,
+                 reason: str):
+        self.path = path
+        self.lineno = lineno
+        self.offset = offset
+        self.reason = reason
+        super().__init__(
+            f"{path}:{lineno}: torn final line ({reason}) — likely a "
+            f"crash or ENOSPC mid-append; run `python -m "
+            f"benchmarks.trend check --repair` to truncate the torn "
+            f"tail (byte {offset}) and keep the valid prefix")
 
 
 def _digest(record: dict) -> str:
@@ -138,36 +171,65 @@ def _expand(spec: MetricSpec, snapshot_metrics: dict,
 
 
 def load_history(path: str) -> list:
-    """Parse and verify the append-only log; raises TrendError."""
+    """Parse and verify the append-only log; raises TrendError.
+
+    A bad *final* line raises :class:`TornTailError` (with the byte
+    offset to truncate at) instead of the generic failure: the tail is
+    the only place a crash mid-append can tear, so only there is
+    repair — as opposed to tamper-rejection — on the table.
+    """
     records = []
     if not os.path.exists(path):
         return records
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    entries = []  # (lineno, byte offset, text)
+    pos = 0
+    for lineno, chunk in enumerate(raw.split(b"\n"), 1):
+        entries.append((lineno, pos,
+                        chunk.decode("utf-8", "replace").strip()))
+        pos += len(chunk) + 1
+    while entries and not entries[-1][2]:
+        entries.pop()  # trailing newline / blank tail
+    entries = [entry for entry in entries if entry[2]]
     prev = ""
-    with open(path) as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except ValueError:
-                raise TrendError(f"{path}:{lineno}: not valid JSON")
-            if rec.get("digest") != _digest(rec):
-                raise TrendError(
-                    f"{path}:{lineno}: digest mismatch — the line was "
-                    f"edited after being appended")
-            if rec.get("prev", "") != prev:
-                raise TrendError(
-                    f"{path}:{lineno}: chain broken — history is "
-                    f"append-only; earlier lines were removed or "
-                    f"reordered")
-            if rec.get("seq") != len(records) + 1:
-                raise TrendError(
-                    f"{path}:{lineno}: bad seq {rec.get('seq')} "
-                    f"(expected {len(records) + 1})")
-            prev = rec["digest"]
-            records.append(rec)
+    for index, (lineno, offset, line) in enumerate(entries):
+        final = index == len(entries) - 1
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            if final:
+                raise TornTailError(path, lineno, offset,
+                                    "not valid JSON")
+            raise TrendError(f"{path}:{lineno}: not valid JSON")
+        if not isinstance(rec, dict) or rec.get("digest") != _digest(rec):
+            if final:
+                raise TornTailError(path, lineno, offset,
+                                    "digest mismatch")
+            raise TrendError(
+                f"{path}:{lineno}: digest mismatch — the line was "
+                f"edited after being appended")
+        if rec.get("prev", "") != prev:
+            raise TrendError(
+                f"{path}:{lineno}: chain broken — history is "
+                f"append-only; earlier lines were removed or "
+                f"reordered")
+        if rec.get("seq") != len(records) + 1:
+            raise TrendError(
+                f"{path}:{lineno}: bad seq {rec.get('seq')} "
+                f"(expected {len(records) + 1})")
+        prev = rec["digest"]
+        records.append(rec)
     return records
+
+
+def repair_torn_tail(exc: TornTailError) -> str:
+    """Truncate the history at the torn line; returns a description."""
+    with open(exc.path, "r+b") as handle:
+        handle.truncate(exc.offset)
+    return (f"repaired {exc.path}: dropped torn final line "
+            f"{exc.lineno} ({exc.reason}); history truncated to byte "
+            f"{exc.offset}")
 
 
 def append_snapshot(bench: str, snapshot: dict,
@@ -191,9 +253,12 @@ def append_snapshot(bench: str, snapshot: dict,
         "metrics": flat,
     }
     record["digest"] = _digest(record)
-    with open(history_path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True,
-                                separators=(",", ":")) + "\n")
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if _append_line is not None:
+        _append_line(history_path, line, writer="history")
+    else:
+        with open(history_path, "a") as handle:
+            handle.write(line + "\n")
     return record
 
 
@@ -302,6 +367,16 @@ def cmd_append(args) -> int:
 def cmd_check(args) -> int:
     try:
         records = load_history(args.history)
+    except TornTailError as exc:
+        if not getattr(args, "repair", False):
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 1
+        print(f"  note: {repair_torn_tail(exc)}")
+        try:
+            records = load_history(args.history)
+        except TrendError as inner:
+            print(f"ERROR: {inner}", file=sys.stderr)
+            return 1
     except TrendError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
@@ -363,6 +438,11 @@ def main(argv=None) -> int:
     parser.add_argument("--k", type=int, default=DEFAULT_K,
                         help="baseline window: median of the last K "
                              "entries per bench (default 5)")
+    parser.add_argument("--repair", action="store_true",
+                        help="check only: truncate a *torn final line* "
+                             "(crash/ENOSPC mid-append) and proceed on "
+                             "the valid prefix; mid-file corruption "
+                             "stays fatal")
     args = parser.parse_args(argv)
     if args.history is None:
         args.history = os.path.join(args.root, HISTORY_NAME)

@@ -198,8 +198,14 @@ def _write_obs_artifacts(args: argparse.Namespace, result, config,
         print(f"metrics written to {args.metrics_out}")
     if args.report_out:
         from repro.obs.report import build_run_report, write_run_report
+        from repro.robustness.storage import get_storage
 
-        report = build_run_report(result, config, accuracy=acc)
+        storage = get_storage()
+        report = build_run_report(
+            result, config, accuracy=acc,
+            storage={"durability": storage.durability,
+                     "brownout": False,
+                     "counters": storage.counters.to_json()})
         write_run_report(report, args.report_out)
         print(f"run report written to {args.report_out}")
 

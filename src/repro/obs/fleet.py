@@ -43,8 +43,38 @@ FLEET_STATUS_SCHEMA: Dict[str, Any] = {
                  "tenants", "totals", "verification", "telemetry",
                  "scheduler", "slo"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1]},
+        # v2 added the ``storage`` block (disk pressure, durability
+        # counters, brownout) injected by FleetTelemetry; a bare
+        # aggregator snapshot is still v1.
+        "schema_version": {"type": "integer", "enum": [1, 2]},
         "updated_at": {"type": _NUM},
+        "storage": {
+            "type": ["object", "null"],
+            "required": ["durability", "pressure", "brownout",
+                         "counters"],
+            "properties": {
+                "durability": {"type": "string",
+                               "enum": ["strict", "lax"]},
+                "pressure": {"type": _NUM},
+                "brownout": {"type": "boolean"},
+                "disk": {
+                    "type": "object",
+                    "properties": {
+                        "total_bytes": {"type": "integer"},
+                        "free_bytes": {"type": "integer"},
+                    },
+                },
+                "counters": {
+                    "type": "object",
+                    "required": ["ops", "faults", "drops"],
+                    "properties": {
+                        "ops": {"type": "object"},
+                        "faults": {"type": "object"},
+                        "drops": {"type": "object"},
+                    },
+                },
+            },
+        },
         "jobs": {
             "type": "object",
             "required": ["total", "by_status", "dispatched", "retries"],

@@ -119,15 +119,34 @@ _CACHE_COUNTERS = {
     },
 }
 
+_STORAGE_BLOCK = {
+    "type": ["object", "null"],
+    "required": ["durability", "brownout", "counters"],
+    "properties": {
+        "durability": {"type": "string", "enum": ["strict", "lax"]},
+        "brownout": {"type": "boolean"},
+        "counters": {
+            "type": "object",
+            "required": ["ops", "faults", "drops"],
+            "properties": {
+                "ops": {"type": "object"},
+                "faults": {"type": "object"},
+                "drops": {"type": "object"},
+            },
+        },
+    },
+}
+
 REPORT_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": ["schema_version", "run", "engine", "totals", "stages",
                  "outputs", "degradations", "bank", "caches",
                  "oracle_layers", "methods", "verification", "supervisor",
-                 "job", "fleet", "profile"],
+                 "job", "fleet", "profile", "storage"],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [6]},
+        "schema_version": {"type": "integer", "enum": [7]},
         "profile": _PROFILE_BLOCK,
+        "storage": _STORAGE_BLOCK,
         "engine": {
             "type": "object",
             "required": ["frontier_mode", "kernel_backend", "mode"],
@@ -339,7 +358,8 @@ def build_run_report(result, config, *,
                      accuracy: Optional[float] = None,
                      job: Optional[Dict[str, Any]] = None,
                      cross_job: Optional[Dict[str, Any]] = None,
-                     fleet: Optional[Dict[str, Any]] = None
+                     fleet: Optional[Dict[str, Any]] = None,
+                     storage: Optional[Dict[str, Any]] = None
                      ) -> Dict[str, Any]:
     """Assemble the run manifest from a finished :class:`LearnResult`.
 
@@ -353,7 +373,10 @@ def build_run_report(result, config, *,
     ``repro learn`` runs.  ``fleet`` (schema v5+) is the service-side
     scheduling context — ``{job_id, tier, attempt,
     queue_latency_seconds}`` — required whenever the run executed under
-    the job scheduler, ``None`` otherwise.
+    the job scheduler, ``None`` otherwise.  ``storage`` (schema v7+) is
+    the durability context — ``{durability, brownout, counters}`` from
+    the hardened storage layer — populated by the service runner and
+    ``repro learn``, ``None`` for callers without one.
     """
     instr = result.instrumentation
     if instr is None:
@@ -455,6 +478,20 @@ def build_run_report(result, config, *,
                 fleet.get("queue_latency_seconds", 0.0)), 6),
         }
 
+    storage_section = None
+    if storage is not None:
+        counters = storage.get("counters") or {}
+        storage_section = {
+            "durability": str(storage.get("durability", "strict")),
+            "brownout": bool(storage.get("brownout", False)),
+            "counters": {
+                "ops": dict(counters.get("ops", {})),
+                "faults": {w: dict(per) for w, per in
+                           (counters.get("faults", {})).items()},
+                "drops": dict(counters.get("drops", {})),
+            },
+        }
+
     engine = dict(getattr(result, "engine", None) or {})
     engine.setdefault("frontier_mode", config.frontier_mode)
     engine.setdefault(
@@ -470,7 +507,7 @@ def build_run_report(result, config, *,
         profile_section = Profiler.from_instrumentation(instr).to_json()
 
     return {
-        "schema_version": 6,
+        "schema_version": 7,
         "run": {
             "seed": config.seed,
             "jobs": config.jobs,
@@ -503,6 +540,7 @@ def build_run_report(result, config, *,
         "job": job_section,
         "fleet": fleet_section,
         "profile": profile_section,
+        "storage": storage_section,
         "oracle_layers": layers,
         "methods": result.methods_used(),
         "verification": verification.to_json()
@@ -516,9 +554,9 @@ def write_run_report(report: Dict[str, Any], path: str) -> None:
     if errors:
         raise ValueError("run report failed schema validation: "
                          + "; ".join(errors[:5]))
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.robustness.storage import get_storage
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    get_storage().atomic_write_text(path, text, writer="report")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

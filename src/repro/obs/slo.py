@@ -16,8 +16,10 @@ ran in that tier) evaluates to ``healthy`` — absence of traffic is not
 an incident.
 
 Policies load from JSON (``repro serve --slo-config policy.json``);
-:data:`DEFAULT_POLICY` covers the four signals the roadmap cares
-about with deliberately loose thresholds.
+the default policy covers the four scheduling signals the roadmap
+cares about plus ``storage_pressure`` (disk headroom feeding the
+brownout in :class:`repro.service.telemetry.FleetTelemetry`), all with
+deliberately loose thresholds.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ BREACHED = "breached"
 _SEVERITY = {HEALTHY: 0, DEGRADED: 1, BREACHED: 2}
 
 KINDS = ("queue_latency_p95", "verify_failure_rate", "retry_rate",
-         "budget_burn")
+         "budget_burn", "storage_pressure")
 """Supported rule kinds, each mapping to a snapshot signal."""
 
 
@@ -102,6 +104,12 @@ class SloRule:
                 if burn is not None and (best is None or burn > best):
                     best = burn
             return best
+        if self.kind == "storage_pressure":
+            # Used-space fraction of the spool's filesystem (elevated
+            # to >= 0.99 when the storage layer has seen ENOSPC); a
+            # snapshot without a storage block simply has no data yet.
+            pressure = (snapshot.get("storage") or {}).get("pressure")
+            return None if pressure is None else float(pressure)
         raise AssertionError(self.kind)  # pragma: no cover
 
     def evaluate(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
@@ -163,6 +171,8 @@ def default_policy() -> SloPolicy:
                 degraded=0.25, breached=0.5),
         SloRule("budget-burn", "budget_burn",
                 degraded=0.8, breached=1.0),
+        SloRule("storage", "storage_pressure",
+                degraded=0.90, breached=0.98),
     ])
 
 

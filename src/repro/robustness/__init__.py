@@ -21,6 +21,15 @@ machinery that keeps a run alive — and honest:
   loop for the ones that fail;
 - :mod:`repro.robustness.supervisor` — a supervised worker pool with
   heartbeats, wall timeouts, re-dispatch and poison-task quarantine;
+- :mod:`repro.robustness.storage` — the hardened storage layer (atomic
+  replaces with fsync barriers, durable appends, digest framing) every
+  durable artifact goes through, plus the injectable
+  :class:`~repro.robustness.storage.FaultyStorage` shim for ENOSPC /
+  EIO / torn-write / crash-point injection;
+- :mod:`repro.robustness.crashpoints` — the ALICE-style crash-point
+  exploration harness (``python -m repro.robustness.crashpoints``)
+  that sweeps every storage step across scripted workloads and asserts
+  the recovery invariants;
 - :mod:`repro.robustness.chaos` — the seeded fault-scenario matrix
   behind ``repro chaos``.
 
@@ -36,6 +45,9 @@ from repro.robustness.checkpoint import CheckpointError, CheckpointStore
 from repro.robustness.deadline import Deadline, DeadlineManager
 from repro.robustness.faults import FaultCounters, FaultModel, FaultyOracle
 from repro.robustness.retry import RetryExhausted, RetryingOracle, RetryPolicy
+from repro.robustness.storage import (FaultyStorage, SimulatedCrash,
+                                      Storage, StorageCounters,
+                                      StorageFaultModel, use_storage)
 from repro.robustness.supervisor import (SupervisorPolicy, SupervisorStats,
                                          run_supervised)
 from repro.robustness.verify import (OutputVerification, VerificationReport,
@@ -45,8 +57,10 @@ from repro.robustness.verify import (OutputVerification, VerificationReport,
 __all__ = ["AuditCounters", "AuditingOracle", "AuditPolicy",
            "CheckpointError", "CheckpointStore", "Deadline",
            "DeadlineManager", "FaultCounters", "FaultModel",
-           "FaultyOracle", "OutputVerification", "RetryExhausted",
-           "RetryingOracle", "RetryPolicy", "SupervisorPolicy",
-           "SupervisorStats", "VerificationReport", "VerifyPolicy",
-           "row_select_hash", "rows_to_certify", "run_supervised",
+           "FaultyOracle", "FaultyStorage", "OutputVerification",
+           "RetryExhausted", "RetryingOracle", "RetryPolicy",
+           "SimulatedCrash", "Storage", "StorageCounters",
+           "StorageFaultModel", "SupervisorPolicy", "SupervisorStats",
+           "VerificationReport", "VerifyPolicy", "row_select_hash",
+           "rows_to_certify", "run_supervised", "use_storage",
            "verify_and_repair", "wilson_lower_bound"]

@@ -456,6 +456,224 @@ def _scenario_service_corrupt_checkpoint(seed: int) -> ScenarioOutcome:
     return out
 
 
+def _scenario_service_disk_full(seed: int) -> ScenarioOutcome:
+    """The disk fills mid-fleet: the storage SLO breaches, the brownout
+    sheds batch admissions and non-essential writers with structured
+    records, every job still reaches a terminal status with no
+    unhandled ``OSError``, and the brownout exits once the disk frees."""
+    from repro.robustness.storage import (FaultyStorage,
+                                          StorageFaultModel,
+                                          read_records, use_storage)
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+    from repro.service.telemetry import FleetTelemetry
+
+    out = ScenarioOutcome("service-disk-full", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-diskfull-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        disk = {"free": 900}
+        telemetry = FleetTelemetry(
+            spool, interval=0.0,
+            pressure_probe=lambda: (1000, disk["free"]))
+        sched = JobScheduler(spool, SchedulerPolicy(
+            inline=True, max_active=1, retry_backoff_base=0.0),
+            telemetry=telemetry)
+        spool.submit(JobSpec(job_id="full-0", circuit=circuit,
+                             profile="fast", time_limit=15.0,
+                             seed=seed), circuit_src=circuit)
+        sched.drain(timeout=240)  # the healthy half of the fleet's life
+        disk["free"] = 10  # the disk fills mid-fleet (99% used)
+        faulty = FaultyStorage(model=StorageFaultModel(
+            enospc_rate=1.0,
+            writers={"telemetry", "cache", "cache-events", "prom"}),
+            seed=seed, durability="lax")
+        with use_storage(faulty):
+            sched.tick()  # pressure breaches; the brownout must raise
+            if not telemetry.brownout:
+                out.failures.append(
+                    "pressure breach did not raise the brownout")
+            if not spool.brownout_active():
+                out.failures.append("brownout marker file missing")
+            spool.submit(JobSpec(job_id="full-batch", circuit=circuit,
+                                 profile="fast", tier="batch",
+                                 time_limit=15.0, seed=seed),
+                         circuit_src=circuit)
+            spool.submit(JobSpec(job_id="full-1", circuit=circuit,
+                                 profile="fast", time_limit=15.0,
+                                 seed=seed + 1), circuit_src=circuit)
+            try:
+                summary = sched.drain(timeout=240)
+            except OSError as exc:
+                out.failures.append(
+                    f"unhandled OSError under ENOSPC: {exc}")
+                summary = spool.summary()
+        out.details["statuses"] = {j: info["status"]
+                                   for j, info in summary.items()}
+        out.details["storage_counters"] = faulty.counters.to_json()
+        batch = summary.get("full-batch", {})
+        rejection = batch.get("rejection") or {}
+        if batch.get("status") != "rejected" \
+                or rejection.get("reason_code") != "storage-pressure":
+            out.failures.append(
+                f"batch admission was not shed under brownout: "
+                f"{batch.get('status')!r} / {rejection}")
+        for job_id in ("full-0", "full-1"):
+            if summary.get(job_id, {}).get("status") \
+                    not in ("verified", "repaired"):
+                out.failures.append(
+                    f"{job_id} ended "
+                    f"{summary.get(job_id, {}).get('status')!r} on the "
+                    f"full disk")
+        if not spool.all_terminal():
+            out.failures.append("disk-full fleet left non-terminal "
+                                "jobs")
+        if faulty.counters.drops.get("telemetry", 0) == 0:
+            out.failures.append(
+                "telemetry flush was not shed under brownout")
+        events, _ = read_records(spool.slo_events_path())
+        if not any(e.get("kind") == "storage-pressure"
+                   and e.get("brownout") for e in events):
+            out.failures.append(
+                "no storage-pressure brownout record in slo_events")
+        if not any(e.get("rule") == "storage"
+                   and e.get("status") in ("degraded", "breached")
+                   for e in events):
+            out.failures.append("no storage SLO transition in "
+                                "slo_events")
+        disk["free"] = 900  # the operator frees space
+        sched.tick()
+        if telemetry.brownout or spool.brownout_active():
+            out.failures.append("brownout did not exit after the disk "
+                                "freed")
+        events, _ = read_records(spool.slo_events_path())
+        if not any(e.get("kind") == "storage-pressure"
+                   and not e.get("brownout") for e in events):
+            out.failures.append("brownout exit was not recorded")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def _scenario_service_torn_journal(seed: int) -> ScenarioOutcome:
+    """A service life dies mid-write leaving a torn state journal and a
+    torn telemetry tail; the restarted service fails the unknowable job
+    loudly (``state-corrupt`` history), runs its neighbor normally, and
+    leaves nothing non-terminal."""
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+
+    out = ScenarioOutcome("service-torn-journal", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-torn-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        for i in range(2):
+            spool.submit(JobSpec(job_id=f"torn-{i}", circuit=circuit,
+                                 profile="fast", time_limit=15.0,
+                                 seed=seed), circuit_src=circuit)
+        # The previous life got torn-0 running, then died mid-replace
+        # (journal) and mid-append (telemetry).
+        spool.transition("torn-0", "queued", detail="admitted")
+        spool.transition("torn-0", "running", detail="attempt 0",
+                         attempt=0)
+        state_path = spool.state_path("torn-0")
+        with open(state_path, "rb") as handle:
+            raw = handle.read()
+        with open(state_path, "wb") as handle:
+            handle.write(raw[:len(raw) // 2])
+        with open(spool.telemetry_path("torn-0"), "a") as handle:
+            handle.write('{"schema": 1, "job_id": "torn-0", "atte')
+        sched = JobScheduler(spool, SchedulerPolicy(
+            inline=True, max_active=1, retry_backoff_base=0.0))
+        out.details["resumed"] = sched.recover()
+        try:
+            summary = sched.drain(timeout=240)
+        except OSError as exc:
+            out.failures.append(f"unhandled OSError on restart: {exc}")
+            summary = spool.summary()
+        out.details["statuses"] = {j: info["status"]
+                                   for j, info in summary.items()}
+        if summary.get("torn-0", {}).get("status") != "failed":
+            out.failures.append(
+                f"torn-journal job ended "
+                f"{summary.get('torn-0', {}).get('status')!r}, "
+                f"expected a loud failed")
+        state = spool.read_state("torn-0") or {}
+        if not any(event.get("status") == "state-corrupt"
+                   for event in state.get("history", [])):
+            out.failures.append(
+                "rebuilt journal lost the state-corrupt history event")
+        if summary.get("torn-1", {}).get("status") \
+                not in ("verified", "repaired"):
+            out.failures.append(
+                "neighbor of the torn job did not certify — isolation "
+                "broken")
+        if not spool.all_terminal():
+            out.failures.append("torn journal left non-terminal jobs")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def _scenario_service_eio_cache(seed: int) -> ScenarioOutcome:
+    """An EIO burst on the cross-job cache: every store and event append
+    fails for the whole fleet life, yet both jobs certify — the cache
+    may only ever cost its speedup, never a job."""
+    from repro.robustness.storage import (FaultyStorage,
+                                          StorageFaultModel, use_storage)
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import JobScheduler, SchedulerPolicy
+
+    out = ScenarioOutcome("service-eio-cache", True)
+    tmp = tempfile.mkdtemp(prefix="chaos-eio-")
+    try:
+        spool, circuit, _ = _service_fixture(tmp, seed)
+        for i in range(2):
+            spool.submit(JobSpec(job_id=f"eio-{i}", circuit=circuit,
+                                 profile="fast", time_limit=15.0,
+                                 seed=seed), circuit_src=circuit)
+        faulty = FaultyStorage(model=StorageFaultModel(
+            eio_rate=1.0, writers={"cache", "cache-events"}),
+            seed=seed, durability="lax")
+        sched = JobScheduler(spool, SchedulerPolicy(
+            inline=True, max_active=1, retry_backoff_base=0.0))
+        with use_storage(faulty):
+            try:
+                summary = sched.drain(timeout=240)
+            except OSError as exc:
+                out.failures.append(
+                    f"unhandled OSError under the EIO burst: {exc}")
+                summary = spool.summary()
+        out.details["statuses"] = {j: info["status"]
+                                   for j, info in summary.items()}
+        out.details["storage_counters"] = faulty.counters.to_json()
+        for i in range(2):
+            if summary.get(f"eio-{i}", {}).get("status") \
+                    not in ("verified", "repaired"):
+                out.failures.append(
+                    f"eio-{i} ended "
+                    f"{summary.get(f'eio-{i}', {}).get('status')!r} — "
+                    f"a cache fault broke a job")
+        if not spool.all_terminal():
+            out.failures.append("EIO burst left non-terminal jobs")
+        if faulty.counters.fault_total("eio") == 0:
+            out.failures.append("EIO injection never fired")
+        if sched.cache.stats()["stores"] != 0:
+            out.failures.append(
+                "a cache store 'succeeded' during the burst")
+        # The burst over, the cache heals: the next job warm-starts.
+        spool.submit(JobSpec(job_id="eio-2", circuit=circuit,
+                             profile="fast", time_limit=15.0,
+                             seed=seed), circuit_src=circuit)
+        summary = sched.drain(timeout=240)
+        if summary.get("eio-2", {}).get("status") \
+                not in ("verified", "repaired"):
+            out.failures.append("cache did not heal after the burst")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
 SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
     "clean": _scenario_clean,
     "transient": _scenario_transient,
@@ -470,6 +688,9 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
     "service-hang-job": _scenario_service_hang_job,
     "service-kill": _scenario_service_kill,
     "service-corrupt-checkpoint": _scenario_service_corrupt_checkpoint,
+    "service-disk-full": _scenario_service_disk_full,
+    "service-torn-journal": _scenario_service_torn_journal,
+    "service-eio-cache": _scenario_service_eio_cache,
 }
 
 

@@ -29,28 +29,23 @@ for that output bit-for-bit.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import logging
 import os
-import tempfile
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.fbdt import FbdtStats, LearnedCover
 from repro.logic.cube import Cube
 from repro.logic.sop import Sop
+# Re-exported: payload_digest was born here and grew into the storage
+# layer's digest framing; historical importers keep working.
+from repro.robustness.storage import get_storage, payload_digest  # noqa: F401
 
 FORMAT_VERSION = 2
 """Version 2 added sha256 digests to the file and each entry."""
 
 log = logging.getLogger(__name__)
-
-
-def payload_digest(obj) -> str:
-    """sha256 over the canonical JSON encoding of ``obj``."""
-    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class CheckpointError(RuntimeError):
@@ -217,17 +212,6 @@ class CheckpointStore:
             "fingerprint": self._fingerprint,
             "outputs": outputs,
         }
-        data["digest"] = payload_digest(
-            {k: v for k, v in data.items() if k != "digest"})
-        directory = os.path.dirname(os.path.abspath(self.path))
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle)
-            os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        get_storage().atomic_write_json(self.path, data,
+                                        writer="checkpoint",
+                                        suffix=".ckpt.tmp")

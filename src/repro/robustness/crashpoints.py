@@ -1,0 +1,670 @@
+"""Crash-point exploration: prove the recovery invariants, don't claim them.
+
+The storage layer (:mod:`repro.robustness.storage`) decomposes every
+durable write into syscall-equivalent steps — ``write-temp``,
+``fsync-file``, ``rename``, ``fsync-dir`` for an atomic replace;
+``append``, ``fsync-append`` for a durable append.  This harness, in
+the style of ALICE and CrashMonkey, sweeps *every* such step of a set
+of scripted workloads with every fault kind:
+
+- ``crash`` — :class:`~repro.robustness.storage.SimulatedCrash` raised
+  at the step (the ``kill -9`` / power-loss stand-in; temp debris is
+  left behind exactly like the real thing);
+- ``crash-torn`` — the crash lands *mid-transfer*, leaving a torn
+  prefix of the payload (only payload steps can tear);
+- ``enospc`` / ``eio`` — the step raises the corresponding ``OSError``
+  once, modelling a full or sick disk the process survives.
+
+After each injected fault the workload's *verifier* re-opens the
+artifacts through the production recovery paths — ``Spool.read_state``
+/ ``transition(force=True)``, ``CheckpointStore.open_for(resume=True)``,
+``CrossJobCache.load``, ``read_records``, ``trend.load_history`` — and
+asserts the invariants the documentation claims:
+
+- **all-or-nothing journals**: a ``state.json`` / ``spec.json`` /
+  ``fleet_status.json`` either does not exist or reads back complete
+  with a valid digest — never torn;
+- **no double-billing**: billing attempts in a recovered journal are
+  unique and their totals are values the workload actually recorded;
+- **checkpoint restores a prefix**: a resumed checkpoint yields outputs
+  ``0..k-1`` that round-trip bit-for-bit (degrade-to-relearn on
+  anything less, never an error, never foreign covers);
+- **corrupt-entry-is-a-miss**: a faulted cache entry may only ever miss
+  or serve the exact stored rows, and the cache keeps working;
+- **torn-tail self-healing**: an append-only log reads back as an
+  in-order prefix with at most one corrupt (torn) line, and the next
+  append under healthy storage heals the file;
+- **not wedged**: after any fault, the same artifact accepts new writes
+  under healthy storage and reads them back.
+
+Every exploration runs in a fresh temporary directory, so the sweep is
+embarrassingly deterministic: the fault-free trace of a workload is its
+step universe, and ``(workload, kind, step index)`` enumerates the
+fault space — a few hundred distinct points for the stock workloads.
+
+CLI::
+
+    python -m repro.robustness.crashpoints [--out report.json]
+        [--workloads spool,cache] [--kinds crash,enospc]
+        [--durability strict|lax]
+
+Exit status 1 if any invariant was violated; the JSON report lists
+every exploration's outcome and every violation with its fault
+coordinates.  CI runs the full sweep in the chaos-smoke job and
+uploads the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import errno
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.robustness.checkpoint import (CheckpointEntry, CheckpointError,
+                                         CheckpointStore)
+from repro.robustness.storage import (FaultyStorage, SimulatedCrash,
+                                      Storage, read_json_checked,
+                                      read_records, use_storage)
+
+#: Fault kinds the sweep injects at each step point.
+KINDS = ("crash", "crash-torn", "enospc", "eio")
+
+#: Steps that transfer payload bytes — the only places a write can tear.
+PAYLOAD_STEPS = ("write-temp", "append")
+
+
+@dataclass
+class Workload:
+    """One scripted write sequence plus its recovery verifier.
+
+    ``run`` performs production writes under the injected storage and
+    may die at any step; ``verify`` then runs under healthy storage and
+    returns invariant violations (empty list = recovered cleanly).
+    """
+
+    name: str
+    run: Callable[[str], None]
+    verify: Callable[[str], List[str]]
+
+
+@dataclass
+class Exploration:
+    """One ``(workload, kind, step index)`` fault injection."""
+
+    workload: str
+    kind: str
+    index: int
+    step: str
+    target: str
+    outcome: str  # "crashed", "oserror:ENOSPC", "completed", ...
+    violations: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {"workload": self.workload, "kind": self.kind,
+                "index": self.index, "step": self.step,
+                "target": self.target, "outcome": self.outcome,
+                "violations": list(self.violations)}
+
+
+# -- spool workload: journals, billing, terminal transitions ------------------
+
+_SPOOL_BILLING = {
+    "job-a": {0: (128, 4)},
+    "job-b": {0: (96, 3), 1: (64, 2)},
+}
+_SPOOL_STATUSES = frozenset({
+    "submitted", "queued", "running", "verified", "degraded"})
+
+
+def _run_spool(root: str) -> None:
+    from repro.service.jobs import JobSpec, JobStatus
+    from repro.service.spool import Spool
+
+    spool = Spool(os.path.join(root, "spool"))
+    spec = JobSpec(job_id="job-a", circuit="circuit.blif",
+                   tier="interactive", time_limit=5.0)
+    spool.submit(spec)
+    spool.transition("job-a", JobStatus.QUEUED, "admitted")
+    spool.transition("job-a", JobStatus.RUNNING, "attempt 0",
+                     attempt=0, pid=101)
+    rows, calls = _SPOOL_BILLING["job-a"][0]
+    spool.record_billing("job-a", 0, rows, calls)
+    spool.transition("job-a", JobStatus.VERIFIED, "done", attempt=0)
+
+    spec = JobSpec(job_id="job-b", circuit="circuit.blif",
+                   tier="batch", time_limit=5.0)
+    spool.submit(spec)
+    spool.transition("job-b", JobStatus.QUEUED, "admitted")
+    spool.transition("job-b", JobStatus.RUNNING, "attempt 0",
+                     attempt=0, pid=102)
+    rows, calls = _SPOOL_BILLING["job-b"][0]
+    spool.record_billing("job-b", 0, rows, calls)
+    # Crash-resume retry: the only backward edge, then a second attempt
+    # that bills separately (the uniqueness invariant's real shape).
+    spool.transition("job-b", JobStatus.QUEUED, "worker died",
+                     attempt=1)
+    spool.transition("job-b", JobStatus.RUNNING, "attempt 1",
+                     attempt=1, pid=103)
+    rows, calls = _SPOOL_BILLING["job-b"][1]
+    spool.record_billing("job-b", 1, rows, calls)
+    spool.transition("job-b", JobStatus.DEGRADED, "partial", attempt=1)
+
+
+def _verify_spool(root: str) -> List[str]:
+    from repro.service.jobs import JobStatus
+    from repro.service.spool import Spool
+
+    violations: List[str] = []
+    spool_root = os.path.join(root, "spool")
+    if not os.path.isdir(os.path.join(spool_root, "jobs")):
+        return violations  # died before the spool existed
+    spool = Spool(spool_root)
+    for job_id in spool.job_ids():
+        state_path = spool.state_path(job_id)
+        state = spool.read_state(job_id)
+        if state is None:
+            # All-or-nothing: the journal is absent or complete, never
+            # a torn file that read_json_checked rejects.
+            if os.path.exists(state_path):
+                violations.append(
+                    f"{job_id}: state.json exists but is torn/corrupt "
+                    f"(atomic replace leaked a partial file)")
+        else:
+            status = state.get("status")
+            if status not in _SPOOL_STATUSES:
+                violations.append(
+                    f"{job_id}: recovered status {status!r} was never "
+                    f"written by the workload")
+            attempts = [entry.get("attempt")
+                        for entry in state.get("billing", [])]
+            if len(attempts) != len(set(attempts)):
+                violations.append(
+                    f"{job_id}: duplicate billing attempts {attempts} "
+                    f"(double-billing)")
+            expected = _SPOOL_BILLING.get(job_id, {})
+            for entry in state.get("billing", []):
+                want = expected.get(entry.get("attempt"))
+                got = (entry.get("billed_rows"),
+                       entry.get("billed_calls"))
+                if want != got:
+                    violations.append(
+                        f"{job_id}: billing {entry} does not match any "
+                        f"recorded attempt ({expected})")
+        spec_path = spool.spec_path(job_id)
+        if os.path.exists(spec_path) \
+                and read_json_checked(spec_path) is None:
+            violations.append(f"{job_id}: spec.json exists but is "
+                              f"torn/corrupt")
+        # Not wedged: the journal accepts a (forced) recovery
+        # transition under healthy storage — the corrupt-journal
+        # rebuild path when the state was unreadable.
+        try:
+            spool.transition(job_id, JobStatus.FAILED,
+                             "crash-point recovery probe", force=True)
+        except Exception as exc:  # noqa: BLE001 - any failure is the finding
+            violations.append(
+                f"{job_id}: recovery transition failed: {exc!r}")
+            continue
+        if spool.status(job_id) != JobStatus.FAILED:
+            violations.append(
+                f"{job_id}: recovery transition did not persist")
+    return violations
+
+
+# -- checkpoint workload: per-output snapshots, resume-as-prefix --------------
+
+_CK_PIS = ["a", "b", "c", "d"]
+_CK_POS = ["y0", "y1", "y2"]
+_CK_SEED = 7
+
+
+def _ck_entry(j: int) -> CheckpointEntry:
+    from repro.core.fbdt import LearnedCover
+    from repro.logic.cube import Cube
+    from repro.logic.sop import Sop
+
+    num_pis = len(_CK_PIS)
+    cover = LearnedCover(
+        onset=Sop([Cube({0: 1, j + 1: 0})], num_pis),
+        offset=Sop([Cube({1: 0}), Cube({j + 1: 1})], num_pis),
+        use_offset=bool(j % 2))
+    return CheckpointEntry(po_index=j, po_name=_CK_POS[j],
+                           method="fbdt", detail=f"crashpoint wl {j}",
+                           support=[0, 1, j + 1], cover=cover)
+
+
+def _run_checkpoint(root: str) -> None:
+    store = CheckpointStore(os.path.join(root, "ck.ckpt"))
+    store.open_for(_CK_PIS, _CK_POS, seed=_CK_SEED, resume=False)
+    for j in range(len(_CK_POS)):
+        store.record_output(_ck_entry(j))
+
+
+def _verify_checkpoint(root: str) -> List[str]:
+    violations: List[str] = []
+    store = CheckpointStore(os.path.join(root, "ck.ckpt"))
+    try:
+        entries = store.open_for(_CK_PIS, _CK_POS, seed=_CK_SEED,
+                                 resume=True)
+    except CheckpointError as exc:
+        # Same problem, same seed: resume must degrade to re-learn on
+        # damage, never refuse.
+        return [f"checkpoint resume raised on the same problem: {exc}"]
+    keys = sorted(entries)
+    if keys != list(range(len(keys))):
+        violations.append(
+            f"checkpoint restored a non-prefix {keys} (snapshots are "
+            f"written in output order)")
+    for j, entry in entries.items():
+        if entry.to_json() != _ck_entry(j).to_json():
+            violations.append(
+                f"checkpoint output {j} did not round-trip "
+                f"bit-for-bit")
+    # Not wedged: recording under healthy storage extends the prefix.
+    try:
+        store.record_output(_ck_entry(len(_CK_POS) - 1))
+    except Exception as exc:  # noqa: BLE001
+        violations.append(f"checkpoint write after fault failed: "
+                          f"{exc!r}")
+    return violations
+
+
+# -- cache workload: corrupt-entry-is-a-miss ----------------------------------
+
+_CACHE_PIS = ["x0", "x1", "x2", "x3"]
+_CACHE_POS = ["y", "z"]
+
+
+def _cache_rows(tag: int) -> Tuple[np.ndarray, np.ndarray]:
+    patterns = ((np.arange(32, dtype=np.uint8) * 7 + tag) % 2)
+    outputs = ((np.arange(16, dtype=np.uint8) * 5 + tag) % 2)
+    return patterns.reshape(8, 4), outputs.reshape(8, 2)
+
+
+def _cache_fp(tag: int) -> str:
+    from repro.service.cache import problem_fingerprint
+    return problem_fingerprint(_CACHE_PIS, _CACHE_POS, tag)
+
+
+def _run_cache(root: str) -> None:
+    from repro.service.cache import CrossJobCache
+
+    cache = CrossJobCache(os.path.join(root, "cache"), max_entries=8)
+    for tag in (1, 2):
+        patterns, outputs = _cache_rows(tag)
+        cache.store(_cache_fp(tag), patterns, outputs)
+
+
+def _verify_cache(root: str) -> List[str]:
+    from repro.service.cache import CrossJobCache
+
+    violations: List[str] = []
+    cache = CrossJobCache(os.path.join(root, "cache"), max_entries=8)
+    for tag in (1, 2):
+        got = cache.load(_cache_fp(tag), len(_CACHE_PIS),
+                         len(_CACHE_POS))
+        if got is None:
+            continue  # a miss is always legal; wrong rows never are
+        patterns, outputs = _cache_rows(tag)
+        if not (np.array_equal(got[0], patterns)
+                and np.array_equal(got[1], outputs)):
+            violations.append(
+                f"cache entry {tag} served rows that were never "
+                f"stored for it")
+    try:
+        cache.stats()  # event log with a torn tail must still fold
+    except Exception as exc:  # noqa: BLE001
+        violations.append(f"cache stats raised after fault: {exc!r}")
+    # Not wedged: a store under healthy storage hits on reload.
+    try:
+        patterns, outputs = _cache_rows(3)
+        cache.store(_cache_fp(3), patterns, outputs)
+        if cache.load(_cache_fp(3), len(_CACHE_PIS),
+                      len(_CACHE_POS)) is None:
+            violations.append("cache store after fault is unreadable")
+    except Exception as exc:  # noqa: BLE001
+        violations.append(f"cache store after fault failed: {exc!r}")
+    return violations
+
+
+# -- telemetry workload: append-only prefix + torn-tail healing ---------------
+
+_TEL_RECORDS = 4
+
+
+def _tel_path(root: str) -> str:
+    return os.path.join(root, "telemetry.jsonl")
+
+
+def _run_telemetry(root: str) -> None:
+    from repro.service.telemetry import append_jsonl_record
+
+    for i in range(_TEL_RECORDS):
+        append_jsonl_record(_tel_path(root), {
+            "schema": 1, "job_id": "wl", "attempt": 0, "seq": i})
+
+
+def _verify_telemetry(root: str) -> List[str]:
+    from repro.service.telemetry import append_jsonl_record
+
+    violations: List[str] = []
+    path = _tel_path(root)
+    records, corrupt = read_records(path)
+    seqs = [record.get("seq") for record in records]
+    if seqs != list(range(len(seqs))):
+        violations.append(
+            f"telemetry records are not an in-order prefix: {seqs}")
+    if corrupt > 1:
+        violations.append(
+            f"{corrupt} corrupt telemetry lines — only the tail may "
+            f"tear")
+    # Torn-tail self-healing: the next append under healthy storage
+    # must read back, with the prefix intact and the torn line (if
+    # any) still the only corruption.
+    try:
+        append_jsonl_record(path, {"schema": 1, "job_id": "wl",
+                                   "attempt": 0, "seq": 99})
+    except Exception as exc:  # noqa: BLE001
+        return violations + [f"telemetry append after fault failed: "
+                             f"{exc!r}"]
+    healed, corrupt_after = read_records(path)
+    if [record.get("seq") for record in healed] != seqs + [99]:
+        violations.append(
+            "telemetry append after a torn tail did not heal the file")
+    if corrupt_after > corrupt:
+        violations.append(
+            f"healing append increased corrupt lines "
+            f"({corrupt} -> {corrupt_after})")
+    return violations
+
+
+# -- fleet workload: status publishing + SLO events under pressure ------------
+
+def _run_fleet(root: str) -> None:
+    from repro.service.spool import Spool
+    from repro.service.telemetry import FleetTelemetry
+
+    spool = Spool(os.path.join(root, "spool"))
+    # 96% full: the storage SLO rule degrades on the first tick, so the
+    # sweep also covers the brownout record and marker paths.
+    telemetry = FleetTelemetry(spool, interval=0.0,
+                               pressure_probe=lambda: (1000, 40))
+    telemetry.tick({"dispatched": 0}, force=True)
+    telemetry.tick({"dispatched": 1}, force=True)
+
+
+def _verify_fleet(root: str) -> List[str]:
+    from repro.service.spool import Spool
+    from repro.service.telemetry import FleetTelemetry
+
+    violations: List[str] = []
+    spool_root = os.path.join(root, "spool")
+    if not os.path.isdir(os.path.join(spool_root, "fleet")):
+        return violations
+    spool = Spool(spool_root)
+    status_path = spool.fleet_status_path()
+    if os.path.exists(status_path) \
+            and read_json_checked(status_path) is None:
+        violations.append("fleet_status.json exists but is torn")
+    _, corrupt = read_records(spool.slo_events_path())
+    if corrupt > 1:
+        violations.append(
+            f"{corrupt} corrupt slo_events lines — only the tail may "
+            f"tear")
+    # Not wedged: a recovery tick (healthy disk now) publishes a
+    # readable status.
+    telemetry = FleetTelemetry(spool, interval=0.0,
+                               pressure_probe=lambda: (1000, 900))
+    try:
+        telemetry.tick({"dispatched": 2}, force=True)
+    except Exception as exc:  # noqa: BLE001
+        return violations + [f"fleet recovery tick failed: {exc!r}"]
+    if read_json_checked(status_path) is None:
+        violations.append(
+            "fleet status unreadable after the recovery tick")
+    return violations
+
+
+# -- history workload: digest-chained bench history ---------------------------
+
+def _load_trend():
+    try:
+        from benchmarks import trend
+        return trend
+    except ImportError:
+        return None  # standalone install without the repo root
+
+
+def _history_snapshot(i: int) -> dict:
+    return {"gates_passed": True,
+            "metrics": {"cache": {"hits": i},
+                        "cold": {"billed_rows": 100 - i,
+                                 "scheduler": {"redispatches": 0}}}}
+
+
+def _run_history(root: str) -> None:
+    trend = _load_trend()
+    path = os.path.join(root, "history.jsonl")
+    for i in range(3):
+        trend.append_snapshot("service", _history_snapshot(i), path)
+
+
+def _verify_history(root: str) -> List[str]:
+    trend = _load_trend()
+    violations: List[str] = []
+    path = os.path.join(root, "history.jsonl")
+    try:
+        records = trend.load_history(path)
+    except trend.TornTailError as exc:
+        # Expected debris of a mid-append fault; repair must recover
+        # the valid prefix.
+        try:
+            trend.repair_torn_tail(exc)
+            records = trend.load_history(path)
+        except trend.TrendError as exc2:
+            return [f"history repair did not recover the prefix: "
+                    f"{exc2}"]
+    except trend.TrendError as exc:
+        return [f"history prefix rejected as mid-file corruption: "
+                f"{exc}"]
+    seqs = [record.get("seq") for record in records]
+    if seqs != list(range(1, len(seqs) + 1)):
+        violations.append(f"history is not a chained prefix: {seqs}")
+    # Not wedged: the chain extends under healthy storage.
+    try:
+        trend.append_snapshot("service",
+                              _history_snapshot(len(records)), path)
+        if len(trend.load_history(path)) != len(records) + 1:
+            violations.append("history append after repair was lost")
+    except trend.TrendError as exc:
+        violations.append(f"history append after fault failed: {exc}")
+    return violations
+
+
+def workloads() -> Dict[str, Workload]:
+    """The scripted workloads, in sweep order."""
+    out = {
+        "spool": Workload("spool", _run_spool, _verify_spool),
+        "checkpoint": Workload("checkpoint", _run_checkpoint,
+                               _verify_checkpoint),
+        "cache": Workload("cache", _run_cache, _verify_cache),
+        "telemetry": Workload("telemetry", _run_telemetry,
+                              _verify_telemetry),
+        "fleet": Workload("fleet", _run_fleet, _verify_fleet),
+    }
+    if _load_trend() is not None:
+        out["history"] = Workload("history", _run_history,
+                                  _verify_history)
+    return out
+
+
+# -- the sweep ----------------------------------------------------------------
+
+def trace_workload(workload: Workload, durability: str
+                   ) -> List[Tuple[str, str, str]]:
+    """Fault-free run: the step universe the sweep then injects into."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tracer = FaultyStorage(durability=durability)
+        with use_storage(tracer):
+            workload.run(tmp)
+        trace = list(tracer.trace)
+        violations = _verify_clean(workload, tmp)
+    if violations:
+        raise AssertionError(
+            f"workload {workload.name!r} violates its own invariants "
+            f"without any fault: {violations}")
+    return trace
+
+
+def _verify_clean(workload: Workload, tmp: str) -> List[str]:
+    with use_storage(Storage(durability="lax")):
+        return workload.verify(tmp)
+
+
+def _storage_for(kind: str, index: int, durability: str
+                 ) -> FaultyStorage:
+    if kind == "crash":
+        return FaultyStorage(durability=durability, crash_at=index)
+    if kind == "crash-torn":
+        return FaultyStorage(durability=durability, crash_at=index,
+                             torn=True)
+    return FaultyStorage(durability=durability,
+                         fail_at=(index, kind))
+
+
+def explore(workload: Workload, kind: str, index: int,
+            step: Tuple[str, str, str], durability: str) -> Exploration:
+    """Inject one fault, then verify recovery in a fresh directory."""
+    storage = _storage_for(kind, index, durability)
+    outcome = "completed"
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            with use_storage(storage):
+                workload.run(tmp)
+        except SimulatedCrash:
+            outcome = "crashed"
+        except OSError as exc:
+            outcome = "oserror:" + errno.errorcode.get(
+                exc.errno or 0, str(exc.errno))
+        except Exception as exc:  # noqa: BLE001
+            outcome = f"unexpected:{type(exc).__name__}"
+        violations = _verify_clean(workload, tmp)
+        if outcome.startswith("unexpected:"):
+            violations = [
+                f"workload died with a non-storage exception under "
+                f"{kind}@{index}: {outcome}"] + violations
+    return Exploration(workload=workload.name, kind=kind, index=index,
+                       step=step[1], target=step[2], outcome=outcome,
+                       violations=violations)
+
+
+def run_harness(names: Optional[Sequence[str]] = None,
+                kinds: Sequence[str] = KINDS,
+                durability: str = "strict") -> dict:
+    """Sweep every (workload, kind, step) triple; return the report.
+
+    ``durability`` selects the storage mode under test: ``strict``
+    exposes the fsync points too (the full step universe), ``lax``
+    sweeps only the data-path steps.
+    """
+    available = workloads()
+    selected = list(available) if names is None else list(names)
+    unknown = [name for name in selected if name not in available]
+    if unknown:
+        raise ValueError(f"unknown workloads {unknown} "
+                         f"(have {sorted(available)})")
+    bad_kinds = [kind for kind in kinds if kind not in KINDS]
+    if bad_kinds:
+        raise ValueError(f"unknown kinds {bad_kinds} (have {KINDS})")
+    by_workload: Dict[str, dict] = {}
+    explorations: List[Exploration] = []
+    for name in selected:
+        workload = available[name]
+        trace = trace_workload(workload, durability)
+        count = 0
+        for kind in kinds:
+            for index, step in enumerate(trace):
+                if kind == "crash-torn" \
+                        and step[1] not in PAYLOAD_STEPS:
+                    continue  # only payload transfers can tear
+                explorations.append(
+                    explore(workload, kind, index, step, durability))
+                count += 1
+        by_workload[name] = {
+            "step_points": len(trace),
+            "explorations": count,
+            "violations": sum(
+                len(result.violations) for result in explorations
+                if result.workload == name),
+        }
+    violations = [
+        {"workload": result.workload, "kind": result.kind,
+         "index": result.index, "step": result.step,
+         "target": result.target, "violation": violation}
+        for result in explorations for violation in result.violations]
+    return {
+        "durability": durability,
+        "kinds": list(kinds),
+        "workloads": by_workload,
+        "step_points": sum(w["step_points"]
+                           for w in by_workload.values()),
+        "explorations": len(explorations),
+        "results": [result.to_json() for result in explorations],
+        "violations": violations,
+        "passed": not violations,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.robustness.crashpoints",
+        description="Sweep every storage crash/fault point of the "
+                    "scripted workloads and verify recovery.")
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument("--workloads",
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--kinds", default=",".join(KINDS),
+                        help=f"comma-separated fault kinds "
+                             f"(default: {','.join(KINDS)})")
+    parser.add_argument("--durability", default="strict",
+                        choices=("strict", "lax"),
+                        help="storage mode under test "
+                             "(strict sweeps the fsync points too)")
+    args = parser.parse_args(argv)
+    names = None if not args.workloads \
+        else [name.strip() for name in args.workloads.split(",")
+              if name.strip()]
+    kinds = [kind.strip() for kind in args.kinds.split(",")
+             if kind.strip()]
+    report = run_harness(names, kinds, args.durability)
+    for name, stats in report["workloads"].items():
+        print(f"  {name:<12} {stats['step_points']:>4} step points  "
+              f"{stats['explorations']:>5} explorations  "
+              f"{stats['violations']:>3} violations")
+    print(f"swept {report['explorations']} fault points over "
+          f"{report['step_points']} storage steps "
+          f"({report['durability']} durability): "
+          + ("all invariants held" if report["passed"]
+             else f"{len(report['violations'])} VIOLATIONS"))
+    for violation in report["violations"]:
+        print(f"  VIOLATION {violation['workload']}/"
+              f"{violation['kind']}@{violation['index']} "
+              f"({violation['step']} {violation['target']}): "
+              f"{violation['violation']}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,13 @@ same seed.  The model covers four failure families:
   truncated or duplicated), which ``Oracle.query`` rejects and classifies
   as a ``TransientOracleFault``, so the retry path covers malformed
   generator output too.
+
+The same family covers the *storage* side: ENOSPC / EIO / torn-write /
+crash-point injection lives in :mod:`repro.robustness.storage` as
+:class:`~repro.robustness.storage.FaultyStorage` +
+:class:`~repro.robustness.storage.StorageFaultModel` (re-exported here),
+with the identical seeded-RNG / fixed-draw-count reproducibility
+contract.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ import numpy as np
 from repro.obs import context as obs
 from repro.oracle.base import (Oracle, OracleTimeout, QueryBudgetExceeded,
                                TransientOracleFault)
+from repro.robustness.storage import (FaultyStorage,  # noqa: F401
+                                      SimulatedCrash, StorageFaultModel)
 
 
 @dataclass

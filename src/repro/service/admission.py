@@ -66,8 +66,24 @@ class AdmissionDecision:
 
 
 def admission_decision(spec: JobSpec, queued_now: int,
-                       policy: AdmissionPolicy) -> AdmissionDecision:
-    """Admit or shed one submission given the current queue depth."""
+                       policy: AdmissionPolicy, *,
+                       brownout: bool = False) -> AdmissionDecision:
+    """Admit or shed one submission given the current queue depth.
+
+    Under a storage brownout (disk pressure past the ``storage`` SLO
+    thresholds) batch-tier work is shed at the door: batch backfill is
+    the load we can refuse without breaking anyone's interactive
+    promise, and every admitted job is bytes the filesystem may not
+    have.  The rejection is structured (``storage-pressure``) so the
+    tenant knows to resubmit once the fleet recovers.
+    """
+    if brownout and spec.tier == "batch":
+        return AdmissionDecision(
+            False, reason_code="storage-pressure",
+            detail=("fleet is in a storage brownout (disk pressure); "
+                    "batch admissions are shed — resubmit when the "
+                    "fleet recovers"),
+            queue_depth=queued_now, capacity=policy.queue_depth)
     if spec.effective_time_limit > policy.max_time_limit:
         return AdmissionDecision(
             False, reason_code="budget-too-large",

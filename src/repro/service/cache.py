@@ -20,14 +20,14 @@ Durability and concurrency:
 
 from __future__ import annotations
 
+import io
 import json
 import os
-import tempfile
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.robustness.checkpoint import payload_digest
+from repro.robustness.storage import get_storage, payload_digest
 
 
 def problem_fingerprint(pi_names, po_names, seed: int) -> str:
@@ -63,11 +63,14 @@ class CrossJobCache:
     def _log(self, kind: str, fingerprint: str, rows: int) -> None:
         line = json.dumps({"kind": kind, "fp": fingerprint[:16],
                            "rows": int(rows)})
+        storage = get_storage()
         try:
-            with open(self.events_path, "a") as handle:
-                handle.write(line + "\n")
+            storage.append_line(self.events_path, line,
+                                writer="cache-events")
         except OSError:
-            pass  # stats are best-effort; the cache itself is not
+            # Stats are best-effort; the cache itself is not.  Count
+            # the shed event so degradation stays observable.
+            storage.counters.note_drop("cache-events")
 
     def stats(self) -> Dict[str, int]:
         """Fold the event log: hits/misses/stores/evictions + rows."""
@@ -131,18 +134,11 @@ class CrossJobCache:
             patterns = patterns[n - self.max_rows_per_entry:]
             outputs = outputs[n - self.max_rows_per_entry:]
             n = self.max_rows_per_entry
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez_compressed(handle, patterns=patterns,
-                                    outputs=outputs)
-            os.replace(tmp, self.entry_path(fingerprint))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, patterns=patterns, outputs=outputs)
+        get_storage().atomic_write_bytes(
+            self.entry_path(fingerprint), buffer.getvalue(),
+            writer="cache", suffix=".npz.tmp")
         self._log("store", fingerprint, n)
         self._evict_over_capacity()
         return n

@@ -26,6 +26,7 @@ recovery), and honors the spec's chaos fault before touching the learn.
 
 from __future__ import annotations
 
+import io
 import os
 import sys
 import threading
@@ -34,6 +35,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.robustness.storage import get_storage
 from repro.service.cache import CrossJobCache, problem_fingerprint
 from repro.service.jobs import TERMINAL_STATUSES, JobSpec, JobStatus
 from repro.service.signals import ShutdownRequested, graceful_shutdown
@@ -203,8 +205,10 @@ def _execute_admitted(spool: Spool, job_id: str, spec: JobSpec,
     config = _build_config(spec, spool)
     result = LogicRegressor(config).learn(oracle, bank_prefill=prefill)
 
-    with open(spool.result_path(job_id), "w") as handle:
-        write_blif(result.netlist, handle)
+    buffer = io.StringIO()
+    write_blif(result.netlist, buffer)
+    get_storage().atomic_write_text(spool.result_path(job_id),
+                                    buffer.getvalue(), writer="result")
 
     test_rows = min(2000, 1 << min(oracle.num_pis, 16))
     patterns = contest_test_patterns(
@@ -214,12 +218,17 @@ def _execute_admitted(spool: Spool, job_id: str, spec: JobSpec,
 
     exported = 0
     if cache is not None and result.sample_bank is not None:
-        try:
-            rows = result.sample_bank.export_rows()
-            if rows is not None:
-                exported = cache.store(fingerprint, *rows)
-        except Exception:
-            exported = 0
+        if spool.brownout_active():
+            # Storage pressure: the cache export is a non-essential
+            # write — shed it and count the drop.
+            get_storage().counters.note_drop("cache")
+        else:
+            try:
+                rows = result.sample_bank.export_rows()
+                if rows is not None:
+                    exported = cache.store(fingerprint, *rows)
+            except Exception:
+                exported = 0
     cross_job = {
         "hits": 0,
         "misses": 0,
@@ -247,10 +256,17 @@ def _execute_admitted(spool: Spool, job_id: str, spec: JobSpec,
         "attempt": int(attempt),
         "queue_latency_seconds": queue_latency or 0.0,
     }
+    storage = get_storage()
+    storage_section = {
+        "durability": storage.durability,
+        "brownout": spool.brownout_active(),
+        "counters": storage.counters.to_json(),
+    }
     try:
         report = build_run_report(result, config, accuracy=acc,
                                   job=job_section, cross_job=cross_job,
-                                  fleet=fleet_section)
+                                  fleet=fleet_section,
+                                  storage=storage_section)
         write_run_report(report, spool.report_path(job_id))
     except Exception as exc:
         # The learn succeeded; a report bug must not fail the job, but

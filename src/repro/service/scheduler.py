@@ -263,6 +263,20 @@ class JobScheduler:
         resumed: List[str] = []
         for job_id in self.spool.job_ids():
             status = self.spool.status(job_id)
+            if status is None and os.path.exists(
+                    self.spool.state_path(job_id)):
+                # A torn/corrupt journal from the previous life.  The
+                # billing and status are unknowable, so re-running could
+                # double-charge: fail loudly (the rebuilt journal keeps
+                # the ``state-corrupt`` history event) instead of
+                # leaving the job invisible to every status query.
+                self.spool.transition(
+                    job_id, JobStatus.FAILED,
+                    detail="state journal was corrupt at recovery",
+                    force=True)
+                self.stats.finish(JobStatus.FAILED)
+                self._emit("failed", job_id, "state-corrupt")
+                continue
             if status == JobStatus.RUNNING:
                 state = self.spool.read_state(job_id) or {}
                 attempt = int(state.get("attempt", 0)) + 1
@@ -313,9 +327,12 @@ class JobScheduler:
                           job_id, spec))
         fresh.sort(key=lambda item: item[:3])
         depth = self._queued_depth()
+        brownout = self.telemetry.brownout \
+            if self.telemetry is not None else False
         for _, _, job_id, spec in fresh:
             decision = admission_decision(spec, depth,
-                                          self.policy.admission())
+                                          self.policy.admission(),
+                                          brownout=brownout)
             if decision.admitted:
                 self.spool.transition(job_id, JobStatus.QUEUED,
                                       detail="admitted")
@@ -494,13 +511,14 @@ class JobScheduler:
 
     def tick(self) -> None:
         """One scheduling round: admit, cancel, supervise, dispatch,
-        then (throttled) fold fresh telemetry into the fleet view."""
+        then the telemetry beat (disk-pressure sample every round, the
+        full fleet-view refresh on its throttle cadence)."""
         self.poll_submissions()
         self.apply_cancels()
         self.sweep_running()
         self.dispatch_ready()
         if self.telemetry is not None:
-            self.telemetry.maybe_refresh(self.stats.as_dict())
+            self.telemetry.tick(self.stats.as_dict())
 
     def pending_work(self) -> bool:
         if self._running:

@@ -36,14 +36,15 @@ torn status.
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
-import tempfile
 import time
 from typing import Dict, List, Optional
 
-from repro.robustness.checkpoint import payload_digest
+from repro.robustness import storage as storage_mod
+# Re-exported for historical importers; the implementations moved into
+# the hardened storage layer (repro.robustness.storage).
+from repro.robustness.storage import payload_digest, read_json_checked  # noqa: F401
 from repro.service.jobs import (TERMINAL_STATUSES, JobSpec, JobStatus,
                                 can_transition)
 
@@ -56,39 +57,17 @@ class DuplicateJobError(SpoolError):
     """A submission reused an existing job id."""
 
 
-def write_json_atomic(path: str, data: dict) -> None:
-    """Digest + write-to-temp + ``os.replace``: all or nothing."""
-    data = dict(data)
-    data.pop("digest", None)
-    data["digest"] = payload_digest(data)
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def write_json_atomic(path: str, data: dict, *,
+                      writer: str = "journal") -> None:
+    """Digest + write-to-temp + ``os.replace``: all or nothing.
 
-
-def read_json_checked(path: str) -> Optional[dict]:
-    """Read a digested JSON file; ``None`` if missing/torn/tampered."""
-    try:
-        with open(path) as handle:
-            data = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    if not isinstance(data, dict):
-        return None
-    stored = data.pop("digest", None)
-    if stored != payload_digest(data):
-        return None
-    return data
+    Delegates to the hardened storage layer: under
+    ``REPRO_DURABILITY=strict`` (the default) the temp file and its
+    directory are fsynced around the rename, so the replace survives
+    power loss, not just a kill.
+    """
+    storage_mod.atomic_write_json(path, data, writer=writer, indent=2,
+                                  sort_keys=True, trailing_newline=True)
 
 
 class Spool:
@@ -144,6 +123,34 @@ class Spool:
 
     def fleet_trace_path(self) -> str:
         return os.path.join(self.fleet_dir, "fleet_trace.json")
+
+    def brownout_path(self) -> str:
+        return os.path.join(self.fleet_dir, "brownout")
+
+    # -- brownout (storage-pressure degradation) -----------------------------
+
+    def set_brownout(self, active: bool, detail: str = "") -> None:
+        """Raise/clear the fleet-wide brownout marker.
+
+        A marker *file* (not scheduler memory) so worker child
+        processes see the degradation too and shed their non-essential
+        writes (telemetry flushes, cache exports, profile artifacts).
+        """
+        path = self.brownout_path()
+        if active:
+            try:
+                with open(path, "w") as handle:
+                    handle.write(detail or "storage-pressure")
+            except OSError:
+                pass  # a full disk must not break the brownout itself
+        else:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def brownout_active(self) -> bool:
+        return os.path.exists(self.brownout_path())
 
     # -- submission ----------------------------------------------------------
 

@@ -22,48 +22,35 @@ job are deferred, not counted — the worker may simply be mid-write.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.fleet import FleetAggregator
 from repro.obs.prom import render_prometheus
-from repro.obs.slo import SloEvaluator, SloPolicy
-from repro.robustness.checkpoint import payload_digest
+from repro.obs.slo import HEALTHY, SloEvaluator, SloPolicy
+from repro.robustness.storage import (DiskPressureMonitor, get_storage,
+                                      read_records)
 from repro.service.jobs import TERMINAL_STATUSES, JobStatus
 from repro.service.spool import Spool, write_json_atomic
 
 TELEMETRY_SCHEMA_VERSION = 1
 
+log = logging.getLogger(__name__)
 
-def append_jsonl_record(path: str, record: Dict[str, Any]) -> None:
+
+def append_jsonl_record(path: str, record: Dict[str, Any], *,
+                        writer: str = "telemetry") -> None:
     """Append one digest-stamped JSON line, crash-safely.
 
-    The payload (record + its sha256 digest) goes down in a single
-    ``os.write`` on an ``O_APPEND`` descriptor.  If a previous writer
-    was killed mid-write the file tail has no newline; we prepend one so
-    only the torn line stays corrupt and ours parses cleanly.
+    Delegates to the hardened storage layer: the payload (record + its
+    sha256 digest) goes down in a single ``write(2)`` on an
+    ``O_APPEND`` descriptor, a torn tail from a killed predecessor is
+    healed by prefixing a newline, and under strict durability the
+    append is followed by an fsync barrier.
     """
-    record = dict(record)
-    record.pop("digest", None)
-    record["digest"] = payload_digest(record)
-    line = json.dumps(record, sort_keys=True) + "\n"
-    needs_newline = False
-    try:
-        with open(path, "rb") as handle:
-            handle.seek(0, os.SEEK_END)
-            if handle.tell() > 0:
-                handle.seek(-1, os.SEEK_END)
-                needs_newline = handle.read(1) != b"\n"
-    except OSError:
-        pass
-    if needs_newline:
-        line = "\n" + line
-    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-    try:
-        os.write(fd, line.encode("utf-8"))
-    finally:
-        os.close(fd)
+    get_storage().append_record(path, record, writer=writer)
 
 
 def read_jsonl_records(path: str
@@ -75,30 +62,7 @@ def read_jsonl_records(path: str
     line an active worker is still writing, or tampering.  Corrupt
     lines are skipped, never fatal.
     """
-    try:
-        with open(path) as handle:
-            lines = handle.read().splitlines()
-    except OSError:
-        return [], 0
-    records: List[Dict[str, Any]] = []
-    corrupt = 0
-    for line in lines:
-        if not line.strip():
-            continue
-        try:
-            data = json.loads(line)
-        except ValueError:
-            corrupt += 1
-            continue
-        if not isinstance(data, dict):
-            corrupt += 1
-            continue
-        stored = data.pop("digest", None)
-        if stored != payload_digest(data):
-            corrupt += 1
-            continue
-        records.append(data)
-    return records, corrupt
+    return read_records(path)
 
 
 def queue_latency_seconds(state: Optional[Dict[str, Any]]
@@ -134,9 +98,17 @@ def flush_job_telemetry(spool: Spool, job_id: str, *, spec: Any,
     exactly.  ``trace_origin`` anchors the tracer's relative timestamps
     to the wall clock so fleet traces align across jobs.  Returns the
     telemetry path, or ``None`` when the run carried no
-    instrumentation.
+    instrumentation, the flush was shed (fleet brownout), or the disk
+    refused it (ENOSPC/EIO) — telemetry never fails the job; shed and
+    failed flushes are counted as ``telemetry`` drops in the storage
+    counters instead.
     """
     if instr is None:
+        return None
+    storage = get_storage()
+    if spool.brownout_active():
+        # Storage pressure: telemetry is a non-essential writer.
+        storage.counters.note_drop("telemetry")
         return None
     billed = instr.metrics.counter("oracle.rows_billed")
     calls = instr.metrics.counter("oracle.calls_billed")
@@ -164,7 +136,13 @@ def flush_job_telemetry(spool: Spool, job_id: str, *, spec: Any,
         "trace": instr.tracer.to_records(),
     }
     path = spool.telemetry_path(job_id)
-    append_jsonl_record(path, record)
+    try:
+        append_jsonl_record(path, record)
+    except OSError as exc:
+        storage.counters.note_drop("telemetry")
+        log.warning("telemetry flush for job %s dropped (%s); the job "
+                    "is unaffected", job_id, exc)
+        return None
     return path
 
 
@@ -175,12 +153,20 @@ class FleetTelemetry:
                  slo_policy: Optional[SloPolicy] = None,
                  prom_out: Optional[str] = None,
                  on_event: Optional[Callable[[str, str, str], None]]
+                 = None,
+                 pressure_probe: Optional[Callable[[], Tuple[int, int]]]
                  = None):
         self.spool = spool
         self.interval = float(interval)
         self.evaluator = SloEvaluator(slo_policy)
         self.prom_out = prom_out
         self.aggregator = FleetAggregator()
+        # ``pressure_probe`` (-> (total_bytes, free_bytes)) lets tests
+        # and chaos scenarios simulate a filling disk.
+        self.monitor = DiskPressureMonitor(spool.root,
+                                           probe=pressure_probe)
+        self._pressure: Optional[Dict[str, Any]] = None
+        self._brownout = False
         self._on_event = on_event
         self._last_refresh: Optional[float] = None
         # telemetry path -> (size, corrupt_lines) at last scan
@@ -239,6 +225,73 @@ class FleetTelemetry:
             if status in TERMINAL_STATUSES:
                 self._settled.add(job_id)
 
+    # -- disk pressure / brownout --------------------------------------------
+
+    @property
+    def brownout(self) -> bool:
+        """Batch-tier admissions and non-essential writers are shed."""
+        return self._brownout
+
+    def tick(self, stats: Optional[Dict[str, Any]] = None,
+             force: bool = False) -> Optional[Dict[str, Any]]:
+        """One scheduler beat: sample disk pressure, then refresh.
+
+        The pressure sample is cheap (one ``statvfs`` or the injected
+        probe) and happens every beat so ENOSPC is noticed within one
+        tick; the full scan/publish still runs on the throttle cadence
+        (``force`` bypasses it).
+        """
+        self._pressure = self.monitor.sample()
+        return self.maybe_refresh(stats, force=force)
+
+    def _storage_block(self) -> Dict[str, Any]:
+        if self._pressure is None:
+            self._pressure = self.monitor.sample()
+        storage = get_storage()
+        return {
+            "durability": storage.durability,
+            "pressure": self._pressure["pressure"],
+            "disk": {"total_bytes": self._pressure["total_bytes"],
+                     "free_bytes": self._pressure["free_bytes"]},
+            "brownout": self._brownout,
+            "counters": storage.counters.to_json(),
+        }
+
+    def _apply_brownout(self, snapshot: Dict[str, Any]) -> None:
+        """Flip brownout to match the storage rules' health."""
+        names = [rule.name for rule in self.evaluator.policy.rules
+                 if rule.kind == "storage_pressure"]
+        statuses = self.evaluator.statuses
+        active = any(statuses.get(name, HEALTHY) != HEALTHY
+                     for name in names)
+        if active == self._brownout:
+            return
+        self._brownout = active
+        pressure = snapshot.get("storage", {}).get("pressure")
+        detail = f"storage pressure {pressure}" if pressure is not None \
+            else "storage pressure"
+        self.spool.set_brownout(active, detail)
+        self._safe_append(self.spool.slo_events_path(), {
+            "kind": "storage-pressure",
+            "brownout": active,
+            "pressure": pressure,
+            "at": time.time(),
+        })
+        snapshot.setdefault("storage", {})["brownout"] = active
+        if self._on_event is not None:
+            self._on_event(
+                "storage", "brownout",
+                ("entered" if active else "exited")
+                + ("" if pressure is None
+                   else f" (pressure {pressure:.4g})"))
+
+    def _safe_append(self, path: str, record: Dict[str, Any]) -> None:
+        """Fleet bookkeeping must degrade, not crash, on a sick disk."""
+        try:
+            append_jsonl_record(path, record, writer="fleet")
+        except OSError:
+            get_storage().counters.note_drop("fleet")
+
     # -- refresh -------------------------------------------------------------
 
     def maybe_refresh(self, stats: Optional[Dict[str, Any]] = None,
@@ -259,23 +312,38 @@ class FleetTelemetry:
 
     def refresh(self, stats: Optional[Dict[str, Any]] = None
                 ) -> Dict[str, Any]:
-        """Scan, snapshot, evaluate SLOs, publish artifacts."""
+        """Scan, snapshot, evaluate SLOs, publish artifacts.
+
+        Publishing is best-effort by construction: on a sick or full
+        disk the snapshot is still computed, brownout still toggles,
+        and the failed writes are counted as ``fleet`` drops — the
+        health pipeline must keep working precisely when the disk
+        does not.
+        """
         snapshot = self.collect(stats)
         for record in self.evaluator.transitions(snapshot):
-            append_jsonl_record(self.spool.slo_events_path(),
-                               dict(record, at=time.time()))
+            self._safe_append(self.spool.slo_events_path(),
+                              dict(record, at=time.time()))
             if self._on_event is not None:
                 self._on_event(
                     "slo", record["rule"],
                     f"{record['previous']} -> {record['status']}"
                     + ("" if record["signal"] is None
                        else f" (signal {record['signal']:.4g})"))
+        self._apply_brownout(snapshot)
         snapshot["slo"] = {"policy": self.evaluator.policy.name,
                            "overall": self.evaluator.overall(),
                            "rules": self.evaluator.statuses}
-        write_json_atomic(self.spool.fleet_status_path(), snapshot)
+        try:
+            write_json_atomic(self.spool.fleet_status_path(), snapshot,
+                              writer="fleet")
+        except OSError:
+            get_storage().counters.note_drop("fleet")
         if self.prom_out:
-            self.write_prometheus(self.prom_out, snapshot)
+            try:
+                self.write_prometheus(self.prom_out, snapshot)
+            except OSError:
+                get_storage().counters.note_drop("prom")
         return snapshot
 
     def collect(self, stats: Optional[Dict[str, Any]] = None
@@ -283,7 +351,10 @@ class FleetTelemetry:
         """Scan and build a snapshot without publishing anything
         (what the read-only ``repro fleet status`` path uses)."""
         self.scan()
-        return self.aggregator.snapshot(stats=stats)
+        snapshot = self.aggregator.snapshot(stats=stats)
+        snapshot["storage"] = self._storage_block()
+        snapshot["schema_version"] = 2  # v2 added the storage block
+        return snapshot
 
     def write_prometheus(self, path: str,
                          snapshot: Dict[str, Any]) -> None:
@@ -308,10 +379,7 @@ class FleetTelemetry:
             for status, n in sched.get("finished", {}).items():
                 finished.inc(n, status=status)
         text = render_prometheus(registry)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            handle.write(text)
-        os.replace(tmp, path)
+        get_storage().atomic_write_text(path, text, writer="prom")
 
     def finalize(self, stats: Optional[Dict[str, Any]] = None
                  ) -> Dict[str, Any]:
@@ -319,6 +387,11 @@ class FleetTelemetry:
         snapshot = self.refresh(stats)
         trace = self.aggregator.merged_chrome_trace()
         if trace["traceEvents"]:
-            with open(self.spool.fleet_trace_path(), "w") as handle:
-                json.dump(trace, handle, separators=(",", ":"))
+            try:
+                get_storage().atomic_write_text(
+                    self.spool.fleet_trace_path(),
+                    json.dumps(trace, separators=(",", ":")),
+                    writer="fleet")
+            except OSError:
+                get_storage().counters.note_drop("fleet")
         return snapshot

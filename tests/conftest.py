@@ -1,7 +1,16 @@
 """Shared fixtures for the test-suite."""
 
+import os
+
 import numpy as np
 import pytest
+
+# Tier-1 speed: skip the storage layer's fsync barriers by default
+# (identical code paths, no durability syscalls).  ``setdefault`` so a
+# developer can still run the suite under REPRO_DURABILITY=strict, and
+# worker child processes inherit the choice through the environment.
+# Tests that exercise strict mode construct a strict Storage explicitly.
+os.environ.setdefault("REPRO_DURABILITY", "lax")
 
 
 @pytest.fixture

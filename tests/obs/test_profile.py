@@ -175,11 +175,11 @@ class TestJobsInvariance:
 
 
 class TestReportIntegration:
-    def test_schema_v6_profile_block_present_and_valid(self):
+    def test_schema_profile_block_present_and_valid(self):
         result, cfg = _learn(1)
         report = build_run_report(result, cfg)
         assert validate(report, REPORT_SCHEMA) == []
-        assert report["schema_version"] == 6
+        assert report["schema_version"] == 7
         profile = report["profile"]
         assert profile is not None
         assert profile["counters"]

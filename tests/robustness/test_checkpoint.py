@@ -1,6 +1,7 @@
 """Checkpoint/resume: durable per-output progress."""
 
 import json
+import logging
 import os
 
 import numpy as np
@@ -163,6 +164,76 @@ class TestStore:
     def test_config_requires_path_for_resume(self):
         with pytest.raises(ValueError):
             RobustnessConfig(resume=True).validate()
+
+
+class TestTornWriteSweep:
+    """Byte-exhaustive corruption: always degrade-to-relearn.
+
+    The checkpoint's recovery contract is that *any* torn or bit-rotted
+    file restores a (possibly empty) subset of the recorded outputs and
+    never raises, never restores an entry that differs from what was
+    written — the worst legal outcome is re-learning an output.  Sweep
+    the whole file: truncate after every byte, then flip one bit in
+    every byte.
+    """
+
+    PIS = [f"a{i}" for i in range(10)]
+    POS = ["po_0", "po_1"]
+
+    def _baseline(self, tmp_path, rng):
+        path = str(tmp_path / "run.ckpt")
+        store = CheckpointStore(path)
+        store.open_for(self.PIS, self.POS, seed=1, resume=False)
+        reference = {}
+        for j in range(2):
+            entry = CheckpointEntry(
+                po_index=j, po_name=f"po_{j}", method="fbdt",
+                detail="nodes=7", support=[1, 4],
+                cover=random_cover(rng))
+            store.record_output(entry)
+            reference[j] = entry.to_json()
+        return path, reference
+
+    def _assert_degrades(self, path, reference):
+        restored = CheckpointStore(path).open_for(
+            self.PIS, self.POS, seed=1, resume=True)
+        for j, entry in restored.items():
+            assert entry.to_json() == reference[j], \
+                f"corrupted file restored a diverged entry for {j}"
+
+    def test_truncation_at_every_byte(self, tmp_path, rng):
+        path, reference = self._baseline(tmp_path, rng)
+        blob = open(path, "rb").read()
+        logging.disable(logging.WARNING)  # sweep logs thousands of warns
+        try:
+            for cut in range(len(blob) + 1):
+                with open(path, "wb") as handle:
+                    handle.write(blob[:cut])
+                self._assert_degrades(path, reference)
+        finally:
+            logging.disable(logging.NOTSET)
+
+    def test_bit_flip_at_every_byte(self, tmp_path, rng):
+        path, reference = self._baseline(tmp_path, rng)
+        blob = bytearray(open(path, "rb").read())
+        logging.disable(logging.WARNING)
+        try:
+            for pos in range(len(blob)):
+                flipped = bytearray(blob)
+                flipped[pos] ^= 0x01
+                with open(path, "wb") as handle:
+                    handle.write(flipped)
+                self._assert_degrades(path, reference)
+        finally:
+            logging.disable(logging.NOTSET)
+
+    def test_intact_file_restores_everything(self, tmp_path, rng):
+        # The sweep's control arm: zero corruption restores both.
+        path, reference = self._baseline(tmp_path, rng)
+        restored = CheckpointStore(path).open_for(
+            self.PIS, self.POS, seed=1, resume=True)
+        assert {j: e.to_json() for j, e in restored.items()} \
+            == reference
 
 
 class SimulatedKill(BaseException):

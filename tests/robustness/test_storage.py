@@ -1,0 +1,240 @@
+"""The hardened storage layer: atomic replaces, durable appends,
+digest framing, and the injectable fault shim that the crash-point
+harness and chaos scenarios drive."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.robustness.storage import (ATOMIC_STEPS, DiskPressureMonitor,
+                                      FaultyStorage, SimulatedCrash,
+                                      Storage, StorageFaultModel,
+                                      default_durability, get_storage,
+                                      payload_digest, read_json_checked,
+                                      read_records, set_storage,
+                                      use_storage)
+
+
+class TestAtomicWrite:
+    def test_json_roundtrip_with_digest(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        Storage("lax").atomic_write_json(path, {"x": 1}, writer="t")
+        assert read_json_checked(path) == {"x": 1}
+        raw = json.load(open(path))
+        assert raw["digest"] == payload_digest({"x": 1})
+
+    def test_tampered_payload_reads_none(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        Storage("lax").atomic_write_json(path, {"x": 1}, writer="t")
+        text = open(path).read().replace('"x": 1', '"x": 2')
+        open(path, "w").write(text)
+        assert read_json_checked(path) is None
+
+    def test_missing_and_torn_read_none(self, tmp_path):
+        assert read_json_checked(str(tmp_path / "no.json")) is None
+        path = str(tmp_path / "torn.json")
+        open(path, "w").write('{"x": 1, "dig')
+        assert read_json_checked(path) is None
+
+    def test_strict_issues_barriers_lax_does_not(self, tmp_path):
+        strict, lax = Storage("strict"), Storage("lax")
+        strict.atomic_write_json(str(tmp_path / "s.json"), {"a": 1},
+                                 writer="t")
+        lax.atomic_write_json(str(tmp_path / "l.json"), {"a": 1},
+                              writer="t")
+        assert strict.barrier_stats()["fsync_calls"] >= 2  # file + dir
+        assert lax.barrier_stats()["fsync_calls"] == 0
+        assert read_json_checked(str(tmp_path / "s.json")) == {"a": 1}
+
+    def test_failure_cleans_temp_destination_untouched(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        Storage("lax").atomic_write_json(path, {"v": 1}, writer="t")
+        faulty = FaultyStorage(durability="strict",
+                               fail_at=(2, "eio"))  # the rename step
+        with pytest.raises(OSError) as exc:
+            faulty.atomic_write_json(path, {"v": 2}, writer="t")
+        assert exc.value.errno == errno.EIO
+        assert read_json_checked(path) == {"v": 1}
+        assert os.listdir(tmp_path) == ["a.json"]  # temp unlinked
+
+    def test_crash_leaves_temp_debris(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        Storage("lax").atomic_write_json(path, {"v": 1}, writer="t")
+        faulty = FaultyStorage(durability="strict", crash_at=1)
+        with pytest.raises(SimulatedCrash):
+            faulty.atomic_write_json(path, {"v": 2}, writer="t")
+        # A real kill -9 runs no cleanup: the temp file stays behind,
+        # the destination keeps the old payload.
+        assert read_json_checked(path) == {"v": 1}
+        assert len(os.listdir(tmp_path)) == 2
+
+    def test_validates_durability_mode(self):
+        with pytest.raises(ValueError):
+            Storage("eventually")
+
+
+class TestDurableAppend:
+    def test_append_heals_torn_tail(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        storage = Storage("lax")
+        storage.append_record(path, {"seq": 0}, writer="t")
+        with open(path, "a") as handle:
+            handle.write('{"seq": 1, "torn')
+        storage.append_record(path, {"seq": 2}, writer="t")
+        records, corrupt = read_records(path)
+        assert [r["seq"] for r in records] == [0, 2]
+        assert corrupt == 1
+
+    def test_counters_attribute_per_writer(self, tmp_path):
+        storage = Storage("lax")
+        storage.append_line(str(tmp_path / "a"), "x", writer="history")
+        storage.atomic_write_json(str(tmp_path / "b"), {},
+                                  writer="journal")
+        storage.atomic_write_json(str(tmp_path / "c"), {},
+                                  writer="journal")
+        assert storage.counters.ops == {"history": 1, "journal": 2}
+
+
+class TestFaultyStorage:
+    def test_trace_enumerates_strict_steps_in_order(self, tmp_path):
+        faulty = FaultyStorage(durability="strict")
+        faulty.atomic_write_json(str(tmp_path / "a.json"), {},
+                                 writer="t")
+        assert tuple(step for _, step, _ in faulty.trace) \
+            == ATOMIC_STEPS
+        faulty.append_line(str(tmp_path / "l"), "x", writer="t")
+        assert [s for _, s, _ in faulty.trace[-2:]] \
+            == ["append", "fsync-append"]
+
+    def test_lax_trace_skips_fsync_points(self, tmp_path):
+        faulty = FaultyStorage(durability="lax")
+        faulty.atomic_write_json(str(tmp_path / "a.json"), {},
+                                 writer="t")
+        assert [s for _, s, _ in faulty.trace] \
+            == ["write-temp", "rename"]
+
+    def test_model_rates_fault_with_errno_and_counters(self, tmp_path):
+        model = StorageFaultModel(enospc_rate=1.0)
+        faulty = FaultyStorage(model=model, durability="lax")
+        with pytest.raises(OSError) as exc:
+            faulty.atomic_write_json(str(tmp_path / "a.json"), {},
+                                     writer="cache")
+        assert exc.value.errno == errno.ENOSPC
+        assert faulty.counters.faults == {"cache": {"enospc": 1}}
+        assert faulty.counters.fault_total("enospc") == 1
+
+    def test_writer_scoping_protects_other_writers(self, tmp_path):
+        model = StorageFaultModel(eio_rate=1.0, writers={"cache"})
+        faulty = FaultyStorage(model=model, durability="lax")
+        faulty.atomic_write_json(str(tmp_path / "j.json"), {"ok": 1},
+                                 writer="journal")  # must not fault
+        assert read_json_checked(str(tmp_path / "j.json")) == {"ok": 1}
+        with pytest.raises(OSError):
+            faulty.atomic_write_json(str(tmp_path / "c.json"), {},
+                                     writer="cache")
+
+    def test_torn_rate_leaves_partial_append(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        model = StorageFaultModel(torn_rate=1.0)
+        faulty = FaultyStorage(model=model, durability="lax")
+        with pytest.raises(OSError) as exc:
+            faulty.append_record(path, {"seq": 0}, writer="t")
+        assert exc.value.errno == errno.EIO
+        clean = str(tmp_path / "clean.jsonl")
+        Storage("lax").append_record(clean, {"seq": 0}, writer="t")
+        size = os.path.getsize(path)
+        # A strict prefix of the same line actually hit the disk.
+        assert 0 < size < os.path.getsize(clean)
+        records, corrupt = read_records(path)
+        assert records == [] and corrupt == 1
+
+    def test_torn_crash_writes_prefix_then_dies(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        faulty = FaultyStorage(durability="lax", crash_at=0, torn=True)
+        with pytest.raises(SimulatedCrash):
+            faulty.atomic_write_json(path, {"v": 1}, writer="t")
+        debris = [n for n in os.listdir(tmp_path) if n != "a.json"]
+        assert len(debris) == 1  # the torn temp file
+        assert os.path.getsize(tmp_path / debris[0]) > 0
+
+    def test_deterministic_schedules_per_seed(self, tmp_path):
+        model = StorageFaultModel(eio_rate=0.3)
+
+        def run(seed):
+            faulty = FaultyStorage(model=model, seed=seed,
+                                   durability="lax")
+            outcome = []
+            for i in range(20):
+                try:
+                    faulty.atomic_write_json(
+                        str(tmp_path / f"f{seed}_{i}.json"), {},
+                        writer="t")
+                    outcome.append("ok")
+                except OSError:
+                    outcome.append("eio")
+            return outcome
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_rejects_unknown_fail_kind(self):
+        with pytest.raises(ValueError):
+            FaultyStorage(fail_at=(0, "gremlin"))
+        with pytest.raises(ValueError):
+            StorageFaultModel(eio_rate=1.5)
+
+
+class TestProcessWideDefault:
+    def test_use_storage_scopes_and_restores(self):
+        outer = get_storage()
+        inner = FaultyStorage(durability="lax")
+        with use_storage(inner):
+            assert get_storage() is inner
+        assert get_storage() is outer
+
+    def test_env_resolves_durability(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DURABILITY", "lax")
+        assert default_durability() == "lax"
+        monkeypatch.setenv("REPRO_DURABILITY", "chaotic")
+        assert default_durability() == "strict"
+        previous = set_storage(None)
+        try:
+            monkeypatch.setenv("REPRO_DURABILITY", "lax")
+            assert get_storage().durability == "lax"
+        finally:
+            set_storage(previous)
+
+
+class TestDiskPressure:
+    def test_probe_pressure_fraction(self, tmp_path):
+        monitor = DiskPressureMonitor(str(tmp_path),
+                                      probe=lambda: (1000, 250),
+                                      storage=Storage("lax"))
+        sample = monitor.sample()
+        assert sample["pressure"] == pytest.approx(0.75)
+        assert sample["free_bytes"] == 250
+
+    def test_zero_total_reads_as_no_pressure(self, tmp_path):
+        monitor = DiskPressureMonitor(str(tmp_path),
+                                      probe=lambda: (0, 0),
+                                      storage=Storage("lax"))
+        assert monitor.sample()["pressure"] == 0.0
+
+    def test_enospc_elevates_then_decays(self, tmp_path):
+        storage = FaultyStorage(durability="lax")
+        monitor = DiskPressureMonitor(str(tmp_path),
+                                      probe=lambda: (1000, 900),
+                                      storage=storage)
+        assert monitor.sample()["pressure"] == pytest.approx(0.1)
+        storage.counters.note_fault("cache", "enospc")
+        assert monitor.sample()["pressure"] >= 0.99
+        # No new faults since the last sample: statvfs wins again.
+        assert monitor.sample()["pressure"] == pytest.approx(0.1)
+
+    def test_real_filesystem_sample(self, tmp_path):
+        sample = DiskPressureMonitor(str(tmp_path),
+                                     storage=Storage("lax")).sample()
+        assert 0.0 <= sample["pressure"] <= 1.0
+        assert sample["total_bytes"] > 0

@@ -1,0 +1,216 @@
+"""Disk-pressure brownout: SLO wiring, admission shed, telemetry drops.
+
+The graceful-degradation pipeline under test, end to end:
+``DiskPressureMonitor`` (injectable probe) feeds the ``storage`` block
+of the fleet snapshot → the ``storage_pressure`` SLO rule transitions →
+``FleetTelemetry`` flips the spool's brownout marker file → batch
+admissions are shed at the door with a structured ``storage-pressure``
+rejection and non-essential writers (telemetry flushes) drop their
+payloads into the ``storage`` counters instead of failing jobs.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.robustness.storage import (FaultyStorage, StorageFaultModel,
+                                      use_storage)
+from repro.service.admission import AdmissionPolicy, admission_decision
+from repro.service.jobs import JobStatus
+from repro.service.scheduler import JobScheduler, SchedulerPolicy
+from repro.service.telemetry import (FleetTelemetry,
+                                     flush_job_telemetry,
+                                     read_jsonl_records)
+
+
+class TestAdmissionShed:
+    def _policy(self):
+        return AdmissionPolicy()
+
+    def test_batch_shed_under_brownout(self, make_spec):
+        decision = admission_decision(
+            make_spec("b", tier="batch"), 0, self._policy(),
+            brownout=True)
+        assert not decision.admitted
+        assert decision.reason_code == "storage-pressure"
+        assert "resubmit" in decision.detail
+
+    @pytest.mark.parametrize("tier", ["interactive", "standard"])
+    def test_higher_tiers_ride_through_brownout(self, make_spec, tier):
+        decision = admission_decision(
+            make_spec("j", tier=tier), 0, self._policy(),
+            brownout=True)
+        assert decision.admitted
+
+    def test_batch_admitted_when_healthy(self, make_spec):
+        decision = admission_decision(
+            make_spec("b", tier="batch"), 0, self._policy(),
+            brownout=False)
+        assert decision.admitted
+
+
+class TestBrownoutLifecycle:
+    """Pressure probe -> SLO transition -> marker file -> recovery."""
+
+    def _telemetry(self, spool, disk):
+        return FleetTelemetry(
+            spool, interval=0.0,
+            pressure_probe=lambda: (disk["total"], disk["free"]))
+
+    def test_pressure_crossing_flips_brownout_and_back(self, spool):
+        disk = {"total": 1000, "free": 900}
+        telemetry = self._telemetry(spool, disk)
+        snap = telemetry.tick()
+        assert not telemetry.brownout
+        assert not spool.brownout_active()
+        assert snap["storage"]["pressure"] == pytest.approx(0.1)
+
+        disk["free"] = 40  # 0.96: past degraded (0.90), not breached
+        snap = telemetry.tick()
+        assert telemetry.brownout
+        assert spool.brownout_active()  # marker file, workers see it
+        assert snap["storage"]["brownout"]
+        assert snap["slo"]["rules"]["storage"] == "degraded"
+
+        disk["free"] = 900
+        snap = telemetry.tick()
+        assert not telemetry.brownout
+        assert not spool.brownout_active()  # marker removed
+        assert snap["slo"]["rules"]["storage"] == "healthy"
+
+    def test_slo_events_record_transitions_and_brownout(self, spool):
+        disk = {"total": 1000, "free": 900}
+        telemetry = self._telemetry(spool, disk)
+        telemetry.tick()
+        disk["free"] = 40
+        telemetry.tick()
+        disk["free"] = 900
+        telemetry.tick()
+        events, corrupt = read_jsonl_records(spool.slo_events_path())
+        assert corrupt == 0
+        rule_flips = [e for e in events if e.get("rule") == "storage"]
+        assert [e["status"] for e in rule_flips] == ["degraded",
+                                                     "healthy"]
+        marks = [e for e in events
+                 if e.get("kind") == "storage-pressure"]
+        assert [m["brownout"] for m in marks] == [True, False]
+        assert marks[0]["pressure"] == pytest.approx(0.96)
+
+    def test_enospc_elevates_pressure_to_breached(self, spool):
+        # statvfs still claims headroom, but the storage layer has
+        # seen ENOSPC: the filesystem is proving the probe wrong.
+        telemetry = self._telemetry(spool,
+                                    {"total": 1000, "free": 900})
+        faulty = FaultyStorage(durability="lax")
+        with use_storage(faulty):
+            faulty.counters.note_fault("telemetry", "enospc")
+            snap = telemetry.tick()
+        assert snap["storage"]["pressure"] >= 0.99
+        assert snap["slo"]["rules"]["storage"] == "breached"
+        assert telemetry.brownout
+
+    def test_fleet_status_carries_storage_block(self, spool):
+        disk = {"total": 1000, "free": 40}
+        self._telemetry(spool, disk).tick()
+        status = json.load(open(spool.fleet_status_path()))
+        assert status["schema_version"] == 2
+        block = status["storage"]
+        assert block["brownout"] is True
+        assert block["pressure"] == pytest.approx(0.96)
+        assert block["disk"]["free_bytes"] == 40
+        assert set(block["counters"]) == {"ops", "faults", "drops"}
+
+
+class _FakeTracer:
+    def _now(self):
+        return 0.0
+
+    def to_records(self):
+        return []
+
+
+class _FakeInstr:
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.tracer = _FakeTracer()
+
+
+class TestTelemetryNeverFailsTheJob:
+    def _flush(self, spool, spec):
+        return flush_job_telemetry(
+            spool, spec.job_id, spec=spec, attempt=0,
+            instr=_FakeInstr(), status="verified", elapsed=1.0,
+            queue_latency=None)
+
+    def test_flush_shed_under_brownout(self, spool, make_spec):
+        spec = make_spec("jb")
+        spool.submit(spec, circuit_src=spec.circuit)
+        spool.set_brownout(True, "test pressure")
+        faulty = FaultyStorage(durability="lax")
+        with use_storage(faulty):
+            assert self._flush(spool, spec) is None
+        assert faulty.counters.drops.get("telemetry") == 1
+        assert read_jsonl_records(
+            spool.telemetry_path("jb")) == ([], 0)
+
+    @pytest.mark.parametrize("kind", ["enospc", "eio"])
+    def test_flush_swallows_disk_faults(self, spool, make_spec, kind):
+        spec = make_spec("jd")
+        spool.submit(spec, circuit_src=spec.circuit)
+        model = StorageFaultModel(**{f"{kind}_rate": 1.0},
+                                  writers={"telemetry"})
+        faulty = FaultyStorage(model=model, durability="lax")
+        with use_storage(faulty):
+            # Must not raise: telemetry never fails the job.
+            assert self._flush(spool, spec) is None
+        assert faulty.counters.drops.get("telemetry") == 1
+        assert faulty.counters.fault_total(kind) == 1
+
+    def test_flush_lands_when_disk_healthy(self, spool, make_spec):
+        spec = make_spec("jh")
+        spool.submit(spec, circuit_src=spec.circuit)
+        path = self._flush(spool, spec)
+        assert path == spool.telemetry_path("jh")
+        records, corrupt = read_jsonl_records(path)
+        assert corrupt == 0
+        assert [r["job_id"] for r in records] == ["jh"]
+
+
+@pytest.mark.slow
+class TestSchedulerShedsBatchUnderPressure:
+    def test_batch_rejected_interactive_served(self, spool, make_spec):
+        disk = {"total": 1000, "free": 40}
+        telemetry = FleetTelemetry(
+            spool, interval=0.0,
+            pressure_probe=lambda: (disk["total"], disk["free"]))
+        sched = JobScheduler(
+            spool,
+            SchedulerPolicy(inline=True, retry_backoff_base=0.0),
+            telemetry=telemetry)
+        sched.tick()  # samples pressure, enters the brownout
+        assert telemetry.brownout
+
+        batch = make_spec("shed-batch", tier="batch")
+        inter = make_spec("served-inter", tier="interactive")
+        spool.submit(batch, circuit_src=batch.circuit)
+        spool.submit(inter, circuit_src=inter.circuit)
+        summary = sched.drain(timeout=120)
+
+        assert summary["shed-batch"]["status"] == JobStatus.REJECTED
+        rejection = spool.read_state("shed-batch")["rejection"]
+        assert rejection["reason_code"] == "storage-pressure"
+        assert summary["served-inter"]["status"] in ("verified",
+                                                     "repaired")
+        assert sched.stats.rejected == 1
+
+        # Recovery: the same batch work resubmitted after the disk
+        # drains is admitted normally.
+        disk["free"] = 900
+        sched.tick()
+        assert not telemetry.brownout
+        retry = make_spec("shed-batch-2", tier="batch")
+        spool.submit(retry, circuit_src=retry.circuit)
+        summary = sched.drain(timeout=120)
+        assert summary["shed-batch-2"]["status"] in ("verified",
+                                                     "repaired")
